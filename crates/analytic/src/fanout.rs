@@ -1,0 +1,152 @@
+//! Analytic fanout distributions of the paper's traffic models.
+//!
+//! Centralises the closed forms the traffic crate's tests and
+//! EXPERIMENTS.md sanity checks rely on, in particular the truncation
+//! corrections introduced by resampling empty destination draws.
+
+/// Mean of a Binomial(`n`, `b`) truncated to values `>= min_k`.
+///
+/// The Bernoulli multicast model draws each output with probability `b`
+/// and redraws results below `min_k` destinations (1 for the Bernoulli
+/// and burst models, 2 for the mixed model's multicast class).
+///
+/// # Panics
+///
+/// Panics for `b` outside `(0, 1]`, `n == 0`, or `min_k > n`.
+pub fn truncated_binomial_mean(n: usize, b: f64, min_k: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!(b > 0.0 && b <= 1.0, "b {b} outside (0,1]");
+    assert!(min_k <= n, "min_k {min_k} > n {n}");
+    let mean = n as f64 * b;
+    if min_k == 0 {
+        return mean;
+    }
+    // P(X = k) for k < min_k, accumulated exactly.
+    let mut p_below = 0.0;
+    let mut mass_below = 0.0;
+    let mut pk = (1.0 - b).powi(n as i32); // P(X = 0)
+    for k in 0..min_k {
+        p_below += pk;
+        mass_below += k as f64 * pk;
+        // advance to P(X = k+1)
+        pk *= (n - k) as f64 / (k + 1) as f64 * b / (1.0 - b);
+    }
+    (mean - mass_below) / (1.0 - p_below)
+}
+
+/// The Bernoulli model's *actual* mean fanout: Binomial(`n`, `b`)
+/// truncated at ≥ 1 (the paper's nominal `b·N` ignores the truncation).
+pub fn bernoulli_mean_fanout(n: usize, b: f64) -> f64 {
+    truncated_binomial_mean(n, b, 1)
+}
+
+/// The multiplicative bias of the truncation: actual load over the
+/// paper's nominal `p·b·N`. Equals `1/(1 − (1−b)^N)`.
+pub fn bernoulli_load_correction(n: usize, b: f64) -> f64 {
+    bernoulli_mean_fanout(n, b) / (n as f64 * b)
+}
+
+/// Mean fanout of the uniform model: `(1 + max_fanout)/2`.
+pub fn uniform_mean_fanout(max_fanout: usize) -> f64 {
+    (1.0 + max_fanout as f64) / 2.0
+}
+
+/// Arrival rate of the two-state burst model: `E_on / (E_on + E_off)`.
+pub fn burst_arrival_rate(e_off: f64, e_on: f64) -> f64 {
+    assert!(e_off >= 1.0 && e_on >= 1.0, "state lengths must be >= 1");
+    e_on / (e_on + e_off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn untruncated_is_plain_mean() {
+        assert!((truncated_binomial_mean(16, 0.2, 0) - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_at_one_matches_closed_form() {
+        // E[X | X >= 1] = nb / (1 - (1-b)^n)
+        let n = 16;
+        let b = 0.2;
+        let expect = n as f64 * b / (1.0 - (1.0f64 - b).powi(n as i32));
+        assert!((truncated_binomial_mean(n, b, 1) - expect).abs() < 1e-12);
+        assert!((bernoulli_mean_fanout(n, b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_at_two_exceeds_truncation_at_one() {
+        let m1 = truncated_binomial_mean(16, 0.2, 1);
+        let m2 = truncated_binomial_mean(16, 0.2, 2);
+        assert!(m2 > m1);
+        assert!(m2 > 2.0, "conditional mean must be at least the floor");
+    }
+
+    #[test]
+    fn load_correction_for_paper_parameters() {
+        // b = 0.2, N = 16: (1-0.2)^16 ≈ 0.0281 → correction ≈ 1.0289
+        let c = bernoulli_load_correction(16, 0.2);
+        assert!((c - 1.0 / (1.0 - 0.8f64.powi(16))).abs() < 1e-12);
+        assert!(c > 1.0 && c < 1.05);
+    }
+
+    #[test]
+    fn helper_formulas() {
+        assert_eq!(uniform_mean_fanout(1), 1.0);
+        assert_eq!(uniform_mean_fanout(8), 4.5);
+        assert!((burst_arrival_rate(112.0, 16.0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_k")]
+    fn min_k_beyond_n_rejected() {
+        truncated_binomial_mean(4, 0.5, 5);
+    }
+
+    fn monte_carlo_truncated_mean(n: usize, b: f64, min_k: usize) -> f64 {
+        // deterministic LCG so the test has no rand dependency
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut total = 0u64;
+        let mut samples = 0u64;
+        while samples < 40_000 {
+            let k = (0..n).filter(|_| rand01() < b).count();
+            if k >= min_k {
+                total += k as u64;
+                samples += 1;
+            }
+        }
+        total as f64 / samples as f64
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        for (n, b, min_k) in [(16, 0.2, 1), (16, 0.2, 2), (8, 0.5, 1)] {
+            let analytic = truncated_binomial_mean(n, b, min_k);
+            let mc = monte_carlo_truncated_mean(n, b, min_k);
+            assert!(
+                (analytic - mc).abs() < 0.06,
+                "n={n} b={b} min_k={min_k}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_truncated_mean_bounds(n in 1usize..64, b in 0.01f64..1.0, min_k in 0usize..4) {
+            prop_assume!(min_k <= n);
+            let m = truncated_binomial_mean(n, b, min_k);
+            // conditional mean is at least the floor and the plain mean,
+            // and at most n
+            prop_assert!(m >= min_k as f64 - 1e-9);
+            prop_assert!(m >= n as f64 * b - 1e-9);
+            prop_assert!(m <= n as f64 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Results from M. J. Karol, M. J. Hluchyj and S. P. Morgan, "Input
+//! versus output queueing on a space-division packet switch", IEEE
+//! Trans. Communications 35(12), 1987 — the paper's reference \[13\].
+
+/// Saturation throughput of a FIFO input-queued switch under uniform
+/// Bernoulli unicast traffic, as `N → ∞`: `2 − √2 ≈ 0.5858`.
+///
+/// §V-B of the FIFOMS paper cites this to explain TATRA's unicast
+/// ceiling ("a maximum effective load of about 55%, which is consistent
+/// with the theoretical analysis result of 0.586 in \[13\]").
+pub fn input_queued_saturation() -> f64 {
+    2.0 - std::f64::consts::SQRT_2
+}
+
+/// Finite-`N` saturation throughput of the FIFO input-queued switch
+/// (Karol et al., Table I). Exact small-`N` values from the paper;
+/// `N > 8` returns the asymptote.
+pub fn input_queued_saturation_finite(n: usize) -> f64 {
+    // Table I of Karol 1987: N = 1..8.
+    const TABLE: [f64; 8] = [
+        1.0000, 0.7500, 0.6825, 0.6553, 0.6399, 0.6302, 0.6234, 0.6184,
+    ];
+    match n {
+        0 => 0.0,
+        1..=8 => TABLE[n - 1],
+        _ => input_queued_saturation(),
+    }
+}
+
+/// Mean wait (slots) of a cell in a FIFO *output*-queued `N×N` switch
+/// under uniform Bernoulli unicast load `rho`:
+///
+/// `W = ((N−1)/N) · ρ / (2(1−ρ))`
+///
+/// (Karol 1987, eq. (2); the `N → ∞` limit is the M/D/1 wait.) A cell
+/// transmitted in its arrival slot has wait 0, matching this
+/// workspace's delay convention.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rho < 1` and `n >= 1`.
+pub fn oq_mean_wait(n: usize, rho: f64) -> f64 {
+    assert!(n >= 1, "need at least one port");
+    assert!((0.0..1.0).contains(&rho), "rho {rho} outside [0,1)");
+    ((n - 1) as f64 / n as f64) * rho / (2.0 * (1.0 - rho))
+}
+
+/// Mean *output queue length* of the same switch via Little's law applied
+/// to the waiting room: `L = ρ · W`.
+pub fn oq_mean_queue(n: usize, rho: f64) -> f64 {
+    rho * oq_mean_wait(n, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_constant() {
+        assert!((input_queued_saturation() - 0.585786).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_table_monotone_to_asymptote() {
+        // Karol's Table I decreases in N toward 2-sqrt(2).
+        let mut prev = f64::INFINITY;
+        for n in 1..=8 {
+            let v = input_queued_saturation_finite(n);
+            assert!(v < prev, "not monotone at n={n}");
+            prev = v;
+        }
+        assert!(prev > input_queued_saturation());
+        assert_eq!(
+            input_queued_saturation_finite(100),
+            input_queued_saturation()
+        );
+        assert_eq!(input_queued_saturation_finite(0), 0.0);
+    }
+
+    #[test]
+    fn oq_wait_known_values() {
+        // N = 16, rho = 0.8: (15/16)*0.8/0.4 = 1.875
+        assert!((oq_mean_wait(16, 0.8) - 1.875).abs() < 1e-12);
+        // zero load, zero wait
+        assert_eq!(oq_mean_wait(16, 0.0), 0.0);
+        // single output port never queues behind other inputs
+        assert_eq!(oq_mean_wait(1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn oq_wait_diverges_near_one() {
+        assert!(oq_mean_wait(16, 0.99) > 40.0);
+        assert!(oq_mean_wait(16, 0.999) > 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rho_one_rejected() {
+        oq_mean_wait(16, 1.0);
+    }
+
+    #[test]
+    fn littles_law_queue() {
+        let (n, rho) = (16, 0.8);
+        assert!((oq_mean_queue(n, rho) - rho * oq_mean_wait(n, rho)).abs() < 1e-12);
+    }
+}

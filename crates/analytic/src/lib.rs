@@ -1,0 +1,25 @@
+//! Closed-form queueing-theory references for validating the simulator.
+//!
+//! The paper leans on two classical analytic results:
+//!
+//! * **Karol/Hluchyj/Morgan 1987** (the paper's \[13\]): on a uniform
+//!   Bernoulli unicast workload, a FIFO *input*-queued switch saturates at
+//!   `2 − √2 ≈ 0.586` as `N → ∞`, while a FIFO *output*-queued switch is
+//!   stable up to load 1 with mean wait
+//!   `W = ((N−1)/N) · ρ / (2(1−ρ))` slots.
+//! * **M/D/1** (the `N → ∞` limit of the OQ switch): Pollaczek–Khinchine
+//!   wait `ρ / (2(1−ρ))`.
+//!
+//! The integration suite compares `fifoms-sim` measurements against these
+//! formulas — agreement to a few percent is strong evidence the slot
+//! loop, the delay accounting and the OQ baseline are all correct. The
+//! module also centralises the traffic models' analytic forms (truncated
+//! binomial fanout means, effective-load conversions) so tests don't
+//! re-derive them ad hoc.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fanout;
+pub mod karol;
+pub mod mdone;

@@ -1,0 +1,63 @@
+//! M/D/1 queue formulas (the `N → ∞` limit of the output-queued switch).
+
+/// Pollaczek–Khinchine mean wait of an M/D/1 queue with utilisation
+/// `rho` (service time = 1 slot): `W = ρ / (2(1−ρ))`.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rho < 1`.
+pub fn mean_wait(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "rho {rho} outside [0,1)");
+    rho / (2.0 * (1.0 - rho))
+}
+
+/// Mean sojourn (wait + the unit service slot).
+pub fn mean_sojourn(rho: f64) -> f64 {
+    mean_wait(rho) + 1.0
+}
+
+/// Mean number in queue (excluding the cell in service), by Little's law.
+pub fn mean_queue(rho: f64) -> f64 {
+    rho * mean_wait(rho)
+}
+
+/// The M/D/1 wait upper-bounds the finite-`N` output-queued switch wait
+/// for every `N` (Karol's `(N−1)/N` factor is < 1), which makes it a
+/// handy conservative bound for sizing buffers.
+pub fn bounds_oq_wait(n: usize, rho: f64) -> bool {
+    crate::karol::oq_mean_wait(n, rho) <= mean_wait(rho) + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(mean_wait(0.0), 0.0);
+        assert!((mean_wait(0.5) - 0.5).abs() < 1e-12);
+        assert!((mean_wait(0.8) - 2.0).abs() < 1e-12);
+        assert!((mean_sojourn(0.8) - 3.0).abs() < 1e-12);
+        assert!((mean_queue(0.8) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rho_out_of_range() {
+        mean_wait(-0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mdone_dominates_finite_oq(n in 1usize..512, rho in 0.0f64..0.999) {
+            prop_assert!(bounds_oq_wait(n, rho));
+        }
+
+        #[test]
+        fn prop_wait_monotone_in_rho(a in 0.0f64..0.99, b in 0.0f64..0.99) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(mean_wait(lo) <= mean_wait(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cost of FIFOMS design alternatives (the DESIGN.md ablation index).
+//!
+//! * tie-break rule: random (paper) vs lowest-input vs rotating;
+//! * iteration cap: converge vs 1, 2, 4 rounds;
+//! * single-request ablation (no one-shot multicast);
+//! * fanout splitting on/off (mcFIFO pair).
+//!
+//! The *quality* impact of these choices is reported by
+//! `fifoms-repro ablation`; these benches measure their per-slot cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fifoms_bench::{advance, preloaded_switch};
+use fifoms_core::TieBreak;
+use fifoms_sim::{SwitchKind, TrafficKind};
+use fifoms_types::Slot;
+
+const N: usize = 16;
+const WARM: u64 = 2_000;
+const MEASURE: u64 = 1_000;
+const TK: TrafficKind = TrafficKind::Bernoulli { p: 0.5, b: 0.25 };
+
+fn bench_variants(c: &mut Criterion, group: &str, variants: &[(&str, SwitchKind)]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(MEASURE));
+    for (label, sk) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(label), sk, |b, &sk| {
+            b.iter_batched(
+                || preloaded_switch(sk, TK, N, WARM, 11),
+                |(mut sw, mut tr, mut id)| {
+                    advance(sw.as_mut(), tr.as_mut(), Slot(WARM), MEASURE, &mut id)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn ablate_tiebreak(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_tiebreak",
+        &[
+            ("random", SwitchKind::Fifoms),
+            (
+                "lowest-input",
+                SwitchKind::FifomsTieBreak(TieBreak::LowestInput),
+            ),
+            ("rotating", SwitchKind::FifomsTieBreak(TieBreak::Rotating)),
+        ],
+    );
+}
+
+fn ablate_iterations(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_iterations",
+        &[
+            ("converge", SwitchKind::Fifoms),
+            ("rounds=1", SwitchKind::FifomsMaxRounds(1)),
+            ("rounds=2", SwitchKind::FifomsMaxRounds(2)),
+            ("rounds=4", SwitchKind::FifomsMaxRounds(4)),
+        ],
+    );
+}
+
+fn ablate_single_request(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_single_request",
+        &[
+            ("multicast-requests", SwitchKind::Fifoms),
+            ("single-request", SwitchKind::FifomsSingleRequest),
+        ],
+    );
+}
+
+fn ablate_oq_speedup(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_oq_speedup",
+        &[
+            ("S=1", SwitchKind::OqSpeedup(1)),
+            ("S=4", SwitchKind::OqSpeedup(4)),
+            ("S=N", SwitchKind::OqSpeedup(N)),
+            ("direct", SwitchKind::OqFifo),
+        ],
+    );
+}
+
+fn ablate_restricted_fanout(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_restricted_fanout",
+        &[
+            ("unrestricted", SwitchKind::Fifoms),
+            ("cap=1", SwitchKind::FifomsFanoutCap(1)),
+            ("cap=4", SwitchKind::FifomsFanoutCap(4)),
+        ],
+    );
+}
+
+fn ablate_fanout_splitting(c: &mut Criterion) {
+    bench_variants(
+        c,
+        "ablate_fanout_splitting",
+        &[
+            ("splitting", SwitchKind::McFifo { splitting: true }),
+            ("no-splitting", SwitchKind::McFifo { splitting: false }),
+        ],
+    );
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = fast();
+    targets = ablate_tiebreak,
+    ablate_iterations,
+    ablate_single_request,
+    ablate_fanout_splitting,
+    ablate_oq_speedup,
+    ablate_restricted_fanout
+}
+criterion_main!(ablations);

@@ -1,0 +1,111 @@
+//! One benchmark per paper figure: each runs a scaled-down version of the
+//! figure's sweep (same workloads, same scheduler set, fewer slots and
+//! points) so `cargo bench` both times the pipeline and keeps every
+//! figure's code path exercised. Full-size regeneration is
+//! `fifoms-repro <figN>`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fifoms_sim::{RunConfig, Sweep, SwitchKind, TrafficKind};
+
+const N: usize = 16;
+const SLOTS: u64 = 4_000;
+
+fn mini_sweep(points: Vec<(f64, TrafficKind)>, switches: Vec<SwitchKind>) -> Sweep {
+    Sweep {
+        n: N,
+        switches,
+        points,
+        run: RunConfig::quick(SLOTS),
+        seed: 7,
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_bernoulli_b02");
+    g.sample_size(10);
+    let sweep = mini_sweep(
+        [0.3, 0.6, 0.9]
+            .iter()
+            .map(|&l| (l, TrafficKind::bernoulli_at_load(l, 0.2, N)))
+            .collect(),
+        SwitchKind::paper_set(),
+    );
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let rows = sweep.run_serial();
+            assert_eq!(rows.len(), 12);
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_convergence_rounds");
+    g.sample_size(10);
+    let sweep = mini_sweep(
+        [0.3, 0.6, 0.9]
+            .iter()
+            .map(|&l| (l, TrafficKind::bernoulli_at_load(l, 0.2, N)))
+            .collect(),
+        vec![SwitchKind::Fifoms, SwitchKind::Islip(None)],
+    );
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let rows = sweep.run_serial();
+            // the figure's metric must be populated
+            assert!(rows.iter().all(|r| r.result.mean_rounds >= 0.0));
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_uniform_fanout");
+    g.sample_size(10);
+    for max_fanout in [1usize, 8] {
+        let sweep = mini_sweep(
+            [0.3, 0.6, 0.9]
+                .iter()
+                .map(|&l| (l, TrafficKind::uniform_at_load(l, max_fanout)))
+                .collect(),
+            SwitchKind::paper_set(),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sweep", format!("maxFanout={max_fanout}")),
+            &sweep,
+            |b, sweep| b.iter(|| sweep.run_serial()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_burst_eon16_b05");
+    g.sample_size(10);
+    let sweep = mini_sweep(
+        [0.2, 0.4, 0.6]
+            .iter()
+            .map(|&l| (l, TrafficKind::burst_at_load(l, 16.0, 0.5, N)))
+            .collect(),
+        SwitchKind::paper_set(),
+    );
+    g.bench_function("sweep", |b| b.iter(|| sweep.run_serial()));
+    g.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = fast();
+    targets = bench_fig4, bench_fig5, bench_fig6_fig7, bench_fig8
+}
+criterion_main!(figures);

@@ -1,0 +1,129 @@
+//! Hot data-structure microbenches: destination bitsets, the data-cell
+//! slab, VOQ preprocessing (Table 1) and traffic generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fifoms_core::{DataCellSlab, InputPort};
+use fifoms_traffic::{BernoulliMulticast, BurstTraffic, TrafficModel, UniformFanout};
+use fifoms_types::{Packet, PacketId, PortId, PortSet, Slot};
+
+fn bench_portset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("portset");
+    for n in [16usize, 64, 256] {
+        let a: PortSet = (0..n).step_by(2).collect();
+        let b: PortSet = (0..n).step_by(3).collect();
+        g.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| a.union(&b))
+        });
+        g.bench_with_input(BenchmarkId::new("iterate", n), &n, |bench, _| {
+            bench.iter(|| a.iter().map(|p| p.index()).sum::<usize>())
+        });
+        g.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut s = PortSet::new();
+                for i in 0..n {
+                    s.insert(PortId::new(i));
+                }
+                for i in 0..n {
+                    s.remove(PortId::new(i));
+                }
+                s.is_empty()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("data_cell_slab");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("alloc_serve_cycle_1k", |b| {
+        b.iter(|| {
+            let mut slab = DataCellSlab::new();
+            let mut keys = Vec::with_capacity(1_000);
+            for i in 0..1_000u64 {
+                keys.push(slab.alloc(PacketId(i), Slot(i), 3));
+            }
+            for k in keys {
+                while !slab.serve_destination(k) {}
+            }
+            slab.is_empty()
+        })
+    });
+    g.finish();
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    // Table 1 cost: admitting a fanout-k packet into the VOQ structure.
+    let mut g = c.benchmark_group("preprocess_table1");
+    g.throughput(Throughput::Elements(1_000));
+    for fanout in [1usize, 4, 16] {
+        let dests: PortSet = (0..fanout).collect();
+        g.bench_with_input(BenchmarkId::new("admit_1k", fanout), &dests, |b, dests| {
+            b.iter(|| {
+                let mut port = InputPort::new(16);
+                for i in 0..1_000u64 {
+                    port.admit(&Packet::new(
+                        PacketId(i),
+                        Slot(i),
+                        PortId(0),
+                        dests.clone(),
+                    ));
+                }
+                port.queued_copies()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_generation");
+    const SLOTS: u64 = 1_000;
+    g.throughput(Throughput::Elements(SLOTS));
+    let run = |model: &mut dyn TrafficModel| {
+        let mut buf = Vec::new();
+        let mut packets = 0usize;
+        for t in 0..SLOTS {
+            model.next_slot(Slot(t), &mut buf);
+            packets += buf.iter().flatten().count();
+        }
+        packets
+    };
+    g.bench_function("bernoulli_16", |b| {
+        b.iter_batched(
+            || BernoulliMulticast::new(16, 0.5, 0.2, 1).unwrap(),
+            |mut m| run(&mut m),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("uniform_fanout8_16", |b| {
+        b.iter_batched(
+            || UniformFanout::new(16, 0.5, 8, 1).unwrap(),
+            |mut m| run(&mut m),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("burst_16", |b| {
+        b.iter_batched(
+            || BurstTraffic::new(16, 64.0, 16.0, 0.5, 1).unwrap(),
+            |mut m| run(&mut m),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = primitives;
+    config = fast();
+    targets = bench_portset, bench_slab, bench_preprocess, bench_traffic
+}
+criterion_main!(primitives);

@@ -1,0 +1,62 @@
+//! Per-slot scheduling cost of every switch at a steady operating point.
+//!
+//! Complements §IV of the paper (hardware cost / time complexity): here we
+//! measure the software cost per simulated slot for each discipline under
+//! the same multicast workload, at 16 and 32 ports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fifoms_bench::{advance, preloaded_switch};
+use fifoms_sim::{SwitchKind, TrafficKind};
+use fifoms_types::Slot;
+
+const WARM: u64 = 2_000;
+const MEASURE: u64 = 1_000;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let schedulers = [
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Wba,
+        SwitchKind::Islip(None),
+        SwitchKind::Islip(Some(1)),
+        SwitchKind::Pim(None),
+        SwitchKind::OqFifo,
+        SwitchKind::McFifo { splitting: true },
+    ];
+    for n in [16usize, 32] {
+        let mut g = c.benchmark_group(format!("slot_cost_{n}x{n}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(MEASURE));
+        let tk = TrafficKind::Bernoulli {
+            p: 0.5,
+            b: 4.0 / n as f64, // average fanout 4 regardless of n
+        };
+        for sk in schedulers {
+            g.bench_with_input(BenchmarkId::new(sk.label(), n), &sk, |b, &sk| {
+                b.iter_batched(
+                    || preloaded_switch(sk, tk, n, WARM, 3),
+                    |(mut sw, mut tr, mut id)| {
+                        advance(sw.as_mut(), tr.as_mut(), Slot(WARM), MEASURE, &mut id)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = schedulers;
+    config = fast();
+    targets = bench_schedulers
+}
+criterion_main!(schedulers);

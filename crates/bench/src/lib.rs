@@ -1,0 +1,110 @@
+//! Shared helpers for the FIFOMS benchmark harness.
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `figures` — regenerates a scaled-down version of each paper figure
+//!   (Figs. 4–8) and measures the wall time of the sweep;
+//! * `schedulers` — per-slot scheduling cost of every switch at a fixed
+//!   operating point;
+//! * `ablations` — cost of FIFOMS design alternatives (tie-break rule,
+//!   round cap, single-request, fanout splitting);
+//! * `primitives` — the hot data structures (PortSet, data-cell slab,
+//!   traffic generation).
+//!
+//! Quality numbers (delay/queue curves) come from `fifoms-repro`;
+//! the benches measure *cost* and keep the figure pipelines exercised
+//! under `cargo bench --workspace`.
+
+use fifoms_fabric::Switch;
+use fifoms_sim::{SwitchKind, TrafficKind};
+use fifoms_traffic::TrafficModel;
+use fifoms_types::{Packet, PacketId, PortId, Slot};
+
+/// Build a switch preloaded to a steady operating point: run `warm_slots`
+/// of the workload through it so queues reach a realistic state.
+pub fn preloaded_switch(
+    sk: SwitchKind,
+    tk: TrafficKind,
+    n: usize,
+    warm_slots: u64,
+    seed: u64,
+) -> (Box<dyn Switch>, Box<dyn TrafficModel>, u64) {
+    let mut sw = sk.build(n, seed);
+    let mut tr = tk.build(n, seed ^ 0x5A5A);
+    let mut arrivals = Vec::new();
+    let mut id = 0u64;
+    for t in 0..warm_slots {
+        let now = Slot(t);
+        tr.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(d) = dests.take() {
+                id += 1;
+                sw.admit(Packet::new(PacketId(id), now, PortId::new(input), d));
+            }
+        }
+        sw.run_slot(now);
+    }
+    (sw, tr, id)
+}
+
+/// Advance a preloaded `(switch, traffic)` pair by `slots`, returning the
+/// number of delivered copies (prevents the optimiser from discarding the
+/// work).
+pub fn advance(
+    sw: &mut dyn Switch,
+    tr: &mut dyn TrafficModel,
+    start: Slot,
+    slots: u64,
+    next_id: &mut u64,
+) -> u64 {
+    let mut arrivals = Vec::new();
+    let mut delivered = 0u64;
+    for k in 0..slots {
+        let now = start + k;
+        tr.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(d) = dests.take() {
+                *next_id += 1;
+                sw.admit(Packet::new(
+                    PacketId(*next_id),
+                    now,
+                    PortId::new(input),
+                    d,
+                ));
+            }
+        }
+        delivered += sw.run_slot(now).departures.len() as u64;
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preload_reaches_steady_state() {
+        let (sw, _tr, admitted) = preloaded_switch(
+            SwitchKind::Fifoms,
+            TrafficKind::Bernoulli { p: 0.3, b: 0.25 },
+            8,
+            500,
+            1,
+        );
+        assert!(admitted > 0);
+        assert_eq!(sw.ports(), 8);
+    }
+
+    #[test]
+    fn advance_delivers() {
+        let (mut sw, mut tr, mut id) = preloaded_switch(
+            SwitchKind::Fifoms,
+            TrafficKind::Bernoulli { p: 0.3, b: 0.25 },
+            8,
+            500,
+            2,
+        );
+        let delivered = advance(sw.as_mut(), tr.as_mut(), Slot(500), 200, &mut id);
+        assert!(delivered > 0);
+    }
+}

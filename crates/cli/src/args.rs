@@ -1,0 +1,151 @@
+//! Minimal dependency-free argument parsing.
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Switch size `N`.
+    pub n: usize,
+    /// Slots per simulation run.
+    pub slots: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Load points per sweep.
+    pub points: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Directory for CSV output, if requested.
+    pub csv_dir: Option<String>,
+    /// Render ASCII charts after the tables.
+    pub plot: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            n: 16,
+            slots: 100_000,
+            seed: 1,
+            points: 10,
+            threads: 4,
+            csv_dir: None,
+            plot: false,
+        }
+    }
+}
+
+const COMMANDS: &[&str] = &[
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "all",
+    "ablation",
+    "throughput",
+    "scaling",
+    "fairness",
+    "oq-speedup",
+    "mixed",
+    "record",
+    "replay",
+];
+
+/// Parse `argv` into `(command, options)`.
+pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
+    let mut opts = Options::default();
+    let mut command = None;
+    let mut quick = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--plot" => opts.plot = true,
+            "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?;
+                match arg.as_str() {
+                    "--n" => opts.n = parse_num(arg, value)?,
+                    "--slots" => opts.slots = parse_num(arg, value)?,
+                    "--seed" => opts.seed = parse_num(arg, value)?,
+                    "--points" => opts.points = parse_num(arg, value)?,
+                    "--threads" => opts.threads = parse_num(arg, value)?,
+                    "--csv-dir" => opts.csv_dir = Some(value.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            cmd if COMMANDS.contains(&cmd) => {
+                if command.replace(cmd.to_string()).is_some() {
+                    return Err(format!("duplicate command {cmd}"));
+                }
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if quick {
+        opts.slots = (opts.slots / 10).max(1_000);
+    }
+    if opts.n == 0 || opts.points == 0 || opts.slots < 10 {
+        return Err("n, points and slots must be positive (slots >= 10)".into());
+    }
+    let command = command.ok_or("missing command")?;
+    Ok((command, opts))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value {value} for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let (cmd, o) = parse(&argv("fig4")).unwrap();
+        assert_eq!(cmd, "fig4");
+        assert_eq!(o.n, 16);
+        assert_eq!(o.slots, 100_000);
+        assert_eq!(o.points, 10);
+        assert!(o.csv_dir.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let (cmd, o) =
+            parse(&argv("fig8 --n 8 --slots 5000 --seed 9 --points 5 --threads 2 --csv-dir /tmp/x"))
+                .unwrap();
+        assert_eq!(cmd, "fig8");
+        assert_eq!(o.n, 8);
+        assert_eq!(o.slots, 5000);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.points, 5);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.csv_dir.as_deref(), Some("/tmp/x"));
+    }
+
+    #[test]
+    fn quick_divides_slots() {
+        let (_, o) = parse(&argv("fig4 --slots 50000 --quick")).unwrap();
+        assert_eq!(o.slots, 5_000);
+        // floor at 1000
+        let (_, o) = parse(&argv("fig4 --slots 100 --quick")).unwrap();
+        assert_eq!(o.slots, 1_000);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("fig9")).is_err());
+        assert!(parse(&argv("fig4 fig5")).is_err());
+        assert!(parse(&argv("fig4 --n")).is_err());
+        assert!(parse(&argv("fig4 --n zero")).is_err());
+        assert!(parse(&argv("fig4 --n 0")).is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! One function per paper figure, plus extension experiments.
+
+use fifoms_sim::report::{figure_table, sweep_csv, Metric};
+use fifoms_sim::{RunConfig, Sweep, SweepRow, SwitchKind, TrafficKind};
+
+use crate::args::Options;
+
+/// Evenly spaced loads in `[lo, hi]` with `points` points.
+fn loads(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points == 1 {
+        return vec![hi];
+    }
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+fn run_config(opts: &Options) -> RunConfig {
+    RunConfig::paper(opts.slots)
+}
+
+fn execute(opts: &Options, sweep: &Sweep) -> Vec<SweepRow> {
+    sweep.run_parallel(opts.threads)
+}
+
+fn print_figure(
+    title: &str,
+    rows: &[SweepRow],
+    switches: &[SwitchKind],
+    metrics: &[Metric],
+    opts: &Options,
+    csv_name: &str,
+) {
+    println!("\n=== {title} ===");
+    for metric in metrics {
+        println!("\n--- {} ---", metric.title());
+        print!("{}", figure_table(rows, switches, *metric).render());
+        if opts.plot {
+            let chart = fifoms_sim::plot::ascii_plot(
+                rows,
+                switches,
+                *metric,
+                &fifoms_sim::plot::PlotOptions::default(),
+            );
+            if !chart.is_empty() {
+                println!("\n{chart}");
+            }
+        }
+    }
+    println!("(* = operating point beyond the scheduler's stability region)");
+    if let Some(dir) = &opts.csv_dir {
+        let path = format!("{dir}/{csv_name}.csv");
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, sweep_csv(rows)))
+        {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    }
+}
+
+const FOUR_PANELS: &[Metric] = &[
+    Metric::InputDelay,
+    Metric::OutputDelay,
+    Metric::AvgQueue,
+    Metric::MaxQueue,
+];
+
+/// Fig. 4: 16×16, Bernoulli b=0.2, loads 0.1..1.0.
+pub fn fig4(opts: &Options) {
+    let b = 0.2;
+    let sweep = Sweep {
+        n: opts.n,
+        switches: SwitchKind::paper_set(),
+        points: loads(0.1, 1.0, opts.points)
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!("Fig. 4: {0}x{0} switch, Bernoulli traffic, b = {b}", opts.n),
+        &rows,
+        &sweep.switches,
+        FOUR_PANELS,
+        opts,
+        "fig4",
+    );
+}
+
+/// Fig. 5: convergence rounds of FIFOMS vs iSLIP under the Fig. 4 traffic.
+pub fn fig5(opts: &Options) {
+    let b = 0.2;
+    let switches = vec![SwitchKind::Fifoms, SwitchKind::Islip(None)];
+    let sweep = Sweep {
+        n: opts.n,
+        switches: switches.clone(),
+        points: loads(0.1, 1.0, opts.points)
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "Fig. 5: average convergence rounds, {0}x{0} switch, Bernoulli b = {b}",
+            opts.n
+        ),
+        &rows,
+        &switches,
+        &[Metric::Rounds],
+        opts,
+        "fig5",
+    );
+}
+
+/// Fig. 6: uniform traffic, maxFanout = 1 (pure unicast).
+pub fn fig6(opts: &Options) {
+    uniform_figure(opts, 1, "Fig. 6", "fig6");
+}
+
+/// Fig. 7: uniform traffic, maxFanout = 8.
+pub fn fig7(opts: &Options) {
+    uniform_figure(opts, 8, "Fig. 7", "fig7");
+}
+
+fn uniform_figure(opts: &Options, max_fanout: usize, title: &str, csv: &str) {
+    let sweep = Sweep {
+        n: opts.n,
+        switches: SwitchKind::paper_set(),
+        points: loads(0.1, 1.0, opts.points)
+            .into_iter()
+            .map(|l| (l, TrafficKind::uniform_at_load(l, max_fanout)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "{title}: {0}x{0} switch, uniform traffic, maxFanout = {max_fanout}",
+            opts.n
+        ),
+        &rows,
+        &sweep.switches,
+        FOUR_PANELS,
+        opts,
+        csv,
+    );
+}
+
+/// Fig. 8: burst traffic, E_on = 16, b = 0.5.
+pub fn fig8(opts: &Options) {
+    let (e_on, b) = (16.0, 0.5);
+    let sweep = Sweep {
+        n: opts.n,
+        switches: SwitchKind::paper_set(),
+        points: loads(0.1, 0.9, opts.points)
+            .into_iter()
+            .map(|l| (l, TrafficKind::burst_at_load(l, e_on, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "Fig. 8: {0}x{0} switch, burst traffic, E_on = {e_on}, b = {b}",
+            opts.n
+        ),
+        &rows,
+        &sweep.switches,
+        FOUR_PANELS,
+        opts,
+        "fig8",
+    );
+}
+
+/// Extension: FIFOMS design-choice ablations under the Fig. 4 workload.
+pub fn ablation(opts: &Options) {
+    use fifoms_core::TieBreak;
+    let b = 0.2;
+    let switches = vec![
+        SwitchKind::Fifoms,
+        SwitchKind::FifomsSingleRequest,
+        SwitchKind::FifomsMaxRounds(1),
+        SwitchKind::FifomsMaxRounds(2),
+        SwitchKind::FifomsTieBreak(TieBreak::LowestInput),
+        SwitchKind::FifomsTieBreak(TieBreak::Rotating),
+        SwitchKind::McFifo { splitting: true },
+        SwitchKind::McFifo { splitting: false },
+        SwitchKind::Wba,
+    ];
+    let sweep = Sweep {
+        n: opts.n,
+        switches: switches.clone(),
+        points: loads(0.2, 0.9, opts.points.min(6))
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "Ablations: {0}x{0} switch, Bernoulli b = {b} (FIFOMS variants and naive baselines)",
+            opts.n
+        ),
+        &rows,
+        &switches,
+        &[Metric::OutputDelay, Metric::Throughput],
+        opts,
+        "ablation",
+    );
+}
+
+/// Extension: mixed unicast/multicast traffic (the introduction's hard
+/// case for single-input-queued schedulers: "especially when the incoming
+/// traffic has mixed multicast and unicast packets").
+pub fn mixed(opts: &Options) {
+    let n = opts.n;
+    let switches = vec![
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Wba,
+        SwitchKind::Islip(None),
+        SwitchKind::OqFifo,
+    ];
+    // Fix the effective load at 0.7 and sweep the multicast fraction: the
+    // mean fanout rises with the fraction, so p falls correspondingly.
+    let load = 0.7;
+    let b = 0.2;
+    let fractions = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+    let points: Vec<(f64, TrafficKind)> = fractions
+        .iter()
+        .map(|&frac| {
+            let tk = TrafficKind::Mixed {
+                p: 0.5, // placeholder, fixed below
+                frac_multicast: frac,
+                b,
+            };
+            // compute p so p * mean_fanout == load, using the model itself
+            let probe = fifoms_traffic::MixedTraffic::new(n, 1.0, frac, b, 0)
+                .expect("probe model");
+            let p = load / probe.mean_fanout();
+            let TrafficKind::Mixed { b, frac_multicast, .. } = tk else {
+                unreachable!()
+            };
+            (frac, TrafficKind::Mixed { p, frac_multicast, b })
+        })
+        .collect();
+    let sweep = Sweep {
+        n,
+        switches: switches.clone(),
+        points,
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    println!(
+        "\n=== Mixed traffic: {n}x{n} switch, effective load {load}, x-axis = multicast fraction ==="
+    );
+    for metric in [Metric::InputDelay, Metric::OutputDelay, Metric::AvgQueue] {
+        println!("\n--- {} (x = multicast fraction) ---", metric.title());
+        print!("{}", figure_table(&rows, &switches, metric).render());
+    }
+    println!("(* = operating point beyond the scheduler's stability region)");
+}
+
+/// Extension: how the comparison scales with switch size `N` at a fixed
+/// effective load.
+pub fn scaling(opts: &Options) {
+    let (load, b_fanout) = (0.7, 4.0); // average fanout 4 at every N
+    let switches = SwitchKind::paper_set();
+    println!("\n=== Scaling: delay vs switch size at load {load}, mean fanout 4 ===");
+    let mut table = fifoms_sim::report::Table::new(
+        std::iter::once("N".to_string())
+            .chain(switches.iter().map(|s| s.label()))
+            .collect::<Vec<_>>(),
+    );
+    for n in [8usize, 16, 32, 64] {
+        let sweep = Sweep {
+            n,
+            switches: switches.clone(),
+            points: vec![(load, TrafficKind::bernoulli_at_load(load, b_fanout / n as f64, n))],
+            run: run_config(opts),
+            seed: opts.seed,
+        };
+        let rows = execute(opts, &sweep);
+        let mut cells = vec![format!("{n}")];
+        for sk in &switches {
+            let r = rows.iter().find(|r| r.switch == *sk).expect("ran");
+            let star = if r.result.is_stable() { "" } else { "*" };
+            cells.push(format!("{:.3}{star}", r.result.delay.mean_output_oriented));
+        }
+        table.push_row(cells);
+    }
+    print!("{}", table.render());
+    println!("(output-oriented delay in slots; * = unstable)");
+}
+
+/// Extension: Jain fairness of per-input service under asymmetric demand.
+pub fn fairness(opts: &Options) {
+    use fifoms_stats::FairnessTracker;
+    use fifoms_types::{Packet, PacketId, PortId, Slot};
+    let n = opts.n;
+    println!("\n=== Fairness: Jain index of per-input delivered copies (uniform multicast, load 0.9) ===");
+    let mut table = fifoms_sim::report::Table::new(vec![
+        "scheduler".to_string(),
+        "jain-index".to_string(),
+        "max/min".to_string(),
+    ]);
+    for sk in [
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Wba,
+        SwitchKind::Islip(None),
+        SwitchKind::TwoDrr,
+        SwitchKind::OqFifo,
+    ] {
+        let mut sw = sk.build(n, opts.seed);
+        let mut tr = TrafficKind::bernoulli_at_load(0.9, 0.2, n).build(n, opts.seed ^ 0xF00D);
+        let mut tracker = FairnessTracker::new(n);
+        let mut arrivals = Vec::new();
+        let mut id = 0u64;
+        for t in 0..opts.slots {
+            let now = Slot(t);
+            tr.next_slot(now, &mut arrivals);
+            for (input, dests) in arrivals.iter_mut().enumerate() {
+                if let Some(d) = dests.take() {
+                    id += 1;
+                    sw.admit(Packet::new(PacketId(id), now, PortId::new(input), d));
+                }
+            }
+            for d in &sw.run_slot(now).departures {
+                if t >= opts.slots / 2 {
+                    tracker.record(d.input.index(), 1);
+                }
+            }
+        }
+        table.push_row(vec![
+            sk.label(),
+            format!("{:.5}", tracker.jain_index()),
+            format!("{:.3}", tracker.max_min_ratio()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(1.0 = perfectly equal service across inputs)");
+}
+
+/// Extension: the §I claim that output queueing needs internal speedup N —
+/// sweep the speedup of the OQ switch and watch throughput/delay degrade.
+pub fn oq_speedup(opts: &Options) {
+    let n = opts.n;
+    let switches: Vec<SwitchKind> = [1usize, 2, 4, 8, n]
+        .iter()
+        .map(|&s| SwitchKind::OqSpeedup(s))
+        .chain([SwitchKind::Fifoms, SwitchKind::OqFifo])
+        .collect();
+    let sweep = Sweep {
+        n,
+        switches: switches.clone(),
+        points: loads(0.3, 0.95, opts.points.min(6))
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, 0.2, n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "OQ speedup requirement: {n}x{n} switch, Bernoulli b = 0.2 (§I: OQ needs S = N)"
+        ),
+        &rows,
+        &switches,
+        &[Metric::OutputDelay, Metric::Throughput],
+        opts,
+        "oq_speedup",
+    );
+}
+
+/// Extension: sustained-throughput comparison at overload.
+pub fn throughput(opts: &Options) {
+    let b = 0.2;
+    let switches = vec![
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Islip(None),
+        SwitchKind::Pim(None),
+        SwitchKind::Wba,
+        SwitchKind::OqFifo,
+        SwitchKind::McFifo { splitting: true },
+        SwitchKind::McFifo { splitting: false },
+    ];
+    let sweep = Sweep {
+        n: opts.n,
+        switches: switches.clone(),
+        points: loads(0.5, 1.2, opts.points.min(8))
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let rows = execute(opts, &sweep);
+    print_figure(
+        &format!(
+            "Throughput: {0}x{0} switch, Bernoulli b = {b}, offered load up to 1.2",
+            opts.n
+        ),
+        &rows,
+        &switches,
+        &[Metric::Throughput],
+        opts,
+        "throughput",
+    );
+}

@@ -1,0 +1,68 @@
+//! `fifoms-repro` — regenerate every figure of the paper.
+//!
+//! ```text
+//! fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput> [options]
+//!
+//! Options:
+//!   --n <N>          switch size                      [default: 16]
+//!   --slots <S>      slots per run                    [default: 100000]
+//!   --seed <K>       base RNG seed                    [default: 1]
+//!   --points <P>     load points per sweep            [default: 10]
+//!   --threads <T>    worker threads                   [default: 4]
+//!   --csv-dir <DIR>  also write per-figure CSV files
+//!   --quick          1/10th slots (smoke runs)
+//! ```
+//!
+//! Each figure command prints the paper's four statistics (input-oriented
+//! delay, output-oriented delay, average queue size, maximum queue size)
+//! as load-by-scheduler tables; values measured beyond a scheduler's
+//! stability region are suffixed `*`. `fig5` prints convergence rounds for
+//! FIFOMS and iSLIP.
+
+mod args;
+mod figures;
+mod traces;
+
+use std::process::ExitCode;
+
+use args::Options;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, opts) = match args::parse(&argv) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick]");
+            return ExitCode::FAILURE;
+        }
+    };
+    run(&command, &opts);
+    ExitCode::SUCCESS
+}
+
+fn run(command: &str, opts: &Options) {
+    match command {
+        "fig4" => figures::fig4(opts),
+        "fig5" => figures::fig5(opts),
+        "fig6" => figures::fig6(opts),
+        "fig7" => figures::fig7(opts),
+        "fig8" => figures::fig8(opts),
+        "ablation" => figures::ablation(opts),
+        "throughput" => figures::throughput(opts),
+        "scaling" => figures::scaling(opts),
+        "fairness" => figures::fairness(opts),
+        "oq-speedup" => figures::oq_speedup(opts),
+        "mixed" => figures::mixed(opts),
+        "record" => traces::record(opts),
+        "replay" => traces::replay(opts),
+        "all" => {
+            figures::fig4(opts);
+            figures::fig5(opts);
+            figures::fig6(opts);
+            figures::fig7(opts);
+            figures::fig8(opts);
+        }
+        _ => unreachable!("parse validated the command"),
+    }
+}

@@ -1,0 +1,116 @@
+//! `record` / `replay` subcommands: capture a workload to a trace file
+//! and compare schedulers on identical recorded arrivals.
+
+use fifoms_sim::report::Table;
+use fifoms_sim::SwitchKind;
+use fifoms_stats::DelayStats;
+use fifoms_traffic::{Trace, TraceSource, TrafficModel};
+use fifoms_types::{Packet, PacketId, PortId, Slot};
+
+use crate::args::Options;
+
+/// `fifoms-repro record --csv-dir DIR`: record the paper's Fig. 4
+/// workload (Bernoulli b = 0.2 at 70% load) for `--slots` slots into
+/// `DIR/trace.txt`. `--seed` selects the stream.
+pub fn record(opts: &Options) {
+    let Some(dir) = &opts.csv_dir else {
+        eprintln!("record requires --csv-dir <DIR> (the trace is written there)");
+        return;
+    };
+    let n = opts.n;
+    let p = fifoms_traffic::BernoulliMulticast::p_for_load(0.7, n, 0.2);
+    let mut model =
+        fifoms_traffic::BernoulliMulticast::new(n, p, 0.2, opts.seed).expect("valid workload");
+    let trace = Trace::record(&mut model, opts.slots);
+    let path = format!("{dir}/trace.txt");
+    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, trace.to_text())) {
+        Ok(()) => println!(
+            "recorded {} packets over {} slots ({}x{n}, load 0.70) to {path}",
+            trace.packets(),
+            trace.len_slots(),
+            n
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// `fifoms-repro replay --csv-dir DIR`: load `DIR/trace.txt` and run the
+/// paper's four schedulers on the identical arrival sequence, reporting
+/// variance-free deltas.
+pub fn replay(opts: &Options) {
+    let Some(dir) = &opts.csv_dir else {
+        eprintln!("replay requires --csv-dir <DIR> (containing trace.txt from `record`)");
+        return;
+    };
+    let path = format!("{dir}/trace.txt");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e} (run `record` first)");
+            return;
+        }
+    };
+    let trace = match Trace::from_text(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path} is not a valid trace: {e}");
+            return;
+        }
+    };
+    println!(
+        "replaying {} packets / {} slots from {path}\n",
+        trace.packets(),
+        trace.len_slots()
+    );
+    let mut table = Table::new(vec![
+        "scheduler",
+        "in-delay",
+        "out-delay",
+        "copies",
+        "drain-slot",
+    ]);
+    for sk in SwitchKind::paper_set() {
+        let (delay, drained) = replay_one(&trace, sk, opts.seed);
+        table.push_row(vec![
+            sk.label(),
+            format!("{:.3}", delay.mean_input_oriented()),
+            format!("{:.3}", delay.mean_output_oriented()),
+            format!("{}", delay.delivered_copies()),
+            format!("{drained}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(identical arrivals for every scheduler: deltas are pure scheduling)");
+}
+
+fn replay_one(trace: &Trace, sk: SwitchKind, seed: u64) -> (DelayStats, u64) {
+    let mut sw = sk.build(trace.ports(), seed);
+    let mut src = TraceSource::new(trace.clone());
+    let mut arrivals = Vec::new();
+    let mut delay = DelayStats::new();
+    let mut id = 0u64;
+    let mut t = 0u64;
+    loop {
+        let now = Slot(t);
+        src.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(d) = dests.take() {
+                id += 1;
+                sw.admit(Packet::new(PacketId(id), now, PortId::new(input), d));
+            }
+        }
+        for d in &sw.run_slot(now).departures {
+            delay.record_copy(d.delay(now), d.last_copy);
+        }
+        t += 1;
+        if t >= trace.len_slots() && sw.backlog().is_empty() {
+            break;
+        }
+        assert!(
+            t < trace.len_slots() + 10_000_000,
+            "{} failed to drain the trace",
+            sw.name()
+        );
+    }
+    (delay, t)
+}

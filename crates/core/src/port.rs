@@ -1,0 +1,207 @@
+//! One input port: data-cell buffer plus `N` virtual output queues, with
+//! the packet preprocessing of the paper's Table 1.
+
+use fifoms_types::{Packet, PortId};
+
+use crate::cell::{AddressCell, DataCellKey};
+use crate::slab::DataCellSlab;
+use crate::voq::VoqSet;
+
+/// The buffering state of one input port of the multicast VOQ switch.
+///
+/// Combines the [`DataCellSlab`] (payloads, stored once) with the
+/// [`VoqSet`] (address cells, one queue per output). [`InputPort::admit`]
+/// is the preprocessing algorithm of Table 1:
+///
+/// ```text
+/// Input: a new packet.
+/// Output: data cell and address cells of the packet.
+/// create a new data cell;
+/// dataCell.fanoutCounter = fanout of the packet;
+/// for each destination output port of the packet {
+///     create a new address cell;
+///     addressCell.timeStamp = current time slot;
+///     addressCell.pDataCell = pointer to the data cell;
+///     put the address cell at the end of the virtual output queue
+///         corresponding to the output port;
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct InputPort {
+    slab: DataCellSlab,
+    voqs: VoqSet,
+}
+
+impl InputPort {
+    /// An empty input port of an `n×n` switch.
+    pub fn new(n: usize) -> InputPort {
+        InputPort {
+            slab: DataCellSlab::new(),
+            voqs: VoqSet::new(n),
+        }
+    }
+
+    /// Preprocess an arriving packet (Table 1): allocate its data cell and
+    /// append one address cell per destination. Returns the data cell key.
+    pub fn admit(&mut self, packet: &Packet) -> DataCellKey {
+        let key = self
+            .slab
+            .alloc(packet.id, packet.arrival, packet.fanout() as u32);
+        for dest in &packet.dests {
+            self.voqs.queue_mut(dest).push_back(AddressCell {
+                time_stamp: packet.arrival,
+                data: key,
+            });
+        }
+        key
+    }
+
+    /// The data-cell buffer.
+    pub fn slab(&self) -> &DataCellSlab {
+        &self.slab
+    }
+
+    /// Mutable data-cell buffer (used by the switch's post-transmission
+    /// processing).
+    pub fn slab_mut(&mut self) -> &mut DataCellSlab {
+        &mut self.slab
+    }
+
+    /// The virtual output queues.
+    pub fn voqs(&self) -> &VoqSet {
+        &self.voqs
+    }
+
+    /// Mutable virtual output queues.
+    pub fn voqs_mut(&mut self) -> &mut VoqSet {
+        &mut self.voqs
+    }
+
+    /// Unsent packets held (the paper's queue-size metric for this port).
+    pub fn held_packets(&self) -> usize {
+        self.slab.live()
+    }
+
+    /// Undelivered copies queued at this port.
+    pub fn queued_copies(&self) -> usize {
+        self.voqs.total_cells()
+    }
+
+    /// Whether this port holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slab.is_empty() && self.voqs.is_empty()
+    }
+
+    /// Structural invariant: the sum of fanout counters of live data cells
+    /// equals the number of queued address cells, and every queued address
+    /// cell points at a live data cell. Used by tests and debug builds.
+    pub fn check_invariants(&self) {
+        let counter_sum: usize = self
+            .slab
+            .iter_live()
+            .map(|(_, c)| c.fanout_counter as usize)
+            .sum();
+        assert_eq!(
+            counter_sum,
+            self.voqs.total_cells(),
+            "fanout counters disagree with queued address cells"
+        );
+        for o in 0..self.voqs.outputs() {
+            for cell in self.voqs.queue(PortId::new(o)).iter() {
+                // get() panics on stale keys
+                let data = self.slab.get(cell.data);
+                assert_eq!(
+                    data.arrival, cell.time_stamp,
+                    "address cell stamp disagrees with data cell arrival"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::{PacketId, PortSet, Slot};
+
+    fn packet(id: u64, arrival: u64, dests: &[usize]) -> Packet {
+        Packet::new(
+            PacketId(id),
+            Slot(arrival),
+            PortId(0),
+            dests.iter().copied().collect::<PortSet>(),
+        )
+    }
+
+    #[test]
+    fn admit_creates_one_data_cell_and_fanout_address_cells() {
+        let mut port = InputPort::new(4);
+        let key = port.admit(&packet(1, 5, &[0, 2, 3]));
+        assert_eq!(port.held_packets(), 1);
+        assert_eq!(port.queued_copies(), 3);
+        let data = port.slab().get(key);
+        assert_eq!(data.fanout_counter, 3);
+        // each destination queue got exactly one cell pointing at the key
+        for o in [0usize, 2, 3] {
+            let hol = port.voqs().queue(PortId::new(o)).hol().unwrap();
+            assert_eq!(hol.data, key);
+            assert_eq!(hol.time_stamp, Slot(5));
+        }
+        assert!(port.voqs().queue(PortId(1)).is_empty());
+        port.check_invariants();
+    }
+
+    #[test]
+    fn multiple_packets_queue_in_arrival_order() {
+        let mut port = InputPort::new(4);
+        port.admit(&packet(1, 1, &[0, 1]));
+        port.admit(&packet(2, 3, &[1]));
+        port.admit(&packet(3, 4, &[1, 2]));
+        assert_eq!(port.held_packets(), 3);
+        assert_eq!(port.queued_copies(), 5);
+        let q1: Vec<u64> = port
+            .voqs()
+            .queue(PortId(1))
+            .iter()
+            .map(|c| c.time_stamp.index())
+            .collect();
+        assert_eq!(q1, vec![1, 3, 4]);
+        port.check_invariants();
+    }
+
+    #[test]
+    fn paper_figure_2_example() {
+        // Fig. 2: input port 0 holds packets arrived at slots 1, 3, 4, 7:
+        //   slot 1: fanout 3 → outputs {0,1,2}
+        //   slot 3: outputs {2,3}
+        //   slot 4: outputs {0,3}   (from the figure's queues)
+        //   slot 7: unicast → output 1
+        let mut port = InputPort::new(4);
+        port.admit(&packet(1, 1, &[0, 1, 2]));
+        port.admit(&packet(2, 3, &[2, 3]));
+        port.admit(&packet(3, 4, &[0, 3]));
+        port.admit(&packet(4, 7, &[1]));
+        assert_eq!(port.held_packets(), 4);
+        let stamps = |o: u16| -> Vec<u64> {
+            port.voqs()
+                .queue(PortId(o))
+                .iter()
+                .map(|c| c.time_stamp.index())
+                .collect()
+        };
+        assert_eq!(stamps(0), vec![1, 4]);
+        assert_eq!(stamps(1), vec![1, 7]);
+        assert_eq!(stamps(2), vec![1, 3]);
+        assert_eq!(stamps(3), vec![3, 4]);
+        port.check_invariants();
+    }
+
+    #[test]
+    fn empty_port_invariants() {
+        let port = InputPort::new(8);
+        assert!(port.is_empty());
+        assert_eq!(port.held_packets(), 0);
+        assert_eq!(port.queued_copies(), 0);
+        port.check_invariants();
+    }
+}

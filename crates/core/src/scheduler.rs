@@ -1,0 +1,590 @@
+//! The iterative FIFOMS matching algorithm (paper §III, Table 2).
+
+use fifoms_fabric::CrossbarSchedule;
+use fifoms_types::{PortId, PortSet, Slot};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::port::InputPort;
+
+/// How an output breaks ties between requests with equal (smallest) time
+/// stamps.
+///
+/// The paper specifies *random* selection; the alternatives exist as
+/// ablation targets for the tie-break design decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TieBreak {
+    /// Uniformly random among tied requests (the paper's rule).
+    #[default]
+    Random,
+    /// Deterministically the lowest input index.
+    LowestInput,
+    /// Round-robin: the first tied input at or after a rotating pointer
+    /// that advances each slot.
+    Rotating,
+}
+
+/// Scheduler options.
+#[derive(Clone, Copy, Debug)]
+pub struct FifomsConfig {
+    /// Output tie-break rule.
+    pub tie_break: TieBreak,
+    /// Cap on iterative rounds per slot; `None` iterates to convergence
+    /// (at most `N` rounds — each productive round reserves at least one
+    /// output).
+    pub max_rounds: Option<u32>,
+    /// Ablation: when `true`, a free input requests only *one* output (the
+    /// lowest-indexed free destination of its oldest HOL cell) instead of
+    /// all destinations sharing the smallest stamp. This disables the
+    /// one-shot multicast delivery that FIFOMS gets from the crossbar and
+    /// degenerates the algorithm to unicast-style matching.
+    pub single_request: bool,
+    /// Ablation modelling the restricted-fanout multicast scheduler of the
+    /// paper's reference \[15\] (Smiljanic, HPSR '02): cap the number of
+    /// outputs one input may be granted per slot. `None` (the paper's
+    /// FIFOMS) uses the crossbar's full multicast capability; small caps
+    /// force extra fanout splitting and show why the restriction "is not
+    /// able to fully utilize the multicast capability" (§I).
+    pub max_grant_fanout: Option<usize>,
+}
+
+impl Default for FifomsConfig {
+    fn default() -> FifomsConfig {
+        FifomsConfig {
+            tie_break: TieBreak::Random,
+            max_rounds: None,
+            single_request: false,
+            max_grant_fanout: None,
+        }
+    }
+}
+
+/// Result of scheduling one slot.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// The legal crossbar setting to apply.
+    pub schedule: CrossbarSchedule,
+    /// Rounds in which at least one new pair matched (Fig. 5 metric).
+    pub rounds: u32,
+    /// `grants[i]` = outputs granted to input `i` this slot. All granted
+    /// address cells of an input share one time stamp and hence one data
+    /// cell (§III-B: no accept step needed).
+    pub grants: Vec<PortSet>,
+}
+
+/// The FIFOMS matching engine.
+///
+/// Stateless between slots except for the rotating tie-break pointer; the
+/// queue state lives in [`InputPort`]s and randomness is supplied by the
+/// caller, which keeps the scheduler deterministic under a seeded RNG.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_core::{FifomsScheduler, InputPort};
+/// use fifoms_types::{Packet, PacketId, PortId, Slot};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// // a 4x4 switch: four input ports, each with four VOQs
+/// let mut ports: Vec<InputPort> = (0..4).map(|_| InputPort::new(4)).collect();
+/// // input 0: a fanout-3 multicast arrived at slot 1
+/// ports[0].admit(&Packet::new(
+///     PacketId(1), Slot(1), PortId(0),
+///     [0usize, 1, 3].into_iter().collect(),
+/// ));
+/// let out = FifomsScheduler::paper().schedule(&ports, &mut SmallRng::seed_from_u64(7));
+/// // all three destinations granted in a single round
+/// assert_eq!(out.rounds, 1);
+/// assert_eq!(out.grants[0].len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifomsScheduler {
+    config: FifomsConfig,
+    rotate: usize,
+}
+
+impl FifomsScheduler {
+    /// Scheduler with the given options.
+    pub fn new(config: FifomsConfig) -> FifomsScheduler {
+        FifomsScheduler { config, rotate: 0 }
+    }
+
+    /// Scheduler with the paper's defaults.
+    pub fn paper() -> FifomsScheduler {
+        FifomsScheduler::new(FifomsConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> FifomsConfig {
+        self.config
+    }
+
+    /// Compute the matching for one slot over the current queue state.
+    ///
+    /// Implements Table 2's do-while loop: request step (each free input
+    /// requests with its smallest-stamp HOL address cells whose outputs
+    /// are free), grant step (each free output grants the smallest stamp,
+    /// ties broken per [`TieBreak`]), iterating until no new pair matches.
+    pub fn schedule(&mut self, ports: &[InputPort], rng: &mut SmallRng) -> ScheduleOutcome {
+        let n = ports.len();
+        debug_assert!(
+            ports.iter().all(|p| p.voqs().outputs() == n),
+            "square switch required: every input port must have N = {n} VOQs"
+        );
+        let mut input_free = vec![true; n];
+        let mut output_free = vec![true; n];
+        let mut grants = vec![PortSet::new(); n];
+        let mut rounds = 0u32;
+        // Reused request buffers: per output, the requesting (stamp, input)s.
+        let mut requests: Vec<Vec<(Slot, usize)>> = vec![Vec::new(); n];
+
+        loop {
+            if let Some(cap) = self.config.max_rounds {
+                if rounds >= cap {
+                    break;
+                }
+            }
+            // ---- request step ----
+            let mut any_request = false;
+            for req in &mut requests {
+                req.clear();
+            }
+            for (i, port) in ports.iter().enumerate() {
+                if !input_free[i] {
+                    // The input already sent grants this slot; its other
+                    // same-stamp HOL cells lost their outputs' arbitration
+                    // in earlier rounds and may not request again (§III-B.1
+                    // case 2).
+                    continue;
+                }
+                let mut smallest: Option<Slot> = None;
+                for (o, cell) in port.voqs().hol_cells() {
+                    if output_free[o.index()]
+                        && smallest.is_none_or(|ts| cell.time_stamp < ts)
+                    {
+                        smallest = Some(cell.time_stamp);
+                    }
+                }
+                let Some(smallest) = smallest else { continue };
+                for (o, cell) in port.voqs().hol_cells() {
+                    if output_free[o.index()] && cell.time_stamp == smallest {
+                        requests[o.index()].push((smallest, i));
+                        any_request = true;
+                        if self.config.single_request {
+                            break; // ablation: one request per input
+                        }
+                    }
+                }
+            }
+            if !any_request {
+                break;
+            }
+
+            // ---- grant step ----
+            let mut matched = false;
+            let fanout_cap = self.config.max_grant_fanout.unwrap_or(usize::MAX);
+            for (o, req) in requests.iter().enumerate() {
+                if !output_free[o] || req.is_empty() {
+                    continue;
+                }
+                // Inputs that hit the restricted-fanout cap this slot are
+                // ineligible; the output falls back to the next-oldest
+                // eligible requester (or stays idle).
+                let eligible: Vec<(Slot, usize)> = req
+                    .iter()
+                    .copied()
+                    .filter(|&(_, i)| grants[i].len() < fanout_cap)
+                    .collect();
+                let Some(min_ts) = eligible.iter().map(|&(ts, _)| ts).min() else {
+                    continue;
+                };
+                let winner = self.pick_winner(&eligible, min_ts, rng);
+                output_free[o] = false;
+                input_free[winner] = false;
+                grants[winner].insert(PortId::new(o));
+                matched = true;
+            }
+            if !matched {
+                break;
+            }
+            rounds += 1;
+        }
+        self.rotate = (self.rotate + 1) % n.max(1);
+
+        let mut builder = CrossbarSchedule::builder(n);
+        for (i, outs) in grants.iter().enumerate() {
+            builder
+                .connect_multicast(PortId::new(i), outs)
+                .expect("grant bookkeeping produced an illegal schedule");
+        }
+        ScheduleOutcome {
+            schedule: builder.build(),
+            rounds,
+            grants,
+        }
+    }
+
+    fn pick_winner(&self, req: &[(Slot, usize)], min_ts: Slot, rng: &mut SmallRng) -> usize {
+        let tied: Vec<usize> = req
+            .iter()
+            .filter(|&&(ts, _)| ts == min_ts)
+            .map(|&(_, i)| i)
+            .collect();
+        debug_assert!(!tied.is_empty());
+        match self.config.tie_break {
+            TieBreak::Random => tied[rng.gen_range(0..tied.len())],
+            TieBreak::LowestInput => *tied.iter().min().expect("nonempty"),
+            TieBreak::Rotating => *tied
+                .iter()
+                .find(|&&i| i >= self.rotate)
+                .or_else(|| tied.iter().min())
+                .expect("nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::{Packet, PacketId};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn ports_with(n: usize, packets: &[(usize, u64, &[usize])]) -> Vec<InputPort> {
+        // (input, arrival_slot, dests)
+        let mut ports: Vec<InputPort> = (0..n).map(|_| InputPort::new(n)).collect();
+        for (idx, &(input, arrival, dests)) in packets.iter().enumerate() {
+            ports[input].admit(&Packet::new(
+                PacketId(idx as u64),
+                Slot(arrival),
+                PortId::new(input),
+                dests.iter().copied().collect(),
+            ));
+        }
+        ports
+    }
+
+    #[test]
+    fn idle_switch_schedules_nothing() {
+        let ports = ports_with(4, &[]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert!(out.schedule.is_idle());
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn multicast_served_in_one_round_when_outputs_free() {
+        let ports = ports_with(4, &[(0, 1, &[0, 1, 3])]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.grants[0], [0usize, 1, 3].into_iter().collect());
+        assert_eq!(out.schedule.connections(), 3);
+        assert_eq!(out.schedule.multicast_inputs(), 1);
+    }
+
+    #[test]
+    fn older_packet_wins_contention() {
+        // Inputs 0 and 1 both want output 2; input 1's packet is older.
+        let ports = ports_with(4, &[(0, 5, &[2]), (1, 3, &[2])]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert_eq!(out.schedule.driver_of(PortId(2)), Some(PortId(1)));
+        // loser stays unmatched (no other destinations)
+        assert!(out.grants[0].is_empty());
+    }
+
+    #[test]
+    fn loser_matches_elsewhere_in_later_round() {
+        // Output 0 contested: input 1 older. Input 0 also queues a younger
+        // packet for output 1, which it wins in round 2.
+        let ports = ports_with(4, &[(0, 5, &[0]), (0, 6, &[1]), (1, 3, &[0])]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert_eq!(out.schedule.driver_of(PortId(0)), Some(PortId(1)));
+        assert_eq!(out.schedule.driver_of(PortId(1)), Some(PortId(0)));
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn fanout_splitting_grants_partial_set() {
+        // Input 0's multicast wants {0,1}; output 1 is won by input 1's
+        // older unicast. FIFOMS still sends input 0's copy to output 0 —
+        // fanout splitting.
+        let ports = ports_with(4, &[(0, 5, &[0, 1]), (1, 2, &[1])]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert_eq!(out.schedule.driver_of(PortId(1)), Some(PortId(1)));
+        assert_eq!(out.schedule.driver_of(PortId(0)), Some(PortId(0)));
+        assert_eq!(out.grants[0], PortSet::singleton(PortId(0)));
+    }
+
+    #[test]
+    fn matched_input_stops_requesting() {
+        // Input 0 has an old unicast to output 0 and a younger one to
+        // output 1. Once the old one is granted, the younger must NOT be
+        // scheduled this slot (one data cell per input per slot).
+        let ports = ports_with(4, &[(0, 1, &[0]), (0, 2, &[1])]);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert_eq!(out.grants[0], PortSet::singleton(PortId(0)));
+        assert!(out.schedule.driver_of(PortId(1)).is_none());
+    }
+
+    #[test]
+    fn equal_stamp_cells_at_one_input_are_one_packet() {
+        // Two inputs, both arrive at slot 3. Input 0: multicast {0,1};
+        // input 1: multicast {1,2}. Output 1 is contested with equal
+        // stamps; whoever loses keeps its copy for later.
+        let ports = ports_with(4, &[(0, 3, &[0, 1]), (1, 3, &[1, 2])]);
+        let out = FifomsScheduler::new(FifomsConfig {
+            tie_break: TieBreak::LowestInput,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        // LowestInput: output 1 grants input 0
+        assert_eq!(out.grants[0], [0usize, 1].into_iter().collect());
+        assert_eq!(out.grants[1], PortSet::singleton(PortId(2)));
+    }
+
+    #[test]
+    fn random_tie_break_hits_both_inputs() {
+        let mut seen0 = false;
+        let mut seen1 = false;
+        for seed in 0..64 {
+            let ports = ports_with(4, &[(0, 3, &[1]), (1, 3, &[1])]);
+            let mut r = SmallRng::seed_from_u64(seed);
+            let out = FifomsScheduler::paper().schedule(&ports, &mut r);
+            match out.schedule.driver_of(PortId(1)) {
+                Some(PortId(0)) => seen0 = true,
+                Some(PortId(1)) => seen1 = true,
+                other => panic!("unexpected driver {other:?}"),
+            }
+        }
+        assert!(seen0 && seen1, "random tie-break never alternated");
+    }
+
+    #[test]
+    fn rotating_tie_break_prefers_pointer() {
+        let mut sched = FifomsScheduler::new(FifomsConfig {
+            tie_break: TieBreak::Rotating,
+            ..FifomsConfig::default()
+        });
+        // First slot: pointer at 0 → input 0 wins the tie.
+        let ports = ports_with(4, &[(0, 3, &[1]), (1, 3, &[1])]);
+        let out = sched.schedule(&ports, &mut rng());
+        assert_eq!(out.schedule.driver_of(PortId(1)), Some(PortId(0)));
+        // Second slot: pointer advanced to 1 → input 1 wins.
+        let ports = ports_with(4, &[(0, 3, &[1]), (1, 3, &[1])]);
+        let out = sched.schedule(&ports, &mut rng());
+        assert_eq!(out.schedule.driver_of(PortId(1)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn max_rounds_caps_iteration() {
+        // A contention cascade that needs 3 rounds to fully match: all
+        // three inputs first chase output 0 (their oldest cells), the two
+        // losers chase output 1 next, and the final loser settles for
+        // output 2 in round 3.
+        let ports = ports_with(
+            4,
+            &[
+                (0, 1, &[0]),
+                (1, 2, &[0]),
+                (1, 5, &[1]),
+                (2, 3, &[0]),
+                (2, 6, &[1]),
+                (2, 7, &[2]),
+            ],
+        );
+        let capped = FifomsScheduler::new(FifomsConfig {
+            max_rounds: Some(1),
+            tie_break: TieBreak::LowestInput,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        assert_eq!(capped.rounds, 1);
+        assert_eq!(capped.schedule.connections(), 1);
+        let full = FifomsScheduler::new(FifomsConfig {
+            tie_break: TieBreak::LowestInput,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        assert_eq!(full.rounds, 3);
+        assert_eq!(full.schedule.connections(), 3);
+        assert_eq!(full.schedule.driver_of(PortId(0)), Some(PortId(0)));
+        assert_eq!(full.schedule.driver_of(PortId(1)), Some(PortId(1)));
+        assert_eq!(full.schedule.driver_of(PortId(2)), Some(PortId(2)));
+    }
+
+    #[test]
+    fn single_request_ablation_serialises_multicast() {
+        let ports = ports_with(4, &[(0, 1, &[0, 1, 3])]);
+        let out = FifomsScheduler::new(FifomsConfig {
+            single_request: true,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        // only the lowest destination is requested and granted
+        assert_eq!(out.grants[0], PortSet::singleton(PortId(0)));
+    }
+
+    #[test]
+    fn restricted_fanout_caps_grants_per_slot() {
+        // Fanout-3 multicast with a grant cap of 2: only two copies go out
+        // this slot; the third address cell stays queued (extra splitting,
+        // modelling reference [15]'s restriction).
+        let ports = ports_with(4, &[(0, 1, &[0, 1, 3])]);
+        let out = FifomsScheduler::new(FifomsConfig {
+            max_grant_fanout: Some(2),
+            tie_break: TieBreak::LowestInput,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        assert_eq!(out.grants[0].len(), 2);
+        assert_eq!(out.schedule.connections(), 2);
+    }
+
+    #[test]
+    fn restricted_fanout_frees_output_for_other_inputs() {
+        // Input 0 (older) wants {0,1}, capped at 1; input 1 wants {1}.
+        // Output 1 must fall back to input 1 rather than idle.
+        let ports = ports_with(4, &[(0, 1, &[0, 1]), (1, 5, &[1])]);
+        let out = FifomsScheduler::new(FifomsConfig {
+            max_grant_fanout: Some(1),
+            tie_break: TieBreak::LowestInput,
+            ..FifomsConfig::default()
+        })
+        .schedule(&ports, &mut rng());
+        assert_eq!(out.grants[0].len(), 1);
+        assert_eq!(out.schedule.driver_of(PortId(1)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn unrestricted_equals_none_cap() {
+        let mk = |cap| {
+            let ports = ports_with(4, &[(0, 1, &[0, 1, 2, 3])]);
+            FifomsScheduler::new(FifomsConfig {
+                max_grant_fanout: cap,
+                ..FifomsConfig::default()
+            })
+            .schedule(&ports, &mut rng())
+            .schedule
+            .connections()
+        };
+        assert_eq!(mk(None), 4);
+        assert_eq!(mk(Some(4)), 4);
+        assert_eq!(mk(Some(64)), 4);
+    }
+
+    #[test]
+    fn convergence_bounded_by_n() {
+        // Worst case: every input wants every output, staggered stamps.
+        let packets: Vec<(usize, u64, &[usize])> = (0..8)
+            .map(|i| (i, (i + 1) as u64, &[0usize, 1, 2, 3, 4, 5, 6, 7][..]))
+            .collect();
+        let ports = ports_with(8, &packets);
+        let out = FifomsScheduler::paper().schedule(&ports, &mut rng());
+        assert!(out.rounds <= 8, "rounds {} > N", out.rounds);
+        // oldest packet (input 0) must receive the full grant
+        assert_eq!(out.grants[0].len(), 8 - out.grants.iter().skip(1).map(PortSet::len).sum::<usize>());
+    }
+
+    /// Random queue states for the property tests.
+    fn arb_state() -> impl Strategy<Value = Vec<InputPort>> {
+        proptest::collection::vec(
+            proptest::collection::vec(
+                (0u64..16, proptest::collection::btree_set(0usize..6, 1..6)),
+                0..6,
+            ),
+            6,
+        )
+        .prop_map(|per_input| {
+            let mut id = 0u64;
+            per_input
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut pkts)| {
+                    let mut port = InputPort::new(6);
+                    // packets must be admitted in nondecreasing stamp order
+                    pkts.sort_by_key(|&(ts, _)| ts);
+                    let mut last = None;
+                    for (ts, dests) in pkts {
+                        // dedupe stamps within an input (one arrival per slot)
+                        let ts = match last {
+                            Some(prev) if ts <= prev => prev + 1,
+                            _ => ts,
+                        };
+                        last = Some(ts);
+                        id += 1;
+                        port.admit(&Packet::new(
+                            PacketId(id),
+                            Slot(ts),
+                            PortId::new(i),
+                            dests.iter().copied().collect(),
+                        ));
+                    }
+                    port
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The matching is legal, grants agree with the schedule, every
+        /// input's grant set shares one time stamp (single data cell), and
+        /// the matching is maximal: no free input still has a HOL cell
+        /// toward a free output.
+        #[test]
+        fn prop_schedule_sound_and_maximal(ports in arb_state(), seed in 0u64..64) {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let out = FifomsScheduler::paper().schedule(&ports, &mut r);
+            // grants match schedule
+            for (i, g) in out.grants.iter().enumerate() {
+                prop_assert_eq!(&out.schedule.outputs_of(PortId::new(i)), g);
+                // all granted cells share the same stamp = one packet
+                let stamps: Vec<Slot> = g
+                    .iter()
+                    .map(|o| ports[i].voqs().queue(o).hol().unwrap().time_stamp)
+                    .collect();
+                prop_assert!(stamps.windows(2).all(|w| w[0] == w[1]));
+            }
+            // maximality
+            let matched_inputs: Vec<bool> =
+                (0..6).map(|i| !out.grants[i].is_empty()).collect();
+            for (i, port) in ports.iter().enumerate() {
+                if matched_inputs[i] {
+                    continue;
+                }
+                for (o, _) in port.voqs().hol_cells() {
+                    prop_assert!(
+                        out.schedule.output_busy(o),
+                        "free input {i} had HOL cell to free output {o}"
+                    );
+                }
+            }
+            // rounds bounded by N
+            prop_assert!(out.rounds <= 6);
+        }
+
+        /// The oldest HOL stamp present in the system always gets matched
+        /// (the FIFO principle that makes FIFOMS starvation-free).
+        #[test]
+        fn prop_globally_oldest_cell_is_served(ports in arb_state(), seed in 0u64..32) {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let out = FifomsScheduler::paper().schedule(&ports, &mut r);
+            let oldest = ports
+                .iter()
+                .flat_map(|p| p.voqs().hol_cells().map(|(_, c)| c.time_stamp))
+                .min();
+            if let Some(oldest) = oldest {
+                // some input whose HOL stamp equals the global minimum must
+                // have been granted at least one output
+                let served = ports.iter().enumerate().any(|(i, p)| {
+                    !out.grants[i].is_empty()
+                        && p.voqs().hol_cells().any(|(_, c)| c.time_stamp == oldest)
+                });
+                prop_assert!(served, "globally oldest stamp {oldest} unserved");
+            }
+        }
+    }
+}

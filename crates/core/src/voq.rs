@@ -1,0 +1,187 @@
+//! Virtual output queues of address cells.
+
+use std::collections::VecDeque;
+
+use fifoms_types::PortId;
+
+use crate::cell::AddressCell;
+
+/// One virtual output queue: the FIFO of address cells at some input port
+/// destined for one particular output port.
+///
+/// Only the head-of-line cell is visible to the scheduler — deeper cells
+/// cannot be scheduled (FIFO order is what makes FIFOMS starvation-free).
+#[derive(Clone, Debug, Default)]
+pub struct Voq {
+    cells: VecDeque<AddressCell>,
+}
+
+impl Voq {
+    /// An empty queue.
+    pub fn new() -> Voq {
+        Voq::default()
+    }
+
+    /// Append an address cell (packet preprocessing).
+    pub fn push_back(&mut self, cell: AddressCell) {
+        debug_assert!(
+            self.cells
+                .back()
+                .is_none_or(|last| last.time_stamp <= cell.time_stamp),
+            "VOQ FIFO order violated: appending older cell"
+        );
+        self.cells.push_back(cell);
+    }
+
+    /// The head-of-line cell, if any.
+    pub fn hol(&self) -> Option<&AddressCell> {
+        self.cells.front()
+    }
+
+    /// Remove and return the head-of-line cell (post-transmission).
+    pub fn pop_front(&mut self) -> Option<AddressCell> {
+        self.cells.pop_front()
+    }
+
+    /// Queue length in address cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterate cells from head to tail (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &AddressCell> {
+        self.cells.iter()
+    }
+}
+
+/// The `N` virtual output queues of one input port (paper §II: "there are
+/// N virtual output queues to store the address cells for the N output
+/// ports").
+#[derive(Clone, Debug)]
+pub struct VoqSet {
+    queues: Vec<Voq>,
+}
+
+impl VoqSet {
+    /// `n` empty queues.
+    pub fn new(n: usize) -> VoqSet {
+        VoqSet {
+            queues: (0..n).map(|_| Voq::new()).collect(),
+        }
+    }
+
+    /// Number of queues (`N`).
+    pub fn outputs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The queue toward `output`.
+    pub fn queue(&self, output: PortId) -> &Voq {
+        &self.queues[output.index()]
+    }
+
+    /// Mutable queue toward `output`.
+    pub fn queue_mut(&mut self, output: PortId) -> &mut Voq {
+        &mut self.queues[output.index()]
+    }
+
+    /// Total address cells across all queues (undelivered copies at this
+    /// input).
+    pub fn total_cells(&self) -> usize {
+        self.queues.iter().map(Voq::len).sum()
+    }
+
+    /// Whether every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(Voq::is_empty)
+    }
+
+    /// Iterate `(output, hol cell)` over queues with a head-of-line cell.
+    pub fn hol_cells(&self) -> impl Iterator<Item = (PortId, &AddressCell)> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter_map(|(o, q)| q.hol().map(|c| (PortId::new(o), c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::DataCellKey;
+    use fifoms_types::Slot;
+
+    fn cell(ts: u64, idx: u32) -> AddressCell {
+        AddressCell {
+            time_stamp: Slot(ts),
+            data: DataCellKey {
+                index: idx,
+                generation: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = Voq::new();
+        q.push_back(cell(1, 0));
+        q.push_back(cell(3, 1));
+        q.push_back(cell(3, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.hol().unwrap().time_stamp, Slot(1));
+        assert_eq!(q.pop_front().unwrap().time_stamp, Slot(1));
+        assert_eq!(q.pop_front().unwrap().data.index, 1);
+        assert_eq!(q.pop_front().unwrap().data.index, 2);
+        assert!(q.pop_front().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "FIFO order violated")]
+    fn out_of_order_push_detected_in_debug() {
+        let mut q = Voq::new();
+        q.push_back(cell(5, 0));
+        q.push_back(cell(3, 1));
+    }
+
+    #[test]
+    fn voq_set_accessors() {
+        let mut set = VoqSet::new(4);
+        assert_eq!(set.outputs(), 4);
+        assert!(set.is_empty());
+        set.queue_mut(PortId(2)).push_back(cell(1, 0));
+        set.queue_mut(PortId(2)).push_back(cell(2, 1));
+        set.queue_mut(PortId(0)).push_back(cell(2, 1));
+        assert_eq!(set.total_cells(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.queue(PortId(2)).len(), 2);
+        assert_eq!(set.queue(PortId(1)).len(), 0);
+    }
+
+    #[test]
+    fn hol_cells_iterates_nonempty_queues() {
+        let mut set = VoqSet::new(4);
+        set.queue_mut(PortId(3)).push_back(cell(7, 0));
+        set.queue_mut(PortId(1)).push_back(cell(5, 1));
+        let hols: Vec<(usize, u64)> = set
+            .hol_cells()
+            .map(|(o, c)| (o.index(), c.time_stamp.index()))
+            .collect();
+        assert_eq!(hols, vec![(1, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn iter_walks_head_to_tail() {
+        let mut q = Voq::new();
+        q.push_back(cell(1, 0));
+        q.push_back(cell(2, 1));
+        let stamps: Vec<u64> = q.iter().map(|c| c.time_stamp.index()).collect();
+        assert_eq!(stamps, vec![1, 2]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Multicast crossbar fabric model and the switch abstraction.
+//!
+//! The paper's switch model (§I, §IV-A) is an `N×N` crossbar whose
+//! crosspoints can connect one input to *several* outputs simultaneously —
+//! the "built-in multicast capability" FIFOMS exploits — while each output
+//! may be driven by at most one input per slot.
+//!
+//! This crate provides:
+//!
+//! * [`CrossbarSchedule`] — a per-slot connection pattern with the fabric's
+//!   legality rules enforced at construction time;
+//! * [`Crossbar`] — applies schedules and accumulates fabric-level
+//!   accounting (crosspoint settings, multicast usage);
+//! * [`SpeedupFabric`] — a fabric that can run `S` transfer phases per
+//!   slot, used to demonstrate why output-queued switches need internal
+//!   speedup `N` (§I);
+//! * [`Switch`] — the trait every queueing discipline in this workspace
+//!   implements (multicast-VOQ/FIFOMS, iSLIP, TATRA, OQ-FIFO, ...), which
+//!   is what the simulation engine drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossbar;
+mod schedule;
+mod speedup;
+mod switch;
+
+pub use crossbar::{Crossbar, FabricStats};
+pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
+pub use speedup::SpeedupFabric;
+pub use switch::{Backlog, Switch};

@@ -1,0 +1,335 @@
+//! Per-slot crossbar connection patterns.
+
+use core::fmt;
+
+use fifoms_types::{PortId, PortSet};
+
+/// Errors raised while building a schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// Two inputs were connected to the same output.
+    OutputConflict {
+        /// The doubly-driven output.
+        output: PortId,
+        /// The input already connected.
+        existing: PortId,
+        /// The input whose connection was rejected.
+        rejected: PortId,
+    },
+    /// A port index at or beyond the fabric size.
+    PortOutOfRange {
+        /// The offending port.
+        port: PortId,
+        /// The fabric size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::OutputConflict {
+                output,
+                existing,
+                rejected,
+            } => write!(
+                f,
+                "output {output} already driven by input {existing}; cannot also connect input {rejected}"
+            ),
+            ScheduleError::PortOutOfRange { port, n } => {
+                write!(f, "port {port} out of range for {n}x{n} fabric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A legal crossbar connection pattern for one time slot.
+///
+/// Legality (enforced at construction):
+///
+/// * each **output** is driven by at most one input;
+/// * an **input** may drive any number of outputs (the crossbar's native
+///   multicast).
+///
+/// Note the asymmetry: the *fabric* would happily let an input send two
+/// different cells in one slot — it is the *schedulers* that restrict an
+/// input to one data cell per slot, which is why that rule lives in the
+/// scheduler crates and not here.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_fabric::CrossbarSchedule;
+/// use fifoms_types::{PortId, PortSet};
+///
+/// let mut b = CrossbarSchedule::builder(4);
+/// // a multicast grant: input 1 drives outputs 0, 2 and 3 at once
+/// let dests: PortSet = [0usize, 2, 3].into_iter().collect();
+/// b.connect_multicast(PortId(1), &dests).unwrap();
+/// // ...but a second driver for output 2 is illegal
+/// assert!(b.connect(PortId(0), PortId(2)).is_err());
+/// let s = b.build();
+/// assert_eq!(s.connections(), 3);
+/// assert_eq!(s.multicast_inputs(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrossbarSchedule {
+    n: usize,
+    /// `driver[o]` = the input connected to output `o`.
+    driver: Vec<Option<PortId>>,
+}
+
+impl CrossbarSchedule {
+    /// The empty (idle) schedule for an `n×n` fabric.
+    pub fn empty(n: usize) -> CrossbarSchedule {
+        CrossbarSchedule {
+            n,
+            driver: vec![None; n],
+        }
+    }
+
+    /// Start building a schedule incrementally.
+    pub fn builder(n: usize) -> ScheduleBuilder {
+        ScheduleBuilder {
+            schedule: CrossbarSchedule::empty(n),
+        }
+    }
+
+    /// Fabric size `N`.
+    pub fn ports(&self) -> usize {
+        self.n
+    }
+
+    /// The input driving `output`, if any.
+    pub fn driver_of(&self, output: PortId) -> Option<PortId> {
+        self.driver.get(output.index()).copied().flatten()
+    }
+
+    /// Whether `output` is connected this slot.
+    pub fn output_busy(&self, output: PortId) -> bool {
+        self.driver_of(output).is_some()
+    }
+
+    /// All outputs driven by `input` (the input's multicast grant set).
+    pub fn outputs_of(&self, input: PortId) -> PortSet {
+        self.driver
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Some(input))
+            .map(|(o, _)| o)
+            .collect()
+    }
+
+    /// Number of connected (input, output) pairs.
+    pub fn connections(&self) -> usize {
+        self.driver.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Whether no connection is made this slot.
+    pub fn is_idle(&self) -> bool {
+        self.connections() == 0
+    }
+
+    /// Iterate over `(input, output)` connection pairs in output order.
+    pub fn pairs(&self) -> impl Iterator<Item = (PortId, PortId)> + '_ {
+        self.driver
+            .iter()
+            .enumerate()
+            .filter_map(|(o, d)| d.map(|i| (i, PortId::new(o))))
+    }
+
+    /// The set of distinct inputs transmitting this slot.
+    pub fn active_inputs(&self) -> PortSet {
+        self.driver.iter().flatten().map(|i| i.index()).collect()
+    }
+
+    /// Number of inputs that drive more than one output (multicast
+    /// transfers in this slot).
+    pub fn multicast_inputs(&self) -> usize {
+        let mut seen = PortSet::new();
+        let mut multi = PortSet::new();
+        for d in self.driver.iter().flatten() {
+            if !seen.insert(*d) {
+                multi.insert(*d);
+            }
+        }
+        multi.len()
+    }
+}
+
+impl fmt::Display for CrossbarSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (i, o) in self.pairs() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{}->{}", i.index(), o.index())?;
+            first = false;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Incremental builder enforcing fabric legality per connection.
+#[derive(Clone, Debug)]
+pub struct ScheduleBuilder {
+    schedule: CrossbarSchedule,
+}
+
+impl ScheduleBuilder {
+    /// Connect `input` to `output`.
+    pub fn connect(&mut self, input: PortId, output: PortId) -> Result<(), ScheduleError> {
+        let n = self.schedule.n;
+        for port in [input, output] {
+            if port.index() >= n {
+                return Err(ScheduleError::PortOutOfRange { port, n });
+            }
+        }
+        match self.schedule.driver[output.index()] {
+            Some(existing) if existing != input => Err(ScheduleError::OutputConflict {
+                output,
+                existing,
+                rejected: input,
+            }),
+            _ => {
+                self.schedule.driver[output.index()] = Some(input);
+                Ok(())
+            }
+        }
+    }
+
+    /// Connect `input` to every output in `outputs` (a multicast grant).
+    pub fn connect_multicast(
+        &mut self,
+        input: PortId,
+        outputs: &PortSet,
+    ) -> Result<(), ScheduleError> {
+        for o in outputs {
+            self.connect(input, o)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `output` is already driven.
+    pub fn output_busy(&self, output: PortId) -> bool {
+        self.schedule.output_busy(output)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> CrossbarSchedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_schedule() {
+        let s = CrossbarSchedule::empty(4);
+        assert!(s.is_idle());
+        assert_eq!(s.connections(), 0);
+        assert_eq!(s.ports(), 4);
+        assert_eq!(s.driver_of(PortId(0)), None);
+        assert!(s.outputs_of(PortId(0)).is_empty());
+        assert_eq!(format!("{s}"), "[]");
+    }
+
+    #[test]
+    fn unicast_connections() {
+        let mut b = CrossbarSchedule::builder(4);
+        b.connect(PortId(0), PortId(2)).unwrap();
+        b.connect(PortId(1), PortId(3)).unwrap();
+        let s = b.build();
+        assert_eq!(s.connections(), 2);
+        assert_eq!(s.driver_of(PortId(2)), Some(PortId(0)));
+        assert_eq!(s.driver_of(PortId(3)), Some(PortId(1)));
+        assert!(s.output_busy(PortId(2)));
+        assert!(!s.output_busy(PortId(0)));
+        assert_eq!(s.multicast_inputs(), 0);
+        assert_eq!(format!("{s}"), "[0->2 1->3]");
+    }
+
+    #[test]
+    fn multicast_connection_allowed() {
+        let mut b = CrossbarSchedule::builder(4);
+        let dests: PortSet = [0usize, 1, 3].into_iter().collect();
+        b.connect_multicast(PortId(2), &dests).unwrap();
+        let s = b.build();
+        assert_eq!(s.connections(), 3);
+        assert_eq!(s.outputs_of(PortId(2)), dests);
+        assert_eq!(s.multicast_inputs(), 1);
+        assert_eq!(s.active_inputs(), PortSet::singleton(PortId(2)));
+    }
+
+    #[test]
+    fn output_conflict_rejected() {
+        let mut b = CrossbarSchedule::builder(4);
+        b.connect(PortId(0), PortId(1)).unwrap();
+        let err = b.connect(PortId(2), PortId(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::OutputConflict {
+                output: PortId(1),
+                existing: PortId(0),
+                rejected: PortId(2),
+            }
+        );
+        assert!(err.to_string().contains("already driven"));
+    }
+
+    #[test]
+    fn reconnecting_same_pair_is_idempotent() {
+        let mut b = CrossbarSchedule::builder(4);
+        b.connect(PortId(0), PortId(1)).unwrap();
+        b.connect(PortId(0), PortId(1)).unwrap();
+        assert_eq!(b.build().connections(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = CrossbarSchedule::builder(4);
+        assert!(matches!(
+            b.connect(PortId(4), PortId(0)),
+            Err(ScheduleError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.connect(PortId(0), PortId(9)),
+            Err(ScheduleError::PortOutOfRange { .. })
+        ));
+    }
+
+    proptest! {
+        /// Any sequence of accepted connections yields a schedule where no
+        /// output has two drivers and `pairs()`/`outputs_of` agree.
+        #[test]
+        fn prop_built_schedules_are_legal(
+            conns in proptest::collection::vec((0u16..8, 0u16..8), 0..40)
+        ) {
+            let mut b = CrossbarSchedule::builder(8);
+            for (i, o) in conns {
+                let _ = b.connect(PortId(i), PortId(o)); // conflicts simply rejected
+            }
+            let s = b.build();
+            // each output at most one driver — structural by representation,
+            // but verify via pairs(): outputs must be distinct
+            let outs: Vec<_> = s.pairs().map(|(_, o)| o).collect();
+            let mut dedup = outs.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(outs.len(), dedup.len());
+            // outputs_of is the inverse of driver_of
+            for (i, o) in s.pairs() {
+                prop_assert!(s.outputs_of(i).contains(o));
+                prop_assert_eq!(s.driver_of(o), Some(i));
+            }
+            prop_assert_eq!(s.connections(), s.pairs().count());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The per-run simulation loop.
+
+use fifoms_fabric::Switch;
+use fifoms_stats::{
+    DelayStats, DelaySummary, OccupancySummary, OccupancyTracker, RunningStat,
+    SaturationDetector, SaturationVerdict,
+};
+use fifoms_traffic::TrafficModel;
+use fifoms_types::{Packet, PacketId, PortId, Slot};
+
+/// Parameters of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Total slots to simulate (the paper uses 10^6).
+    pub slots: u64,
+    /// Slots excluded from statistics at the start (the paper uses half
+    /// the run).
+    pub warmup: u64,
+    /// Hard cap on total queued copies; exceeding it aborts the run with
+    /// [`SaturationVerdict::CapExceeded`].
+    pub backlog_cap: usize,
+    /// How often (in slots) to sample the backlog for the trend test.
+    pub sample_every: u64,
+}
+
+impl RunConfig {
+    /// The paper's configuration scaled to `slots` total slots: warmup is
+    /// half the run, the backlog cap is 200k copies, backlog sampled every
+    /// 100 slots.
+    pub fn paper(slots: u64) -> RunConfig {
+        RunConfig {
+            slots,
+            warmup: slots / 2,
+            backlog_cap: 200_000,
+            sample_every: 100,
+        }
+    }
+
+    /// A quick configuration for tests and smoke benches.
+    pub fn quick(slots: u64) -> RunConfig {
+        RunConfig {
+            slots,
+            warmup: slots / 4,
+            backlog_cap: 100_000,
+            sample_every: 50,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Scheduler name as reported by the switch.
+    pub switch_name: String,
+    /// Workload name as reported by the traffic model.
+    pub traffic_name: String,
+    /// Analytic effective load of the workload, if known.
+    pub offered_load: Option<f64>,
+    /// Delay metrics (§V: input- and output-oriented averages).
+    pub delay: DelaySummary,
+    /// Queue-size metrics (§V: average and maximum queue size).
+    pub occupancy: OccupancySummary,
+    /// Mean convergence rounds over slots with at least one match (Fig. 5).
+    pub mean_rounds: f64,
+    /// Stability verdict; delay/queue numbers of saturated points are
+    /// censored by the run length and flagged in reports.
+    pub verdict: SaturationVerdict,
+    /// Slots actually executed (less than requested if the cap aborted).
+    pub slots_run: u64,
+    /// Packets admitted over the whole run.
+    pub packets_admitted: u64,
+    /// Copies delivered after warmup.
+    pub copies_delivered: u64,
+    /// Delivered copies per output per post-warmup slot (throughput, in
+    /// units of effective load).
+    pub throughput: f64,
+}
+
+impl RunResult {
+    /// Whether the operating point was sustainable.
+    pub fn is_stable(&self) -> bool {
+        !self.verdict.is_saturated()
+    }
+}
+
+/// Run one `(switch, traffic)` pair to completion.
+///
+/// Per slot: generate arrivals, [`Switch::admit`] each (preprocessing is
+/// overlapped with scheduling, §IV-C), [`Switch::run_slot`], then record
+/// post-warmup statistics and sample the backlog for saturation detection.
+///
+/// # Panics
+///
+/// Panics if `cfg.warmup >= cfg.slots` or the traffic model's port count
+/// differs from the switch's.
+pub fn simulate(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+) -> RunResult {
+    assert!(cfg.warmup < cfg.slots, "warmup must be shorter than the run");
+    assert_eq!(
+        switch.ports(),
+        traffic.ports(),
+        "switch and traffic sized differently"
+    );
+    let n = switch.ports();
+    let mut delay = DelayStats::new();
+    let mut occupancy = OccupancyTracker::new(n);
+    let mut rounds = RunningStat::new();
+    let mut detector = SaturationDetector::new(cfg.backlog_cap);
+    let mut arrivals: Vec<Option<_>> = Vec::with_capacity(n);
+    let mut queue_buf: Vec<usize> = Vec::with_capacity(n);
+    let mut next_packet = 0u64;
+    let mut copies_delivered = 0u64;
+    let mut slots_run = 0u64;
+
+    for t in 0..cfg.slots {
+        let now = Slot(t);
+        traffic.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(dests) = dests.take() {
+                next_packet += 1;
+                switch.admit(Packet::new(
+                    PacketId(next_packet),
+                    now,
+                    PortId::new(input),
+                    dests,
+                ));
+            }
+        }
+        let outcome = switch.run_slot(now);
+        slots_run = t + 1;
+
+        if t >= cfg.warmup {
+            for d in &outcome.departures {
+                delay.record_copy(d.delay(now), d.last_copy);
+            }
+            copies_delivered += outcome.departures.len() as u64;
+            if !outcome.departures.is_empty() {
+                rounds.push_u64(outcome.rounds as u64);
+            }
+            switch.queue_sizes(&mut queue_buf);
+            occupancy.sample(&queue_buf);
+        }
+        if t % cfg.sample_every == 0 && detector.observe(switch.backlog().copies) {
+            break; // backlog cap exceeded: the point is hopeless
+        }
+    }
+
+    let measured_slots = slots_run.saturating_sub(cfg.warmup).max(1);
+    RunResult {
+        switch_name: switch.name(),
+        traffic_name: traffic.name(),
+        offered_load: traffic.effective_load(),
+        delay: delay.summary(),
+        occupancy: occupancy.summary(),
+        mean_rounds: rounds.mean(),
+        verdict: detector.verdict(),
+        slots_run,
+        packets_admitted: next_packet,
+        copies_delivered,
+        throughput: copies_delivered as f64 / (measured_slots * n as u64) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_baselines::OqFifoSwitch;
+    use fifoms_core::MulticastVoqSwitch;
+    use fifoms_traffic::{BernoulliMulticast, UniformUnicast};
+
+    #[test]
+    fn idle_traffic_produces_empty_result() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        let mut tr = UniformUnicast::new(4, 0.0, 0).unwrap();
+        let r = simulate(&mut sw, &mut tr, &RunConfig::quick(1000));
+        assert_eq!(r.packets_admitted, 0);
+        assert_eq!(r.copies_delivered, 0);
+        assert_eq!(r.delay.delivered_copies, 0);
+        assert_eq!(r.throughput, 0.0);
+        assert!(r.is_stable());
+        assert_eq!(r.slots_run, 1000);
+    }
+
+    #[test]
+    fn light_load_fifoms_near_zero_delay() {
+        let mut sw = MulticastVoqSwitch::new(8, 1);
+        let mut tr = BernoulliMulticast::new(8, 0.05, 0.25, 2).unwrap();
+        let r = simulate(&mut sw, &mut tr, &RunConfig::quick(20_000));
+        assert!(r.is_stable());
+        assert!(
+            r.delay.mean_output_oriented < 1.0,
+            "light-load delay {}",
+            r.delay.mean_output_oriented
+        );
+        assert!(r.occupancy.mean < 1.0);
+        assert!(r.delay.delivered_copies > 0);
+    }
+
+    #[test]
+    fn throughput_matches_offered_load_when_stable() {
+        let mut sw = OqFifoSwitch::new(8);
+        let mut tr = BernoulliMulticast::new(8, 0.3, 0.25, 3).unwrap();
+        let r = simulate(&mut sw, &mut tr, &RunConfig::quick(40_000));
+        assert!(r.is_stable());
+        // Empty-fanout resampling biases the true load above the nominal
+        // p·b·N by 1/(1-(1-b)^N); compare against the corrected value.
+        let corrected = r.offered_load.unwrap() / (1.0 - 0.75f64.powi(8));
+        assert!(
+            (r.throughput - corrected).abs() / corrected < 0.03,
+            "throughput {} vs corrected offered {}",
+            r.throughput,
+            corrected
+        );
+    }
+
+    #[test]
+    fn overload_detected_as_saturated() {
+        // Offered load 2.0 — no scheduler can sustain it.
+        let mut sw = MulticastVoqSwitch::new(8, 1);
+        let mut tr = BernoulliMulticast::new(8, 1.0, 0.25, 4).unwrap();
+        let r = simulate(&mut sw, &mut tr, &RunConfig::quick(20_000));
+        assert!(r.verdict.is_saturated());
+        // throughput is capped near 1.0 per output
+        assert!(r.throughput <= 1.01);
+    }
+
+    #[test]
+    fn backlog_cap_aborts_early() {
+        let mut sw = MulticastVoqSwitch::new(8, 1);
+        let mut tr = BernoulliMulticast::new(8, 1.0, 0.5, 5).unwrap();
+        let cfg = RunConfig {
+            slots: 100_000,
+            warmup: 50_000,
+            backlog_cap: 2_000,
+            sample_every: 10,
+        };
+        let r = simulate(&mut sw, &mut tr, &cfg);
+        assert_eq!(r.verdict, SaturationVerdict::CapExceeded);
+        assert!(r.slots_run < 100_000, "run should abort early");
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must be shorter")]
+    fn bad_warmup_rejected() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        let mut tr = UniformUnicast::new(4, 0.1, 0).unwrap();
+        let cfg = RunConfig {
+            slots: 10,
+            warmup: 10,
+            backlog_cap: 100,
+            sample_every: 1,
+        };
+        simulate(&mut sw, &mut tr, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized differently")]
+    fn size_mismatch_rejected() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        let mut tr = UniformUnicast::new(8, 0.1, 0).unwrap();
+        simulate(&mut sw, &mut tr, &RunConfig::quick(100));
+    }
+
+    #[test]
+    fn oq_delay_lower_bounds_fifoms() {
+        // At a moderate multicast load the OQ switch (speedup N) can only
+        // be better (or equal) on output-oriented delay.
+        let cfg = RunConfig::quick(30_000);
+        let mut oq = OqFifoSwitch::new(8);
+        let mut tr = BernoulliMulticast::new(8, 0.35, 0.25, 7).unwrap();
+        let r_oq = simulate(&mut oq, &mut tr, &cfg);
+        let mut fs = MulticastVoqSwitch::new(8, 7);
+        let mut tr = BernoulliMulticast::new(8, 0.35, 0.25, 7).unwrap();
+        let r_fs = simulate(&mut fs, &mut tr, &cfg);
+        assert!(r_oq.is_stable() && r_fs.is_stable());
+        assert!(
+            r_oq.delay.mean_output_oriented <= r_fs.delay.mean_output_oriented + 0.05,
+            "OQ {} vs FIFOMS {}",
+            r_oq.delay.mean_output_oriented,
+            r_fs.delay.mean_output_oriented
+        );
+    }
+}

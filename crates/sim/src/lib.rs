@@ -1,0 +1,36 @@
+//! Slotted-time simulation engine, experiment specifications and report
+//! generation for the FIFOMS study.
+//!
+//! This crate reproduces the paper's simulation methodology (§V):
+//!
+//! * synchronous slots, fixed-size cells;
+//! * a warmup period (half the run by default) excluded from statistics;
+//! * runs of 10^6 slots "unless the switch becomes unstable", which we
+//!   detect with a backlog cap plus a growth-trend test
+//!   ([`fifoms_stats::SaturationDetector`]);
+//! * the four §V statistics (input/output-oriented delay, average and
+//!   maximum queue size) plus the Fig. 5 convergence-round average.
+//!
+//! The pieces:
+//!
+//! * [`simulate`] drives one `(switch, traffic)` pair under a
+//!   [`RunConfig`] and yields a [`RunResult`];
+//! * [`SwitchKind`] / [`TrafficKind`] are buildable specifications of
+//!   every scheduler and workload in the workspace (the experiment
+//!   harness and benches construct sweeps from these);
+//! * [`Sweep`] runs a grid of (scheduler × load point) simulations,
+//!   optionally across threads, producing [`SweepRow`]s;
+//! * [`report`] renders aligned ASCII tables and CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod plot;
+pub mod report;
+mod spec;
+mod sweep;
+
+pub use engine::{simulate, RunConfig, RunResult};
+pub use spec::{SwitchKind, TrafficKind};
+pub use sweep::{Sweep, SweepRow};

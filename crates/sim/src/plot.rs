@@ -1,0 +1,219 @@
+//! Terminal line plots for sweep results.
+//!
+//! The paper presents its evaluation as line charts (delay/queue vs
+//! effective load, one curve per scheduler). `ascii_plot` renders the
+//! same picture in a terminal so `fifoms-repro` output can be eyeballed
+//! against the paper's figures without leaving the shell.
+
+use std::fmt::Write as _;
+
+use crate::report::Metric;
+use crate::{SweepRow, SwitchKind};
+
+/// Rendering options for [`ascii_plot`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlotOptions {
+    /// Plot area width in characters (excluding the axis gutter).
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+    /// Use a log10 y-axis (delays near saturation span 4+ decades).
+    pub log_y: bool,
+}
+
+impl Default for PlotOptions {
+    fn default() -> PlotOptions {
+        PlotOptions {
+            width: 64,
+            height: 16,
+            log_y: true,
+        }
+    }
+}
+
+/// One curve extracted from sweep rows: only stable points are plotted
+/// (the paper stops curves at the stability edge).
+struct Curve {
+    marker: char,
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// Render `metric` vs load for each scheduler as an ASCII chart.
+///
+/// Each scheduler gets a marker character (`A`, `B`, ...); overlapping
+/// points show the *later* scheduler's marker. Saturated points are
+/// dropped, mirroring how the paper's curves end at the stability edge.
+/// Returns an empty string when there is nothing stable to plot.
+pub fn ascii_plot(
+    rows: &[SweepRow],
+    switches: &[SwitchKind],
+    metric: Metric,
+    opts: &PlotOptions,
+) -> String {
+    let markers = ['A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J'];
+    let curves: Vec<Curve> = switches
+        .iter()
+        .enumerate()
+        .map(|(i, sk)| Curve {
+            marker: markers[i % markers.len()],
+            label: sk.label(),
+            points: {
+                let mut pts: Vec<(f64, f64)> = rows
+                    .iter()
+                    .filter(|r| r.switch == *sk && r.result.is_stable())
+                    .map(|r| (r.load, metric.value(r)))
+                    .collect();
+                pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                pts
+            },
+        })
+        .collect();
+
+    let all: Vec<(f64, f64)> = curves.iter().flat_map(|c| c.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (x_min, x_max) = min_max(all.iter().map(|p| p.0));
+    let y_transform = |y: f64| {
+        if opts.log_y {
+            (y.max(1e-3)).log10()
+        } else {
+            y
+        }
+    };
+    let (y_min, y_max) = min_max(all.iter().map(|p| y_transform(p.1)));
+    let x_span = (x_max - x_min).max(1e-12);
+    let y_span = (y_max - y_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; opts.width]; opts.height];
+    for curve in &curves {
+        for &(x, y) in &curve.points {
+            let col = (((x - x_min) / x_span) * (opts.width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                (((y_transform(y) - y_min) / y_span) * (opts.height - 1) as f64).round() as usize;
+            let row = opts.height - 1 - row_from_bottom;
+            grid[row][col] = curve.marker;
+        }
+    }
+
+    let mut out = String::new();
+    let y_label = |frac: f64| {
+        let v = y_min + frac * y_span;
+        if opts.log_y {
+            10f64.powf(v)
+        } else {
+            v
+        }
+    };
+    for (r, line) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (opts.height - 1) as f64;
+        let _ = write!(out, "{:>9.2} |", y_label(frac));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(opts.width));
+    let _ = writeln!(
+        out,
+        "{:>9}  {:<width$.2}{:>8.2}",
+        "load:",
+        x_min,
+        x_max,
+        width = opts.width - 8
+    );
+    for c in &curves {
+        let _ = writeln!(
+            out,
+            "{:>9}  {} = {}{}",
+            "",
+            c.marker,
+            c.label,
+            if c.points.is_empty() {
+                " (no stable points)"
+            } else {
+                ""
+            }
+        );
+    }
+    if opts.log_y {
+        let _ = writeln!(out, "{:>9}  (log y-axis)", "");
+    }
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunConfig, Sweep, TrafficKind};
+
+    fn sample_rows() -> (Vec<SweepRow>, Vec<SwitchKind>) {
+        let switches = vec![SwitchKind::Fifoms, SwitchKind::OqFifo];
+        let sweep = Sweep {
+            n: 4,
+            switches: switches.clone(),
+            points: [0.2, 0.5, 0.8]
+                .iter()
+                .map(|&l| (l, TrafficKind::bernoulli_at_load(l, 0.5, 4)))
+                .collect(),
+            run: RunConfig::quick(2_000),
+            seed: 2,
+        };
+        (sweep.run_serial(), switches)
+    }
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let (rows, switches) = sample_rows();
+        let s = ascii_plot(&rows, &switches, Metric::OutputDelay, &PlotOptions::default());
+        assert!(s.contains('A'), "missing curve A:\n{s}");
+        assert!(s.contains('B'));
+        assert!(s.contains("A = FIFOMS"));
+        assert!(s.contains("B = OQFIFO"));
+        assert!(s.contains("(log y-axis)"));
+        assert!(s.lines().count() > 16);
+    }
+
+    #[test]
+    fn linear_axis_option() {
+        let (rows, switches) = sample_rows();
+        let s = ascii_plot(
+            &rows,
+            &switches,
+            Metric::AvgQueue,
+            &PlotOptions {
+                log_y: false,
+                ..PlotOptions::default()
+            },
+        );
+        assert!(!s.contains("(log y-axis)"));
+    }
+
+    #[test]
+    fn empty_input_empty_plot() {
+        let s = ascii_plot(&[], &[SwitchKind::Fifoms], Metric::AvgQueue, &PlotOptions::default());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn saturated_points_dropped() {
+        let (mut rows, switches) = sample_rows();
+        // artificially mark every FIFOMS row saturated
+        for r in rows.iter_mut() {
+            if r.switch == SwitchKind::Fifoms {
+                r.result.verdict = fifoms_stats::SaturationVerdict::Saturated;
+            }
+        }
+        let s = ascii_plot(&rows, &switches, Metric::OutputDelay, &PlotOptions::default());
+        assert!(s.contains("A = FIFOMS (no stable points)"));
+        assert!(!s
+            .lines()
+            .take(16)
+            .any(|l| l.contains('A')), "A markers should vanish");
+    }
+}

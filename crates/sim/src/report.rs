@@ -1,0 +1,290 @@
+//! Aligned ASCII tables, CSV emission and text plots for sweep results.
+
+use std::fmt::Write as _;
+
+use crate::{SweepRow, SwitchKind};
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas
+    /// or quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+/// The four per-figure metrics of the paper's result plots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Fig. (a): average input-oriented delay.
+    InputDelay,
+    /// Fig. (b): average output-oriented delay.
+    OutputDelay,
+    /// Fig. (c): average queue size.
+    AvgQueue,
+    /// Fig. (d): maximum queue size.
+    MaxQueue,
+    /// Fig. 5: average convergence rounds.
+    Rounds,
+    /// Extension: measured throughput.
+    Throughput,
+}
+
+impl Metric {
+    /// Column title.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Metric::InputDelay => "in-delay",
+            Metric::OutputDelay => "out-delay",
+            Metric::AvgQueue => "avg-queue",
+            Metric::MaxQueue => "max-queue",
+            Metric::Rounds => "rounds",
+            Metric::Throughput => "throughput",
+        }
+    }
+
+    /// Extract the metric from a row. Saturated points report the value
+    /// measured before censoring; pair with [`SweepRow::result`]'s verdict
+    /// when interpreting.
+    pub fn value(&self, row: &SweepRow) -> f64 {
+        match self {
+            Metric::InputDelay => row.result.delay.mean_input_oriented,
+            Metric::OutputDelay => row.result.delay.mean_output_oriented,
+            Metric::AvgQueue => row.result.occupancy.mean,
+            Metric::MaxQueue => row.result.occupancy.max as f64,
+            Metric::Rounds => row.result.mean_rounds,
+            Metric::Throughput => row.result.throughput,
+        }
+    }
+}
+
+/// Build the per-figure comparison table: one row per load point, one
+/// column per scheduler, cells showing `metric` (saturated points suffixed
+/// with `*`).
+pub fn figure_table(rows: &[SweepRow], switches: &[SwitchKind], metric: Metric) -> Table {
+    let mut headers = vec!["load".to_string()];
+    headers.extend(switches.iter().map(|s| s.label()));
+    let mut table = Table::new(headers);
+    let mut loads: Vec<f64> = rows.iter().map(|r| r.load).collect();
+    loads.sort_by(f64::total_cmp);
+    loads.dedup();
+    for load in loads {
+        let mut cells = vec![format!("{load:.2}")];
+        for sk in switches {
+            let cell = rows
+                .iter()
+                .find(|r| r.switch == *sk && r.load == load)
+                .map(|r| {
+                    if r.result.is_stable() {
+                        format!("{:.3}", metric.value(r))
+                    } else if r.result.delay.delivered_copies == 0 {
+                        // saturation aborted the run before the
+                        // measurement window opened: no number to report
+                        "sat".to_string()
+                    } else {
+                        format!("{:.3}*", metric.value(r))
+                    }
+                })
+                .unwrap_or_else(|| "-".to_string());
+            cells.push(cell);
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+/// Full-detail CSV of a sweep: one row per (scheduler, load).
+pub fn sweep_csv(rows: &[SweepRow]) -> String {
+    let mut table = Table::new(vec![
+        "scheduler",
+        "load",
+        "in_delay",
+        "out_delay",
+        "avg_queue",
+        "max_queue",
+        "rounds",
+        "throughput",
+        "stable",
+        "slots",
+        "packets",
+    ]);
+    for r in rows {
+        table.push_row(vec![
+            r.switch.label(),
+            format!("{:.4}", r.load),
+            format!("{:.4}", r.result.delay.mean_input_oriented),
+            format!("{:.4}", r.result.delay.mean_output_oriented),
+            format!("{:.4}", r.result.occupancy.mean),
+            format!("{}", r.result.occupancy.max),
+            format!("{:.4}", r.result.mean_rounds),
+            format!("{:.4}", r.result.throughput),
+            format!("{}", r.result.is_stable()),
+            format!("{}", r.result.slots_run),
+            format!("{}", r.result.packets_admitted),
+        ]);
+    }
+    table.to_csv()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunConfig, Sweep, TrafficKind};
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.push_row(vec!["1", "2"]);
+        t.push_row(vec!["333", "4,4"]);
+        let text = t.render();
+        assert!(text.contains("long-header"));
+        assert!(text.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"4,4\""), "comma cell must be quoted: {csv}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn csv_quote_escaping() {
+        let mut t = Table::new(vec!["x"]);
+        t.push_row(vec!["say \"hi\""]);
+        assert!(t.to_csv().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn figure_table_from_real_sweep() {
+        let sweep = Sweep {
+            n: 4,
+            switches: vec![SwitchKind::Fifoms, SwitchKind::OqFifo],
+            points: vec![(0.3, TrafficKind::bernoulli_at_load(0.3, 0.5, 4))],
+            run: RunConfig::quick(2_000),
+            seed: 3,
+        };
+        let rows = sweep.run_serial();
+        for metric in [
+            Metric::InputDelay,
+            Metric::OutputDelay,
+            Metric::AvgQueue,
+            Metric::MaxQueue,
+            Metric::Rounds,
+            Metric::Throughput,
+        ] {
+            let t = figure_table(&rows, &sweep.switches, metric);
+            assert_eq!(t.len(), 1);
+            let text = t.render();
+            assert!(text.contains("FIFOMS"));
+            assert!(text.contains("OQFIFO"));
+            assert!(text.contains("0.30"));
+            let _ = metric.title();
+        }
+        let csv = sweep_csv(&rows);
+        assert!(csv.lines().count() == 3); // header + 2 rows
+        assert!(csv.starts_with("scheduler,load"));
+    }
+
+    #[test]
+    fn missing_cell_renders_dash() {
+        let sweep = Sweep {
+            n: 4,
+            switches: vec![SwitchKind::Fifoms],
+            points: vec![(0.2, TrafficKind::bernoulli_at_load(0.2, 0.5, 4))],
+            run: RunConfig::quick(1_000),
+            seed: 1,
+        };
+        let rows = sweep.run_serial();
+        // ask for a scheduler that never ran
+        let t = figure_table(&rows, &[SwitchKind::Fifoms, SwitchKind::Tatra], Metric::AvgQueue);
+        assert!(t.render().contains('-'));
+    }
+}

@@ -1,0 +1,343 @@
+//! Buildable specifications of schedulers and workloads.
+//!
+//! Experiments are declared as data — a [`SwitchKind`] × [`TrafficKind`]
+//! grid — and instantiated per run. This keeps sweeps serialisable into
+//! reports and lets the bench harness and CLI share one vocabulary.
+
+use fifoms_baselines::{
+    IslipSwitch, McFifoSwitch, OqFifoSwitch, PimSwitch, SpeedupOqSwitch, TatraSwitch,
+    TwoDrrSwitch, WbaSwitch,
+};
+use fifoms_core::{FifomsConfig, MulticastVoqSwitch, TieBreak};
+use fifoms_fabric::Switch;
+use fifoms_traffic::{
+    BernoulliMulticast, BurstTraffic, DiagonalUnicast, HotspotUnicast, MixedTraffic,
+    TrafficModel, UniformFanout, UniformUnicast,
+};
+use fifoms_types::PortId;
+
+/// A scheduler specification.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SwitchKind {
+    /// FIFOMS with the paper's defaults.
+    Fifoms,
+    /// FIFOMS ablation: one request per input per round (no one-shot
+    /// multicast).
+    FifomsSingleRequest,
+    /// FIFOMS ablation: cap on iterative rounds per slot.
+    FifomsMaxRounds(u32),
+    /// FIFOMS ablation: alternative grant tie-break rule.
+    FifomsTieBreak(TieBreak),
+    /// FIFOMS ablation: restricted per-slot grant fanout (the paper’s reference \[15\]).
+    FifomsFanoutCap(usize),
+    /// iSLIP; `None` iterates to convergence, `Some(k)` caps iterations.
+    Islip(Option<usize>),
+    /// PIM; same iteration convention as iSLIP.
+    Pim(Option<usize>),
+    /// 2DRR, the diagonal round-robin VOQ scheduler (the paper’s reference \[9\]).
+    TwoDrr,
+    /// TATRA on the single-input-queued switch.
+    Tatra,
+    /// WBA on the single-input-queued switch.
+    Wba,
+    /// FIFO output queueing (speedup-N idealisation).
+    OqFifo,
+    /// Output queueing with explicit finite internal speedup `S`.
+    OqSpeedup(usize),
+    /// Naive multicast FIFO switch; `splitting` selects fanout splitting.
+    McFifo {
+        /// Whether partial (split) service is allowed.
+        splitting: bool,
+    },
+}
+
+impl SwitchKind {
+    /// The paper's four compared schedulers, in its plotting order.
+    pub fn paper_set() -> Vec<SwitchKind> {
+        vec![
+            SwitchKind::Fifoms,
+            SwitchKind::Tatra,
+            SwitchKind::Islip(None),
+            SwitchKind::OqFifo,
+        ]
+    }
+
+    /// Instantiate an `n×n` switch. `seed` derandomises tie-breaks.
+    pub fn build(&self, n: usize, seed: u64) -> Box<dyn Switch> {
+        match *self {
+            SwitchKind::Fifoms => Box::new(MulticastVoqSwitch::new(n, seed)),
+            SwitchKind::FifomsSingleRequest => Box::new(MulticastVoqSwitch::with_config(
+                n,
+                seed,
+                FifomsConfig {
+                    single_request: true,
+                    ..FifomsConfig::default()
+                },
+            )),
+            SwitchKind::FifomsMaxRounds(k) => Box::new(MulticastVoqSwitch::with_config(
+                n,
+                seed,
+                FifomsConfig {
+                    max_rounds: Some(k),
+                    ..FifomsConfig::default()
+                },
+            )),
+            SwitchKind::FifomsTieBreak(tb) => Box::new(MulticastVoqSwitch::with_config(
+                n,
+                seed,
+                FifomsConfig {
+                    tie_break: tb,
+                    ..FifomsConfig::default()
+                },
+            )),
+            SwitchKind::FifomsFanoutCap(f) => Box::new(MulticastVoqSwitch::with_config(
+                n,
+                seed,
+                FifomsConfig {
+                    max_grant_fanout: Some(f),
+                    ..FifomsConfig::default()
+                },
+            )),
+            SwitchKind::TwoDrr => Box::new(TwoDrrSwitch::new(n)),
+            SwitchKind::OqSpeedup(s) => Box::new(SpeedupOqSwitch::new(n, s)),
+            SwitchKind::Islip(None) => Box::new(IslipSwitch::new(n)),
+            SwitchKind::Islip(Some(k)) => Box::new(IslipSwitch::with_iterations(n, k)),
+            SwitchKind::Pim(None) => Box::new(PimSwitch::new(n, seed)),
+            SwitchKind::Pim(Some(k)) => Box::new(PimSwitch::with_iterations(n, k, seed)),
+            SwitchKind::Tatra => Box::new(TatraSwitch::new(n)),
+            SwitchKind::Wba => Box::new(WbaSwitch::new(n, seed)),
+            SwitchKind::OqFifo => Box::new(OqFifoSwitch::new(n)),
+            SwitchKind::McFifo { splitting } => {
+                Box::new(McFifoSwitch::with_splitting(n, seed, splitting))
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            SwitchKind::Fifoms => "FIFOMS".into(),
+            SwitchKind::FifomsSingleRequest => "FIFOMS-1req".into(),
+            SwitchKind::FifomsMaxRounds(k) => format!("FIFOMS-r{k}"),
+            SwitchKind::FifomsTieBreak(TieBreak::Random) => "FIFOMS".into(),
+            SwitchKind::FifomsTieBreak(TieBreak::LowestInput) => "FIFOMS-lowtie".into(),
+            SwitchKind::FifomsTieBreak(TieBreak::Rotating) => "FIFOMS-rottie".into(),
+            SwitchKind::FifomsFanoutCap(f) => format!("FIFOMS-f{f}"),
+            SwitchKind::TwoDrr => "2DRR".into(),
+            SwitchKind::OqSpeedup(s) => format!("OQ-S{s}"),
+            SwitchKind::Islip(None) => "iSLIP".into(),
+            SwitchKind::Islip(Some(k)) => format!("iSLIP-{k}"),
+            SwitchKind::Pim(None) => "PIM".into(),
+            SwitchKind::Pim(Some(k)) => format!("PIM-{k}"),
+            SwitchKind::Tatra => "TATRA".into(),
+            SwitchKind::Wba => "WBA".into(),
+            SwitchKind::OqFifo => "OQFIFO".into(),
+            SwitchKind::McFifo { splitting: true } => "mcFIFO".into(),
+            SwitchKind::McFifo { splitting: false } => "mcFIFO-nosplit".into(),
+        }
+    }
+}
+
+/// A workload specification.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TrafficKind {
+    /// Bernoulli multicast `(p, b)` (paper §V-A).
+    Bernoulli {
+        /// Per-slot arrival probability.
+        p: f64,
+        /// Per-output destination probability.
+        b: f64,
+    },
+    /// Uniform fanout `(p, maxFanout)` (paper §V-B).
+    Uniform {
+        /// Per-slot arrival probability.
+        p: f64,
+        /// Maximum fanout.
+        max_fanout: usize,
+    },
+    /// Bursty on/off `(E_off, E_on, b)` (paper §V-C).
+    Burst {
+        /// Mean off-period length in slots.
+        e_off: f64,
+        /// Mean on-period (burst) length in slots.
+        e_on: f64,
+        /// Per-output destination probability.
+        b: f64,
+    },
+    /// Mixed unicast/multicast Bernoulli (extension; the intro's "mixed
+    /// multicast and unicast packets" regime).
+    Mixed {
+        /// Per-slot arrival probability.
+        p: f64,
+        /// Probability an arrival is multicast (fanout >= 2).
+        frac_multicast: f64,
+        /// Per-output destination probability for multicast arrivals.
+        b: f64,
+    },
+    /// Uniform unicast at probability `p` (extension).
+    UniformUnicast {
+        /// Per-slot arrival probability.
+        p: f64,
+    },
+    /// Diagonal unicast at probability `p` (extension).
+    Diagonal {
+        /// Per-slot arrival probability.
+        p: f64,
+    },
+    /// Hotspot unicast (extension): fraction `h` of packets to `hot`.
+    Hotspot {
+        /// Per-slot arrival probability.
+        p: f64,
+        /// The hot output port.
+        hot: usize,
+        /// Fraction of packets addressed to the hot output.
+        h: f64,
+    },
+}
+
+impl TrafficKind {
+    /// Bernoulli workload at nominal effective load `load` (Figs. 4–5
+    /// sweep axis: `p = load/(b·N)`).
+    pub fn bernoulli_at_load(load: f64, b: f64, n: usize) -> TrafficKind {
+        TrafficKind::Bernoulli {
+            p: BernoulliMulticast::p_for_load(load, n, b),
+            b,
+        }
+    }
+
+    /// Uniform-fanout workload at effective load `load` (Figs. 6–7 sweep
+    /// axis: `p = 2·load/(1+maxFanout)`).
+    pub fn uniform_at_load(load: f64, max_fanout: usize) -> TrafficKind {
+        TrafficKind::Uniform {
+            p: UniformFanout::p_for_load(load, max_fanout),
+            max_fanout,
+        }
+    }
+
+    /// Burst workload at effective load `load` with fixed `E_on` and `b`
+    /// (Fig. 8 sweep axis: `E_off = E_on·(bN/load − 1)`).
+    pub fn burst_at_load(load: f64, e_on: f64, b: f64, n: usize) -> TrafficKind {
+        TrafficKind::Burst {
+            e_off: BurstTraffic::e_off_for_load(load, n, e_on, b),
+            e_on,
+            b,
+        }
+    }
+
+    /// Instantiate the model for an `n×n` switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid for this `n` (experiment specs
+    /// are programmer-constructed).
+    pub fn build(&self, n: usize, seed: u64) -> Box<dyn TrafficModel> {
+        match *self {
+            TrafficKind::Bernoulli { p, b } => {
+                Box::new(BernoulliMulticast::new(n, p, b, seed).expect("bernoulli spec"))
+            }
+            TrafficKind::Uniform { p, max_fanout } => {
+                Box::new(UniformFanout::new(n, p, max_fanout, seed).expect("uniform spec"))
+            }
+            TrafficKind::Burst { e_off, e_on, b } => {
+                Box::new(BurstTraffic::new(n, e_off, e_on, b, seed).expect("burst spec"))
+            }
+            TrafficKind::Mixed {
+                p,
+                frac_multicast,
+                b,
+            } => Box::new(MixedTraffic::new(n, p, frac_multicast, b, seed).expect("mixed spec")),
+            TrafficKind::UniformUnicast { p } => {
+                Box::new(UniformUnicast::new(n, p, seed).expect("unicast spec"))
+            }
+            TrafficKind::Diagonal { p } => {
+                Box::new(DiagonalUnicast::new(n, p, seed).expect("diagonal spec"))
+            }
+            TrafficKind::Hotspot { p, hot, h } => Box::new(
+                HotspotUnicast::new(n, p, PortId::new(hot), h, seed).expect("hotspot spec"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_order() {
+        let labels: Vec<String> = SwitchKind::paper_set().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["FIFOMS", "TATRA", "iSLIP", "OQFIFO"]);
+    }
+
+    #[test]
+    fn every_switch_kind_builds_and_names() {
+        let kinds = [
+            SwitchKind::Fifoms,
+            SwitchKind::FifomsSingleRequest,
+            SwitchKind::FifomsMaxRounds(2),
+            SwitchKind::FifomsTieBreak(TieBreak::LowestInput),
+            SwitchKind::FifomsTieBreak(TieBreak::Rotating),
+            SwitchKind::FifomsFanoutCap(2),
+            SwitchKind::TwoDrr,
+            SwitchKind::OqSpeedup(1),
+            SwitchKind::OqSpeedup(4),
+            SwitchKind::Islip(None),
+            SwitchKind::Islip(Some(1)),
+            SwitchKind::Pim(None),
+            SwitchKind::Pim(Some(2)),
+            SwitchKind::Tatra,
+            SwitchKind::Wba,
+            SwitchKind::OqFifo,
+            SwitchKind::McFifo { splitting: true },
+            SwitchKind::McFifo { splitting: false },
+        ];
+        for k in kinds {
+            let sw = k.build(8, 42);
+            assert_eq!(sw.ports(), 8, "{}", k.label());
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_traffic_kind_builds() {
+        let kinds = [
+            TrafficKind::Bernoulli { p: 0.2, b: 0.2 },
+            TrafficKind::Uniform {
+                p: 0.2,
+                max_fanout: 4,
+            },
+            TrafficKind::Burst {
+                e_off: 64.0,
+                e_on: 16.0,
+                b: 0.5,
+            },
+            TrafficKind::Mixed {
+                p: 0.4,
+                frac_multicast: 0.3,
+                b: 0.25,
+            },
+            TrafficKind::UniformUnicast { p: 0.5 },
+            TrafficKind::Diagonal { p: 0.5 },
+            TrafficKind::Hotspot {
+                p: 0.5,
+                hot: 0,
+                h: 0.3,
+            },
+        ];
+        for k in kinds {
+            let tr = k.build(8, 1);
+            assert_eq!(tr.ports(), 8);
+        }
+    }
+
+    #[test]
+    fn at_load_constructors_hit_requested_load() {
+        let n = 16;
+        let tr = TrafficKind::bernoulli_at_load(0.8, 0.2, n).build(n, 0);
+        assert!((tr.effective_load().unwrap() - 0.8).abs() < 1e-9);
+        let tr = TrafficKind::uniform_at_load(0.6, 8).build(n, 0);
+        assert!((tr.effective_load().unwrap() - 0.6).abs() < 1e-9);
+        let tr = TrafficKind::burst_at_load(0.5, 16.0, 0.5, n).build(n, 0);
+        assert!((tr.effective_load().unwrap() - 0.5).abs() < 1e-9);
+    }
+}

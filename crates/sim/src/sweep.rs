@@ -1,0 +1,269 @@
+//! Grids of simulations: (scheduler × load point), optionally threaded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{simulate, RunConfig, RunResult};
+use crate::spec::{SwitchKind, TrafficKind};
+
+/// One completed grid cell.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The scheduler that ran.
+    pub switch: SwitchKind,
+    /// The nominal load of the point (the x-axis of the paper's figures).
+    pub load: f64,
+    /// The full measurement.
+    pub result: RunResult,
+}
+
+/// A sweep specification: one figure's worth of simulations.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Switch size `N` (16 in the paper).
+    pub n: usize,
+    /// Schedulers to compare.
+    pub switches: Vec<SwitchKind>,
+    /// `(nominal_load, workload)` points, shared by every scheduler.
+    pub points: Vec<(f64, TrafficKind)>,
+    /// Per-run configuration.
+    pub run: RunConfig,
+    /// Base RNG seed; each grid cell derives a distinct deterministic
+    /// seed, and the *same* workload seed is used across schedulers at a
+    /// point so they face identical arrival processes.
+    pub seed: u64,
+}
+
+impl Sweep {
+    /// Execute every cell on the current thread.
+    pub fn run_serial(&self) -> Vec<SweepRow> {
+        let mut rows = Vec::with_capacity(self.switches.len() * self.points.len());
+        for (si, sk) in self.switches.iter().enumerate() {
+            for (pi, (load, tk)) in self.points.iter().enumerate() {
+                rows.push(self.run_cell(*sk, si, *load, *tk, pi));
+            }
+        }
+        rows
+    }
+
+    /// Execute the grid across `threads` worker threads (work-stealing by
+    /// atomic index). Results come back in deterministic grid order and
+    /// are identical to [`Sweep::run_serial`] because every cell is
+    /// seeded independently.
+    pub fn run_parallel(&self, threads: usize) -> Vec<SweepRow> {
+        let threads = threads.max(1);
+        let cells: Vec<(usize, usize)> = (0..self.switches.len())
+            .flat_map(|si| (0..self.points.len()).map(move |pi| (si, pi)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<SweepRow>>> = Mutex::new(vec![None; cells.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(cells.len().max(1)) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(si, pi)) = cells.get(idx) else { break };
+                    let (load, tk) = self.points[pi];
+                    let row = self.run_cell(self.switches[si], si, load, tk, pi);
+                    results.lock().expect("poisoned")[idx] = Some(row);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("poisoned")
+            .into_iter()
+            .map(|r| r.expect("cell not executed"))
+            .collect()
+    }
+
+    fn run_cell(
+        &self,
+        sk: SwitchKind,
+        switch_idx: usize,
+        load: f64,
+        tk: TrafficKind,
+        point_idx: usize,
+    ) -> SweepRow {
+        // Workload seed depends only on the point → identical arrivals for
+        // every scheduler; switch seed also varies by scheduler.
+        let traffic_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (point_idx as u64);
+        let switch_seed = traffic_seed ^ ((switch_idx as u64 + 1) << 32);
+        let mut switch = sk.build(self.n, switch_seed);
+        let mut traffic = tk.build(self.n, traffic_seed);
+        let result = simulate(switch.as_mut(), traffic.as_mut(), &self.run);
+        SweepRow {
+            switch: sk,
+            load,
+            result,
+        }
+    }
+
+    /// Rows of one scheduler, in point order, from a result set.
+    pub fn rows_for(rows: &[SweepRow], sk: SwitchKind) -> Vec<&SweepRow> {
+        rows.iter().filter(|r| r.switch == sk).collect()
+    }
+
+    /// Run the whole grid `replications` times with independent seeds and
+    /// aggregate each cell across replications (mean and 95% half-width
+    /// of the key metrics). Replications of different cells all share the
+    /// work pool, so `threads` bounds total parallelism.
+    pub fn run_replicated(&self, replications: usize, threads: usize) -> Vec<ReplicatedRow> {
+        assert!(replications > 0, "need at least one replication");
+        let mut all: Vec<Vec<SweepRow>> = Vec::with_capacity(replications);
+        for rep in 0..replications {
+            let mut sweep = self.clone();
+            sweep.seed = self
+                .seed
+                .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(rep as u64 + 1));
+            all.push(sweep.run_parallel(threads));
+        }
+        let cells = all[0].len();
+        (0..cells)
+            .map(|c| {
+                let samples: Vec<&SweepRow> = all.iter().map(|rows| &rows[c]).collect();
+                ReplicatedRow::aggregate(&samples)
+            })
+            .collect()
+    }
+}
+
+/// A grid cell aggregated over independent replications.
+#[derive(Clone, Debug)]
+pub struct ReplicatedRow {
+    /// The scheduler that ran.
+    pub switch: SwitchKind,
+    /// The nominal load of the point.
+    pub load: f64,
+    /// Replications aggregated.
+    pub replications: usize,
+    /// Replications whose verdict was stable.
+    pub stable_replications: usize,
+    /// Mean of the per-replication mean output-oriented delays.
+    pub out_delay_mean: f64,
+    /// 95% half-width of the output-oriented delay across replications.
+    pub out_delay_hw95: f64,
+    /// Mean of the per-replication average queue sizes.
+    pub avg_queue_mean: f64,
+    /// 95% half-width of the average queue size across replications.
+    pub avg_queue_hw95: f64,
+}
+
+impl ReplicatedRow {
+    fn aggregate(samples: &[&SweepRow]) -> ReplicatedRow {
+        use fifoms_stats::BatchMeans;
+        assert!(!samples.is_empty());
+        let mut delay = BatchMeans::new(1);
+        let mut queue = BatchMeans::new(1);
+        let mut stable = 0;
+        for s in samples {
+            delay.push(s.result.delay.mean_output_oriented);
+            queue.push(s.result.occupancy.mean);
+            if s.result.is_stable() {
+                stable += 1;
+            }
+        }
+        ReplicatedRow {
+            switch: samples[0].switch,
+            load: samples[0].load,
+            replications: samples.len(),
+            stable_replications: stable,
+            out_delay_mean: delay.mean().expect("nonempty"),
+            out_delay_hw95: delay.half_width_95().unwrap_or(0.0),
+            avg_queue_mean: queue.mean().expect("nonempty"),
+            avg_queue_hw95: queue.half_width_95().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep {
+            n: 8,
+            switches: vec![SwitchKind::Fifoms, SwitchKind::OqFifo],
+            points: vec![
+                (0.2, TrafficKind::bernoulli_at_load(0.2, 0.25, 8)),
+                (0.4, TrafficKind::bernoulli_at_load(0.4, 0.25, 8)),
+            ],
+            run: RunConfig::quick(4_000),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn serial_covers_grid() {
+        let rows = tiny_sweep().run_serial();
+        assert_eq!(rows.len(), 4);
+        let fifoms = Sweep::rows_for(&rows, SwitchKind::Fifoms);
+        assert_eq!(fifoms.len(), 2);
+        assert_eq!(fifoms[0].load, 0.2);
+        assert_eq!(fifoms[1].load, 0.4);
+        assert!(rows.iter().all(|r| r.result.is_stable()));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let sweep = tiny_sweep();
+        let serial = sweep.run_serial();
+        let parallel = sweep.run_parallel(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.result.switch_name, b.result.switch_name);
+            assert_eq!(a.result.packets_admitted, b.result.packets_admitted);
+            assert_eq!(
+                a.result.delay.mean_output_oriented,
+                b.result.delay.mean_output_oriented
+            );
+            assert_eq!(a.result.occupancy.max, b.result.occupancy.max);
+        }
+    }
+
+    #[test]
+    fn replications_aggregate_with_intervals() {
+        let sweep = tiny_sweep();
+        let rows = sweep.run_replicated(3, 4);
+        assert_eq!(rows.len(), 4); // 2 switches × 2 points
+        for r in &rows {
+            assert_eq!(r.replications, 3);
+            assert_eq!(r.stable_replications, 3, "{:?} at {}", r.switch, r.load);
+            assert!(r.out_delay_mean >= 0.0);
+            assert!(r.out_delay_hw95 >= 0.0);
+            assert!(r.avg_queue_hw95 >= 0.0);
+        }
+        // higher load ⇒ higher mean delay for the same scheduler
+        let fifoms: Vec<&ReplicatedRow> = rows
+            .iter()
+            .filter(|r| r.switch == SwitchKind::Fifoms)
+            .collect();
+        assert!(fifoms[0].out_delay_mean < fifoms[1].out_delay_mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replications_rejected() {
+        tiny_sweep().run_replicated(0, 1);
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let sweep = tiny_sweep();
+        let rows = sweep.run_replicated(2, 2);
+        // with independent arrival streams the interval is (almost surely)
+        // nonzero for a stochastic workload
+        assert!(rows.iter().any(|r| r.out_delay_hw95 > 0.0));
+    }
+
+    #[test]
+    fn schedulers_see_identical_arrivals_at_a_point() {
+        let rows = tiny_sweep().run_serial();
+        let by_switch: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.load == 0.2)
+            .map(|r| r.result.packets_admitted)
+            .collect();
+        assert_eq!(by_switch[0], by_switch[1], "same workload seed per point");
+    }
+}

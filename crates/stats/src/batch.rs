@@ -1,0 +1,180 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+
+use crate::RunningStat;
+
+/// Batch-means estimator.
+///
+/// Raw per-slot observations from a steady-state simulation are strongly
+/// autocorrelated, so the naive `s/sqrt(n)` standard error is far too
+/// optimistic. The classic remedy is batch means: partition the stream into
+/// `k` contiguous batches, average each batch, and treat the batch averages
+/// as (approximately) independent samples.
+///
+/// Observations are pushed one at a time; the batch size is fixed at
+/// construction. Incomplete trailing batches are excluded from the interval.
+#[derive(Clone, Debug)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: RunningStat,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Estimator with the given number of observations per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> BatchMeans {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: RunningStat::new(),
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Push one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = RunningStat::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Mean of the completed batch means; `None` before the first batch
+    /// completes.
+    pub fn mean(&self) -> Option<f64> {
+        if self.batch_means.is_empty() {
+            return None;
+        }
+        Some(self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64)
+    }
+
+    /// Approximate 95% confidence half-width around [`BatchMeans::mean`].
+    ///
+    /// Uses Student's t critical values for small batch counts and the
+    /// normal 1.96 beyond 30 degrees of freedom. `None` with fewer than two
+    /// completed batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        Some(t_critical_95(k - 1) * (var / k as f64).sqrt())
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+fn t_critical_95(df: usize) -> f64 {
+    // Standard table, df 1..=30; beyond that the normal approximation is
+    // accurate to <1%.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn no_interval_before_two_batches() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..9 {
+            b.push(i as f64);
+        }
+        assert_eq!(b.batches(), 0);
+        assert_eq!(b.mean(), None);
+        assert_eq!(b.half_width_95(), None);
+        b.push(9.0);
+        assert_eq!(b.batches(), 1);
+        assert_eq!(b.mean(), Some(4.5));
+        assert_eq!(b.half_width_95(), None);
+    }
+
+    #[test]
+    fn constant_stream_zero_width() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..50 {
+            b.push(3.0);
+        }
+        assert_eq!(b.batches(), 10);
+        assert_eq!(b.mean(), Some(3.0));
+        assert_eq!(b.half_width_95(), Some(0.0));
+    }
+
+    #[test]
+    fn alternating_stream_interval_covers_mean() {
+        // Stream alternates 0,2,0,2,... batch size 2 → every batch mean = 1.
+        let mut b = BatchMeans::new(2);
+        for i in 0..40 {
+            b.push((i % 2 * 2) as f64);
+        }
+        assert_eq!(b.mean(), Some(1.0));
+        assert_eq!(b.half_width_95(), Some(0.0));
+    }
+
+    #[test]
+    fn incomplete_tail_excluded() {
+        let mut b = BatchMeans::new(4);
+        for _ in 0..4 {
+            b.push(1.0);
+        }
+        for _ in 0..4 {
+            b.push(3.0);
+        }
+        b.push(1000.0); // incomplete batch, must not bias the mean
+        assert_eq!(b.batches(), 2);
+        assert_eq!(b.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn t_table_values() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert_eq!(t_critical_95(31), 1.96);
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_batches() {
+        // i.i.d.-ish deterministic spread: batch means 0.5 apart around 10.
+        let mk = |batches: usize| {
+            let mut b = BatchMeans::new(1);
+            for i in 0..batches {
+                b.push(10.0 + if i % 2 == 0 { 0.5 } else { -0.5 });
+            }
+            b.half_width_95().unwrap()
+        };
+        assert!(mk(40) < mk(4));
+    }
+}

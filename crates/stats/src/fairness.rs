@@ -1,0 +1,151 @@
+//! Service-fairness measurement (Jain's index over per-flow service).
+//!
+//! §VI claims FIFOMS is *starvation free* and provides a "fairness
+//! guarantee" through the FIFO property. The fairness experiments
+//! quantify this: accumulate the service (delivered copies) each flow —
+//! typically each input port, or each (input, output) pair — received,
+//! and summarise with Jain's fairness index
+//! `J = (Σxᵢ)² / (n · Σxᵢ²)`, which is 1 for perfectly equal service and
+//! `1/n` when one flow monopolises the switch.
+
+/// Accumulates per-flow service counts and computes fairness indices.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_stats::FairnessTracker;
+///
+/// let mut t = FairnessTracker::new(2);
+/// t.record(0, 30);
+/// t.record(1, 10);
+/// assert!((t.jain_index() - 0.8).abs() < 1e-12); // 40^2 / (2 * 1000)
+/// assert_eq!(t.max_min_ratio(), 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FairnessTracker {
+    service: Vec<u64>,
+}
+
+impl FairnessTracker {
+    /// Tracker over `flows` flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows == 0`.
+    pub fn new(flows: usize) -> FairnessTracker {
+        assert!(flows > 0, "fairness tracker needs at least one flow");
+        FairnessTracker {
+            service: vec![0; flows],
+        }
+    }
+
+    /// Record `amount` units of service to `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` is out of range.
+    pub fn record(&mut self, flow: usize, amount: u64) {
+        self.service[flow] += amount;
+    }
+
+    /// Number of flows.
+    pub fn flows(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Total service delivered.
+    pub fn total(&self) -> u64 {
+        self.service.iter().sum()
+    }
+
+    /// The raw per-flow service counts.
+    pub fn service(&self) -> &[u64] {
+        &self.service
+    }
+
+    /// Jain's fairness index over all flows; 1.0 when no service has been
+    /// recorded (vacuously fair).
+    pub fn jain_index(&self) -> f64 {
+        let sum: f64 = self.service.iter().map(|&x| x as f64).sum();
+        if sum == 0.0 {
+            return 1.0;
+        }
+        let sum_sq: f64 = self.service.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        sum * sum / (self.service.len() as f64 * sum_sq)
+    }
+
+    /// Max/min service ratio (∞ when some flow got nothing while another
+    /// got service; 1.0 for perfect equality or no service at all).
+    pub fn max_min_ratio(&self) -> f64 {
+        let max = *self.service.iter().max().expect("nonempty") as f64;
+        let min = *self.service.iter().min().expect("nonempty") as f64;
+        if max == 0.0 {
+            1.0
+        } else if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn zero_flows_rejected() {
+        let _ = FairnessTracker::new(0);
+    }
+
+    #[test]
+    fn vacuous_fairness_when_idle() {
+        let t = FairnessTracker::new(4);
+        assert_eq!(t.jain_index(), 1.0);
+        assert_eq!(t.max_min_ratio(), 1.0);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn perfect_equality() {
+        let mut t = FairnessTracker::new(4);
+        for f in 0..4 {
+            t.record(f, 25);
+        }
+        assert!((t.jain_index() - 1.0).abs() < 1e-12);
+        assert_eq!(t.max_min_ratio(), 1.0);
+        assert_eq!(t.total(), 100);
+    }
+
+    #[test]
+    fn monopoly_gives_one_over_n() {
+        let mut t = FairnessTracker::new(5);
+        t.record(2, 100);
+        assert!((t.jain_index() - 0.2).abs() < 1e-12);
+        assert_eq!(t.max_min_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_jain_value() {
+        // x = [1,2,3,4]: J = 100 / (4 * 30) = 0.8333...
+        let mut t = FairnessTracker::new(4);
+        for (f, x) in [1u64, 2, 3, 4].iter().enumerate() {
+            t.record(f, *x);
+        }
+        assert!((t.jain_index() - 100.0 / 120.0).abs() < 1e-12);
+        assert_eq!(t.max_min_ratio(), 4.0);
+        assert_eq!(t.service(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        // J ∈ [1/n, 1] for any nonzero allocation.
+        let mut t = FairnessTracker::new(3);
+        t.record(0, 7);
+        t.record(1, 1);
+        t.record(2, 992);
+        let j = t.jain_index();
+        assert!((1.0 / 3.0 - 1e-12..=1.0).contains(&j));
+    }
+}

@@ -1,0 +1,43 @@
+//! Statistics substrate for the FIFOMS simulation study.
+//!
+//! The paper (§V) reports four statistics per experiment point:
+//!
+//! * **average input-oriented delay** — delay until the *last* destination
+//!   of a packet is served (the sender's view);
+//! * **average output-oriented delay** — delay of every delivered copy
+//!   (the receiver's view);
+//! * **average queue size** — time-averaged number of unsent packets held
+//!   per port;
+//! * **maximum queue size** — the peak of that quantity over the run.
+//!
+//! plus, for Fig. 5, the **average convergence rounds** of the iterative
+//! schedulers.
+//!
+//! This crate provides the estimators those metrics are built from:
+//! numerically stable running moments ([`RunningStat`]), bucketed
+//! [`Histogram`]s with quantile queries, the composite [`DelayStats`] /
+//! [`OccupancyTracker`] recorders, batch-means confidence intervals
+//! ([`BatchMeans`]) and the backlog-growth [`SaturationDetector`] used to
+//! flag operating points beyond a scheduler's stability region (the paper
+//! stops plotting such points; we report them flagged instead).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod delay;
+mod fairness;
+mod histogram;
+mod occupancy;
+mod running;
+mod saturation;
+mod timeseries;
+
+pub use batch::BatchMeans;
+pub use delay::{DelayStats, DelaySummary};
+pub use fairness::FairnessTracker;
+pub use histogram::Histogram;
+pub use occupancy::{OccupancySummary, OccupancyTracker};
+pub use running::RunningStat;
+pub use saturation::{SaturationDetector, SaturationVerdict};
+pub use timeseries::TimeSeries;

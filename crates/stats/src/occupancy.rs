@@ -1,0 +1,153 @@
+//! Queue-occupancy tracking (average and maximum queue size).
+
+use crate::RunningStat;
+
+/// Tracks per-port queue occupancy over time.
+///
+/// The paper defines queue size as "the number of data cells in the buffer
+/// of an input port", i.e. how many unsent packets the port holds (§V); for
+/// the output-queued baseline the same statistic is taken over output
+/// queues. One sample per port per slot is recorded after the slot's
+/// transfers complete.
+///
+/// * **average queue size** = mean over all (slot, port) samples;
+/// * **maximum queue size** = max over all samples.
+#[derive(Clone, Debug)]
+pub struct OccupancyTracker {
+    per_port: Vec<RunningStat>,
+    overall: RunningStat,
+    max: usize,
+}
+
+impl OccupancyTracker {
+    /// Tracker for `ports` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(ports: usize) -> OccupancyTracker {
+        assert!(ports > 0, "occupancy tracker needs at least one port");
+        OccupancyTracker {
+            per_port: vec![RunningStat::new(); ports],
+            overall: RunningStat::new(),
+            max: 0,
+        }
+    }
+
+    /// Number of tracked ports.
+    pub fn ports(&self) -> usize {
+        self.per_port.len()
+    }
+
+    /// Record this slot's occupancy samples, one per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes.len()` differs from the configured port count.
+    pub fn sample(&mut self, sizes: &[usize]) {
+        assert_eq!(sizes.len(), self.per_port.len(), "port count mismatch");
+        for (stat, &s) in self.per_port.iter_mut().zip(sizes) {
+            stat.push_u64(s as u64);
+            self.overall.push_u64(s as u64);
+            self.max = self.max.max(s);
+        }
+    }
+
+    /// Average queue size over all samples (ports × slots).
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Largest queue size observed at any port in any slot.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Average queue size of one port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn port_mean(&self, port: usize) -> f64 {
+        self.per_port[port].mean()
+    }
+
+    /// Number of slots sampled.
+    pub fn samples(&self) -> u64 {
+        self.per_port.first().map_or(0, |s| s.count())
+    }
+
+    /// Immutable summary snapshot for reporting.
+    pub fn summary(&self) -> OccupancySummary {
+        OccupancySummary {
+            mean: self.mean(),
+            max: self.max(),
+            slots_sampled: self.samples(),
+        }
+    }
+}
+
+/// Snapshot of the occupancy metrics for one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OccupancySummary {
+    /// Time- and port-averaged queue size.
+    pub mean: f64,
+    /// Peak queue size at any port.
+    pub max: usize,
+    /// Number of slots that contributed samples.
+    pub slots_sampled: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker() {
+        let t = OccupancyTracker::new(4);
+        assert_eq!(t.ports(), 4);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), 0);
+        assert_eq!(t.samples(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = OccupancyTracker::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "port count mismatch")]
+    fn wrong_sample_width_rejected() {
+        let mut t = OccupancyTracker::new(2);
+        t.sample(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn averages_over_ports_and_slots() {
+        let mut t = OccupancyTracker::new(2);
+        t.sample(&[0, 4]); // slot 1
+        t.sample(&[2, 2]); // slot 2
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.max(), 4);
+        assert_eq!(t.samples(), 2);
+        assert_eq!(t.port_mean(0), 1.0);
+        assert_eq!(t.port_mean(1), 3.0);
+    }
+
+    #[test]
+    fn summary_snapshot() {
+        let mut t = OccupancyTracker::new(1);
+        t.sample(&[7]);
+        let s = t.summary();
+        assert_eq!(
+            s,
+            OccupancySummary {
+                mean: 7.0,
+                max: 7,
+                slots_sampled: 1
+            }
+        );
+    }
+}

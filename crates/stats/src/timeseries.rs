@@ -1,0 +1,199 @@
+//! Bounded-memory time series with automatic downsampling.
+//!
+//! Backlog-evolution plots (and the saturation post-mortems in
+//! EXPERIMENTS.md) need the *shape* of a signal over a 10^6-slot run
+//! without storing 10^6 points. `TimeSeries` keeps at most `2·capacity`
+//! bucket averages: whenever the buffer fills, adjacent buckets are
+//! merged pairwise and the sampling stride doubles — an online constant-
+//! memory piecewise-mean compaction that preserves trend shape.
+
+/// A downsampling time series of `f64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::new(4);
+/// for i in 0..8 {
+///     ts.push(i as f64);
+/// }
+/// // 8 unit buckets hit 2·capacity and merged pairwise:
+/// assert_eq!(ts.samples(), vec![0.5, 2.5, 4.5, 6.5]);
+/// assert_eq!(ts.mean(), 3.5); // exact despite compaction
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    /// Completed buckets: (mean, count).
+    buckets: Vec<(f64, u64)>,
+    /// Current stride (observations per bucket).
+    stride: u64,
+    /// Accumulator for the in-progress bucket.
+    acc_sum: f64,
+    acc_count: u64,
+    total: u64,
+}
+
+impl TimeSeries {
+    /// A series keeping at most `2·capacity` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn new(capacity: usize) -> TimeSeries {
+        assert!(capacity >= 2, "time series needs capacity >= 2");
+        TimeSeries {
+            capacity,
+            buckets: Vec::with_capacity(2 * capacity),
+            stride: 1,
+            acc_sum: 0.0,
+            acc_count: 0,
+            total: 0,
+        }
+    }
+
+    /// Append one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        self.acc_sum += x;
+        self.acc_count += 1;
+        if self.acc_count == self.stride {
+            self.buckets
+                .push((self.acc_sum / self.acc_count as f64, self.acc_count));
+            self.acc_sum = 0.0;
+            self.acc_count = 0;
+            if self.buckets.len() >= 2 * self.capacity {
+                self.compact();
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        let mut merged = Vec::with_capacity(self.capacity);
+        for pair in self.buckets.chunks(2) {
+            match pair {
+                [(m1, c1), (m2, c2)] => {
+                    let count = c1 + c2;
+                    merged.push(((m1 * *c1 as f64 + m2 * *c2 as f64) / count as f64, count));
+                }
+                [single] => merged.push(*single),
+                _ => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+        self.stride *= 2;
+    }
+
+    /// Observations pushed so far.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observation has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Current observations-per-bucket stride.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Bucket means in time order (the downsampled signal). Includes the
+    /// in-progress bucket if it has data.
+    pub fn samples(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self.buckets.iter().map(|&(m, _)| m).collect();
+        if self.acc_count > 0 {
+            out.push(self.acc_sum / self.acc_count as f64);
+        }
+        out
+    }
+
+    /// Mean over everything pushed (exact, independent of compaction).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let bucket_sum: f64 = self.buckets.iter().map(|&(m, c)| m * c as f64).sum();
+        (bucket_sum + self.acc_sum) / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "capacity >= 2")]
+    fn tiny_capacity_rejected() {
+        let _ = TimeSeries::new(1);
+    }
+
+    #[test]
+    fn no_compaction_below_capacity() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..10 {
+            ts.push(i as f64);
+        }
+        assert_eq!(ts.stride(), 1);
+        assert_eq!(ts.samples(), (0..10).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(ts.len(), 10);
+    }
+
+    #[test]
+    fn compaction_halves_buckets_doubles_stride() {
+        let mut ts = TimeSeries::new(4);
+        for i in 0..8 {
+            ts.push(i as f64); // fills 8 = 2*capacity unit buckets
+        }
+        assert_eq!(ts.stride(), 2);
+        // merged pairwise: means of (0,1),(2,3),(4,5),(6,7)
+        assert_eq!(ts.samples(), vec![0.5, 2.5, 4.5, 6.5]);
+    }
+
+    #[test]
+    fn bounded_memory_over_long_stream() {
+        let mut ts = TimeSeries::new(16);
+        for i in 0..100_000 {
+            ts.push((i % 100) as f64);
+        }
+        assert!(ts.samples().len() <= 2 * 16 + 1);
+        assert!(ts.stride() >= 100_000 / 32);
+        assert!((ts.mean() - 49.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn trend_shape_preserved() {
+        // A linear ramp stays monotone after heavy compaction.
+        let mut ts = TimeSeries::new(8);
+        for i in 0..10_000 {
+            ts.push(i as f64);
+        }
+        let s = ts.samples();
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "ramp not monotone: {s:?}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_is_exact(values in proptest::collection::vec(-1e3f64..1e3, 1..500)) {
+            let mut ts = TimeSeries::new(4);
+            for &v in &values {
+                ts.push(v);
+            }
+            let exact = values.iter().sum::<f64>() / values.len() as f64;
+            prop_assert!((ts.mean() - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+            prop_assert_eq!(ts.len(), values.len() as u64);
+        }
+
+        #[test]
+        fn prop_samples_bounded(extra in 0u64..5_000) {
+            let mut ts = TimeSeries::new(8);
+            for i in 0..extra {
+                ts.push(i as f64);
+            }
+            prop_assert!(ts.samples().len() <= 17);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Bursty on/off Markov traffic (paper §V-C).
+
+use fifoms_types::{check_ports, check_probability, PortId, PortSet, Slot, TypeError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TrafficModel;
+
+#[derive(Clone, Debug)]
+enum PortState {
+    Off,
+    /// On, with the destination set shared by every packet of the burst.
+    On(PortSet),
+}
+
+/// Two-state Markov (on/off) burst source.
+///
+/// Each input port alternates between an *off* state (no arrivals) and an
+/// *on* state (one packet every slot, all packets of the burst sharing the
+/// same destination set, drawn like the Bernoulli model with per-output
+/// probability `b`). At the end of each slot the port leaves the off state
+/// with probability `1/E_off` and the on state with probability `1/E_on`,
+/// making the mean state lengths `E_off` and `E_on` slots.
+///
+/// Arrival rate `E_on/(E_on+E_off)`; average fanout `b·N`; effective load
+/// `b·N·E_on/(E_on+E_off)`. Ports are initialised in their stationary
+/// distribution to shorten the warmup transient.
+#[derive(Clone, Debug)]
+pub struct BurstTraffic {
+    n: usize,
+    e_off: f64,
+    e_on: f64,
+    b: f64,
+    states: Vec<PortState>,
+    rng: SmallRng,
+}
+
+impl BurstTraffic {
+    /// Create a source for an `n×n` switch.
+    ///
+    /// `e_off` and `e_on` are mean state lengths in slots and must be
+    /// `>= 1`; `b` is the per-output destination probability.
+    pub fn new(n: usize, e_off: f64, e_on: f64, b: f64, seed: u64) -> Result<BurstTraffic, TypeError> {
+        check_ports(n)?;
+        check_probability("b", b)?;
+        if b == 0.0 {
+            return Err(TypeError::NonPositive { name: "b", got: 0.0 });
+        }
+        for (name, v) in [("e_off", e_off), ("e_on", e_on)] {
+            if !(v.is_finite() && v >= 1.0) {
+                return Err(TypeError::OutOfRange {
+                    name,
+                    allowed: ">= 1 slot",
+                    got: v,
+                });
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p_on_stationary = e_on / (e_on + e_off);
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen_bool(p_on_stationary) {
+                let d = Self::draw_dests_with(&mut rng, n, b);
+                states.push(PortState::On(d));
+            } else {
+                states.push(PortState::Off);
+            }
+        }
+        Ok(BurstTraffic {
+            n,
+            e_off,
+            e_on,
+            b,
+            states,
+            rng,
+        })
+    }
+
+    /// The mean off-period `E_off` at which the effective load
+    /// `b·N·E_on/(E_on+E_off)` equals `load` (the sweep axis of Fig. 8).
+    pub fn e_off_for_load(load: f64, n: usize, e_on: f64, b: f64) -> f64 {
+        // load = bN * e_on / (e_on + e_off)  =>  e_off = e_on (bN/load - 1)
+        e_on * (b * n as f64 / load - 1.0)
+    }
+
+    fn draw_dests_with(rng: &mut SmallRng, n: usize, b: f64) -> PortSet {
+        loop {
+            let mut s = PortSet::new();
+            for out in 0..n {
+                if rng.gen_bool(b) {
+                    s.insert(PortId::new(out));
+                }
+            }
+            if !s.is_empty() {
+                return s;
+            }
+        }
+    }
+}
+
+impl TrafficModel for BurstTraffic {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn next_slot(&mut self, _now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        let p_leave_on = 1.0 / self.e_on;
+        let p_leave_off = 1.0 / self.e_off;
+        for i in 0..self.n {
+            // Emit according to the current state...
+            match &self.states[i] {
+                PortState::On(dests) => arrivals.push(Some(dests.clone())),
+                PortState::Off => arrivals.push(None),
+            }
+            // ...then transition at the end of the slot.
+            let flip = match &self.states[i] {
+                PortState::On(_) => self.rng.gen_bool(p_leave_on),
+                PortState::Off => self.rng.gen_bool(p_leave_off),
+            };
+            if flip {
+                self.states[i] = match &self.states[i] {
+                    PortState::On(_) => PortState::Off,
+                    PortState::Off => {
+                        let d = Self::draw_dests_with(&mut self.rng, self.n, self.b);
+                        PortState::On(d)
+                    }
+                };
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        Some(self.b * self.n as f64 * self.e_on / (self.e_on + self.e_off))
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "burst(Eoff={:.1},Eon={:.1},b={:.2})",
+            self.e_off, self.e_on, self.b
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::empirical_rates;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(BurstTraffic::new(0, 16.0, 16.0, 0.5, 0).is_err());
+        assert!(BurstTraffic::new(16, 0.5, 16.0, 0.5, 0).is_err()); // e_off < 1
+        assert!(BurstTraffic::new(16, 16.0, 0.0, 0.5, 0).is_err()); // e_on < 1
+        assert!(BurstTraffic::new(16, 16.0, 16.0, 0.0, 0).is_err()); // b = 0
+        assert!(BurstTraffic::new(16, 16.0, 16.0, 1.5, 0).is_err());
+        assert!(BurstTraffic::new(16, 16.0, 16.0, 0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn arrival_rate_matches_stationary_distribution() {
+        // E_on = 16, E_off = 48 → rate = 16/64 = 0.25
+        let mut t = BurstTraffic::new(8, 48.0, 16.0, 0.5, 3).unwrap();
+        let (rate, fanout, _) = empirical_rates(&mut t, 50_000);
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // truncated mean fanout ≈ bN/(1-(1-b)^N) = 4/(1-0.5^8) ≈ 4.016
+        assert!((fanout - 4.016).abs() < 0.15, "fanout {fanout}");
+    }
+
+    #[test]
+    fn bursts_share_destinations() {
+        // With a long on-period and rare transitions, consecutive arrivals
+        // at the same port usually carry an identical destination set.
+        let mut t = BurstTraffic::new(8, 4.0, 64.0, 0.4, 5).unwrap();
+        let mut v = Vec::new();
+        let mut same = 0u64;
+        let mut diff = 0u64;
+        let mut last: Vec<Option<PortSet>> = vec![None; 8];
+        for s in 0..5_000 {
+            t.next_slot(Slot(s), &mut v);
+            for (i, a) in v.iter().enumerate() {
+                if let Some(d) = a {
+                    if let Some(prev) = &last[i] {
+                        if prev == d {
+                            same += 1;
+                        } else {
+                            diff += 1;
+                        }
+                    }
+                    last[i] = Some(d.clone());
+                } else {
+                    last[i] = None;
+                }
+            }
+        }
+        // within a burst all sets match; changes only happen across bursts
+        assert!(same > 20 * diff, "same={same} diff={diff}");
+    }
+
+    #[test]
+    fn e_off_for_load_inverts_effective_load() {
+        let e_off = BurstTraffic::e_off_for_load(0.5, 16, 16.0, 0.5);
+        let t = BurstTraffic::new(16, e_off, 16.0, 0.5, 0).unwrap();
+        assert!((t.effective_load().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_load_formula() {
+        let t = BurstTraffic::new(16, 112.0, 16.0, 0.5, 0).unwrap();
+        // bN·Eon/(Eon+Eoff) = 8·16/128 = 1.0
+        assert!((t.effective_load().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut t = BurstTraffic::new(8, 8.0, 8.0, 0.4, seed).unwrap();
+            let mut v = Vec::new();
+            let mut all = Vec::new();
+            for s in 0..100 {
+                t.next_slot(Slot(s), &mut v);
+                all.push(v.clone());
+            }
+            all
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    fn name_reports_parameters() {
+        let t = BurstTraffic::new(16, 112.0, 16.0, 0.5, 0).unwrap();
+        assert_eq!(t.name(), "burst(Eoff=112.0,Eon=16.0,b=0.50)");
+    }
+}

@@ -1,0 +1,213 @@
+//! Mixed unicast/multicast traffic.
+//!
+//! The paper's introduction singles out "mixed multicast and unicast
+//! packets" as a regime where single-input-queued multicast schedulers
+//! (TATRA) suffer most: a blocked multicast residue at the HOL starves
+//! the unicast packets behind it. This model makes the mixture explicit:
+//! with probability `p` an input receives a packet; the packet is
+//! multicast with probability `frac_multicast` (destinations drawn like
+//! the Bernoulli model with per-output probability `b`, at least 2), and
+//! unicast to a uniform output otherwise.
+
+use fifoms_types::{check_ports, check_probability, PortId, PortSet, Slot, TypeError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TrafficModel;
+
+/// Mixed unicast/multicast Bernoulli source.
+#[derive(Clone, Debug)]
+pub struct MixedTraffic {
+    n: usize,
+    p: f64,
+    frac_multicast: f64,
+    b: f64,
+    rng: SmallRng,
+}
+
+impl MixedTraffic {
+    /// Create a source for an `n×n` switch.
+    ///
+    /// * `p` — per-slot arrival probability per input;
+    /// * `frac_multicast` — probability an arrival is multicast;
+    /// * `b` — per-output destination probability for multicast arrivals
+    ///   (draws with fewer than 2 destinations are resampled, so
+    ///   "multicast" always means fanout ≥ 2).
+    pub fn new(
+        n: usize,
+        p: f64,
+        frac_multicast: f64,
+        b: f64,
+        seed: u64,
+    ) -> Result<MixedTraffic, TypeError> {
+        check_ports(n)?;
+        check_probability("p", p)?;
+        check_probability("frac_multicast", frac_multicast)?;
+        check_probability("b", b)?;
+        if n < 2 && frac_multicast > 0.0 {
+            return Err(TypeError::OutOfRange {
+                name: "n",
+                allowed: ">= 2 for multicast",
+                got: n as f64,
+            });
+        }
+        if frac_multicast > 0.0 && b == 0.0 {
+            return Err(TypeError::NonPositive { name: "b", got: 0.0 });
+        }
+        Ok(MixedTraffic {
+            n,
+            p,
+            frac_multicast,
+            b,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Expected fanout of an arrival: `frac·E[multicast fanout | ≥2] +
+    /// (1−frac)·1`, with the multicast fanout the ≥2-truncated
+    /// binomial(N, b) mean.
+    pub fn mean_fanout(&self) -> f64 {
+        let n = self.n as f64;
+        let p0 = (1.0 - self.b).powi(self.n as i32);
+        let p1 = n * self.b * (1.0 - self.b).powi(self.n as i32 - 1);
+        let trunc_mean = (n * self.b - p1) / (1.0 - p0 - p1);
+        self.frac_multicast * trunc_mean + (1.0 - self.frac_multicast)
+    }
+
+    fn draw_multicast(&mut self) -> PortSet {
+        loop {
+            let mut s = PortSet::new();
+            for out in 0..self.n {
+                if self.rng.gen_bool(self.b) {
+                    s.insert(PortId::new(out));
+                }
+            }
+            if s.len() >= 2 {
+                return s;
+            }
+        }
+    }
+}
+
+impl TrafficModel for MixedTraffic {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn next_slot(&mut self, _now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        for _ in 0..self.n {
+            if self.p > 0.0 && self.rng.gen_bool(self.p) {
+                let dests = if self.frac_multicast > 0.0 && self.rng.gen_bool(self.frac_multicast)
+                {
+                    self.draw_multicast()
+                } else {
+                    PortSet::singleton(PortId::new(self.rng.gen_range(0..self.n)))
+                };
+                arrivals.push(Some(dests));
+            } else {
+                arrivals.push(None);
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        Some(self.p * self.mean_fanout())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "mixed(p={:.4},mc={:.2},b={:.2})",
+            self.p, self.frac_multicast, self.b
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::empirical_rates;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(MixedTraffic::new(0, 0.5, 0.5, 0.2, 0).is_err());
+        assert!(MixedTraffic::new(16, 1.5, 0.5, 0.2, 0).is_err());
+        assert!(MixedTraffic::new(16, 0.5, 1.5, 0.2, 0).is_err());
+        assert!(MixedTraffic::new(16, 0.5, 0.5, 0.0, 0).is_err());
+        assert!(MixedTraffic::new(1, 0.5, 0.5, 0.2, 0).is_err());
+        assert!(MixedTraffic::new(16, 0.5, 0.0, 0.0, 0).is_ok()); // pure unicast
+        assert!(MixedTraffic::new(16, 0.5, 0.5, 0.2, 0).is_ok());
+    }
+
+    #[test]
+    fn zero_fraction_is_pure_unicast() {
+        let mut t = MixedTraffic::new(8, 1.0, 0.0, 0.3, 1).unwrap();
+        let mut buf = Vec::new();
+        for s in 0..200 {
+            t.next_slot(Slot(s), &mut buf);
+            for d in buf.iter().flatten() {
+                assert_eq!(d.len(), 1);
+            }
+        }
+        assert!((t.mean_fanout() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_fraction_always_multicast() {
+        let mut t = MixedTraffic::new(8, 1.0, 1.0, 0.3, 2).unwrap();
+        let mut buf = Vec::new();
+        for s in 0..200 {
+            t.next_slot(Slot(s), &mut buf);
+            for d in buf.iter().flatten() {
+                assert!(d.len() >= 2, "multicast arrival with fanout {}", d.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_fanout_matches_analytic() {
+        let mut t = MixedTraffic::new(16, 0.5, 0.3, 0.2, 3).unwrap();
+        let analytic = t.mean_fanout();
+        let (_, fanout, load) = empirical_rates(&mut t, 30_000);
+        assert!(
+            (fanout - analytic).abs() < 0.05,
+            "measured {fanout} vs analytic {analytic}"
+        );
+        assert!((load - 0.5 * analytic).abs() < 0.05);
+    }
+
+    #[test]
+    fn mixture_fraction_observed() {
+        let mut t = MixedTraffic::new(16, 1.0, 0.25, 0.2, 4).unwrap();
+        let mut buf = Vec::new();
+        let (mut mc, mut uc) = (0u64, 0u64);
+        for s in 0..5_000 {
+            t.next_slot(Slot(s), &mut buf);
+            for d in buf.iter().flatten() {
+                if d.len() >= 2 {
+                    mc += 1;
+                } else {
+                    uc += 1;
+                }
+            }
+        }
+        let frac = mc as f64 / (mc + uc) as f64;
+        assert!((frac - 0.25).abs() < 0.02, "multicast fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut t = MixedTraffic::new(8, 0.6, 0.4, 0.3, seed).unwrap();
+            let mut buf = Vec::new();
+            let mut all = Vec::new();
+            for s in 0..50 {
+                t.next_slot(Slot(s), &mut buf);
+                all.push(buf.clone());
+            }
+            all
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,400 @@
+//! Recorded arrival traces: capture, replay and text serialisation.
+//!
+//! Comparing schedulers on *identical* arrival sequences removes the
+//! between-run variance of independent random streams. [`TraceRecorder`]
+//! wraps any [`TrafficModel`] and records what it emitted; the resulting
+//! [`Trace`] replays through [`TraceSource`] any number of times, and can
+//! be serialised to a simple line-oriented text format for archival or
+//! hand-written regression inputs.
+
+use fifoms_types::{PortSet, Slot};
+
+use crate::TrafficModel;
+
+/// One recorded arrival: `(slot, input, destinations)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Slot of arrival.
+    pub slot: Slot,
+    /// Input port index.
+    pub input: usize,
+    /// Destination set (non-empty).
+    pub dests: PortSet,
+}
+
+/// A finite recorded arrival sequence for an `N×N` switch.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_traffic::{BernoulliMulticast, Trace, TraceSource, TrafficModel};
+/// use fifoms_types::Slot;
+///
+/// let mut model = BernoulliMulticast::new(8, 0.4, 0.25, 42).unwrap();
+/// let trace = Trace::record(&mut model, 100);
+/// // text round-trip preserves every event
+/// let parsed = Trace::from_text(&trace.to_text()).unwrap();
+/// assert_eq!(parsed, trace);
+/// // and replays as a TrafficModel
+/// let mut replay = TraceSource::new(parsed);
+/// let mut arrivals = Vec::new();
+/// replay.next_slot(Slot(0), &mut arrivals);
+/// assert_eq!(arrivals.len(), 8);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Trace {
+    n: usize,
+    /// Events sorted by `(slot, input)`.
+    events: Vec<TraceEvent>,
+    /// One past the last recorded slot.
+    len_slots: u64,
+}
+
+impl Trace {
+    /// An empty trace for an `n×n` switch covering `len_slots` slots.
+    pub fn new(n: usize, len_slots: u64) -> Trace {
+        Trace {
+            n,
+            events: Vec::new(),
+            len_slots,
+        }
+    }
+
+    /// Switch size.
+    pub fn ports(&self) -> usize {
+        self.n
+    }
+
+    /// Number of slots the trace covers (idle tail slots included).
+    pub fn len_slots(&self) -> u64 {
+        self.len_slots
+    }
+
+    /// Recorded events in `(slot, input)` order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total packets recorded.
+    pub fn packets(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Append an event. Events must be appended in nondecreasing
+    /// `(slot, input)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ordering is violated, the input is out of range, or the
+    /// destination set is empty or out of range.
+    pub fn push(&mut self, ev: TraceEvent) {
+        assert!(ev.input < self.n, "input {} out of range", ev.input);
+        assert!(!ev.dests.is_empty(), "empty destination set");
+        assert!(
+            ev.dests.iter().all(|p| p.index() < self.n),
+            "destination out of range"
+        );
+        if let Some(last) = self.events.last() {
+            assert!(
+                (ev.slot, ev.input) > (last.slot, last.input),
+                "events must be strictly ordered by (slot, input)"
+            );
+        }
+        self.len_slots = self.len_slots.max(ev.slot.index() + 1);
+        self.events.push(ev);
+    }
+
+    /// Serialise to the text format:
+    ///
+    /// ```text
+    /// trace v1 ports=<N> slots=<S>
+    /// <slot> <input> <d0,d1,...>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trace v1 ports={} slots={}\n", self.n, self.len_slots);
+        for ev in &self.events {
+            out.push_str(&format!("{} {} ", ev.slot.index(), ev.input));
+            for (i, p) in ev.dests.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&p.index().to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`Trace::to_text`].
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty trace")?;
+        let mut ports = None;
+        let mut slots = None;
+        if !header.starts_with("trace v1") {
+            return Err(format!("bad header: {header}"));
+        }
+        for tok in header.split_whitespace().skip(2) {
+            if let Some(v) = tok.strip_prefix("ports=") {
+                ports = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+            } else if let Some(v) = tok.strip_prefix("slots=") {
+                slots = Some(v.parse::<u64>().map_err(|e| e.to_string())?);
+            }
+        }
+        let n = ports.ok_or("missing ports=")?;
+        let mut trace = Trace::new(n, slots.ok_or("missing slots=")?);
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let slot: u64 = parts
+                .next()
+                .ok_or("missing slot")?
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+            let input: usize = parts
+                .next()
+                .ok_or("missing input")?
+                .parse()
+                .map_err(|e: std::num::ParseIntError| e.to_string())?;
+            let dests = parts.next().ok_or("missing destinations")?;
+            let dests: PortSet = dests
+                .split(',')
+                .map(|d| d.parse::<usize>().map_err(|e| e.to_string()))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .collect();
+            trace.push(TraceEvent {
+                slot: Slot(slot),
+                input,
+                dests,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Record `slots` slots of `model` into a new trace.
+    pub fn record(model: &mut dyn TrafficModel, slots: u64) -> Trace {
+        let mut rec = TraceRecorder::new(model);
+        let mut buf = Vec::new();
+        for t in 0..slots {
+            rec.next_slot(Slot(t), &mut buf);
+        }
+        let mut trace = rec.finish();
+        trace.len_slots = trace.len_slots.max(slots);
+        trace
+    }
+}
+
+/// Wraps a [`TrafficModel`], recording everything it emits.
+pub struct TraceRecorder<'a> {
+    inner: &'a mut dyn TrafficModel,
+    trace: Trace,
+}
+
+impl<'a> TraceRecorder<'a> {
+    /// Start recording `inner`.
+    pub fn new(inner: &'a mut dyn TrafficModel) -> TraceRecorder<'a> {
+        let n = inner.ports();
+        TraceRecorder {
+            inner,
+            trace: Trace::new(n, 0),
+        }
+    }
+
+    /// Stop recording and return the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+impl TrafficModel for TraceRecorder<'_> {
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+
+    fn next_slot(&mut self, now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        self.inner.next_slot(now, arrivals);
+        for (i, a) in arrivals.iter().enumerate() {
+            if let Some(d) = a {
+                self.trace.push(TraceEvent {
+                    slot: now,
+                    input: i,
+                    dests: d.clone(),
+                });
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        self.inner.effective_load()
+    }
+
+    fn name(&self) -> String {
+        format!("recorded({})", self.inner.name())
+    }
+}
+
+/// Replays a [`Trace`] as a [`TrafficModel`]. Slots beyond the trace are
+/// idle.
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    trace: Trace,
+    cursor: usize,
+}
+
+impl TraceSource {
+    /// Create a replay source. Replay starts at slot 0; `next_slot` must be
+    /// called with consecutive slots starting from 0.
+    pub fn new(trace: Trace) -> TraceSource {
+        TraceSource { trace, cursor: 0 }
+    }
+
+    /// The wrapped trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl TrafficModel for TraceSource {
+    fn ports(&self) -> usize {
+        self.trace.n
+    }
+
+    fn next_slot(&mut self, now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        arrivals.resize(self.trace.n, None);
+        // Skip any events before `now` (e.g. replay started late).
+        while self.cursor < self.trace.events.len()
+            && self.trace.events[self.cursor].slot < now
+        {
+            self.cursor += 1;
+        }
+        while self.cursor < self.trace.events.len()
+            && self.trace.events[self.cursor].slot == now
+        {
+            let ev = &self.trace.events[self.cursor];
+            arrivals[ev.input] = Some(ev.dests.clone());
+            self.cursor += 1;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "trace(ports={},slots={},packets={})",
+            self.trace.n,
+            self.trace.len_slots,
+            self.trace.packets()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BernoulliMulticast, UniformFanout};
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let mut model = BernoulliMulticast::new(8, 0.4, 0.3, 99).unwrap();
+        let mut original = Vec::new();
+        {
+            let mut rec = TraceRecorder::new(&mut model);
+            let mut buf = Vec::new();
+            for t in 0..200 {
+                rec.next_slot(Slot(t), &mut buf);
+                original.push(buf.clone());
+            }
+            let trace = rec.finish();
+            let mut replay = TraceSource::new(trace);
+            let mut buf2 = Vec::new();
+            for (t, orig) in original.iter().enumerate() {
+                replay.next_slot(Slot(t as u64), &mut buf2);
+                assert_eq!(&buf2, orig, "slot {t} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut model = UniformFanout::new(8, 0.5, 4, 5).unwrap();
+        let trace = Trace::record(&mut model, 100);
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn replay_beyond_trace_is_idle() {
+        let mut trace = Trace::new(4, 2);
+        trace.push(TraceEvent {
+            slot: Slot(0),
+            input: 1,
+            dests: [2usize].into_iter().collect(),
+        });
+        let mut src = TraceSource::new(trace);
+        let mut buf = Vec::new();
+        src.next_slot(Slot(0), &mut buf);
+        assert!(buf[1].is_some());
+        src.next_slot(Slot(1), &mut buf);
+        assert!(buf.iter().all(Option::is_none));
+        src.next_slot(Slot(50), &mut buf);
+        assert!(buf.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn push_ordering_enforced() {
+        let mut trace = Trace::new(4, 10);
+        trace.push(TraceEvent {
+            slot: Slot(5),
+            input: 2,
+            dests: [0usize].into_iter().collect(),
+        });
+        let result = std::panic::catch_unwind(move || {
+            trace.push(TraceEvent {
+                slot: Slot(5),
+                input: 1, // out of order within the slot
+                dests: [0usize].into_iter().collect(),
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn push_validates_ranges() {
+        let mk = |input: usize, dests: Vec<usize>| {
+            let mut t = Trace::new(4, 10);
+            std::panic::catch_unwind(move || {
+                t.push(TraceEvent {
+                    slot: Slot(0),
+                    input,
+                    dests: dests.into_iter().collect(),
+                })
+            })
+        };
+        assert!(mk(4, vec![0]).is_err()); // input out of range
+        assert!(mk(0, vec![]).is_err()); // empty dests
+        assert!(mk(0, vec![4]).is_err()); // dest out of range
+        assert!(mk(0, vec![3]).is_ok());
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("not a trace").is_err());
+        assert!(Trace::from_text("trace v1 ports=4").is_err()); // missing slots
+        assert!(Trace::from_text("trace v1 ports=4 slots=2\n0 zero 1").is_err());
+        assert!(Trace::from_text("trace v1 ports=4 slots=2\n0 0 1,2\n").is_ok());
+    }
+
+    #[test]
+    fn len_slots_grows_with_events() {
+        let mut trace = Trace::new(4, 0);
+        assert_eq!(trace.len_slots(), 0);
+        trace.push(TraceEvent {
+            slot: Slot(9),
+            input: 0,
+            dests: [1usize].into_iter().collect(),
+        });
+        assert_eq!(trace.len_slots(), 10);
+        assert_eq!(trace.packets(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Classic unicast traffic patterns (extensions beyond the paper).
+//!
+//! The paper's unicast experiment (Fig. 6) uses [`crate::UniformFanout`]
+//! with `maxFanout = 1`. The patterns here — uniform, diagonal and hotspot —
+//! are the standard stress patterns of the input-queued switching
+//! literature (e.g. the iSLIP paper) and are used by our extension
+//! experiments and examples to probe scheduler behaviour beyond uniform
+//! destinations.
+
+use fifoms_types::{check_ports, check_probability, PortId, PortSet, Slot, TypeError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TrafficModel;
+
+/// Bernoulli unicast with uniformly random destination.
+#[derive(Clone, Debug)]
+pub struct UniformUnicast {
+    n: usize,
+    p: f64,
+    rng: SmallRng,
+}
+
+impl UniformUnicast {
+    /// Create a source for an `n×n` switch with per-slot arrival
+    /// probability `p`.
+    pub fn new(n: usize, p: f64, seed: u64) -> Result<UniformUnicast, TypeError> {
+        check_ports(n)?;
+        check_probability("p", p)?;
+        Ok(UniformUnicast {
+            n,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl TrafficModel for UniformUnicast {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn next_slot(&mut self, _now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        for _ in 0..self.n {
+            if self.p > 0.0 && self.rng.gen_bool(self.p) {
+                let out = self.rng.gen_range(0..self.n);
+                arrivals.push(Some(PortSet::singleton(PortId::new(out))));
+            } else {
+                arrivals.push(None);
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        Some(self.p)
+    }
+
+    fn name(&self) -> String {
+        format!("uniform-unicast(p={:.4})", self.p)
+    }
+}
+
+/// Diagonal unicast: input `i` sends 2/3 of its packets to output `i` and
+/// 1/3 to output `(i+1) mod N`.
+///
+/// A classic hard pattern for round-robin schedulers: per-output load is
+/// still uniform, but each output only has two contending inputs, which
+/// defeats desynchronisation tricks.
+#[derive(Clone, Debug)]
+pub struct DiagonalUnicast {
+    n: usize,
+    p: f64,
+    rng: SmallRng,
+}
+
+impl DiagonalUnicast {
+    /// Create a source for an `n×n` switch with per-slot arrival
+    /// probability `p`.
+    pub fn new(n: usize, p: f64, seed: u64) -> Result<DiagonalUnicast, TypeError> {
+        check_ports(n)?;
+        check_probability("p", p)?;
+        Ok(DiagonalUnicast {
+            n,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl TrafficModel for DiagonalUnicast {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn next_slot(&mut self, _now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        for i in 0..self.n {
+            if self.p > 0.0 && self.rng.gen_bool(self.p) {
+                let out = if self.rng.gen_bool(2.0 / 3.0) {
+                    i
+                } else {
+                    (i + 1) % self.n
+                };
+                arrivals.push(Some(PortSet::singleton(PortId::new(out))));
+            } else {
+                arrivals.push(None);
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        Some(self.p)
+    }
+
+    fn name(&self) -> String {
+        format!("diagonal-unicast(p={:.4})", self.p)
+    }
+}
+
+/// Hotspot unicast: a fraction `h` of all packets target one hot output,
+/// the rest are uniform over the remaining outputs.
+#[derive(Clone, Debug)]
+pub struct HotspotUnicast {
+    n: usize,
+    p: f64,
+    hot: PortId,
+    h: f64,
+    rng: SmallRng,
+}
+
+impl HotspotUnicast {
+    /// Create a source for an `n×n` switch; `h` is the fraction of packets
+    /// addressed to `hot`.
+    pub fn new(n: usize, p: f64, hot: PortId, h: f64, seed: u64) -> Result<HotspotUnicast, TypeError> {
+        check_ports(n)?;
+        check_probability("p", p)?;
+        check_probability("h", h)?;
+        if hot.index() >= n {
+            return Err(TypeError::OutOfRange {
+                name: "hot",
+                allowed: "0..N",
+                got: hot.index() as f64,
+            });
+        }
+        if n == 1 && h < 1.0 {
+            return Err(TypeError::OutOfRange {
+                name: "n",
+                allowed: ">= 2 for non-degenerate hotspot",
+                got: 1.0,
+            });
+        }
+        Ok(HotspotUnicast {
+            n,
+            p,
+            hot,
+            h,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+}
+
+impl TrafficModel for HotspotUnicast {
+    fn ports(&self) -> usize {
+        self.n
+    }
+
+    fn next_slot(&mut self, _now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        arrivals.clear();
+        for _ in 0..self.n {
+            if self.p > 0.0 && self.rng.gen_bool(self.p) {
+                let out = if self.rng.gen_bool(self.h) {
+                    self.hot
+                } else {
+                    // uniform over the N-1 non-hot outputs
+                    let mut o = self.rng.gen_range(0..self.n - 1);
+                    if o >= self.hot.index() {
+                        o += 1;
+                    }
+                    PortId::new(o)
+                };
+                arrivals.push(Some(PortSet::singleton(out)));
+            } else {
+                arrivals.push(None);
+            }
+        }
+    }
+
+    fn effective_load(&self) -> Option<f64> {
+        // The hot output sees p·h·N which can exceed 1; report the hot
+        // output's utilisation as the binding constraint.
+        Some(self.p * self.h * self.n as f64)
+    }
+
+    fn name(&self) -> String {
+        format!("hotspot-unicast(p={:.4},hot={},h={:.2})", self.p, self.hot, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::empirical_rates;
+
+    #[test]
+    fn uniform_unicast_rates() {
+        let mut t = UniformUnicast::new(16, 0.5, 1).unwrap();
+        let (rate, fanout, load) = empirical_rates(&mut t, 20_000);
+        assert!((rate - 0.5).abs() < 0.01);
+        assert_eq!(fanout, 1.0);
+        assert!((load - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn diagonal_targets_two_outputs() {
+        let mut t = DiagonalUnicast::new(8, 1.0, 2).unwrap();
+        let mut v = Vec::new();
+        let mut counts = [[0u64; 2]; 8]; // [self, next] per input
+        for s in 0..30_000 {
+            t.next_slot(Slot(s), &mut v);
+            for (i, a) in v.iter().enumerate() {
+                let d = a.as_ref().unwrap().first().unwrap().index();
+                if d == i {
+                    counts[i][0] += 1;
+                } else if d == (i + 1) % 8 {
+                    counts[i][1] += 1;
+                } else {
+                    panic!("diagonal sent {i} -> {d}");
+                }
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let frac = c[0] as f64 / (c[0] + c[1]) as f64;
+            assert!((frac - 2.0 / 3.0).abs() < 0.02, "input {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let hot = PortId(3);
+        let mut t = HotspotUnicast::new(8, 1.0, hot, 0.5, 3).unwrap();
+        let mut v = Vec::new();
+        let mut hot_hits = 0u64;
+        let mut total = 0u64;
+        for s in 0..20_000 {
+            t.next_slot(Slot(s), &mut v);
+            for a in v.iter().flatten() {
+                total += 1;
+                if a.contains(hot) {
+                    hot_hits += 1;
+                }
+            }
+        }
+        let frac = hot_hits as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn hotspot_never_misroutes_nonhot_to_hot() {
+        // h = 0: the hot port must receive nothing.
+        let mut t = HotspotUnicast::new(8, 1.0, PortId(0), 0.0, 4).unwrap();
+        let mut v = Vec::new();
+        for s in 0..2_000 {
+            t.next_slot(Slot(s), &mut v);
+            for a in v.iter().flatten() {
+                assert!(!a.contains(PortId(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_validation() {
+        assert!(HotspotUnicast::new(8, 0.5, PortId(8), 0.5, 0).is_err());
+        assert!(HotspotUnicast::new(8, 0.5, PortId(7), 1.5, 0).is_err());
+        assert!(HotspotUnicast::new(1, 0.5, PortId(0), 0.5, 0).is_err());
+        assert!(HotspotUnicast::new(8, 0.5, PortId(0), 0.5, 0).is_ok());
+    }
+
+    #[test]
+    fn effective_loads() {
+        assert_eq!(
+            UniformUnicast::new(8, 0.7, 0).unwrap().effective_load(),
+            Some(0.7)
+        );
+        assert_eq!(
+            DiagonalUnicast::new(8, 0.7, 0).unwrap().effective_load(),
+            Some(0.7)
+        );
+        let h = HotspotUnicast::new(8, 0.5, PortId(0), 0.25, 0).unwrap();
+        assert_eq!(h.effective_load(), Some(1.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for configuration validation.
+
+use core::fmt;
+
+/// Errors raised when validating model configuration.
+///
+/// Runtime invariant violations inside schedulers are programming errors and
+/// panic (with `debug_assert!` on hot paths); `TypeError` is reserved for
+/// user-supplied configuration such as switch sizes and probabilities.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TypeError {
+    /// A switch size outside `1..=MAX_PORTS`.
+    InvalidPortCount {
+        /// The rejected value.
+        got: usize,
+    },
+    /// A probability parameter outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        got: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value, formatted by the caller.
+        got: f64,
+    },
+    /// A parameter exceeded a model-imposed bound.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the allowed range.
+        allowed: &'static str,
+        /// The rejected value, formatted by the caller.
+        got: f64,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidPortCount { got } => {
+                write!(
+                    f,
+                    "invalid port count {got}: must be in 1..={}",
+                    crate::MAX_PORTS
+                )
+            }
+            TypeError::InvalidProbability { name, got } => {
+                write!(f, "parameter {name}={got} is not a probability in [0,1]")
+            }
+            TypeError::NonPositive { name, got } => {
+                write!(f, "parameter {name}={got} must be > 0")
+            }
+            TypeError::OutOfRange { name, allowed, got } => {
+                write!(f, "parameter {name}={got} outside allowed range {allowed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Validate a port count, returning it on success.
+pub fn check_ports(n: usize) -> Result<usize, TypeError> {
+    if n == 0 || n > crate::MAX_PORTS {
+        Err(TypeError::InvalidPortCount { got: n })
+    } else {
+        Ok(n)
+    }
+}
+
+/// Validate that `p` is a probability in `[0, 1]`.
+pub fn check_probability(name: &'static str, p: f64) -> Result<f64, TypeError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(TypeError::InvalidProbability { name, got: p })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_count_bounds() {
+        assert!(check_ports(0).is_err());
+        assert_eq!(check_ports(16).unwrap(), 16);
+        assert!(check_ports(crate::MAX_PORTS).is_ok());
+        assert!(check_ports(crate::MAX_PORTS + 1).is_err());
+    }
+
+    #[test]
+    fn probability_bounds() {
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+        assert_eq!(check_probability("p", 0.0).unwrap(), 0.0);
+        assert_eq!(check_probability("p", 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = TypeError::InvalidPortCount { got: 0 };
+        assert!(e.to_string().contains("invalid port count 0"));
+        let e = TypeError::InvalidProbability { name: "b", got: 2.0 };
+        assert!(e.to_string().contains("b=2"));
+        let e = TypeError::NonPositive { name: "e_on", got: 0.0 };
+        assert!(e.to_string().contains("must be > 0"));
+        let e = TypeError::OutOfRange {
+            name: "max_fanout",
+            allowed: "1..=N",
+            got: 20.0,
+        };
+        assert!(e.to_string().contains("1..=N"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Identifier newtypes: time slots, ports and packets.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A discrete time slot.
+///
+/// The switch model is synchronous: in each slot at most one cell arrives at
+/// each input port, the scheduler computes a matching, and matched cells
+/// traverse the crossbar. `Slot` is a transparent wrapper around `u64` with
+/// only the arithmetic the simulator needs, to prevent accidental mixing of
+/// slot counts with other integers (e.g. queue lengths).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// Slot zero, the start of a simulation.
+    pub const ZERO: Slot = Slot(0);
+
+    /// The raw slot index.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The slot immediately after this one.
+    #[inline]
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// Saturating difference `self - earlier` in whole slots.
+    ///
+    /// Used for delay computation: a cell arriving and departing in the same
+    /// slot has delay 0.
+    #[inline]
+    pub fn delay_since(self, earlier: Slot) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Slot {
+    type Output = Slot;
+    #[inline]
+    fn add(self, rhs: u64) -> Slot {
+        Slot(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Slot {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Slot> for Slot {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Slot) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("slot subtraction underflow")
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An input or output port index.
+///
+/// Ports are numbered `0..N`. The same type is used for input and output
+/// ports; the switch geometry is always square in this model (as in the
+/// paper), and which side a `PortId` refers to is unambiguous from context.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The raw index as `usize`, for indexing port-indexed vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize`, panicking if it exceeds `u16::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> PortId {
+        assert!(index <= u16::MAX as usize, "port index {index} out of range");
+        PortId(index as u16)
+    }
+}
+
+impl From<u16> for PortId {
+    #[inline]
+    fn from(v: u16) -> PortId {
+        PortId(v)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A unique packet (cell) identifier.
+///
+/// Identifiers are assigned by traffic sources in arrival order and are
+/// unique within a simulation run. The simulator uses them to correlate the
+/// possibly many [`Departure`](crate::Departure) records of one multicast
+/// packet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PacketId(pub u64);
+
+impl PacketId {
+    /// The raw identifier.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_arithmetic() {
+        let t = Slot(10);
+        assert_eq!(t.next(), Slot(11));
+        assert_eq!(t + 5, Slot(15));
+        assert_eq!(Slot(15) - t, 5);
+        assert_eq!(t.delay_since(Slot(3)), 7);
+        assert_eq!(t.delay_since(Slot(10)), 0);
+        // delay_since saturates rather than panicking on out-of-order input
+        assert_eq!(Slot(3).delay_since(Slot(10)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn slot_sub_underflow_panics() {
+        let _ = Slot(1) - Slot(2);
+    }
+
+    #[test]
+    fn slot_add_assign() {
+        let mut t = Slot::ZERO;
+        t += 3;
+        assert_eq!(t, Slot(3));
+    }
+
+    #[test]
+    fn port_id_round_trip() {
+        let p = PortId::new(13);
+        assert_eq!(p.index(), 13);
+        assert_eq!(PortId::from(13u16), p);
+        assert_eq!(format!("{p}"), "p13");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_id_overflow_panics() {
+        let _ = PortId::new(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn packet_id_display() {
+        assert_eq!(format!("{}", PacketId(7)), "pkt7");
+        assert_eq!(PacketId(7).raw(), 7);
+    }
+
+    #[test]
+    fn slot_ordering_matches_index() {
+        assert!(Slot(3) < Slot(4));
+        assert_eq!(Slot(9).index(), 9);
+        assert_eq!(format!("{}", Slot(2)), "t2");
+    }
+}

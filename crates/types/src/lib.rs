@@ -1,0 +1,42 @@
+//! Core vocabulary types for the FIFOMS reproduction.
+//!
+//! This crate defines the shared, dependency-free types used by every other
+//! crate in the workspace:
+//!
+//! * [`Slot`] — the discrete time unit of the synchronous switch model.
+//! * [`PortId`], [`PacketId`] — newtype identifiers.
+//! * [`PortSet`] — a compact bitset over output ports used to represent a
+//!   multicast packet's destination set (its *fanout set*).
+//! * [`Packet`] — a fixed-size cell entering the switch.
+//! * [`Departure`], [`SlotOutcome`] — the per-slot result record every
+//!   switch implementation produces, from which all paper metrics
+//!   (input/output oriented delay, queue sizes, convergence rounds) are
+//!   derived.
+//!
+//! The paper models a switch with `N` input ports and `N` output ports and
+//! fixed-length cells, operating in synchronous time slots (§I). All types
+//! here are deliberately free of behaviour beyond what the model requires,
+//! so that scheduler crates stay small and auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod outcome;
+mod packet;
+mod portset;
+
+pub use error::{check_ports, check_probability, TypeError};
+pub use ids::{PacketId, PortId, Slot};
+pub use outcome::{Departure, SlotOutcome};
+pub use packet::Packet;
+pub use portset::{PortSet, PortSetIter};
+
+/// The largest switch size the workspace supports.
+///
+/// The paper evaluates a 16×16 switch; we allow considerably larger switches
+/// for scaling studies. `PortSet` stores up to 128 ports inline and spills
+/// to the heap beyond that, so this cap exists only to catch nonsensical
+/// configuration values early.
+pub const MAX_PORTS: usize = 4096;

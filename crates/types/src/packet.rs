@@ -1,0 +1,91 @@
+//! The fixed-size cell entering the switch.
+
+use crate::{PacketId, PortId, PortSet, Slot};
+
+/// A fixed-length packet (cell) offered to an input port.
+///
+/// Per the paper's model (§I), all packets have the same length, so no
+/// payload is carried in simulation — only the metadata the scheduler and
+/// metric collection need. The `dests` set is the packet's *fanout set*; a
+/// unicast packet is simply a packet whose fanout is 1.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Unique identifier, assigned in arrival order by the traffic source.
+    pub id: PacketId,
+    /// The slot in which the packet arrived at the switch. This is the
+    /// value FIFOMS copies into each address cell's `timeStamp` field.
+    pub arrival: Slot,
+    /// The input port the packet arrived on.
+    pub input: PortId,
+    /// The destination output ports. Invariant: non-empty.
+    pub dests: PortSet,
+}
+
+impl Packet {
+    /// Construct a packet, validating the non-empty-fanout invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty — the switch model has no notion of a
+    /// packet with nowhere to go, and traffic models are required to
+    /// resample rather than emit such packets.
+    pub fn new(id: PacketId, arrival: Slot, input: PortId, dests: PortSet) -> Packet {
+        assert!(!dests.is_empty(), "packet {id} has empty destination set");
+        Packet {
+            id,
+            arrival,
+            input,
+            dests,
+        }
+    }
+
+    /// The packet's fanout (number of destination output ports).
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Whether this is a unicast packet (fanout exactly 1).
+    #[inline]
+    pub fn is_unicast(&self) -> bool {
+        self.fanout() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(dests: &[usize]) -> Packet {
+        Packet::new(
+            PacketId(1),
+            Slot(5),
+            PortId(2),
+            dests.iter().copied().collect(),
+        )
+    }
+
+    #[test]
+    fn fanout_and_unicast() {
+        assert_eq!(pkt(&[3]).fanout(), 1);
+        assert!(pkt(&[3]).is_unicast());
+        let m = pkt(&[0, 1, 2]);
+        assert_eq!(m.fanout(), 3);
+        assert!(!m.is_unicast());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty destination set")]
+    fn empty_dests_rejected() {
+        let _ = Packet::new(PacketId(0), Slot(0), PortId(0), PortSet::new());
+    }
+
+    #[test]
+    fn fields_preserved() {
+        let p = pkt(&[1, 4]);
+        assert_eq!(p.id, PacketId(1));
+        assert_eq!(p.arrival, Slot(5));
+        assert_eq!(p.input, PortId(2));
+        assert!(p.dests.contains(PortId(4)));
+    }
+}

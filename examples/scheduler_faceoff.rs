@@ -1,0 +1,79 @@
+//! Compare every scheduler in the workspace at one operating point.
+//!
+//! Uses the experiment machinery ([`Sweep`]) the same way the figure
+//! harness does, but across the full scheduler roster — the paper's four
+//! plus the extension baselines — at a single user-chosen load.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff [load]`
+//! (default load 0.6)
+
+use fifoms::prelude::*;
+use fifoms::sim::report::{figure_table, Metric};
+
+fn main() {
+    let load: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.6);
+    assert!((0.0..=1.2).contains(&load), "load must be in (0, 1.2]");
+
+    let n = 16;
+    let switches = vec![
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Wba,
+        SwitchKind::Islip(None),
+        SwitchKind::Pim(None),
+        SwitchKind::McFifo { splitting: true },
+        SwitchKind::McFifo { splitting: false },
+        SwitchKind::OqFifo,
+    ];
+    let sweep = Sweep {
+        n,
+        switches: switches.clone(),
+        points: vec![(load, TrafficKind::bernoulli_at_load(load, 0.2, n))],
+        run: RunConfig::paper(60_000),
+        seed: 11,
+    };
+
+    println!(
+        "scheduler face-off: {n}x{n} switch, Bernoulli multicast b = 0.2, load {load:.2}\n"
+    );
+    let rows = sweep.run_parallel(4);
+    for metric in [
+        Metric::InputDelay,
+        Metric::OutputDelay,
+        Metric::AvgQueue,
+        Metric::MaxQueue,
+        Metric::Throughput,
+    ] {
+        println!("--- {} ---", metric.title());
+        print!("{}", figure_table(&rows, &switches, metric).render());
+        println!();
+    }
+    println!("(* = scheduler unstable at this load)");
+
+    // The paper's headline claims, asserted at a moderate load.
+    if load <= 0.7 {
+        let get = |kind: SwitchKind| {
+            rows.iter()
+                .find(|r| r.switch == kind)
+                .expect("ran")
+                .result
+                .clone()
+        };
+        let fifoms = get(SwitchKind::Fifoms);
+        let islip = get(SwitchKind::Islip(None));
+        let oq = get(SwitchKind::OqFifo);
+        assert!(fifoms.is_stable());
+        assert!(
+            fifoms.delay.mean_output_oriented < islip.delay.mean_output_oriented,
+            "FIFOMS beats iSLIP under multicast"
+        );
+        assert!(
+            fifoms.delay.mean_output_oriented < oq.delay.mean_output_oriented * 3.0 + 1.0,
+            "FIFOMS stays in OQ-FIFO's delay regime"
+        );
+        println!("headline claims verified at load {load:.2} ✓");
+    }
+}

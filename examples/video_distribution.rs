@@ -1,0 +1,140 @@
+//! Domain scenario: an IPTV/video-conference distribution switch.
+//!
+//! The paper's motivation (§I) is switching for applications that fan one
+//! stream out to many receivers. This example models a 16-port edge
+//! switch where four ports carry live video sources, each bursting
+//! high-fanout multicast (channel fan-out to subscriber line cards),
+//! while the remaining ports exchange ordinary unicast traffic — then
+//! compares FIFOMS against iSLIP-with-copies on exactly this mix.
+//!
+//! Run with: `cargo run --release --example video_distribution`
+
+use fifoms::prelude::*;
+use fifoms::stats::DelayStats;
+
+const N: usize = 16;
+const SLOTS: u64 = 60_000;
+const WARMUP: u64 = 20_000;
+
+/// Hand-rolled composite workload: bursty multicast on ports 0..4,
+/// Bernoulli unicast on ports 4..16.
+struct VideoMix {
+    video: BurstTraffic,
+    data: UniformUnicast,
+}
+
+impl VideoMix {
+    fn new(seed: u64) -> VideoMix {
+        VideoMix {
+            // Bursts of ~24 slots (a GOP worth of cells), fanning to each
+            // subscriber port with probability 0.4 (~6.4 receivers).
+            video: BurstTraffic::new(N, 96.0, 24.0, 0.4, seed).unwrap(),
+            data: UniformUnicast::new(N, 0.35, seed ^ 0xBEEF).unwrap(),
+        }
+    }
+}
+
+impl TrafficModel for VideoMix {
+    fn ports(&self) -> usize {
+        N
+    }
+    fn next_slot(&mut self, now: Slot, arrivals: &mut Vec<Option<PortSet>>) {
+        let mut video_arrivals = Vec::new();
+        let mut data_arrivals = Vec::new();
+        self.video.next_slot(now, &mut video_arrivals);
+        self.data.next_slot(now, &mut data_arrivals);
+        arrivals.clear();
+        for i in 0..N {
+            // first four ports are video sources, the rest are data ports
+            arrivals.push(if i < 4 {
+                video_arrivals[i].take()
+            } else {
+                data_arrivals[i].take()
+            });
+        }
+    }
+    fn name(&self) -> String {
+        "video-mix(4 bursty multicast sources + 12 unicast ports)".into()
+    }
+}
+
+fn run(switch: &mut dyn Switch, seed: u64) -> (DelayStats, DelayStats, usize) {
+    let mut mix = VideoMix::new(seed);
+    let mut arrivals = Vec::new();
+    let mut id = 0u64;
+    let mut video_delay = DelayStats::new(); // packets from video ports
+    let mut data_delay = DelayStats::new();
+    let mut max_backlog = 0usize;
+    let mut video_ids = std::collections::HashSet::new();
+
+    for t in 0..SLOTS {
+        let now = Slot(t);
+        mix.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(d) = dests.take() {
+                id += 1;
+                if input < 4 {
+                    video_ids.insert(id);
+                }
+                switch.admit(Packet::new(PacketId(id), now, PortId::new(input), d));
+            }
+        }
+        let outcome = switch.run_slot(now);
+        if t >= WARMUP {
+            for d in &outcome.departures {
+                let stats = if video_ids.contains(&d.packet.raw()) {
+                    &mut video_delay
+                } else {
+                    &mut data_delay
+                };
+                stats.record_copy(d.delay(now), d.last_copy);
+            }
+            max_backlog = max_backlog.max(switch.backlog().copies);
+        }
+    }
+    (video_delay, data_delay, max_backlog)
+}
+
+fn main() {
+    println!("IPTV distribution mix on a {N}x{N} switch, {SLOTS} slots\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "scheduler", "video-delay", "video-p99", "data-delay", "max-backlog"
+    );
+    for (name, mut switch) in [
+        (
+            "FIFOMS",
+            Box::new(MulticastVoqSwitch::new(N, 1)) as Box<dyn Switch>,
+        ),
+        ("iSLIP (copies)", Box::new(IslipSwitch::new(N))),
+        ("TATRA", Box::new(TatraSwitch::new(N))),
+        ("OQ-FIFO (speedup N)", Box::new(OqFifoSwitch::new(N))),
+    ] {
+        let (video, data, backlog) = run(switch.as_mut(), 2024);
+        println!(
+            "{:<22} {:>12.2} {:>12} {:>12.2} {:>12}",
+            name,
+            video.mean_output_oriented(),
+            video
+                .output_quantile(0.99)
+                .map_or("-".into(), |q| q.to_string()),
+            data.mean_output_oriented(),
+            backlog,
+        );
+    }
+    println!(
+        "\nThe multicast-aware schedulers deliver each video cell to all \
+         subscribers in few slots;\niSLIP must serialise the fanout through \
+         one input port, inflating video delay and buffers."
+    );
+
+    // sanity: a couple of hard claims this example demonstrates
+    let mut fifoms = MulticastVoqSwitch::new(N, 1);
+    let mut islip = IslipSwitch::new(N);
+    let (fv, _, _) = run(&mut fifoms, 2024);
+    let (iv, _, _) = run(&mut islip, 2024);
+    assert!(
+        fv.mean_output_oriented() < iv.mean_output_oriented(),
+        "FIFOMS must beat copy-based iSLIP on multicast delay"
+    );
+}

@@ -1,0 +1,144 @@
+//! End-to-end reporting pipeline: sweep → tables → CSV → plots →
+//! replication intervals, all on real simulations through the public API.
+
+use fifoms::prelude::*;
+use fifoms::sim::plot::{ascii_plot, PlotOptions};
+use fifoms::sim::report::{figure_table, sweep_csv, Metric};
+
+fn small_fig4_style_sweep() -> Sweep {
+    let n = 8;
+    Sweep {
+        n,
+        switches: vec![
+            SwitchKind::Fifoms,
+            SwitchKind::Tatra,
+            SwitchKind::Islip(None),
+            SwitchKind::OqFifo,
+        ],
+        points: [0.2, 0.5, 0.8]
+            .iter()
+            .map(|&l| (l, TrafficKind::bernoulli_at_load(l, 0.25, n)))
+            .collect(),
+        run: RunConfig::quick(6_000),
+        seed: 21,
+    }
+}
+
+#[test]
+fn tables_cover_every_cell_with_ordered_loads() {
+    let sweep = small_fig4_style_sweep();
+    let rows = sweep.run_parallel(4);
+    assert_eq!(rows.len(), 12);
+    for metric in [
+        Metric::InputDelay,
+        Metric::OutputDelay,
+        Metric::AvgQueue,
+        Metric::MaxQueue,
+        Metric::Rounds,
+        Metric::Throughput,
+    ] {
+        let table = figure_table(&rows, &sweep.switches, metric);
+        assert_eq!(table.len(), 3, "{}", metric.title());
+        let text = table.render();
+        // header row names every scheduler; loads appear in order
+        for sk in &sweep.switches {
+            assert!(text.contains(&sk.label()), "{text}");
+        }
+        let l20 = text.find("0.20").unwrap();
+        let l50 = text.find("0.50").unwrap();
+        let l80 = text.find("0.80").unwrap();
+        assert!(l20 < l50 && l50 < l80);
+    }
+}
+
+#[test]
+fn csv_is_machine_round_trippable() {
+    let sweep = small_fig4_style_sweep();
+    let rows = sweep.run_serial();
+    let csv = sweep_csv(&rows);
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    assert_eq!(header[0], "scheduler");
+    assert_eq!(header.len(), 11);
+    let mut parsed = 0;
+    for line in lines {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), header.len(), "ragged row: {line}");
+        // numeric columns parse
+        let load: f64 = cells[1].parse().unwrap();
+        let delay: f64 = cells[3].parse().unwrap();
+        let stable: bool = cells[8].parse().unwrap();
+        assert!(load > 0.0 && delay >= 0.0);
+        let _ = stable;
+        parsed += 1;
+    }
+    assert_eq!(parsed, 12);
+}
+
+#[test]
+fn plot_renders_curves_for_stable_schedulers() {
+    let sweep = small_fig4_style_sweep();
+    let rows = sweep.run_serial();
+    let chart = ascii_plot(
+        &rows,
+        &sweep.switches,
+        Metric::OutputDelay,
+        &PlotOptions::default(),
+    );
+    assert!(!chart.is_empty());
+    // legend lists all four schedulers
+    for sk in &sweep.switches {
+        assert!(chart.contains(&sk.label()), "missing {} in\n{chart}", sk.label());
+    }
+    // at least the A-curve (FIFOMS) plotted some markers
+    assert!(chart.lines().take(16).any(|l| l.contains('A')));
+}
+
+#[test]
+fn replication_intervals_shrink_with_longer_runs() {
+    let base = small_fig4_style_sweep();
+    let short = Sweep {
+        run: RunConfig::quick(2_000),
+        switches: vec![SwitchKind::Fifoms],
+        points: base.points.clone(),
+        ..base.clone()
+    };
+    let long = Sweep {
+        run: RunConfig::quick(20_000),
+        switches: vec![SwitchKind::Fifoms],
+        points: base.points.clone(),
+        ..base
+    };
+    let hw = |sweep: &Sweep| {
+        sweep
+            .run_replicated(4, 4)
+            .iter()
+            .map(|r| r.out_delay_hw95)
+            .sum::<f64>()
+    };
+    let (short_hw, long_hw) = (hw(&short), hw(&long));
+    assert!(
+        long_hw < short_hw,
+        "longer runs should tighten intervals: {short_hw} vs {long_hw}"
+    );
+}
+
+#[test]
+fn replicated_rows_agree_with_single_runs_on_stability() {
+    let sweep = small_fig4_style_sweep();
+    let reps = sweep.run_replicated(2, 4);
+    assert_eq!(reps.len(), 12);
+    for r in &reps {
+        // at these moderate loads everything but TATRA@0.8 is stable in
+        // every replication; TATRA@0.8 may go either way on short runs.
+        if !(r.switch == SwitchKind::Tatra && r.load > 0.7) {
+            assert_eq!(
+                r.stable_replications, r.replications,
+                "{:?}@{} unexpectedly unstable",
+                r.switch, r.load
+            );
+        }
+        assert!(r.out_delay_mean >= 0.0);
+        assert!(r.avg_queue_mean >= 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Trace-based cross-scheduler equivalences: on identical recorded
+//! arrivals, work-conserving facts (total copies, per-output totals) must
+//! agree across schedulers even though delays differ.
+
+use std::collections::HashMap;
+
+use fifoms::prelude::*;
+
+const N: usize = 8;
+
+fn record_workload(seed: u64, slots: u64) -> Trace {
+    let mut model = BernoulliMulticast::new(N, 0.35, 0.3, seed).unwrap();
+    Trace::record(&mut model, slots)
+}
+
+struct ReplayOutcome {
+    copies: u64,
+    per_output: Vec<u64>,
+    mean_delay: f64,
+    drain_slot: u64,
+}
+
+fn replay(trace: &Trace, sk: SwitchKind) -> ReplayOutcome {
+    let mut sw = sk.build(N, 7);
+    let mut src = TraceSource::new(trace.clone());
+    let mut arrivals = Vec::new();
+    let mut id = 0u64;
+    let mut copies = 0u64;
+    let mut per_output = vec![0u64; N];
+    let mut delay_sum = 0u64;
+    let mut t = 0u64;
+    loop {
+        let now = Slot(t);
+        src.next_slot(now, &mut arrivals);
+        for (input, dests) in arrivals.iter_mut().enumerate() {
+            if let Some(d) = dests.take() {
+                id += 1;
+                sw.admit(Packet::new(PacketId(id), now, PortId::new(input), d));
+            }
+        }
+        for d in &sw.run_slot(now).departures {
+            copies += 1;
+            per_output[d.output.index()] += 1;
+            delay_sum += d.delay(now);
+        }
+        t += 1;
+        if t >= trace.len_slots() && sw.backlog().is_empty() {
+            break;
+        }
+        assert!(t < trace.len_slots() + 1_000_000, "{:?} failed to drain", sk);
+    }
+    ReplayOutcome {
+        copies,
+        per_output,
+        mean_delay: delay_sum as f64 / copies.max(1) as f64,
+        drain_slot: t,
+    }
+}
+
+#[test]
+fn identical_arrivals_identical_work() {
+    let trace = record_workload(42, 3_000);
+    let schedulers = [
+        SwitchKind::Fifoms,
+        SwitchKind::Tatra,
+        SwitchKind::Wba,
+        SwitchKind::Islip(None),
+        SwitchKind::Pim(None),
+        SwitchKind::OqFifo,
+        SwitchKind::McFifo { splitting: true },
+    ];
+    let outcomes: HashMap<String, ReplayOutcome> = schedulers
+        .iter()
+        .map(|sk| (sk.label(), replay(&trace, *sk)))
+        .collect();
+    let reference = &outcomes["FIFOMS"];
+    assert!(reference.copies > 0);
+    for (label, o) in &outcomes {
+        assert_eq!(o.copies, reference.copies, "{label}: total copies differ");
+        assert_eq!(
+            o.per_output, reference.per_output,
+            "{label}: per-output totals differ"
+        );
+    }
+}
+
+#[test]
+fn delay_ordering_on_shared_trace() {
+    // On one multicast trace: OQ <= FIFOMS (speedup advantage) and
+    // FIFOMS < iSLIP (multicast awareness). Using a shared trace makes the
+    // comparison variance-free.
+    let trace = record_workload(11, 6_000);
+    let fifoms = replay(&trace, SwitchKind::Fifoms);
+    let oq = replay(&trace, SwitchKind::OqFifo);
+    let islip = replay(&trace, SwitchKind::Islip(None));
+    assert!(
+        oq.mean_delay <= fifoms.mean_delay + 1e-9,
+        "OQ {} vs FIFOMS {}",
+        oq.mean_delay,
+        fifoms.mean_delay
+    );
+    assert!(
+        fifoms.mean_delay < islip.mean_delay,
+        "FIFOMS {} vs iSLIP {}",
+        fifoms.mean_delay,
+        islip.mean_delay
+    );
+}
+
+#[test]
+fn text_round_trip_preserves_replay() {
+    let trace = record_workload(3, 1_000);
+    let parsed = Trace::from_text(&trace.to_text()).unwrap();
+    assert_eq!(parsed, trace);
+    let a = replay(&trace, SwitchKind::Fifoms);
+    let b = replay(&parsed, SwitchKind::Fifoms);
+    assert_eq!(a.copies, b.copies);
+    assert_eq!(a.mean_delay, b.mean_delay);
+    assert_eq!(a.drain_slot, b.drain_slot);
+}
+
+#[test]
+fn drain_time_lower_bounded_by_per_output_work() {
+    // No scheduler can drain faster than the busiest output's copy count —
+    // a physical bound every implementation must respect.
+    let trace = record_workload(8, 2_000);
+    for sk in [SwitchKind::Fifoms, SwitchKind::OqFifo, SwitchKind::Tatra] {
+        let o = replay(&trace, sk);
+        let busiest = *o.per_output.iter().max().unwrap();
+        assert!(
+            o.drain_slot >= busiest,
+            "{:?}: drained in {} slots but busiest output had {} copies",
+            sk,
+            o.drain_slot,
+            busiest
+        );
+    }
+}
