@@ -17,6 +17,19 @@ pub struct Options {
     pub csv_dir: Option<String>,
     /// Render ASCII charts after the tables.
     pub plot: bool,
+    /// Checkpoint journal path for the `sweep` command.
+    pub journal: Option<String>,
+    /// Resume from the journal instead of restarting it.
+    pub resume: bool,
+    /// Verify fabric invariants each slot, conservation every K slots.
+    pub check_every: Option<u64>,
+    /// Per-cell wall-clock budget, in seconds.
+    pub cell_timeout: Option<u64>,
+    /// Inject deterministic fabric faults (crosspoint failures and
+    /// output-port flaps) into every cell.
+    pub inject_faults: bool,
+    /// Retry budget for panicked or timed-out cells.
+    pub retries: u32,
 }
 
 impl Default for Options {
@@ -29,6 +42,12 @@ impl Default for Options {
             threads: 4,
             csv_dir: None,
             plot: false,
+            journal: None,
+            resume: false,
+            check_every: None,
+            cell_timeout: None,
+            inject_faults: false,
+            retries: 0,
         }
     }
 }
@@ -48,6 +67,7 @@ const COMMANDS: &[&str] = &[
     "mixed",
     "record",
     "replay",
+    "sweep",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -60,7 +80,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
         match arg.as_str() {
             "--quick" => quick = true,
             "--plot" => opts.plot = true,
-            "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir" => {
+            "--inject-faults" => opts.inject_faults = true,
+            "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir"
+            | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -71,6 +93,14 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--points" => opts.points = parse_num(arg, value)?,
                     "--threads" => opts.threads = parse_num(arg, value)?,
                     "--csv-dir" => opts.csv_dir = Some(value.clone()),
+                    "--journal" => opts.journal = Some(value.clone()),
+                    "--resume" => {
+                        opts.journal = Some(value.clone());
+                        opts.resume = true;
+                    }
+                    "--check-every" => opts.check_every = Some(parse_num(arg, value)?),
+                    "--cell-timeout" => opts.cell_timeout = Some(parse_num(arg, value)?),
+                    "--retries" => opts.retries = parse_num(arg, value)?,
                     _ => unreachable!(),
                 }
             }
@@ -87,6 +117,12 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     }
     if opts.n == 0 || opts.points == 0 || opts.slots < 10 {
         return Err("n, points and slots must be positive (slots >= 10)".into());
+    }
+    if opts.check_every == Some(0) {
+        return Err("--check-every must be positive".into());
+    }
+    if opts.cell_timeout == Some(0) {
+        return Err("--cell-timeout must be positive".into());
     }
     let command = command.ok_or("missing command")?;
     Ok((command, opts))
@@ -147,5 +183,31 @@ mod tests {
         assert!(parse(&argv("fig4 --n")).is_err());
         assert!(parse(&argv("fig4 --n zero")).is_err());
         assert!(parse(&argv("fig4 --n 0")).is_err());
+        assert!(parse(&argv("sweep --check-every 0")).is_err());
+        assert!(parse(&argv("sweep --cell-timeout 0")).is_err());
+        assert!(parse(&argv("sweep --resume")).is_err());
+    }
+
+    #[test]
+    fn sweep_flags() {
+        let (cmd, o) = parse(&argv(
+            "sweep --journal /tmp/j.txt --check-every 500 --cell-timeout 30 \
+             --inject-faults --retries 2",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "sweep");
+        assert_eq!(o.journal.as_deref(), Some("/tmp/j.txt"));
+        assert!(!o.resume);
+        assert_eq!(o.check_every, Some(500));
+        assert_eq!(o.cell_timeout, Some(30));
+        assert!(o.inject_faults);
+        assert_eq!(o.retries, 2);
+    }
+
+    #[test]
+    fn resume_implies_journal() {
+        let (_, o) = parse(&argv("sweep --resume /tmp/j.txt")).unwrap();
+        assert_eq!(o.journal.as_deref(), Some("/tmp/j.txt"));
+        assert!(o.resume);
     }
 }

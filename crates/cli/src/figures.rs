@@ -1,7 +1,10 @@
 //! One function per paper figure, plus extension experiments.
 
 use fifoms_sim::report::{figure_table, sweep_csv, Metric};
-use fifoms_sim::{RunConfig, Sweep, SweepRow, SwitchKind, TrafficKind};
+use fifoms_sim::{
+    CellPolicy, FaultConfig, RunConfig, Sweep, SweepRow, SwitchKind, TrafficKind,
+};
+use fifoms_types::SimError;
 
 use crate::args::Options;
 
@@ -68,7 +71,7 @@ const FOUR_PANELS: &[Metric] = &[
 ];
 
 /// Fig. 4: 16×16, Bernoulli b=0.2, loads 0.1..1.0.
-pub fn fig4(opts: &Options) {
+pub fn fig4(opts: &Options) -> Result<(), SimError> {
     let b = 0.2;
     let sweep = Sweep {
         n: opts.n,
@@ -89,10 +92,11 @@ pub fn fig4(opts: &Options) {
         opts,
         "fig4",
     );
+    Ok(())
 }
 
 /// Fig. 5: convergence rounds of FIFOMS vs iSLIP under the Fig. 4 traffic.
-pub fn fig5(opts: &Options) {
+pub fn fig5(opts: &Options) -> Result<(), SimError> {
     let b = 0.2;
     let switches = vec![SwitchKind::Fifoms, SwitchKind::Islip(None)];
     let sweep = Sweep {
@@ -117,19 +121,20 @@ pub fn fig5(opts: &Options) {
         opts,
         "fig5",
     );
+    Ok(())
 }
 
 /// Fig. 6: uniform traffic, maxFanout = 1 (pure unicast).
-pub fn fig6(opts: &Options) {
-    uniform_figure(opts, 1, "Fig. 6", "fig6");
+pub fn fig6(opts: &Options) -> Result<(), SimError> {
+    uniform_figure(opts, 1, "Fig. 6", "fig6")
 }
 
 /// Fig. 7: uniform traffic, maxFanout = 8.
-pub fn fig7(opts: &Options) {
-    uniform_figure(opts, 8, "Fig. 7", "fig7");
+pub fn fig7(opts: &Options) -> Result<(), SimError> {
+    uniform_figure(opts, 8, "Fig. 7", "fig7")
 }
 
-fn uniform_figure(opts: &Options, max_fanout: usize, title: &str, csv: &str) {
+fn uniform_figure(opts: &Options, max_fanout: usize, title: &str, csv: &str) -> Result<(), SimError> {
     let sweep = Sweep {
         n: opts.n,
         switches: SwitchKind::paper_set(),
@@ -152,10 +157,11 @@ fn uniform_figure(opts: &Options, max_fanout: usize, title: &str, csv: &str) {
         opts,
         csv,
     );
+    Ok(())
 }
 
 /// Fig. 8: burst traffic, E_on = 16, b = 0.5.
-pub fn fig8(opts: &Options) {
+pub fn fig8(opts: &Options) -> Result<(), SimError> {
     let (e_on, b) = (16.0, 0.5);
     let sweep = Sweep {
         n: opts.n,
@@ -179,10 +185,11 @@ pub fn fig8(opts: &Options) {
         opts,
         "fig8",
     );
+    Ok(())
 }
 
 /// Extension: FIFOMS design-choice ablations under the Fig. 4 workload.
-pub fn ablation(opts: &Options) {
+pub fn ablation(opts: &Options) -> Result<(), SimError> {
     use fifoms_core::TieBreak;
     let b = 0.2;
     let switches = vec![
@@ -218,12 +225,13 @@ pub fn ablation(opts: &Options) {
         opts,
         "ablation",
     );
+    Ok(())
 }
 
 /// Extension: mixed unicast/multicast traffic (the introduction's hard
 /// case for single-input-queued schedulers: "especially when the incoming
 /// traffic has mixed multicast and unicast packets").
-pub fn mixed(opts: &Options) {
+pub fn mixed(opts: &Options) -> Result<(), SimError> {
     let n = opts.n;
     let switches = vec![
         SwitchKind::Fifoms,
@@ -237,24 +245,19 @@ pub fn mixed(opts: &Options) {
     let load = 0.7;
     let b = 0.2;
     let fractions = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
-    let points: Vec<(f64, TrafficKind)> = fractions
-        .iter()
-        .map(|&frac| {
-            let tk = TrafficKind::Mixed {
-                p: 0.5, // placeholder, fixed below
-                frac_multicast: frac,
-                b,
-            };
-            // compute p so p * mean_fanout == load, using the model itself
-            let probe = fifoms_traffic::MixedTraffic::new(n, 1.0, frac, b, 0)
-                .expect("probe model");
-            let p = load / probe.mean_fanout();
-            let TrafficKind::Mixed { b, frac_multicast, .. } = tk else {
-                unreachable!()
-            };
-            (frac, TrafficKind::Mixed { p, frac_multicast, b })
-        })
-        .collect();
+    let mut points: Vec<(f64, TrafficKind)> = Vec::with_capacity(fractions.len());
+    for frac in fractions {
+        // compute p so p * mean_fanout == load, using the model itself;
+        // invalid combinations surface as a diagnostic, not a panic
+        let probe = fifoms_traffic::MixedTraffic::new(n, 1.0, frac, b, 0)?;
+        let p = load / probe.mean_fanout();
+        let tk = TrafficKind::Mixed {
+            p,
+            frac_multicast: frac,
+            b,
+        };
+        points.push((frac, tk));
+    }
     let sweep = Sweep {
         n,
         switches: switches.clone(),
@@ -271,11 +274,12 @@ pub fn mixed(opts: &Options) {
         print!("{}", figure_table(&rows, &switches, metric).render());
     }
     println!("(* = operating point beyond the scheduler's stability region)");
+    Ok(())
 }
 
 /// Extension: how the comparison scales with switch size `N` at a fixed
 /// effective load.
-pub fn scaling(opts: &Options) {
+pub fn scaling(opts: &Options) -> Result<(), SimError> {
     let (load, b_fanout) = (0.7, 4.0); // average fanout 4 at every N
     let switches = SwitchKind::paper_set();
     println!("\n=== Scaling: delay vs switch size at load {load}, mean fanout 4 ===");
@@ -295,18 +299,24 @@ pub fn scaling(opts: &Options) {
         let rows = execute(opts, &sweep);
         let mut cells = vec![format!("{n}")];
         for sk in &switches {
-            let r = rows.iter().find(|r| r.switch == *sk).expect("ran");
-            let star = if r.result.is_stable() { "" } else { "*" };
-            cells.push(format!("{:.3}{star}", r.result.delay.mean_output_oriented));
+            // A missing cell renders as a dash instead of panicking.
+            cells.push(match rows.iter().find(|r| r.switch == *sk) {
+                Some(r) => {
+                    let star = if r.result.is_stable() { "" } else { "*" };
+                    format!("{:.3}{star}", r.result.delay.mean_output_oriented)
+                }
+                None => "-".to_string(),
+            });
         }
         table.push_row(cells);
     }
     print!("{}", table.render());
     println!("(output-oriented delay in slots; * = unstable)");
+    Ok(())
 }
 
 /// Extension: Jain fairness of per-input service under asymmetric demand.
-pub fn fairness(opts: &Options) {
+pub fn fairness(opts: &Options) -> Result<(), SimError> {
     use fifoms_stats::FairnessTracker;
     use fifoms_types::{Packet, PacketId, PortId, Slot};
     let n = opts.n;
@@ -352,11 +362,12 @@ pub fn fairness(opts: &Options) {
     }
     print!("{}", table.render());
     println!("(1.0 = perfectly equal service across inputs)");
+    Ok(())
 }
 
 /// Extension: the §I claim that output queueing needs internal speedup N —
 /// sweep the speedup of the OQ switch and watch throughput/delay degrade.
-pub fn oq_speedup(opts: &Options) {
+pub fn oq_speedup(opts: &Options) -> Result<(), SimError> {
     let n = opts.n;
     let switches: Vec<SwitchKind> = [1usize, 2, 4, 8, n]
         .iter()
@@ -384,10 +395,11 @@ pub fn oq_speedup(opts: &Options) {
         opts,
         "oq_speedup",
     );
+    Ok(())
 }
 
 /// Extension: sustained-throughput comparison at overload.
-pub fn throughput(opts: &Options) {
+pub fn throughput(opts: &Options) -> Result<(), SimError> {
     let b = 0.2;
     let switches = vec![
         SwitchKind::Fifoms,
@@ -421,4 +433,81 @@ pub fn throughput(opts: &Options) {
         opts,
         "throughput",
     );
+    Ok(())
+}
+
+/// The `sweep` command: the Fig. 4 grid under the fault-isolated runner,
+/// with optional checkpoint journaling (`--journal` / `--resume`),
+/// runtime invariant validation (`--check-every`), per-cell watchdog
+/// (`--cell-timeout`), fault injection (`--inject-faults`) and bounded
+/// retries (`--retries`). Failed cells are reported as rows, not crashes.
+pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
+    let b = 0.2;
+    let sweep = Sweep {
+        n: opts.n,
+        switches: SwitchKind::paper_set(),
+        points: loads(0.1, 1.0, opts.points)
+            .into_iter()
+            .map(|l| (l, TrafficKind::bernoulli_at_load(l, b, opts.n)))
+            .collect(),
+        run: run_config(opts),
+        seed: opts.seed,
+    };
+    let policy = CellPolicy {
+        timeout: opts.cell_timeout.map(std::time::Duration::from_secs),
+        retries: opts.retries,
+        check_every: opts.check_every,
+        faults: opts
+            .inject_faults
+            .then(|| FaultConfig::moderate(opts.seed)),
+    };
+    let outcomes = match &opts.journal {
+        Some(path) => {
+            let verb = if opts.resume { "resuming from" } else { "journaling to" };
+            println!("{verb} {path}");
+            sweep.run_checkpointed(opts.threads, &policy, path, opts.resume)?
+        }
+        None => sweep.run_robust(opts.threads, &policy),
+    };
+    let rows: Vec<SweepRow> = outcomes.iter().filter_map(|o| o.row().cloned()).collect();
+    let failures: Vec<_> = outcomes.iter().filter_map(|o| o.failure()).collect();
+    let mut title = format!(
+        "Robust sweep: {0}x{0} switch, Bernoulli traffic, b = {b}",
+        opts.n
+    );
+    if policy.faults.is_some() {
+        title.push_str(" (faults injected)");
+    }
+    print_figure(
+        &title,
+        &rows,
+        &sweep.switches,
+        FOUR_PANELS,
+        opts,
+        "sweep",
+    );
+    println!(
+        "grid: {} cells, {} completed, {} failed",
+        outcomes.len(),
+        rows.len(),
+        failures.len()
+    );
+    if !failures.is_empty() {
+        let mut table = fifoms_sim::report::Table::new(vec![
+            "scheduler".to_string(),
+            "load".to_string(),
+            "attempts".to_string(),
+            "failure".to_string(),
+        ]);
+        for f in &failures {
+            table.push_row(vec![
+                f.switch.label(),
+                format!("{:.3}", f.load),
+                format!("{}", f.attempts),
+                format!("{}", f.reason),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+    Ok(())
 }

@@ -1,16 +1,24 @@
 //! `fifoms-repro` — regenerate every figure of the paper.
 //!
 //! ```text
-//! fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput> [options]
+//! fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|sweep|...> [options]
 //!
 //! Options:
-//!   --n <N>          switch size                      [default: 16]
-//!   --slots <S>      slots per run                    [default: 100000]
-//!   --seed <K>       base RNG seed                    [default: 1]
-//!   --points <P>     load points per sweep            [default: 10]
-//!   --threads <T>    worker threads                   [default: 4]
-//!   --csv-dir <DIR>  also write per-figure CSV files
-//!   --quick          1/10th slots (smoke runs)
+//!   --n <N>            switch size                      [default: 16]
+//!   --slots <S>        slots per run                    [default: 100000]
+//!   --seed <K>         base RNG seed                    [default: 1]
+//!   --points <P>       load points per sweep            [default: 10]
+//!   --threads <T>      worker threads                   [default: 4]
+//!   --csv-dir <DIR>    also write per-figure CSV files
+//!   --quick            1/10th slots (smoke runs)
+//!
+//! sweep (fault-isolated Fig. 4 grid) additionally accepts:
+//!   --journal <PATH>     journal finished cells to PATH (fresh run)
+//!   --resume <PATH>      resume from PATH, skipping journaled cells
+//!   --check-every <K>    runtime invariant validation; conservation every K slots
+//!   --cell-timeout <SEC> per-cell wall-clock watchdog
+//!   --inject-faults      deterministic crosspoint/output-port faults
+//!   --retries <R>        retry budget for panicked/timed-out cells
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -26,6 +34,7 @@ mod traces;
 use std::process::ExitCode;
 
 use args::Options;
+use fifoms_types::SimError;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -33,15 +42,20 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R]");
             return ExitCode::FAILURE;
         }
     };
-    run(&command, &opts);
-    ExitCode::SUCCESS
+    match run(&command, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
-fn run(command: &str, opts: &Options) {
+fn run(command: &str, opts: &Options) -> Result<(), SimError> {
     match command {
         "fig4" => figures::fig4(opts),
         "fig5" => figures::fig5(opts),
@@ -54,14 +68,15 @@ fn run(command: &str, opts: &Options) {
         "fairness" => figures::fairness(opts),
         "oq-speedup" => figures::oq_speedup(opts),
         "mixed" => figures::mixed(opts),
+        "sweep" => figures::sweep_cmd(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {
-            figures::fig4(opts);
-            figures::fig5(opts);
-            figures::fig6(opts);
-            figures::fig7(opts);
-            figures::fig8(opts);
+            figures::fig4(opts)?;
+            figures::fig5(opts)?;
+            figures::fig6(opts)?;
+            figures::fig7(opts)?;
+            figures::fig8(opts)
         }
         _ => unreachable!("parse validated the command"),
     }

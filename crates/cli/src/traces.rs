@@ -5,58 +5,50 @@ use fifoms_sim::report::Table;
 use fifoms_sim::SwitchKind;
 use fifoms_stats::DelayStats;
 use fifoms_traffic::{Trace, TraceSource, TrafficModel};
-use fifoms_types::{Packet, PacketId, PortId, Slot};
+use fifoms_types::{Packet, PacketId, PortId, SimError, Slot};
 
 use crate::args::Options;
 
 /// `fifoms-repro record --csv-dir DIR`: record the paper's Fig. 4
 /// workload (Bernoulli b = 0.2 at 70% load) for `--slots` slots into
 /// `DIR/trace.txt`. `--seed` selects the stream.
-pub fn record(opts: &Options) {
+pub fn record(opts: &Options) -> Result<(), SimError> {
     let Some(dir) = &opts.csv_dir else {
-        eprintln!("record requires --csv-dir <DIR> (the trace is written there)");
-        return;
+        return Err(SimError::Usage(
+            "record requires --csv-dir <DIR> (the trace is written there)".into(),
+        ));
     };
     let n = opts.n;
     let p = fifoms_traffic::BernoulliMulticast::p_for_load(0.7, n, 0.2);
-    let mut model =
-        fifoms_traffic::BernoulliMulticast::new(n, p, 0.2, opts.seed).expect("valid workload");
+    let mut model = fifoms_traffic::BernoulliMulticast::new(n, p, 0.2, opts.seed)?;
     let trace = Trace::record(&mut model, opts.slots);
     let path = format!("{dir}/trace.txt");
-    match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, trace.to_text())) {
-        Ok(()) => println!(
-            "recorded {} packets over {} slots ({}x{n}, load 0.70) to {path}",
-            trace.packets(),
-            trace.len_slots(),
-            n
-        ),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, trace.to_text()))
+        .map_err(|e| SimError::Usage(format!("could not write {path}: {e}")))?;
+    println!(
+        "recorded {} packets over {} slots ({}x{n}, load 0.70) to {path}",
+        trace.packets(),
+        trace.len_slots(),
+        n
+    );
+    Ok(())
 }
 
 /// `fifoms-repro replay --csv-dir DIR`: load `DIR/trace.txt` and run the
 /// paper's four schedulers on the identical arrival sequence, reporting
 /// variance-free deltas.
-pub fn replay(opts: &Options) {
+pub fn replay(opts: &Options) -> Result<(), SimError> {
     let Some(dir) = &opts.csv_dir else {
-        eprintln!("replay requires --csv-dir <DIR> (containing trace.txt from `record`)");
-        return;
+        return Err(SimError::Usage(
+            "replay requires --csv-dir <DIR> (containing trace.txt from `record`)".into(),
+        ));
     };
     let path = format!("{dir}/trace.txt");
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("could not read {path}: {e} (run `record` first)");
-            return;
-        }
-    };
-    let trace = match Trace::from_text(&text) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("{path} is not a valid trace: {e}");
-            return;
-        }
-    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| SimError::Usage(format!("could not read {path}: {e} (run `record` first)")))?;
+    let trace = Trace::from_text(&text)
+        .map_err(|e| SimError::Usage(format!("{path} is not a valid trace: {e}")))?;
     println!(
         "replaying {} packets / {} slots from {path}\n",
         trace.packets(),
@@ -81,6 +73,7 @@ pub fn replay(opts: &Options) {
     }
     print!("{}", table.render());
     println!("\n(identical arrivals for every scheduler: deltas are pure scheduling)");
+    Ok(())
 }
 
 fn replay_one(trace: &Trace, sk: SwitchKind, seed: u64) -> (DelayStats, u64) {

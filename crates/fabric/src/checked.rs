@@ -1,0 +1,480 @@
+//! Runtime invariant validation: a transparent [`Switch`] wrapper that
+//! cross-checks every slot a scheduler produces against the fabric's
+//! structural rules.
+//!
+//! [`CheckedSwitch`] shadows the inner switch's queue state with its own
+//! per-packet residual-fanout ledger and verifies, per slot:
+//!
+//! 1. **Output exclusivity** — each output is granted to at most one input
+//!    (the crossbar can deliver one cell per output per slot);
+//! 2. **Fanout membership** — every departed copy targets an output that
+//!    is still in the packet's residual fanout set (never an output the
+//!    packet did not request, never one already served);
+//! 3. **Counter discipline** — fanout counters decrement exactly by the
+//!    served copies, and `last_copy` is flagged on precisely the departure
+//!    that clears the counter;
+//! 4. **Cell conservation** — admitted copies equal delivered copies plus
+//!    the backlog the switch reports (checked every `check_every` slots,
+//!    since it requires no per-departure context).
+//!
+//! Violations are *sticky*: the first one is recorded as a structured
+//! [`InvariantViolation`] and can be inspected with
+//! [`CheckedSwitch::violation`] once the run completes. The wrapper never
+//! panics — fault-isolated sweep cells turn a recorded violation into a
+//! structured failed-cell outcome instead of tearing down the grid.
+
+use std::collections::HashMap;
+
+use fifoms_types::{InvariantViolation, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome};
+
+use crate::switch::{Backlog, Switch};
+
+/// Residual state of one in-flight packet.
+#[derive(Clone, Debug)]
+struct Tracked {
+    /// The full destination set the packet was admitted with.
+    requested: PortSet,
+    /// Outputs already served.
+    served: PortSet,
+}
+
+/// A [`Switch`] wrapper validating scheduler output against the fabric's
+/// structural invariants (see the module docs for the list).
+///
+/// The wrapper is metrically transparent: `name`, `ports`, `queue_sizes`
+/// and `backlog` delegate unchanged, so wrapped and unwrapped runs report
+/// identical statistics.
+#[derive(Debug)]
+pub struct CheckedSwitch<S> {
+    inner: S,
+    check_every: u64,
+    in_flight: HashMap<PacketId, Tracked>,
+    admitted_copies: u64,
+    delivered_copies: u64,
+    slots_checked: u64,
+    violation: Option<InvariantViolation>,
+}
+
+impl<S: Switch> CheckedSwitch<S> {
+    /// Wrap `inner`, checking conservation every slot.
+    pub fn new(inner: S) -> CheckedSwitch<S> {
+        CheckedSwitch::with_check_every(inner, 1)
+    }
+
+    /// Wrap `inner`, checking conservation every `check_every` slots
+    /// (structural per-departure checks always run; `0` is treated as 1).
+    pub fn with_check_every(inner: S, check_every: u64) -> CheckedSwitch<S> {
+        CheckedSwitch {
+            inner,
+            check_every: check_every.max(1),
+            in_flight: HashMap::new(),
+            admitted_copies: 0,
+            delivered_copies: 0,
+            slots_checked: 0,
+            violation: None,
+        }
+    }
+
+    /// The first invariant violation observed, if any.
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Consume the wrapper, yielding `Ok(inner)` if the run was clean.
+    pub fn into_result(self) -> Result<S, InvariantViolation> {
+        match self.violation {
+            None => Ok(self.inner),
+            Some(v) => Err(v),
+        }
+    }
+
+    /// Shared access to the wrapped switch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn record(&mut self, violation: InvariantViolation) {
+        // Sticky: keep the first violation, which localises the root cause;
+        // later ones are usually knock-on effects of the same bug.
+        self.violation.get_or_insert(violation);
+    }
+
+    fn check_outcome(&mut self, now: Slot, outcome: &SlotOutcome) {
+        let mut granted: HashMap<PortId, PortId> = HashMap::new();
+        for d in &outcome.departures {
+            if let Some(&first) = granted.get(&d.output) {
+                if first != d.input {
+                    self.record(InvariantViolation::DuplicateGrant {
+                        slot: now,
+                        output: d.output,
+                        first_input: first,
+                        second_input: d.input,
+                    });
+                }
+            } else {
+                granted.insert(d.output, d.input);
+            }
+
+            let Some(entry) = self.in_flight.get_mut(&d.packet) else {
+                // Unknown or already-completed packet: its residual fanout
+                // is empty, so any further copy is out of fanout.
+                self.record(InvariantViolation::GrantOutsideFanout {
+                    slot: now,
+                    input: d.input,
+                    output: d.output,
+                    packet: d.packet,
+                });
+                continue;
+            };
+            if !entry.requested.contains(d.output) {
+                self.record(InvariantViolation::GrantOutsideFanout {
+                    slot: now,
+                    input: d.input,
+                    output: d.output,
+                    packet: d.packet,
+                });
+                continue;
+            }
+            if !entry.served.insert(d.output) {
+                // Requested output, but served twice: the fanout counter
+                // would decrement past its target.
+                let violation = InvariantViolation::FanoutOverrun {
+                    slot: now,
+                    packet: d.packet,
+                    fanout: entry.requested.len(),
+                    delivered: entry.served.len() + 1,
+                };
+                self.record(violation);
+                continue;
+            }
+            self.delivered_copies += 1;
+            let remaining = entry.requested.len() - entry.served.len();
+            if d.last_copy != (remaining == 0) {
+                self.record(InvariantViolation::LastCopyMismatch {
+                    slot: now,
+                    packet: d.packet,
+                    remaining,
+                    flagged_last: d.last_copy,
+                });
+            }
+            if remaining == 0 {
+                self.in_flight.remove(&d.packet);
+            }
+        }
+
+        self.slots_checked += 1;
+        if self.slots_checked.is_multiple_of(self.check_every) {
+            let backlog = self.inner.backlog().copies as u64;
+            if self.admitted_copies != self.delivered_copies + backlog {
+                self.record(InvariantViolation::ConservationMismatch {
+                    slot: now,
+                    admitted_copies: self.admitted_copies,
+                    delivered_copies: self.delivered_copies,
+                    backlog_copies: backlog,
+                });
+            }
+        }
+    }
+}
+
+impl<S: Switch> Switch for CheckedSwitch<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+
+    fn admit(&mut self, packet: Packet) {
+        self.admitted_copies += packet.fanout() as u64;
+        self.in_flight.insert(
+            packet.id,
+            Tracked {
+                requested: packet.dests.clone(),
+                served: PortSet::new(),
+            },
+        );
+        self.inner.admit(packet);
+    }
+
+    fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        let outcome = self.inner.run_slot(now);
+        self.check_outcome(now, &outcome);
+        outcome
+    }
+
+    fn queue_sizes(&self, out: &mut Vec<usize>) {
+        self.inner.queue_sizes(out)
+    }
+
+    fn backlog(&self) -> Backlog {
+        self.inner.backlog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::Departure;
+    use std::collections::VecDeque;
+
+    /// A configurable one-port switch whose bugs are injectable, used to
+    /// prove each invariant actually trips.
+    #[derive(Default)]
+    struct RiggedSwitch {
+        queue: VecDeque<Packet>,
+        /// Deliver each copy twice.
+        double_serve: bool,
+        /// Send one copy to an output outside the fanout.
+        stray_output: bool,
+        /// Invert the `last_copy` flag.
+        wrong_last: bool,
+        /// Under-report the backlog by this many copies.
+        hide_copies: usize,
+        /// Grant the same output from two different inputs in one slot.
+        duplicate_grant: bool,
+    }
+
+    impl Switch for RiggedSwitch {
+        fn name(&self) -> String {
+            "rigged".into()
+        }
+        fn ports(&self) -> usize {
+            4
+        }
+        fn admit(&mut self, packet: Packet) {
+            self.queue.push_back(packet);
+        }
+        fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+            let _ = now;
+            let Some(p) = self.queue.pop_front() else {
+                return SlotOutcome::idle();
+            };
+            let outputs: Vec<PortId> = p.dests.iter().collect();
+            let mut departures = Vec::new();
+            for (idx, &o) in outputs.iter().enumerate() {
+                let last = idx + 1 == outputs.len();
+                let output = if self.stray_output && last {
+                    PortId::new((o.index() + 1) % self.ports())
+                } else {
+                    o
+                };
+                departures.push(Departure {
+                    packet: p.id,
+                    arrival: p.arrival,
+                    input: p.input,
+                    output,
+                    last_copy: last != self.wrong_last,
+                });
+                if self.double_serve {
+                    departures.push(Departure {
+                        packet: p.id,
+                        arrival: p.arrival,
+                        input: p.input,
+                        output,
+                        last_copy: false,
+                    });
+                }
+                if self.duplicate_grant {
+                    departures.push(Departure {
+                        packet: p.id,
+                        arrival: p.arrival,
+                        input: PortId::new((p.input.index() + 1) % self.ports()),
+                        output,
+                        last_copy: false,
+                    });
+                }
+            }
+            let connections = departures.len();
+            SlotOutcome {
+                departures,
+                rounds: 1,
+                connections,
+            }
+        }
+        fn queue_sizes(&self, out: &mut Vec<usize>) {
+            out.clear();
+            out.resize(self.ports(), 0);
+            out[0] = self.queue.len();
+        }
+        fn backlog(&self) -> Backlog {
+            let copies: usize = self.queue.iter().map(|p| p.fanout()).sum();
+            Backlog {
+                packets: self.queue.len(),
+                copies: copies.saturating_sub(self.hide_copies),
+            }
+        }
+    }
+
+    fn packet(id: u64, outputs: &[usize]) -> Packet {
+        Packet::new(
+            PacketId(id),
+            Slot(0),
+            PortId(0),
+            outputs.iter().copied().collect(),
+        )
+    }
+
+    fn run_rigged(rig: RiggedSwitch, packets: &[Packet]) -> Option<InvariantViolation> {
+        let mut sw = CheckedSwitch::new(rig);
+        for p in packets {
+            sw.admit(p.clone());
+        }
+        let mut t = Slot(0);
+        for _ in 0..8 {
+            sw.run_slot(t);
+            t = t.next();
+        }
+        sw.into_result().err()
+    }
+
+    #[test]
+    fn clean_switch_passes_all_checks() {
+        let v = run_rigged(
+            RiggedSwitch::default(),
+            &[packet(1, &[0, 2]), packet(2, &[1, 2, 3])],
+        );
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn duplicate_grant_detected() {
+        let v = run_rigged(
+            RiggedSwitch {
+                duplicate_grant: true,
+                ..Default::default()
+            },
+            &[packet(1, &[2])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::DuplicateGrant { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn stray_output_detected() {
+        let v = run_rigged(
+            RiggedSwitch {
+                stray_output: true,
+                ..Default::default()
+            },
+            &[packet(1, &[0])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::GrantOutsideFanout { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn double_service_detected_as_overrun() {
+        // Two outputs: the duplicate of the first copy arrives while the
+        // packet is still tracked, hitting the overrun path (a duplicate
+        // after completion reports GrantOutsideFanout instead).
+        let v = run_rigged(
+            RiggedSwitch {
+                double_serve: true,
+                ..Default::default()
+            },
+            &[packet(1, &[1, 3])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::FanoutOverrun { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_last_copy_flag_detected() {
+        let v = run_rigged(
+            RiggedSwitch {
+                wrong_last: true,
+                ..Default::default()
+            },
+            &[packet(1, &[0, 3])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::LastCopyMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn hidden_backlog_breaks_conservation() {
+        // Two packets: the first serves in slot 0; the second still queued
+        // but one of its copies is hidden from backlog().
+        let v = run_rigged(
+            RiggedSwitch {
+                hide_copies: 1,
+                ..Default::default()
+            },
+            &[packet(1, &[0]), packet(2, &[1, 2])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::ConservationMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn check_every_defers_conservation_check() {
+        // With check_every = 8 and only 3 slots run, the hidden copy is
+        // never noticed; with every-slot checking it is.
+        let rig = RiggedSwitch {
+            hide_copies: 1,
+            ..Default::default()
+        };
+        let mut sw = CheckedSwitch::with_check_every(rig, 8);
+        sw.admit(packet(1, &[0, 1]));
+        for t in 0..3 {
+            sw.run_slot(Slot(t));
+        }
+        assert!(sw.violation().is_none());
+        // The structural checks still ran: serve a stray copy and it trips.
+        let rig = RiggedSwitch {
+            hide_copies: 1,
+            stray_output: true,
+            ..Default::default()
+        };
+        let mut sw = CheckedSwitch::with_check_every(rig, 8);
+        sw.admit(packet(1, &[0]));
+        sw.run_slot(Slot(0));
+        assert!(matches!(
+            sw.violation(),
+            Some(InvariantViolation::GrantOutsideFanout { .. })
+        ));
+    }
+
+    #[test]
+    fn wrapper_is_metrically_transparent() {
+        let mut plain = RiggedSwitch::default();
+        let mut checked = CheckedSwitch::new(RiggedSwitch::default());
+        for p in [packet(1, &[0, 1, 2]), packet(2, &[3])] {
+            plain.admit(p.clone());
+            checked.admit(p);
+        }
+        assert_eq!(plain.name(), checked.name());
+        assert_eq!(plain.ports(), checked.ports());
+        assert_eq!(plain.backlog(), checked.backlog());
+        let (mut qa, mut qb) = (Vec::new(), Vec::new());
+        plain.queue_sizes(&mut qa);
+        checked.queue_sizes(&mut qb);
+        assert_eq!(qa, qb);
+        let a = plain.run_slot(Slot(0));
+        let b = checked.run_slot(Slot(0));
+        assert_eq!(a.departures, b.departures);
+    }
+
+    #[test]
+    fn works_through_boxed_switches() {
+        let inner: Box<dyn Switch> = Box::new(RiggedSwitch::default());
+        let mut sw = CheckedSwitch::new(inner);
+        sw.admit(packet(1, &[0, 1]));
+        sw.run_slot(Slot(0));
+        sw.run_slot(Slot(1));
+        assert!(sw.violation().is_none());
+        assert!(sw.backlog().is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! Deterministic fabric fault injection.
+//!
+//! [`FaultyFabric`] wraps any [`Switch`] and masks a seeded, fully
+//! deterministic schedule of hardware faults at admission time:
+//!
+//! * **output-port flaps** — an output goes down at some slot and recovers
+//!   a fixed number of slots later, periodically, with a per-output phase
+//!   derived from the seed;
+//! * **crosspoint failures** — specific `(input, output)` crosspoints fail
+//!   at a configured slot and recover after a configured duration.
+//!
+//! The model is *ingress fault masking*: the line cards know the current
+//! fault state, so a packet arriving while part of its fanout is
+//! unreachable is admitted with the dead outputs removed, and a packet
+//! whose whole fanout is unreachable is dropped. Dropped and trimmed
+//! copies are tallied in [`FaultStats`]; everything actually admitted is
+//! subject to the usual conservation invariant, which is how the stress
+//! suite asserts schedulers degrade gracefully (no deadlock, no invariant
+//! violation, no loss of undropped cells) under fabric faults.
+//!
+//! Determinism matters more than realism here: the same `FaultConfig`
+//! yields the same fault timeline on every run, so faulty sweeps are
+//! reproducible and checkpoint/resume remains bit-identical.
+
+use fifoms_types::{Packet, PortId, Slot, SlotOutcome};
+
+use crate::switch::{Backlog, Switch};
+
+/// SplitMix64: cheap stateless hash used to derive per-entity phases from
+/// the seed without dragging in an RNG dependency.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic fault schedule parameters.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultConfig {
+    /// Seed deriving every phase and crosspoint choice.
+    pub seed: u64,
+    /// Period of each output's flap cycle in slots; `0` disables flaps.
+    pub flap_period: u64,
+    /// Slots an output stays down within each period.
+    pub flap_duration: u64,
+    /// Number of distinct crosspoints to fail; `0` disables.
+    pub crosspoint_faults: usize,
+    /// Slot at which the crosspoint faults occur.
+    pub crosspoint_at: u64,
+    /// Slots after which a failed crosspoint recovers; `u64::MAX` never.
+    pub crosspoint_duration: u64,
+}
+
+impl FaultConfig {
+    /// A disabled schedule (the wrapper becomes a transparent pass-through).
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            flap_period: 0,
+            flap_duration: 0,
+            crosspoint_faults: 0,
+            crosspoint_at: 0,
+            crosspoint_duration: 0,
+        }
+    }
+
+    /// A moderate mixed schedule for stress testing: every output flaps
+    /// down for 50 slots out of every 1000, and two crosspoints fail at
+    /// slot 500 for 2000 slots.
+    pub fn moderate(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            flap_period: 1_000,
+            flap_duration: 50,
+            crosspoint_faults: 2,
+            crosspoint_at: 500,
+            crosspoint_duration: 2_000,
+        }
+    }
+
+    /// Whether the schedule injects anything at all.
+    pub fn is_active(&self) -> bool {
+        (self.flap_period > 0 && self.flap_duration > 0) || self.crosspoint_faults > 0
+    }
+}
+
+/// Tally of what the fault schedule did to the offered traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct FaultStats {
+    /// Packets offered to the faulty fabric.
+    pub packets_offered: u64,
+    /// Packets dropped whole (entire fanout unreachable on arrival).
+    pub packets_dropped: u64,
+    /// Packets admitted with a reduced fanout.
+    pub packets_trimmed: u64,
+    /// Copies removed from fanouts (including those of dropped packets).
+    pub copies_dropped: u64,
+}
+
+/// A [`Switch`] wrapper that injects the deterministic fault schedule of a
+/// [`FaultConfig`] (see the module docs for the fault model).
+#[derive(Debug)]
+pub struct FaultyFabric<S> {
+    inner: S,
+    config: FaultConfig,
+    crosspoints: Vec<(PortId, PortId)>,
+    stats: FaultStats,
+}
+
+impl<S: Switch> FaultyFabric<S> {
+    /// Wrap `inner` under the fault schedule `config`.
+    pub fn new(inner: S, config: FaultConfig) -> FaultyFabric<S> {
+        let n = inner.ports();
+        let mut crosspoints = Vec::with_capacity(config.crosspoint_faults);
+        let mut k = 0u64;
+        while crosspoints.len() < config.crosspoint_faults && n > 0 {
+            let h = splitmix64(config.seed ^ 0xC0DE ^ k);
+            let pair = (
+                PortId::new((h as usize) % n),
+                PortId::new(((h >> 32) as usize) % n),
+            );
+            if !crosspoints.contains(&pair) {
+                crosspoints.push(pair);
+            }
+            k += 1;
+            if k > 64 * config.crosspoint_faults as u64 + 64 {
+                break; // tiny switch: fewer distinct crosspoints than asked
+            }
+        }
+        FaultyFabric {
+            inner,
+            config,
+            crosspoints,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The fault tally so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The crosspoints this schedule fails.
+    pub fn failed_crosspoints(&self) -> &[(PortId, PortId)] {
+        &self.crosspoints
+    }
+
+    /// Shared access to the wrapped switch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether output `o` is down at `slot` per the flap schedule.
+    pub fn output_down(&self, o: PortId, slot: Slot) -> bool {
+        let (period, down) = (self.config.flap_period, self.config.flap_duration);
+        if period == 0 || down == 0 {
+            return false;
+        }
+        let phase = splitmix64(self.config.seed ^ (o.index() as u64)) % period;
+        (slot.0 + phase) % period < down.min(period)
+    }
+
+    /// Whether crosspoint `(input, output)` is down at `slot`.
+    pub fn crosspoint_down(&self, input: PortId, output: PortId, slot: Slot) -> bool {
+        if slot.0 < self.config.crosspoint_at {
+            return false;
+        }
+        let elapsed = slot.0 - self.config.crosspoint_at;
+        if elapsed >= self.config.crosspoint_duration {
+            return false;
+        }
+        self.crosspoints.contains(&(input, output))
+    }
+}
+
+impl<S: Switch> Switch for FaultyFabric<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+
+    fn admit(&mut self, mut packet: Packet) {
+        self.stats.packets_offered += 1;
+        let slot = packet.arrival;
+        let before = packet.fanout();
+        let dead: Vec<PortId> = packet
+            .dests
+            .iter()
+            .filter(|&o| self.output_down(o, slot) || self.crosspoint_down(packet.input, o, slot))
+            .collect();
+        for o in dead {
+            packet.dests.remove(o);
+        }
+        let dropped = before - packet.fanout();
+        self.stats.copies_dropped += dropped as u64;
+        if packet.dests.is_empty() {
+            self.stats.packets_dropped += 1;
+            return;
+        }
+        if dropped > 0 {
+            self.stats.packets_trimmed += 1;
+        }
+        self.inner.admit(packet);
+    }
+
+    fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        self.inner.run_slot(now)
+    }
+
+    fn queue_sizes(&self, out: &mut Vec<usize>) {
+        self.inner.queue_sizes(out)
+    }
+
+    fn backlog(&self) -> Backlog {
+        self.inner.backlog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checked::CheckedSwitch;
+    use fifoms_types::{PacketId, PortSet};
+    use std::collections::VecDeque;
+
+    /// Single shared FIFO serving one whole packet per slot.
+    #[derive(Default)]
+    struct FifoSwitch {
+        queue: VecDeque<Packet>,
+    }
+
+    impl Switch for FifoSwitch {
+        fn name(&self) -> String {
+            "fifo".into()
+        }
+        fn ports(&self) -> usize {
+            8
+        }
+        fn admit(&mut self, packet: Packet) {
+            assert!(!packet.dests.is_empty(), "empty fanout admitted");
+            self.queue.push_back(packet);
+        }
+        fn run_slot(&mut self, _now: Slot) -> SlotOutcome {
+            let Some(p) = self.queue.pop_front() else {
+                return SlotOutcome::idle();
+            };
+            let outputs: Vec<PortId> = p.dests.iter().collect();
+            let departures: Vec<_> = outputs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| fifoms_types::Departure {
+                    packet: p.id,
+                    arrival: p.arrival,
+                    input: p.input,
+                    output: o,
+                    last_copy: i + 1 == outputs.len(),
+                })
+                .collect();
+            let connections = departures.len();
+            SlotOutcome {
+                departures,
+                rounds: 1,
+                connections,
+            }
+        }
+        fn queue_sizes(&self, out: &mut Vec<usize>) {
+            out.clear();
+            out.resize(8, 0);
+            out[0] = self.queue.len();
+        }
+        fn backlog(&self) -> Backlog {
+            Backlog {
+                packets: self.queue.len(),
+                copies: self.queue.iter().map(|p| p.fanout()).sum(),
+            }
+        }
+    }
+
+    fn packet_at(id: u64, slot: Slot, outputs: &[usize]) -> Packet {
+        Packet::new(
+            PacketId(id),
+            slot,
+            PortId(0),
+            outputs.iter().copied().collect::<PortSet>(),
+        )
+    }
+
+    #[test]
+    fn disabled_schedule_is_transparent() {
+        let mut sw = FaultyFabric::new(FifoSwitch::default(), FaultConfig::none());
+        assert!(!FaultConfig::none().is_active());
+        for t in 0..100 {
+            sw.admit(packet_at(t, Slot(t), &[0, 3, 7]));
+        }
+        let stats = sw.stats();
+        assert_eq!(stats.packets_offered, 100);
+        assert_eq!(stats.packets_dropped, 0);
+        assert_eq!(stats.copies_dropped, 0);
+        assert_eq!(sw.backlog().copies, 300);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = FaultConfig::moderate(42);
+        let a = FaultyFabric::new(FifoSwitch::default(), cfg);
+        let b = FaultyFabric::new(FifoSwitch::default(), cfg);
+        assert_eq!(a.failed_crosspoints(), b.failed_crosspoints());
+        for t in (0..5_000).step_by(7) {
+            for o in 0..8 {
+                let o = PortId::new(o);
+                assert_eq!(a.output_down(o, Slot(t)), b.output_down(o, Slot(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn flap_windows_match_period_and_duration() {
+        let cfg = FaultConfig {
+            seed: 9,
+            flap_period: 100,
+            flap_duration: 10,
+            crosspoint_faults: 0,
+            crosspoint_at: 0,
+            crosspoint_duration: 0,
+        };
+        let sw = FaultyFabric::new(FifoSwitch::default(), cfg);
+        for o in 0..8 {
+            let o = PortId::new(o);
+            let down: u64 = (0..1_000).filter(|&t| sw.output_down(o, Slot(t))).count() as u64;
+            assert_eq!(down, 100, "output {o:?} down {down}/1000 slots");
+        }
+    }
+
+    #[test]
+    fn crosspoint_fails_and_recovers() {
+        let cfg = FaultConfig {
+            seed: 3,
+            flap_period: 0,
+            flap_duration: 0,
+            crosspoint_faults: 1,
+            crosspoint_at: 100,
+            crosspoint_duration: 50,
+        };
+        let sw = FaultyFabric::new(FifoSwitch::default(), cfg);
+        let &(i, o) = &sw.failed_crosspoints()[0];
+        assert!(!sw.crosspoint_down(i, o, Slot(99)));
+        assert!(sw.crosspoint_down(i, o, Slot(100)));
+        assert!(sw.crosspoint_down(i, o, Slot(149)));
+        assert!(!sw.crosspoint_down(i, o, Slot(150)));
+        // an unrelated crosspoint never fails
+        let other = (PortId::new((i.index() + 1) % 8), o);
+        assert!(!sw.crosspoint_down(other.0, other.1, Slot(120)));
+    }
+
+    #[test]
+    fn wholly_masked_packets_drop_and_partial_fanouts_trim() {
+        let cfg = FaultConfig {
+            seed: 5,
+            flap_period: 10,
+            flap_duration: 10, // every output always down
+            crosspoint_faults: 0,
+            crosspoint_at: 0,
+            crosspoint_duration: 0,
+        };
+        let mut sw = FaultyFabric::new(FifoSwitch::default(), cfg);
+        sw.admit(packet_at(1, Slot(0), &[0, 1]));
+        let stats = sw.stats();
+        assert_eq!(stats.packets_dropped, 1);
+        assert_eq!(stats.copies_dropped, 2);
+        assert!(sw.backlog().is_empty());
+    }
+
+    #[test]
+    fn conservation_holds_for_admitted_cells_under_faults() {
+        // FaultyFabric outside, CheckedSwitch inside: the checker sees the
+        // trimmed traffic and must find no violation.
+        let cfg = FaultConfig::moderate(11);
+        let mut sw = FaultyFabric::new(CheckedSwitch::new(FifoSwitch::default()), cfg);
+        let mut id = 0u64;
+        for t in 0..3_000u64 {
+            if t % 3 == 0 {
+                id += 1;
+                let dests = [
+                    (t % 8) as usize,
+                    ((t / 3) % 8) as usize,
+                    ((t / 7) % 8) as usize,
+                ];
+                sw.admit(packet_at(id, Slot(t), &dests));
+            }
+            sw.run_slot(Slot(t));
+        }
+        let stats = sw.stats();
+        assert!(stats.copies_dropped > 0, "schedule injected nothing");
+        assert!(stats.packets_offered > stats.packets_dropped);
+        assert_eq!(sw.inner().violation(), None);
+    }
+}

@@ -21,12 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checked;
 mod crossbar;
+mod faults;
 mod schedule;
 mod speedup;
 mod switch;
 
+pub use checked::CheckedSwitch;
 pub use crossbar::{Crossbar, FabricStats};
+pub use faults::{FaultConfig, FaultStats, FaultyFabric};
 pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
 pub use speedup::SpeedupFabric;
 pub use switch::{Backlog, Switch};

@@ -65,6 +65,27 @@ pub trait Switch {
     fn backlog(&self) -> Backlog;
 }
 
+impl<T: Switch + ?Sized> Switch for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn ports(&self) -> usize {
+        (**self).ports()
+    }
+    fn admit(&mut self, packet: Packet) {
+        (**self).admit(packet)
+    }
+    fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        (**self).run_slot(now)
+    }
+    fn queue_sizes(&self, out: &mut Vec<usize>) {
+        (**self).queue_sizes(out)
+    }
+    fn backlog(&self) -> Backlog {
+        (**self).backlog()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

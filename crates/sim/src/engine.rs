@@ -6,7 +6,7 @@ use fifoms_stats::{
     SaturationDetector, SaturationVerdict,
 };
 use fifoms_traffic::TrafficModel;
-use fifoms_types::{Packet, PacketId, PortId, Slot};
+use fifoms_types::{Packet, PacketId, PortId, SimError, Slot};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -92,18 +92,38 @@ impl RunResult {
 /// # Panics
 ///
 /// Panics if `cfg.warmup >= cfg.slots` or the traffic model's port count
-/// differs from the switch's.
+/// differs from the switch's. Use [`try_simulate`] on user-facing paths
+/// where these should surface as diagnostics instead.
 pub fn simulate(
     switch: &mut dyn Switch,
     traffic: &mut dyn TrafficModel,
     cfg: &RunConfig,
 ) -> RunResult {
-    assert!(cfg.warmup < cfg.slots, "warmup must be shorter than the run");
-    assert_eq!(
-        switch.ports(),
-        traffic.ports(),
-        "switch and traffic sized differently"
-    );
+    match try_simulate(switch, traffic, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`simulate`]: precondition failures become
+/// [`SimError`] values rather than panics.
+pub fn try_simulate(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+) -> Result<RunResult, SimError> {
+    if cfg.warmup >= cfg.slots {
+        return Err(SimError::WarmupTooLong {
+            warmup: cfg.warmup,
+            slots: cfg.slots,
+        });
+    }
+    if switch.ports() != traffic.ports() {
+        return Err(SimError::SizeMismatch {
+            switch_ports: switch.ports(),
+            traffic_ports: traffic.ports(),
+        });
+    }
     let n = switch.ports();
     let mut delay = DelayStats::new();
     let mut occupancy = OccupancyTracker::new(n);
@@ -149,7 +169,7 @@ pub fn simulate(
     }
 
     let measured_slots = slots_run.saturating_sub(cfg.warmup).max(1);
-    RunResult {
+    Ok(RunResult {
         switch_name: switch.name(),
         traffic_name: traffic.name(),
         offered_load: traffic.effective_load(),
@@ -161,7 +181,7 @@ pub fn simulate(
         packets_admitted: next_packet,
         copies_delivered,
         throughput: copies_delivered as f64 / (measured_slots * n as u64) as f64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -240,6 +260,35 @@ mod tests {
         let r = simulate(&mut sw, &mut tr, &cfg);
         assert_eq!(r.verdict, SaturationVerdict::CapExceeded);
         assert!(r.slots_run < 100_000, "run should abort early");
+    }
+
+    #[test]
+    fn try_simulate_surfaces_precondition_errors() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        let mut tr = UniformUnicast::new(4, 0.1, 0).unwrap();
+        let cfg = RunConfig {
+            slots: 10,
+            warmup: 10,
+            backlog_cap: 100,
+            sample_every: 1,
+        };
+        let e = try_simulate(&mut sw, &mut tr, &cfg).unwrap_err();
+        assert_eq!(
+            e,
+            SimError::WarmupTooLong {
+                warmup: 10,
+                slots: 10
+            }
+        );
+        let mut tr8 = UniformUnicast::new(8, 0.1, 0).unwrap();
+        let e = try_simulate(&mut sw, &mut tr8, &RunConfig::quick(100)).unwrap_err();
+        assert_eq!(
+            e,
+            SimError::SizeMismatch {
+                switch_ports: 4,
+                traffic_ports: 8
+            }
+        );
     }
 
     #[test]

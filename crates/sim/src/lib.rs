@@ -19,18 +19,29 @@
 //!   every scheduler and workload in the workspace (the experiment
 //!   harness and benches construct sweeps from these);
 //! * [`Sweep`] runs a grid of (scheduler × load point) simulations,
-//!   optionally across threads, producing [`SweepRow`]s;
+//!   optionally across threads, producing [`SweepRow`]s — with a
+//!   fault-isolated mode ([`Sweep::run_robust`]) where panicking, hung or
+//!   invalid cells become structured [`CellOutcome::Failed`] rows, and a
+//!   checkpointed mode ([`Sweep::run_checkpointed`]) that journals every
+//!   finished cell so a killed sweep resumes where it stopped;
+//! * [`CheckpointJournal`] is that journal — human-readable, append-only,
+//!   crash-tolerant, keyed to the exact sweep it belongs to;
 //! * [`report`] renders aligned ASCII tables and CSV files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod engine;
 pub mod plot;
 pub mod report;
 mod spec;
 mod sweep;
 
-pub use engine::{simulate, RunConfig, RunResult};
+pub use checkpoint::CheckpointJournal;
+pub use engine::{simulate, try_simulate, RunConfig, RunResult};
+// Re-exported so sweep policies can be configured without a direct
+// dependency on the fabric crate.
+pub use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultStats, FaultyFabric};
 pub use spec::{SwitchKind, TrafficKind};
-pub use sweep::{Sweep, SweepRow};
+pub use sweep::{CellFailureReason, CellOutcome, CellPolicy, FailedCell, Sweep, SweepRow};

@@ -9,12 +9,12 @@ use fifoms_baselines::{
     TwoDrrSwitch, WbaSwitch,
 };
 use fifoms_core::{FifomsConfig, MulticastVoqSwitch, TieBreak};
-use fifoms_fabric::Switch;
+use fifoms_fabric::{Backlog, Switch};
 use fifoms_traffic::{
     BernoulliMulticast, BurstTraffic, DiagonalUnicast, HotspotUnicast, MixedTraffic,
     TrafficModel, UniformFanout, UniformUnicast,
 };
-use fifoms_types::PortId;
+use fifoms_types::{Packet, PortId, SimError, Slot, SlotOutcome};
 
 /// A scheduler specification.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -49,6 +49,60 @@ pub enum SwitchKind {
         /// Whether partial (split) service is allowed.
         splitting: bool,
     },
+    /// Chaos scheduler for robustness testing: behaves as FIFOMS until
+    /// slot `at`, then panics in `run_slot`. Not a paper experiment —
+    /// it exists so fault isolation in the sweep runner can be exercised
+    /// through the ordinary grid vocabulary.
+    ChaosPanic {
+        /// Slot at which `run_slot` panics.
+        at: u64,
+    },
+    /// Chaos scheduler for robustness testing: behaves as FIFOMS until
+    /// slot `at`, then stops returning from `run_slot` (sleeps forever).
+    /// Exercises the sweep runner's per-cell watchdog.
+    ChaosStall {
+        /// Slot at which `run_slot` stalls.
+        at: u64,
+    },
+}
+
+/// The misbehaving switch behind [`SwitchKind::ChaosPanic`] and
+/// [`SwitchKind::ChaosStall`].
+struct ChaosSwitch {
+    inner: Box<dyn Switch>,
+    panic_at: Option<u64>,
+    stall_at: Option<u64>,
+}
+
+impl Switch for ChaosSwitch {
+    fn name(&self) -> String {
+        format!("chaos({})", self.inner.name())
+    }
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+    fn admit(&mut self, packet: Packet) {
+        self.inner.admit(packet);
+    }
+    fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        if self.panic_at.is_some_and(|at| now.0 >= at) {
+            panic!("chaos switch injected a panic at slot {}", now.0);
+        }
+        if self.stall_at.is_some_and(|at| now.0 >= at) {
+            // Never returns; a watchdog-guarded cell times out and leaks
+            // this (sleeping, detached) thread.
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        self.inner.run_slot(now)
+    }
+    fn queue_sizes(&self, out: &mut Vec<usize>) {
+        self.inner.queue_sizes(out);
+    }
+    fn backlog(&self) -> Backlog {
+        self.inner.backlog()
+    }
 }
 
 impl SwitchKind {
@@ -110,6 +164,16 @@ impl SwitchKind {
             SwitchKind::McFifo { splitting } => {
                 Box::new(McFifoSwitch::with_splitting(n, seed, splitting))
             }
+            SwitchKind::ChaosPanic { at } => Box::new(ChaosSwitch {
+                inner: Box::new(MulticastVoqSwitch::new(n, seed)),
+                panic_at: Some(at),
+                stall_at: None,
+            }),
+            SwitchKind::ChaosStall { at } => Box::new(ChaosSwitch {
+                inner: Box::new(MulticastVoqSwitch::new(n, seed)),
+                panic_at: None,
+                stall_at: Some(at),
+            }),
         }
     }
 
@@ -134,6 +198,8 @@ impl SwitchKind {
             SwitchKind::OqFifo => "OQFIFO".into(),
             SwitchKind::McFifo { splitting: true } => "mcFIFO".into(),
             SwitchKind::McFifo { splitting: false } => "mcFIFO-nosplit".into(),
+            SwitchKind::ChaosPanic { at } => format!("chaos-panic@{at}"),
+            SwitchKind::ChaosStall { at } => format!("chaos-stall@{at}"),
         }
     }
 }
@@ -229,33 +295,38 @@ impl TrafficKind {
     /// # Panics
     ///
     /// Panics if the parameters are invalid for this `n` (experiment specs
-    /// are programmer-constructed).
+    /// are programmer-constructed). Use [`TrafficKind::try_build`] on
+    /// user-facing paths where the parameters derive from CLI input.
     pub fn build(&self, n: usize, seed: u64) -> Box<dyn TrafficModel> {
-        match *self {
-            TrafficKind::Bernoulli { p, b } => {
-                Box::new(BernoulliMulticast::new(n, p, b, seed).expect("bernoulli spec"))
-            }
+        match self.try_build(n, seed) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`TrafficKind::build`]: invalid parameters (for
+    /// example a load that pushes `p` past 1 on a small switch) surface as
+    /// a [`SimError`] instead of panicking.
+    pub fn try_build(&self, n: usize, seed: u64) -> Result<Box<dyn TrafficModel>, SimError> {
+        Ok(match *self {
+            TrafficKind::Bernoulli { p, b } => Box::new(BernoulliMulticast::new(n, p, b, seed)?),
             TrafficKind::Uniform { p, max_fanout } => {
-                Box::new(UniformFanout::new(n, p, max_fanout, seed).expect("uniform spec"))
+                Box::new(UniformFanout::new(n, p, max_fanout, seed)?)
             }
             TrafficKind::Burst { e_off, e_on, b } => {
-                Box::new(BurstTraffic::new(n, e_off, e_on, b, seed).expect("burst spec"))
+                Box::new(BurstTraffic::new(n, e_off, e_on, b, seed)?)
             }
             TrafficKind::Mixed {
                 p,
                 frac_multicast,
                 b,
-            } => Box::new(MixedTraffic::new(n, p, frac_multicast, b, seed).expect("mixed spec")),
-            TrafficKind::UniformUnicast { p } => {
-                Box::new(UniformUnicast::new(n, p, seed).expect("unicast spec"))
+            } => Box::new(MixedTraffic::new(n, p, frac_multicast, b, seed)?),
+            TrafficKind::UniformUnicast { p } => Box::new(UniformUnicast::new(n, p, seed)?),
+            TrafficKind::Diagonal { p } => Box::new(DiagonalUnicast::new(n, p, seed)?),
+            TrafficKind::Hotspot { p, hot, h } => {
+                Box::new(HotspotUnicast::new(n, p, PortId::new(hot), h, seed)?)
             }
-            TrafficKind::Diagonal { p } => {
-                Box::new(DiagonalUnicast::new(n, p, seed).expect("diagonal spec"))
-            }
-            TrafficKind::Hotspot { p, hot, h } => Box::new(
-                HotspotUnicast::new(n, p, PortId::new(hot), h, seed).expect("hotspot spec"),
-            ),
-        }
+        })
     }
 }
 
@@ -339,5 +410,13 @@ mod tests {
         assert!((tr.effective_load().unwrap() - 0.6).abs() < 1e-9);
         let tr = TrafficKind::burst_at_load(0.5, 16.0, 0.5, n).build(n, 0);
         assert!((tr.effective_load().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_build_rejects_overdriven_load_without_panicking() {
+        // Load 1.25 per output on a 4-port switch needs p > 1.
+        let tk = TrafficKind::bernoulli_at_load(1.25, 0.25, 4);
+        let err = tk.try_build(4, 0).map(|_| ()).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "got {err:?}");
     }
 }

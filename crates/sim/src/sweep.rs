@@ -1,9 +1,26 @@
 //! Grids of simulations: (scheduler × load point), optionally threaded.
+//!
+//! Beyond the plain serial/parallel runners, this module provides the
+//! **fault-isolated** runner used by long sweeps: every grid cell executes
+//! behind [`std::panic::catch_unwind`] (and, optionally, a wall-clock
+//! watchdog thread with a bounded retry budget), so one crashing or hung
+//! scheduler configuration becomes a structured [`CellOutcome::Failed`]
+//! row instead of taking the whole grid down. Combined with the
+//! [checkpoint journal](crate::checkpoint), a killed sweep resumes from
+//! its last finished cell and provably reproduces the identical result
+//! set, because every cell is independently and deterministically seeded.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, OnceLock};
+use std::time::Duration;
 
-use crate::engine::{simulate, RunConfig, RunResult};
+use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultyFabric};
+use fifoms_types::SimError;
+
+use crate::checkpoint::CheckpointJournal;
+use crate::engine::{simulate, try_simulate, RunConfig, RunResult};
 use crate::spec::{SwitchKind, TrafficKind};
 
 /// One completed grid cell.
@@ -15,6 +32,214 @@ pub struct SweepRow {
     pub load: f64,
     /// The full measurement.
     pub result: RunResult,
+}
+
+/// How the fault-isolated runner treats each grid cell.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellPolicy {
+    /// Wall-clock budget per cell attempt. `None` disables the watchdog;
+    /// with a budget set, each cell runs on its own worker thread and a
+    /// cell that exceeds the budget is abandoned (the stuck thread is
+    /// detached and leaked — it cannot be killed safely) and reported as
+    /// [`CellFailureReason::Timeout`].
+    pub timeout: Option<Duration>,
+    /// Extra attempts after a panic or timeout (errors from invalid
+    /// parameters are deterministic and never retried).
+    pub retries: u32,
+    /// Run every cell inside a [`CheckedSwitch`], verifying fabric
+    /// invariants each slot and full cell conservation every `k` checked
+    /// slots. An invariant violation fails the cell.
+    pub check_every: Option<u64>,
+    /// Inject fabric faults into every cell (see [`FaultConfig`]). Fault
+    /// injection changes results, so it participates in the checkpoint
+    /// journal's grid identity; the other fields do not.
+    pub faults: Option<FaultConfig>,
+}
+
+impl CellPolicy {
+    /// Isolation only: catch panics, no watchdog, no checking, no faults.
+    pub fn isolated() -> CellPolicy {
+        CellPolicy::default()
+    }
+
+    /// Isolation plus per-slot invariant checking with conservation
+    /// verified every `k` slots.
+    pub fn checked(k: u64) -> CellPolicy {
+        CellPolicy {
+            check_every: Some(k),
+            ..CellPolicy::default()
+        }
+    }
+}
+
+/// Why a grid cell failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellFailureReason {
+    /// The cell's scheduler or workload panicked; the payload message.
+    Panic(String),
+    /// The cell exceeded the policy's wall-clock budget.
+    Timeout {
+        /// The budget that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// The cell reported a structured error (invalid parameters or an
+    /// invariant violation), rendered via its `Display`.
+    Error(String),
+}
+
+impl fmt::Display for CellFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailureReason::Panic(msg) => write!(f, "panicked: {msg}"),
+            CellFailureReason::Timeout { millis } => {
+                write!(f, "timed out after {millis} ms")
+            }
+            CellFailureReason::Error(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+/// A grid cell that did not produce a result.
+#[derive(Clone, Debug)]
+pub struct FailedCell {
+    /// The scheduler of the failed cell.
+    pub switch: SwitchKind,
+    /// The nominal load of the failed cell.
+    pub load: f64,
+    /// Attempts made (1 + retries actually used).
+    pub attempts: u32,
+    /// The last attempt's failure.
+    pub reason: CellFailureReason,
+}
+
+/// The outcome of one isolated grid cell.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell ran to completion.
+    Completed(SweepRow),
+    /// Every attempt at the cell failed.
+    Failed(FailedCell),
+}
+
+impl CellOutcome {
+    /// The completed row, if any.
+    pub fn row(&self) -> Option<&SweepRow> {
+        match self {
+            CellOutcome::Completed(row) => Some(row),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&FailedCell> {
+        match self {
+            CellOutcome::Completed(_) => None,
+            CellOutcome::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// Everything needed to execute one grid cell, owned and `'static` so a
+/// watchdog-guarded cell can run on its own thread.
+#[derive(Clone)]
+struct CellSpec {
+    n: usize,
+    sk: SwitchKind,
+    tk: TrafficKind,
+    load: f64,
+    run: RunConfig,
+    traffic_seed: u64,
+    switch_seed: u64,
+    check_every: Option<u64>,
+    faults: Option<FaultConfig>,
+}
+
+/// Run one cell, wrapping the switch per policy:
+/// `FaultyFabric(CheckedSwitch(switch))` — the checker sits inside the
+/// faulty fabric so it only sees traffic that actually entered the
+/// switch, keeping conservation meaningful under fault-masking drops.
+fn exec_cell(spec: &CellSpec) -> Result<SweepRow, SimError> {
+    let mut traffic = spec.tk.try_build(spec.n, spec.traffic_seed)?;
+    let inner = spec.sk.build(spec.n, spec.switch_seed);
+    let result = match (spec.check_every, spec.faults) {
+        (None, None) => {
+            let mut sw = inner;
+            try_simulate(sw.as_mut(), traffic.as_mut(), &spec.run)?
+        }
+        (None, Some(fc)) => {
+            let mut sw = FaultyFabric::new(inner, fc);
+            try_simulate(&mut sw, traffic.as_mut(), &spec.run)?
+        }
+        (Some(k), None) => {
+            let mut sw = CheckedSwitch::with_check_every(inner, k);
+            let r = try_simulate(&mut sw, traffic.as_mut(), &spec.run)?;
+            if let Some(v) = sw.violation() {
+                return Err(SimError::Invariant(v.clone()));
+            }
+            r
+        }
+        (Some(k), Some(fc)) => {
+            let mut sw = FaultyFabric::new(CheckedSwitch::with_check_every(inner, k), fc);
+            let r = try_simulate(&mut sw, traffic.as_mut(), &spec.run)?;
+            if let Some(v) = sw.inner().violation() {
+                return Err(SimError::Invariant(v.clone()));
+            }
+            r
+        }
+    };
+    Ok(SweepRow {
+        switch: spec.sk,
+        load: spec.load,
+        result,
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// One attempt with panic containment.
+fn run_cell_protected(spec: &CellSpec) -> Result<SweepRow, CellFailureReason> {
+    match catch_unwind(AssertUnwindSafe(|| exec_cell(spec))) {
+        Ok(Ok(row)) => Ok(row),
+        Ok(Err(e)) => Err(CellFailureReason::Error(e.to_string())),
+        Err(payload) => Err(CellFailureReason::Panic(panic_message(payload.as_ref()))),
+    }
+}
+
+/// One attempt with panic containment and an optional watchdog.
+fn run_cell_guarded(
+    spec: &CellSpec,
+    timeout: Option<Duration>,
+) -> Result<SweepRow, CellFailureReason> {
+    let Some(limit) = timeout else {
+        return run_cell_protected(spec);
+    };
+    let (tx, rx) = mpsc::channel();
+    let owned = spec.clone();
+    let spawned = std::thread::Builder::new()
+        .name("fifoms-cell".into())
+        .spawn(move || {
+            // The receiver may be gone already (timeout): ignore the error.
+            let _ = tx.send(run_cell_protected(&owned));
+        });
+    if let Err(e) = spawned {
+        return Err(CellFailureReason::Error(format!(
+            "failed to spawn cell worker: {e}"
+        )));
+    }
+    match rx.recv_timeout(limit) {
+        Ok(res) => res,
+        Err(_) => Err(CellFailureReason::Timeout {
+            millis: limit.as_millis() as u64,
+        }),
+    }
 }
 
 /// A sweep specification: one figure's worth of simulations.
@@ -50,30 +275,165 @@ impl Sweep {
     /// atomic index). Results come back in deterministic grid order and
     /// are identical to [`Sweep::run_serial`] because every cell is
     /// seeded independently.
+    ///
+    /// Cells run fault-isolated: a panicking cell no longer aborts (or
+    /// poisons) the rest of the grid — every other cell still completes,
+    /// after which the first failure is re-raised with its cell named.
+    /// Callers that want failures as data use [`Sweep::run_robust`].
+    ///
+    /// # Panics
+    ///
+    /// Panics after the full grid has run if any cell failed.
     pub fn run_parallel(&self, threads: usize) -> Vec<SweepRow> {
-        let threads = threads.max(1);
+        let outcomes = self.run_robust(threads, &CellPolicy::isolated());
+        let mut rows = Vec::with_capacity(outcomes.len());
+        let mut first_failure = None;
+        for outcome in outcomes {
+            match outcome {
+                CellOutcome::Completed(row) => rows.push(row),
+                CellOutcome::Failed(f) => {
+                    first_failure.get_or_insert(f);
+                }
+            }
+        }
+        if let Some(f) = first_failure {
+            panic!(
+                "sweep cell {} at load {} failed after {} attempt(s): {}",
+                f.switch.label(),
+                f.load,
+                f.attempts,
+                f.reason
+            );
+        }
+        rows
+    }
+
+    /// Execute the grid with fault isolation, returning per-cell
+    /// [`CellOutcome`]s in deterministic grid order. Failures are data:
+    /// a panicking, hung, or invalid cell yields a structured
+    /// [`CellOutcome::Failed`] row while every other cell completes.
+    pub fn run_robust(&self, threads: usize, policy: &CellPolicy) -> Vec<CellOutcome> {
+        self.run_cells(threads, policy, None, None)
+            .expect("no journal in use")
+    }
+
+    /// Execute the grid with fault isolation, journaling every finished
+    /// cell to `journal_path`. With `resume`, an existing journal for this
+    /// exact sweep is loaded first: its completed cells are returned
+    /// as-is (bit-identical, since journal rows round-trip exactly) and
+    /// only missing or previously-failed cells run.
+    pub fn run_checkpointed(
+        &self,
+        threads: usize,
+        policy: &CellPolicy,
+        journal_path: &str,
+        resume: bool,
+    ) -> Result<Vec<CellOutcome>, SimError> {
+        let (journal, loaded) = if resume {
+            CheckpointJournal::resume(journal_path, self, policy)?
+        } else {
+            let journal = CheckpointJournal::create(journal_path, self, policy)?;
+            let cells = self.switches.len() * self.points.len();
+            (journal, vec![None; cells])
+        };
+        self.run_cells(threads, policy, Some(loaded), Some(&journal))
+    }
+
+    /// The shared grid engine. Per-cell results land in individual
+    /// [`OnceLock`] slots, so a worker dying mid-cell cannot poison the
+    /// result store — the remaining workers keep draining the grid.
+    fn run_cells(
+        &self,
+        threads: usize,
+        policy: &CellPolicy,
+        preloaded: Option<Vec<Option<CellOutcome>>>,
+        journal: Option<&CheckpointJournal>,
+    ) -> Result<Vec<CellOutcome>, SimError> {
         let cells: Vec<(usize, usize)> = (0..self.switches.len())
             .flat_map(|si| (0..self.points.len()).map(move |pi| (si, pi)))
             .collect();
+        let slots: Vec<OnceLock<CellOutcome>> = (0..cells.len()).map(|_| OnceLock::new()).collect();
+        if let Some(pre) = preloaded {
+            for (slot, loaded) in slots.iter().zip(pre) {
+                // Reuse journaled successes; failed cells get another run
+                // (a resume is the natural moment to retry them).
+                if let Some(outcome @ CellOutcome::Completed(_)) = loaded {
+                    let _ = slot.set(outcome);
+                }
+            }
+        }
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<SweepRow>>> = Mutex::new(vec![None; cells.len()]);
+        let journal_err: OnceLock<SimError> = OnceLock::new();
         std::thread::scope(|scope| {
-            for _ in 0..threads.min(cells.len().max(1)) {
+            for _ in 0..threads.max(1).min(cells.len().max(1)) {
                 scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(si, pi)) = cells.get(idx) else { break };
-                    let (load, tk) = self.points[pi];
-                    let row = self.run_cell(self.switches[si], si, load, tk, pi);
-                    results.lock().expect("poisoned")[idx] = Some(row);
+                    if slots[idx].get().is_some() {
+                        continue; // already satisfied by the journal
+                    }
+                    let outcome = self.run_cell_isolated(si, pi, policy);
+                    if let Some(j) = journal {
+                        if let Err(e) = j.record(idx, self, &outcome) {
+                            let _ = journal_err.set(e);
+                        }
+                    }
+                    let _ = slots[idx].set(outcome);
                 });
             }
         });
-        results
-            .into_inner()
-            .expect("poisoned")
+        if let Some(e) = journal_err.into_inner() {
+            return Err(e);
+        }
+        Ok(slots
             .into_iter()
-            .map(|r| r.expect("cell not executed"))
-            .collect()
+            .map(|s| s.into_inner().expect("every cell executed"))
+            .collect())
+    }
+
+    /// Run the cell at grid position `(si, pi)` under the policy's
+    /// isolation: panics contained, optional watchdog, bounded retries.
+    pub fn run_cell_isolated(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellOutcome {
+        let spec = self.cell_spec(si, pi, policy);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match run_cell_guarded(&spec, policy.timeout) {
+                Ok(row) => return CellOutcome::Completed(row),
+                Err(reason) => {
+                    // Structured errors are deterministic — retrying them
+                    // is pure waste; panics and timeouts get the budget.
+                    let retryable = !matches!(reason, CellFailureReason::Error(_));
+                    if !retryable || attempts > policy.retries {
+                        return CellOutcome::Failed(FailedCell {
+                            switch: spec.sk,
+                            load: spec.load,
+                            attempts,
+                            reason,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn cell_spec(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellSpec {
+        let (load, tk) = self.points[pi];
+        // Workload seed depends only on the point → identical arrivals for
+        // every scheduler; switch seed also varies by scheduler.
+        let traffic_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (pi as u64);
+        let switch_seed = traffic_seed ^ ((si as u64 + 1) << 32);
+        CellSpec {
+            n: self.n,
+            sk: self.switches[si],
+            tk,
+            load,
+            run: self.run,
+            traffic_seed,
+            switch_seed,
+            check_every: policy.check_every,
+            faults: policy.faults,
+        }
     }
 
     fn run_cell(
@@ -254,6 +614,117 @@ mod tests {
         // with independent arrival streams the interval is (almost surely)
         // nonzero for a stochastic workload
         assert!(rows.iter().any(|r| r.out_delay_hw95 > 0.0));
+    }
+
+    #[test]
+    fn panicking_cell_becomes_failed_row_while_others_complete() {
+        let mut sweep = tiny_sweep();
+        sweep.switches = vec![SwitchKind::Fifoms, SwitchKind::ChaosPanic { at: 100 }];
+        let outcomes = sweep.run_robust(4, &CellPolicy::isolated());
+        assert_eq!(outcomes.len(), 4);
+        // Grid order: FIFOMS cells first, chaos cells last.
+        for outcome in &outcomes[..2] {
+            let row = outcome.row().expect("FIFOMS cells complete");
+            assert_eq!(row.result.switch_name, "FIFOMS");
+        }
+        for outcome in &outcomes[2..] {
+            let failure = outcome.failure().expect("chaos cells fail");
+            assert_eq!(failure.attempts, 1);
+            let CellFailureReason::Panic(msg) = &failure.reason else {
+                panic!("expected a panic, got {:?}", failure.reason);
+            };
+            assert!(msg.contains("chaos switch"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_raises_cell_failures_after_the_grid_finishes() {
+        let mut sweep = tiny_sweep();
+        sweep.switches = vec![SwitchKind::ChaosPanic { at: 100 }, SwitchKind::Fifoms];
+        let err = std::panic::catch_unwind(|| sweep.run_parallel(2))
+            .expect_err("a failed cell must still surface");
+        let msg = super::panic_message(err.as_ref());
+        assert!(msg.contains("chaos-panic@100"), "{msg}");
+        assert!(!msg.contains("poisoned"), "{msg}");
+    }
+
+    #[test]
+    fn hung_cell_times_out_under_the_watchdog() {
+        let mut sweep = tiny_sweep();
+        sweep.switches = vec![SwitchKind::ChaosStall { at: 0 }];
+        sweep.points.truncate(1);
+        let policy = CellPolicy {
+            timeout: Some(Duration::from_millis(200)),
+            ..CellPolicy::default()
+        };
+        let outcomes = sweep.run_robust(1, &policy);
+        let failure = outcomes[0].failure().expect("stalled cell fails");
+        assert_eq!(
+            failure.reason,
+            CellFailureReason::Timeout { millis: 200 },
+            "{:?}",
+            failure.reason
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded_and_counted() {
+        let mut sweep = tiny_sweep();
+        sweep.switches = vec![SwitchKind::ChaosPanic { at: 0 }];
+        sweep.points.truncate(1);
+        let policy = CellPolicy {
+            retries: 2,
+            ..CellPolicy::default()
+        };
+        let outcomes = sweep.run_robust(1, &policy);
+        assert_eq!(outcomes[0].failure().expect("still fails").attempts, 3);
+    }
+
+    #[test]
+    fn invalid_cell_parameters_fail_structurally_without_retry() {
+        let mut sweep = tiny_sweep();
+        // Load 1.25 per output with b=0.25 on 4 ports needs p > 1.
+        sweep.n = 4;
+        sweep.switches = vec![SwitchKind::Fifoms];
+        sweep.points = vec![(1.25, TrafficKind::bernoulli_at_load(1.25, 0.25, 4))];
+        let policy = CellPolicy {
+            retries: 5,
+            ..CellPolicy::default()
+        };
+        let outcomes = sweep.run_robust(1, &policy);
+        let failure = outcomes[0].failure().expect("invalid parameters fail");
+        assert_eq!(failure.attempts, 1, "errors are not retried");
+        assert!(matches!(failure.reason, CellFailureReason::Error(_)));
+    }
+
+    #[test]
+    fn checked_policy_is_metrically_transparent() {
+        let sweep = tiny_sweep();
+        let plain = sweep.run_serial();
+        let checked = sweep.run_robust(2, &CellPolicy::checked(50));
+        assert_eq!(plain.len(), checked.len());
+        for (a, b) in plain.iter().zip(&checked) {
+            let b = b.row().expect("no violations in real schedulers");
+            assert_eq!(a.result.switch_name, b.result.switch_name);
+            assert_eq!(a.result.packets_admitted, b.result.packets_admitted);
+            assert_eq!(
+                a.result.delay.mean_output_oriented,
+                b.result.delay.mean_output_oriented
+            );
+        }
+    }
+
+    #[test]
+    fn fault_injection_policy_completes_every_cell() {
+        let sweep = tiny_sweep();
+        let policy = CellPolicy {
+            check_every: Some(100),
+            faults: Some(fifoms_fabric::FaultConfig::moderate(3)),
+            ..CellPolicy::default()
+        };
+        for outcome in sweep.run_robust(2, &policy) {
+            outcome.row().expect("faulty cells still complete");
+        }
     }
 
     #[test]

@@ -1,6 +1,9 @@
-//! Error type for configuration validation.
+//! Error types: configuration validation, runtime invariant violations,
+//! and the simulation-path error enum.
 
 use core::fmt;
+
+use crate::{PacketId, PortId, Slot};
 
 /// Errors raised when validating model configuration.
 ///
@@ -64,6 +67,233 @@ impl fmt::Display for TypeError {
 
 impl std::error::Error for TypeError {}
 
+/// A violated runtime invariant of the switch model, detected by a
+/// checking fabric wrapper (`CheckedSwitch`).
+///
+/// Each variant corresponds to one structural property every correct
+/// scheduler must uphold per slot; the fields carry enough context to
+/// localise the offending slot, port, and packet.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InvariantViolation {
+    /// Two inputs were connected to the same output in one slot (the
+    /// crossbar can deliver at most one cell per output per slot).
+    DuplicateGrant {
+        /// Slot of the violation.
+        slot: Slot,
+        /// The doubly-granted output.
+        output: PortId,
+        /// The input connected first.
+        first_input: PortId,
+        /// The input connected second.
+        second_input: PortId,
+    },
+    /// A copy departed towards an output that is not in the packet's
+    /// residual fanout set.
+    GrantOutsideFanout {
+        /// Slot of the violation.
+        slot: Slot,
+        /// The serving input.
+        input: PortId,
+        /// The output that was not requested (or already served).
+        output: PortId,
+        /// The packet whose fanout was exceeded.
+        packet: PacketId,
+    },
+    /// A packet delivered more copies than its fanout (its residual
+    /// fanout counter failed to decrement exactly by served copies).
+    FanoutOverrun {
+        /// Slot of the violation.
+        slot: Slot,
+        /// The offending packet.
+        packet: PacketId,
+        /// The packet's total fanout.
+        fanout: usize,
+        /// Copies delivered so far, exceeding `fanout`.
+        delivered: usize,
+    },
+    /// A `last_copy` departure flag disagreed with the residual fanout
+    /// (flagged final while copies remain, or vice versa).
+    LastCopyMismatch {
+        /// Slot of the violation.
+        slot: Slot,
+        /// The offending packet.
+        packet: PacketId,
+        /// Copies still owed after this departure.
+        remaining: usize,
+        /// The `last_copy` flag the switch reported.
+        flagged_last: bool,
+    },
+    /// Cell conservation failed: admitted copies minus delivered copies
+    /// no longer equals the backlog the switch reports.
+    ConservationMismatch {
+        /// Slot of the violation.
+        slot: Slot,
+        /// Copies admitted since the start of the run.
+        admitted_copies: u64,
+        /// Copies delivered since the start of the run.
+        delivered_copies: u64,
+        /// Queued copies the switch currently reports.
+        backlog_copies: u64,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::DuplicateGrant {
+                slot,
+                output,
+                first_input,
+                second_input,
+            } => write!(
+                f,
+                "slot {}: output {} granted to both input {} and input {}",
+                slot.0,
+                output.index(),
+                first_input.index(),
+                second_input.index()
+            ),
+            InvariantViolation::GrantOutsideFanout {
+                slot,
+                input,
+                output,
+                packet,
+            } => write!(
+                f,
+                "slot {}: input {} sent packet {} to output {} outside its residual fanout",
+                slot.0,
+                input.index(),
+                packet.0,
+                output.index()
+            ),
+            InvariantViolation::FanoutOverrun {
+                slot,
+                packet,
+                fanout,
+                delivered,
+            } => write!(
+                f,
+                "slot {}: packet {} delivered {delivered} copies, exceeding fanout {fanout}",
+                slot.0, packet.0
+            ),
+            InvariantViolation::LastCopyMismatch {
+                slot,
+                packet,
+                remaining,
+                flagged_last,
+            } => write!(
+                f,
+                "slot {}: packet {} last_copy={flagged_last} with {remaining} copies remaining",
+                slot.0, packet.0
+            ),
+            InvariantViolation::ConservationMismatch {
+                slot,
+                admitted_copies,
+                delivered_copies,
+                backlog_copies,
+            } => write!(
+                f,
+                "slot {}: conservation broken: admitted {admitted_copies} != \
+                 delivered {delivered_copies} + backlog {backlog_copies}",
+                slot.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Errors on the simulate/sweep/CLI path.
+///
+/// This replaces `assert!`/`unwrap` chains on user-facing code: anything a
+/// user can trigger from the command line or a sweep spec surfaces as a
+/// `SimError` and becomes a one-line diagnostic plus nonzero exit, rather
+/// than a panic with a backtrace.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SimError {
+    /// Invalid model configuration (sizes, probabilities, rates).
+    Config(TypeError),
+    /// `warmup >= slots` in a run configuration.
+    WarmupTooLong {
+        /// The requested warmup.
+        warmup: u64,
+        /// The requested total slots.
+        slots: u64,
+    },
+    /// Switch and traffic model were built for different port counts.
+    SizeMismatch {
+        /// Ports of the switch.
+        switch_ports: usize,
+        /// Ports of the traffic model.
+        traffic_ports: usize,
+    },
+    /// A runtime invariant violation surfaced by a checking wrapper.
+    Invariant(InvariantViolation),
+    /// A checkpoint journal could not be read or written.
+    Journal {
+        /// Path of the journal file.
+        path: String,
+        /// Underlying I/O or parse failure, already formatted.
+        message: String,
+    },
+    /// A resumed journal does not match the sweep being run.
+    JournalMismatch {
+        /// Human-readable description of the disagreement.
+        message: String,
+    },
+    /// Invalid command-line usage.
+    Usage(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::WarmupTooLong { warmup, slots } => write!(
+                f,
+                "warmup must be shorter than the run (warmup {warmup} >= slots {slots})"
+            ),
+            SimError::SizeMismatch {
+                switch_ports,
+                traffic_ports,
+            } => write!(
+                f,
+                "switch and traffic sized differently ({switch_ports} vs {traffic_ports} ports)"
+            ),
+            SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
+            SimError::Journal { path, message } => {
+                write!(f, "checkpoint journal {path}: {message}")
+            }
+            SimError::JournalMismatch { message } => {
+                write!(f, "checkpoint journal mismatch: {message}")
+            }
+            SimError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Invariant(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for SimError {
+    fn from(e: TypeError) -> SimError {
+        SimError::Config(e)
+    }
+}
+
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> SimError {
+        SimError::Invariant(v)
+    }
+}
+
 /// Validate a port count, returning it on success.
 pub fn check_ports(n: usize) -> Result<usize, TypeError> {
     if n == 0 || n > crate::MAX_PORTS {
@@ -117,5 +347,42 @@ mod tests {
             got: 20.0,
         };
         assert!(e.to_string().contains("1..=N"));
+    }
+
+    #[test]
+    fn sim_error_messages_keep_contract_substrings() {
+        // Callers (and #[should_panic] tests) match on these fragments.
+        let e = SimError::WarmupTooLong {
+            warmup: 10,
+            slots: 10,
+        };
+        assert!(e.to_string().contains("warmup must be shorter"));
+        let e = SimError::SizeMismatch {
+            switch_ports: 4,
+            traffic_ports: 8,
+        };
+        assert!(e.to_string().contains("sized differently"));
+        let e = SimError::from(TypeError::InvalidPortCount { got: 0 });
+        assert!(e.to_string().contains("invalid port count"));
+    }
+
+    #[test]
+    fn invariant_violation_messages_name_the_slot() {
+        let v = InvariantViolation::DuplicateGrant {
+            slot: Slot(17),
+            output: PortId(3),
+            first_input: PortId(0),
+            second_input: PortId(5),
+        };
+        assert!(v.to_string().contains("slot 17"));
+        assert!(v.to_string().contains("output 3"));
+        let v = InvariantViolation::ConservationMismatch {
+            slot: Slot(9),
+            admitted_copies: 100,
+            delivered_copies: 60,
+            backlog_copies: 41,
+        };
+        let e = SimError::from(v);
+        assert!(e.to_string().contains("conservation broken"));
     }
 }

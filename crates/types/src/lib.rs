@@ -27,7 +27,7 @@ mod outcome;
 mod packet;
 mod portset;
 
-pub use error::{check_ports, check_probability, TypeError};
+pub use error::{check_ports, check_probability, InvariantViolation, SimError, TypeError};
 pub use ids::{PacketId, PortId, Slot};
 pub use outcome::{Departure, SlotOutcome};
 pub use packet::Packet;

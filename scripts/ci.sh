@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for the workspace:
+#   1. clippy over every crate and target, warnings denied;
+#   2. the full test suite in the dev profile, which compiles with
+#      debug-assertions (and overflow checks) enabled — the runtime
+#      invariant checks in fabric/core rely on them firing.
+#
+# Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests (dev profile, debug-assertions on) =="
+cargo test --workspace --quiet
+
+echo "CI checks passed."

@@ -62,9 +62,16 @@ pub mod prelude {
         IslipSwitch, McFifoSwitch, OqFifoSwitch, PimSwitch, TatraSwitch, WbaSwitch,
     };
     pub use fifoms_core::{FifomsConfig, FifomsScheduler, MulticastVoqSwitch, TieBreak};
-    pub use fifoms_fabric::{Backlog, Crossbar, CrossbarSchedule, Switch};
-    pub use fifoms_sim::{simulate, RunConfig, RunResult, Sweep, SwitchKind, TrafficKind};
+    pub use fifoms_fabric::{
+        Backlog, CheckedSwitch, Crossbar, CrossbarSchedule, FaultConfig, FaultStats,
+        FaultyFabric, Switch,
+    };
+    pub use fifoms_sim::{
+        simulate, try_simulate, CellFailureReason, CellOutcome, CellPolicy, CheckpointJournal,
+        FailedCell, RunConfig, RunResult, Sweep, SwitchKind, TrafficKind,
+    };
     pub use fifoms_stats::SaturationVerdict;
+    pub use fifoms_types::{InvariantViolation, SimError};
     pub use fifoms_traffic::{
         BernoulliMulticast, BurstTraffic, DiagonalUnicast, HotspotUnicast, Trace, TraceRecorder,
         TraceSource, TrafficModel, UniformFanout, UniformUnicast,

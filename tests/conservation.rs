@@ -148,6 +148,38 @@ fn every_scheduler_conserves_every_workload() {
 }
 
 #[test]
+fn checked_switch_finds_zero_violations_in_every_scheduler() {
+    // The runtime invariant validator (output exclusivity, fanout
+    // membership, last-copy discipline, cell conservation) must stay
+    // silent for every real scheduler under the paper's three workloads.
+    let n = 8;
+    let traffics = [
+        TrafficKind::Bernoulli { p: 0.3, b: 0.25 },
+        TrafficKind::Uniform {
+            p: 0.3,
+            max_fanout: 4,
+        },
+        TrafficKind::Burst {
+            e_off: 32.0,
+            e_on: 8.0,
+            b: 0.3,
+        },
+    ];
+    for sk in all_switches(n) {
+        for tk in traffics {
+            let mut sw = CheckedSwitch::new(sk.build(n, 21));
+            let mut tr = tk.build(n, 22);
+            let _ = simulate(&mut sw, tr.as_mut(), &RunConfig::quick(800));
+            assert!(
+                sw.violation().is_none(),
+                "{sk:?} × {tk:?}: {:?}",
+                sw.violation()
+            );
+        }
+    }
+}
+
+#[test]
 fn conservation_at_high_multicast_load() {
     // Near saturation the bookkeeping paths (splitting, residues, ledger)
     // get the most traffic.

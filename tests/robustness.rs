@@ -1,0 +1,154 @@
+//! Fault-isolated sweep runner: checkpoint/resume equivalence, panic and
+//! hang containment, and journaling of structured failures.
+
+use std::time::Duration;
+
+use fifoms::prelude::*;
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("fifoms-robustness");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name).to_str().expect("utf-8 path").to_string()
+}
+
+fn small_sweep(seed: u64) -> Sweep {
+    Sweep {
+        n: 8,
+        switches: vec![SwitchKind::Fifoms, SwitchKind::Tatra, SwitchKind::OqFifo],
+        points: (1..=3)
+            .map(|i| {
+                let load = 0.2 * i as f64;
+                (load, TrafficKind::bernoulli_at_load(load, 0.25, 8))
+            })
+            .collect(),
+        run: RunConfig::quick(2_000),
+        seed,
+    }
+}
+
+/// Kill/resume equivalence: truncate the journal at several prefixes
+/// (including a torn final line, as a killed process would leave) and
+/// verify the resumed sweep reproduces the uninterrupted result set
+/// bit-for-bit.
+#[test]
+fn killed_sweep_resumes_to_identical_results() {
+    let sweep = small_sweep(11);
+    let policy = CellPolicy::default();
+    let full_path = temp_path("full.journal");
+    let full = sweep
+        .run_checkpointed(4, &policy, &full_path, false)
+        .expect("uninterrupted run");
+    let reference = format!("{full:?}");
+    let text = std::fs::read_to_string(&full_path).expect("journal exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + 9, "2 header lines + 9 cells");
+
+    for keep in [2usize, 4, 7, lines.len()] {
+        let mut truncated = lines[..keep].join("\n");
+        truncated.push('\n');
+        if keep < lines.len() {
+            // a process killed mid-write leaves a torn final line
+            let torn = lines[keep];
+            truncated.push_str(&torn[..torn.len() / 2]);
+        }
+        let path = temp_path(&format!("resume-{keep}.journal"));
+        std::fs::write(&path, truncated).expect("write truncated journal");
+        let resumed = sweep
+            .run_checkpointed(4, &policy, &path, true)
+            .expect("resumed run");
+        assert_eq!(reference, format!("{resumed:?}"), "keep={keep}");
+    }
+}
+
+/// A panicking scheduler configuration produces structured `Failed` rows
+/// while every other cell of the grid still completes.
+#[test]
+fn panicking_scheduler_is_contained_as_failed_rows() {
+    let mut sweep = small_sweep(5);
+    sweep.switches.push(SwitchKind::ChaosPanic { at: 50 });
+    let outcomes = sweep.run_robust(4, &CellPolicy::default());
+    assert_eq!(outcomes.len(), 12);
+    let failed: Vec<&FailedCell> = outcomes.iter().filter_map(|o| o.failure()).collect();
+    assert_eq!(failed.len(), 3, "one failure per chaos load point");
+    assert_eq!(outcomes.iter().filter(|o| o.row().is_some()).count(), 9);
+    for f in failed {
+        assert!(
+            matches!(&f.reason, CellFailureReason::Panic(msg) if msg.contains("chaos")),
+            "{:?}",
+            f.reason
+        );
+    }
+}
+
+/// A hung scheduler trips the per-cell watchdog instead of wedging the
+/// sweep.
+#[test]
+fn hung_scheduler_trips_the_watchdog() {
+    let mut sweep = small_sweep(5);
+    sweep.switches = vec![SwitchKind::Fifoms, SwitchKind::ChaosStall { at: 10 }];
+    sweep.points.truncate(1);
+    let policy = CellPolicy {
+        timeout: Some(Duration::from_millis(250)),
+        ..CellPolicy::default()
+    };
+    let outcomes = sweep.run_robust(2, &policy);
+    assert!(outcomes[0].row().is_some(), "healthy cell completes");
+    let failure = outcomes[1].failure().expect("stalled cell fails");
+    assert!(
+        matches!(failure.reason, CellFailureReason::Timeout { millis: 250 }),
+        "{:?}",
+        failure.reason
+    );
+}
+
+/// Failed cells are journaled as structured rows and re-run (not reused)
+/// on resume; with a deterministic failure the resumed grid matches the
+/// original.
+#[test]
+fn failed_cells_are_journaled_and_rerun_on_resume() {
+    let mut sweep = small_sweep(13);
+    sweep.switches = vec![SwitchKind::Fifoms, SwitchKind::ChaosPanic { at: 50 }];
+    sweep.points.truncate(2);
+    let policy = CellPolicy::default();
+    let path = temp_path("failures.journal");
+    let first = sweep
+        .run_checkpointed(2, &policy, &path, false)
+        .expect("first run");
+    assert_eq!(first.iter().filter(|o| o.failure().is_some()).count(), 2);
+    let text = std::fs::read_to_string(&path).expect("journal exists");
+    assert!(text.contains("status=failed"), "{text}");
+    assert!(text.contains("reason=panic"), "{text}");
+    let resumed = sweep
+        .run_checkpointed(2, &policy, &path, true)
+        .expect("resume");
+    assert_eq!(format!("{first:?}"), format!("{resumed:?}"));
+}
+
+/// Invariant checking and fault injection compose with the checkpointed
+/// runner, and a fault-injected grid still completes every cell.
+#[test]
+fn checked_and_faulty_sweep_completes_under_checkpointing() {
+    let sweep = small_sweep(17);
+    let policy = CellPolicy {
+        check_every: Some(100),
+        faults: Some(FaultConfig::moderate(3)),
+        ..CellPolicy::default()
+    };
+    let path = temp_path("faulty.journal");
+    let outcomes = sweep
+        .run_checkpointed(2, &policy, &path, false)
+        .expect("run");
+    for o in &outcomes {
+        assert!(o.row().is_some(), "{:?}", o.failure());
+    }
+    // A journal written under one fault schedule must not satisfy a
+    // resume under a different one — faults change results.
+    let other = CellPolicy {
+        faults: Some(FaultConfig::moderate(4)),
+        ..policy.clone()
+    };
+    let err = sweep
+        .run_checkpointed(2, &other, &path, true)
+        .expect_err("different fault schedule must be rejected");
+    assert!(matches!(err, SimError::JournalMismatch { .. }), "{err}");
+}

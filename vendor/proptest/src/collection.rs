@@ -1,0 +1,145 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for collection strategies: an exact size or a
+/// half-open range of sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max);
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Generate `Vec`s of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate `BTreeSet`s of values from `element`, sized within `size`.
+///
+/// Duplicates are regenerated a bounded number of times; if the element
+/// domain is too small to reach the minimum size, the set is returned as
+/// large as it got (mirroring proptest's best-effort behaviour).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 16 * target + 32 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            let exact = vec(0u8..10, 6).generate(&mut rng);
+            assert_eq!(exact.len(), 6);
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_domain_allows() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = btree_set(0usize..100, 3..6).generate(&mut rng);
+            assert!((3..6).contains(&s.len()), "got {}", s.len());
+        }
+        // Domain smaller than the minimum: best effort, no hang.
+        let s = btree_set(0usize..2, 3..6).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn nested_collections_compose() {
+        let mut rng = TestRng::new(4);
+        let v = vec(vec(0u8..3, 6), 6).generate(&mut rng);
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|inner| inner.len() == 6));
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of `proptest` this workspace uses: the [`Strategy`] trait over
+//! integer/float ranges, tuples and collections, `prop_map`, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros. Cases are generated from a fixed per-test seed so failures are
+//! reproducible; there is no shrinking — the failing inputs are printed
+//! as generated.
+//!
+//! The number of cases per property defaults to 64 and can be raised with
+//! the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports: the [`Strategy`](strategy::Strategy) trait and the macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Result type the generated property bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run per property.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                // Seed differs per test (by name) but is stable across runs.
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let __cases = $crate::cases();
+                let mut __ran = 0u32;
+                let mut __rejected = 0u32;
+                while __ran < __cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __desc = format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let __result: $crate::TestCaseResult = (|| {
+                        { $body }
+                        Ok(())
+                    })();
+                    match __result {
+                        Ok(()) => __ran += 1,
+                        Err($crate::TestCaseError::Reject) => {
+                            __rejected += 1;
+                            if __rejected > 50 * __cases {
+                                // Give up quietly: the assumption is too strict
+                                // to ever find enough cases.
+                                break;
+                            }
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed: {}\n  inputs: {}",
+                                stringify!($name), msg, __desc
+                            );
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}

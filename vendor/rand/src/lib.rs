@@ -1,0 +1,394 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the (small) part of `rand` the workspace actually uses, with **bit-exact**
+//! output streams relative to `rand` 0.8.5:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded via SplitMix64, exactly as in
+//!   `rand` 0.8 on 64-bit platforms;
+//! * [`Rng::gen_range`] — Lemire widening-multiply sampling with `rand`'s
+//!   "conservative zone" rejection rule for integers, and the `[1, 2)`
+//!   mantissa-fill method for floats;
+//! * [`Rng::gen_bool`] — the `Bernoulli` 2^64-scaled integer comparison.
+//!
+//! Keeping the streams identical means seeded experiments reproduce the same
+//! arrival processes and tie-breaks as they would under the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let n = rem.len();
+            rem.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 (the expansion
+    /// `rand` 0.8 uses for its xoshiro-family generators).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let n = chunk.len();
+            chunk.copy_from_slice(&z.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        if p == 1.0 {
+            // rand's Bernoulli consumes no randomness for the certain case.
+            return true;
+        }
+        // SCALE = 2^64 as f64; comparison against a 64-bit draw.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniformly distributed sample.
+pub trait SampleRange<T> {
+    /// Draw one sample from `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply helpers mirroring rand's `wmul`.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let x = u64::from(self) * u64::from(other);
+        ((x >> 32) as u32, x as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let x = u128::from(self) * u128::from(other);
+        ((x >> 64) as u64, x as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $large:ty, $next:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = (self.end.wrapping_sub(self.start)) as $large;
+                sample_lemire::<$large, R>(range, rng)
+                    .map(|hi| self.start.wrapping_add(hi as $ty))
+                    .expect("nonzero range")
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let range = (hi.wrapping_sub(lo) as $large).wrapping_add(1);
+                match sample_lemire::<$large, R>(range, rng) {
+                    Some(v) => lo.wrapping_add(v as $ty),
+                    // Full-width range: any draw is uniform.
+                    None => lo.wrapping_add(<$large>::$next(rng) as $ty),
+                }
+            }
+        }
+    };
+}
+
+/// Lemire sampling with rand 0.8's "conservative zone": accept the widened
+/// low word when it is below `range` shifted to the top of the word.
+/// Returns `None` when `range == 0` (meaning the full integer width).
+fn sample_lemire<L, R>(range: L, rng: &mut R) -> Option<L>
+where
+    L: WideningMul + PartialOrd + PartialEq + Copy + ZoneInt,
+    R: RngCore + ?Sized,
+{
+    if range.is_zero() {
+        return None;
+    }
+    let zone = range.shl_leading_zeros().wrapping_sub_one();
+    loop {
+        let v = L::draw(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+/// Integer plumbing for [`sample_lemire`] over the two widened widths.
+trait ZoneInt: Sized {
+    #[allow(clippy::wrong_self_convention)] // by-value Copy int, mirrors rand's internals
+    fn is_zero(self) -> bool;
+    fn shl_leading_zeros(self) -> Self;
+    fn wrapping_sub_one(self) -> Self;
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    /// Raw full-width draw used for full-range inclusive sampling.
+    fn next_u32(rng: &mut (impl RngCore + ?Sized)) -> Self;
+    /// Raw full-width draw used for full-range inclusive sampling.
+    fn next_u64(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl ZoneInt for u32 {
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn shl_leading_zeros(self) -> Self {
+        self << self.leading_zeros()
+    }
+    fn wrapping_sub_one(self) -> Self {
+        self.wrapping_sub(1)
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+    fn next_u32(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+    fn next_u64(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl ZoneInt for u64 {
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn shl_leading_zeros(self) -> Self {
+        self << self.leading_zeros()
+    }
+    fn wrapping_sub_one(self) -> Self {
+        self.wrapping_sub(1)
+    }
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+    fn next_u32(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        u64::from(rng.next_u32())
+    }
+    fn next_u64(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64()
+    }
+}
+
+uniform_int_impl!(u8, u32, next_u32);
+uniform_int_impl!(u16, u32, next_u32);
+uniform_int_impl!(u32, u32, next_u32);
+uniform_int_impl!(u64, u64, next_u64);
+#[cfg(target_pointer_width = "64")]
+uniform_int_impl!(usize, u64, next_u64);
+#[cfg(target_pointer_width = "32")]
+uniform_int_impl!(usize, u32, next_u32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        assert!(scale.is_finite(), "range overflow in f64 sampling");
+        loop {
+            // Fill the 52 mantissa bits of a float in [1, 2), then shift down.
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        assert!(scale.is_finite(), "range overflow in f32 sampling");
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+/// Seedable generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The small, fast generator of `rand` 0.8 on 64-bit platforms:
+    /// xoshiro256++.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> SmallRng {
+            if seed.iter().all(|&b| b == 0) {
+                // Avoid the all-zero fixed point, as rand does.
+                return SmallRng::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(
+            (0..8).map(|_| a.gen_range(0u64..1 << 60)).collect::<Vec<_>>(),
+            (0..8).map(|_| c.gen_range(0u64..1 << 60)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let v = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&v));
+            let v = rng.gen_range(0u16..8);
+            assert!(v < 8);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "gen_bool(0.3) measured {frac}");
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Must not loop or panic.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+        let _ = rng.gen_range(0u32..=u32::MAX);
+    }
+
+    /// Reference vector for xoshiro256++ seeded with SplitMix64(42) — the
+    /// stream `rand` 0.8.5's `SmallRng::seed_from_u64(42)` produces.
+    #[test]
+    fn matches_xoshiro256plusplus_reference() {
+        // SplitMix64 from 42 gives the initial state; the first outputs are
+        // fully determined by the algorithm. Recompute the state expansion
+        // here independently to guard the from-seed path.
+        let mut s = [0u64; 4];
+        let mut x = 42u64;
+        for w in s.iter_mut() {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *w = z;
+        }
+        let expected_first = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        use super::RngCore;
+        assert_eq!(rng.next_u64(), expected_first);
+    }
+}
