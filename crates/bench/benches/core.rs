@@ -1,0 +1,80 @@
+//! The headline end-to-end cost benchmark: whole-engine slots/sec of
+//! FIFOMS vs iSLIP at three operating points, emitted machine-readable.
+//!
+//! Unlike the criterion benches (`figures`, `schedulers`, ...), which
+//! print per-iteration medians for humans, this target writes
+//! `BENCH_core.json` (schema `schemas/bench_core.schema.json`) so CI and
+//! future perf PRs can diff slots/sec numerically. Environment knobs:
+//!
+//! * `BENCH_SMOKE=1` — one short sample per cell (CI smoke mode);
+//! * `BENCH_CORE_OUT=<path>` — output path (default `BENCH_core.json`).
+//!
+//! Run with `cargo bench -p fifoms-bench --bench core`.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use fifoms_obs::Json;
+use fifoms_sim::{try_simulate, RunConfig, RunResult, SwitchKind, TrafficKind};
+
+const N: usize = 16;
+const B: f64 = 0.2;
+const LOADS: [f64; 3] = [0.3, 0.6, 0.9];
+
+fn one_sample(sk: SwitchKind, load: f64, slots: u64) -> (RunResult, u64) {
+    let mut sw = sk.build(N, 1);
+    let mut tr = TrafficKind::bernoulli_at_load(load, B, N).build(N, 2);
+    let cfg = RunConfig::paper(slots);
+    let started = Instant::now();
+    let result = try_simulate(sw.as_mut(), tr.as_mut(), &cfg).expect("bench cell runs");
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    (black_box(result), elapsed_ns.max(1))
+}
+
+fn main() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    // Cargo runs bench binaries with the package dir as CWD; default the
+    // artifact to the workspace root so `check-bench` finds it there.
+    let out = std::env::var("BENCH_CORE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
+    });
+    let (slots, samples) = if smoke { (5_000, 1) } else { (100_000, 3) };
+
+    let mut rows = Vec::new();
+    for sk in [SwitchKind::Fifoms, SwitchKind::Islip(None)] {
+        for load in LOADS {
+            // Median elapsed time over `samples` identical runs (the runs
+            // are deterministic, so only the timing varies).
+            let mut timed: Vec<(RunResult, u64)> =
+                (0..samples).map(|_| one_sample(sk, load, slots)).collect();
+            timed.sort_by_key(|(_, ns)| *ns);
+            let (result, elapsed_ns) = timed.swap_remove(samples / 2);
+            let slots_per_sec = result.slots_run as f64 / (elapsed_ns as f64 / 1e9);
+            println!(
+                "core/{:<6} load {load:.1}: {slots_per_sec:>10.0} slots/s \
+                 (mean rounds {:.3}, throughput {:.4})",
+                sk.label(),
+                result.mean_rounds,
+                result.throughput
+            );
+            let mut row = Json::object();
+            row.set("switch", sk.label());
+            row.set("load", load);
+            row.set("slots_run", result.slots_run);
+            row.set("elapsed_ns", elapsed_ns);
+            row.set("slots_per_sec", slots_per_sec);
+            row.set("mean_rounds", result.mean_rounds);
+            row.set("throughput", result.throughput);
+            rows.push(row);
+        }
+    }
+
+    let mut doc = Json::object();
+    doc.set("schema", "fifoms-bench-core-v1");
+    doc.set("n", N);
+    doc.set("slots", slots);
+    doc.set("smoke", smoke);
+    doc.set("rows", Json::Arr(rows));
+    std::fs::write(&out, format!("{doc}\n")).expect("write core bench output");
+    println!("wrote {out}");
+}

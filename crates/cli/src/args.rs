@@ -30,6 +30,17 @@ pub struct Options {
     pub inject_faults: bool,
     /// Retry budget for panicked or timed-out cells.
     pub retries: u32,
+    /// Stream per-slot scheduler events as JSONL to this path.
+    pub trace_out: Option<String>,
+    /// Write aggregated sweep metrics as JSON to this path.
+    pub metrics_out: Option<String>,
+    /// Output path override (`profile` writes `BENCH_profile.json` by
+    /// default).
+    pub out: Option<String>,
+    /// Print a periodic progress line to stderr during sweeps.
+    pub progress: bool,
+    /// Profiling stride: time every `k`-th slot in `profile`.
+    pub sample_every: u64,
 }
 
 impl Default for Options {
@@ -48,6 +59,11 @@ impl Default for Options {
             cell_timeout: None,
             inject_faults: false,
             retries: 0,
+            trace_out: None,
+            metrics_out: None,
+            out: None,
+            progress: false,
+            sample_every: 16,
         }
     }
 }
@@ -68,6 +84,8 @@ const COMMANDS: &[&str] = &[
     "record",
     "replay",
     "sweep",
+    "profile",
+    "check-bench",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -81,8 +99,10 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             "--quick" => quick = true,
             "--plot" => opts.plot = true,
             "--inject-faults" => opts.inject_faults = true,
+            "--progress" => opts.progress = true,
             "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir"
-            | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries" => {
+            | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries"
+            | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -101,6 +121,10 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--check-every" => opts.check_every = Some(parse_num(arg, value)?),
                     "--cell-timeout" => opts.cell_timeout = Some(parse_num(arg, value)?),
                     "--retries" => opts.retries = parse_num(arg, value)?,
+                    "--trace-out" => opts.trace_out = Some(value.clone()),
+                    "--metrics-out" => opts.metrics_out = Some(value.clone()),
+                    "--out" => opts.out = Some(value.clone()),
+                    "--sample-every" => opts.sample_every = parse_num(arg, value)?,
                     _ => unreachable!(),
                 }
             }
@@ -123,6 +147,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     }
     if opts.cell_timeout == Some(0) {
         return Err("--cell-timeout must be positive".into());
+    }
+    if opts.sample_every == 0 {
+        return Err("--sample-every must be positive".into());
     }
     let command = command.ok_or("missing command")?;
     Ok((command, opts))
@@ -202,6 +229,27 @@ mod tests {
         assert_eq!(o.cell_timeout, Some(30));
         assert!(o.inject_faults);
         assert_eq!(o.retries, 2);
+    }
+
+    #[test]
+    fn observability_flags() {
+        let (cmd, o) = parse(&argv(
+            "sweep --trace-out events.jsonl --metrics-out metrics.json --progress",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "sweep");
+        assert_eq!(o.trace_out.as_deref(), Some("events.jsonl"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
+        assert!(o.progress);
+
+        let (cmd, o) = parse(&argv("profile --out /tmp/p.json --sample-every 4")).unwrap();
+        assert_eq!(cmd, "profile");
+        assert_eq!(o.out.as_deref(), Some("/tmp/p.json"));
+        assert_eq!(o.sample_every, 4);
+        assert!(parse(&argv("profile --sample-every 0")).is_err());
+
+        let (cmd, _) = parse(&argv("check-bench")).unwrap();
+        assert_eq!(cmd, "check-bench");
     }
 
     #[test]

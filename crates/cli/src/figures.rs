@@ -1,8 +1,12 @@
 //! One function per paper figure, plus extension experiments.
 
+use std::sync::Arc;
+
+use fifoms_obs::{EventSink, Json, JsonlSink, MetricsRegistry, ProgressMeter};
 use fifoms_sim::report::{figure_table, sweep_csv, Metric};
 use fifoms_sim::{
-    CellPolicy, FaultConfig, RunConfig, Sweep, SweepRow, SwitchKind, TrafficKind,
+    CellOutcome, CellPolicy, FaultConfig, RunConfig, Sweep, SweepObserver, SweepRow, SwitchKind,
+    TrafficKind,
 };
 use fifoms_types::SimError;
 
@@ -441,6 +445,61 @@ pub fn throughput(opts: &Options) -> Result<(), SimError> {
 /// runtime invariant validation (`--check-every`), per-cell watchdog
 /// (`--cell-timeout`), fault injection (`--inject-faults`) and bounded
 /// retries (`--retries`). Failed cells are reported as rows, not crashes.
+/// Aggregate a finished grid into the `--metrics-out` document:
+/// sweep-level counters and per-cell gauges from a [`MetricsRegistry`],
+/// plus one self-describing row per cell carrying the workload parameters
+/// the cell actually ran with (so a metrics file needs no side-channel to
+/// interpret its loads).
+fn sweep_metrics(sweep: &Sweep, outcomes: &[CellOutcome]) -> Json {
+    let registry = MetricsRegistry::new();
+    registry.counter_add("cells_total", outcomes.len() as u64);
+    let mut rows = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            CellOutcome::Completed(row) => {
+                let r = &row.result;
+                registry.counter_add("cells_completed", 1);
+                registry.counter_add("slots_run", r.slots_run);
+                registry.counter_add("packets_admitted", r.packets_admitted);
+                registry.counter_add("copies_delivered", r.copies_delivered);
+                let scope = format!("{}@{}", row.switch.label(), row.load);
+                registry.gauge_set(&format!("throughput/{scope}"), r.throughput);
+                let mut obj = Json::object();
+                obj.set("switch", r.switch_name.as_str());
+                obj.set("traffic", r.traffic_name.as_str());
+                obj.set("load", row.load);
+                obj.set("offered_load", r.offered_load);
+                let mut wl = Json::object();
+                for (k, v) in &r.workload {
+                    wl.set(k, *v);
+                }
+                obj.set("workload", wl);
+                obj.set("throughput", r.throughput);
+                obj.set("mean_delay_out", r.delay.mean_output_oriented);
+                obj.set("mean_rounds", r.mean_rounds);
+                obj.set("slots_run", r.slots_run);
+                obj.set("stable", r.is_stable());
+                rows.push(obj);
+            }
+            CellOutcome::Failed(f) => {
+                registry.counter_add("cells_failed", 1);
+                let mut obj = Json::object();
+                obj.set("switch", f.switch.label());
+                obj.set("load", f.load);
+                obj.set("failed", true);
+                obj.set("reason", f.reason.to_string());
+                rows.push(obj);
+            }
+        }
+    }
+    let mut doc = registry.snapshot();
+    doc.set("schema", "fifoms-metrics-v1");
+    doc.set("n", sweep.n);
+    doc.set("seed", sweep.seed);
+    doc.set("rows", Json::Arr(rows));
+    doc
+}
+
 pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
     let b = 0.2;
     let sweep = Sweep {
@@ -461,14 +520,37 @@ pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
             .inject_faults
             .then(|| FaultConfig::moderate(opts.seed)),
     };
+    let trace: Option<Arc<dyn EventSink>> = match &opts.trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| SimError::Usage(format!("cannot create {path}: {e}")))?;
+            Some(Arc::new(JsonlSink::new(std::io::BufWriter::new(file))))
+        }
+        None => None,
+    };
+    let cells = (sweep.switches.len() * sweep.points.len()) as u64;
+    let observer = SweepObserver {
+        trace,
+        progress: opts
+            .progress
+            .then(|| Arc::new(ProgressMeter::new(cells, std::time::Duration::from_secs(2)))),
+    };
     let outcomes = match &opts.journal {
         Some(path) => {
             let verb = if opts.resume { "resuming from" } else { "journaling to" };
             println!("{verb} {path}");
-            sweep.run_checkpointed(opts.threads, &policy, path, opts.resume)?
+            sweep.run_checkpointed_observed(opts.threads, &policy, path, opts.resume, &observer)?
         }
-        None => sweep.run_robust(opts.threads, &policy),
+        None => sweep.run_robust_observed(opts.threads, &policy, &observer),
     };
+    if let Some(path) = &opts.trace_out {
+        println!("wrote {path}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, sweep_metrics(&sweep, &outcomes).to_string() + "\n")
+            .map_err(|e| SimError::Usage(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
     let rows: Vec<SweepRow> = outcomes.iter().filter_map(|o| o.row().cloned()).collect();
     let failures: Vec<_> = outcomes.iter().filter_map(|o| o.failure()).collect();
     let mut title = format!(

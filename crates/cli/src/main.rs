@@ -19,6 +19,16 @@
 //!   --cell-timeout <SEC> per-cell wall-clock watchdog
 //!   --inject-faults      deterministic crosspoint/output-port faults
 //!   --retries <R>        retry budget for panicked/timed-out cells
+//!   --trace-out <PATH>   stream per-slot scheduler events as JSONL to PATH
+//!   --metrics-out <PATH> write aggregated sweep metrics as JSON to PATH
+//!   --progress           periodic progress line on stderr (slots/s, ETA)
+//!
+//! profile (self-profiling harness) additionally accepts:
+//!   --out <PATH>         output path               [default: BENCH_profile.json]
+//!   --sample-every <K>   time every K-th slot      [default: 16]
+//!
+//! check-bench validates BENCH_profile.json / BENCH_core.json against the
+//! schemas under schemas/.
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -29,6 +39,7 @@
 
 mod args;
 mod figures;
+mod obscmd;
 mod traces;
 
 use std::process::ExitCode;
@@ -42,7 +53,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--out PATH] [--sample-every K]");
             return ExitCode::FAILURE;
         }
     };
@@ -69,6 +80,8 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "oq-speedup" => figures::oq_speedup(opts),
         "mixed" => figures::mixed(opts),
         "sweep" => figures::sweep_cmd(opts),
+        "profile" => obscmd::profile(opts),
+        "check-bench" => obscmd::check_bench(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

@@ -1,0 +1,101 @@
+//! Observability commands: the self-profiling harness (`profile`) and
+//! benchmark-artifact validation (`check-bench`).
+
+use fifoms_obs::{schema, Json};
+use fifoms_sim::{profile_run, RunConfig, SwitchKind, TrafficKind};
+use fifoms_types::SimError;
+
+use crate::args::Options;
+
+fn io_err(path: &str, e: impl std::fmt::Display) -> SimError {
+    SimError::Usage(format!("{path}: {e}"))
+}
+
+/// `fifoms-repro profile`: run the paper's reference workload (FIFOMS,
+/// Bernoulli b=0.2 at load 0.6) once, timing the engine's four phases on
+/// every `--sample-every`-th slot, and write the breakdown as
+/// `BENCH_profile.json` (override with `--out`). The profiled run takes
+/// the ordinary engine path, so the measurement itself is representative.
+pub fn profile(opts: &Options) -> Result<(), SimError> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_profile.json");
+    let (load, b) = (0.6, 0.2);
+    let mut sw = SwitchKind::Fifoms.build(opts.n, opts.seed);
+    let mut tr =
+        TrafficKind::bernoulli_at_load(load, b, opts.n).try_build(opts.n, opts.seed ^ 0xBEEF)?;
+    let cfg = RunConfig::paper(opts.slots);
+    let report = profile_run(sw.as_mut(), tr.as_mut(), &cfg, opts.sample_every)?;
+
+    let doc = report.to_json();
+    std::fs::write(out, format!("{doc}\n")).map_err(|e| io_err(out, e))?;
+
+    println!(
+        "profile: {} under {} ({} slots, phases sampled every {} slots)",
+        report.result.switch_name, report.result.traffic_name, report.result.slots_run,
+        report.sample_every
+    );
+    println!(
+        "  wall time {:.3} s | {:.0} slots/s | throughput {:.4}",
+        report.total_ns as f64 / 1e9,
+        report.slots_per_sec(),
+        report.result.throughput
+    );
+    let mut table = fifoms_sim::report::Table::new(vec![
+        "phase".to_string(),
+        "calls".to_string(),
+        "exclusive-ms".to_string(),
+        "share".to_string(),
+    ]);
+    let total_excl: u64 = report.profiler.phases().map(|(_, s)| s.exclusive_ns).sum();
+    for (phase, s) in report.profiler.phases() {
+        let share = if total_excl > 0 {
+            100.0 * s.exclusive_ns as f64 / total_excl as f64
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            phase.to_string(),
+            format!("{}", s.calls),
+            format!("{:.3}", s.exclusive_ns as f64 / 1e6),
+            format!("{share:.1}%"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// `fifoms-repro check-bench`: validate whichever benchmark artifacts
+/// exist in the working directory against their checked-in schemas.
+/// Fails if an artifact is malformed — or if none exist at all.
+pub fn check_bench(_opts: &Options) -> Result<(), SimError> {
+    let pairs = [
+        ("BENCH_profile.json", "schemas/bench_profile.schema.json"),
+        ("BENCH_core.json", "schemas/bench_core.schema.json"),
+    ];
+    let mut checked = 0;
+    for (doc_path, schema_path) in pairs {
+        if !std::path::Path::new(doc_path).exists() {
+            println!("check-bench: {doc_path} absent, skipped");
+            continue;
+        }
+        let doc = read_json(doc_path)?;
+        let schema_doc = read_json(schema_path)?;
+        schema::validate(&doc, &schema_doc)
+            .map_err(|e| SimError::Usage(format!("{doc_path} violates {schema_path}: {e}")))?;
+        println!("check-bench: {doc_path} conforms to {schema_path}");
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(SimError::Usage(
+            "check-bench: no BENCH_*.json artifacts found (run `fifoms-repro profile` \
+             and `cargo bench -p fifoms-bench --bench core` first)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+fn read_json(path: &str) -> Result<Json, SimError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    Json::parse(&text).map_err(|e| io_err(path, e))
+}

@@ -25,7 +25,9 @@
 
 use std::collections::HashMap;
 
-use fifoms_types::{InvariantViolation, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome};
+use fifoms_types::{
+    InvariantViolation, ObsEvent, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome,
+};
 
 use crate::switch::{Backlog, Switch};
 
@@ -53,6 +55,9 @@ pub struct CheckedSwitch<S> {
     delivered_copies: u64,
     slots_checked: u64,
     violation: Option<InvariantViolation>,
+    /// Whether the sticky violation has already been surfaced through
+    /// `drain_events` (so it is reported exactly once per run).
+    violation_reported: bool,
 }
 
 impl<S: Switch> CheckedSwitch<S> {
@@ -72,6 +77,7 @@ impl<S: Switch> CheckedSwitch<S> {
             delivered_copies: 0,
             slots_checked: 0,
             violation: None,
+            violation_reported: false,
         }
     }
 
@@ -210,6 +216,17 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
 
     fn backlog(&self) -> Backlog {
         self.inner.backlog()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        if let (false, Some(v)) = (self.violation_reported, &self.violation) {
+            out.push(ObsEvent::InvariantViolated {
+                slot: v.slot(),
+                detail: v.to_string(),
+            });
+            self.violation_reported = true;
+        }
+        self.inner.drain_events(out);
     }
 }
 

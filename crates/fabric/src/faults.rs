@@ -22,7 +22,7 @@
 //! yields the same fault timeline on every run, so faulty sweeps are
 //! reproducible and checkpoint/resume remains bit-identical.
 
-use fifoms_types::{Packet, PortId, Slot, SlotOutcome};
+use fifoms_types::{ObsEvent, Packet, PortId, Slot, SlotOutcome};
 
 use crate::switch::{Backlog, Switch};
 
@@ -106,6 +106,11 @@ pub struct FaultyFabric<S> {
     config: FaultConfig,
     crosspoints: Vec<(PortId, PortId)>,
     stats: FaultStats,
+    /// Buffer [`ObsEvent::FaultMasked`] per masked arrival. Opt-in: the
+    /// buffer only grows on traced runs, which drain it every slot;
+    /// untraced runs never construct an event.
+    record_events: bool,
+    events: Vec<ObsEvent>,
 }
 
 impl<S: Switch> FaultyFabric<S> {
@@ -133,7 +138,17 @@ impl<S: Switch> FaultyFabric<S> {
             config,
             crosspoints,
             stats: FaultStats::default(),
+            record_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enable buffering of [`ObsEvent::FaultMasked`] events (drained via
+    /// [`Switch::drain_events`]). Off by default so untraced runs pay
+    /// nothing.
+    pub fn with_event_recording(mut self) -> FaultyFabric<S> {
+        self.record_events = true;
+        self
     }
 
     /// The fault tally so far.
@@ -197,6 +212,14 @@ impl<S: Switch> Switch for FaultyFabric<S> {
         }
         let dropped = before - packet.fanout();
         self.stats.copies_dropped += dropped as u64;
+        if self.record_events && dropped > 0 {
+            self.events.push(ObsEvent::FaultMasked {
+                slot,
+                input: packet.input,
+                copies_dropped: dropped as u32,
+                packet_dropped: packet.dests.is_empty(),
+            });
+        }
         if packet.dests.is_empty() {
             self.stats.packets_dropped += 1;
             return;
@@ -217,6 +240,11 @@ impl<S: Switch> Switch for FaultyFabric<S> {
 
     fn backlog(&self) -> Backlog {
         self.inner.backlog()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        out.append(&mut self.events);
+        self.inner.drain_events(out);
     }
 }
 

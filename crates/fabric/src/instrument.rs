@@ -1,0 +1,353 @@
+//! Generic scheduler instrumentation: one wrapper, every scheduler.
+//!
+//! [`InstrumentedSwitch`] derives the per-slot matching dynamics the paper
+//! reasons about — request demand, matched inputs, iterations to
+//! convergence (Fig. 5), native-multicast usage, fanout splitting,
+//! crossbar utilisation, and starvation age — entirely from the
+//! [`Switch`] trait surface ([`SlotOutcome`] + `queue_sizes`/`backlog`).
+//! No scheduler carries its own tracing code, so FIFOMS, iSLIP, TATRA and
+//! the OQ baselines are all observed identically and a new scheduler gets
+//! instrumentation for free.
+//!
+//! The wrapper is read-only with respect to the schedule: it never
+//! touches an RNG, reorders a call, or alters an outcome, so a wrapped
+//! run produces bit-identical results to an unwrapped one (asserted by
+//! the observability integration suite). Events are buffered internally
+//! and handed to the engine via [`Switch::drain_events`]; the wrapper is
+//! only constructed on traced paths, so untraced runs never allocate a
+//! buffer at all.
+
+use std::collections::BTreeSet;
+
+use fifoms_types::{ObsEvent, Packet, PacketId, Slot, SlotOutcome};
+
+use crate::switch::{Backlog, Switch};
+
+/// A [`Switch`] wrapper that emits one [`ObsEvent::SlotSched`] per
+/// non-idle slot, derived generically from the inner switch's outcome.
+#[derive(Debug)]
+pub struct InstrumentedSwitch<S> {
+    inner: S,
+    events: Vec<ObsEvent>,
+    /// In-flight packets ordered by arrival: `first()` is the oldest
+    /// queued packet, whose age is the starvation indicator.
+    ledger: BTreeSet<(Slot, PacketId)>,
+    /// Scratch for `queue_sizes` so the per-slot probe does not allocate.
+    scratch: Vec<usize>,
+}
+
+impl<S: Switch> InstrumentedSwitch<S> {
+    /// Wrap `inner`.
+    pub fn new(inner: S) -> InstrumentedSwitch<S> {
+        InstrumentedSwitch {
+            inner,
+            events: Vec::new(),
+            ledger: BTreeSet::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Shared access to the wrapped switch.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Age in slots of the oldest packet still queued, as of `now`.
+    fn oldest_age(&self, now: Slot) -> Option<u64> {
+        self.ledger
+            .first()
+            .map(|(arrival, _)| now.0.saturating_sub(arrival.0))
+    }
+
+    fn derive_event(&mut self, now: Slot, active_ports: u32, outcome: &SlotOutcome) {
+        // Per-input departure counts, single pass. Inputs are compared by
+        // id; a sorted scratch of (input, count) stays tiny (≤ N entries).
+        let mut per_input: Vec<(u16, u32)> = Vec::new();
+        let mut fanout_split_candidates: Vec<PacketId> = Vec::new();
+        let mut completed = 0u32;
+        for d in &outcome.departures {
+            match per_input.binary_search_by_key(&d.input.0, |&(i, _)| i) {
+                Ok(idx) => per_input[idx].1 += 1,
+                Err(idx) => per_input.insert(idx, (d.input.0, 1)),
+            }
+            if d.last_copy {
+                completed += 1;
+                self.ledger.remove(&(d.arrival, d.packet));
+            } else {
+                fanout_split_candidates.push(d.packet);
+            }
+        }
+        // A packet was *split* this slot if it departed at least one copy
+        // but its final copy did not go out: some residue stays queued.
+        fanout_split_candidates.sort_unstable();
+        fanout_split_candidates.dedup();
+        let fanout_splits = fanout_split_candidates
+            .iter()
+            .filter(|p| {
+                !outcome
+                    .departures
+                    .iter()
+                    .any(|d| d.packet == **p && d.last_copy)
+            })
+            .count() as u32;
+
+        let matched_inputs = per_input.len() as u32;
+        let multicast_inputs = per_input.iter().filter(|&&(_, c)| c >= 2).count() as u32;
+        let backlog = self.inner.backlog();
+
+        self.events.push(ObsEvent::SlotSched {
+            slot: now,
+            active_ports,
+            matched_inputs,
+            rounds: outcome.rounds,
+            connections: outcome.connections as u32,
+            multicast_inputs,
+            fanout_splits,
+            completed_packets: completed,
+            backlog_packets: backlog.packets as u64,
+            backlog_copies: backlog.copies as u64,
+            oldest_age: self.oldest_age(now),
+        });
+    }
+}
+
+impl<S: Switch> Switch for InstrumentedSwitch<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+
+    fn admit(&mut self, packet: Packet) {
+        self.ledger.insert((packet.arrival, packet.id));
+        self.inner.admit(packet);
+    }
+
+    fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        // Demand side, probed before scheduling: ports holding work.
+        self.scratch.clear();
+        self.inner.queue_sizes(&mut self.scratch);
+        let active_ports = self.scratch.iter().filter(|&&q| q > 0).count() as u32;
+
+        let outcome = self.inner.run_slot(now);
+
+        // Idle slots (no demand, no service) are not worth a record each;
+        // the gap in slot numbers preserves the information.
+        if active_ports > 0 || !outcome.departures.is_empty() {
+            self.derive_event(now, active_ports, &outcome);
+        }
+        outcome
+    }
+
+    fn queue_sizes(&self, out: &mut Vec<usize>) {
+        self.inner.queue_sizes(out)
+    }
+
+    fn backlog(&self) -> Backlog {
+        self.inner.backlog()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        out.append(&mut self.events);
+        self.inner.drain_events(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::{Departure, PortId, PortSet};
+    use std::collections::VecDeque;
+
+    /// One-input FIFO that serves up to `per_slot` copies of the head
+    /// packet per slot — `per_slot: 1` forces fanout splitting.
+    struct SplittingFifo {
+        queue: VecDeque<(Packet, PortSet)>,
+        per_slot: usize,
+        rounds: u32,
+    }
+
+    impl SplittingFifo {
+        fn new(per_slot: usize, rounds: u32) -> Self {
+            Self {
+                queue: VecDeque::new(),
+                per_slot,
+                rounds,
+            }
+        }
+    }
+
+    impl Switch for SplittingFifo {
+        fn name(&self) -> String {
+            "splitting-fifo".into()
+        }
+        fn ports(&self) -> usize {
+            4
+        }
+        fn admit(&mut self, packet: Packet) {
+            let residual = packet.dests.clone();
+            self.queue.push_back((packet, residual));
+        }
+        fn run_slot(&mut self, _now: Slot) -> SlotOutcome {
+            let Some((p, residual)) = self.queue.front_mut() else {
+                return SlotOutcome::idle();
+            };
+            let serve: Vec<PortId> = residual.iter().take(self.per_slot).collect();
+            let mut departures = Vec::new();
+            for &o in &serve {
+                residual.remove(o);
+                departures.push(Departure {
+                    packet: p.id,
+                    arrival: p.arrival,
+                    input: p.input,
+                    output: o,
+                    last_copy: residual.is_empty(),
+                });
+            }
+            if residual.is_empty() {
+                self.queue.pop_front();
+            }
+            let connections = departures.len();
+            SlotOutcome {
+                departures,
+                rounds: self.rounds,
+                connections,
+            }
+        }
+        fn queue_sizes(&self, out: &mut Vec<usize>) {
+            out.clear();
+            out.resize(4, 0);
+            out[0] = self.queue.len();
+        }
+        fn backlog(&self) -> Backlog {
+            Backlog {
+                packets: self.queue.len(),
+                copies: self.queue.iter().map(|(_, r)| r.len()).sum(),
+            }
+        }
+    }
+
+    fn packet(id: u64, arrival: Slot, outputs: &[usize]) -> Packet {
+        Packet::new(
+            PacketId(id),
+            arrival,
+            PortId(0),
+            outputs.iter().copied().collect(),
+        )
+    }
+
+    fn drain(sw: &mut impl Switch) -> Vec<ObsEvent> {
+        let mut out = Vec::new();
+        sw.drain_events(&mut out);
+        out
+    }
+
+    #[test]
+    fn emits_one_event_per_busy_slot_and_none_when_idle() {
+        let mut sw = InstrumentedSwitch::new(SplittingFifo::new(8, 1));
+        sw.admit(packet(1, Slot(0), &[0, 1]));
+        sw.run_slot(Slot(0)); // serves everything
+        sw.run_slot(Slot(1)); // idle
+        let events = drain(&mut sw);
+        assert_eq!(events.len(), 1);
+        let ObsEvent::SlotSched {
+            slot,
+            active_ports,
+            matched_inputs,
+            multicast_inputs,
+            connections,
+            completed_packets,
+            oldest_age,
+            ..
+        } = &events[0]
+        else {
+            panic!("expected SlotSched, got {:?}", events[0]);
+        };
+        assert_eq!(*slot, Slot(0));
+        assert_eq!(*active_ports, 1);
+        assert_eq!(*matched_inputs, 1);
+        assert_eq!(*multicast_inputs, 1, "2 copies in one slot = native multicast");
+        assert_eq!(*connections, 2);
+        assert_eq!(*completed_packets, 1);
+        assert_eq!(*oldest_age, None, "switch drained");
+        // buffer was moved out
+        assert!(drain(&mut sw).is_empty());
+    }
+
+    #[test]
+    fn fanout_splitting_and_starvation_age_are_tracked() {
+        let mut sw = InstrumentedSwitch::new(SplittingFifo::new(1, 2));
+        sw.admit(packet(1, Slot(0), &[0, 1, 2]));
+        for t in 0..3 {
+            sw.run_slot(Slot(t));
+        }
+        let events = drain(&mut sw);
+        assert_eq!(events.len(), 3);
+        let split_flags: Vec<u32> = events
+            .iter()
+            .map(|e| match e {
+                ObsEvent::SlotSched { fanout_splits, .. } => *fanout_splits,
+                _ => panic!(),
+            })
+            .collect();
+        // slots 0 and 1 leave residue (split); slot 2 completes the packet
+        assert_eq!(split_flags, vec![1, 1, 0]);
+        let ages: Vec<Option<u64>> = events
+            .iter()
+            .map(|e| match e {
+                ObsEvent::SlotSched { oldest_age, .. } => *oldest_age,
+                _ => panic!(),
+            })
+            .collect();
+        // the packet (arrival 0) ages while split; gone after completion
+        assert_eq!(ages, vec![Some(0), Some(1), None]);
+        let rounds: Vec<u32> = events
+            .iter()
+            .map(|e| match e {
+                ObsEvent::SlotSched { rounds, .. } => *rounds,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(rounds, vec![2, 2, 2], "rounds forwarded from SlotOutcome");
+    }
+
+    #[test]
+    fn wrapper_is_transparent_to_results() {
+        let mut plain = SplittingFifo::new(1, 1);
+        let mut wrapped = InstrumentedSwitch::new(SplittingFifo::new(1, 1));
+        for p in [packet(1, Slot(0), &[0, 2]), packet(2, Slot(0), &[3])] {
+            plain.admit(p.clone());
+            wrapped.admit(p);
+        }
+        assert_eq!(plain.name(), wrapped.name());
+        assert_eq!(plain.ports(), wrapped.ports());
+        for t in 0..4 {
+            let a = plain.run_slot(Slot(t));
+            let b = wrapped.run_slot(Slot(t));
+            assert_eq!(a.departures, b.departures);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.connections, b.connections);
+            assert_eq!(plain.backlog(), wrapped.backlog());
+        }
+    }
+
+    #[test]
+    fn backlog_in_events_reflects_post_slot_state() {
+        let mut sw = InstrumentedSwitch::new(SplittingFifo::new(1, 1));
+        sw.admit(packet(1, Slot(0), &[0, 1]));
+        sw.run_slot(Slot(0));
+        let events = drain(&mut sw);
+        let ObsEvent::SlotSched {
+            backlog_packets,
+            backlog_copies,
+            ..
+        } = events[0]
+        else {
+            panic!();
+        };
+        assert_eq!(backlog_packets, 1);
+        assert_eq!(backlog_copies, 1, "one of two copies served");
+    }
+}

@@ -24,6 +24,7 @@
 mod checked;
 mod crossbar;
 mod faults;
+mod instrument;
 mod schedule;
 mod speedup;
 mod switch;
@@ -31,6 +32,7 @@ mod switch;
 pub use checked::CheckedSwitch;
 pub use crossbar::{Crossbar, FabricStats};
 pub use faults::{FaultConfig, FaultStats, FaultyFabric};
+pub use instrument::InstrumentedSwitch;
 pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
 pub use speedup::SpeedupFabric;
 pub use switch::{Backlog, Switch};

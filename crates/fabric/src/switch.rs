@@ -1,6 +1,6 @@
 //! The switch abstraction driven by the simulation engine.
 
-use fifoms_types::{Packet, Slot, SlotOutcome};
+use fifoms_types::{ObsEvent, Packet, Slot, SlotOutcome};
 
 /// Cells still queued inside a switch.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -63,6 +63,22 @@ pub trait Switch {
     /// Total queued packets/copies (for conservation checks and
     /// saturation detection).
     fn backlog(&self) -> Backlog;
+
+    /// Move any buffered [`ObsEvent`]s into `out` (oldest first).
+    ///
+    /// The default is a no-op: plain schedulers buffer nothing and pay
+    /// nothing. Observability wrappers ([`InstrumentedSwitch`],
+    /// [`FaultyFabric`] with event recording enabled, [`CheckedSwitch`])
+    /// override it to hand over their own events *and* recurse into the
+    /// switch they wrap, so the engine sees one merged stream no matter
+    /// how deeply a traced cell is nested.
+    ///
+    /// [`InstrumentedSwitch`]: crate::InstrumentedSwitch
+    /// [`FaultyFabric`]: crate::FaultyFabric
+    /// [`CheckedSwitch`]: crate::CheckedSwitch
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        let _ = out;
+    }
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -83,6 +99,11 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn backlog(&self) -> Backlog {
         (**self).backlog()
+    }
+    // Must forward explicitly: the default no-op body would otherwise
+    // swallow the inner switch's buffered events behind every Box.
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        (**self).drain_events(out)
     }
 }
 

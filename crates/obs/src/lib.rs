@@ -1,0 +1,42 @@
+//! Observability for the FIFOMS reproduction: sinks, metrics, profiling.
+//!
+//! This crate is the *consuming* side of the observability layer. The
+//! event vocabulary ([`ObsEvent`](fifoms_types::ObsEvent)) lives in
+//! `fifoms-types` so emitting crates (fabric, schedulers) stay free of
+//! any sink or serialisation machinery; everything that turns events into
+//! artefacts lives here:
+//!
+//! * [`EventSink`] with three implementations — [`NullSink`] (the
+//!   disabled default; every call is an empty inlined body),
+//!   [`RecordingSink`] (in-memory, for tests) and [`JsonlSink`]
+//!   (streaming JSON Lines, for `--trace-out`);
+//! * [`MetricsRegistry`] — named monotonic counters and last-value
+//!   gauges, snapshot to deterministic JSON for `--metrics-out`;
+//! * [`PhaseProfiler`] — a span-stack wall-clock profiler behind
+//!   `fifoms-repro profile`, producing `BENCH_profile.json`;
+//! * [`ProgressMeter`] — rate-limited human-readable progress lines
+//!   (slots/sec, ETA) for long sweeps;
+//! * [`Json`] — a dependency-free JSON value/writer/parser (the build
+//!   environment has no serde), and [`schema::validate`] — a JSON-Schema
+//!   subset validator CI uses to pin the BENCH_* output shapes.
+//!
+//! The overhead contract (DESIGN.md §8): with no sink attached, no
+//! per-slot event is ever constructed and simulation results are
+//! bit-identical to an unobserved run; with a sink attached, observation
+//! is read-only — it may cost time, never correctness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod profile;
+mod progress;
+pub mod schema;
+mod sink;
+
+pub use json::Json;
+pub use metrics::MetricsRegistry;
+pub use profile::{PhaseProfiler, PhaseStats};
+pub use progress::ProgressMeter;
+pub use sink::{event_to_json, EventSink, JsonlSink, NullSink, RecordingSink};

@@ -1,0 +1,130 @@
+//! A small metrics registry: monotonic counters and last-value gauges.
+//!
+//! Metrics complement the event stream: events answer "what happened in
+//! slot 17", metrics answer "how much of X happened overall". The sweep
+//! runner keeps one registry per run and snapshots it into
+//! `metrics.json`; tests use it to assert monotonicity and totals.
+//!
+//! Keys are ordered (`BTreeMap`) so snapshots are deterministic.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A thread-safe registry of named counters and gauges.
+#[derive(Default, Debug)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Default, Debug)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// A new, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at zero on first use).
+    ///
+    /// Counters are monotonic by construction: there is no decrement or
+    /// reset, so a counter snapshot can only grow over a run's lifetime.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.gauges.get(name).copied()
+    }
+
+    /// Snapshot as `{"counters": {...}, "gauges": {...}}`, keys sorted.
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut counters = Json::object();
+        for (k, v) in &inner.counters {
+            counters.set(k, *v);
+        }
+        let mut gauges = Json::object();
+        for (k, v) in &inner.gauges {
+            gauges.set(k, *v);
+        }
+        let mut out = Json::object();
+        out.set("counters", counters);
+        out.set("gauges", gauges);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("slots"), 0);
+        let mut last = 0;
+        for delta in [1u64, 0, 5, 2] {
+            m.counter_add("slots", delta);
+            let now = m.counter("slots");
+            assert!(now >= last, "counter went backwards: {last} -> {now}");
+            last = now;
+        }
+        assert_eq!(m.counter("slots"), 8);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("backlog"), None);
+        m.gauge_set("backlog", 3.0);
+        m.gauge_set("backlog", 1.5);
+        assert_eq!(m.gauge("backlog"), Some(1.5));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_parses() {
+        let m = MetricsRegistry::new();
+        m.counter_add("z_total", 2);
+        m.counter_add("a_total", 1);
+        m.gauge_set("load", 0.75);
+        let snap = m.snapshot();
+        let text = snap.to_string();
+        // sorted: a_total before z_total
+        assert!(text.find("a_total").unwrap() < text.find("z_total").unwrap());
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("z_total"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("load"))
+                .and_then(Json::as_f64),
+            Some(0.75)
+        );
+    }
+}

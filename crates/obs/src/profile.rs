@@ -1,0 +1,180 @@
+//! Phase profiler: wall-clock attribution of engine phases.
+//!
+//! The engine's slot loop has four phases — traffic generation, admission,
+//! scheduling (the switch's `run_slot`), and statistics — and the `profile`
+//! subcommand wants to know where the time goes. [`PhaseProfiler`] keeps a
+//! span stack keyed by phase name and accumulates *inclusive* and
+//! *exclusive* nanoseconds per phase, plus call counts.
+//!
+//! Overhead: two `Instant::now()` calls per span. To keep the measured run
+//! representative, the engine samples — it profiles every k-th slot and
+//! scales counts, rather than paying clock reads on every slot. The
+//! profiler itself is single-threaded (`&mut self`); each profiled run
+//! owns one.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Accumulated timing for one named phase.
+#[derive(Clone, Copy, Default, Debug, PartialEq)]
+pub struct PhaseStats {
+    /// Number of spans recorded for this phase.
+    pub calls: u64,
+    /// Total wall time inside the phase, including nested phases (ns).
+    pub inclusive_ns: u64,
+    /// Total wall time inside the phase, excluding nested phases (ns).
+    pub exclusive_ns: u64,
+}
+
+/// A stack-based wall-clock profiler over named phases.
+#[derive(Default, Debug)]
+pub struct PhaseProfiler {
+    stats: BTreeMap<&'static str, PhaseStats>,
+    stack: Vec<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    started: Instant,
+    child_ns: u64,
+}
+
+impl PhaseProfiler {
+    /// A new profiler with no recorded spans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a span for `name`. Spans may nest; a child's time is charged
+    /// to its own exclusive total and to every ancestor's inclusive total.
+    pub fn enter(&mut self, name: &'static str) {
+        self.stack.push(OpenSpan {
+            name,
+            started: Instant::now(),
+            child_ns: 0,
+        });
+    }
+
+    /// Close the innermost span. `name` must match the matching
+    /// [`enter`](Self::enter); a mismatch is a bug in the caller and
+    /// panics (the profiler is only used from straight-line engine code).
+    pub fn exit(&mut self, name: &'static str) {
+        let span = self.stack.pop().expect("PhaseProfiler::exit with empty stack");
+        assert_eq!(
+            span.name, name,
+            "unbalanced profiler spans: exit({name}) closes enter({})",
+            span.name
+        );
+        let elapsed = span.started.elapsed().as_nanos() as u64;
+        let entry = self.stats.entry(span.name).or_default();
+        entry.calls += 1;
+        entry.inclusive_ns += elapsed;
+        entry.exclusive_ns += elapsed.saturating_sub(span.child_ns);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += elapsed;
+        }
+    }
+
+    /// Time `f` as one span of `name` and return its result.
+    pub fn span<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        self.enter(name);
+        let out = f();
+        self.exit(name);
+        out
+    }
+
+    /// Current depth of open spans (0 when balanced).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Accumulated stats for `name`, if any span of it has closed.
+    pub fn stats(&self, name: &str) -> Option<PhaseStats> {
+        self.stats.get(name).copied()
+    }
+
+    /// All phases, sorted by name.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseStats)> + '_ {
+        self.stats.iter().map(|(name, stats)| (*name, *stats))
+    }
+
+    /// Snapshot as a JSON array of per-phase objects, sorted by name.
+    pub fn snapshot(&self) -> Json {
+        let mut phases = Vec::new();
+        for (name, stats) in &self.stats {
+            let mut obj = Json::object();
+            obj.set("phase", *name);
+            obj.set("calls", stats.calls);
+            obj.set("inclusive_ns", stats.inclusive_ns);
+            obj.set("exclusive_ns", stats.exclusive_ns);
+            phases.push(obj);
+        }
+        Json::Arr(phases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_split_exclusive_time() {
+        let mut p = PhaseProfiler::new();
+        p.enter("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.enter("inner");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        p.exit("inner");
+        p.exit("outer");
+        assert_eq!(p.depth(), 0);
+
+        let outer = p.stats("outer").unwrap();
+        let inner = p.stats("inner").unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        // inner is fully contained in outer
+        assert!(outer.inclusive_ns >= inner.inclusive_ns);
+        // outer's exclusive excludes inner's whole inclusive time
+        assert!(outer.exclusive_ns <= outer.inclusive_ns - inner.inclusive_ns);
+        // leaf spans: exclusive == inclusive
+        assert_eq!(inner.exclusive_ns, inner.inclusive_ns);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let mut p = PhaseProfiler::new();
+        for _ in 0..3 {
+            p.span("work", || std::hint::black_box(17 * 23));
+        }
+        let s = p.stats("work").unwrap();
+        assert_eq!(s.calls, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn mismatched_exit_panics() {
+        let mut p = PhaseProfiler::new();
+        p.enter("a");
+        p.exit("b");
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let mut p = PhaseProfiler::new();
+        p.span("stats", || ());
+        p.span("traffic", || ());
+        let snap = p.snapshot();
+        let arr = snap.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        // sorted by name
+        assert_eq!(arr[0].get("phase").and_then(Json::as_str), Some("stats"));
+        assert_eq!(arr[1].get("phase").and_then(Json::as_str), Some("traffic"));
+        for phase in arr {
+            assert!(phase.get("calls").and_then(Json::as_f64).unwrap() >= 1.0);
+            assert!(phase.get("inclusive_ns").is_some());
+            assert!(phase.get("exclusive_ns").is_some());
+        }
+    }
+}

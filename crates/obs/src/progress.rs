@@ -1,0 +1,160 @@
+//! Periodic human-readable progress for long sweeps.
+//!
+//! A sweep of 10^5-slot cells can run for minutes; the checkpoint journal
+//! (PR 1) makes it resumable, this makes it *watchable*. [`ProgressMeter`]
+//! is shared by the sweep workers behind an `Arc`: each worker reports
+//! slots and cells as it completes them, and whichever worker crosses the
+//! reporting interval renders a one-line summary (cells done, slots/sec,
+//! backlog of remaining cells, ETA).
+//!
+//! All state is atomic, so reporting never serialises the workers. Time
+//! comes from a monotonic [`Instant`]; the line is rate-limited by an
+//! atomic compare-exchange on elapsed milliseconds so at most one worker
+//! wins each interval.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared progress state for one sweep.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    started: Instant,
+    cells_total: u64,
+    cells_done: AtomicU64,
+    slots_done: AtomicU64,
+    interval_ms: u64,
+    /// Elapsed-ms threshold the next report must cross.
+    next_report_ms: AtomicU64,
+}
+
+impl ProgressMeter {
+    /// A meter for `cells_total` cells, reporting at most every `interval`.
+    pub fn new(cells_total: u64, interval: Duration) -> Self {
+        let interval_ms = interval.as_millis().max(1) as u64;
+        Self {
+            started: Instant::now(),
+            cells_total,
+            cells_done: AtomicU64::new(0),
+            slots_done: AtomicU64::new(0),
+            interval_ms,
+            next_report_ms: AtomicU64::new(interval_ms),
+        }
+    }
+
+    /// Record `slots` simulated slots (callable mid-cell).
+    pub fn add_slots(&self, slots: u64) {
+        self.slots_done.fetch_add(slots, Ordering::Relaxed);
+    }
+
+    /// Record one finished cell. Returns a rendered progress line if this
+    /// call crossed the reporting interval (at most one caller per
+    /// interval gets `Some`), or on the final cell.
+    pub fn cell_done(&self) -> Option<String> {
+        let done = self.cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed_ms = self.started.elapsed().as_millis() as u64;
+        let last = done >= self.cells_total;
+        if !last {
+            let due = self.next_report_ms.load(Ordering::Relaxed);
+            if elapsed_ms < due
+                || self
+                    .next_report_ms
+                    .compare_exchange(
+                        due,
+                        elapsed_ms + self.interval_ms,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+            {
+                return None;
+            }
+        }
+        Some(self.render(done, elapsed_ms))
+    }
+
+    /// Cells completed so far.
+    pub fn cells_done(&self) -> u64 {
+        self.cells_done.load(Ordering::Relaxed)
+    }
+
+    /// Slots simulated so far.
+    pub fn slots_done(&self) -> u64 {
+        self.slots_done.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, done: u64, elapsed_ms: u64) -> String {
+        let slots = self.slots_done.load(Ordering::Relaxed);
+        let secs = (elapsed_ms as f64 / 1000.0).max(1e-3);
+        let slots_per_sec = slots as f64 / secs;
+        let remaining = self.cells_total.saturating_sub(done);
+        let eta = if done > 0 && remaining > 0 {
+            let per_cell = secs / done as f64;
+            format_duration(per_cell * remaining as f64)
+        } else {
+            "0s".to_string()
+        };
+        format!(
+            "[sweep] {done}/{total} cells | {rate} slots/s | {remaining} cells left | eta {eta}",
+            total = self.cells_total,
+            rate = format_rate(slots_per_sec),
+        )
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+fn format_duration(secs: f64) -> String {
+    let total = secs.round() as u64;
+    if total >= 3600 {
+        format!("{}h{:02}m", total / 3600, (total % 3600) / 60)
+    } else if total >= 60 {
+        format!("{}m{:02}s", total / 60, total % 60)
+    } else {
+        format!("{total}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_cell_always_reports() {
+        let meter = ProgressMeter::new(3, Duration::from_secs(3600));
+        meter.add_slots(1000);
+        assert_eq!(meter.cell_done(), None);
+        assert_eq!(meter.cell_done(), None);
+        let line = meter.cell_done().expect("final cell must report");
+        assert!(line.contains("3/3 cells"), "line: {line}");
+        assert!(line.contains("slots/s"), "line: {line}");
+        assert!(line.contains("eta 0s"), "line: {line}");
+        assert_eq!(meter.cells_done(), 3);
+        assert_eq!(meter.slots_done(), 1000);
+    }
+
+    #[test]
+    fn zero_interval_reports_every_cell() {
+        let meter = ProgressMeter::new(2, Duration::from_millis(0));
+        // interval clamps to 1ms; sleep past it to guarantee a report.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(meter.cell_done().is_some());
+    }
+
+    #[test]
+    fn rate_and_duration_formatting() {
+        assert_eq!(format_rate(123.4), "123");
+        assert_eq!(format_rate(4_500.0), "4.5k");
+        assert_eq!(format_rate(2_500_000.0), "2.5M");
+        assert_eq!(format_duration(12.0), "12s");
+        assert_eq!(format_duration(95.0), "1m35s");
+        assert_eq!(format_duration(7262.0), "2h01m");
+    }
+}

@@ -1,0 +1,184 @@
+//! A JSON-Schema-subset validator for the checked-in BENCH_* schemas.
+//!
+//! CI validates `BENCH_profile.json` and `BENCH_core.json` against schemas
+//! in `schemas/` so the emitted shape cannot drift silently. Rather than
+//! depending on python/jq in CI, validation is done here, in Rust, against
+//! the subset of JSON Schema the repo actually uses:
+//!
+//! * `type` — one of `"object" | "array" | "string" | "number" |
+//!   "integer" | "boolean" | "null"`, or an array of those;
+//! * `required` — list of required object keys;
+//! * `properties` — per-key subschemas (unknown keys are allowed);
+//! * `items` — subschema applied to every array element;
+//! * `minItems` — minimum array length;
+//! * `enum` — list of allowed exact values.
+//!
+//! Anything else in a schema document is ignored, which is the standard
+//! permissive reading. Errors carry a JSON-pointer-ish path so drift is
+//! easy to locate.
+
+use crate::json::Json;
+
+/// Validate `value` against `schema`. Returns the first violation found,
+/// as `"<path>: <problem>"`.
+pub fn validate(value: &Json, schema: &Json) -> Result<(), String> {
+    validate_at(value, schema, "$")
+}
+
+fn validate_at(value: &Json, schema: &Json, path: &str) -> Result<(), String> {
+    if let Some(expected) = schema.get("type") {
+        check_type(value, expected, path)?;
+    }
+    if let Some(allowed) = schema.get("enum").and_then(Json::as_arr) {
+        if !allowed.contains(value) {
+            return Err(format!("{path}: value not in enum"));
+        }
+    }
+    if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+        for key in required {
+            let key = key
+                .as_str()
+                .ok_or_else(|| format!("{path}: non-string entry in required"))?;
+            if value.get(key).is_none() {
+                return Err(format!("{path}: missing required key {key:?}"));
+            }
+        }
+    }
+    if let Some(Json::Obj(props)) = schema.get("properties") {
+        for (key, subschema) in props {
+            if let Some(sub) = value.get(key) {
+                validate_at(sub, subschema, &format!("{path}.{key}"))?;
+            }
+        }
+    }
+    if let Some(min) = schema.get("minItems").and_then(Json::as_f64) {
+        if let Json::Arr(items) = value {
+            if (items.len() as f64) < min {
+                return Err(format!(
+                    "{path}: array has {} items, minItems is {min}",
+                    items.len()
+                ));
+            }
+        }
+    }
+    if let Some(item_schema) = schema.get("items") {
+        if let Json::Arr(items) = value {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(item, item_schema, &format!("{path}[{i}]"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_type(value: &Json, expected: &Json, path: &str) -> Result<(), String> {
+    match expected {
+        Json::Str(name) => {
+            if type_matches(value, name) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{path}: expected type {name}, got {}",
+                    value.type_name()
+                ))
+            }
+        }
+        Json::Arr(names) => {
+            let ok = names
+                .iter()
+                .filter_map(Json::as_str)
+                .any(|name| type_matches(value, name));
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{path}: value of type {} matches none of the allowed types",
+                    value.type_name()
+                ))
+            }
+        }
+        _ => Err(format!("{path}: malformed schema: bad \"type\"")),
+    }
+}
+
+fn type_matches(value: &Json, name: &str) -> bool {
+    match name {
+        "integer" => matches!(value, Json::Num(x) if x.fract() == 0.0),
+        other => value.type_name() == other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(text: &str) -> Json {
+        Json::parse(text).expect("test schema parses")
+    }
+
+    #[test]
+    fn accepts_conforming_document() {
+        let s = schema(
+            r#"{
+                "type": "object",
+                "required": ["name", "phases"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "phases": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "required": ["phase", "calls"],
+                            "properties": {
+                                "phase": {"type": "string"},
+                                "calls": {"type": "integer"}
+                            }
+                        }
+                    }
+                }
+            }"#,
+        );
+        let doc = Json::parse(
+            r#"{"name": "profile", "phases": [{"phase": "traffic", "calls": 10, "extra": true}]}"#,
+        )
+        .unwrap();
+        validate(&doc, &s).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_required_key_with_path() {
+        let s = schema(r#"{"type": "object", "required": ["slots"]}"#);
+        let err = validate(&Json::parse("{}").unwrap(), &s).unwrap_err();
+        assert!(err.contains("slots"), "err: {err}");
+    }
+
+    #[test]
+    fn rejects_wrong_type_deep_in_array() {
+        let s = schema(
+            r#"{"type": "array", "items": {"type": "object", "properties": {"x": {"type": "number"}}}}"#,
+        );
+        let doc = Json::parse(r#"[{"x": 1}, {"x": "oops"}]"#).unwrap();
+        let err = validate(&doc, &s).unwrap_err();
+        assert!(err.starts_with("$[1].x"), "err: {err}");
+    }
+
+    #[test]
+    fn integer_vs_number() {
+        let s = schema(r#"{"type": "integer"}"#);
+        validate(&Json::Num(4.0), &s).unwrap();
+        assert!(validate(&Json::Num(4.5), &s).is_err());
+        let s2 = schema(r#"{"type": ["integer", "null"]}"#);
+        validate(&Json::Null, &s2).unwrap();
+    }
+
+    #[test]
+    fn min_items_and_enum() {
+        let s = schema(r#"{"type": "array", "minItems": 2}"#);
+        assert!(validate(&Json::parse("[1]").unwrap(), &s).is_err());
+        validate(&Json::parse("[1,2]").unwrap(), &s).unwrap();
+        let e = schema(r#"{"enum": ["stable", "saturated"]}"#);
+        validate(&Json::Str("stable".into()), &e).unwrap();
+        assert!(validate(&Json::Str("weird".into()), &e).is_err());
+    }
+}

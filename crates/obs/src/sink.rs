@@ -1,0 +1,269 @@
+//! Event sinks: where [`ObsEvent`]s go.
+//!
+//! A sink receives `(scope, event)` pairs, where `scope` identifies the
+//! run the event belongs to (for a single run it is the switch label; for
+//! a sweep it is `"<switch>@<load>"` so one JSONL file can hold a whole
+//! grid). Sinks take `&self` and must be `Send + Sync`: the sweep runner
+//! shares one sink across worker threads behind an `Arc`.
+//!
+//! [`NullSink`] is the disabled default — every call is an empty inlined
+//! body, so the instrumented paths cost nothing beyond the events they
+//! chose not to construct. [`RecordingSink`] buffers in memory for tests;
+//! [`JsonlSink`] streams one JSON object per line to a writer.
+
+use crate::json::Json;
+use fifoms_types::ObsEvent;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A consumer of observability events.
+pub trait EventSink: Send + Sync {
+    /// Accept one event from the run identified by `scope`.
+    fn emit(&self, scope: &str, event: &ObsEvent);
+
+    /// Flush any buffered output (default: nothing to do).
+    fn flush(&self) {}
+}
+
+/// The disabled sink: discards everything.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn emit(&self, _scope: &str, _event: &ObsEvent) {}
+}
+
+/// An in-memory sink for tests and programmatic inspection.
+#[derive(Default, Debug)]
+pub struct RecordingSink {
+    events: Mutex<Vec<(String, ObsEvent)>>,
+}
+
+impl RecordingSink {
+    /// A new, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all `(scope, event)` pairs received so far.
+    pub fn events(&self) -> Vec<(String, ObsEvent)> {
+        self.events.lock().expect("recording sink poisoned").clone()
+    }
+
+    /// Number of events received so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recording sink poisoned").len()
+    }
+
+    /// Whether no events have been received.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn emit(&self, scope: &str, event: &ObsEvent) {
+        self.events
+            .lock()
+            .expect("recording sink poisoned")
+            .push((scope.to_string(), event.clone()));
+    }
+}
+
+/// Streams events as JSON Lines: one compact object per event.
+///
+/// Write errors are counted, not propagated — tracing must never abort a
+/// simulation. Check [`JsonlSink::write_errors`] after the run if the
+/// trace file matters.
+pub struct JsonlSink<W: Write + Send> {
+    inner: Mutex<JsonlInner<W>>,
+}
+
+struct JsonlInner<W> {
+    writer: W,
+    write_errors: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer (typically a `BufWriter<File>`).
+    pub fn new(writer: W) -> Self {
+        Self {
+            inner: Mutex::new(JsonlInner {
+                writer,
+                write_errors: 0,
+            }),
+        }
+    }
+
+    /// Number of lines that failed to write.
+    pub fn write_errors(&self) -> u64 {
+        self.inner.lock().expect("jsonl sink poisoned").write_errors
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&self, scope: &str, event: &ObsEvent) {
+        let line = event_to_json(scope, event).to_string();
+        let mut inner = self.inner.lock().expect("jsonl sink poisoned");
+        if writeln!(inner.writer, "{line}").is_err() {
+            inner.write_errors += 1;
+        }
+    }
+
+    fn flush(&self) {
+        let mut inner = self.inner.lock().expect("jsonl sink poisoned");
+        if inner.writer.flush().is_err() {
+            inner.write_errors += 1;
+        }
+    }
+}
+
+/// Render one event as the JSONL object written by [`JsonlSink`].
+///
+/// Every line carries `event` (the kind tag) and `scope`; slot-scoped
+/// events carry `slot`. The remaining fields are kind-specific and match
+/// the field names of [`ObsEvent`].
+pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
+    let mut obj = Json::object();
+    obj.set("event", event.kind());
+    obj.set("scope", scope);
+    if let Some(slot) = event.slot() {
+        obj.set("slot", slot.0);
+    }
+    match event {
+        ObsEvent::RunMeta {
+            switch,
+            traffic,
+            params,
+        } => {
+            obj.set("switch", switch.as_str());
+            obj.set("traffic", traffic.as_str());
+            let mut p = Json::object();
+            for (name, value) in params {
+                p.set(name, *value);
+            }
+            obj.set("params", p);
+        }
+        ObsEvent::SlotSched {
+            slot: _,
+            active_ports,
+            matched_inputs,
+            rounds,
+            connections,
+            multicast_inputs,
+            fanout_splits,
+            completed_packets,
+            backlog_packets,
+            backlog_copies,
+            oldest_age,
+        } => {
+            obj.set("active_ports", *active_ports);
+            obj.set("matched_inputs", *matched_inputs);
+            obj.set("rounds", *rounds);
+            obj.set("connections", *connections);
+            obj.set("multicast_inputs", *multicast_inputs);
+            obj.set("fanout_splits", *fanout_splits);
+            obj.set("completed_packets", *completed_packets);
+            obj.set("backlog_packets", *backlog_packets);
+            obj.set("backlog_copies", *backlog_copies);
+            obj.set("oldest_age", *oldest_age);
+        }
+        ObsEvent::FaultMasked {
+            slot: _,
+            input,
+            copies_dropped,
+            packet_dropped,
+        } => {
+            obj.set("input", u64::from(input.0));
+            obj.set("copies_dropped", *copies_dropped);
+            obj.set("packet_dropped", *packet_dropped);
+        }
+        ObsEvent::InvariantViolated { slot: _, detail } => {
+            obj.set("detail", detail.as_str());
+        }
+    }
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::{PortId, Slot};
+
+    fn sample_sched() -> ObsEvent {
+        ObsEvent::SlotSched {
+            slot: Slot(42),
+            active_ports: 5,
+            matched_inputs: 4,
+            rounds: 2,
+            connections: 7,
+            multicast_inputs: 2,
+            fanout_splits: 1,
+            completed_packets: 3,
+            backlog_packets: 11,
+            backlog_copies: 19,
+            oldest_age: Some(6),
+        }
+    }
+
+    #[test]
+    fn recording_sink_keeps_order_and_scope() {
+        let sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.emit("a", &sample_sched());
+        sink.emit(
+            "b",
+            &ObsEvent::FaultMasked {
+                slot: Slot(1),
+                input: PortId(0),
+                copies_dropped: 1,
+                packet_dropped: false,
+            },
+        );
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, "a");
+        assert_eq!(events[1].1.kind(), "fault_masked");
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit("FIFOMS@0.9", &sample_sched());
+        sink.emit(
+            "FIFOMS@0.9",
+            &ObsEvent::RunMeta {
+                switch: "FIFOMS".into(),
+                traffic: "bernoulli".into(),
+                params: vec![("p".into(), 0.3), ("b".into(), 0.2)],
+            },
+        );
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0);
+        let inner = sink.inner.into_inner().unwrap();
+        let text = String::from_utf8(inner.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let sched = Json::parse(lines[0]).unwrap();
+        assert_eq!(sched.get("event").and_then(Json::as_str), Some("slot_sched"));
+        assert_eq!(sched.get("slot").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(sched.get("rounds").and_then(Json::as_f64), Some(2.0));
+        let meta = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            meta.get("params").and_then(|p| p.get("b")).and_then(Json::as_f64),
+            Some(0.2)
+        );
+        assert_eq!(meta.get("slot"), None);
+    }
+
+    #[test]
+    fn oldest_age_none_serialises_as_null() {
+        let mut event = sample_sched();
+        if let ObsEvent::SlotSched { oldest_age, .. } = &mut event {
+            *oldest_age = None;
+        }
+        let json = event_to_json("s", &event);
+        assert_eq!(json.get("oldest_age"), Some(&Json::Null));
+    }
+}

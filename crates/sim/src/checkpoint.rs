@@ -136,6 +136,13 @@ pub(crate) fn encode_line(idx: usize, key: u64, outcome: &CellOutcome) -> String
             t.push(format!("sw={}", sanitize(&r.switch_name)));
             t.push(format!("tr={}", sanitize(&r.traffic_name)));
             t.push(format!("ol={}", fmt_opt_f64(r.offered_load)));
+            let wl = r
+                .workload
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", sanitize(k).replace([';', ':'], " ")))
+                .collect::<Vec<_>>()
+                .join(";");
+            t.push(format!("wl={wl}"));
             t.push(format!("din={}", r.delay.mean_input_oriented));
             t.push(format!("dout={}", r.delay.mean_output_oriented));
             t.push(format!("p99={}", fmt_opt_u64(r.delay.p99_output)));
@@ -200,6 +207,22 @@ fn parse_opt_f64(tokens: &[(&str, &str)], key: &str) -> Result<Option<f64>, Stri
         .map_err(|_| format!("bad value {raw} for {key}"))
 }
 
+/// Decode the `wl=` workload-provenance field. Journals written before the
+/// field existed simply lack it; those rows decode with an empty workload
+/// rather than failing, so PR 1 journals stay resumable.
+fn parse_workload(tokens: &[(&str, &str)]) -> Result<Vec<(String, f64)>, String> {
+    let raw = field(tokens, "wl").unwrap_or("");
+    let mut out = Vec::new();
+    for pair in raw.split(';').filter(|p| !p.is_empty()) {
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("bad workload pair {pair}"))?;
+        let num: f64 = v.parse().map_err(|_| format!("bad workload value {v}"))?;
+        out.push((k.to_string(), num));
+    }
+    Ok(out)
+}
+
 fn parse_opt_u64(tokens: &[(&str, &str)], key: &str) -> Result<Option<u64>, String> {
     let raw = field(tokens, key)?;
     if raw == "none" {
@@ -236,6 +259,7 @@ pub(crate) fn decode_line(line: &str, sweep: &Sweep) -> Result<(usize, u64, Cell
                 switch_name: field(&tokens, "sw")?.to_string(),
                 traffic_name: field(&tokens, "tr")?.to_string(),
                 offered_load: parse_opt_f64(&tokens, "ol")?,
+                workload: parse_workload(&tokens)?,
                 delay: DelaySummary {
                     mean_input_oriented: parse_num(&tokens, "din")?,
                     mean_output_oriented: parse_num(&tokens, "dout")?,
@@ -468,6 +492,26 @@ mod tests {
         assert_eq!(a.switch, b.switch);
         assert_eq!(a.load, b.load);
         assert_eq!(format!("{:?}", a.result), format!("{:?}", b.result));
+    }
+
+    #[test]
+    fn lines_without_workload_field_still_decode() {
+        // Journals written before the `wl=` field existed must stay
+        // resumable; a missing field decodes as an empty workload.
+        let s = sweep();
+        let outcome = sample_row(&s);
+        let line = encode_line(1, 3, &outcome);
+        let stripped: String = line
+            .split('\t')
+            .filter(|tok| !tok.starts_with("wl="))
+            .collect::<Vec<_>>()
+            .join("\t");
+        assert_ne!(line, stripped, "encoded line should carry wl=");
+        let (_, _, decoded) = decode_line(&stripped, &s).expect("legacy line parses");
+        let CellOutcome::Completed(row) = decoded else {
+            panic!("wrong status");
+        };
+        assert!(row.result.workload.is_empty());
     }
 
     #[test]

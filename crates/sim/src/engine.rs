@@ -1,12 +1,13 @@
 //! The per-run simulation loop.
 
 use fifoms_fabric::Switch;
+use fifoms_obs::{EventSink, PhaseProfiler};
 use fifoms_stats::{
     DelayStats, DelaySummary, OccupancySummary, OccupancyTracker, RunningStat,
     SaturationDetector, SaturationVerdict,
 };
 use fifoms_traffic::TrafficModel;
-use fifoms_types::{Packet, PacketId, PortId, SimError, Slot};
+use fifoms_types::{ObsEvent, Packet, PacketId, PortId, SimError, Slot};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +57,11 @@ pub struct RunResult {
     pub traffic_name: String,
     /// Analytic effective load of the workload, if known.
     pub offered_load: Option<f64>,
+    /// The workload's defining parameters as `(name, value)` pairs (from
+    /// [`TrafficModel::params`]). Makes a row self-describing even when
+    /// `offered_load` is `None` — the provenance survives into checkpoint
+    /// journals, metrics exports and traces.
+    pub workload: Vec<(String, f64)>,
     /// Delay metrics (§V: input- and output-oriented averages).
     pub delay: DelaySummary,
     /// Queue-size metrics (§V: average and maximum queue size).
@@ -112,6 +118,43 @@ pub fn try_simulate(
     traffic: &mut dyn TrafficModel,
     cfg: &RunConfig,
 ) -> Result<RunResult, SimError> {
+    try_simulate_observed(switch, traffic, cfg, &mut Observer::none())
+}
+
+/// Observation attachments for one run. Both channels default to off;
+/// a disabled observer makes [`try_simulate_observed`] take the same code
+/// path as [`try_simulate`] (which is implemented as exactly that), so
+/// observation can never perturb an unobserved result.
+pub struct Observer<'a> {
+    /// Event destination plus the scope label events are tagged with.
+    /// When set, the engine emits one [`ObsEvent::RunMeta`] before slot 0
+    /// and drains the switch stack's buffered events every slot.
+    pub sink: Option<(&'a dyn EventSink, &'a str)>,
+    /// Phase profiler plus its sampling stride `k`: every `k`-th slot has
+    /// its four engine phases (`traffic`, `admit`, `schedule`, `stats`)
+    /// timed. Sampling keeps clock reads off most slots so the profiled
+    /// run stays representative.
+    pub profiler: Option<(&'a mut PhaseProfiler, u64)>,
+}
+
+impl Observer<'_> {
+    /// A fully disabled observer.
+    pub fn none() -> Observer<'static> {
+        Observer {
+            sink: None,
+            profiler: None,
+        }
+    }
+}
+
+/// [`try_simulate`] with observation attached: events stream to the
+/// observer's sink and engine phases are sampled into its profiler.
+pub fn try_simulate_observed(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+    obs: &mut Observer<'_>,
+) -> Result<RunResult, SimError> {
     if cfg.warmup >= cfg.slots {
         return Err(SimError::WarmupTooLong {
             warmup: cfg.warmup,
@@ -134,10 +177,47 @@ pub fn try_simulate(
     let mut next_packet = 0u64;
     let mut copies_delivered = 0u64;
     let mut slots_run = 0u64;
+    let mut event_buf: Vec<ObsEvent> = Vec::new();
+
+    if let Some((sink, scope)) = obs.sink {
+        sink.emit(
+            scope,
+            &ObsEvent::RunMeta {
+                switch: switch.name(),
+                traffic: traffic.name(),
+                params: traffic
+                    .params()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            },
+        );
+    }
+
+    // Open/close a profiler span only on sampled slots.
+    fn span(obs: &mut Observer<'_>, timed: bool, name: &'static str, enter: bool) {
+        if !timed {
+            return;
+        }
+        if let Some((p, _)) = obs.profiler.as_mut() {
+            if enter {
+                p.enter(name);
+            } else {
+                p.exit(name);
+            }
+        }
+    }
 
     for t in 0..cfg.slots {
         let now = Slot(t);
+        let timed = match &obs.profiler {
+            Some((_, every)) => t % every.max(&1) == 0,
+            None => false,
+        };
+        span(obs, timed, "traffic", true);
         traffic.next_slot(now, &mut arrivals);
+        span(obs, timed, "traffic", false);
+        span(obs, timed, "admit", true);
         for (input, dests) in arrivals.iter_mut().enumerate() {
             if let Some(dests) = dests.take() {
                 next_packet += 1;
@@ -149,9 +229,20 @@ pub fn try_simulate(
                 ));
             }
         }
+        span(obs, timed, "admit", false);
+        span(obs, timed, "schedule", true);
         let outcome = switch.run_slot(now);
+        span(obs, timed, "schedule", false);
         slots_run = t + 1;
 
+        if let Some((sink, scope)) = obs.sink {
+            switch.drain_events(&mut event_buf);
+            for e in event_buf.drain(..) {
+                sink.emit(scope, &e);
+            }
+        }
+
+        span(obs, timed, "stats", true);
         if t >= cfg.warmup {
             for d in &outcome.departures {
                 delay.record_copy(d.delay(now), d.last_copy);
@@ -163,9 +254,21 @@ pub fn try_simulate(
             switch.queue_sizes(&mut queue_buf);
             occupancy.sample(&queue_buf);
         }
-        if t % cfg.sample_every == 0 && detector.observe(switch.backlog().copies) {
+        let capped = t % cfg.sample_every == 0 && detector.observe(switch.backlog().copies);
+        span(obs, timed, "stats", false);
+        if capped {
             break; // backlog cap exceeded: the point is hopeless
         }
+    }
+
+    if let Some((sink, scope)) = obs.sink {
+        // A final drain catches events buffered during the last slot's
+        // teardown (e.g. a violation recorded on the aborting slot).
+        switch.drain_events(&mut event_buf);
+        for e in event_buf.drain(..) {
+            sink.emit(scope, &e);
+        }
+        sink.flush();
     }
 
     let measured_slots = slots_run.saturating_sub(cfg.warmup).max(1);
@@ -173,6 +276,11 @@ pub fn try_simulate(
         switch_name: switch.name(),
         traffic_name: traffic.name(),
         offered_load: traffic.effective_load(),
+        workload: traffic
+            .params()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
         delay: delay.summary(),
         occupancy: occupancy.summary(),
         mean_rounds: rounds.mean(),

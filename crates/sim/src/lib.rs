@@ -26,7 +26,14 @@
 //!   finished cell so a killed sweep resumes where it stopped;
 //! * [`CheckpointJournal`] is that journal — human-readable, append-only,
 //!   crash-tolerant, keyed to the exact sweep it belongs to;
-//! * [`report`] renders aligned ASCII tables and CSV files.
+//! * [`report`] renders aligned ASCII tables and CSV files;
+//! * observability rides along opt-in: [`try_simulate_observed`] streams
+//!   per-slot events into an [`EventSink`](fifoms_obs::EventSink) and/or
+//!   samples phase timings, [`SweepObserver`] threads a shared sink and a
+//!   progress meter through the sweep runners, and [`profile_run`] is the
+//!   self-profiling harness behind `fifoms-repro profile`. The disabled
+//!   paths are the plain functions themselves, so unobserved results are
+//!   bit-identical by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,14 +41,18 @@
 mod checkpoint;
 mod engine;
 pub mod plot;
+mod profile;
 pub mod report;
 mod spec;
 mod sweep;
 
 pub use checkpoint::CheckpointJournal;
-pub use engine::{simulate, try_simulate, RunConfig, RunResult};
+pub use engine::{simulate, try_simulate, try_simulate_observed, Observer, RunConfig, RunResult};
 // Re-exported so sweep policies can be configured without a direct
 // dependency on the fabric crate.
-pub use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultStats, FaultyFabric};
+pub use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultStats, FaultyFabric, InstrumentedSwitch};
+pub use profile::{profile_run, ProfileReport};
 pub use spec::{SwitchKind, TrafficKind};
-pub use sweep::{CellFailureReason, CellOutcome, CellPolicy, FailedCell, Sweep, SweepRow};
+pub use sweep::{
+    CellFailureReason, CellOutcome, CellPolicy, FailedCell, Sweep, SweepObserver, SweepRow,
+};

@@ -13,14 +13,15 @@
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, OnceLock};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
 
-use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultyFabric};
+use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultyFabric, InstrumentedSwitch, Switch};
+use fifoms_obs::{EventSink, ProgressMeter};
 use fifoms_types::SimError;
 
 use crate::checkpoint::CheckpointJournal;
-use crate::engine::{simulate, try_simulate, RunConfig, RunResult};
+use crate::engine::{simulate, try_simulate_observed, Observer, RunConfig, RunResult};
 use crate::spec::{SwitchKind, TrafficKind};
 
 /// One completed grid cell.
@@ -152,27 +153,51 @@ struct CellSpec {
     switch_seed: u64,
     check_every: Option<u64>,
     faults: Option<FaultConfig>,
+    /// Shared event sink for tracing; `None` runs the cell unobserved on
+    /// the exact same code path (observation is opt-in per sweep).
+    trace: Option<Arc<dyn EventSink>>,
+    /// Scope string stamped on every event of this cell (`label@load`).
+    scope: String,
 }
 
 /// Run one cell, wrapping the switch per policy:
 /// `FaultyFabric(CheckedSwitch(switch))` — the checker sits inside the
 /// faulty fabric so it only sees traffic that actually entered the
 /// switch, keeping conservation meaningful under fault-masking drops.
+/// With tracing enabled, an [`InstrumentedSwitch`] sits innermost (so it
+/// observes the scheduler itself, not the fault layer) and the fault
+/// layer records its maskings as events.
 fn exec_cell(spec: &CellSpec) -> Result<SweepRow, SimError> {
     let mut traffic = spec.tk.try_build(spec.n, spec.traffic_seed)?;
-    let inner = spec.sk.build(spec.n, spec.switch_seed);
+    let built = spec.sk.build(spec.n, spec.switch_seed);
+    let tracing = spec.trace.is_some();
+    let mut obs = Observer {
+        sink: spec
+            .trace
+            .as_deref()
+            .map(|sink| (sink as &dyn EventSink, spec.scope.as_str())),
+        profiler: None,
+    };
+    let inner: Box<dyn Switch> = if tracing {
+        Box::new(InstrumentedSwitch::new(built))
+    } else {
+        built
+    };
     let result = match (spec.check_every, spec.faults) {
         (None, None) => {
             let mut sw = inner;
-            try_simulate(sw.as_mut(), traffic.as_mut(), &spec.run)?
+            try_simulate_observed(sw.as_mut(), traffic.as_mut(), &spec.run, &mut obs)?
         }
         (None, Some(fc)) => {
             let mut sw = FaultyFabric::new(inner, fc);
-            try_simulate(&mut sw, traffic.as_mut(), &spec.run)?
+            if tracing {
+                sw = sw.with_event_recording();
+            }
+            try_simulate_observed(&mut sw, traffic.as_mut(), &spec.run, &mut obs)?
         }
         (Some(k), None) => {
             let mut sw = CheckedSwitch::with_check_every(inner, k);
-            let r = try_simulate(&mut sw, traffic.as_mut(), &spec.run)?;
+            let r = try_simulate_observed(&mut sw, traffic.as_mut(), &spec.run, &mut obs)?;
             if let Some(v) = sw.violation() {
                 return Err(SimError::Invariant(v.clone()));
             }
@@ -180,7 +205,10 @@ fn exec_cell(spec: &CellSpec) -> Result<SweepRow, SimError> {
         }
         (Some(k), Some(fc)) => {
             let mut sw = FaultyFabric::new(CheckedSwitch::with_check_every(inner, k), fc);
-            let r = try_simulate(&mut sw, traffic.as_mut(), &spec.run)?;
+            if tracing {
+                sw = sw.with_event_recording();
+            }
+            let r = try_simulate_observed(&mut sw, traffic.as_mut(), &spec.run, &mut obs)?;
             if let Some(v) = sw.inner().violation() {
                 return Err(SimError::Invariant(v.clone()));
             }
@@ -239,6 +267,28 @@ fn run_cell_guarded(
         Err(_) => Err(CellFailureReason::Timeout {
             millis: limit.as_millis() as u64,
         }),
+    }
+}
+
+/// Optional sweep-level observation shared across all grid cells.
+///
+/// [`SweepObserver::disabled`] carries neither a sink nor a meter, and the
+/// observed runners then take exactly the unobserved code path — results
+/// are bit-identical by construction, not by measurement.
+#[derive(Clone, Default)]
+pub struct SweepObserver {
+    /// Shared event sink every traced cell writes into (e.g. a
+    /// [`JsonlSink`](fifoms_obs::JsonlSink)). Events from concurrent
+    /// cells interleave line-by-line; each carries its cell's scope.
+    pub trace: Option<Arc<dyn EventSink>>,
+    /// Progress meter rendered to stderr as cells finish.
+    pub progress: Option<Arc<ProgressMeter>>,
+}
+
+impl SweepObserver {
+    /// No tracing, no progress: observed runners behave like plain ones.
+    pub fn disabled() -> SweepObserver {
+        SweepObserver::default()
     }
 }
 
@@ -313,7 +363,18 @@ impl Sweep {
     /// a panicking, hung, or invalid cell yields a structured
     /// [`CellOutcome::Failed`] row while every other cell completes.
     pub fn run_robust(&self, threads: usize, policy: &CellPolicy) -> Vec<CellOutcome> {
-        self.run_cells(threads, policy, None, None)
+        self.run_robust_observed(threads, policy, &SweepObserver::disabled())
+    }
+
+    /// [`Sweep::run_robust`] with sweep-level observation: per-slot events
+    /// stream into `obs.trace` and cell completions tick `obs.progress`.
+    pub fn run_robust_observed(
+        &self,
+        threads: usize,
+        policy: &CellPolicy,
+        obs: &SweepObserver,
+    ) -> Vec<CellOutcome> {
+        self.run_cells(threads, policy, None, None, obs)
             .expect("no journal in use")
     }
 
@@ -329,6 +390,21 @@ impl Sweep {
         journal_path: &str,
         resume: bool,
     ) -> Result<Vec<CellOutcome>, SimError> {
+        self.run_checkpointed_observed(threads, policy, journal_path, resume, &SweepObserver::disabled())
+    }
+
+    /// [`Sweep::run_checkpointed`] with sweep-level observation. Cells
+    /// satisfied from the journal still count toward progress (their
+    /// recorded slot totals are credited) but emit no events — they never
+    /// re-run.
+    pub fn run_checkpointed_observed(
+        &self,
+        threads: usize,
+        policy: &CellPolicy,
+        journal_path: &str,
+        resume: bool,
+        obs: &SweepObserver,
+    ) -> Result<Vec<CellOutcome>, SimError> {
         let (journal, loaded) = if resume {
             CheckpointJournal::resume(journal_path, self, policy)?
         } else {
@@ -336,7 +412,7 @@ impl Sweep {
             let cells = self.switches.len() * self.points.len();
             (journal, vec![None; cells])
         };
-        self.run_cells(threads, policy, Some(loaded), Some(&journal))
+        self.run_cells(threads, policy, Some(loaded), Some(&journal), obs)
     }
 
     /// The shared grid engine. Per-cell results land in individual
@@ -348,6 +424,7 @@ impl Sweep {
         policy: &CellPolicy,
         preloaded: Option<Vec<Option<CellOutcome>>>,
         journal: Option<&CheckpointJournal>,
+        obs: &SweepObserver,
     ) -> Result<Vec<CellOutcome>, SimError> {
         let cells: Vec<(usize, usize)> = (0..self.switches.len())
             .flat_map(|si| (0..self.points.len()).map(move |pi| (si, pi)))
@@ -358,6 +435,12 @@ impl Sweep {
                 // Reuse journaled successes; failed cells get another run
                 // (a resume is the natural moment to retry them).
                 if let Some(outcome @ CellOutcome::Completed(_)) = loaded {
+                    if let (Some(p), Some(row)) = (&obs.progress, outcome.row()) {
+                        p.add_slots(row.result.slots_run);
+                        if let Some(line) = p.cell_done() {
+                            eprintln!("{line}");
+                        }
+                    }
                     let _ = slot.set(outcome);
                 }
             }
@@ -372,16 +455,27 @@ impl Sweep {
                     if slots[idx].get().is_some() {
                         continue; // already satisfied by the journal
                     }
-                    let outcome = self.run_cell_isolated(si, pi, policy);
+                    let outcome = self.run_cell_observed(si, pi, policy, obs.trace.clone());
                     if let Some(j) = journal {
                         if let Err(e) = j.record(idx, self, &outcome) {
                             let _ = journal_err.set(e);
+                        }
+                    }
+                    if let Some(p) = &obs.progress {
+                        if let Some(row) = outcome.row() {
+                            p.add_slots(row.result.slots_run);
+                        }
+                        if let Some(line) = p.cell_done() {
+                            eprintln!("{line}");
                         }
                     }
                     let _ = slots[idx].set(outcome);
                 });
             }
         });
+        if let Some(sink) = &obs.trace {
+            sink.flush();
+        }
         if let Some(e) = journal_err.into_inner() {
             return Err(e);
         }
@@ -394,7 +488,17 @@ impl Sweep {
     /// Run the cell at grid position `(si, pi)` under the policy's
     /// isolation: panics contained, optional watchdog, bounded retries.
     pub fn run_cell_isolated(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellOutcome {
-        let spec = self.cell_spec(si, pi, policy);
+        self.run_cell_observed(si, pi, policy, None)
+    }
+
+    fn run_cell_observed(
+        &self,
+        si: usize,
+        pi: usize,
+        policy: &CellPolicy,
+        trace: Option<Arc<dyn EventSink>>,
+    ) -> CellOutcome {
+        let spec = self.cell_spec(si, pi, policy, trace);
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -417,12 +521,19 @@ impl Sweep {
         }
     }
 
-    fn cell_spec(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellSpec {
+    fn cell_spec(
+        &self,
+        si: usize,
+        pi: usize,
+        policy: &CellPolicy,
+        trace: Option<Arc<dyn EventSink>>,
+    ) -> CellSpec {
         let (load, tk) = self.points[pi];
         // Workload seed depends only on the point → identical arrivals for
         // every scheduler; switch seed also varies by scheduler.
         let traffic_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (pi as u64);
         let switch_seed = traffic_seed ^ ((si as u64 + 1) << 32);
+        let scope = format!("{}@{load}", self.switches[si].label());
         CellSpec {
             n: self.n,
             sk: self.switches[si],
@@ -433,6 +544,8 @@ impl Sweep {
             switch_seed,
             check_every: policy.check_every,
             faults: policy.faults,
+            trace,
+            scope,
         }
     }
 

@@ -95,6 +95,10 @@ impl TrafficModel for BernoulliMulticast {
         Some(self.p * self.b * self.n as f64)
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("p", self.p), ("b", self.b)]
+    }
+
     fn name(&self) -> String {
         format!("bernoulli(p={:.4},b={:.2})", self.p, self.b)
     }

@@ -134,6 +134,10 @@ impl TrafficModel for BurstTraffic {
         Some(self.b * self.n as f64 * self.e_on / (self.e_on + self.e_off))
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("e_off", self.e_off), ("e_on", self.e_on), ("b", self.b)]
+    }
+
     fn name(&self) -> String {
         format!(
             "burst(Eoff={:.1},Eon={:.1},b={:.2})",

@@ -64,6 +64,16 @@ pub trait TrafficModel {
         None
     }
 
+    /// The model's defining parameters as `(name, value)` pairs — the
+    /// workload's provenance (`p`, `b`, fanout bounds, burst lengths, ...).
+    ///
+    /// Recorded in run results, checkpoint journals and traces so a result
+    /// row is self-describing even when [`TrafficModel::effective_load`]
+    /// has no closed form and reports `None`.
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+
     /// Short human-readable name for reports.
     fn name(&self) -> String;
 }

@@ -115,6 +115,14 @@ impl TrafficModel for MixedTraffic {
         Some(self.p * self.mean_fanout())
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("p", self.p),
+            ("frac_multicast", self.frac_multicast),
+            ("b", self.b),
+        ]
+    }
+
     fn name(&self) -> String {
         format!(
             "mixed(p={:.4},mc={:.2},b={:.2})",

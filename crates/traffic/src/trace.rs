@@ -228,6 +228,10 @@ impl TrafficModel for TraceRecorder<'_> {
         self.inner.effective_load()
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        self.inner.params()
+    }
+
     fn name(&self) -> String {
         format!("recorded({})", self.inner.name())
     }

@@ -56,6 +56,10 @@ impl TrafficModel for UniformUnicast {
         Some(self.p)
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("p", self.p)]
+    }
+
     fn name(&self) -> String {
         format!("uniform-unicast(p={:.4})", self.p)
     }
@@ -111,6 +115,10 @@ impl TrafficModel for DiagonalUnicast {
 
     fn effective_load(&self) -> Option<f64> {
         Some(self.p)
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("p", self.p)]
     }
 
     fn name(&self) -> String {
@@ -190,6 +198,14 @@ impl TrafficModel for HotspotUnicast {
         // The hot output sees p·h·N which can exceed 1; report the hot
         // output's utilisation as the binding constraint.
         Some(self.p * self.h * self.n as f64)
+    }
+
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("p", self.p),
+            ("hot", self.hot.index() as f64),
+            ("h", self.h),
+        ]
     }
 
     fn name(&self) -> String {

@@ -90,6 +90,10 @@ impl TrafficModel for UniformFanout {
         Some(self.p * (1.0 + self.max_fanout as f64) / 2.0)
     }
 
+    fn params(&self) -> Vec<(&'static str, f64)> {
+        vec![("p", self.p), ("max_fanout", self.max_fanout as f64)]
+    }
+
     fn name(&self) -> String {
         format!("uniform(p={:.4},maxFanout={})", self.p, self.max_fanout)
     }

@@ -137,6 +137,19 @@ pub enum InvariantViolation {
     },
 }
 
+impl InvariantViolation {
+    /// The slot the violation was detected in.
+    pub fn slot(&self) -> Slot {
+        match self {
+            InvariantViolation::DuplicateGrant { slot, .. }
+            | InvariantViolation::GrantOutsideFanout { slot, .. }
+            | InvariantViolation::FanoutOverrun { slot, .. }
+            | InvariantViolation::LastCopyMismatch { slot, .. }
+            | InvariantViolation::ConservationMismatch { slot, .. } => *slot,
+        }
+    }
+}
+
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -23,12 +23,14 @@
 
 mod error;
 mod ids;
+mod obs;
 mod outcome;
 mod packet;
 mod portset;
 
 pub use error::{check_ports, check_probability, InvariantViolation, SimError, TypeError};
 pub use ids::{PacketId, PortId, Slot};
+pub use obs::ObsEvent;
 pub use outcome::{Departure, SlotOutcome};
 pub use packet::Packet;
 pub use portset::{PortSet, PortSetIter};

@@ -1,0 +1,139 @@
+//! Observability vocabulary: the structured events switches and fabric
+//! wrappers can report about a run.
+//!
+//! The event types live here (rather than in `fifoms-obs`) so that the
+//! fabric and scheduler crates can *emit* events without depending on any
+//! sink, serialisation or metrics machinery. The `fifoms-obs` crate
+//! provides the consuming side: sinks, JSONL export, metric registries and
+//! the profiling harness.
+//!
+//! Events are plain data. Emitting one costs a `Vec::push`; when no trace
+//! sink is attached, nothing in the workspace constructs per-slot events
+//! at all, so the hot path pays only an untaken branch.
+
+use crate::{PortId, Slot};
+
+/// One structured observation about a run.
+///
+/// The taxonomy (see `DESIGN.md` §8):
+///
+/// * [`ObsEvent::RunMeta`] — once per run: who ran what, with the full
+///   workload parameter provenance (`p`, `b`, fanout bounds, burst
+///   lengths, ...) so a trace is self-describing even when the workload
+///   has no closed-form offered load;
+/// * [`ObsEvent::SlotSched`] — once per (non-idle) slot: the scheduler's
+///   per-slot matching dynamics, derived generically from the
+///   [`SlotOutcome`](crate::SlotOutcome) by an instrumentation wrapper;
+/// * [`ObsEvent::FaultMasked`] — a fault-injection wrapper trimmed or
+///   dropped an arriving packet;
+/// * [`ObsEvent::InvariantViolated`] — a runtime invariant checker caught
+///   a structural violation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ObsEvent {
+    /// Identity and workload provenance of one run, emitted before slot 0.
+    RunMeta {
+        /// Scheduler name as reported by the switch.
+        switch: String,
+        /// Workload name as reported by the traffic model.
+        traffic: String,
+        /// The workload's defining parameters as `(name, value)` pairs
+        /// (e.g. `("p", 0.25)`, `("b", 0.2)`). Self-describing provenance
+        /// for rows whose analytic `offered_load` is unknown.
+        params: Vec<(String, f64)>,
+    },
+    /// Per-slot scheduler dynamics (the Fig. 5 view, per slot instead of
+    /// averaged).
+    SlotSched {
+        /// The slot this record describes.
+        slot: Slot,
+        /// Ports with at least one queued packet before scheduling (the
+        /// demand side of the request phase).
+        active_ports: u32,
+        /// Distinct inputs that transmitted at least one copy this slot.
+        matched_inputs: u32,
+        /// Request/grant iterations executed (iterations-to-convergence).
+        rounds: u32,
+        /// Crosspoint connections made (a fanout-`k` transfer counts `k`).
+        connections: u32,
+        /// Inputs that used the crossbar's native multicast (two or more
+        /// copies in one slot).
+        multicast_inputs: u32,
+        /// Packets served *partially* this slot (fanout splitting: some
+        /// copies sent, a residue stays queued).
+        fanout_splits: u32,
+        /// Packets whose final copy departed this slot.
+        completed_packets: u32,
+        /// Distinct packets still queued after the slot.
+        backlog_packets: u64,
+        /// Undelivered copies still queued after the slot.
+        backlog_copies: u64,
+        /// Age in slots of the oldest packet still queued after the slot
+        /// (`None` when the switch drained): the starvation indicator.
+        oldest_age: Option<u64>,
+    },
+    /// A fault-injection wrapper masked part or all of an arrival.
+    FaultMasked {
+        /// The arrival slot the fault applied to.
+        slot: Slot,
+        /// The input port the packet arrived on.
+        input: PortId,
+        /// Copies removed from the packet's fanout.
+        copies_dropped: u32,
+        /// Whether the whole packet was dropped (entire fanout dead).
+        packet_dropped: bool,
+    },
+    /// A runtime invariant checker recorded its (first, sticky) violation.
+    InvariantViolated {
+        /// The slot the violation was detected.
+        slot: Slot,
+        /// Human-readable rendering of the violation.
+        detail: String,
+    },
+}
+
+impl ObsEvent {
+    /// The event's kind as a stable lowercase tag (the `"event"` field of
+    /// the JSONL export).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::RunMeta { .. } => "run_meta",
+            ObsEvent::SlotSched { .. } => "slot_sched",
+            ObsEvent::FaultMasked { .. } => "fault_masked",
+            ObsEvent::InvariantViolated { .. } => "invariant_violated",
+        }
+    }
+
+    /// The slot the event is anchored to, if it is slot-scoped.
+    pub fn slot(&self) -> Option<Slot> {
+        match self {
+            ObsEvent::RunMeta { .. } => None,
+            ObsEvent::SlotSched { slot, .. }
+            | ObsEvent::FaultMasked { slot, .. }
+            | ObsEvent::InvariantViolated { slot, .. } => Some(*slot),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let meta = ObsEvent::RunMeta {
+            switch: "FIFOMS".into(),
+            traffic: "bernoulli".into(),
+            params: vec![("p".into(), 0.2)],
+        };
+        assert_eq!(meta.kind(), "run_meta");
+        assert_eq!(meta.slot(), None);
+        let fault = ObsEvent::FaultMasked {
+            slot: Slot(7),
+            input: PortId(3),
+            copies_dropped: 2,
+            packet_dropped: false,
+        };
+        assert_eq!(fault.kind(), "fault_masked");
+        assert_eq!(fault.slot(), Some(Slot(7)));
+    }
+}

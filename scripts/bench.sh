@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark driver for the workspace.
+#
+#   scripts/bench.sh           full run: core bench (BENCH_core.json) +
+#                              self-profile (BENCH_profile.json), then
+#                              schema validation via `check-bench`
+#   scripts/bench.sh --smoke   fast CI mode: short runs, same artifacts
+#
+# Artifacts land in the repository root and validate against the schemas
+# under schemas/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$SMOKE" == 1 ]]; then
+  PROFILE_SLOTS=10000
+  export BENCH_SMOKE=1
+else
+  PROFILE_SLOTS=100000
+fi
+
+echo "== core bench (FIFOMS vs iSLIP slots/sec) =="
+cargo bench -p fifoms-bench --bench core
+
+echo "== self-profile (engine phase breakdown) =="
+cargo run --release --quiet -p fifoms-cli -- profile --slots "$PROFILE_SLOTS"
+
+echo "== validate artifacts against schemas/ =="
+cargo run --release --quiet -p fifoms-cli -- check-bench
+
+echo "bench artifacts written: BENCH_core.json BENCH_profile.json"

@@ -3,7 +3,10 @@
 #   1. clippy over every crate and target, warnings denied;
 #   2. the full test suite in the dev profile, which compiles with
 #      debug-assertions (and overflow checks) enabled — the runtime
-#      invariant checks in fabric/core rely on them firing.
+#      invariant checks in fabric/core rely on them firing;
+#   3. a smoke run of the self-profiling harness plus schema validation
+#      of the benchmark artifacts it writes (schemas/ must stay in sync
+#      with the emitters).
 #
 # Run from anywhere inside the repository.
 
@@ -15,5 +18,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tests (dev profile, debug-assertions on) =="
 cargo test --workspace --quiet
+
+echo "== profile smoke + artifact schema validation =="
+cargo run --release --quiet -p fifoms-cli -- profile --slots 10000
+cargo run --release --quiet -p fifoms-cli -- check-bench
 
 echo "CI checks passed."

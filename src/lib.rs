@@ -38,6 +38,7 @@
 //! | [`core`] | data/address cells, VOQ sets, the FIFOMS scheduler and switch |
 //! | [`baselines`] | TATRA, iSLIP, OQ-FIFO, PIM, WBA, naive multicast FIFO |
 //! | [`sim`] | the slot loop, experiment specs, parallel sweeps, report tables |
+//! | [`obs`] | event sinks, metrics, phase profiling, JSONL traces, progress |
 //! | [`analytic`] | Karol-1987 and M/D/1 closed forms for simulator validation |
 //!
 //! The `fifoms-repro` binary (crate `fifoms-cli`) regenerates Figs. 4–8;
@@ -50,6 +51,7 @@ pub use fifoms_analytic as analytic;
 pub use fifoms_baselines as baselines;
 pub use fifoms_core as core;
 pub use fifoms_fabric as fabric;
+pub use fifoms_obs as obs;
 pub use fifoms_sim as sim;
 pub use fifoms_stats as stats;
 pub use fifoms_traffic as traffic;
@@ -64,14 +66,19 @@ pub mod prelude {
     pub use fifoms_core::{FifomsConfig, FifomsScheduler, MulticastVoqSwitch, TieBreak};
     pub use fifoms_fabric::{
         Backlog, CheckedSwitch, Crossbar, CrossbarSchedule, FaultConfig, FaultStats,
-        FaultyFabric, Switch,
+        FaultyFabric, InstrumentedSwitch, Switch,
+    };
+    pub use fifoms_obs::{
+        EventSink, Json, JsonlSink, MetricsRegistry, NullSink, PhaseProfiler, ProgressMeter,
+        RecordingSink,
     };
     pub use fifoms_sim::{
-        simulate, try_simulate, CellFailureReason, CellOutcome, CellPolicy, CheckpointJournal,
-        FailedCell, RunConfig, RunResult, Sweep, SwitchKind, TrafficKind,
+        profile_run, simulate, try_simulate, try_simulate_observed, CellFailureReason,
+        CellOutcome, CellPolicy, CheckpointJournal, FailedCell, Observer, ProfileReport,
+        RunConfig, RunResult, Sweep, SweepObserver, SwitchKind, TrafficKind,
     };
     pub use fifoms_stats::SaturationVerdict;
-    pub use fifoms_types::{InvariantViolation, SimError};
+    pub use fifoms_types::{InvariantViolation, ObsEvent, SimError};
     pub use fifoms_traffic::{
         BernoulliMulticast, BurstTraffic, DiagonalUnicast, HotspotUnicast, Trace, TraceRecorder,
         TraceSource, TrafficModel, UniformFanout, UniformUnicast,

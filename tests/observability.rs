@@ -1,0 +1,209 @@
+//! Integration tests for the observability layer: tracing must never
+//! change simulation results, JSONL traces must parse and be
+//! self-describing, FIFOMS iteration counts in traces must respect the
+//! scheduler's bounds, and fault injection must surface as structured
+//! events with their firing slots.
+
+use std::sync::Arc;
+
+use fifoms::prelude::*;
+use fifoms::sim::SweepRow;
+
+const N: usize = 8;
+
+/// A small FIFOMS-only sweep grid shared by the tests.
+fn tiny_sweep(slots: u64) -> Sweep {
+    Sweep {
+        n: N,
+        switches: vec![SwitchKind::Fifoms],
+        points: vec![
+            (0.4, TrafficKind::bernoulli_at_load(0.4, 0.2, N)),
+            (0.8, TrafficKind::bernoulli_at_load(0.8, 0.2, N)),
+        ],
+        run: RunConfig::quick(slots),
+        seed: 11,
+    }
+}
+
+fn completed_rows(outcomes: &[CellOutcome]) -> Vec<&SweepRow> {
+    outcomes
+        .iter()
+        .map(|o| o.row().expect("cell completed"))
+        .collect()
+}
+
+/// Attaching a trace sink (or an explicitly disabled observer) must not
+/// perturb results: the RunResults are bit-identical to the untraced run.
+#[test]
+fn tracing_does_not_change_results() {
+    let sweep = tiny_sweep(2_000);
+    let policy = CellPolicy::isolated();
+
+    let plain = sweep.run_robust(2, &policy);
+    let disabled = sweep.run_robust_observed(2, &policy, &SweepObserver::disabled());
+    let rec = Arc::new(RecordingSink::new());
+    let observer = SweepObserver {
+        trace: Some(rec.clone() as Arc<dyn EventSink>),
+        progress: None,
+    };
+    let traced = sweep.run_robust_observed(2, &policy, &observer);
+
+    assert!(!rec.is_empty(), "traced run recorded no events");
+    for ((a, b), c) in completed_rows(&plain)
+        .iter()
+        .zip(completed_rows(&disabled))
+        .zip(completed_rows(&traced))
+    {
+        assert_eq!(format!("{:?}", a.result), format!("{:?}", b.result));
+        assert_eq!(format!("{:?}", a.result), format!("{:?}", c.result));
+    }
+}
+
+/// A JSONL trace written by the engine parses line-by-line, starts with a
+/// self-describing `run_meta` record (workload parameters included), and
+/// its per-slot records carry the scheduler dynamics fields.
+#[test]
+fn jsonl_trace_round_trips() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("fifoms-obs-trace-{}.jsonl", std::process::id()));
+
+    {
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let sink = JsonlSink::new(std::io::BufWriter::new(file));
+        let mut sw = InstrumentedSwitch::new(SwitchKind::Fifoms.build(N, 1));
+        let mut tr = TrafficKind::bernoulli_at_load(0.6, 0.2, N).build(N, 2);
+        let mut obs = Observer {
+            sink: Some((&sink, "FIFOMS@0.6")),
+            profiler: None,
+        };
+        try_simulate_observed(&mut sw, tr.as_mut(), &RunConfig::quick(2_000), &mut obs)
+            .expect("traced run");
+        sink.flush();
+        assert_eq!(sink.write_errors(), 0);
+    }
+
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    std::fs::remove_file(&path).ok();
+    let mut metas = 0u32;
+    let mut scheds = 0u64;
+    for line in text.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line `{line}`: {e}"));
+        assert_eq!(
+            doc.get("scope").and_then(Json::as_str),
+            Some("FIFOMS@0.6"),
+            "every record carries its cell scope"
+        );
+        match doc.get("event").and_then(Json::as_str).expect("event tag") {
+            "run_meta" => {
+                metas += 1;
+                assert_eq!(doc.get("switch").and_then(Json::as_str), Some("FIFOMS"));
+                let params = doc.get("params").expect("workload params");
+                assert!(
+                    params.get("p").and_then(Json::as_f64).is_some(),
+                    "run_meta is self-describing (carries the Bernoulli p)"
+                );
+            }
+            "slot_sched" => {
+                scheds += 1;
+                for field in ["slot", "rounds", "connections", "backlog_packets"] {
+                    assert!(
+                        doc.get(field).and_then(Json::as_f64).is_some(),
+                        "slot_sched record missing `{field}`: {line}"
+                    );
+                }
+                let rounds = doc.get("rounds").and_then(Json::as_f64).unwrap();
+                let connections = doc.get("connections").and_then(Json::as_f64).unwrap();
+                assert!(rounds <= N as f64, "FIFOMS needs at most N rounds");
+                if connections > 0.0 {
+                    assert!(rounds >= 1.0, "a matched slot took at least one round");
+                }
+            }
+            other => panic!("unexpected event kind `{other}` in an un-faulted run"),
+        }
+    }
+    assert_eq!(metas, 1, "exactly one run_meta per run");
+    assert!(scheds > 500, "expected per-slot records, got {scheds}");
+}
+
+/// With an explicit iteration cap, every traced slot stays within the
+/// cap — and matched slots still report at least one round.
+#[test]
+fn traced_rounds_respect_explicit_cap() {
+    const CAP: u32 = 2;
+    let sweep = Sweep {
+        switches: vec![SwitchKind::FifomsMaxRounds(CAP)],
+        points: vec![(0.9, TrafficKind::bernoulli_at_load(0.9, 0.2, N))],
+        ..tiny_sweep(2_000)
+    };
+    let rec = Arc::new(RecordingSink::new());
+    let observer = SweepObserver {
+        trace: Some(rec.clone() as Arc<dyn EventSink>),
+        progress: None,
+    };
+    let outcomes = sweep.run_robust_observed(1, &CellPolicy::isolated(), &observer);
+    assert!(outcomes.iter().all(|o| o.row().is_some()));
+
+    let mut matched_slots = 0u64;
+    for (_, event) in rec.events() {
+        if let ObsEvent::SlotSched {
+            rounds,
+            connections,
+            ..
+        } = event
+        {
+            assert!(rounds <= CAP, "round cap violated: {rounds} > {CAP}");
+            if connections > 0 {
+                assert!(rounds >= 1);
+                matched_slots += 1;
+            }
+        }
+    }
+    assert!(matched_slots > 500, "high-load run should match most slots");
+}
+
+/// Fault injection shows up in the trace: masked arrivals are recorded
+/// with their firing slot and input port, and the run still completes.
+#[test]
+fn fault_injection_emits_masked_events() {
+    let slots = 4_000;
+    let sweep = Sweep {
+        points: vec![(0.6, TrafficKind::bernoulli_at_load(0.6, 0.2, N))],
+        ..tiny_sweep(slots)
+    };
+    let policy = CellPolicy {
+        faults: Some(FaultConfig::moderate(3)),
+        ..CellPolicy::isolated()
+    };
+    let rec = Arc::new(RecordingSink::new());
+    let observer = SweepObserver {
+        trace: Some(rec.clone() as Arc<dyn EventSink>),
+        progress: None,
+    };
+    let outcomes = sweep.run_robust_observed(1, &policy, &observer);
+    assert!(outcomes.iter().all(|o| o.row().is_some()));
+
+    let faults: Vec<(String, ObsEvent)> = rec
+        .events()
+        .into_iter()
+        .filter(|(_, e)| matches!(e, ObsEvent::FaultMasked { .. }))
+        .collect();
+    assert!(
+        !faults.is_empty(),
+        "moderate fault schedule should mask at least one arrival"
+    );
+    for (scope, event) in &faults {
+        assert_eq!(scope, "FIFOMS@0.6");
+        let ObsEvent::FaultMasked {
+            slot,
+            input,
+            copies_dropped,
+            ..
+        } = event
+        else {
+            unreachable!()
+        };
+        assert!(slot.0 < slots, "fault fired inside the run: slot {slot:?}");
+        assert!(input.index() < N);
+        assert!(*copies_dropped >= 1);
+    }
+}
