@@ -1,5 +1,7 @@
 //! Minimal dependency-free argument parsing.
 
+use fifoms_sim::PacketTraceMode;
+
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -41,6 +43,20 @@ pub struct Options {
     pub progress: bool,
     /// Profiling stride: time every `k`-th slot in `profile`.
     pub sample_every: u64,
+    /// Packet-level flight recorder mode for traced sweeps.
+    pub packet_trace: PacketTraceMode,
+    /// Positional input file (`analyze <trace.jsonl>`).
+    pub input: Option<String>,
+    /// Second trace to diff against (`analyze --compare`).
+    pub compare: Option<String>,
+    /// Write the analysis report as JSON to this path (`analyze --json`).
+    pub json_out: Option<String>,
+    /// Baseline bench artifact for the `check-bench` regression gate.
+    pub baseline: Option<String>,
+    /// Current bench artifact compared against `--baseline`.
+    pub current: Option<String>,
+    /// Allowed fractional slots/sec regression before the gate fails.
+    pub tolerance: f64,
 }
 
 impl Default for Options {
@@ -64,6 +80,13 @@ impl Default for Options {
             out: None,
             progress: false,
             sample_every: 16,
+            packet_trace: PacketTraceMode::Off,
+            input: None,
+            compare: None,
+            json_out: None,
+            baseline: None,
+            current: None,
+            tolerance: 0.15,
         }
     }
 }
@@ -86,6 +109,7 @@ const COMMANDS: &[&str] = &[
     "sweep",
     "profile",
     "check-bench",
+    "analyze",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -102,7 +126,8 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             "--progress" => opts.progress = true,
             "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir"
             | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries"
-            | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" => {
+            | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" | "--packet-trace"
+            | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -125,6 +150,12 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--metrics-out" => opts.metrics_out = Some(value.clone()),
                     "--out" => opts.out = Some(value.clone()),
                     "--sample-every" => opts.sample_every = parse_num(arg, value)?,
+                    "--packet-trace" => opts.packet_trace = parse_packet_trace(value)?,
+                    "--compare" => opts.compare = Some(value.clone()),
+                    "--json" => opts.json_out = Some(value.clone()),
+                    "--baseline" => opts.baseline = Some(value.clone()),
+                    "--current" => opts.current = Some(value.clone()),
+                    "--tolerance" => opts.tolerance = parse_num(arg, value)?,
                     _ => unreachable!(),
                 }
             }
@@ -132,6 +163,14 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                 if command.replace(cmd.to_string()).is_some() {
                     return Err(format!("duplicate command {cmd}"));
                 }
+            }
+            // The `analyze` command takes its trace file as a positional
+            // argument, like `analyze trace.jsonl`.
+            path if command.as_deref() == Some("analyze")
+                && opts.input.is_none()
+                && !path.starts_with('-') =>
+            {
+                opts.input = Some(path.to_string());
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -151,8 +190,41 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     if opts.sample_every == 0 {
         return Err("--sample-every must be positive".into());
     }
+    if !opts.tolerance.is_finite() || opts.tolerance <= 0.0 {
+        return Err("--tolerance must be a positive number".into());
+    }
     let command = command.ok_or("missing command")?;
+    if command == "analyze" && opts.input.is_none() {
+        return Err("analyze requires a trace file: analyze <trace.jsonl>".into());
+    }
     Ok((command, opts))
+}
+
+/// Parse a `--packet-trace` mode: `off`, `all`, `1/K` (keep every K-th
+/// packet) or `ring:C` (retain the last C events).
+fn parse_packet_trace(value: &str) -> Result<PacketTraceMode, String> {
+    let bad = || format!("invalid --packet-trace {value:?} (expected off, all, 1/K or ring:C)");
+    match value {
+        "off" => Ok(PacketTraceMode::Off),
+        "all" => Ok(PacketTraceMode::All),
+        _ => {
+            if let Some(k) = value.strip_prefix("1/") {
+                let k: u64 = k.parse().map_err(|_| bad())?;
+                if k == 0 {
+                    return Err(bad());
+                }
+                Ok(PacketTraceMode::OneIn(k))
+            } else if let Some(cap) = value.strip_prefix("ring:") {
+                let cap: usize = cap.parse().map_err(|_| bad())?;
+                if cap == 0 {
+                    return Err(bad());
+                }
+                Ok(PacketTraceMode::Ring(cap))
+            } else {
+                Err(bad())
+            }
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -250,6 +322,60 @@ mod tests {
 
         let (cmd, _) = parse(&argv("check-bench")).unwrap();
         assert_eq!(cmd, "check-bench");
+    }
+
+    #[test]
+    fn analyze_takes_a_positional_trace() {
+        let (cmd, o) = parse(&argv("analyze trace.jsonl")).unwrap();
+        assert_eq!(cmd, "analyze");
+        assert_eq!(o.input.as_deref(), Some("trace.jsonl"));
+
+        let (_, o) =
+            parse(&argv("analyze a.jsonl --compare b.jsonl --json out.json")).unwrap();
+        assert_eq!(o.input.as_deref(), Some("a.jsonl"));
+        assert_eq!(o.compare.as_deref(), Some("b.jsonl"));
+        assert_eq!(o.json_out.as_deref(), Some("out.json"));
+
+        // Missing trace, stray second positional, positional without the
+        // command.
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("analyze a.jsonl b.jsonl")).is_err());
+        assert!(parse(&argv("trace.jsonl analyze")).is_err());
+        // Commands still cannot be repeated.
+        assert!(parse(&argv("fig4 fig5")).is_err());
+    }
+
+    #[test]
+    fn packet_trace_modes() {
+        use fifoms_sim::PacketTraceMode;
+        let (_, o) = parse(&argv("sweep --packet-trace all")).unwrap();
+        assert_eq!(o.packet_trace, PacketTraceMode::All);
+        let (_, o) = parse(&argv("sweep --packet-trace 1/8")).unwrap();
+        assert_eq!(o.packet_trace, PacketTraceMode::OneIn(8));
+        let (_, o) = parse(&argv("sweep --packet-trace ring:4096")).unwrap();
+        assert_eq!(o.packet_trace, PacketTraceMode::Ring(4096));
+        let (_, o) = parse(&argv("sweep --packet-trace off")).unwrap();
+        assert_eq!(o.packet_trace, PacketTraceMode::Off);
+        for bad in ["1/0", "ring:0", "some", "ring:", "1/x"] {
+            assert!(
+                parse(&argv(&format!("sweep --packet-trace {bad}"))).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_bench_gate_flags() {
+        let (cmd, o) = parse(&argv(
+            "check-bench --baseline base.json --current cur.json --tolerance 0.5",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "check-bench");
+        assert_eq!(o.baseline.as_deref(), Some("base.json"));
+        assert_eq!(o.current.as_deref(), Some("cur.json"));
+        assert_eq!(o.tolerance, 0.5);
+        assert!(parse(&argv("check-bench --tolerance 0")).is_err());
+        assert!(parse(&argv("check-bench --tolerance -0.1")).is_err());
     }
 
     #[test]

@@ -534,6 +534,7 @@ pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
         progress: opts
             .progress
             .then(|| Arc::new(ProgressMeter::new(cells, std::time::Duration::from_secs(2)))),
+        packet_trace: opts.packet_trace,
     };
     let outcomes = match &opts.journal {
         Some(path) => {

@@ -22,13 +22,25 @@
 //!   --trace-out <PATH>   stream per-slot scheduler events as JSONL to PATH
 //!   --metrics-out <PATH> write aggregated sweep metrics as JSON to PATH
 //!   --progress           periodic progress line on stderr (slots/s, ETA)
+//!   --packet-trace <M>   packet flight recorder: all, 1/K or ring:C [default: off]
 //!
 //! profile (self-profiling harness) additionally accepts:
 //!   --out <PATH>         output path               [default: BENCH_profile.json]
 //!   --sample-every <K>   time every K-th slot      [default: 16]
 //!
 //! check-bench validates BENCH_profile.json / BENCH_core.json against the
-//! schemas under schemas/.
+//! schemas under schemas/. With --baseline PATH it instead gates
+//! slots/sec against that baseline artifact:
+//!   --baseline <PATH>    reference BENCH_core.json to compare against
+//!   --current <PATH>     artifact under test       [default: BENCH_core.json]
+//!   --tolerance <F>      allowed fractional drop   [default: 0.15]
+//!
+//! analyze <trace.jsonl> reconstructs packet lifecycles from a
+//! --trace-out file: delay decomposition (HOL / contention / split
+//! residue), the Theorem 1 starvation audit, convergence histograms and
+//! fanout-split tables.
+//!   --compare <PATH>     diff against a second trace (e.g. iSLIP run)
+//!   --json <PATH>        also write the report as JSON
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -37,6 +49,7 @@
 //! stability region are suffixed `*`. `fig5` prints convergence rounds for
 //! FIFOMS and iSLIP.
 
+mod analyze;
 mod args;
 mod figures;
 mod obscmd;
@@ -53,7 +66,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--out PATH] [--sample-every K]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH]");
             return ExitCode::FAILURE;
         }
     };
@@ -82,6 +95,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "sweep" => figures::sweep_cmd(opts),
         "profile" => obscmd::profile(opts),
         "check-bench" => obscmd::check_bench(opts),
+        "analyze" => analyze::analyze(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

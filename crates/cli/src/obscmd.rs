@@ -67,10 +67,21 @@ pub fn profile(opts: &Options) -> Result<(), SimError> {
 /// `fifoms-repro check-bench`: validate whichever benchmark artifacts
 /// exist in the working directory against their checked-in schemas.
 /// Fails if an artifact is malformed — or if none exist at all.
-pub fn check_bench(_opts: &Options) -> Result<(), SimError> {
+///
+/// With `--baseline PATH` it instead runs the throughput regression
+/// gate: the current core-bench artifact (`--current`, default
+/// `BENCH_core.json`) is compared row-by-row against the baseline, and
+/// the command fails if any `(switch, load)` cell lost more than
+/// `--tolerance` (default 15%) of its slots/sec.
+pub fn check_bench(opts: &Options) -> Result<(), SimError> {
+    if let Some(baseline) = opts.baseline.as_deref() {
+        let current = opts.current.as_deref().unwrap_or("BENCH_core.json");
+        return regression_gate(baseline, current, opts.tolerance);
+    }
+    let core_path = opts.current.as_deref().unwrap_or("BENCH_core.json");
     let pairs = [
         ("BENCH_profile.json", "schemas/bench_profile.schema.json"),
-        ("BENCH_core.json", "schemas/bench_core.schema.json"),
+        (core_path, "schemas/bench_core.schema.json"),
     ];
     let mut checked = 0;
     for (doc_path, schema_path) in pairs {
@@ -92,6 +103,92 @@ pub fn check_bench(_opts: &Options) -> Result<(), SimError> {
                 .into(),
         ));
     }
+    Ok(())
+}
+
+/// One `(switch, load) -> slots/sec` row of a core-bench artifact.
+fn bench_rows(path: &str) -> Result<Vec<(String, f64, f64)>, SimError> {
+    let doc = read_json(path)?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| SimError::Usage(format!("{path}: missing rows array")))?;
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let get_num = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SimError::Usage(format!("{path}: row {i} missing {key}")))
+        };
+        let switch = row
+            .get("switch")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SimError::Usage(format!("{path}: row {i} missing switch")))?;
+        out.push((switch.to_string(), get_num("load")?, get_num("slots_per_sec")?));
+    }
+    Ok(out)
+}
+
+/// The `--baseline` regression gate: fail if any cell's slots/sec fell
+/// more than `tolerance` (fractional) below the baseline. Cells present
+/// on only one side are reported but do not fail the gate — the bench
+/// matrix may legitimately grow.
+fn regression_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), SimError> {
+    let base = bench_rows(baseline)?;
+    let cur = bench_rows(current)?;
+    let key = |sw: &str, load: f64| format!("{sw}@{load:.4}");
+    let base_idx: std::collections::BTreeMap<String, f64> = base
+        .iter()
+        .map(|(sw, load, sps)| (key(sw, *load), *sps))
+        .collect();
+
+    let mut table = fifoms_sim::report::Table::new(vec![
+        "cell".to_string(),
+        "baseline".to_string(),
+        "current".to_string(),
+        "delta".to_string(),
+    ]);
+    let mut worst: Option<(String, f64)> = None;
+    let mut matched = 0usize;
+    for (sw, load, cur_sps) in &cur {
+        let cell = key(sw, *load);
+        let Some(&base_sps) = base_idx.get(&cell) else {
+            println!("check-bench: {cell} not in baseline, skipped");
+            continue;
+        };
+        matched += 1;
+        // Positive drop = regression; negative = speedup.
+        let drop = (base_sps - cur_sps) / base_sps.max(f64::MIN_POSITIVE);
+        table.push_row(vec![
+            cell.clone(),
+            format!("{base_sps:.0}"),
+            format!("{cur_sps:.0}"),
+            format!("{:+.1}%", -drop * 100.0),
+        ]);
+        if worst.as_ref().is_none_or(|(_, w)| drop > *w) {
+            worst = Some((cell, drop));
+        }
+    }
+    print!("{}", table.render());
+    if matched == 0 {
+        return Err(SimError::Usage(format!(
+            "check-bench: no (switch, load) cells of {current} match {baseline}"
+        )));
+    }
+    let (worst_cell, worst_drop) = worst.expect("matched > 0");
+    if worst_drop > tolerance {
+        return Err(SimError::Usage(format!(
+            "check-bench: {worst_cell} regressed {:.1}% in slots/sec \
+             (tolerance {:.1}%, baseline {baseline})",
+            worst_drop * 100.0,
+            tolerance * 100.0
+        )));
+    }
+    println!(
+        "check-bench: {matched} cells within {:.1}% of {baseline} (worst: {worst_cell} {:+.1}%)",
+        tolerance * 100.0,
+        -worst_drop * 100.0
+    );
     Ok(())
 }
 

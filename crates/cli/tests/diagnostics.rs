@@ -1,0 +1,168 @@
+//! Black-box diagnostics tests for `fifoms-repro`: `analyze` and
+//! `check-bench` must exit non-zero with a one-line `error:` message on
+//! truncated, corrupted or missing inputs — never a panic/backtrace —
+//! and the bench regression gate must fail on a slots/sec regression
+//! and pass within tolerance.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fifoms-repro"))
+        .args(args)
+        .output()
+        .expect("spawn fifoms-repro")
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fifoms-diag-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp fixture");
+    path
+}
+
+/// Assert a failed invocation carried exactly one diagnostic line on
+/// stderr, starting with `error:`, and no panic machinery.
+fn assert_clean_failure(out: &Output, context: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{context}: expected failure");
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "{context}: panicked instead of erroring:\n{stderr}"
+    );
+    let lines: Vec<&str> = stderr.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 1, "{context}: expected one diagnostic:\n{stderr}");
+    assert!(
+        lines[0].starts_with("error: "),
+        "{context}: diagnostic not prefixed: {}",
+        lines[0]
+    );
+}
+
+#[test]
+fn analyze_rejects_missing_and_corrupt_traces() {
+    let missing = repro(&["analyze", "/nonexistent/trace.jsonl"]);
+    assert_clean_failure(&missing, "missing trace");
+
+    // A trace truncated mid-record, as a killed sweep would leave it.
+    let corrupt = tmp_file(
+        "truncated.jsonl",
+        "{\"event\":\"run_meta\",\"scope\":\"S\",\"switch\":\"FIFOMS\",\"traffic\":\"b\",\"ports\":8,\"params\":{}}\n{\"event\":\"slot_sch",
+    );
+    let out = repro(&["analyze", corrupt.to_str().unwrap()]);
+    std::fs::remove_file(&corrupt).ok();
+    assert_clean_failure(&out, "corrupt trace");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 2"),
+        "diagnostic names the bad line: {stderr}"
+    );
+
+    // Valid JSONL that is not a trace at all.
+    let alien = tmp_file("alien.jsonl", "{\"foo\": 1}\n");
+    let out = repro(&["analyze", alien.to_str().unwrap()]);
+    std::fs::remove_file(&alien).ok();
+    assert_clean_failure(&out, "non-trace JSONL");
+}
+
+fn bench_doc(fifoms_sps: f64, islip_sps: f64) -> String {
+    format!(
+        r#"{{"schema":"fifoms-bench-core-v1","n":16,"slots":1000,"smoke":true,"rows":[
+{{"switch":"FIFOMS","load":0.3,"slots_run":1000,"elapsed_ns":1,"slots_per_sec":{fifoms_sps}}},
+{{"switch":"iSLIP","load":0.3,"slots_run":1000,"elapsed_ns":1,"slots_per_sec":{islip_sps}}}]}}"#
+    )
+}
+
+#[test]
+fn check_bench_gate_passes_within_tolerance_and_fails_on_regression() {
+    let baseline = tmp_file("baseline.json", &bench_doc(100_000.0, 200_000.0));
+    // Within 15%: one cell 10% down, one up.
+    let ok = tmp_file("ok.json", &bench_doc(90_000.0, 210_000.0));
+    // Injected regression: FIFOMS lost half its throughput.
+    let slow = tmp_file("slow.json", &bench_doc(50_000.0, 200_000.0));
+
+    let pass = repro(&[
+        "check-bench",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        ok.to_str().unwrap(),
+    ]);
+    assert!(
+        pass.status.success(),
+        "gate failed within tolerance:\n{}",
+        String::from_utf8_lossy(&pass.stderr)
+    );
+
+    let fail = repro(&[
+        "check-bench",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        slow.to_str().unwrap(),
+    ]);
+    assert_clean_failure(&fail, "regressed bench");
+    let stderr = String::from_utf8_lossy(&fail.stderr);
+    assert!(
+        stderr.contains("FIFOMS") && stderr.contains("regressed"),
+        "diagnostic names the regressed cell: {stderr}"
+    );
+
+    // A generous tolerance lets the same artifact through.
+    let waved = repro(&[
+        "check-bench",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--current",
+        slow.to_str().unwrap(),
+        "--tolerance",
+        "0.6",
+    ]);
+    assert!(waved.status.success(), "0.6 tolerance still failed");
+
+    for p in [baseline, ok, slow] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn check_bench_rejects_corrupt_artifacts() {
+    let baseline = tmp_file("gate-base.json", &bench_doc(1.0, 1.0));
+    let corrupt = tmp_file("gate-corrupt.json", "{\"rows\": [{\"switch\": 3}]}");
+    let truncated = tmp_file("gate-truncated.json", "{\"rows\": [");
+
+    for bad in [&corrupt, &truncated] {
+        let out = repro(&[
+            "check-bench",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            bad.to_str().unwrap(),
+        ]);
+        assert_clean_failure(&out, "corrupt bench artifact");
+    }
+
+    for p in [baseline, corrupt, truncated] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn usage_errors_are_one_liners() {
+    for argv in [
+        &["analyze"][..],
+        &["check-bench", "--tolerance", "0"][..],
+        &["sweep", "--packet-trace", "bogus"][..],
+    ] {
+        let out = repro(argv);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{argv:?} succeeded");
+        assert!(
+            !stderr.contains("panicked"),
+            "{argv:?} panicked:\n{stderr}"
+        );
+        assert!(
+            stderr.lines().next().unwrap_or("").starts_with("error: "),
+            "{argv:?}: {stderr}"
+        );
+    }
+}

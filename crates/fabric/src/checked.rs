@@ -228,6 +228,10 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
         }
         self.inner.drain_events(out);
     }
+
+    fn end_of_run(&mut self) {
+        self.inner.end_of_run();
+    }
 }
 
 #[cfg(test)]

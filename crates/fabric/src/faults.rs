@@ -246,6 +246,10 @@ impl<S: Switch> Switch for FaultyFabric<S> {
         out.append(&mut self.events);
         self.inner.drain_events(out);
     }
+
+    fn end_of_run(&mut self) {
+        self.inner.end_of_run();
+    }
 }
 
 #[cfg(test)]

@@ -16,15 +16,66 @@
 //! and handed to the engine via [`Switch::drain_events`]; the wrapper is
 //! only constructed on traced paths, so untraced runs never allocate a
 //! buffer at all.
+//!
+//! Beyond the per-slot aggregates, the wrapper doubles as the
+//! **packet-level flight recorder** (DESIGN.md §9): with a
+//! [`PacketTraceMode`] other than [`PacketTraceMode::Off`] it follows
+//! individual packets from [`ObsEvent::PacketArrived`] through each
+//! [`ObsEvent::CopySent`] to [`ObsEvent::PacketCompleted`], behind a
+//! sampling gate — every packet, one-in-`k`, or a bounded ring buffer
+//! that retains only the last `capacity` packet events (flushed at
+//! [`Switch::end_of_run`]) so full-length runs stay `O(capacity)` in
+//! memory.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 use fifoms_types::{ObsEvent, Packet, PacketId, Slot, SlotOutcome};
 
 use crate::switch::{Backlog, Switch};
 
+/// The flight recorder's sampling gate.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub enum PacketTraceMode {
+    /// No packet-level events (the default): only `SlotSched` aggregates.
+    #[default]
+    Off,
+    /// Record every packet's full lifecycle. Required for the starvation
+    /// audit and the delay decomposition of `fifoms-repro analyze`.
+    All,
+    /// Record packets whose id is divisible by `k` (deterministic 1-in-k
+    /// sampling; `k` is clamped to at least 1).
+    OneIn(u64),
+    /// Flight-recorder mode: record every packet, but retain only the
+    /// last `capacity` packet events in a ring buffer, flushed when the
+    /// engine calls [`Switch::end_of_run`]. Memory stays `O(capacity)`
+    /// regardless of run length; early lifecycles are evicted.
+    Ring(usize),
+}
+
+impl PacketTraceMode {
+    /// The `(mode, param)` pair advertised in [`ObsEvent::RecorderMeta`].
+    fn meta(self) -> Option<(&'static str, u64)> {
+        match self {
+            PacketTraceMode::Off => None,
+            PacketTraceMode::All => Some(("all", 0)),
+            PacketTraceMode::OneIn(k) => Some(("sample", k.max(1))),
+            PacketTraceMode::Ring(cap) => Some(("ring", cap as u64)),
+        }
+    }
+
+    /// Whether the packet with `id` passes the sampling gate.
+    fn samples(self, id: PacketId) -> bool {
+        match self {
+            PacketTraceMode::Off => false,
+            PacketTraceMode::All | PacketTraceMode::Ring(_) => true,
+            PacketTraceMode::OneIn(k) => id.0.is_multiple_of(k.max(1)),
+        }
+    }
+}
+
 /// A [`Switch`] wrapper that emits one [`ObsEvent::SlotSched`] per
-/// non-idle slot, derived generically from the inner switch's outcome.
+/// non-idle slot, derived generically from the inner switch's outcome —
+/// and, when a [`PacketTraceMode`] is set, per-packet lifecycle events.
 #[derive(Debug)]
 pub struct InstrumentedSwitch<S> {
     inner: S,
@@ -34,22 +85,95 @@ pub struct InstrumentedSwitch<S> {
     ledger: BTreeSet<(Slot, PacketId)>,
     /// Scratch for `queue_sizes` so the per-slot probe does not allocate.
     scratch: Vec<usize>,
+    /// Packet-level sampling gate.
+    mode: PacketTraceMode,
+    /// Ids currently being followed (admitted through the gate, not yet
+    /// completed) — bounded by the in-flight backlog.
+    sampled: BTreeSet<PacketId>,
+    /// Retained packet events in [`PacketTraceMode::Ring`] mode; other
+    /// modes stream packet events through `events` like everything else.
+    ring: VecDeque<ObsEvent>,
 }
 
 impl<S: Switch> InstrumentedSwitch<S> {
-    /// Wrap `inner`.
+    /// Wrap `inner` with packet-level tracing off.
     pub fn new(inner: S) -> InstrumentedSwitch<S> {
+        InstrumentedSwitch::with_packet_trace(inner, PacketTraceMode::Off)
+    }
+
+    /// Wrap `inner` with the given packet-level sampling gate. A mode
+    /// other than [`PacketTraceMode::Off`] emits one
+    /// [`ObsEvent::RecorderMeta`] so trace consumers know which analyses
+    /// are sound.
+    pub fn with_packet_trace(inner: S, mode: PacketTraceMode) -> InstrumentedSwitch<S> {
+        let mut events = Vec::new();
+        if let Some((m, param)) = mode.meta() {
+            events.push(ObsEvent::RecorderMeta {
+                mode: m.to_string(),
+                param,
+            });
+        }
         InstrumentedSwitch {
             inner,
-            events: Vec::new(),
+            events,
             ledger: BTreeSet::new(),
             scratch: Vec::new(),
+            mode,
+            sampled: BTreeSet::new(),
+            ring: VecDeque::new(),
         }
     }
 
     /// Shared access to the wrapped switch.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Route one packet event per the mode: streamed with everything
+    /// else, or retained in the bounded ring.
+    fn record_packet_event(&mut self, event: ObsEvent) {
+        match self.mode {
+            PacketTraceMode::Ring(cap) => {
+                if cap == 0 {
+                    return;
+                }
+                if self.ring.len() == cap {
+                    self.ring.pop_front();
+                }
+                self.ring.push_back(event);
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    /// Emit the packet-scoped events for this slot's departures.
+    fn record_departures(&mut self, now: Slot, outcome: &SlotOutcome) {
+        // `split` is a per-packet property of the slot: at least one copy
+        // went out but the final copy did not.
+        let mut completed_here: Vec<PacketId> = outcome
+            .departures
+            .iter()
+            .filter(|d| d.last_copy)
+            .map(|d| d.packet)
+            .collect();
+        completed_here.sort_unstable();
+        for d in &outcome.departures {
+            if !self.sampled.contains(&d.packet) {
+                continue;
+            }
+            let split = completed_here.binary_search(&d.packet).is_err();
+            self.record_packet_event(ObsEvent::CopySent {
+                id: d.packet,
+                slot: now,
+                output: d.output,
+                split,
+            });
+        }
+        for id in completed_here {
+            if self.sampled.remove(&id) {
+                self.record_packet_event(ObsEvent::PacketCompleted { id, slot: now });
+            }
+        }
     }
 
     /// Age in slots of the oldest packet still queued, as of `now`.
@@ -122,6 +246,15 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
 
     fn admit(&mut self, packet: Packet) {
         self.ledger.insert((packet.arrival, packet.id));
+        if self.mode.samples(packet.id) {
+            self.sampled.insert(packet.id);
+            self.record_packet_event(ObsEvent::PacketArrived {
+                id: packet.id,
+                slot: packet.arrival,
+                input: packet.input,
+                fanout: packet.fanout() as u32,
+            });
+        }
         self.inner.admit(packet);
     }
 
@@ -133,10 +266,14 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
 
         let outcome = self.inner.run_slot(now);
 
-        // Idle slots (no demand, no service) are not worth a record each;
-        // the gap in slot numbers preserves the information.
+        // Idle slots (no demand, no service) get no record each; the
+        // engine's final RunEnd marker makes the gaps decodable as
+        // idleness (a slot below slots_run with no record was idle).
         if active_ports > 0 || !outcome.departures.is_empty() {
             self.derive_event(now, active_ports, &outcome);
+            if self.mode != PacketTraceMode::Off {
+                self.record_departures(now, &outcome);
+            }
         }
         outcome
     }
@@ -152,6 +289,13 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
     fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
         out.append(&mut self.events);
         self.inner.drain_events(out);
+    }
+
+    fn end_of_run(&mut self) {
+        // Flush the flight recorder: the retained window becomes ordinary
+        // drainable events, picked up by the engine's final drain.
+        self.events.extend(self.ring.drain(..));
+        self.inner.end_of_run();
     }
 }
 
@@ -331,6 +475,116 @@ mod tests {
             assert_eq!(a.connections, b.connections);
             assert_eq!(plain.backlog(), wrapped.backlog());
         }
+    }
+
+    /// Kinds of the packet-scoped events in a drained buffer, in order.
+    fn packet_kinds(events: &[ObsEvent]) -> Vec<&'static str> {
+        events
+            .iter()
+            .map(ObsEvent::kind)
+            .filter(|k| {
+                matches!(
+                    *k,
+                    "packet_arrived" | "copy_sent" | "packet_completed"
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_sampling_records_complete_lifecycles() {
+        let mut sw =
+            InstrumentedSwitch::with_packet_trace(SplittingFifo::new(1, 1), PacketTraceMode::All);
+        sw.admit(packet(1, Slot(0), &[0, 1]));
+        for t in 0..2 {
+            sw.run_slot(Slot(t));
+        }
+        let events = drain(&mut sw);
+        assert_eq!(events[0].kind(), "recorder_meta");
+        assert_eq!(
+            packet_kinds(&events),
+            vec!["packet_arrived", "copy_sent", "copy_sent", "packet_completed"]
+        );
+        let splits: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::CopySent { split, .. } => Some(*split),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(splits, vec![true, false], "residue then final copy");
+        let ObsEvent::PacketArrived { fanout, input, .. } = events
+            .iter()
+            .find(|e| e.kind() == "packet_arrived")
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        assert_eq!(*fanout, 2);
+        assert_eq!(*input, PortId(0));
+    }
+
+    #[test]
+    fn one_in_k_gate_samples_by_id() {
+        let mut sw =
+            InstrumentedSwitch::with_packet_trace(SplittingFifo::new(8, 1), PacketTraceMode::OneIn(2));
+        for id in 1..=4u64 {
+            sw.admit(packet(id, Slot(0), &[0]));
+        }
+        for t in 0..4 {
+            sw.run_slot(Slot(t));
+        }
+        let events = drain(&mut sw);
+        let ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::PacketArrived { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 4], "only ids divisible by k are followed");
+        // Unsampled packets leave no copy_sent either.
+        let copy_ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                ObsEvent::CopySent { id, .. } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(copy_ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn ring_mode_retains_a_bounded_tail_until_end_of_run() {
+        let mut sw =
+            InstrumentedSwitch::with_packet_trace(SplittingFifo::new(8, 1), PacketTraceMode::Ring(3));
+        for id in 1..=4u64 {
+            sw.admit(packet(id, Slot(0), &[0]));
+        }
+        for t in 0..4 {
+            sw.run_slot(Slot(t));
+        }
+        // Before end_of_run the ring holds its tail privately: the drain
+        // sees aggregates (and recorder_meta) but no packet events.
+        let mid = drain(&mut sw);
+        assert_eq!(mid[0].kind(), "recorder_meta");
+        assert!(packet_kinds(&mid).is_empty(), "{mid:?}");
+        sw.end_of_run();
+        let end = drain(&mut sw);
+        let kinds = packet_kinds(&end);
+        assert_eq!(kinds.len(), 3, "ring capped at 3 events: {kinds:?}");
+        // The retained window is the most recent events, oldest evicted.
+        assert_eq!(end.last().unwrap().kind(), "packet_completed");
+    }
+
+    #[test]
+    fn off_mode_emits_no_packet_events_and_no_meta() {
+        let mut sw = InstrumentedSwitch::new(SplittingFifo::new(8, 1));
+        sw.admit(packet(1, Slot(0), &[0, 1]));
+        sw.run_slot(Slot(0));
+        sw.end_of_run();
+        let events = drain(&mut sw);
+        assert!(events.iter().all(|e| e.kind() == "slot_sched"), "{events:?}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod switch;
 pub use checked::CheckedSwitch;
 pub use crossbar::{Crossbar, FabricStats};
 pub use faults::{FaultConfig, FaultStats, FaultyFabric};
-pub use instrument::InstrumentedSwitch;
+pub use instrument::{InstrumentedSwitch, PacketTraceMode};
 pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
 pub use speedup::SpeedupFabric;
 pub use switch::{Backlog, Switch};

@@ -79,6 +79,16 @@ pub trait Switch {
     fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
         let _ = out;
     }
+
+    /// Called once by the engine after the final slot of an *observed*
+    /// run, immediately before the final [`Switch::drain_events`]. Lets
+    /// wrappers that buffer events beyond the per-slot drain (the
+    /// ring-buffer flight recorder of
+    /// [`InstrumentedSwitch`](crate::InstrumentedSwitch)) move their
+    /// retained events into the drain buffer. The default does nothing,
+    /// and the engine only invokes it when a sink is attached, so
+    /// unobserved runs cannot be perturbed. Wrappers must forward it.
+    fn end_of_run(&mut self) {}
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -104,6 +114,9 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     // swallow the inner switch's buffered events behind every Box.
     fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
         (**self).drain_events(out)
+    }
+    fn end_of_run(&mut self) {
+        (**self).end_of_run()
     }
 }
 

@@ -313,9 +313,22 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    // `f64::from_str` is more lenient than JSON: it accepts a leading
+    // '+', leading zeros like "01", "inf"/"NaN" words (excluded by the
+    // byte scan above), and overflows like 1e999 to infinity. JSON
+    // numbers are finite, never start with '+', and a zero integer part
+    // is a lone zero.
+    let digits = text.strip_prefix('-').unwrap_or(text);
+    if text.starts_with('+')
+        || (digits.len() > 1 && digits.starts_with('0') && !digits.starts_with("0.")
+            && !digits.starts_with("0e") && !digits.starts_with("0E"))
+    {
+        return Err(format!("invalid number {text:?} at byte {start}"));
+    }
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Json::Num(x)),
+        _ => Err(format!("invalid number {text:?} at byte {start}")),
+    }
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -418,6 +431,18 @@ mod tests {
         for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\":1} x", "{\"a\" 1}"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_non_json_numbers() {
+        // f64::from_str leniences that JSON forbids: leading '+',
+        // overflow to infinity, bare words.
+        for bad in ["+5", "1e999", "-1e999", "1e+999", "[+1]", "{\"a\":+2}"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Large-but-finite exponents stay fine.
+        assert_eq!(Json::parse("1e300").unwrap().as_f64(), Some(1e300));
+        assert_eq!(Json::parse("5e-324").unwrap().as_f64(), Some(5e-324));
     }
 
     #[test]

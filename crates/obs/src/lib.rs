@@ -18,7 +18,11 @@
 //!   (slots/sec, ETA) for long sweeps;
 //! * [`Json`] — a dependency-free JSON value/writer/parser (the build
 //!   environment has no serde), and [`schema::validate`] — a JSON-Schema
-//!   subset validator CI uses to pin the BENCH_* output shapes.
+//!   subset validator CI uses to pin the BENCH_* output shapes;
+//! * [`analysis`] — the trace-forensics engine behind `fifoms-repro
+//!   analyze`: streams a JSONL trace back through the parser and
+//!   reconstructs per-copy delay decompositions, the Theorem 1
+//!   starvation audit, convergence histograms and fanout-split tables.
 //!
 //! The overhead contract (DESIGN.md §8): with no sink attached, no
 //! per-slot event is ever constructed and simulation results are
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod json;
 mod metrics;
 mod profile;

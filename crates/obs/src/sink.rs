@@ -135,10 +135,12 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
         ObsEvent::RunMeta {
             switch,
             traffic,
+            ports,
             params,
         } => {
             obj.set("switch", switch.as_str());
             obj.set("traffic", traffic.as_str());
+            obj.set("ports", *ports);
             let mut p = Json::object();
             for (name, value) in params {
                 p.set(name, *value);
@@ -181,6 +183,36 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
         }
         ObsEvent::InvariantViolated { slot: _, detail } => {
             obj.set("detail", detail.as_str());
+        }
+        ObsEvent::RecorderMeta { mode, param } => {
+            obj.set("mode", mode.as_str());
+            obj.set("param", *param);
+        }
+        ObsEvent::PacketArrived {
+            id,
+            slot: _,
+            input,
+            fanout,
+        } => {
+            obj.set("id", id.0);
+            obj.set("input", u64::from(input.0));
+            obj.set("fanout", *fanout);
+        }
+        ObsEvent::CopySent {
+            id,
+            slot: _,
+            output,
+            split,
+        } => {
+            obj.set("id", id.0);
+            obj.set("output", u64::from(output.0));
+            obj.set("split", *split);
+        }
+        ObsEvent::PacketCompleted { id, slot: _ } => {
+            obj.set("id", id.0);
+        }
+        ObsEvent::RunEnd { slots_run } => {
+            obj.set("slots_run", *slots_run);
         }
     }
     obj
@@ -236,6 +268,7 @@ mod tests {
             &ObsEvent::RunMeta {
                 switch: "FIFOMS".into(),
                 traffic: "bernoulli".into(),
+                ports: 16,
                 params: vec![("p".into(), 0.3), ("b".into(), 0.2)],
             },
         );
@@ -255,6 +288,30 @@ mod tests {
             Some(0.2)
         );
         assert_eq!(meta.get("slot"), None);
+    }
+
+    #[test]
+    fn packet_events_serialise_with_ids_and_slots() {
+        use fifoms_types::PacketId;
+        let sent = event_to_json(
+            "s",
+            &ObsEvent::CopySent {
+                id: PacketId(31),
+                slot: Slot(9),
+                output: PortId(4),
+                split: true,
+            },
+        );
+        assert_eq!(sent.get("event").and_then(Json::as_str), Some("copy_sent"));
+        assert_eq!(sent.get("slot").and_then(Json::as_f64), Some(9.0));
+        assert_eq!(sent.get("id").and_then(Json::as_f64), Some(31.0));
+        assert_eq!(sent.get("output").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(sent.get("split"), Some(&Json::Bool(true)));
+        let end = event_to_json("s", &ObsEvent::RunEnd { slots_run: 500 });
+        assert_eq!(end.get("slot"), None, "run_end is run-scoped");
+        assert_eq!(end.get("slots_run").and_then(Json::as_f64), Some(500.0));
+        let reparsed = Json::parse(&sent.to_string()).unwrap();
+        assert_eq!(reparsed, sent);
     }
 
     #[test]

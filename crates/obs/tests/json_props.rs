@@ -1,0 +1,210 @@
+//! Property-style round-trip tests for the hand-rolled JSON writer and
+//! parser. The build environment has no proptest/quickcheck, so the
+//! generator is a small seeded xorshift: hundreds of random documents
+//! per run, fully deterministic, shrinkable by seed.
+//!
+//! The invariant under test is the one `analyze` depends on: every
+//! value the writer can emit parses back to an equal value. Rust's
+//! shortest-round-trip `f64` formatting (and the writer never emitting
+//! exponent notation or non-finite values) makes this exact, not
+//! approximate.
+
+use fifoms_obs::Json;
+
+/// xorshift64* — deterministic, dependency-free pseudo-randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn string(&mut self) -> String {
+        let len = self.below(12) as usize;
+        (0..len)
+            .map(|_| match self.below(7) {
+                // Escapes, control characters, non-ASCII and plain text
+                // in one alphabet.
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => '\u{1}',
+                4 => 'é',
+                5 => '🦀',
+                _ => char::from(b'a' + (self.below(26) as u8)),
+            })
+            .collect()
+    }
+
+    fn number(&mut self) -> f64 {
+        match self.below(6) {
+            // Integers over the full exactly-representable span.
+            0 => (self.next() % (1 << 53)) as f64,
+            1 => -((self.next() % (1 << 53)) as f64),
+            // Small reals.
+            2 => (self.next() % 1_000_000) as f64 / 997.0,
+            3 => -((self.next() % 1_000_000) as f64 / 997.0),
+            // Extreme magnitudes (Display avoids exponent notation, so
+            // these stress the longest encodings).
+            4 => 1e300,
+            _ => 5e-324,
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Json {
+        let pick = if depth == 0 { self.below(4) } else { self.below(6) };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(self.below(2) == 0),
+            2 => Json::Num(self.number()),
+            3 => Json::Str(self.string()),
+            4 => Json::Arr((0..self.below(4)).map(|_| self.value(depth - 1)).collect()),
+            _ => {
+                let mut obj = Json::object();
+                for i in 0..self.below(4) {
+                    // Distinct keys: Json::set replaces duplicates.
+                    let key = format!("{}{}", self.string(), i);
+                    obj.set(&key, self.value(depth - 1));
+                }
+                obj
+            }
+        }
+    }
+}
+
+/// Hundreds of random documents — nested objects/arrays with escaped
+/// strings and extreme numbers — survive write → parse unchanged.
+#[test]
+fn random_documents_round_trip() {
+    for seed in 1..=300u64 {
+        let doc = Rng(seed).value(4);
+        let text = doc.to_string();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: emitted invalid JSON {text:?}: {e}"));
+        assert_eq!(back, doc, "seed {seed}: round trip changed {text:?}");
+    }
+}
+
+/// Every escape the writer can produce parses back, including control
+/// characters, quotes, backslashes and multi-byte code points.
+#[test]
+fn string_escapes_round_trip() {
+    let cases = [
+        "",
+        "\"\\\"",
+        "line\nbreak\ttab\rreturn",
+        "\u{0}\u{1}\u{1f}",
+        "unicode: é 🦀 ẞ \u{2028}",
+        "slash / and \\u0041 literal",
+    ];
+    for s in cases {
+        let doc = Json::Str(s.to_string());
+        let back = Json::parse(&doc.to_string()).expect(s);
+        assert_eq!(back.as_str(), Some(s));
+    }
+}
+
+/// Integer precision: the full exactly-representable i64 window and the
+/// extreme finite doubles round-trip; integral values print without a
+/// decimal point.
+#[test]
+fn numeric_extremes_round_trip() {
+    let max_exact = (1u64 << 53) as f64;
+    let cases = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        max_exact,
+        -max_exact,
+        max_exact - 1.0,
+        0.1,
+        -2.5,
+        1e300,
+        -1e300,
+        5e-324,
+        f64::MAX,
+        f64::MIN,
+    ];
+    for x in cases {
+        let text = Json::Num(x).to_string();
+        assert!(
+            !text.contains('e') && !text.contains('E'),
+            "writer used exponent notation for {x}: {text}"
+        );
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("{x} -> {text:?}: {e}"));
+        assert_eq!(back.as_f64(), Some(x), "via {text:?}");
+    }
+    assert_eq!(Json::Num(42.0).to_string(), "42");
+    // Parsing accepts exponent notation even though the writer avoids it.
+    assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+    assert_eq!(Json::parse("-2.5E-2").unwrap().as_f64(), Some(-0.025));
+}
+
+/// Deep nesting parses without blowing the stack at the depths real
+/// traces could plausibly reach.
+#[test]
+fn deep_nesting_round_trips() {
+    let mut doc = Json::Num(7.0);
+    for _ in 0..300 {
+        doc = Json::Arr(vec![doc]);
+    }
+    let text = doc.to_string();
+    assert_eq!(Json::parse(&text).unwrap(), doc);
+
+    let mut obj_text = String::new();
+    for _ in 0..300 {
+        obj_text.push_str("{\"k\":");
+    }
+    obj_text.push_str("null");
+    obj_text.push_str(&"}".repeat(300));
+    assert!(Json::parse(&obj_text).is_ok());
+}
+
+/// Malformed input is rejected, never mis-parsed: truncations, stray
+/// garbage, f64-lenient number forms and broken escapes.
+#[test]
+fn malformed_documents_are_rejected() {
+    let cases = [
+        "",
+        "   ",
+        "{",
+        "}",
+        "[1, 2",
+        "[1 2]",
+        "{\"a\":}",
+        "{\"a\" \"b\"}",
+        "{a: 1}",
+        "nul",
+        "TRUE",
+        "\"unterminated",
+        "\"bad escape \\x\"",
+        "\"truncated escape \\",
+        "\"truncated unicode \\u00\"",
+        "01",
+        "+5",
+        "1e999",
+        "-1e999",
+        "1e+999",
+        "NaN",
+        "Infinity",
+        "-",
+        "1.2.3",
+        "[1,]",
+        "{\"a\":1,}",
+        "{\"a\":1} trailing",
+        "[1] [2]",
+    ];
+    for bad in cases {
+        assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+    }
+}

@@ -185,6 +185,7 @@ pub fn try_simulate_observed(
             &ObsEvent::RunMeta {
                 switch: switch.name(),
                 traffic: traffic.name(),
+                ports: n as u32,
                 params: traffic
                     .params()
                     .into_iter()
@@ -262,12 +263,20 @@ pub fn try_simulate_observed(
     }
 
     if let Some((sink, scope)) = obs.sink {
-        // A final drain catches events buffered during the last slot's
-        // teardown (e.g. a violation recorded on the aborting slot).
+        // Let buffering wrappers (the ring-buffer flight recorder) move
+        // retained events into the drain path, then a final drain catches
+        // everything buffered during the last slot's teardown (e.g. a
+        // violation recorded on the aborting slot). This block only runs
+        // with a sink attached, so unobserved runs stay bit-identical.
+        switch.end_of_run();
         switch.drain_events(&mut event_buf);
         for e in event_buf.drain(..) {
             sink.emit(scope, &e);
         }
+        // Terminate the scope's stream: slots in [0, slots_run) with no
+        // slot_sched record are idle, not missing — `analyze` relies on
+        // this to compute utilisation without guessing.
+        sink.emit(scope, &ObsEvent::RunEnd { slots_run });
         sink.flush();
     }
 

@@ -50,7 +50,9 @@ pub use checkpoint::CheckpointJournal;
 pub use engine::{simulate, try_simulate, try_simulate_observed, Observer, RunConfig, RunResult};
 // Re-exported so sweep policies can be configured without a direct
 // dependency on the fabric crate.
-pub use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultStats, FaultyFabric, InstrumentedSwitch};
+pub use fifoms_fabric::{
+    CheckedSwitch, FaultConfig, FaultStats, FaultyFabric, InstrumentedSwitch, PacketTraceMode,
+};
 pub use profile::{profile_run, ProfileReport};
 pub use spec::{SwitchKind, TrafficKind};
 pub use sweep::{

@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Duration;
 
-use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultyFabric, InstrumentedSwitch, Switch};
+use fifoms_fabric::{
+    CheckedSwitch, FaultConfig, FaultyFabric, InstrumentedSwitch, PacketTraceMode, Switch,
+};
 use fifoms_obs::{EventSink, ProgressMeter};
 use fifoms_types::SimError;
 
@@ -156,6 +158,9 @@ struct CellSpec {
     /// Shared event sink for tracing; `None` runs the cell unobserved on
     /// the exact same code path (observation is opt-in per sweep).
     trace: Option<Arc<dyn EventSink>>,
+    /// Packet-level sampling gate for the flight recorder (only
+    /// meaningful when `trace` is set).
+    packet_trace: PacketTraceMode,
     /// Scope string stamped on every event of this cell (`label@load`).
     scope: String,
 }
@@ -179,7 +184,10 @@ fn exec_cell(spec: &CellSpec) -> Result<SweepRow, SimError> {
         profiler: None,
     };
     let inner: Box<dyn Switch> = if tracing {
-        Box::new(InstrumentedSwitch::new(built))
+        Box::new(InstrumentedSwitch::with_packet_trace(
+            built,
+            spec.packet_trace,
+        ))
     } else {
         built
     };
@@ -283,6 +291,10 @@ pub struct SweepObserver {
     pub trace: Option<Arc<dyn EventSink>>,
     /// Progress meter rendered to stderr as cells finish.
     pub progress: Option<Arc<ProgressMeter>>,
+    /// Packet-level flight-recorder gate, applied to every traced cell
+    /// (ignored when `trace` is `None`). Defaults to
+    /// [`PacketTraceMode::Off`]: slot aggregates only.
+    pub packet_trace: PacketTraceMode,
 }
 
 impl SweepObserver {
@@ -455,7 +467,8 @@ impl Sweep {
                     if slots[idx].get().is_some() {
                         continue; // already satisfied by the journal
                     }
-                    let outcome = self.run_cell_observed(si, pi, policy, obs.trace.clone());
+                    let outcome =
+                        self.run_cell_observed(si, pi, policy, obs.trace.clone(), obs.packet_trace);
                     if let Some(j) = journal {
                         if let Err(e) = j.record(idx, self, &outcome) {
                             let _ = journal_err.set(e);
@@ -488,7 +501,7 @@ impl Sweep {
     /// Run the cell at grid position `(si, pi)` under the policy's
     /// isolation: panics contained, optional watchdog, bounded retries.
     pub fn run_cell_isolated(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellOutcome {
-        self.run_cell_observed(si, pi, policy, None)
+        self.run_cell_observed(si, pi, policy, None, PacketTraceMode::Off)
     }
 
     fn run_cell_observed(
@@ -497,8 +510,9 @@ impl Sweep {
         pi: usize,
         policy: &CellPolicy,
         trace: Option<Arc<dyn EventSink>>,
+        packet_trace: PacketTraceMode,
     ) -> CellOutcome {
-        let spec = self.cell_spec(si, pi, policy, trace);
+        let spec = self.cell_spec(si, pi, policy, trace, packet_trace);
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -527,6 +541,7 @@ impl Sweep {
         pi: usize,
         policy: &CellPolicy,
         trace: Option<Arc<dyn EventSink>>,
+        packet_trace: PacketTraceMode,
     ) -> CellSpec {
         let (load, tk) = self.points[pi];
         // Workload seed depends only on the point → identical arrivals for
@@ -545,6 +560,7 @@ impl Sweep {
             check_every: policy.check_every,
             faults: policy.faults,
             trace,
+            packet_trace,
             scope,
         }
     }

@@ -11,7 +11,7 @@
 //! sink is attached, nothing in the workspace constructs per-slot events
 //! at all, so the hot path pays only an untaken branch.
 
-use crate::{PortId, Slot};
+use crate::{PacketId, PortId, Slot};
 
 /// One structured observation about a run.
 ///
@@ -27,7 +27,17 @@ use crate::{PortId, Slot};
 /// * [`ObsEvent::FaultMasked`] — a fault-injection wrapper trimmed or
 ///   dropped an arriving packet;
 /// * [`ObsEvent::InvariantViolated`] — a runtime invariant checker caught
-///   a structural violation.
+///   a structural violation;
+/// * [`ObsEvent::RecorderMeta`] / [`ObsEvent::PacketArrived`] /
+///   [`ObsEvent::CopySent`] / [`ObsEvent::PacketCompleted`] — the
+///   packet-level flight recorder (see `DESIGN.md` §9): per-packet
+///   lifecycles behind a sampling gate, consumed by the `analysis`
+///   module of `fifoms-obs`;
+/// * [`ObsEvent::RunEnd`] — the engine's end-of-run marker. `SlotSched`
+///   is skipped for idle slots, so without a terminator a trace consumer
+///   could not tell an idle tail from a truncated file; `RunEnd` makes
+///   idleness explicit: any slot in `[0, slots_run)` with no `SlotSched`
+///   record is provably idle, and utilisation is computable exactly.
 #[derive(Clone, PartialEq, Debug)]
 pub enum ObsEvent {
     /// Identity and workload provenance of one run, emitted before slot 0.
@@ -36,6 +46,9 @@ pub enum ObsEvent {
         switch: String,
         /// Workload name as reported by the traffic model.
         traffic: String,
+        /// Switch size `N` (ports), so trace consumers can compare
+        /// convergence rounds against the `log2 N` reference.
+        ports: u32,
         /// The workload's defining parameters as `(name, value)` pairs
         /// (e.g. `("p", 0.25)`, `("b", 0.2)`). Self-describing provenance
         /// for rows whose analytic `offered_load` is unknown.
@@ -89,6 +102,58 @@ pub enum ObsEvent {
         /// Human-readable rendering of the violation.
         detail: String,
     },
+    /// Flight-recorder configuration, emitted once when packet-level
+    /// tracing is enabled. Consumers use it to decide which analyses are
+    /// sound: the starvation audit and delay decomposition require
+    /// `mode == "all"` (every lifecycle present); sampled or ring traces
+    /// only support per-copy statistics over the packets they kept.
+    RecorderMeta {
+        /// Sampling gate: `"all"`, `"sample"` (1-in-`param`) or `"ring"`
+        /// (bounded buffer of the last `param` packet events).
+        mode: String,
+        /// The gate's parameter (`0` for `"all"`).
+        param: u64,
+    },
+    /// A sampled packet entered the switch.
+    PacketArrived {
+        /// The packet's engine-assigned id.
+        id: PacketId,
+        /// Arrival slot (the packet's timestamp in FIFOMS terms).
+        slot: Slot,
+        /// Input port the packet arrived on.
+        input: PortId,
+        /// Number of destination outputs (fanout).
+        fanout: u32,
+    },
+    /// One copy of a sampled packet crossed the fabric.
+    CopySent {
+        /// The packet the copy belongs to.
+        id: PacketId,
+        /// The slot the copy departed.
+        slot: Slot,
+        /// The destination output.
+        output: PortId,
+        /// Whether this was a *partial* service of the packet's residual
+        /// fanout (fanout splitting: more copies remain queued after this
+        /// slot).
+        split: bool,
+    },
+    /// The final copy of a sampled packet departed.
+    PacketCompleted {
+        /// The packet that completed.
+        id: PacketId,
+        /// The slot its last copy departed.
+        slot: Slot,
+    },
+    /// End-of-run marker: the number of slots actually executed. Emitted
+    /// by the engine as the last event of an observed run; encodes idle
+    /// slots explicitly (a slot below `slots_run` with no `SlotSched`
+    /// record was idle, not lost).
+    RunEnd {
+        /// Slots executed (may be below the configured total if the
+        /// backlog cap aborted the run).
+        slots_run: u64,
+    },
 }
 
 impl ObsEvent {
@@ -100,16 +165,26 @@ impl ObsEvent {
             ObsEvent::SlotSched { .. } => "slot_sched",
             ObsEvent::FaultMasked { .. } => "fault_masked",
             ObsEvent::InvariantViolated { .. } => "invariant_violated",
+            ObsEvent::RecorderMeta { .. } => "recorder_meta",
+            ObsEvent::PacketArrived { .. } => "packet_arrived",
+            ObsEvent::CopySent { .. } => "copy_sent",
+            ObsEvent::PacketCompleted { .. } => "packet_completed",
+            ObsEvent::RunEnd { .. } => "run_end",
         }
     }
 
     /// The slot the event is anchored to, if it is slot-scoped.
     pub fn slot(&self) -> Option<Slot> {
         match self {
-            ObsEvent::RunMeta { .. } => None,
+            ObsEvent::RunMeta { .. }
+            | ObsEvent::RecorderMeta { .. }
+            | ObsEvent::RunEnd { .. } => None,
             ObsEvent::SlotSched { slot, .. }
             | ObsEvent::FaultMasked { slot, .. }
-            | ObsEvent::InvariantViolated { slot, .. } => Some(*slot),
+            | ObsEvent::InvariantViolated { slot, .. }
+            | ObsEvent::PacketArrived { slot, .. }
+            | ObsEvent::CopySent { slot, .. }
+            | ObsEvent::PacketCompleted { slot, .. } => Some(*slot),
         }
     }
 }
@@ -123,6 +198,7 @@ mod tests {
         let meta = ObsEvent::RunMeta {
             switch: "FIFOMS".into(),
             traffic: "bernoulli".into(),
+            ports: 16,
             params: vec![("p".into(), 0.2)],
         };
         assert_eq!(meta.kind(), "run_meta");
@@ -135,5 +211,41 @@ mod tests {
         };
         assert_eq!(fault.kind(), "fault_masked");
         assert_eq!(fault.slot(), Some(Slot(7)));
+    }
+
+    #[test]
+    fn packet_events_are_slot_scoped() {
+        let arrived = ObsEvent::PacketArrived {
+            id: PacketId(9),
+            slot: Slot(3),
+            input: PortId(1),
+            fanout: 4,
+        };
+        assert_eq!(arrived.kind(), "packet_arrived");
+        assert_eq!(arrived.slot(), Some(Slot(3)));
+        let sent = ObsEvent::CopySent {
+            id: PacketId(9),
+            slot: Slot(5),
+            output: PortId(2),
+            split: true,
+        };
+        assert_eq!(sent.kind(), "copy_sent");
+        assert_eq!(sent.slot(), Some(Slot(5)));
+        let done = ObsEvent::PacketCompleted {
+            id: PacketId(9),
+            slot: Slot(6),
+        };
+        assert_eq!(done.kind(), "packet_completed");
+        assert_eq!(done.slot(), Some(Slot(6)));
+        // Run-scoped markers carry no slot.
+        let rec = ObsEvent::RecorderMeta {
+            mode: "ring".into(),
+            param: 1024,
+        };
+        assert_eq!(rec.kind(), "recorder_meta");
+        assert_eq!(rec.slot(), None);
+        let end = ObsEvent::RunEnd { slots_run: 1000 };
+        assert_eq!(end.kind(), "run_end");
+        assert_eq!(end.slot(), None);
     }
 }

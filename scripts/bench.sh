@@ -34,6 +34,9 @@ echo "== self-profile (engine phase breakdown) =="
 cargo run --release --quiet -p fifoms-cli -- profile --slots "$PROFILE_SLOTS"
 
 echo "== validate artifacts against schemas/ =="
-cargo run --release --quiet -p fifoms-cli -- check-bench
+# BENCH_CORE_OUT (if exported) moves the core artifact; validate the
+# same file the bench just wrote.
+cargo run --release --quiet -p fifoms-cli -- check-bench \
+  --current "${BENCH_CORE_OUT:-BENCH_core.json}"
 
-echo "bench artifacts written: BENCH_core.json BENCH_profile.json"
+echo "bench artifacts written: ${BENCH_CORE_OUT:-BENCH_core.json} BENCH_profile.json"

@@ -6,12 +6,22 @@
 #      invariant checks in fabric/core rely on them firing;
 #   3. a smoke run of the self-profiling harness plus schema validation
 #      of the benchmark artifacts it writes (schemas/ must stay in sync
-#      with the emitters).
+#      with the emitters);
+#   4. the bench regression gate: a smoke core bench compared against the
+#      committed BENCH_core.json baseline (wide tolerance — smoke runs
+#      are short and noisy; the gate exists to catch order-of-magnitude
+#      slumps, not jitter);
+#   5. an analyze smoke: a tiny packet-traced sweep piped through
+#      `fifoms-repro analyze --json`, validated against
+#      schemas/analysis.schema.json.
 #
 # Run from anywhere inside the repository.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -22,5 +32,18 @@ cargo test --workspace --quiet
 echo "== profile smoke + artifact schema validation =="
 cargo run --release --quiet -p fifoms-cli -- profile --slots 10000
 cargo run --release --quiet -p fifoms-cli -- check-bench
+
+echo "== bench regression gate (smoke vs committed baseline) =="
+BENCH_SMOKE=1 BENCH_CORE_OUT="$tmp/BENCH_core.json" \
+  cargo bench -p fifoms-bench --bench core
+cargo run --release --quiet -p fifoms-cli -- check-bench \
+  --baseline BENCH_core.json --current "$tmp/BENCH_core.json" --tolerance 0.5
+
+echo "== analyze smoke (packet trace -> forensics report) =="
+cargo run --release --quiet -p fifoms-cli -- sweep --quick --n 8 --points 2 \
+  --trace-out "$tmp/trace.jsonl" --packet-trace all
+cargo run --release --quiet -p fifoms-cli -- analyze "$tmp/trace.jsonl" \
+  --json "$tmp/analysis.json" > /dev/null
+test -s "$tmp/analysis.json"
 
 echo "CI checks passed."

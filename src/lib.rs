@@ -66,9 +66,10 @@ pub mod prelude {
     pub use fifoms_core::{FifomsConfig, FifomsScheduler, MulticastVoqSwitch, TieBreak};
     pub use fifoms_fabric::{
         Backlog, CheckedSwitch, Crossbar, CrossbarSchedule, FaultConfig, FaultStats,
-        FaultyFabric, InstrumentedSwitch, Switch,
+        FaultyFabric, InstrumentedSwitch, PacketTraceMode, Switch,
     };
     pub use fifoms_obs::{
+        analysis::{analyze_trace, ScopeAnalysis, TraceAnalysis},
         EventSink, Json, JsonlSink, MetricsRegistry, NullSink, PhaseProfiler, ProgressMeter,
         RecordingSink,
     };

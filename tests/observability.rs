@@ -44,7 +44,7 @@ fn tracing_does_not_change_results() {
     let rec = Arc::new(RecordingSink::new());
     let observer = SweepObserver {
         trace: Some(rec.clone() as Arc<dyn EventSink>),
-        progress: None,
+        ..SweepObserver::disabled()
     };
     let traced = sweep.run_robust_observed(2, &policy, &observer);
 
@@ -86,6 +86,7 @@ fn jsonl_trace_round_trips() {
     std::fs::remove_file(&path).ok();
     let mut metas = 0u32;
     let mut scheds = 0u64;
+    let mut run_ends = 0u32;
     for line in text.lines() {
         let doc = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line `{line}`: {e}"));
         assert_eq!(
@@ -97,6 +98,11 @@ fn jsonl_trace_round_trips() {
             "run_meta" => {
                 metas += 1;
                 assert_eq!(doc.get("switch").and_then(Json::as_str), Some("FIFOMS"));
+                assert_eq!(
+                    doc.get("ports").and_then(Json::as_f64),
+                    Some(N as f64),
+                    "run_meta carries the switch size"
+                );
                 let params = doc.get("params").expect("workload params");
                 assert!(
                     params.get("p").and_then(Json::as_f64).is_some(),
@@ -118,10 +124,16 @@ fn jsonl_trace_round_trips() {
                     assert!(rounds >= 1.0, "a matched slot took at least one round");
                 }
             }
+            "run_end" => {
+                run_ends += 1;
+                let slots_run = doc.get("slots_run").and_then(Json::as_f64);
+                assert_eq!(slots_run, Some(2_000.0), "run_end reports the slots run");
+            }
             other => panic!("unexpected event kind `{other}` in an un-faulted run"),
         }
     }
     assert_eq!(metas, 1, "exactly one run_meta per run");
+    assert_eq!(run_ends, 1, "exactly one run_end per run");
     assert!(scheds > 500, "expected per-slot records, got {scheds}");
 }
 
@@ -138,7 +150,7 @@ fn traced_rounds_respect_explicit_cap() {
     let rec = Arc::new(RecordingSink::new());
     let observer = SweepObserver {
         trace: Some(rec.clone() as Arc<dyn EventSink>),
-        progress: None,
+        ..SweepObserver::disabled()
     };
     let outcomes = sweep.run_robust_observed(1, &CellPolicy::isolated(), &observer);
     assert!(outcomes.iter().all(|o| o.row().is_some()));
@@ -177,7 +189,7 @@ fn fault_injection_emits_masked_events() {
     let rec = Arc::new(RecordingSink::new());
     let observer = SweepObserver {
         trace: Some(rec.clone() as Arc<dyn EventSink>),
-        progress: None,
+        ..SweepObserver::disabled()
     };
     let outcomes = sweep.run_robust_observed(1, &policy, &observer);
     assert!(outcomes.iter().all(|o| o.row().is_some()));
