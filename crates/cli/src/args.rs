@@ -57,6 +57,12 @@ pub struct Options {
     pub current: Option<String>,
     /// Allowed fractional slots/sec regression before the gate fails.
     pub tolerance: f64,
+    /// Run the shortened CI chaos campaign (`chaos --smoke`).
+    pub smoke: bool,
+    /// Scenarios per chaos campaign.
+    pub scenarios: usize,
+    /// Run a single chaos scenario from a `name=value,...` spec.
+    pub scenario: Option<String>,
 }
 
 impl Default for Options {
@@ -87,6 +93,9 @@ impl Default for Options {
             baseline: None,
             current: None,
             tolerance: 0.15,
+            smoke: false,
+            scenarios: 12,
+            scenario: None,
         }
     }
 }
@@ -110,6 +119,7 @@ const COMMANDS: &[&str] = &[
     "profile",
     "check-bench",
     "analyze",
+    "chaos",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -121,13 +131,15 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--smoke" => opts.smoke = true,
             "--plot" => opts.plot = true,
             "--inject-faults" => opts.inject_faults = true,
             "--progress" => opts.progress = true,
             "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir"
             | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries"
             | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" | "--packet-trace"
-            | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance" => {
+            | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance"
+            | "--scenarios" | "--scenario" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -156,6 +168,8 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--baseline" => opts.baseline = Some(value.clone()),
                     "--current" => opts.current = Some(value.clone()),
                     "--tolerance" => opts.tolerance = parse_num(arg, value)?,
+                    "--scenarios" => opts.scenarios = parse_num(arg, value)?,
+                    "--scenario" => opts.scenario = Some(value.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -192,6 +206,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     }
     if !opts.tolerance.is_finite() || opts.tolerance <= 0.0 {
         return Err("--tolerance must be a positive number".into());
+    }
+    if opts.scenarios == 0 {
+        return Err("--scenarios must be positive".into());
     }
     let command = command.ok_or("missing command")?;
     if command == "analyze" && opts.input.is_none() {
@@ -376,6 +393,28 @@ mod tests {
         assert_eq!(o.tolerance, 0.5);
         assert!(parse(&argv("check-bench --tolerance 0")).is_err());
         assert!(parse(&argv("check-bench --tolerance -0.1")).is_err());
+    }
+
+    #[test]
+    fn chaos_flags() {
+        let (cmd, o) = parse(&argv("chaos --smoke --seed 7")).unwrap();
+        assert_eq!(cmd, "chaos");
+        assert!(o.smoke);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scenarios, 12);
+
+        let (_, o) = parse(&argv(
+            "chaos --scenarios 3 --scenario crosspoint_faults=2,retry_budget=1",
+        ))
+        .unwrap();
+        assert_eq!(o.scenarios, 3);
+        assert_eq!(
+            o.scenario.as_deref(),
+            Some("crosspoint_faults=2,retry_budget=1")
+        );
+
+        assert!(parse(&argv("chaos --scenarios 0")).is_err());
+        assert!(parse(&argv("chaos --scenario")).is_err());
     }
 
     #[test]

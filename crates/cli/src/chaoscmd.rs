@@ -1,0 +1,155 @@
+//! The `chaos` subcommand: seeded egress-fault campaigns with automatic
+//! reproducer shrinking.
+//!
+//! A campaign runs [`campaign_scenarios`] through the armoured stack
+//! (`CheckedSwitch` outside `FaultyFabric` outside the FIFOMS switch),
+//! prints one table row per scenario with its recovery metrics, and —
+//! when a scenario fails — delta-debugs it with [`shrink_scenario`] down
+//! to a minimal `--scenario` spec printed as a ready-to-run reproducer.
+//! The process exits nonzero if any scenario fails, which is what the CI
+//! smoke stage keys on.
+
+use fifoms_sim::{campaign_scenarios, run_scenario, shrink_scenario, ChaosOutcome, ChaosScenario};
+use fifoms_types::SimError;
+
+use crate::args::Options;
+
+/// Entry point for `fifoms-repro chaos`.
+pub fn chaos(opts: &Options) -> Result<(), SimError> {
+    let scenarios = match &opts.scenario {
+        Some(spec) => vec![ChaosScenario::parse(spec)?],
+        None => campaign_scenarios(opts.seed, opts.scenarios, opts.smoke),
+    };
+    let label = if opts.scenario.is_some() {
+        "scenario"
+    } else if opts.smoke {
+        "smoke campaign"
+    } else {
+        "campaign"
+    };
+    println!(
+        "chaos {label}: {} scenario(s), seed {}",
+        scenarios.len(),
+        opts.seed
+    );
+    println!();
+    print_header();
+
+    let mut outcomes: Vec<ChaosOutcome> = Vec::with_capacity(scenarios.len());
+    for (k, sc) in scenarios.iter().enumerate() {
+        let out = run_scenario(sc);
+        print_row(k, &out);
+        outcomes.push(out);
+    }
+    println!();
+    print_recovery_summary(&outcomes);
+
+    let failures: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| o.failed()).collect();
+    if failures.is_empty() {
+        println!(
+            "all {} scenario(s) ok: zero invariant violations, zero unreconciled fanout counters",
+            outcomes.len()
+        );
+        return Ok(());
+    }
+
+    for out in &failures {
+        shrink_and_report(out);
+    }
+    Err(SimError::Usage(format!(
+        "chaos {label} FAILED: {}/{} scenario(s) bad",
+        failures.len(),
+        outcomes.len()
+    )))
+}
+
+fn print_header() {
+    println!(
+        "{:>3}  {:<12}  {:>9} {:>9} {:>7}  {:>6} {:>6} {:>5}  {:>7} {:>6} {:>6}  {:>7}  spec",
+        "#",
+        "status",
+        "admitted",
+        "delivered",
+        "drops",
+        "killed",
+        "recov",
+        "lost",
+        "ttr", // mean time-to-recover
+        "sb-p", // scoreboard precision
+        "sb-r", // scoreboard recall
+        "slots",
+    );
+}
+
+fn print_row(k: usize, out: &ChaosOutcome) {
+    let r = &out.recovery;
+    let spec = out.scenario.cli_spec();
+    println!(
+        "{:>3}  {:<12}  {:>9} {:>9} {:>7}  {:>6} {:>6} {:>5}  {:>7.1} {:>6.2} {:>6.2}  {:>7}  {}",
+        k,
+        out.status(),
+        out.admitted_copies,
+        out.delivered_copies,
+        out.reconciled_drops,
+        r.copies_killed,
+        r.copies_recovered,
+        r.copies_lost,
+        r.mean_time_to_recover,
+        r.scoreboard_precision,
+        r.scoreboard_recall,
+        out.slots_run,
+        if spec.is_empty() { "(defaults)" } else { &spec },
+    );
+}
+
+/// Campaign-wide recovery aggregates (copy counts sum; latency and
+/// scoreboard figures average over the scenarios that measured them).
+fn print_recovery_summary(outcomes: &[ChaosOutcome]) {
+    let killed: u64 = outcomes.iter().map(|o| o.recovery.copies_killed).sum();
+    let recovered: u64 = outcomes.iter().map(|o| o.recovery.copies_recovered).sum();
+    let lost: u64 = outcomes.iter().map(|o| o.recovery.copies_lost).sum();
+    let max_ttr = outcomes
+        .iter()
+        .map(|o| o.recovery.max_time_to_recover)
+        .max()
+        .unwrap_or(0);
+    let with_recovery: Vec<&ChaosOutcome> = outcomes
+        .iter()
+        .filter(|o| o.recovery.copies_recovered > 0)
+        .collect();
+    let mean_ttr = if with_recovery.is_empty() {
+        0.0
+    } else {
+        with_recovery
+            .iter()
+            .map(|o| o.recovery.mean_time_to_recover)
+            .sum::<f64>()
+            / with_recovery.len() as f64
+    };
+    println!(
+        "recovery: {killed} copies killed, {recovered} recovered \
+         (mean ttr {mean_ttr:.1} slots, max {max_ttr}), {lost} escalated to drops"
+    );
+}
+
+/// Shrink one failing scenario and print the minimal reproducer.
+fn shrink_and_report(out: &ChaosOutcome) {
+    println!();
+    println!(
+        "scenario FAILED [{}]: {}",
+        out.status(),
+        out.violation.as_deref().unwrap_or("(no invariant message)")
+    );
+    println!("  shrinking ...");
+    let (min, runs) = shrink_scenario(&out.scenario, |sc| run_scenario(sc).failed());
+    let spec = min.cli_spec();
+    println!(
+        "  minimal reproducer after {runs} probe run(s), {} non-default parameter(s):",
+        min.non_default_params().len()
+    );
+    if spec.is_empty() {
+        println!("    fifoms-repro chaos --scenario \"\"   # default scenario already fails");
+    } else {
+        println!("    fifoms-repro chaos --scenario {spec}");
+    }
+}

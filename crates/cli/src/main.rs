@@ -41,6 +41,15 @@
 //! fanout-split tables.
 //!   --compare <PATH>     diff against a second trace (e.g. iSLIP run)
 //!   --json <PATH>        also write the report as JSON
+//!
+//! chaos runs a seeded egress-fault campaign through the invariant
+//! checker and exits nonzero on any violation, deadlock or unreconciled
+//! fanout counter; failing scenarios are shrunk to a minimal
+//! `--scenario` reproducer:
+//!   --scenarios <C>      scenarios per campaign    [default: 12]
+//!   --smoke              shortened CI campaign (seconds, not minutes)
+//!   --scenario <SPEC>    run one scenario, e.g.
+//!                        crosspoint_faults=2,crosspoint_duration=never
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -51,6 +60,7 @@
 
 mod analyze;
 mod args;
+mod chaoscmd;
 mod figures;
 mod obscmd;
 mod traces;
@@ -66,7 +76,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC]");
             return ExitCode::FAILURE;
         }
     };
@@ -96,6 +106,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "profile" => obscmd::profile(opts),
         "check-bench" => obscmd::check_bench(opts),
         "analyze" => analyze::analyze(opts),
+        "chaos" => chaoscmd::chaos(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

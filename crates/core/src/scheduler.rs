@@ -1,6 +1,6 @@
 //! The iterative FIFOMS matching algorithm (paper §III, Table 2).
 
-use fifoms_fabric::CrossbarSchedule;
+use fifoms_fabric::{CrossbarSchedule, FaultScoreboard};
 use fifoms_types::{PortId, PortSet, Slot};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -126,6 +126,24 @@ impl FifomsScheduler {
     /// are free), grant step (each free output grants the smallest stamp,
     /// ties broken per [`TieBreak`]), iterating until no new pair matches.
     pub fn schedule(&mut self, ports: &[InputPort], rng: &mut SmallRng) -> ScheduleOutcome {
+        self.schedule_avoiding(ports, None, rng)
+    }
+
+    /// [`FifomsScheduler::schedule`], additionally skipping quarantined
+    /// egress paths: with `avoid = Some((scoreboard, now))` a HOL cell
+    /// whose `(input, output)` path is quarantined neither participates
+    /// in the smallest-stamp selection nor requests its output, so known
+    /// dead paths stop wasting request/grant iterations. With `None`
+    /// this is exactly `schedule` — the unfaulted path is bit-identical.
+    ///
+    /// Skipped cells stay queued; once the scoreboard's timed forgetting
+    /// expires a mark, the path's HOL cell requests again (the re-probe).
+    pub fn schedule_avoiding(
+        &mut self,
+        ports: &[InputPort],
+        avoid: Option<(&FaultScoreboard, Slot)>,
+        rng: &mut SmallRng,
+    ) -> ScheduleOutcome {
         let n = ports.len();
         debug_assert!(
             ports.iter().all(|p| p.voqs().outputs() == n),
@@ -137,6 +155,9 @@ impl FifomsScheduler {
         let mut rounds = 0u32;
         // Reused request buffers: per output, the requesting (stamp, input)s.
         let mut requests: Vec<Vec<(Slot, usize)>> = vec![Vec::new(); n];
+        let path_live = |i: usize, o: PortId| {
+            avoid.is_none_or(|(sb, now)| !sb.is_quarantined(PortId::new(i), o, now))
+        };
 
         loop {
             if let Some(cap) = self.config.max_rounds {
@@ -160,6 +181,7 @@ impl FifomsScheduler {
                 let mut smallest: Option<Slot> = None;
                 for (o, cell) in port.voqs().hol_cells() {
                     if output_free[o.index()]
+                        && path_live(i, o)
                         && smallest.is_none_or(|ts| cell.time_stamp < ts)
                     {
                         smallest = Some(cell.time_stamp);
@@ -167,7 +189,7 @@ impl FifomsScheduler {
                 }
                 let Some(smallest) = smallest else { continue };
                 for (o, cell) in port.voqs().hol_cells() {
-                    if output_free[o.index()] && cell.time_stamp == smallest {
+                    if output_free[o.index()] && path_live(i, o) && cell.time_stamp == smallest {
                         requests[o.index()].push((smallest, i));
                         any_request = true;
                         if self.config.single_request {

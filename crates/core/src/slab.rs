@@ -137,6 +137,27 @@ impl DataCellSlab {
         done
     }
 
+    /// Undo one `serve_destination` on a still-live cell: increment its
+    /// fanout counter. Used by the retransmission path when an egress
+    /// fault killed a copy whose departure had already decremented the
+    /// counter — the copy goes back to its VOQ, so the counter must count
+    /// it again to keep `fanoutCounter == queued address cells`.
+    ///
+    /// Only valid while the cell is live (the kill was *not* the last
+    /// copy). If the serve destroyed the cell, the caller must allocate a
+    /// fresh cell instead — the key here would be stale and panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stale or freed key.
+    pub fn restore_destination(&mut self, key: DataCellKey) {
+        let idx = self.check_key(key);
+        match &mut self.entries[idx] {
+            SlabEntry::Live(cell) => cell.fanout_counter += 1,
+            SlabEntry::Free(_) => panic!("data cell {key:?} already destroyed"),
+        }
+    }
+
     /// Iterate over live cells (diagnostics and invariant checks).
     pub fn iter_live(&self) -> impl Iterator<Item = (DataCellKey, &DataCell)> + '_ {
         self.entries
@@ -188,6 +209,29 @@ mod tests {
         assert!(slab.serve_destination(k)); // last copy
         assert_eq!(slab.live(), 0);
         assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn restore_destination_undoes_a_serve() {
+        let mut slab = DataCellSlab::new();
+        let k = slab.alloc(PacketId(1), Slot(0), 2);
+        assert!(!slab.serve_destination(k));
+        assert_eq!(slab.get(k).fanout_counter, 1);
+        slab.restore_destination(k);
+        assert_eq!(slab.get(k).fanout_counter, 2);
+        assert_eq!(slab.live(), 1);
+        assert!(!slab.serve_destination(k));
+        assert!(slab.serve_destination(k));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale data cell key")]
+    fn restore_on_destroyed_cell_detected() {
+        let mut slab = DataCellSlab::new();
+        let k = slab.alloc(PacketId(1), Slot(0), 1);
+        assert!(slab.serve_destination(k)); // cell destroyed
+        slab.restore_destination(k); // stale generation
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! The complete multicast VOQ switch running FIFOMS.
 
-use fifoms_fabric::{Backlog, Crossbar, Switch};
-use fifoms_types::{Departure, Packet, Slot, SlotOutcome};
+use fifoms_fabric::{Backlog, Crossbar, FaultScoreboard, Switch};
+use fifoms_types::{Departure, Packet, RetryDisposition, Slot, SlotOutcome};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::cell::AddressCell;
 use crate::port::InputPort;
 use crate::scheduler::{FifomsConfig, FifomsScheduler};
+
+/// Default scoreboard quarantine window (slots): how long a path that
+/// failed at the crosspoint is skipped by the scheduler before being
+/// re-probed. Tunable via [`MulticastVoqSwitch::with_quarantine_slots`].
+pub const DEFAULT_QUARANTINE_SLOTS: u64 = 200;
 
 /// An `N×N` multicast VOQ switch scheduled by FIFOMS.
 ///
@@ -22,6 +28,7 @@ pub struct MulticastVoqSwitch {
     scheduler: FifomsScheduler,
     crossbar: Crossbar,
     rng: SmallRng,
+    scoreboard: FaultScoreboard,
 }
 
 impl MulticastVoqSwitch {
@@ -38,7 +45,22 @@ impl MulticastVoqSwitch {
             scheduler: FifomsScheduler::new(config),
             crossbar: Crossbar::new(n),
             rng: SmallRng::seed_from_u64(seed),
+            scoreboard: FaultScoreboard::new(n, DEFAULT_QUARANTINE_SLOTS),
         }
+    }
+
+    /// Replace the fault scoreboard's quarantine window (builder style).
+    ///
+    /// Only meaningful under an egress-fault fabric: the scoreboard stays
+    /// empty (and the scheduler untouched) until a copy actually fails.
+    pub fn with_quarantine_slots(mut self, slots: u64) -> MulticastVoqSwitch {
+        self.scoreboard = FaultScoreboard::new(self.ports.len(), slots);
+        self
+    }
+
+    /// The per-path fault scoreboard learned from observed copy failures.
+    pub fn scoreboard(&self) -> &FaultScoreboard {
+        &self.scoreboard
     }
 
     /// Read-only access to an input port's buffering state.
@@ -95,7 +117,16 @@ impl Switch for MulticastVoqSwitch {
 
     fn run_slot(&mut self, now: Slot) -> SlotOutcome {
         // --- iterative scheduling (Table 2, request/grant rounds) ---
-        let outcome = self.scheduler.schedule(&self.ports, &mut self.rng);
+        // The scoreboard is consulted only once a failure has been
+        // observed; with no marks the unfaulted schedule is bit-identical.
+        let avoid = if self.scoreboard.is_empty() {
+            None
+        } else {
+            Some((&self.scoreboard, now))
+        };
+        let outcome = self
+            .scheduler
+            .schedule_avoiding(&self.ports, avoid, &mut self.rng);
 
         // --- data transmission: set crosspoints, send data cells ---
         self.crossbar.apply(&outcome.schedule);
@@ -134,12 +165,45 @@ impl Switch for MulticastVoqSwitch {
                 });
             }
         }
-        let _ = now;
         SlotOutcome {
             connections: departures.len(),
             rounds: outcome.rounds,
             departures,
         }
+    }
+
+    fn copy_failed(&mut self, d: &Departure, now: Slot, requeue: bool) -> RetryDisposition {
+        self.scoreboard.record_failure(d.input, d.output, now);
+        if !requeue {
+            // Retry budget exhausted: the serve already decremented the
+            // fanout counter, so abandoning the copy needs no repair here;
+            // the fault layer records the structured drop.
+            return RetryDisposition::Dropped;
+        }
+        let port = &mut self.ports[d.input.index()];
+        // Undo this copy's serve. If sibling copies are still queued the
+        // packet's data cell is live — bump its counter back. If this was
+        // the last copy the cell was destroyed — reallocate a fanout-1
+        // cell with the ORIGINAL arrival so the FIFO weight survives.
+        let live = port
+            .slab()
+            .iter_live()
+            .find(|(_, cell)| cell.packet == d.packet)
+            .map(|(key, _)| key);
+        let key = match live {
+            Some(key) => {
+                port.slab_mut().restore_destination(key);
+                key
+            }
+            None => port.slab_mut().alloc(d.packet, d.arrival, 1),
+        };
+        // Head-of-queue re-insertion preserves Theorem 1: the retried cell
+        // was this VOQ's HOL, so its stamp is <= every cell behind it.
+        port.voqs_mut().queue_mut(d.output).push_front(AddressCell {
+            time_stamp: d.arrival,
+            data: key,
+        });
+        RetryDisposition::Requeued
     }
 
     fn queue_sizes(&self, out: &mut Vec<usize>) {
@@ -332,5 +396,106 @@ mod tests {
     fn admit_validates_destinations() {
         let mut sw = MulticastVoqSwitch::new(4, 0);
         sw.admit(pkt(1, 0, 0, &[7]));
+    }
+
+    #[test]
+    fn copy_failed_requeues_with_original_timestamp() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        sw.admit(pkt(1, 0, 0, &[1, 2]));
+        let out = sw.run_slot(Slot(3));
+        assert_eq!(out.departures.len(), 2);
+        // Pretend the copy to output 2 died at the crosspoint.
+        let failed = out.departures.iter().find(|d| d.output == PortId(2)).unwrap();
+        let disp = sw.copy_failed(failed, Slot(3), true);
+        assert_eq!(disp, RetryDisposition::Requeued);
+        sw.check_invariants();
+        assert_eq!(sw.backlog().copies, 1);
+        assert!(!sw.scoreboard().is_empty());
+        assert!(sw
+            .scoreboard()
+            .is_quarantined(PortId(0), PortId(2), Slot(4)));
+        // Once the quarantine mark expires, redelivery carries the original
+        // arrival stamp and closes out the packet.
+        let probe = Slot(3 + DEFAULT_QUARANTINE_SLOTS);
+        let out = sw.run_slot(probe);
+        assert_eq!(out.departures.len(), 1);
+        let d = &out.departures[0];
+        assert_eq!((d.output, d.arrival, d.last_copy), (PortId(2), Slot(0), true));
+        assert!(sw.backlog().is_empty());
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn copy_failed_reallocates_a_destroyed_cell() {
+        // Unicast: the departure was last_copy, so the data cell is gone
+        // and the requeue must rebuild a fanout-1 cell.
+        let mut sw = MulticastVoqSwitch::new(4, 0).with_quarantine_slots(2);
+        sw.admit(pkt(7, 1, 2, &[3]));
+        let out = sw.run_slot(Slot(1));
+        assert!(out.departures[0].last_copy);
+        assert_eq!(sw.copy_failed(&out.departures[0], Slot(1), true), RetryDisposition::Requeued);
+        sw.check_invariants();
+        assert_eq!(sw.backlog(), Backlog { packets: 1, copies: 1 });
+        // Quarantined: the path is skipped, no departure.
+        assert!(sw.run_slot(Slot(2)).departures.is_empty());
+        // Mark expired: re-probe succeeds with the original stamp.
+        let out = sw.run_slot(Slot(3));
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].arrival, Slot(1));
+        assert!(out.departures[0].last_copy);
+        assert!(sw.backlog().is_empty());
+    }
+
+    #[test]
+    fn copy_failed_without_requeue_records_only_the_scoreboard_mark() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        sw.admit(pkt(1, 0, 0, &[1]));
+        let out = sw.run_slot(Slot(0));
+        assert_eq!(sw.copy_failed(&out.departures[0], Slot(0), false), RetryDisposition::Dropped);
+        // The copy is abandoned: no backlog, but the path is marked dead.
+        assert!(sw.backlog().is_empty());
+        assert!(sw.scoreboard().is_quarantined(PortId(0), PortId(1), Slot(1)));
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn quarantine_diverts_traffic_to_live_paths() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        sw.admit(pkt(1, 0, 0, &[1]));
+        let out = sw.run_slot(Slot(0));
+        sw.copy_failed(&out.departures[0], Slot(0), true);
+        // While (0 -> 1) is quarantined, a younger cell for a live output
+        // is served instead of the stuck retry.
+        sw.admit(pkt(2, 1, 0, &[2]));
+        let out = sw.run_slot(Slot(1));
+        assert_eq!(out.departures.len(), 1);
+        assert_eq!(out.departures[0].output, PortId(2));
+        assert_eq!(sw.backlog().copies, 1);
+        sw.check_invariants();
+    }
+
+    #[test]
+    fn empty_scoreboard_is_bit_identical_to_baseline() {
+        // Constructing with a different quarantine window must not perturb
+        // scheduling when no failure was ever recorded.
+        let run = |sw: &mut MulticastVoqSwitch| {
+            let mut log = Vec::new();
+            for t in 0..50u64 {
+                sw.admit(pkt(t * 2 + 1, t, (t % 4) as u16, &[0, 1]));
+                sw.admit(pkt(t * 2 + 2, t, ((t + 1) % 4) as u16, &[1, 3]));
+                let out = sw.run_slot(Slot(t));
+                let mut d: Vec<_> = out
+                    .departures
+                    .iter()
+                    .map(|d| (d.packet.raw(), d.output.index(), d.last_copy))
+                    .collect();
+                d.sort_unstable();
+                log.push(d);
+            }
+            log
+        };
+        let mut base = MulticastVoqSwitch::new(4, 9);
+        let mut tuned = MulticastVoqSwitch::new(4, 9).with_quarantine_slots(1);
+        assert_eq!(run(&mut base), run(&mut tuned));
     }
 }

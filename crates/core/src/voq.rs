@@ -33,6 +33,23 @@ impl Voq {
         self.cells.push_back(cell);
     }
 
+    /// Re-insert an address cell at the *head* of the queue
+    /// (retransmission after an egress fault).
+    ///
+    /// The retried cell was the head-of-line cell when it was scheduled,
+    /// so its timestamp is no larger than any cell behind it — pushing it
+    /// back at the head restores exactly the pre-service FIFO order, which
+    /// is what keeps Theorem 1's starvation argument intact.
+    pub fn push_front(&mut self, cell: AddressCell) {
+        debug_assert!(
+            self.cells
+                .front()
+                .is_none_or(|hol| cell.time_stamp <= hol.time_stamp),
+            "VOQ FIFO order violated: re-inserting cell younger than HOL"
+        );
+        self.cells.push_front(cell);
+    }
+
     /// The head-of-line cell, if any.
     pub fn hol(&self) -> Option<&AddressCell> {
         self.cells.front()
@@ -148,6 +165,33 @@ mod tests {
         let mut q = Voq::new();
         q.push_back(cell(5, 0));
         q.push_back(cell(3, 1));
+    }
+
+    #[test]
+    fn push_front_restores_hol() {
+        let mut q = Voq::new();
+        q.push_back(cell(2, 0));
+        q.push_back(cell(4, 1));
+        let served = q.pop_front().unwrap();
+        assert_eq!(served.time_stamp, Slot(2));
+        // A failed transmission goes back to the head, timestamp intact.
+        q.push_front(served);
+        assert_eq!(q.hol().unwrap().time_stamp, Slot(2));
+        assert_eq!(q.len(), 2);
+        // Equal-stamp re-insertion is legal too (same-slot arrivals).
+        let served = q.pop_front().unwrap();
+        q.push_front(cell(2, 3));
+        assert_eq!(q.hol().unwrap().data.index, 3);
+        let _ = served;
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "FIFO order violated")]
+    fn push_front_younger_than_hol_detected_in_debug() {
+        let mut q = Voq::new();
+        q.push_back(cell(3, 0));
+        q.push_front(cell(5, 1));
     }
 
     #[test]

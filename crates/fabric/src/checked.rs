@@ -14,8 +14,16 @@
 //!    served copies, and `last_copy` is flagged on precisely the departure
 //!    that clears the counter;
 //! 4. **Cell conservation** — admitted copies equal delivered copies plus
-//!    the backlog the switch reports (checked every `check_every` slots,
-//!    since it requires no per-departure context).
+//!    reconciled drops plus the backlog the switch reports (checked every
+//!    `check_every` slots, since it requires no per-departure context).
+//!
+//! Egress faults are accounted through the same ledger: a
+//! [`DroppedCopy`] drained from the wrapped switch marks its output
+//! served-by-drop (subject to the same fanout-membership and overrun
+//! checks as a delivery), and a requeued retransmission
+//! ([`Switch::copy_failed`] returning
+//! [`RetryDisposition::Requeued`](fifoms_types::RetryDisposition))
+//! un-serves the ledger so the copy is expected again.
 //!
 //! Violations are *sticky*: the first one is recorded as a structured
 //! [`InvariantViolation`] and can be inspected with
@@ -26,7 +34,8 @@
 use std::collections::HashMap;
 
 use fifoms_types::{
-    InvariantViolation, ObsEvent, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome,
+    Departure, DroppedCopy, InvariantViolation, ObsEvent, Packet, PacketId, PortId, PortSet,
+    RetryDisposition, Slot, SlotOutcome,
 };
 
 use crate::switch::{Backlog, Switch};
@@ -53,6 +62,11 @@ pub struct CheckedSwitch<S> {
     in_flight: HashMap<PacketId, Tracked>,
     admitted_copies: u64,
     delivered_copies: u64,
+    /// Copies abandoned by the egress-fault path, accounted in the
+    /// ledger as served-by-drop.
+    reconciled_copies: u64,
+    /// Accounted drops buffered for re-emission to outer drainers.
+    drops: Vec<DroppedCopy>,
     slots_checked: u64,
     violation: Option<InvariantViolation>,
     /// Whether the sticky violation has already been surfaced through
@@ -75,6 +89,8 @@ impl<S: Switch> CheckedSwitch<S> {
             in_flight: HashMap::new(),
             admitted_copies: 0,
             delivered_copies: 0,
+            reconciled_copies: 0,
+            drops: Vec::new(),
             slots_checked: 0,
             violation: None,
             violation_reported: false,
@@ -84,6 +100,21 @@ impl<S: Switch> CheckedSwitch<S> {
     /// The first invariant violation observed, if any.
     pub fn violation(&self) -> Option<&InvariantViolation> {
         self.violation.as_ref()
+    }
+
+    /// Copies the egress-fault path abandoned and reconciled so far.
+    pub fn reconciled_copies(&self) -> u64 {
+        self.reconciled_copies
+    }
+
+    /// Copies delivered (visible departures accepted by the ledger).
+    pub fn delivered_copies(&self) -> u64 {
+        self.delivered_copies
+    }
+
+    /// Copies admitted (post any ingress masking above this wrapper).
+    pub fn admitted_copies(&self) -> u64 {
+        self.admitted_copies
     }
 
     /// Consume the wrapper, yielding `Ok(inner)` if the run was clean.
@@ -103,6 +134,52 @@ impl<S: Switch> CheckedSwitch<S> {
         // Sticky: keep the first violation, which localises the root cause;
         // later ones are usually knock-on effects of the same bug.
         self.violation.get_or_insert(violation);
+    }
+
+    /// Drain and account the wrapped switch's reconciled drops. A drop
+    /// resolves its output exactly like a delivery (same membership and
+    /// overrun checks) but counts toward `reconciled_copies`, and a
+    /// packet whose last copy resolves by drop completes without any
+    /// flagged departure.
+    fn absorb_inner_drops(&mut self) {
+        let mut drained = Vec::new();
+        self.inner.drain_reconciled_drops(&mut drained);
+        for drop in &drained {
+            let d = *drop;
+            match self.in_flight.get_mut(&d.packet) {
+                None => self.record(InvariantViolation::GrantOutsideFanout {
+                    slot: d.slot,
+                    input: d.input,
+                    output: d.output,
+                    packet: d.packet,
+                }),
+                Some(entry) if !entry.requested.contains(d.output) => {
+                    self.record(InvariantViolation::GrantOutsideFanout {
+                        slot: d.slot,
+                        input: d.input,
+                        output: d.output,
+                        packet: d.packet,
+                    });
+                }
+                Some(entry) => {
+                    if !entry.served.insert(d.output) {
+                        let violation = InvariantViolation::FanoutOverrun {
+                            slot: d.slot,
+                            packet: d.packet,
+                            fanout: entry.requested.len(),
+                            delivered: entry.served.len() + 1,
+                        };
+                        self.record(violation);
+                        continue;
+                    }
+                    self.reconciled_copies += 1;
+                    if entry.served.len() == entry.requested.len() {
+                        self.in_flight.remove(&d.packet);
+                    }
+                }
+            }
+        }
+        self.drops.extend(drained);
     }
 
     fn check_outcome(&mut self, now: Slot, outcome: &SlotOutcome) {
@@ -171,11 +248,15 @@ impl<S: Switch> CheckedSwitch<S> {
         self.slots_checked += 1;
         if self.slots_checked.is_multiple_of(self.check_every) {
             let backlog = self.inner.backlog().copies as u64;
-            if self.admitted_copies != self.delivered_copies + backlog {
+            // Under egress faults the law gains the reconciled term:
+            // admitted == delivered + backlog + reconciled drops. With no
+            // egress faults `reconciled_copies` is 0 and this is the
+            // original check.
+            if self.admitted_copies != self.delivered_copies + backlog + self.reconciled_copies {
                 self.record(InvariantViolation::ConservationMismatch {
                     slot: now,
                     admitted_copies: self.admitted_copies,
-                    delivered_copies: self.delivered_copies,
+                    delivered_copies: self.delivered_copies + self.reconciled_copies,
                     backlog_copies: backlog,
                 });
             }
@@ -206,6 +287,11 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
 
     fn run_slot(&mut self, now: Slot) -> SlotOutcome {
         let outcome = self.inner.run_slot(now);
+        // Drops must be accounted before departures: when a packet's
+        // flagged copy resolves by drop, the fault layer promotes its
+        // final surviving departure to `last_copy`, and the ledger only
+        // agrees once the dropped output is marked served.
+        self.absorb_inner_drops();
         self.check_outcome(now, &outcome);
         outcome
     }
@@ -231,6 +317,44 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
 
     fn end_of_run(&mut self) {
         self.inner.end_of_run();
+    }
+
+    fn copy_failed(&mut self, d: &Departure, now: Slot, requeue: bool) -> RetryDisposition {
+        let disposition = self.inner.copy_failed(d, now, requeue);
+        if disposition == RetryDisposition::Requeued {
+            // The copy this wrapper counted as delivered is back in the
+            // queue: un-serve the ledger so it is expected again (and so
+            // conservation sees it in the backlog, not the delivered
+            // count).
+            match self.in_flight.get_mut(&d.packet) {
+                Some(entry) => {
+                    if entry.served.remove(d.output) {
+                        self.delivered_copies = self.delivered_copies.saturating_sub(1);
+                    }
+                }
+                None => {
+                    // The packet had completed and was retired from the
+                    // ledger; resurrect it with just the requeued output
+                    // outstanding.
+                    let mut requested = PortSet::new();
+                    requested.insert(d.output);
+                    self.in_flight.insert(
+                        d.packet,
+                        Tracked {
+                            requested,
+                            served: PortSet::new(),
+                        },
+                    );
+                    self.delivered_copies = self.delivered_copies.saturating_sub(1);
+                }
+            }
+        }
+        disposition
+    }
+
+    fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
+        self.absorb_inner_drops();
+        out.append(&mut self.drops);
     }
 }
 

@@ -29,7 +29,9 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use fifoms_types::{ObsEvent, Packet, PacketId, Slot, SlotOutcome};
+use fifoms_types::{
+    Departure, DroppedCopy, ObsEvent, Packet, PacketId, RetryDisposition, Slot, SlotOutcome,
+};
 
 use crate::switch::{Backlog, Switch};
 
@@ -296,6 +298,25 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
         // drainable events, picked up by the engine's final drain.
         self.events.extend(self.ring.drain(..));
         self.inner.end_of_run();
+    }
+
+    fn copy_failed(&mut self, d: &Departure, now: Slot, requeue: bool) -> RetryDisposition {
+        // The retransmission request must reach the queue structure that
+        // owns the cell; this wrapper sits between the fault injector and
+        // the scheduler on instrumented runs.
+        let disposition = self.inner.copy_failed(d, now, requeue);
+        if disposition == RetryDisposition::Requeued {
+            // If the killed copy was flagged `last_copy`, `derive_event`
+            // already retired the packet from the starvation ledger;
+            // restore it so `oldest_age` keeps seeing the requeued copy
+            // (insert is idempotent for unflagged kills).
+            self.ledger.insert((d.arrival, d.packet));
+        }
+        disposition
+    }
+
+    fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
+        self.inner.drain_reconciled_drops(out)
     }
 }
 

@@ -26,13 +26,15 @@ mod crossbar;
 mod faults;
 mod instrument;
 mod schedule;
+mod scoreboard;
 mod speedup;
 mod switch;
 
 pub use checked::CheckedSwitch;
 pub use crossbar::{Crossbar, FabricStats};
-pub use faults::{FaultConfig, FaultStats, FaultyFabric};
+pub use faults::{FaultConfig, FaultMode, FaultStats, FaultyFabric};
 pub use instrument::{InstrumentedSwitch, PacketTraceMode};
+pub use scoreboard::FaultScoreboard;
 pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
 pub use speedup::SpeedupFabric;
 pub use switch::{Backlog, Switch};

@@ -1,0 +1,168 @@
+//! Per-input learning of dead egress paths from observed failures.
+
+use fifoms_types::{PortId, Slot};
+
+/// A per-input fault scoreboard: which `(input, output)` paths have
+/// recently killed a transmission.
+///
+/// Egress faults are invisible at admission — the line card only learns a
+/// crosspoint or output is dead when a scheduled copy fails to traverse
+/// it. The scoreboard records each observed failure and *quarantines* the
+/// path for a fixed number of slots: while quarantined, FIFOMS request
+/// generation skips the path, so scheduler iterations are not wasted on
+/// grants that the fabric will kill anyway.
+///
+/// Quarantine uses **timed forgetting**: a mark expires `quarantine`
+/// slots after the last failure, after which the path is re-probed by the
+/// next scheduled copy. Recovered hardware therefore returns to service
+/// automatically at the cost of one probe copy per expiry (which the
+/// bounded retransmission path absorbs); a still-dead path re-marks
+/// itself on that probe.
+///
+/// The scoreboard is deliberately *pessimistic only about what it saw*:
+/// it never marks a path without an observed kill, so with fault
+/// injection disabled it stays empty and [`FaultScoreboard::is_empty`]
+/// lets the scheduler skip consulting it entirely — the unfaulted path
+/// stays bit-identical.
+#[derive(Clone, Debug)]
+pub struct FaultScoreboard {
+    ports: usize,
+    /// Last observed failure slot per `input * ports + output`; `None`
+    /// means the path has never failed (or the mark was cleared).
+    last_failure: Vec<Option<Slot>>,
+    /// Slots a mark stays effective after its last failure.
+    quarantine: u64,
+    /// Number of `Some` marks (fast emptiness check; expired marks still
+    /// count until overwritten, so emptiness is conservative).
+    marks: usize,
+}
+
+impl FaultScoreboard {
+    /// A scoreboard for an `n × n` switch quarantining failed paths for
+    /// `quarantine` slots.
+    pub fn new(n: usize, quarantine: u64) -> FaultScoreboard {
+        FaultScoreboard {
+            ports: n,
+            last_failure: vec![None; n * n],
+            quarantine,
+            marks: 0,
+        }
+    }
+
+    fn idx(&self, input: PortId, output: PortId) -> usize {
+        input.index() * self.ports + output.index()
+    }
+
+    /// The configured quarantine window in slots.
+    pub fn quarantine_slots(&self) -> u64 {
+        self.quarantine
+    }
+
+    /// Whether no failure has ever been recorded (conservative: expired
+    /// marks keep this `false` until the path is re-proved live).
+    pub fn is_empty(&self) -> bool {
+        self.marks == 0
+    }
+
+    /// Record a kill observed on `(input, output)` at `slot`.
+    pub fn record_failure(&mut self, input: PortId, output: PortId, slot: Slot) {
+        let i = self.idx(input, output);
+        if self.last_failure[i].is_none() {
+            self.marks += 1;
+        }
+        self.last_failure[i] = Some(slot);
+    }
+
+    /// Record a successful traversal of `(input, output)`: clear any mark
+    /// so the path returns to full service immediately.
+    pub fn record_success(&mut self, input: PortId, output: PortId) {
+        let i = self.idx(input, output);
+        if self.last_failure[i].take().is_some() {
+            self.marks -= 1;
+        }
+    }
+
+    /// Whether `(input, output)` is quarantined at `now`: a failure was
+    /// recorded within the last `quarantine` slots. Expired marks report
+    /// `false` (timed forgetting), so the path will be re-probed.
+    pub fn is_quarantined(&self, input: PortId, output: PortId, now: Slot) -> bool {
+        match self.last_failure[self.idx(input, output)] {
+            Some(last) => now.0.saturating_sub(last.0) < self.quarantine,
+            None => false,
+        }
+    }
+
+    /// All paths quarantined at `now`, for scoreboard-accuracy probes.
+    pub fn quarantined_paths(&self, now: Slot) -> Vec<(PortId, PortId)> {
+        let mut out = Vec::new();
+        for i in 0..self.ports {
+            for o in 0..self.ports {
+                let (i, o) = (PortId::new(i), PortId::new(o));
+                if self.is_quarantined(i, o, now) {
+                    out.push((i, o));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_unquarantined() {
+        let sb = FaultScoreboard::new(4, 100);
+        assert!(sb.is_empty());
+        assert!(!sb.is_quarantined(PortId(0), PortId(1), Slot(0)));
+        assert!(sb.quarantined_paths(Slot(0)).is_empty());
+    }
+
+    #[test]
+    fn failure_quarantines_until_timed_forgetting() {
+        let mut sb = FaultScoreboard::new(4, 100);
+        sb.record_failure(PortId(1), PortId(2), Slot(50));
+        assert!(!sb.is_empty());
+        assert!(sb.is_quarantined(PortId(1), PortId(2), Slot(50)));
+        assert!(sb.is_quarantined(PortId(1), PortId(2), Slot(149)));
+        // Mark expires: the path is re-probed, not dead forever.
+        assert!(!sb.is_quarantined(PortId(1), PortId(2), Slot(150)));
+        // Other paths are unaffected.
+        assert!(!sb.is_quarantined(PortId(2), PortId(1), Slot(60)));
+    }
+
+    #[test]
+    fn repeated_failures_extend_the_window() {
+        let mut sb = FaultScoreboard::new(4, 100);
+        sb.record_failure(PortId(0), PortId(0), Slot(0));
+        sb.record_failure(PortId(0), PortId(0), Slot(90));
+        assert!(sb.is_quarantined(PortId(0), PortId(0), Slot(150)));
+        assert!(!sb.is_quarantined(PortId(0), PortId(0), Slot(190)));
+    }
+
+    #[test]
+    fn success_clears_the_mark() {
+        let mut sb = FaultScoreboard::new(4, 100);
+        sb.record_failure(PortId(3), PortId(1), Slot(10));
+        sb.record_success(PortId(3), PortId(1));
+        assert!(sb.is_empty());
+        assert!(!sb.is_quarantined(PortId(3), PortId(1), Slot(11)));
+        // Clearing an unmarked path is a no-op.
+        sb.record_success(PortId(3), PortId(1));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn quarantined_paths_lists_active_marks_only() {
+        let mut sb = FaultScoreboard::new(3, 10);
+        sb.record_failure(PortId(0), PortId(2), Slot(0));
+        sb.record_failure(PortId(1), PortId(1), Slot(5));
+        assert_eq!(
+            sb.quarantined_paths(Slot(7)),
+            vec![(PortId(0), PortId(2)), (PortId(1), PortId(1))]
+        );
+        // First mark expired at slot 10, second at 15.
+        assert_eq!(sb.quarantined_paths(Slot(12)), vec![(PortId(1), PortId(1))]);
+    }
+}

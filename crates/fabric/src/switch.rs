@@ -1,6 +1,6 @@
 //! The switch abstraction driven by the simulation engine.
 
-use fifoms_types::{ObsEvent, Packet, Slot, SlotOutcome};
+use fifoms_types::{Departure, DroppedCopy, ObsEvent, Packet, RetryDisposition, Slot, SlotOutcome};
 
 /// Cells still queued inside a switch.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -89,6 +89,33 @@ pub trait Switch {
     /// and the engine only invokes it when a sink is attached, so
     /// unobserved runs cannot be perturbed. Wrappers must forward it.
     fn end_of_run(&mut self) {}
+
+    /// An egress fault killed the transmission described by `d` (which
+    /// this switch reported in the current slot's
+    /// [`SlotOutcome`](fifoms_types::SlotOutcome)). With `requeue == true`
+    /// the switch should re-queue the copy for retransmission at the head
+    /// of its queue *with its original timestamp* and return
+    /// [`RetryDisposition::Requeued`]; with `requeue == false` (retry
+    /// budget exhausted) it should abandon the copy, reconcile its
+    /// `fanoutCounter`, and return [`RetryDisposition::Dropped`].
+    ///
+    /// The default returns [`RetryDisposition::Unsupported`]: disciplines
+    /// without a retransmission path make the fault injector account the
+    /// copy as a structured drop instead. Wrappers must forward this so
+    /// the request reaches the queue structure that owns the cell.
+    fn copy_failed(&mut self, d: &Departure, now: Slot, requeue: bool) -> RetryDisposition {
+        let _ = (d, now, requeue);
+        RetryDisposition::Unsupported
+    }
+
+    /// Move the [`DroppedCopy`] records of copies abandoned since the
+    /// last call into `out` (oldest first). Conservation checkers add
+    /// these to the delivered count: under egress faults the law is
+    /// `admitted == delivered + backlog + reconciled drops`. The default
+    /// is a no-op; wrappers must forward it.
+    fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
+        let _ = out;
+    }
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -117,6 +144,12 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn end_of_run(&mut self) {
         (**self).end_of_run()
+    }
+    fn copy_failed(&mut self, d: &Departure, now: Slot, requeue: bool) -> RetryDisposition {
+        (**self).copy_failed(d, now, requeue)
+    }
+    fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
+        (**self).drain_reconciled_drops(out)
     }
 }
 

@@ -59,6 +59,15 @@ pub struct ScopeAnalysis {
     pub utilisation: Option<f64>,
     /// `fault_masked` records seen (fault injection was active).
     pub faults_masked: u64,
+    /// `copy_killed` records seen (egress fault injection was active).
+    pub copies_killed: u64,
+    /// `copy_killed` records with `requeued == false`: structured drops.
+    pub copies_dropped: u64,
+    /// `copy_recovered` records: killed copies that finally got through.
+    pub copies_recovered: u64,
+    /// Mean slots from first kill to delivery over recovered copies
+    /// (`None` when nothing recovered).
+    pub mean_recovery_latency: Option<f64>,
     /// `invariant_violated` records seen.
     pub invariant_violations: u64,
     /// Packets with a recorded arrival.
@@ -276,6 +285,14 @@ impl ScopeAnalysis {
         obj.set("transmissions", self.transmissions);
         obj.set("split_packets", self.split_packets);
         obj.set("faults_masked", self.faults_masked);
+        if self.copies_killed > 0 {
+            let mut rec = Json::object();
+            rec.set("copies_killed", self.copies_killed);
+            rec.set("copies_dropped", self.copies_dropped);
+            rec.set("copies_recovered", self.copies_recovered);
+            rec.set("mean_recovery_latency", self.mean_recovery_latency);
+            obj.set("recovery", rec);
+        }
         obj.set("invariant_violations", self.invariant_violations);
         obj.set("order_anomalies", self.order_anomalies);
 
@@ -384,6 +401,10 @@ struct ScopeAcc {
     rounds_slots: u64,
     rounds_max: u32,
     max_event_slot: u64,
+    copies_killed: u64,
+    copies_dropped: u64,
+    copies_recovered: u64,
+    recovery_latency_sum: u64,
     packets: BTreeMap<u64, PacketLife>,
 }
 
@@ -501,6 +522,16 @@ pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, String> {
             }
             "fault_masked" => acc.faults_masked += 1,
             "invariant_violated" => acc.invariant_violations += 1,
+            "copy_killed" => {
+                acc.copies_killed += 1;
+                if !matches!(field(&doc, "requeued", line)?, Json::Bool(true)) {
+                    acc.copies_dropped += 1;
+                }
+            }
+            "copy_recovered" => {
+                acc.copies_recovered += 1;
+                acc.recovery_latency_sum += unum_field(&doc, "latency", line)?;
+            }
             // Unknown kinds are skipped: newer emitters may add events
             // this analyser does not understand yet.
             _ => {}
@@ -535,6 +566,11 @@ fn finish_scope(label: String, acc: ScopeAcc) -> ScopeAnalysis {
         .filter(|s| *s > 0)
         .map(|s| acc.busy_slots as f64 / s as f64);
     out.faults_masked = acc.faults_masked;
+    out.copies_killed = acc.copies_killed;
+    out.copies_dropped = acc.copies_dropped;
+    out.copies_recovered = acc.copies_recovered;
+    out.mean_recovery_latency = (acc.copies_recovered > 0)
+        .then(|| acc.recovery_latency_sum as f64 / acc.copies_recovered as f64);
     out.invariant_violations = acc.invariant_violations;
     out.rounds = RoundsProfile {
         histogram: acc.rounds_hist,
@@ -886,6 +922,24 @@ mod tests {
         assert_eq!(s.busy_slots, 3);
         assert_eq!(s.slots_run, Some(6));
         assert!((s.utilisation.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_events_are_tallied() {
+        let lines = [
+            r#"{"event":"copy_killed","scope":"S","slot":1,"input":0,"output":2,"packet":1,"requeued":true,"retry":1}"#,
+            r#"{"event":"copy_killed","scope":"S","slot":2,"input":0,"output":2,"packet":1,"requeued":true,"retry":2}"#,
+            r#"{"event":"copy_killed","scope":"S","slot":3,"input":1,"output":3,"packet":2,"requeued":false,"retry":4}"#,
+            r#"{"event":"copy_recovered","scope":"S","slot":5,"input":0,"output":2,"packet":1,"kills":2,"latency":4}"#,
+        ];
+        let a = analyze_trace(&(lines.join("\n") + "\n")).unwrap();
+        let s = &a.scopes[0];
+        assert_eq!(s.copies_killed, 3);
+        assert_eq!(s.copies_dropped, 1);
+        assert_eq!(s.copies_recovered, 1);
+        assert_eq!(s.mean_recovery_latency, Some(4.0));
+        let json = s.to_json().to_string();
+        assert!(json.contains(r#""recovery""#), "recovery block missing: {json}");
     }
 
     #[test]

@@ -211,6 +211,34 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
         ObsEvent::PacketCompleted { id, slot: _ } => {
             obj.set("id", id.0);
         }
+        ObsEvent::CopyKilled {
+            slot: _,
+            input,
+            output,
+            packet,
+            requeued,
+            retry,
+        } => {
+            obj.set("input", u64::from(input.0));
+            obj.set("output", u64::from(output.0));
+            obj.set("packet", packet.0);
+            obj.set("requeued", *requeued);
+            obj.set("retry", u64::from(*retry));
+        }
+        ObsEvent::CopyRecovered {
+            slot: _,
+            input,
+            output,
+            packet,
+            kills,
+            latency,
+        } => {
+            obj.set("input", u64::from(input.0));
+            obj.set("output", u64::from(output.0));
+            obj.set("packet", packet.0);
+            obj.set("kills", u64::from(*kills));
+            obj.set("latency", *latency);
+        }
         ObsEvent::RunEnd { slots_run } => {
             obj.set("slots_run", *slots_run);
         }

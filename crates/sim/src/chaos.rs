@@ -1,0 +1,696 @@
+//! Chaos campaign harness for the egress fault runtime.
+//!
+//! A campaign sweeps seeded [`ChaosScenario`]s — each one an egress-mode
+//! fault schedule plus a workload — through the fully armoured stack
+//! `CheckedSwitch<FaultyFabric<MulticastVoqSwitch>>` (the checker is
+//! *outside* the fault layer, so every invariant is enforced on the
+//! post-fault view the rest of the system actually sees). Each run
+//! records recovery metrics (time-to-recover, loss counts, scoreboard
+//! accuracy) into a [`RecoveryRecorder`] from the `copy_killed` /
+//! `copy_recovered` observability events, and verifies the egress
+//! conservation law
+//!
+//! ```text
+//! admitted copies == delivered + reconciled drops + backlog
+//! ```
+//!
+//! When a scenario fails — an invariant violation, unreconciled
+//! `fanoutCounter`s, or a switch that never drains — [`shrink_scenario`]
+//! delta-debugs it against the default scenario, one parameter at a
+//! time, down to a minimal reproducer that prints as a ready-to-run
+//! `fifoms-repro chaos --scenario ...` invocation.
+
+use fifoms_core::MulticastVoqSwitch;
+use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultMode, FaultStats, FaultyFabric, Switch};
+use fifoms_stats::{RecoveryRecorder, RecoverySummary};
+use fifoms_types::{DroppedCopy, ObsEvent, Packet, PacketId, PortId, SimError, Slot};
+
+use crate::spec::TrafficKind;
+
+/// Slots between scoreboard-vs-ground-truth audits during a run.
+const AUDIT_EVERY: u64 = 64;
+
+/// Per-output destination probability of the campaign workload.
+const CHAOS_B: f64 = 0.25;
+
+/// One seeded fault scenario: everything that determines a chaos run.
+///
+/// Every field has a default (see [`ChaosScenario::default`]); a
+/// scenario's identity for reporting and shrinking is its set of
+/// *non-default* parameters, rendered as `name=value,...` by
+/// [`ChaosScenario::cli_spec`] and parsed back by
+/// [`ChaosScenario::parse`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChaosScenario {
+    /// Switch size.
+    pub n: usize,
+    /// Seed for the switch, workload and fault schedule.
+    pub seed: u64,
+    /// Loaded slots before the drain phase begins.
+    pub slots: u64,
+    /// Effective Bernoulli-multicast load during the loaded phase.
+    pub load: f64,
+    /// Output flap period in slots (`0` disables flaps).
+    pub flap_period: u64,
+    /// Slots an output stays down within each flap period.
+    pub flap_duration: u64,
+    /// Number of crosspoints killed at `crosspoint_at` (`0` disables).
+    pub crosspoint_faults: usize,
+    /// Slot the crosspoint faults strike.
+    pub crosspoint_at: u64,
+    /// Slots until a failed crosspoint recovers (`u64::MAX` never).
+    pub crosspoint_duration: u64,
+    /// Kills one copy survives before its structured drop.
+    pub retry_budget: u32,
+    /// Scoreboard quarantine window in slots.
+    pub quarantine: u64,
+}
+
+impl Default for ChaosScenario {
+    fn default() -> ChaosScenario {
+        ChaosScenario {
+            n: 8,
+            seed: 1,
+            slots: 2_000,
+            load: 0.6,
+            flap_period: 0,
+            flap_duration: 0,
+            crosspoint_faults: 0,
+            crosspoint_at: 0,
+            crosspoint_duration: 0,
+            retry_budget: 3,
+            quarantine: 200,
+        }
+    }
+}
+
+/// Field names in shrink order (fault knobs first: zeroing them disables
+/// whole fault dimensions, which is the biggest single-step reduction).
+const FIELDS: &[&str] = &[
+    "flap_period",
+    "flap_duration",
+    "crosspoint_faults",
+    "crosspoint_at",
+    "crosspoint_duration",
+    "retry_budget",
+    "quarantine",
+    "load",
+    "slots",
+    "n",
+    "seed",
+];
+
+impl ChaosScenario {
+    /// The value of one named field, rendered as its spec string.
+    fn get(&self, name: &str) -> String {
+        match name {
+            "n" => self.n.to_string(),
+            "seed" => self.seed.to_string(),
+            "slots" => self.slots.to_string(),
+            "load" => self.load.to_string(),
+            "flap_period" => self.flap_period.to_string(),
+            "flap_duration" => self.flap_duration.to_string(),
+            "crosspoint_faults" => self.crosspoint_faults.to_string(),
+            "crosspoint_at" => self.crosspoint_at.to_string(),
+            "crosspoint_duration" => self.crosspoint_duration.to_string(),
+            "retry_budget" => self.retry_budget.to_string(),
+            "quarantine" => self.quarantine.to_string(),
+            other => unreachable!("unknown scenario field {other}"),
+        }
+    }
+
+    /// Set one named field from its spec string.
+    fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("bad value {value} for {name}"))
+        }
+        match name {
+            "n" => self.n = num(name, value)?,
+            "seed" => self.seed = num(name, value)?,
+            "slots" => self.slots = num(name, value)?,
+            "load" => self.load = num(name, value)?,
+            "flap_period" => self.flap_period = num(name, value)?,
+            "flap_duration" => self.flap_duration = num(name, value)?,
+            "crosspoint_faults" => self.crosspoint_faults = num(name, value)?,
+            "crosspoint_at" => self.crosspoint_at = num(name, value)?,
+            "crosspoint_duration" => {
+                self.crosspoint_duration = if value == "never" {
+                    u64::MAX
+                } else {
+                    num(name, value)?
+                }
+            }
+            "retry_budget" => self.retry_budget = num(name, value)?,
+            "quarantine" => self.quarantine = num(name, value)?,
+            other => return Err(format!("unknown scenario field {other}")),
+        }
+        Ok(())
+    }
+
+    /// Parse a `name=value,...` spec over the default scenario.
+    pub fn parse(spec: &str) -> Result<ChaosScenario, SimError> {
+        let mut sc = ChaosScenario::default();
+        let err = |m: String| SimError::Usage(format!("--scenario {spec}: {m}"));
+        for pair in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (name, value) = pair
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected name=value, got {pair}")))?;
+            sc.set(name.trim(), value.trim()).map_err(err)?;
+        }
+        sc.validate().map_err(err)?;
+        Ok(sc)
+    }
+
+    /// Reject scenarios the runner cannot execute meaningfully.
+    fn validate(&self) -> Result<(), String> {
+        if !(2..=64).contains(&self.n) {
+            return Err(format!("n={} outside 2..=64", self.n));
+        }
+        if self.slots == 0 || self.slots > 10_000_000 {
+            return Err(format!("slots={} outside 1..=10^7", self.slots));
+        }
+        // p = load/(b·n) must stay a probability.
+        if !(self.load > 0.0 && self.load <= CHAOS_B * self.n as f64 && self.load <= 1.0) {
+            return Err(format!("load={} not in (0, 1]", self.load));
+        }
+        if self.flap_period > 0 && self.flap_duration >= self.flap_period {
+            return Err("flap_duration must be < flap_period".into());
+        }
+        Ok(())
+    }
+
+    /// The non-default parameters, in [`FIELDS`] order.
+    pub fn non_default_params(&self) -> Vec<(&'static str, String)> {
+        let base = ChaosScenario::default();
+        FIELDS
+            .iter()
+            .filter(|f| self.get(f) != base.get(f))
+            .map(|f| {
+                let v = match (*f, self.crosspoint_duration) {
+                    ("crosspoint_duration", u64::MAX) => "never".to_string(),
+                    _ => self.get(f),
+                };
+                (*f, v)
+            })
+            .collect()
+    }
+
+    /// The `--scenario` spec reproducing this scenario (empty string for
+    /// the all-defaults scenario).
+    pub fn cli_spec(&self) -> String {
+        self.non_default_params()
+            .into_iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The egress-mode fault schedule this scenario injects.
+    pub fn fault_config(&self) -> FaultConfig {
+        FaultConfig {
+            seed: self.seed ^ 0xC0DE,
+            flap_period: self.flap_period,
+            flap_duration: self.flap_duration,
+            crosspoint_faults: self.crosspoint_faults,
+            crosspoint_at: self.crosspoint_at,
+            crosspoint_duration: self.crosspoint_duration,
+            mode: FaultMode::Egress,
+            retry_budget: self.retry_budget,
+        }
+    }
+}
+
+/// Everything measured and checked in one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The scenario that was run.
+    pub scenario: ChaosScenario,
+    /// First invariant violation, rendered (`None` when clean).
+    pub violation: Option<String>,
+    /// Whether the backlog fully drained within the drain budget (a
+    /// `false` here is the campaign's deadlock detector).
+    pub drained: bool,
+    /// `admitted − delivered − reconciled − backlog` at end of run: the
+    /// egress conservation residue. Nonzero means a `fanoutCounter` was
+    /// lost or double-counted.
+    pub unreconciled: i64,
+    /// Copies admitted through the checker.
+    pub admitted_copies: u64,
+    /// Copies delivered through the checker.
+    pub delivered_copies: u64,
+    /// Structured drops reconciled against admissions.
+    pub reconciled_drops: u64,
+    /// Recovery metrics distilled from the observability events.
+    pub recovery: RecoverySummary,
+    /// The fault layer's own accounting.
+    pub fault_stats: FaultStats,
+    /// Slots executed including the drain phase.
+    pub slots_run: u64,
+}
+
+impl ChaosOutcome {
+    /// Whether this run must fail the campaign.
+    pub fn failed(&self) -> bool {
+        self.violation.is_some() || !self.drained || self.unreconciled != 0
+    }
+
+    /// One status word for tables.
+    pub fn status(&self) -> &'static str {
+        if self.violation.is_some() {
+            "VIOLATION"
+        } else if !self.drained {
+            "DEADLOCK"
+        } else if self.unreconciled != 0 {
+            "UNRECONCILED"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// Run one scenario on the real stack:
+/// `CheckedSwitch<FaultyFabric<MulticastVoqSwitch>>`, scoreboard audits
+/// enabled.
+pub fn run_scenario(sc: &ChaosScenario) -> ChaosOutcome {
+    let core = MulticastVoqSwitch::new(sc.n, sc.seed).with_quarantine_slots(sc.quarantine);
+    let audit = |sw: &MulticastVoqSwitch, i: PortId, o: PortId, now: Slot| {
+        sw.scoreboard().is_quarantined(i, o, now)
+    };
+    drive(sc, core, Some(&audit))
+}
+
+/// Run one scenario with a caller-supplied core switch (test fixtures
+/// seed deliberate bugs this way); scoreboard audits are skipped because
+/// a generic [`Switch`] exposes none.
+pub fn run_scenario_on<S: Switch>(sc: &ChaosScenario, core: S) -> ChaosOutcome {
+    drive::<S>(sc, core, None)
+}
+
+#[allow(clippy::type_complexity)]
+fn drive<S: Switch>(
+    sc: &ChaosScenario,
+    core: S,
+    audit: Option<&dyn Fn(&S, PortId, PortId, Slot) -> bool>,
+) -> ChaosOutcome {
+    debug_assert!(sc.validate().is_ok(), "unvalidated scenario: {sc:?}");
+    let fabric = FaultyFabric::new(core, sc.fault_config()).with_event_recording();
+    let mut checked = CheckedSwitch::new(fabric);
+    let mut traffic = TrafficKind::bernoulli_at_load(sc.load, CHAOS_B, sc.n)
+        .build(sc.n, sc.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let mut recorder = RecoveryRecorder::new();
+    let mut arrivals: Vec<Option<_>> = Vec::with_capacity(sc.n);
+    let mut events: Vec<ObsEvent> = Vec::new();
+    let mut drops: Vec<DroppedCopy> = Vec::new();
+    let mut next_packet = 0u64;
+    let mut reconciled_drops = 0u64;
+    let mut slots_run = 0u64;
+    // Deadlock detection for the drain phase. The backlog is
+    // non-increasing once admissions stop (a requeued copy stays in the
+    // count), so "no decrease across a full stall window" means no copy
+    // will ever move again. The window covers everything that can
+    // legitimately stall progress: a dead path gates each of its
+    // retry-budget+1 kill cycles behind a quarantine window before the
+    // re-probe, a flapped output is down for up to a period, and a
+    // transient crosspoint outage lasts `crosspoint_duration`. A
+    // deadline that resets on every backlog decrease lets a permanent
+    // fault serialize a deep VOQ through its kill/requeue cycles
+    // however long that takes, while a genuinely wedged switch is
+    // flagged after one quiet window.
+    let transient_outage = if sc.crosspoint_duration == u64::MAX {
+        0
+    } else {
+        sc.crosspoint_duration
+    };
+    let stall_window = (u64::from(sc.retry_budget) + 2) * sc.quarantine.max(1)
+        + sc.flap_period
+        + transient_outage
+        + 1_000;
+    let mut best_backlog = u64::MAX;
+    let mut deadline = sc.slots + stall_window;
+
+    let mut t = 0u64;
+    loop {
+        let now = Slot(t);
+        if t < sc.slots {
+            traffic.next_slot(now, &mut arrivals);
+            for (input, dests) in arrivals.iter_mut().enumerate() {
+                if let Some(dests) = dests.take() {
+                    next_packet += 1;
+                    checked.admit(Packet::new(
+                        PacketId(next_packet),
+                        now,
+                        PortId::new(input),
+                        dests,
+                    ));
+                }
+            }
+        } else {
+            let copies = checked.backlog().copies as u64;
+            if copies == 0 {
+                break; // fully drained
+            }
+            if copies < best_backlog {
+                best_backlog = copies;
+                deadline = t + stall_window;
+            }
+            if t >= deadline {
+                break; // a full stall window without progress: deadlock
+            }
+        }
+        checked.run_slot(now);
+        slots_run = t + 1;
+
+        checked.drain_events(&mut events);
+        for e in events.drain(..) {
+            match e {
+                ObsEvent::CopyKilled { requeued, .. } => recorder.record_kill(requeued),
+                ObsEvent::CopyRecovered { kills, latency, .. } => {
+                    recorder.record_recovery(kills, latency)
+                }
+                _ => {}
+            }
+        }
+        checked.drain_reconciled_drops(&mut drops);
+        for _ in drops.drain(..) {
+            recorder.record_loss();
+            reconciled_drops += 1;
+        }
+
+        if let Some(audit) = audit {
+            if t % AUDIT_EVERY == AUDIT_EVERY - 1 {
+                let (mut hits, mut false_alarms, mut misses) = (0u64, 0u64, 0u64);
+                let fabric = checked.inner();
+                let core = fabric.inner();
+                for i in 0..sc.n {
+                    for o in 0..sc.n {
+                        let (i, o) = (PortId::new(i), PortId::new(o));
+                        let truth = fabric.path_down(i, o, now);
+                        let marked = audit(core, i, o, now);
+                        match (truth, marked) {
+                            (true, true) => hits += 1,
+                            (false, true) => false_alarms += 1,
+                            (true, false) => misses += 1,
+                            (false, false) => {}
+                        }
+                    }
+                }
+                recorder.record_scoreboard_audit(hits, false_alarms, misses);
+            }
+        }
+
+        if checked.violation().is_some() {
+            break; // first violation ends the run; the scenario failed
+        }
+        t += 1;
+    }
+
+    let backlog = checked.backlog();
+    let admitted = checked.admitted_copies();
+    let delivered = checked.delivered_copies();
+    let reconciled = checked.reconciled_copies();
+    ChaosOutcome {
+        scenario: *sc,
+        violation: checked.violation().map(|v| v.to_string()),
+        drained: backlog.is_empty(),
+        unreconciled: admitted as i64
+            - delivered as i64
+            - reconciled as i64
+            - backlog.copies as i64,
+        admitted_copies: admitted,
+        delivered_copies: delivered,
+        reconciled_drops,
+        recovery: recorder.summary(),
+        fault_stats: checked.inner().stats(),
+        slots_run,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic scenario list of a campaign: `count` scenarios
+/// derived from `seed`, cycling through crosspoint-only, flap-only and
+/// combined fault flavours with varied budgets, windows and loads.
+/// `smoke` shortens the loaded phase so a CI campaign stays in seconds.
+pub fn campaign_scenarios(seed: u64, count: usize, smoke: bool) -> Vec<ChaosScenario> {
+    let mut state = seed ^ 0xCAFE_F00D;
+    (0..count)
+        .map(|k| {
+            let r = splitmix64(&mut state);
+            let mut sc = ChaosScenario {
+                seed: seed.wrapping_add(k as u64).wrapping_mul(2).wrapping_add(1),
+                slots: if smoke { 1_200 } else { 4_000 },
+                // Integer hundredths so the spec renders as `0.4`, not
+                // an accumulated-error float like `0.39999999999999997`.
+                load: (35 + 5 * (r % 8)) as f64 / 100.0,
+                retry_budget: ((r >> 8) % 5) as u32,
+                quarantine: [50, 100, 200][(r >> 16) as usize % 3],
+                ..ChaosScenario::default()
+            };
+            match (r >> 32) % 3 {
+                0 | 2 => {
+                    sc.crosspoint_faults = 1 + (r >> 40) as usize % 3;
+                    sc.crosspoint_at = sc.slots / 8 + (r >> 48) % (sc.slots / 4);
+                    sc.crosspoint_duration = if (r >> 56).is_multiple_of(4) {
+                        u64::MAX // permanent: exercises the drop path
+                    } else {
+                        50 + (r >> 57) % 350
+                    };
+                }
+                _ => {}
+            }
+            if (r >> 32) % 3 >= 1 {
+                sc.flap_period = 200 + (r >> 44) % 800;
+                sc.flap_duration = 10 + (r >> 52) % 70;
+            }
+            sc
+        })
+        .collect()
+}
+
+/// Shrink a failing scenario to a minimal reproducer.
+///
+/// Greedy delta-debugging against [`ChaosScenario::default`]: for each
+/// parameter (fault knobs first) try resetting it to its default; keep
+/// the reset whenever `still_fails` says the reduced scenario still
+/// reproduces the failure. Passes repeat until a full pass changes
+/// nothing. Returns the reduced scenario and how many oracle runs the
+/// shrink spent.
+pub fn shrink_scenario(
+    start: &ChaosScenario,
+    still_fails: impl Fn(&ChaosScenario) -> bool,
+) -> (ChaosScenario, usize) {
+    let base = ChaosScenario::default();
+    let mut current = *start;
+    let mut runs = 0usize;
+    loop {
+        let mut changed = false;
+        for field in FIELDS {
+            if current.get(field) == base.get(field) {
+                continue;
+            }
+            let mut candidate = current;
+            candidate
+                .set(field, &base.get(field))
+                .expect("default value round-trips");
+            if candidate.validate().is_err() {
+                continue;
+            }
+            runs += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (current, runs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_fabric::Backlog;
+    use fifoms_types::SlotOutcome;
+
+    #[test]
+    fn scenario_spec_roundtrips() {
+        let sc = ChaosScenario {
+            crosspoint_faults: 2,
+            crosspoint_duration: u64::MAX,
+            retry_budget: 1,
+            ..ChaosScenario::default()
+        };
+        let spec = sc.cli_spec();
+        assert_eq!(
+            spec,
+            "crosspoint_faults=2,crosspoint_duration=never,retry_budget=1"
+        );
+        assert_eq!(ChaosScenario::parse(&spec).unwrap(), sc);
+        assert_eq!(ChaosScenario::parse("").unwrap(), ChaosScenario::default());
+    }
+
+    #[test]
+    fn scenario_parse_rejects_nonsense() {
+        for bad in [
+            "n=1",
+            "load=0",
+            "load=1.5",
+            "slots=0",
+            "wibble=3",
+            "n",
+            "flap_period=10,flap_duration=10",
+        ] {
+            assert!(ChaosScenario::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_varied() {
+        let a = campaign_scenarios(7, 8, true);
+        let b = campaign_scenarios(7, 8, true);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().any(|s| s.crosspoint_faults > 0));
+        assert!(a.iter().any(|s| s.flap_period > 0));
+        let c = campaign_scenarios(8, 8, true);
+        assert_ne!(a, c, "different seeds must give different campaigns");
+        for sc in a.iter().chain(&c) {
+            sc.validate().expect("generated scenario invalid");
+        }
+    }
+
+    #[test]
+    fn default_scenario_runs_clean_without_faults() {
+        let out = run_scenario(&ChaosScenario {
+            slots: 400,
+            ..ChaosScenario::default()
+        });
+        assert!(!out.failed(), "{out:?}");
+        assert_eq!(out.fault_stats.copies_killed, 0);
+        assert_eq!(out.recovery.copies_killed, 0);
+        assert_eq!(out.unreconciled, 0);
+        assert_eq!(out.delivered_copies, out.admitted_copies);
+    }
+
+    #[test]
+    fn transient_crosspoint_fault_recovers_without_loss() {
+        let out = run_scenario(
+            &ChaosScenario::parse("slots=600,crosspoint_faults=2,crosspoint_at=100,crosspoint_duration=80,quarantine=50")
+                .unwrap(),
+        );
+        assert!(!out.failed(), "{out:?}");
+        assert!(out.fault_stats.copies_killed > 0, "fault never fired");
+        assert!(out.recovery.copies_recovered > 0, "nothing recovered");
+        assert_eq!(out.unreconciled, 0);
+    }
+
+    #[test]
+    fn permanent_fault_escalates_to_reconciled_drops() {
+        let out = run_scenario(
+            &ChaosScenario::parse(
+                "slots=600,crosspoint_faults=2,crosspoint_at=50,crosspoint_duration=never,retry_budget=1,quarantine=40",
+            )
+            .unwrap(),
+        );
+        assert!(!out.failed(), "{out:?}");
+        assert!(out.reconciled_drops > 0, "no drops despite permanent fault");
+        assert_eq!(
+            out.admitted_copies,
+            out.delivered_copies + out.reconciled_drops,
+            "conservation with drops"
+        );
+        assert!(out.recovery.copies_lost > 0);
+    }
+
+    #[test]
+    fn smoke_campaign_is_clean_on_the_real_stack() {
+        for sc in campaign_scenarios(42, 4, true) {
+            let out = run_scenario(&sc);
+            assert!(!out.failed(), "scenario {} failed: {out:?}", sc.cli_spec());
+        }
+    }
+
+    /// A core switch with a deliberately seeded invariant bug: once
+    /// crosspoint kills start requeueing copies, it "helpfully" serves
+    /// the requeued copy a second time (duplicate delivery), which the
+    /// outside checker must flag as a fanout overrun.
+    struct DoubleRetry {
+        inner: MulticastVoqSwitch,
+        dup: Option<fifoms_types::Departure>,
+    }
+
+    impl Switch for DoubleRetry {
+        fn name(&self) -> String {
+            "double-retry".into()
+        }
+        fn ports(&self) -> usize {
+            self.inner.ports()
+        }
+        fn admit(&mut self, packet: Packet) {
+            self.inner.admit(packet);
+        }
+        fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+            let mut out = self.inner.run_slot(now);
+            if let Some(d) = self.dup.take() {
+                out.departures.push(d);
+                out.connections += 1;
+            }
+            out
+        }
+        fn queue_sizes(&self, out: &mut Vec<usize>) {
+            self.inner.queue_sizes(out);
+        }
+        fn backlog(&self) -> Backlog {
+            self.inner.backlog()
+        }
+        fn copy_failed(
+            &mut self,
+            d: &fifoms_types::Departure,
+            now: Slot,
+            requeue: bool,
+        ) -> fifoms_types::RetryDisposition {
+            self.dup = Some(*d); // the bug: replay the killed copy
+            self.inner.copy_failed(d, now, requeue)
+        }
+    }
+
+    #[test]
+    fn seeded_bug_is_caught_and_shrinks_to_three_params() {
+        let fails = |sc: &ChaosScenario| {
+            let core = MulticastVoqSwitch::new(sc.n, sc.seed);
+            let out = run_scenario_on(sc, DoubleRetry { inner: core, dup: None });
+            out.failed()
+        };
+        // A deliberately over-specified failing scenario.
+        let start = ChaosScenario::parse(
+            "seed=5,slots=800,load=0.5,crosspoint_faults=2,crosspoint_at=100,\
+             crosspoint_duration=300,retry_budget=4,quarantine=60,flap_period=500,\
+             flap_duration=40",
+        )
+        .unwrap();
+        assert!(fails(&start), "seeded bug did not trigger");
+        let (min, runs) = shrink_scenario(&start, fails);
+        assert!(fails(&min), "shrunk scenario no longer reproduces");
+        let params = min.non_default_params();
+        assert!(
+            params.len() <= 3,
+            "reproducer has {} params ({}), ran {} probes",
+            params.len(),
+            min.cli_spec(),
+            runs
+        );
+        // The bug needs egress kills, so the crosspoint knobs survive.
+        assert!(min.crosspoint_faults > 0);
+        assert_eq!(min.flap_period, 0, "irrelevant flap knobs must shrink away");
+    }
+}

@@ -86,8 +86,33 @@ pub(crate) fn grid_hash(sweep: &Sweep, policy: &CellPolicy) -> u64 {
         h.write_str(&format!("point={},{tk:?}", load.to_bits()));
     }
     // The fault schedule changes results; checking/timeouts/retries don't.
-    h.write_str(&format!("faults={:?}", policy.faults));
+    h.write_str(&format!("faults={}", fault_fingerprint(policy.faults.as_ref())));
     h.finish()
+}
+
+/// Render the fault schedule for the grid hash.
+///
+/// Ingress configs with no retry budget are rendered in the field set the
+/// struct had before the egress fault model existed, so journals written
+/// by earlier releases keep their grid hash and stay resumable. Egress
+/// configs (or a nonzero retry budget) genuinely change the result set
+/// and get the full rendering.
+fn fault_fingerprint(faults: Option<&fifoms_fabric::FaultConfig>) -> String {
+    use fifoms_fabric::FaultMode;
+    match faults {
+        None => "None".to_string(),
+        Some(fc) if fc.mode == FaultMode::Ingress && fc.retry_budget == 0 => format!(
+            "Some(FaultConfig {{ seed: {}, flap_period: {}, flap_duration: {}, \
+             crosspoint_faults: {}, crosspoint_at: {}, crosspoint_duration: {} }})",
+            fc.seed,
+            fc.flap_period,
+            fc.flap_duration,
+            fc.crosspoint_faults,
+            fc.crosspoint_at,
+            fc.crosspoint_duration
+        ),
+        Some(fc) => format!("Some({fc:?})"),
+    }
 }
 
 /// Key binding one journal line to one grid cell of one sweep.
@@ -379,7 +404,23 @@ impl CheckpointJournal {
         File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
             .map_err(|e| Self::io_err(path, e))?;
-        let mut lines = text.lines();
+        // A file that does not end in '\n' was torn mid-append. The torn
+        // tail must be discarded even when it *parses*: a prefix of a
+        // valid line can decode with a silently truncated numeric field
+        // (`thr=0.95` torn to `thr=0.9`), which would poison the resumed
+        // grid with a wrong-but-plausible row.
+        let torn_tail = !text.is_empty() && !text.ends_with('\n');
+        let mut all_lines: Vec<&str> = text.lines().collect();
+        if torn_tail {
+            if let Some(torn) = all_lines.pop() {
+                eprintln!(
+                    "warning: {path}: discarding torn final journal line \
+                     ({} bytes); its cell will re-run",
+                    torn.len()
+                );
+            }
+        }
+        let mut lines = all_lines.into_iter();
         let magic_ok = lines.next().is_some_and(|l| l.trim_end() == MAGIC);
         if !magic_ok {
             return Err(SimError::JournalMismatch {
@@ -536,6 +577,63 @@ mod tests {
             assert_eq!(f.attempts, 3);
             assert_eq!(f.reason, reason);
         }
+    }
+
+    #[test]
+    fn resume_discards_a_byte_truncated_final_line() {
+        let dir = std::env::temp_dir().join("fifoms-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.journal");
+        let path = path.to_str().unwrap();
+        let s = sweep();
+        let p = CellPolicy::default();
+        let outcome = sample_row(&s);
+        {
+            let journal = CheckpointJournal::create(path, &s, &p).unwrap();
+            journal.record(0, &s, &outcome).unwrap();
+            journal.record(1, &s, &outcome).unwrap();
+        }
+        let full = std::fs::read(path).unwrap();
+        // Truncate the final line at every byte offset, including cuts
+        // that leave a *parseable* prefix (e.g. a shortened float); the
+        // resume must never surface cell 1 from a torn tail, and cell 0
+        // (safely newline-terminated) must always survive.
+        let line_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        for cut in line_start..full.len() - 1 {
+            std::fs::write(path, &full[..cut]).unwrap();
+            let (_j, loaded) = CheckpointJournal::resume(path, &s, &p)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            assert!(loaded[0].is_some(), "cut at byte {cut} lost cell 0");
+            assert!(loaded[1].is_none(), "cut at byte {cut} resurrected the torn cell");
+        }
+        // The intact file still loads both.
+        std::fs::write(path, &full).unwrap();
+        let (_j, loaded) = CheckpointJournal::resume(path, &s, &p).unwrap();
+        assert!(loaded[0].is_some() && loaded[1].is_some());
+    }
+
+    #[test]
+    fn ingress_fault_fingerprint_keeps_the_pre_egress_shape() {
+        // Grid hashes of ingress-mode schedules must not change now that
+        // FaultConfig carries egress fields, or old journals with fault
+        // sweeps would refuse to resume.
+        let fc = fifoms_fabric::FaultConfig::moderate(3);
+        assert_eq!(
+            fault_fingerprint(Some(&fc)),
+            "Some(FaultConfig { seed: 3, flap_period: 1000, flap_duration: 50, \
+             crosspoint_faults: 2, crosspoint_at: 500, crosspoint_duration: 2000 })"
+        );
+        // Egress mode (and a retry budget) genuinely change the results,
+        // so they must change the fingerprint.
+        let eg = fifoms_fabric::FaultConfig::egress(3);
+        assert_ne!(fault_fingerprint(Some(&eg)), fault_fingerprint(Some(&fc)));
+        let mut budgeted = fc;
+        budgeted.retry_budget = 1;
+        assert_ne!(fault_fingerprint(Some(&budgeted)), fault_fingerprint(Some(&fc)));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod checkpoint;
 mod engine;
 pub mod plot;
@@ -46,6 +47,10 @@ pub mod report;
 mod spec;
 mod sweep;
 
+pub use chaos::{
+    campaign_scenarios, run_scenario, run_scenario_on, shrink_scenario, ChaosOutcome,
+    ChaosScenario,
+};
 pub use checkpoint::CheckpointJournal;
 pub use engine::{simulate, try_simulate, try_simulate_observed, Observer, RunConfig, RunResult};
 // Re-exported so sweep policies can be configured without a direct

@@ -29,6 +29,7 @@ mod delay;
 mod fairness;
 mod histogram;
 mod occupancy;
+mod recovery;
 mod running;
 mod saturation;
 mod timeseries;
@@ -38,6 +39,7 @@ pub use delay::{DelayStats, DelaySummary};
 pub use fairness::FairnessTracker;
 pub use histogram::Histogram;
 pub use occupancy::{OccupancySummary, OccupancyTracker};
+pub use recovery::{RecoveryRecorder, RecoverySummary};
 pub use running::RunningStat;
 pub use saturation::{SaturationDetector, SaturationVerdict};
 pub use timeseries::TimeSeries;

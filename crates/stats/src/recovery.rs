@@ -1,0 +1,172 @@
+//! Recovery metrics for egress-fault campaigns.
+//!
+//! Under the egress fault model a scheduled copy can be killed at the
+//! crosspoint and retried from its VOQ. This recorder aggregates the
+//! event stream of such a run into the chaos campaign's headline
+//! numbers: how many copies were killed / requeued / lost, how long a
+//! killed copy took to finally get through (*time to recover*), and how
+//! accurately the fault scoreboard tracked the truly-dead paths.
+//!
+//! The recorder is a pure accumulator over plain integers so it stays
+//! free of switch-model dependencies; the campaign runner translates
+//! `copy_killed` / `copy_recovered` observability events and periodic
+//! scoreboard-vs-ground-truth audits into calls here.
+
+use crate::running::RunningStat;
+
+/// Accumulates egress-fault recovery metrics over one run.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryRecorder {
+    copies_killed: u64,
+    copies_requeued: u64,
+    copies_lost: u64,
+    copies_recovered: u64,
+    time_to_recover: RunningStat,
+    kills_per_recovery: RunningStat,
+    audit_hits: u64,
+    audit_false_alarms: u64,
+    audit_misses: u64,
+}
+
+/// Point-in-time summary of a [`RecoveryRecorder`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoverySummary {
+    /// Copies killed at the crosspoint (includes every retry attempt).
+    pub copies_killed: u64,
+    /// Kills that were re-inserted at the VOQ head for retry.
+    pub copies_requeued: u64,
+    /// Kills escalated to a structured drop (retry budget exhausted).
+    pub copies_lost: u64,
+    /// Previously-killed copies that eventually got through.
+    pub copies_recovered: u64,
+    /// Mean slots from a copy's first kill to its successful delivery
+    /// (0 when nothing recovered).
+    pub mean_time_to_recover: f64,
+    /// Worst time-to-recover observed (0 when nothing recovered).
+    pub max_time_to_recover: u64,
+    /// Mean kills a recovered copy absorbed before getting through.
+    pub mean_kills_per_recovery: f64,
+    /// Scoreboard precision: of the paths quarantined at audit time, the
+    /// fraction that were truly down (1.0 when nothing was quarantined).
+    pub scoreboard_precision: f64,
+    /// Scoreboard recall: of the truly-down paths at audit time, the
+    /// fraction the scoreboard had quarantined (1.0 when nothing was
+    /// down).
+    pub scoreboard_recall: f64,
+}
+
+impl RecoveryRecorder {
+    /// An empty recorder.
+    pub fn new() -> RecoveryRecorder {
+        RecoveryRecorder::default()
+    }
+
+    /// One copy killed at the crosspoint; `requeued` says whether the
+    /// fault layer re-inserted it for retry (vs. abandoning it).
+    pub fn record_kill(&mut self, requeued: bool) {
+        self.copies_killed += 1;
+        if requeued {
+            self.copies_requeued += 1;
+        }
+    }
+
+    /// One copy's retry budget ran out: it became a structured drop.
+    pub fn record_loss(&mut self) {
+        self.copies_lost += 1;
+    }
+
+    /// One previously-killed copy was finally delivered after `kills`
+    /// failed attempts, `latency` slots after its first kill.
+    pub fn record_recovery(&mut self, kills: u32, latency: u64) {
+        self.copies_recovered += 1;
+        self.time_to_recover.push_u64(latency);
+        self.kills_per_recovery.push_u64(u64::from(kills));
+    }
+
+    /// One scoreboard-vs-ground-truth audit: `hits` paths correctly
+    /// quarantined, `false_alarms` quarantined but healthy, `misses`
+    /// truly down but not quarantined. Audits from several probe slots
+    /// accumulate.
+    pub fn record_scoreboard_audit(&mut self, hits: u64, false_alarms: u64, misses: u64) {
+        self.audit_hits += hits;
+        self.audit_false_alarms += false_alarms;
+        self.audit_misses += misses;
+    }
+
+    /// Total copies killed so far.
+    pub fn copies_killed(&self) -> u64 {
+        self.copies_killed
+    }
+
+    /// Total copies lost (structured drops) so far.
+    pub fn copies_lost(&self) -> u64 {
+        self.copies_lost
+    }
+
+    /// Summarise everything recorded so far.
+    pub fn summary(&self) -> RecoverySummary {
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        RecoverySummary {
+            copies_killed: self.copies_killed,
+            copies_requeued: self.copies_requeued,
+            copies_lost: self.copies_lost,
+            copies_recovered: self.copies_recovered,
+            mean_time_to_recover: self.time_to_recover.mean(),
+            max_time_to_recover: self.time_to_recover.max().map_or(0, |m| m as u64),
+            mean_kills_per_recovery: self.kills_per_recovery.mean(),
+            scoreboard_precision: ratio(self.audit_hits, self.audit_hits + self.audit_false_alarms),
+            scoreboard_recall: ratio(self.audit_hits, self.audit_hits + self.audit_misses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_summarises_cleanly() {
+        let s = RecoveryRecorder::new().summary();
+        assert_eq!(s.copies_killed, 0);
+        assert_eq!(s.max_time_to_recover, 0);
+        assert_eq!(s.scoreboard_precision, 1.0);
+        assert_eq!(s.scoreboard_recall, 1.0);
+    }
+
+    #[test]
+    fn kills_recoveries_and_losses_aggregate() {
+        let mut r = RecoveryRecorder::new();
+        r.record_kill(true);
+        r.record_kill(true);
+        r.record_kill(false);
+        r.record_loss();
+        r.record_recovery(2, 10);
+        r.record_recovery(1, 4);
+        let s = r.summary();
+        assert_eq!(s.copies_killed, 3);
+        assert_eq!(s.copies_requeued, 2);
+        assert_eq!(s.copies_lost, 1);
+        assert_eq!(s.copies_recovered, 2);
+        assert_eq!(s.mean_time_to_recover, 7.0);
+        assert_eq!(s.max_time_to_recover, 10);
+        assert_eq!(s.mean_kills_per_recovery, 1.5);
+    }
+
+    #[test]
+    fn scoreboard_accuracy_is_precision_and_recall() {
+        let mut r = RecoveryRecorder::new();
+        // Audit 1: 3 correct marks, 1 stale mark, 1 undetected dead path.
+        r.record_scoreboard_audit(3, 1, 1);
+        // Audit 2: perfect.
+        r.record_scoreboard_audit(2, 0, 0);
+        let s = r.summary();
+        assert_eq!(s.scoreboard_precision, 5.0 / 6.0);
+        assert_eq!(s.scoreboard_recall, 5.0 / 6.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fault-recovery vocabulary: the records exchanged between a fault
+//! injector and the switch underneath it when a scheduled transmission is
+//! killed in flight.
+//!
+//! These types live here (rather than in `fifoms-fabric`) for the same
+//! reason [`ObsEvent`](crate::ObsEvent) does: the retransmission hooks are
+//! part of the workspace-wide `Switch` trait contract, and invariant
+//! checkers in other crates need to account for reconciled drops without
+//! depending on the fault machinery itself.
+
+use crate::{PacketId, PortId, Slot};
+
+/// One copy of a packet that was dropped *after* admission, with its
+/// `fanoutCounter` already reconciled by the switch underneath.
+///
+/// Ingress fault masking (PR 1) trims fanouts before the queue structure
+/// ever sees them, so conservation (`admitted == delivered + backlog`)
+/// holds untouched. Egress faults kill copies that *were* admitted; every
+/// such kill either ends in a successful retransmission (no record) or in
+/// a `DroppedCopy`, so the conservation law becomes
+/// `admitted == delivered + backlog + reconciled drops`. Checkers drain
+/// these records via `Switch::drain_reconciled_drops`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DroppedCopy {
+    /// The packet the copy belonged to.
+    pub packet: PacketId,
+    /// The input port the packet was queued on.
+    pub input: PortId,
+    /// The destination output the copy will never reach.
+    pub output: PortId,
+    /// The packet's arrival slot (its FIFOMS timestamp).
+    pub arrival: Slot,
+    /// The slot the copy was finally abandoned.
+    pub slot: Slot,
+}
+
+/// What a switch did in response to `Switch::copy_failed`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryDisposition {
+    /// The copy was re-queued at the head of its VOQ with its original
+    /// timestamp; it will be rescheduled in a later slot.
+    Requeued,
+    /// The copy was abandoned and its data cell's `fanoutCounter`
+    /// reconciled (decremented, destroying the cell if it was the last
+    /// copy). A matching [`DroppedCopy`] record is owed to
+    /// `drain_reconciled_drops`.
+    Dropped,
+    /// The switch has no retransmission support; the caller must treat
+    /// the copy as delivered (the default for schedulers that predate the
+    /// egress-fault model).
+    Unsupported,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_copy_is_plain_data() {
+        let d = DroppedCopy {
+            packet: PacketId(4),
+            input: PortId(1),
+            output: PortId(2),
+            arrival: Slot(10),
+            slot: Slot(17),
+        };
+        assert_eq!(d, d);
+        assert!(format!("{d:?}").contains("DroppedCopy"));
+    }
+
+    #[test]
+    fn dispositions_are_distinct() {
+        assert_ne!(RetryDisposition::Requeued, RetryDisposition::Dropped);
+        assert_ne!(RetryDisposition::Dropped, RetryDisposition::Unsupported);
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod ids;
 mod obs;
 mod outcome;
@@ -29,6 +30,7 @@ mod packet;
 mod portset;
 
 pub use error::{check_ports, check_probability, InvariantViolation, SimError, TypeError};
+pub use fault::{DroppedCopy, RetryDisposition};
 pub use ids::{PacketId, PortId, Slot};
 pub use obs::ObsEvent;
 pub use outcome::{Departure, SlotOutcome};

@@ -95,6 +95,43 @@ pub enum ObsEvent {
         /// Whether the whole packet was dropped (entire fanout dead).
         packet_dropped: bool,
     },
+    /// An egress fault killed a scheduled copy at crosspoint-traversal
+    /// time. Emitted by the fault injector; `requeued` tells whether the
+    /// copy went back to the head of its VOQ (timestamp preserved) or was
+    /// abandoned with its `fanoutCounter` reconciled.
+    CopyKilled {
+        /// The slot the transmission was killed.
+        slot: Slot,
+        /// The input port that was transmitting.
+        input: PortId,
+        /// The destination output the copy was bound for.
+        output: PortId,
+        /// The packet the copy belongs to.
+        packet: PacketId,
+        /// `true` if the copy was re-queued for retransmission, `false`
+        /// if the retry budget was exhausted and it became a structured
+        /// drop.
+        requeued: bool,
+        /// How many times this copy has now been killed (1 on the first
+        /// failure).
+        retry: u32,
+    },
+    /// A previously killed copy finally crossed the fabric.
+    CopyRecovered {
+        /// The slot the copy was delivered.
+        slot: Slot,
+        /// The input port that transmitted it.
+        input: PortId,
+        /// The destination output reached.
+        output: PortId,
+        /// The packet the copy belongs to.
+        packet: PacketId,
+        /// Total kills the copy survived before delivery.
+        kills: u32,
+        /// Slots between the first kill and the successful delivery
+        /// (the copy's time-to-recover).
+        latency: u64,
+    },
     /// A runtime invariant checker recorded its (first, sticky) violation.
     InvariantViolated {
         /// The slot the violation was detected.
@@ -164,6 +201,8 @@ impl ObsEvent {
             ObsEvent::RunMeta { .. } => "run_meta",
             ObsEvent::SlotSched { .. } => "slot_sched",
             ObsEvent::FaultMasked { .. } => "fault_masked",
+            ObsEvent::CopyKilled { .. } => "copy_killed",
+            ObsEvent::CopyRecovered { .. } => "copy_recovered",
             ObsEvent::InvariantViolated { .. } => "invariant_violated",
             ObsEvent::RecorderMeta { .. } => "recorder_meta",
             ObsEvent::PacketArrived { .. } => "packet_arrived",
@@ -181,6 +220,8 @@ impl ObsEvent {
             | ObsEvent::RunEnd { .. } => None,
             ObsEvent::SlotSched { slot, .. }
             | ObsEvent::FaultMasked { slot, .. }
+            | ObsEvent::CopyKilled { slot, .. }
+            | ObsEvent::CopyRecovered { slot, .. }
             | ObsEvent::InvariantViolated { slot, .. }
             | ObsEvent::PacketArrived { slot, .. }
             | ObsEvent::CopySent { slot, .. }
@@ -211,6 +252,30 @@ mod tests {
         };
         assert_eq!(fault.kind(), "fault_masked");
         assert_eq!(fault.slot(), Some(Slot(7)));
+    }
+
+    #[test]
+    fn egress_fault_events_are_slot_scoped() {
+        let killed = ObsEvent::CopyKilled {
+            slot: Slot(12),
+            input: PortId(0),
+            output: PortId(5),
+            packet: PacketId(42),
+            requeued: true,
+            retry: 1,
+        };
+        assert_eq!(killed.kind(), "copy_killed");
+        assert_eq!(killed.slot(), Some(Slot(12)));
+        let recovered = ObsEvent::CopyRecovered {
+            slot: Slot(19),
+            input: PortId(0),
+            output: PortId(5),
+            packet: PacketId(42),
+            kills: 2,
+            latency: 7,
+        };
+        assert_eq!(recovered.kind(), "copy_recovered");
+        assert_eq!(recovered.slot(), Some(Slot(19)));
     }
 
     #[test]

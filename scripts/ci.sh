@@ -13,7 +13,11 @@
 #      slumps, not jitter);
 #   5. an analyze smoke: a tiny packet-traced sweep piped through
 #      `fifoms-repro analyze --json`, validated against
-#      schemas/analysis.schema.json.
+#      schemas/analysis.schema.json;
+#   6. a chaos smoke campaign: seeded egress-fault scenarios through the
+#      invariant checker — the command exits nonzero on any invariant
+#      violation, deadlock, or unreconciled fanout counter, and we also
+#      grep the report for its explicit all-clear line.
 #
 # Run from anywhere inside the repository.
 
@@ -45,5 +49,11 @@ cargo run --release --quiet -p fifoms-cli -- sweep --quick --n 8 --points 2 \
 cargo run --release --quiet -p fifoms-cli -- analyze "$tmp/trace.jsonl" \
   --json "$tmp/analysis.json" > /dev/null
 test -s "$tmp/analysis.json"
+
+echo "== chaos smoke campaign (egress faults under the invariant checker) =="
+cargo run --release --quiet -p fifoms-cli -- chaos --smoke --seed 2026 \
+  | tee "$tmp/chaos.txt"
+grep -q "zero invariant violations, zero unreconciled fanout counters" \
+  "$tmp/chaos.txt"
 
 echo "CI checks passed."
