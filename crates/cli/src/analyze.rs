@@ -21,7 +21,11 @@ fn load_analysis(path: &str) -> Result<TraceAnalysis, SimError> {
 
 /// Entry point for the `analyze` command.
 pub fn analyze(opts: &Options) -> Result<(), SimError> {
-    let input = opts.input.as_deref().expect("parse() requires the trace");
+    let Some(input) = opts.input.as_deref() else {
+        return Err(SimError::Usage(
+            "analyze requires a trace file: fifoms-repro analyze <trace.jsonl>".into(),
+        ));
+    };
     let analysis = load_analysis(input)?;
     if analysis.scopes.is_empty() {
         return Err(SimError::Usage(format!("{input}: trace holds no events")));

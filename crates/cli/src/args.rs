@@ -63,6 +63,9 @@ pub struct Options {
     pub scenarios: usize,
     /// Run a single chaos scenario from a `name=value,...` spec.
     pub scenario: Option<String>,
+    /// Regenerate the lint baseline instead of gating (`lint
+    /// --write-baseline`).
+    pub write_baseline: bool,
 }
 
 impl Default for Options {
@@ -96,6 +99,7 @@ impl Default for Options {
             smoke: false,
             scenarios: 12,
             scenario: None,
+            write_baseline: false,
         }
     }
 }
@@ -120,6 +124,7 @@ const COMMANDS: &[&str] = &[
     "check-bench",
     "analyze",
     "chaos",
+    "lint",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -132,6 +137,7 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
         match arg.as_str() {
             "--quick" => quick = true,
             "--smoke" => opts.smoke = true,
+            "--write-baseline" => opts.write_baseline = true,
             "--plot" => opts.plot = true,
             "--inject-faults" => opts.inject_faults = true,
             "--progress" => opts.progress = true,

@@ -50,6 +50,14 @@
 //!   --smoke              shortened CI campaign (seconds, not minutes)
 //!   --scenario <SPEC>    run one scenario, e.g.
 //!                        crosspoint_faults=2,crosspoint_duration=never
+//!
+//! lint runs the fifoms-lint source disciplines (R1 determinism, R2
+//! timestamp preservation, R3 panic freedom, R4 event vocabulary, R5
+//! SAFETY/INVARIANT audit, R6 fingerprint floats) over the workspace and
+//! exits nonzero on any finding beyond the baseline:
+//!   --baseline <PATH>    grandfathered-findings allowlist to gate against
+//!   --json <PATH>        write the fifoms-lint-v1 report (schema-checked)
+//!   --write-baseline     regenerate the baseline from current findings
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -62,6 +70,7 @@ mod analyze;
 mod args;
 mod chaoscmd;
 mod figures;
+mod lintcmd;
 mod obscmd;
 mod traces;
 
@@ -76,7 +85,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos|lint> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline]");
             return ExitCode::FAILURE;
         }
     };
@@ -107,6 +116,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "check-bench" => obscmd::check_bench(opts),
         "analyze" => analyze::analyze(opts),
         "chaos" => chaoscmd::chaos(opts),
+        "lint" => lintcmd::lint(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

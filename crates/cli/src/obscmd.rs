@@ -170,12 +170,11 @@ fn regression_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), 
         }
     }
     print!("{}", table.render());
-    if matched == 0 {
+    let Some((worst_cell, worst_drop)) = worst else {
         return Err(SimError::Usage(format!(
             "check-bench: no (switch, load) cells of {current} match {baseline}"
         )));
-    }
-    let (worst_cell, worst_drop) = worst.expect("matched > 0");
+    };
     if worst_drop > tolerance {
         return Err(SimError::Usage(format!(
             "check-bench: {worst_cell} regressed {:.1}% in slots/sec \

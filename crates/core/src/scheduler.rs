@@ -237,6 +237,7 @@ impl FifomsScheduler {
         for (i, outs) in grants.iter().enumerate() {
             builder
                 .connect_multicast(PortId::new(i), outs)
+                // fifoms-lint: allow(R3) output_free bookkeeping grants each output at most once; an Err is a scheduler bug that must not be masked into a wrong schedule
                 .expect("grant bookkeeping produced an illegal schedule");
         }
         ScheduleOutcome {
@@ -253,14 +254,21 @@ impl FifomsScheduler {
             .map(|&(_, i)| i)
             .collect();
         debug_assert!(!tied.is_empty());
+        // `min_ts` came from this same request list, so `tied` is nonempty;
+        // the `unwrap_or` fallbacks keep the arbiter total without a panic
+        // path in the per-slot loop.
+        let lowest = tied.iter().copied().min().unwrap_or(0);
         match self.config.tie_break {
-            TieBreak::Random => tied[rng.gen_range(0..tied.len())],
-            TieBreak::LowestInput => *tied.iter().min().expect("nonempty"),
-            TieBreak::Rotating => *tied
+            TieBreak::Random => tied
+                .get(rng.gen_range(0..tied.len().max(1)))
+                .copied()
+                .unwrap_or(lowest),
+            TieBreak::LowestInput => lowest,
+            TieBreak::Rotating => tied
                 .iter()
-                .find(|&&i| i >= self.rotate)
-                .or_else(|| tied.iter().min())
-                .expect("nonempty"),
+                .copied()
+                .find(|&i| i >= self.rotate)
+                .unwrap_or(lowest),
         }
     }
 }

@@ -22,9 +22,14 @@ enum SlabEntry {
 /// generational: using a key after its cell was destroyed panics.
 #[derive(Clone, Debug, Default)]
 pub struct DataCellSlab {
+    // INVARIANT: entries and generations stay the same length; free_head
+    // chains only Free entries; generations[i] bumps exactly when entry i
+    // is destroyed, so a stale DataCellKey can never alias a recycled cell.
     entries: Vec<SlabEntry>,
     generations: Vec<u32>,
     free_head: Option<u32>,
+    // INVARIANT: live equals the number of Live entries — it is the paper's
+    // §V queue-size metric, so drift here corrupts Fig. 6/7 directly.
     live: usize,
 }
 

@@ -13,6 +13,9 @@ use crate::cell::AddressCell;
 /// cannot be scheduled (FIFO order is what makes FIFOMS starvation-free).
 #[derive(Clone, Debug, Default)]
 pub struct Voq {
+    // INVARIANT: cells are ordered by nondecreasing time_stamp from head to
+    // tail, so the HOL cell always carries the queue minimum — Theorem 1's
+    // starvation bound quantifies over exactly that minimum.
     cells: VecDeque<AddressCell>,
 }
 
@@ -99,11 +102,13 @@ impl VoqSet {
 
     /// The queue toward `output`.
     pub fn queue(&self, output: PortId) -> &Voq {
+        // fifoms-lint: allow(R3) PortId indices are produced by enumerate over the same fixed N this set was built with
         &self.queues[output.index()]
     }
 
     /// Mutable queue toward `output`.
     pub fn queue_mut(&mut self, output: PortId) -> &mut Voq {
+        // fifoms-lint: allow(R3) PortId indices are produced by enumerate over the same fixed N this set was built with
         &mut self.queues[output.index()]
     }
 

@@ -1,0 +1,451 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The lint rules need to see *source structure* — which `unwrap` is in a
+//! string literal, which `HashMap` is in a comment, where a `#[cfg(test)]`
+//! module ends — so the first layer is a real lexer, not a line-regex
+//! scan. It is total: every byte of the input lands in exactly one token,
+//! so concatenating the token texts reproduces the file byte-for-byte
+//! (the property the round-trip tests pin). Unrecognised bytes become
+//! [`TokKind::Unknown`] tokens rather than errors; a lint pass must never
+//! abort on a file it merely fails to understand.
+//!
+//! Covered Rust surface: line and (nested) block comments, string / byte
+//! string / raw string / raw byte string literals with arbitrary `#`
+//! fences, char and byte-char literals, lifetimes (disambiguated from
+//! char literals), raw identifiers (`r#match`), and numeric literals
+//! including hex/octal/binary, underscores, exponents and type suffixes.
+//! Multi-character operators are emitted as runs of single-character
+//! [`TokKind::Punct`] tokens; the matcher layer reassembles `::` and
+//! friends where it cares.
+
+/// The kind of one lexed token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// A run of whitespace (spaces, tabs, newlines, CR).
+    Whitespace,
+    /// A `//`-to-end-of-line comment (including `///` and `//!` docs).
+    LineComment,
+    /// A `/* ... */` comment; nesting is handled.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A string or byte-string literal: `"..."`, `b"..."`.
+    Str,
+    /// A raw (byte) string literal: `r"..."`, `r#"..."#`, `br#"..."#`.
+    RawStr,
+    /// A numeric literal: `42`, `0xff_u32`, `1.5`, `1e-9`, `2.0f64`.
+    Num,
+    /// A single punctuation / operator character.
+    Punct,
+    /// A byte the lexer does not recognise (kept for totality).
+    Unknown,
+}
+
+/// One token: a kind plus the byte span it occupies in the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+/// A lexed source file: the text, its tokens, and a line table.
+pub struct Lexed<'a> {
+    /// The source text the spans index into.
+    pub src: &'a str,
+    /// The tokens, tiling `src` exactly.
+    pub toks: Vec<Tok>,
+    line_starts: Vec<usize>,
+}
+
+impl<'a> Lexed<'a> {
+    /// Lex `src` completely.
+    pub fn new(src: &'a str) -> Lexed<'a> {
+        let toks = lex(src);
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Lexed {
+            src,
+            toks,
+            line_starts,
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn text(&self, i: usize) -> &'a str {
+        let t = &self.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    /// 1-based `(line, column)` of a byte offset (column in bytes).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+/// Tokenise `src`. Total: the returned tokens tile the input exactly.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let kind = match bytes[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                    i += 1;
+                }
+                TokKind::Whitespace
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'r' | b'b' if string_prefix(bytes, i).is_some() => {
+                let (raw, fence, quote_at) = string_prefix(bytes, i).expect("checked above");
+                if raw {
+                    i = scan_raw_string(bytes, quote_at, fence);
+                    TokKind::RawStr
+                } else if bytes[quote_at] == b'"' {
+                    i = scan_string(bytes, quote_at + 1, b'"');
+                    TokKind::Str
+                } else {
+                    i = scan_string(bytes, quote_at + 1, b'\'');
+                    TokKind::Char
+                }
+            }
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).is_some_and(|&b| is_ident_start(b)) =>
+            {
+                // Raw identifier r#match.
+                i += 2;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            b if is_ident_start(b) => {
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            b'0'..=b'9' => {
+                i = scan_number(bytes, i);
+                TokKind::Num
+            }
+            b'"' => {
+                i = scan_string(bytes, i + 1, b'"');
+                TokKind::Str
+            }
+            b'\'' => {
+                let (kind, end) = scan_quote(src, i);
+                i = end;
+                kind
+            }
+            b if b.is_ascii_punctuation() => {
+                i += 1;
+                TokKind::Punct
+            }
+            _ => {
+                // Advance one whole UTF-8 scalar so spans stay on char
+                // boundaries.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                i += ch_len;
+                TokKind::Unknown
+            }
+        };
+        toks.push(Tok {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    toks
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// If position `i` starts a string-ish literal prefix (`r"`, `r#"`, `b"`,
+/// `b'`, `br"`, `br#"`), return `(is_raw, fence_hashes, quote_offset)`.
+fn string_prefix(bytes: &[u8], i: usize) -> Option<(bool, usize, usize)> {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            return Some((false, 0, j));
+        }
+        if bytes.get(j) == Some(&b'"') {
+            return Some((false, 0, j));
+        }
+        if bytes.get(j) == Some(&b'r') {
+            j += 1;
+        } else {
+            return None;
+        }
+    } else if bytes[j] == b'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    // raw: expect #* then ".
+    let mut fence = 0;
+    while bytes.get(j) == Some(&b'#') {
+        fence += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((true, fence, j))
+    } else {
+        None
+    }
+}
+
+/// Scan a non-raw string/char literal body starting just after the opening
+/// quote; returns the offset past the closing quote (or EOF if
+/// unterminated).
+fn scan_string(bytes: &[u8], mut i: usize, close: u8) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b if b == close => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Scan a raw string whose opening quote is at `quote_at` with `fence`
+/// hashes; returns the offset past the closing fence.
+fn scan_raw_string(bytes: &[u8], quote_at: usize, fence: usize) -> usize {
+    let mut i = quote_at + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < fence && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == fence {
+                return i + 1 + fence;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Scan a numeric literal starting at `i` (first byte is a digit).
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    let radix_prefixed = bytes[i] == b'0'
+        && matches!(bytes.get(i + 1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    // Greedy alphanumeric run covers digits, hex digits, underscores,
+    // in-word exponents (1e9) and suffixes (u64, f32).
+    while i < bytes.len() && (is_ident_continue(bytes[i])) {
+        i += 1;
+    }
+    // Fractional part: `.` followed by a digit, or a trailing `.` that is
+    // neither a range (`..`) nor a method/field access (`1.max(2)`).
+    if !radix_prefixed && bytes.get(i) == Some(&b'.') {
+        let next = bytes.get(i + 1);
+        let is_range = next == Some(&b'.');
+        let is_access = next.is_some_and(|&b| is_ident_start(b));
+        if !is_range && !is_access {
+            i += 1;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+        }
+    }
+    // Signed exponent: greedy stops before `+`/`-`; resume if the run so
+    // far ends in e/E and a digit follows the sign (1e+9, 2.5E-3).
+    if !radix_prefixed
+        && i > 0
+        && matches!(bytes[i - 1], b'e' | b'E')
+        && matches!(bytes.get(i), Some(b'+' | b'-'))
+        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+    {
+        i += 2;
+        while i < bytes.len() && is_ident_continue(bytes[i]) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguate a bare `'`: char literal vs lifetime.
+fn scan_quote(src: &str, i: usize) -> (TokKind, usize) {
+    let bytes = src.as_bytes();
+    match bytes.get(i + 1) {
+        // Escape: definitely a char literal ('\n', '\u{1F980}').
+        Some(b'\\') => (TokKind::Char, scan_string(bytes, i + 1, b'\'')),
+        Some(&b) => {
+            // One scalar then a closing quote → char literal (covers
+            // multibyte scalars like 'é').
+            let ch_len = src[i + 1..].chars().next().map_or(1, char::len_utf8);
+            if bytes.get(i + 1 + ch_len) == Some(&b'\'') {
+                (TokKind::Char, i + 2 + ch_len)
+            } else if is_ident_start(b) {
+                // 'a in <'a, T> — a lifetime, no closing quote.
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                (TokKind::Lifetime, j)
+            } else {
+                (TokKind::Unknown, i + 1)
+            }
+        }
+        None => (TokKind::Unknown, i + 1),
+    }
+}
+
+/// Whether a [`TokKind::Num`] token's text denotes a floating-point value.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text
+            .bytes()
+            .zip(text.bytes().skip(1))
+            .any(|(a, b)| matches!(a, b'e' | b'E') && (b.is_ascii_digit() || b == b'+' || b == b'-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        let lexed = Lexed::new(src);
+        (0..lexed.toks.len())
+            .map(|i| (lexed.toks[i].kind, lexed.text(i)))
+            .filter(|(k, _)| *k != TokKind::Whitespace)
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1.5; /* hi /* nested */ */ }\n";
+        let lexed = Lexed::new(src);
+        let rebuilt: String = (0..lexed.toks.len()).map(|i| lexed.text(i)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let got = kinds(r###"let s = r#"raw "inner" text"#; let t = "esc\"aped";"###);
+        assert!(got.contains(&(TokKind::RawStr, r##"r#"raw "inner" text"#"##)));
+        assert!(got.contains(&(TokKind::Str, "\"esc\\\"aped\"")));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let got = kinds(r##"let a = b'x'; let b = b"bytes"; let c = br#"raw"#;"##);
+        assert!(got.contains(&(TokKind::Char, "b'x'")));
+        assert!(got.contains(&(TokKind::Str, "b\"bytes\"")));
+        assert!(got.contains(&(TokKind::RawStr, "br#\"raw\"#")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(got.contains(&(TokKind::Lifetime, "'a")));
+        assert!(got.contains(&(TokKind::Char, "'x'")));
+        let got = kinds("let c = '\\n'; let s: &'static str = \"\";");
+        assert!(got.contains(&(TokKind::Char, "'\\n'")));
+        assert!(got.contains(&(TokKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn numbers() {
+        let got = kinds("let x = 0xff_u32 + 1_000 + 1.5e-3 + 2f64 + 1e9;");
+        assert!(got.contains(&(TokKind::Num, "0xff_u32")));
+        assert!(got.contains(&(TokKind::Num, "1_000")));
+        assert!(got.contains(&(TokKind::Num, "1.5e-3")));
+        assert!(got.contains(&(TokKind::Num, "2f64")));
+        assert!(got.contains(&(TokKind::Num, "1e9")));
+        // Range and method-call dots stay out of the number.
+        let got = kinds("for i in 0..5 { 1.max(2); }");
+        assert!(got.contains(&(TokKind::Num, "0")));
+        assert!(got.contains(&(TokKind::Num, "5")));
+        assert!(got.contains(&(TokKind::Num, "1")));
+        assert!(got.contains(&(TokKind::Ident, "max")));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(is_float_literal("1.5"));
+        assert!(is_float_literal("1."));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("2.5E-3"));
+        assert!(is_float_literal("2f64"));
+        assert!(!is_float_literal("42"));
+        assert!(!is_float_literal("0xff"));
+        assert!(!is_float_literal("0xEE"));
+        assert!(!is_float_literal("1_000u64"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let got = kinds("let r#match = 1;");
+        assert!(got.contains(&(TokKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn unterminated_inputs_still_tile() {
+        for src in ["\"abc", "/* open", "r#\"open", "'", "b'"] {
+            let lexed = Lexed::new(src);
+            let rebuilt: String = (0..lexed.toks.len()).map(|i| lexed.text(i)).collect();
+            assert_eq!(rebuilt, src, "input {src:?} must tile");
+        }
+    }
+
+    #[test]
+    fn line_col() {
+        let lexed = Lexed::new("ab\ncd\nef");
+        assert_eq!(lexed.line_col(0), (1, 1));
+        assert_eq!(lexed.line_col(3), (2, 1));
+        assert_eq!(lexed.line_col(7), (3, 2));
+    }
+}

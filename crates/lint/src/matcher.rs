@@ -1,0 +1,349 @@
+//! A small token-tree matcher over the lexer's output.
+//!
+//! Rules do not walk raw tokens: this layer strips trivia (whitespace and
+//! comments) into a *significant token* index, finds balanced delimiter
+//! spans, splits argument lists at top-level commas, and computes the
+//! byte spans of `#[cfg(test)]` / `#[test]` items and `debug_assert!`
+//! invocations so rules can exempt them. It also resolves the inline
+//! escape hatch: a `// fifoms-lint: allow(Rk) <reason>` comment
+//! suppresses rule `Rk` on its own and the following line, but only when
+//! a non-empty reason is given.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// A lexed file plus the derived indices rules match against.
+pub struct Matcher<'a> {
+    /// The underlying lexed file.
+    pub lexed: Lexed<'a>,
+    /// Indices (into `lexed.toks`) of non-trivia tokens.
+    pub sig: Vec<usize>,
+    /// Byte spans of test-only code (`#[cfg(test)]` / `#[test]` items).
+    pub test_spans: Vec<(usize, usize)>,
+    /// Byte spans of `debug_assert*!(...)` invocations.
+    pub debug_assert_spans: Vec<(usize, usize)>,
+    /// `(rule, line)` pairs from `fifoms-lint: allow(...)` directives.
+    pub allows: Vec<(String, usize)>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Lex and index `src`.
+    pub fn new(src: &'a str) -> Matcher<'a> {
+        let lexed = Lexed::new(src);
+        let sig: Vec<usize> = (0..lexed.toks.len())
+            .filter(|&i| {
+                !matches!(
+                    lexed.toks[i].kind,
+                    TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+                )
+            })
+            .collect();
+        let mut m = Matcher {
+            lexed,
+            sig,
+            test_spans: Vec::new(),
+            debug_assert_spans: Vec::new(),
+            allows: Vec::new(),
+        };
+        m.index_test_spans();
+        m.index_debug_asserts();
+        m.index_allows();
+        m
+    }
+
+    /// The token behind significant index `si`.
+    pub fn tok(&self, si: usize) -> &Tok {
+        &self.lexed.toks[self.sig[si]]
+    }
+
+    /// The text of significant token `si`.
+    pub fn text(&self, si: usize) -> &'a str {
+        self.lexed.text(self.sig[si])
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether the file has no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// 1-based `(line, col)` of significant token `si`.
+    pub fn line_col(&self, si: usize) -> (usize, usize) {
+        self.lexed.line_col(self.tok(si).start)
+    }
+
+    /// Whether the texts at `si..` equal `pattern` exactly.
+    pub fn matches(&self, si: usize, pattern: &[&str]) -> bool {
+        pattern.len() <= self.len() - si
+            && pattern
+                .iter()
+                .enumerate()
+                .all(|(k, want)| self.text(si + k) == *want)
+    }
+
+    /// For an opening `(`/`[`/`{` at `si`, the significant index of its
+    /// matching closer, respecting all three delimiter kinds.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for si in open..self.len() {
+            match self.text(si) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(si);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Split the argument region `(open, close)` (exclusive bounds) at
+    /// top-level commas; returns `(start, end)` significant-index ranges,
+    /// end exclusive. Empty argument lists yield no ranges.
+    pub fn split_args(&self, open: usize, close: usize) -> Vec<(usize, usize)> {
+        let mut args = Vec::new();
+        let mut depth = 0i64;
+        let mut start = open + 1;
+        for si in open + 1..close {
+            match self.text(si) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    args.push((start, si));
+                    start = si + 1;
+                }
+                _ => {}
+            }
+        }
+        if start < close {
+            args.push((start, close));
+        }
+        args
+    }
+
+    /// A compact normalized snippet of significant tokens `lo..hi`
+    /// (end exclusive), capped at `max` tokens — the stable *key* a
+    /// finding is baselined under, immune to reformatting and line drift.
+    pub fn snippet(&self, lo: usize, hi: usize, max: usize) -> String {
+        let hi = hi.min(self.len()).min(lo + max);
+        let mut out = String::new();
+        for si in lo..hi {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.text(si));
+        }
+        if hi < self.len() && hi == lo + max {
+            out.push_str(" ...");
+        }
+        out
+    }
+
+    /// Whether byte `offset` falls inside test-only code.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Whether byte `offset` falls inside a `debug_assert*!` invocation.
+    pub fn in_debug_assert(&self, offset: usize) -> bool {
+        self.debug_assert_spans
+            .iter()
+            .any(|&(lo, hi)| offset >= lo && offset < hi)
+    }
+
+    /// Whether `rule` is suppressed at `line` by an allow directive.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+    }
+
+    /// Record the byte spans of items guarded by `#[cfg(test)]` or
+    /// `#[test]`-family attributes. The item body is taken to end at the
+    /// matching `}` of its first top-level `{`, or at the first `;` if
+    /// one comes sooner (e.g. `#[cfg(test)] use ...;`).
+    fn index_test_spans(&mut self) {
+        let mut si = 0;
+        while si + 1 < self.len() {
+            if self.text(si) == "#" && self.text(si + 1) == "[" {
+                if let Some(close) = self.matching_close(si + 1) {
+                    if self.attr_is_testy(si + 2, close) {
+                        let start = self.tok(si).start;
+                        let end = self.item_end(close + 1);
+                        self.test_spans.push((start, end));
+                        // Skip past the item so nested attributes inside
+                        // it don't re-trigger.
+                        si = self.sig_at_or_after(end);
+                        continue;
+                    }
+                    si = close + 1;
+                    continue;
+                }
+            }
+            si += 1;
+        }
+    }
+
+    /// Whether attribute tokens `lo..hi` mark test-only code: `test`,
+    /// `cfg(test)` (or any `cfg(...)` mentioning `test`), `bench`.
+    fn attr_is_testy(&self, lo: usize, hi: usize) -> bool {
+        if hi == lo + 1 && matches!(self.text(lo), "test" | "bench") {
+            return true;
+        }
+        self.text(lo) == "cfg" && (lo + 1..hi).any(|si| self.text(si) == "test")
+    }
+
+    /// The byte offset one past the end of the item starting at
+    /// significant index `si` (skipping further attributes and doc
+    /// comments between the attribute and the item keyword).
+    fn item_end(&self, mut si: usize) -> usize {
+        // Skip stacked attributes: # [ ... ] # [ ... ] item.
+        while si + 1 < self.len() && self.text(si) == "#" && self.text(si + 1) == "[" {
+            match self.matching_close(si + 1) {
+                Some(close) => si = close + 1,
+                None => return self.lexed.src.len(),
+            }
+        }
+        let mut depth = 0i64;
+        for k in si..self.len() {
+            match self.text(k) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth -= 1;
+                    if depth == 0 && self.text(k) == "}" {
+                        return self.tok(k).end;
+                    }
+                }
+                ";" if depth == 0 => return self.tok(k).end,
+                _ => {}
+            }
+        }
+        self.lexed.src.len()
+    }
+
+    /// First significant index whose token starts at or after `offset`.
+    fn sig_at_or_after(&self, offset: usize) -> usize {
+        (0..self.len())
+            .find(|&si| self.tok(si).start >= offset)
+            .unwrap_or(self.len())
+    }
+
+    /// Record spans of `debug_assert*!(...)` invocations.
+    fn index_debug_asserts(&mut self) {
+        for si in 0..self.len().saturating_sub(2) {
+            if self.text(si).starts_with("debug_assert")
+                && self.text(si + 1) == "!"
+                && matches!(self.text(si + 2), "(" | "[" | "{")
+            {
+                if let Some(close) = self.matching_close(si + 2) {
+                    self.debug_assert_spans
+                        .push((self.tok(si).start, self.tok(close).end));
+                }
+            }
+        }
+    }
+
+    /// Record `// fifoms-lint: allow(Rk) <reason>` directives. A
+    /// directive with an empty reason is ignored (and rule R5-adjacent:
+    /// the lint run reports it as unexplained via the rules that consult
+    /// it finding nothing suppressed).
+    fn index_allows(&mut self) {
+        for i in 0..self.lexed.toks.len() {
+            if self.lexed.toks[i].kind != TokKind::LineComment {
+                continue;
+            }
+            let text = self.lexed.text(i);
+            let Some(rest) = text.split("fifoms-lint:").nth(1) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(rest) = rest.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some((rule, reason)) = rest.split_once(')') else {
+                continue;
+            };
+            if reason.trim().is_empty() {
+                continue; // an allow without a justification is no allow
+            }
+            let (line, _) = self.lexed.line_col(self.lexed.toks[i].start);
+            self.allows.push((rule.trim().to_string(), line));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significant_tokens_skip_trivia() {
+        let m = Matcher::new("let x = 1; // comment\n/* block */ let y = 2;");
+        let texts: Vec<&str> = (0..m.len()).map(|si| m.text(si)).collect();
+        assert_eq!(texts, ["let", "x", "=", "1", ";", "let", "y", "=", "2", ";"]);
+    }
+
+    #[test]
+    fn balanced_close_and_args() {
+        let m = Matcher::new("f(a, g(b, c), [d, e])");
+        // sig: f ( a , g ( b , c ) , [ d , e ] )
+        let open = 1;
+        let close = m.matching_close(open).unwrap();
+        assert_eq!(m.text(close), ")");
+        assert_eq!(close, m.len() - 1);
+        let args = m.split_args(open, close);
+        assert_eq!(args.len(), 3);
+        assert_eq!(m.snippet(args[1].0, args[1].1, 16), "g ( b , c )");
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let m = Matcher::new(src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(m.in_test_code(unwrap_at));
+        assert!(!m.in_test_code(src.find("live").unwrap()));
+        assert!(!m.in_test_code(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_on_fn() {
+        let src = "#[test]\nfn check() { a[0]; }\nfn hot() { b[1]; }";
+        let m = Matcher::new(src);
+        assert!(m.in_test_code(src.find("a[0]").unwrap()));
+        assert!(!m.in_test_code(src.find("b[1]").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_extend_to_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { x[0]; }\nfn live() {}";
+        let m = Matcher::new(src);
+        assert!(m.in_test_code(src.find("x[0]").unwrap()));
+        assert!(!m.in_test_code(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn debug_assert_spans() {
+        let src = "debug_assert!(q[0] > 1); let x = q[1];";
+        let m = Matcher::new(src);
+        assert!(m.in_debug_assert(src.find("q[0]").unwrap()));
+        assert!(!m.in_debug_assert(src.find("q[1]").unwrap()));
+    }
+
+    #[test]
+    fn allow_directive_requires_a_reason() {
+        let src = "// fifoms-lint: allow(R3) slot index proven in bounds by ctor\nlet x = q[0];\n// fifoms-lint: allow(R1)\nlet y = 1;";
+        let m = Matcher::new(src);
+        assert!(m.allowed("R3", 2));
+        assert!(!m.allowed("R3", 4));
+        assert!(!m.allowed("R1", 4), "reason-less allow is ignored");
+    }
+}

@@ -1,0 +1,774 @@
+//! The six FIFOMS source disciplines, as token-level rules.
+//!
+//! Each rule guards an invariant the simulator's correctness story
+//! depends on (DESIGN.md §11):
+//!
+//! * **R1 determinism** — result-bearing crates (`core`, `fabric`, `sim`,
+//!   `traffic`) must not iterate hash-ordered collections, read wall
+//!   clocks, or construct unseeded RNGs. Keyed `HashMap` *lookup* is
+//!   deterministic and allowed; *iteration* order is not. Bit-identical
+//!   replay (§8) and chaos shrinking (§10) both assume this.
+//! * **R2 timestamp discipline** — Theorem 1's starvation-freedom weighs
+//!   packets by their *original arrival stamp*. Outside admission code,
+//!   `Packet::new` may only be called with a preserved `*.arrival`
+//!   stamp, and `now_slot`-style stamp minting is forbidden entirely, so
+//!   no retry or requeue path can silently refresh a timestamp.
+//! * **R3 panic freedom** — hot-path scheduler/fabric code must not
+//!   `unwrap`/`expect`/`panic!` or index slices outside `#[cfg(test)]`
+//!   and `debug_assert!`: the sweep runner's fault isolation treats a
+//!   panic as a cell failure, so every avoidable panic is an avoidable
+//!   lost cell.
+//! * **R4 event vocabulary** — the `ObsEvent::kind()` tags and the
+//!   checked-in `schemas/events.schema.json` enum must agree exactly in
+//!   both directions, so traces and their consumers cannot drift.
+//! * **R5 justification audit** — every `unsafe` block needs a
+//!   `// SAFETY:` comment and every `INVARIANT:` tag needs a non-empty
+//!   justification.
+//! * **R6 fingerprint floats** — functions feeding the checkpoint
+//!   journal's grid-hash identity must not format floating-point values
+//!   except through `to_bits()`: `0.30000000000000004` and platform
+//!   formatting differences would silently fork resume identities.
+
+use crate::lexer::{is_float_literal, TokKind};
+use crate::matcher::Matcher;
+
+/// One lint finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Rule id, `"R1"`..`"R6"`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// 1-based byte column of the finding.
+    pub col: usize,
+    /// Reformat-stable token snippet the finding is baselined under.
+    pub key: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Rule metadata for reports: `(id, name, discipline)`.
+pub const RULES: &[(&str, &str, &str)] = &[
+    ("R1", "determinism", "no hash-order iteration, wall clocks or unseeded RNGs in result-bearing crates"),
+    ("R2", "timestamp-discipline", "arrival stamps are minted at admission only; retries must preserve them"),
+    ("R3", "panic-freedom", "no unwrap/expect/panic!/indexing in hot-path scheduler and fabric code"),
+    ("R4", "event-vocabulary", "ObsEvent kinds and schemas/events.schema.json agree in both directions"),
+    ("R5", "justification-audit", "every unsafe block has SAFETY:, every INVARIANT: tag a justification"),
+    ("R6", "fingerprint-floats", "grid-hash fingerprint code formats floats only via to_bits()"),
+];
+
+/// The crate a workspace-relative path belongs to (`crates/core/src/x.rs`
+/// → `core`; the root `src/` → `fifoms`).
+pub fn crate_of(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("src/") {
+        return Some("fifoms");
+    }
+    None
+}
+
+/// Run every per-file rule on one lexed file.
+pub fn check_file(rel: &str, m: &Matcher) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let krate = crate_of(rel).unwrap_or("");
+    if matches!(krate, "core" | "fabric" | "sim" | "traffic") {
+        r1_determinism(rel, m, &mut out);
+    }
+    if matches!(krate, "core" | "fabric" | "baselines") {
+        r2_timestamps(rel, m, &mut out);
+    }
+    if matches!(krate, "core" | "fabric") {
+        r3_panic_freedom(rel, m, &mut out);
+    }
+    r5_justifications(rel, m, &mut out);
+    r6_fingerprint_floats(rel, m, &mut out);
+    out
+}
+
+/// Push a finding unless it sits in test code or under an allow
+/// directive.
+fn push(
+    out: &mut Vec<Finding>,
+    m: &Matcher,
+    rel: &str,
+    rule: &'static str,
+    si: usize,
+    key: String,
+    message: String,
+) {
+    let offset = m.tok(si).start;
+    if m.in_test_code(offset) {
+        return;
+    }
+    let (line, col) = m.line_col(si);
+    if m.allowed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        path: rel.to_string(),
+        line,
+        col,
+        key,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------- R1 --
+
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn r1_determinism(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    // Wall clocks and unseeded RNGs. `crates/sim/src/profile.rs` is the
+    // one sanctioned wall-clock reader: self-profiling measures time by
+    // definition and its output never feeds simulation results.
+    let clock_exempt = rel == "crates/sim/src/profile.rs";
+    for si in 0..m.len() {
+        let t = m.text(si);
+        if !clock_exempt && (t == "SystemTime" || m.matches(si, &["Instant", ":", ":", "now"])) {
+            push(
+                out,
+                m,
+                rel,
+                "R1",
+                si,
+                m.snippet(si, si + 4, 4),
+                "wall-clock read in result-bearing code; results must be a function of the seed only".into(),
+            );
+        }
+        if t == "thread_rng" || t == "from_entropy" || m.matches(si, &["rand", ":", ":", "random"])
+        {
+            push(
+                out,
+                m,
+                rel,
+                "R1",
+                si,
+                m.snippet(si, si + 4, 4),
+                "unseeded RNG construction; use SmallRng::seed_from_u64 so runs replay bit-identically".into(),
+            );
+        }
+    }
+    // Hash-ordered iteration: collect names declared as HashMap/HashSet,
+    // then flag iteration over them. Keyed lookup stays allowed.
+    let mut hash_names: Vec<&str> = Vec::new();
+    for si in 0..m.len() {
+        if !matches!(m.text(si), "HashMap" | "HashSet") {
+            continue;
+        }
+        // `name: [path::]HashMap<...>` — walk back over path segments to
+        // the single ascription colon.
+        let mut j = si;
+        while j >= 3 && m.text(j - 1) == ":" && m.text(j - 2) == ":" {
+            j -= 3; // step over `:: segment`
+        }
+        if j >= 2 && m.text(j - 1) == ":" && m.tok(j - 2).kind == TokKind::Ident {
+            hash_names.push(m.text(j - 2));
+        }
+        // `let [mut] name = HashMap::...`.
+        if si >= 2 && m.text(si - 1) == "=" && m.tok(si - 2).kind == TokKind::Ident {
+            let name_si = si - 2;
+            if si >= 3 && matches!(m.text(si - 3), "let" | "mut") {
+                hash_names.push(m.text(name_si));
+            }
+        }
+    }
+    hash_names.sort_unstable();
+    hash_names.dedup();
+    for si in 0..m.len() {
+        if m.tok(si).kind != TokKind::Ident || !hash_names.contains(&m.text(si)) {
+            continue;
+        }
+        // Receiver must be the bare name or `self.name`, not `x.name`.
+        let plain_receiver = si == 0
+            || m.text(si - 1) != "."
+            || (si >= 2 && m.text(si - 2) == "self");
+        if !plain_receiver {
+            continue;
+        }
+        // `name.iter()` and friends.
+        if si + 3 < m.len()
+            && m.text(si + 1) == "."
+            && HASH_ITER_METHODS.contains(&m.text(si + 2))
+            && m.text(si + 3) == "("
+        {
+            push(
+                out,
+                m,
+                rel,
+                "R1",
+                si,
+                m.snippet(si, si + 5, 6),
+                format!(
+                    "iteration over hash-ordered `{}`; hash order is nondeterministic — collect into a sorted Vec/BTreeMap instead",
+                    m.text(si)
+                ),
+            );
+        }
+        // `for x in [&][mut] [self.]name {`.
+        let mut j = si;
+        if j >= 2 && m.text(j - 1) == "." && m.text(j - 2) == "self" {
+            j -= 2;
+        }
+        while j >= 1 && matches!(m.text(j - 1), "&" | "mut") {
+            j -= 1;
+        }
+        if j >= 1 && m.text(j - 1) == "in" && si + 1 < m.len() && m.text(si + 1) == "{" {
+            push(
+                out,
+                m,
+                rel,
+                "R1",
+                si,
+                m.snippet(j - 1, si + 1, 8),
+                format!(
+                    "`for` loop over hash-ordered `{}`; iterate a sorted projection instead",
+                    m.text(si)
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R2 --
+
+fn r2_timestamps(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    for si in 0..m.len() {
+        // Stamp minting is forbidden outright outside admission.
+        if m.text(si) == "now_slot"
+            || m.matches(si, &["Slot", ":", ":", "now"])
+            || m.matches(si, &["Timestamp", ":", ":", "now"])
+        {
+            push(
+                out,
+                m,
+                rel,
+                "R2",
+                si,
+                m.snippet(si, si + 4, 4),
+                "fresh timestamp minted outside admission; Theorem 1 weighs the ORIGINAL arrival stamp".into(),
+            );
+        }
+        // `Packet::new(id, <arrival>, ...)` must preserve an existing
+        // stamp: the arrival argument has to be an `arrival` projection
+        // (`d.arrival`, `p.arrival`, a bound `arrival`), the pattern
+        // `restore_destination` established in the retransmission path.
+        if !m.matches(si, &["Packet", ":", ":", "new", "("]) {
+            continue;
+        }
+        let open = si + 4;
+        let Some(close) = m.matching_close(open) else {
+            continue;
+        };
+        let args = m.split_args(open, close);
+        if args.len() < 2 {
+            continue;
+        }
+        let (lo, hi) = args[1];
+        let preserved = (lo..hi)
+            .rev()
+            .find(|&k| m.tok(k).kind == TokKind::Ident)
+            .is_some_and(|k| m.text(k) == "arrival");
+        if !preserved {
+            push(
+                out,
+                m,
+                rel,
+                "R2",
+                si,
+                m.snippet(si, hi + 1, 12),
+                format!(
+                    "Packet::new with a non-preserved arrival stamp `{}`; outside admission, re-queued packets must carry their original arrival (see restore_destination)",
+                    m.snippet(lo, hi, 8)
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3 --
+
+const EXPR_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "dyn", "else", "enum", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+fn r3_panic_freedom(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    for si in 0..m.len() {
+        // `.unwrap()` / `.expect(...)`.
+        if si + 2 < m.len()
+            && m.text(si) == "."
+            && matches!(m.text(si + 1), "unwrap" | "expect")
+            && m.text(si + 2) == "("
+        {
+            push(
+                out,
+                m,
+                rel,
+                "R3",
+                si + 1,
+                m.snippet(si.saturating_sub(3), si + 3, 8),
+                format!(
+                    "`.{}` in hot-path code; a panic here costs a sweep cell — return a structured error or restructure",
+                    m.text(si + 1)
+                ),
+            );
+        }
+        // `panic!`-family macros.
+        if si + 1 < m.len()
+            && matches!(
+                m.text(si),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && m.text(si + 1) == "!"
+        {
+            push(
+                out,
+                m,
+                rel,
+                "R3",
+                si,
+                m.snippet(si, si + 2, 4),
+                format!("`{}!` in hot-path code; prefer a structured error or a debug_assert!", m.text(si)),
+            );
+        }
+        // Slice/array indexing: a `[` in index position (directly after a
+        // value-producing token). Indexing inside `debug_assert!` is the
+        // sanctioned form of the check.
+        if m.text(si) == "["
+            && si > 0
+            && !m.in_debug_assert(m.tok(si).start)
+            && (matches!(m.text(si - 1), ")" | "]")
+                || (m.tok(si - 1).kind == TokKind::Ident
+                    && !EXPR_KEYWORDS.contains(&m.text(si - 1))))
+        {
+            let close = m.matching_close(si).unwrap_or(si);
+            push(
+                out,
+                m,
+                rel,
+                "R3",
+                si,
+                m.snippet(si.saturating_sub(3), close + 1, 10),
+                "slice indexing can panic on the hot path; prefer get()/get_mut() or prove the bound with a debug_assert!".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R4 --
+
+/// Cross-check the `ObsEvent::kind()` vocabulary against the checked-in
+/// events schema. `obs_src` is `crates/types/src/obs.rs`; `schema` is the
+/// parsed `schemas/events.schema.json`. Returns findings anchored to the
+/// given paths.
+pub fn check_vocabulary(
+    obs_rel: &str,
+    obs_src: &str,
+    schema_rel: &str,
+    schema: &fifoms_obs::Json,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let m = Matcher::new(obs_src);
+    // Event kinds = string literals inside `fn kind(...) -> ... { ... }`.
+    let mut kinds: Vec<(String, usize)> = Vec::new();
+    for si in 0..m.len() {
+        if m.text(si) != "fn" || si + 1 >= m.len() || m.text(si + 1) != "kind" {
+            continue;
+        }
+        // First top-level `{` after the signature opens the body.
+        let mut depth = 0i64;
+        let mut open = None;
+        for k in si..m.len() {
+            match m.text(k) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = m.matching_close(open) else {
+            continue;
+        };
+        for k in open..close {
+            if m.tok(k).kind == TokKind::Str {
+                let text = m.text(k).trim_matches('"').to_string();
+                let (line, _) = m.line_col(k);
+                kinds.push((text, line));
+            }
+        }
+    }
+    let schema_kinds: Vec<String> = schema
+        .get("properties")
+        .and_then(|p| p.get("event"))
+        .and_then(|e| e.get("enum"))
+        .and_then(fifoms_obs::Json::as_arr)
+        .map(|vals| {
+            vals.iter()
+                .filter_map(fifoms_obs::Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if schema_kinds.is_empty() {
+        out.push(Finding {
+            rule: "R4",
+            path: schema_rel.to_string(),
+            line: 1,
+            col: 1,
+            key: "missing-event-enum".into(),
+            message: "events schema declares no properties.event.enum vocabulary".into(),
+        });
+        return out;
+    }
+    for (kind, line) in &kinds {
+        if !schema_kinds.iter().any(|s| s == kind) {
+            out.push(Finding {
+                rule: "R4",
+                path: obs_rel.to_string(),
+                line: *line,
+                col: 1,
+                key: format!("emit-only {kind}"),
+                message: format!(
+                    "ObsEvent kind \"{kind}\" is emitted but absent from {schema_rel}; trace consumers cannot validate it"
+                ),
+            });
+        }
+    }
+    for kind in &schema_kinds {
+        if !kinds.iter().any(|(k, _)| k == kind) {
+            out.push(Finding {
+                rule: "R4",
+                path: schema_rel.to_string(),
+                line: 1,
+                col: 1,
+                key: format!("schema-only {kind}"),
+                message: format!(
+                    "events schema lists \"{kind}\" but no ObsEvent::kind() arm produces it; dead vocabulary"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- R5 --
+
+fn r5_justifications(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    // `unsafe` needs a SAFETY: justification in a comment within the
+    // three lines above it (or on its own line). A line window rather
+    // than strict adjacency: the justification conventionally sits above
+    // the `fn` while the `unsafe` block opens inside the body.
+    let safety_lines: Vec<usize> = (0..m.lexed.toks.len())
+        .filter(|&i| {
+            matches!(
+                m.lexed.toks[i].kind,
+                TokKind::LineComment | TokKind::BlockComment
+            ) && comment_tail(m.lexed.text(i), "SAFETY:").is_some_and(|t| !t.is_empty())
+        })
+        .map(|i| m.lexed.line_col(m.lexed.toks[i].end.saturating_sub(1)).0)
+        .collect();
+    for si in 0..m.len() {
+        if m.text(si) != "unsafe" {
+            continue;
+        }
+        let (line, _) = m.line_col(si);
+        let justified = safety_lines
+            .iter()
+            .any(|&sl| sl <= line && sl + 3 >= line);
+        if !justified {
+            push(
+                out,
+                m,
+                rel,
+                "R5",
+                si,
+                m.snippet(si, si + 3, 4),
+                "`unsafe` without a `// SAFETY:` justification in the comment above".into(),
+            );
+        }
+    }
+    // `INVARIANT:` tags need non-empty text after the colon.
+    for i in 0..m.lexed.toks.len() {
+        if !matches!(
+            m.lexed.toks[i].kind,
+            TokKind::LineComment | TokKind::BlockComment
+        ) {
+            continue;
+        }
+        let text = m.lexed.text(i);
+        if let Some(tail) = comment_tail(text, "INVARIANT:") {
+            if tail.is_empty() {
+                let (line, col) = m.lexed.line_col(m.lexed.toks[i].start);
+                if !m.in_test_code(m.lexed.toks[i].start) && !m.allowed("R5", line) {
+                    out.push(Finding {
+                        rule: "R5",
+                        path: rel.to_string(),
+                        line,
+                        col,
+                        key: "empty INVARIANT:".into(),
+                        message: "INVARIANT: tag with no justification; state the invariant and why it holds".into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// If `comment` contains `tag`, the trimmed text after it (block-comment
+/// closers stripped).
+fn comment_tail<'a>(comment: &'a str, tag: &str) -> Option<&'a str> {
+    comment
+        .split_once(tag)
+        .map(|(_, tail)| tail.trim_end_matches("*/").trim())
+}
+
+// ---------------------------------------------------------------- R6 --
+
+const FINGERPRINT_FNS: &[&str] = &["grid_hash", "fault_fingerprint", "cell_key"];
+const FORMAT_SINKS: &[&str] = &["write_str", "write_fmt", "to_string", "push_str"];
+
+fn r6_fingerprint_floats(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    for si in 0..m.len() {
+        if m.text(si) != "fn" || si + 1 >= m.len() {
+            continue;
+        }
+        let name = m.text(si + 1);
+        let marked = {
+            // A `// FINGERPRINT` comment run above the fn opts it in.
+            let raw_idx = m.sig[si];
+            let mut j = raw_idx;
+            let mut found = false;
+            while j > 0 {
+                j -= 1;
+                match m.lexed.toks[j].kind {
+                    TokKind::Whitespace => continue,
+                    TokKind::LineComment | TokKind::BlockComment => {
+                        if m.lexed.text(j).contains("FINGERPRINT") {
+                            found = true;
+                        }
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            found
+        };
+        if !FINGERPRINT_FNS.contains(&name) && !marked {
+            continue;
+        }
+        // Parameter list and body.
+        let Some(popen) = (si..m.len()).find(|&k| m.text(k) == "(") else {
+            continue;
+        };
+        let Some(pclose) = m.matching_close(popen) else {
+            continue;
+        };
+        let Some(bopen) = (pclose..m.len()).find(|&k| m.text(k) == "{") else {
+            continue;
+        };
+        let Some(bclose) = m.matching_close(bopen) else {
+            continue;
+        };
+        // Float-typed names: `name: [&][mut] f64` params and
+        // `let [mut] name: f64` / `let [mut] name = <float literal>`.
+        let mut float_names: Vec<&str> = Vec::new();
+        for k in popen..pclose {
+            if m.text(k) == ":" {
+                let mut v = k + 1;
+                while v < pclose && matches!(m.text(v), "&" | "mut") {
+                    v += 1;
+                }
+                if v < pclose
+                    && matches!(m.text(v), "f64" | "f32")
+                    && k >= 1
+                    && m.tok(k - 1).kind == TokKind::Ident
+                {
+                    float_names.push(m.text(k - 1));
+                }
+            }
+        }
+        for k in bopen..bclose {
+            if m.text(k) != "let" {
+                continue;
+            }
+            let mut v = k + 1;
+            if v < bclose && m.text(v) == "mut" {
+                v += 1;
+            }
+            if v >= bclose || m.tok(v).kind != TokKind::Ident {
+                continue;
+            }
+            let name_si = v;
+            if v + 2 < bclose && m.text(v + 1) == ":" && matches!(m.text(v + 2), "f64" | "f32") {
+                float_names.push(m.text(name_si));
+            }
+            if v + 2 < bclose
+                && m.text(v + 1) == "="
+                && m.tok(v + 2).kind == TokKind::Num
+                && is_float_literal(m.text(v + 2))
+            {
+                float_names.push(m.text(name_si));
+            }
+        }
+        // Statement scan: a formatting sink consuming float evidence must
+        // carry a to_bits() in the same statement.
+        let mut stmt_lo = bopen + 1;
+        let mut depth = 0i64;
+        for k in bopen + 1..=bclose {
+            match m.text(k) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            let stmt_ends = (m.text(k) == ";" && depth == 0) || k == bclose;
+            if !stmt_ends {
+                continue;
+            }
+            let (lo, hi) = (stmt_lo, k);
+            stmt_lo = k + 1;
+            let has_sink = (lo..hi).any(|s| {
+                FORMAT_SINKS.contains(&m.text(s))
+                    || (m.text(s) == "format" && s + 1 < hi && m.text(s + 1) == "!")
+            });
+            if !has_sink {
+                continue;
+            }
+            let float_evidence = (lo..hi).find(|&s| {
+                (m.tok(s).kind == TokKind::Num && is_float_literal(m.text(s)))
+                    || (m.tok(s).kind == TokKind::Ident && float_names.contains(&m.text(s)))
+                    || (m.tok(s).kind == TokKind::Str && {
+                        let text = m.text(s);
+                        // Precision specs and inline captures of known
+                        // float names ("{load}", "{load:?}") count too.
+                        text.contains("{:.")
+                            || float_names.iter().any(|n| {
+                                text.contains(&format!("{{{n}}}"))
+                                    || text.contains(&format!("{{{n}:"))
+                            })
+                    })
+            });
+            let has_to_bits = (lo..hi).any(|s| m.text(s) == "to_bits");
+            if let Some(ev) = float_evidence {
+                if !has_to_bits {
+                    push(
+                        out,
+                        m,
+                        rel,
+                        "R6",
+                        ev,
+                        m.snippet(lo, hi, 12),
+                        format!(
+                            "float value formatted into fingerprint function `{name}` without to_bits(); decimal rendering forks the grid-hash identity across platforms"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        check_file(rel, &Matcher::new(src))
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/core/src/voq.rs"), Some("core"));
+        assert_eq!(crate_of("src/lib.rs"), Some("fifoms"));
+        assert_eq!(crate_of("README.md"), None);
+    }
+
+    #[test]
+    fn r1_flags_hash_iteration_not_lookup() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S {\n fn get(&self) -> Option<&u32> { self.m.get(&1) }\n fn bad(&self) { for (k, v) in &self.m { let _ = (k, v); } }\n fn also_bad(&self) -> Vec<u32> { self.m.keys().copied().collect() }\n}\n";
+        let f = findings("crates/core/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "R1").count(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn r1_flags_clocks_and_unseeded_rngs() {
+        let src = "fn t() -> std::time::Instant { Instant::now() }\nfn r() { let _ = thread_rng(); }\n";
+        let f = findings("crates/sim/src/engine.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "R1").count(), 2, "{f:?}");
+        // The self-profiler is the sanctioned wall-clock reader.
+        let f = findings("crates/sim/src/profile.rs", "fn t() { Instant::now(); }");
+        assert!(f.iter().all(|f| f.rule != "R1"), "{f:?}");
+        // Out-of-domain crates are not checked.
+        let f = findings("crates/cli/src/main.rs", "fn t() { Instant::now(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r2_accepts_preserved_arrival_and_rejects_minting() {
+        let good = "fn requeue(&mut self, d: &Departure) { self.q.push_front(Packet::new(d.packet, d.arrival, d.input, dests)); }";
+        assert!(findings("crates/fabric/src/faults.rs", good).is_empty());
+        let bad = "fn requeue(&mut self, d: &Departure, now: Slot) { self.q.push_front(Packet::new(d.packet, now, d.input, dests)); }";
+        let f = findings("crates/fabric/src/faults.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "R2").count(), 1, "{f:?}");
+        let minted = "fn stamp() -> Slot { Timestamp::now() }";
+        let f = findings("crates/core/src/voq.rs", minted);
+        assert_eq!(f.iter().filter(|f| f.rule == "R2").count(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn r3_flags_panics_and_indexing_outside_guards() {
+        let src = "fn hot(&self, q: &[u32], i: usize) -> u32 {\n debug_assert!(q[i] > 0);\n let x = q[i];\n let y = self.opt.unwrap();\n x + y\n}\n#[cfg(test)]\nmod tests { fn t(q: &[u32]) { q[0]; None::<u32>.unwrap(); } }\n";
+        let f = findings("crates/core/src/scheduler.rs", src);
+        let r3: Vec<_> = f.iter().filter(|f| f.rule == "R3").collect();
+        assert_eq!(r3.len(), 2, "{r3:?}");
+        assert!(r3.iter().any(|f| f.key.contains("unwrap")));
+        assert!(r3.iter().any(|f| f.key.contains("[ i ]")));
+    }
+
+    #[test]
+    fn r3_allow_directive_with_reason_suppresses() {
+        let src = "fn hot(q: &[u32]) -> u32 {\n // fifoms-lint: allow(R3) index bounded by the N*N grid allocation\n q[0]\n}\n";
+        assert!(findings("crates/core/src/voq.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_safety_and_invariant_audit() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n// INVARIANT:\nstruct S;\n";
+        let f = findings("crates/stats/src/x.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "R5").count(), 2, "{f:?}");
+        let good = "// SAFETY: caller guarantees p is valid for reads\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n// INVARIANT: len <= cap by construction in new()\nstruct S;\n";
+        assert!(findings("crates/stats/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn r6_fingerprint_requires_to_bits() {
+        let bad = "fn grid_hash(load: f64) -> u64 { let mut h = Fnv::new(); h.write_str(&format!(\"point={load}\")); h.finish() }";
+        let f = findings("crates/sim/src/checkpoint.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "R6").count(), 1, "{f:?}");
+        let good = "fn grid_hash(load: f64) -> u64 { let mut h = Fnv::new(); h.write_str(&format!(\"point={}\", load.to_bits())); h.finish() }";
+        assert!(findings("crates/sim/src/checkpoint.rs", good).is_empty());
+        // Non-fingerprint functions are not constrained.
+        let other = "fn render(load: f64) -> String { format!(\"{load}\") }";
+        assert!(findings("crates/sim/src/report.rs", other).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! R1 fixture (bad): every nondeterminism source the rule must catch.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+struct Registry {
+    seen: HashSet<u64>,
+}
+
+impl Registry {
+    fn loop_over_set(&self) -> usize {
+        let mut n = 0;
+        for _k in &self.seen {
+            n += 1;
+        }
+        n
+    }
+}
+
+fn iterate_hash_order(counts: HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    // Hash iteration order varies run to run: findings must fire here.
+    for (_name, c) in counts.iter() {
+        total += c;
+    }
+    let keys = counts.keys().count() as u64;
+    total + keys
+}
+
+fn wall_clock_seed() -> u64 {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let rng = rand::thread_rng();
+    drop((t, s, rng));
+    rand::random()
+}

@@ -1,0 +1,48 @@
+//! R1 fixture (good): the deterministic forms of everything `r1_bad.rs`
+//! does wrong. Keyed hash lookup, sorted projections, seeded RNG.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+struct Registry {
+    seen: HashSet<u64>,
+    retries: HashMap<u64, u32>,
+}
+
+impl Registry {
+    /// Keyed access is order-free and stays legal.
+    fn lookup(&mut self, key: u64) -> u32 {
+        if self.seen.contains(&key) {
+            return self.retries.get(&key).copied().unwrap_or(0);
+        }
+        self.retries.entry(key).or_insert(0);
+        *self.retries.entry(key).or_insert(0)
+    }
+
+    /// Iterating a sorted projection is the sanctioned pattern.
+    fn ordered(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = Vec::new();
+        for k in 0..64 {
+            if self.seen.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+}
+
+fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may iterate hash order freely — assertions sort first.
+    #[test]
+    fn hash_iteration_is_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let mut v: Vec<u32> = m.keys().copied().collect();
+        v.sort_unstable();
+        assert!(v.is_empty());
+        let t = Instant::now();
+        drop(t);
+    }
+}

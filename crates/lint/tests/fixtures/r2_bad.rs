@@ -1,0 +1,19 @@
+//! R2 regression fixture (bad): a retransmission path that re-stamps the
+//! retried copy with the *current* slot. This is exactly the bug class
+//! Theorem 1 forbids — a re-stamped copy re-enters arbitration with
+//! reset priority, so an unlucky flow can starve forever. The rule must
+//! catch both the fresh mint and the non-preserving `Packet::new`.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn requeue_after_fault(d: &Departure, clock: &SlotClock) -> Packet {
+    let fresh = clock.now_slot();
+    Packet::new(d.packet, fresh, d.input, d.dests.clone())
+}
+
+fn requeue_with_inline_mint(d: &Departure) -> Packet {
+    Packet::new(d.packet, Slot::now(), d.input, d.dests.clone())
+}
+
+fn restamp(ts: &mut Slot) {
+    *ts = Timestamp::now();
+}

@@ -1,0 +1,14 @@
+//! R2 fixture (good): the retransmission path re-queues a killed copy
+//! with its ORIGINAL arrival stamp — the `restore_destination` pattern.
+//! Theorem 1's starvation bound survives because the retried copy keeps
+//! its place in the global FIFO order.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn requeue_preserving(d: &Departure) -> Packet {
+    Packet::new(d.packet, d.arrival, d.input, d.dests.clone())
+}
+
+fn requeue_from_binding(d: &Departure) -> Packet {
+    let arrival = d.arrival;
+    Packet::new(d.packet, arrival, d.input, d.dests.clone())
+}

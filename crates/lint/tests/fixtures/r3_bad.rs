@@ -1,0 +1,14 @@
+//! R3 fixture (bad): every panic path the rule must catch in hot-path
+//! scheduler code. Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn hot_path(xs: &[u64], i: usize) -> u64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("needs two entries");
+    if i > xs.len() {
+        panic!("index out of range");
+    }
+    match i {
+        0 => unreachable!(),
+        _ => first + second + xs[i],
+    }
+}

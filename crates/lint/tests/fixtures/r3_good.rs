@@ -1,0 +1,26 @@
+//! R3 fixture (good): the sanctioned forms — `get()` with `?`, bounds
+//! proven inside `debug_assert!`, a justified allow directive, and free
+//! use of panicky helpers inside test code.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn hot_path(xs: &[u64], i: usize) -> Option<u64> {
+    debug_assert!(xs[0] <= xs[xs.len() - 1], "caller passes sorted slices");
+    let first = xs.first()?;
+    let rest = xs.get(i)?;
+    Some(first + rest)
+}
+
+fn justified(xs: &[u64]) -> u64 {
+    // fifoms-lint: allow(R3) nonempty by caller contract, checked at admission
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicky_assertions_are_fine_in_tests() {
+        let xs = vec![1u64, 2];
+        assert_eq!(xs[0], 1);
+        assert_eq!(xs.get(1).copied().unwrap(), 2);
+    }
+}

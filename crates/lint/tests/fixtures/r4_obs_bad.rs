@@ -1,0 +1,12 @@
+//! R4 fixture (bad): emits a kind the schema has never heard of and
+//! fails to emit one the schema promises. Both directions must flag.
+//! Never compiled — lexed by `tests/rules.rs`.
+
+impl ObsEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::RunMeta { .. } => "run_meta",
+            ObsEvent::Mystery { .. } => "mystery_event",
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! R4 fixture (good): an ObsEvent whose kind() vocabulary exactly
+//! matches the schema fixture. Never compiled — lexed by `tests/rules.rs`.
+
+impl ObsEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::RunMeta { .. } => "run_meta",
+            ObsEvent::RunEnd { .. } => "run_end",
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! R5 fixture (bad): an `unsafe` block with no SAFETY justification and
+//! an INVARIANT tag with nothing after the colon.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+struct Meta {
+    // INVARIANT:
+    live: usize,
+}
+
+fn touch(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,18 @@
+//! R5 fixture (good): the same shapes with real justifications — a
+//! SAFETY comment within three lines of the `unsafe`, and an INVARIANT
+//! tag that states the invariant and why it holds.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+struct Meta {
+    // INVARIANT: live equals the number of Live entries; every mutation
+    // path re-establishes it before returning.
+    live: usize,
+}
+
+fn touch(p: *mut u8) {
+    // SAFETY: the caller guarantees `p` points into the arena and the
+    // arena outlives this call; no other alias exists during the write.
+    unsafe {
+        *p = 0;
+    }
+}

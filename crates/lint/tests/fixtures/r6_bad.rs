@@ -1,0 +1,17 @@
+//! R6 fixture (bad): fingerprint functions that feed rounded decimal
+//! float text into identity strings. Decimal formatting is a lossy,
+//! locale-of-the-formatter view of the value; resume matching must use
+//! the exact bit pattern. Never compiled — lexed by `tests/rules.rs`.
+
+fn grid_hash(load: f64, n: usize) -> String {
+    let mut key = String::new();
+    key.push_str(&format!("{n}x"));
+    key.push_str(&format!("{load:.3}"));
+    key
+}
+
+// FINGERPRINT: cell identity for the resume journal.
+fn cell_identity(load: f64) -> String {
+    let key = format!("{load}");
+    key
+}

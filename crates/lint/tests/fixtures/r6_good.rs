@@ -1,0 +1,16 @@
+//! R6 fixture (good): identity text built from `to_bits()`, never from
+//! rounded decimal float formatting — the discipline `grid_hash` in
+//! `crates/sim/src/checkpoint.rs` actually follows.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn grid_hash(load: f64, n: usize) -> String {
+    let bits = load.to_bits();
+    let mut key = String::new();
+    key.push_str(&format!("{n}x{bits}"));
+    key
+}
+
+/// Not a fingerprint function: free to format floats for humans.
+fn progress_line(load: f64) -> String {
+    format!("load {load:.2}")
+}

@@ -1,0 +1,215 @@
+//! Property-style round-trip tests for the fifoms-lint lexer. The build
+//! environment has no proptest/quickcheck, so the generator is a small
+//! seeded xorshift (the same idiom as `fifoms-obs`'s json_props):
+//! hundreds of random token soups per run, fully deterministic,
+//! shrinkable by seed.
+//!
+//! The invariant every rule depends on is *totality*: each byte of the
+//! source lands in exactly one token, so concatenating the token texts
+//! reproduces the file byte for byte, and `line_col` of any offset is
+//! consistent with counting newlines by hand. A lexer that drops or
+//! duplicates bytes would silently shift every finding's location.
+
+use fifoms_lint::lexer::{Lexed, TokKind};
+
+/// xorshift64* — deterministic, dependency-free pseudo-randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn ident(&mut self) -> String {
+        let len = 1 + self.below(8) as usize;
+        let mut s = String::new();
+        if self.below(8) == 0 {
+            s.push_str("r#"); // raw identifier
+        }
+        for i in 0..len {
+            let c = if i == 0 {
+                char::from(b'a' + self.below(26) as u8)
+            } else if self.below(4) == 0 {
+                '_'
+            } else {
+                char::from(b'0' + self.below(10) as u8)
+            };
+            s.push(c);
+        }
+        s
+    }
+
+    fn number(&mut self) -> String {
+        match self.below(6) {
+            0 => format!("{}", self.below(1 << 32)),
+            1 => format!("0x{:x}", self.below(1 << 32)),
+            2 => format!("0b{:b}", self.below(256)),
+            3 => format!("{}.{}", self.below(1000), self.below(1000)),
+            4 => format!("{}e{}{}", self.below(100), if self.below(2) == 0 { "+" } else { "-" }, self.below(30)),
+            _ => format!("{}_u{}", self.below(1000), [8u64, 16, 32, 64][self.below(4) as usize]),
+        }
+    }
+
+    fn string_lit(&mut self) -> String {
+        match self.below(5) {
+            // Raw strings with fences deep enough to hold quotes.
+            0 => format!("r\"plain {}\"", self.below(100)),
+            1 => format!("r#\"has \"quotes\" {}\"#", self.below(100)),
+            2 => format!("br##\"fence \"# trap {}\"##", self.below(100)),
+            // Escaped strings.
+            3 => format!("\"esc \\\" \\\\ \\n {}\"", self.below(100)),
+            _ => format!("b\"bytes \\x7f {}\"", self.below(100)),
+        }
+    }
+
+    fn charlike(&mut self) -> String {
+        match self.below(5) {
+            0 => "'x'".into(),
+            1 => "'\\n'".into(),
+            2 => "'\\''".into(),
+            3 => "b'q'".into(),
+            // Lifetimes — the disambiguation hazard.
+            _ => format!("'{}", self.ident().trim_start_matches("r#")),
+        }
+    }
+
+    fn comment(&mut self) -> String {
+        match self.below(4) {
+            0 => format!("// line comment {}\n", self.below(100)),
+            1 => "/* flat block */".into(),
+            2 => "/* outer /* nested /* deep */ */ still outer */".into(),
+            _ => "/// doc comment with `code`\n".into(),
+        }
+    }
+
+    fn punct_run(&mut self) -> String {
+        const PUNCTS: &[&str] = &[
+            "::", "->", "=>", "..", "..=", "==", "!=", "<=", ">=", "&&", "||",
+            "+", "-", "*", "/", "%", "^", "!", "&", "|", "<", ">", "=", "@",
+            "(", ")", "[", "]", "{", "}", ",", ";", ":", "#", "?", ".",
+        ];
+        PUNCTS[self.below(PUNCTS.len() as u64) as usize].to_string()
+    }
+
+    /// One random source file: a soup of every token category glued with
+    /// random whitespace.
+    fn source(&mut self) -> String {
+        let pieces = 2 + self.below(60) as usize;
+        let mut src = String::new();
+        for _ in 0..pieces {
+            match self.below(7) {
+                0 => src.push_str(&self.ident()),
+                1 => src.push_str(&self.number()),
+                2 => src.push_str(&self.string_lit()),
+                3 => src.push_str(&self.charlike()),
+                4 => src.push_str(&self.comment()),
+                _ => src.push_str(&self.punct_run()),
+            }
+            match self.below(4) {
+                0 => src.push(' '),
+                1 => src.push('\n'),
+                2 => src.push_str("\t "),
+                _ => src.push_str("  \n"),
+            }
+        }
+        src
+    }
+}
+
+/// Concatenating every token's text must reproduce the input byte for
+/// byte — the totality invariant all span arithmetic rests on.
+#[test]
+fn lex_reemit_is_byte_identical() {
+    let mut rng = Rng(0x5EED_0001);
+    for round in 0..300 {
+        let src = rng.source();
+        let lexed = Lexed::new(&src);
+        let rebuilt: String = (0..lexed.toks.len()).map(|i| lexed.text(i)).collect();
+        assert_eq!(rebuilt, src, "round {round}: re-emit diverged\n--- src ---\n{src}");
+    }
+}
+
+/// Token spans must tile the file: start at 0, contiguous, end at len.
+#[test]
+fn spans_tile_without_gaps_or_overlap() {
+    let mut rng = Rng(0x5EED_0002);
+    for _ in 0..300 {
+        let src = rng.source();
+        let lexed = Lexed::new(&src);
+        let mut cursor = 0;
+        for t in &lexed.toks {
+            assert_eq!(t.start, cursor, "gap or overlap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+            cursor = t.end;
+        }
+        assert_eq!(cursor, src.len(), "trailing bytes untokenized in {src:?}");
+    }
+}
+
+/// `line_col` must agree with counting newlines by hand at every token
+/// start — findings are reported through it, so a drifted line number
+/// points the operator at the wrong code.
+#[test]
+fn line_col_matches_manual_count() {
+    let mut rng = Rng(0x5EED_0003);
+    for _ in 0..100 {
+        let src = rng.source();
+        let lexed = Lexed::new(&src);
+        for t in &lexed.toks {
+            let upto = &src[..t.start];
+            let line = 1 + upto.bytes().filter(|&b| b == b'\n').count();
+            let col = 1 + upto.rfind('\n').map_or(t.start, |nl| t.start - nl - 1);
+            assert_eq!(
+                lexed.line_col(t.start),
+                (line, col),
+                "span {t:?} at offset {} in {src:?}",
+                t.start
+            );
+        }
+    }
+}
+
+/// Random soups never produce Unknown tokens — every generated category
+/// is one the lexer claims to understand.
+#[test]
+fn soup_lexes_without_unknown() {
+    let mut rng = Rng(0x5EED_0004);
+    for _ in 0..300 {
+        let src = rng.source();
+        let lexed = Lexed::new(&src);
+        for (i, t) in lexed.toks.iter().enumerate() {
+            assert_ne!(
+                t.kind,
+                TokKind::Unknown,
+                "unknown token {:?} in {src:?}",
+                lexed.text(i)
+            );
+        }
+    }
+}
+
+/// Even for adversarial byte soup (arbitrary non-UTF8-hostile bytes the
+/// lexer has no token for), totality must hold: Unknown tokens are fine,
+/// dropped bytes are not.
+#[test]
+fn arbitrary_ascii_still_tiles() {
+    let mut rng = Rng(0x5EED_0005);
+    for _ in 0..300 {
+        let len = rng.below(80) as usize;
+        let src: String = (0..len)
+            .map(|_| char::from(b' ' + rng.below(95) as u8))
+            .collect();
+        let lexed = Lexed::new(&src);
+        let rebuilt: String = (0..lexed.toks.len()).map(|i| lexed.text(i)).collect();
+        assert_eq!(rebuilt, src, "re-emit diverged on byte soup {src:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Fixture tests for the six fifoms-lint rules: one good and one bad
+//! exemplar per rule under `tests/fixtures/`. The fixtures are data, not
+//! code — the engine's walker skips `fixtures/` directories, and cargo
+//! never compiles them — so they can contain arbitrary violations.
+//!
+//! Fixtures are checked through `check_file` with a *synthetic* relative
+//! path: the path picks the crate domain, so the same source can be
+//! asserted flagged inside a rule's domain and ignored outside it.
+
+use fifoms_lint::matcher::Matcher;
+use fifoms_lint::rules::{check_file, check_vocabulary, Finding};
+use fifoms_obs::Json;
+
+fn run(rel: &str, src: &str) -> Vec<Finding> {
+    let m = Matcher::new(src);
+    check_file(rel, &m)
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+// ---------------------------------------------------------------- R1 --
+
+#[test]
+fn r1_flags_every_nondeterminism_source() {
+    let f = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/r1_bad.rs"),
+    );
+    // for over self.seen, counts.iter(), counts.keys(),
+    // Instant::now, SystemTime::now, thread_rng, rand::random.
+    assert_eq!(count(&f, "R1"), 7, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("hash-ordered `counts`")));
+    assert!(f.iter().any(|x| x.message.contains("wall-clock")));
+    assert!(f.iter().any(|x| x.message.contains("unseeded RNG")));
+}
+
+#[test]
+fn r1_accepts_keyed_access_sorted_projections_and_tests() {
+    let f = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/r1_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+#[test]
+fn r1_does_not_apply_outside_its_domain() {
+    // The same nondeterminism soup in an analysis crate is legal: only
+    // result-bearing crates carry the determinism contract.
+    let f = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/r1_bad.rs"),
+    );
+    assert_eq!(count(&f, "R1"), 0, "{f:#?}");
+}
+
+// ---------------------------------------------------------------- R2 --
+
+/// The regression the rule exists for: an egress-fault retry path that
+/// re-stamps the retried copy. Both the fresh mint and the
+/// non-preserving `Packet::new` must flag.
+#[test]
+fn r2_catches_stamp_minting_retransmission() {
+    let f = run(
+        "crates/fabric/src/fixture.rs",
+        include_str!("fixtures/r2_bad.rs"),
+    );
+    // now_slot, Slot::now, Timestamp::now mints + two bad Packet::new.
+    assert_eq!(count(&f, "R2"), 5, "{f:#?}");
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("non-preserved arrival stamp `fresh`")));
+    assert!(f.iter().any(|x| x.message.contains("ORIGINAL arrival")));
+}
+
+#[test]
+fn r2_accepts_preserved_arrival_stamps() {
+    let f = run(
+        "crates/fabric/src/fixture.rs",
+        include_str!("fixtures/r2_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+#[test]
+fn r2_exempts_admission_modules_by_domain() {
+    // Admission (sim/traffic/cli) legitimately mints stamps: the same
+    // minting source outside core/fabric/baselines is clean.
+    let f = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/r2_bad.rs"),
+    );
+    assert_eq!(count(&f, "R2"), 0, "{f:#?}");
+}
+
+// ---------------------------------------------------------------- R3 --
+
+#[test]
+fn r3_flags_unwrap_expect_panics_and_indexing() {
+    let f = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r3_bad.rs"),
+    );
+    // unwrap, expect, panic!, unreachable!, xs[i].
+    assert_eq!(count(&f, "R3"), 5, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("`.unwrap`")));
+    assert!(f.iter().any(|x| x.message.contains("`panic!`")));
+    assert!(f.iter().any(|x| x.message.contains("slice indexing")));
+}
+
+#[test]
+fn r3_accepts_get_debug_assert_allow_and_test_code() {
+    let f = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r3_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+#[test]
+fn r3_does_not_apply_outside_hot_path_crates() {
+    let f = run(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/r3_bad.rs"),
+    );
+    assert_eq!(count(&f, "R3"), 0, "{f:#?}");
+}
+
+// ---------------------------------------------------------------- R4 --
+
+fn schema() -> Json {
+    Json::parse(
+        r#"{"type": "object", "required": ["event"],
+            "properties": {"event": {"enum": ["run_meta", "run_end"]}}}"#,
+    )
+    .expect("fixture schema parses")
+}
+
+#[test]
+fn r4_accepts_matching_vocabulary() {
+    let f = check_vocabulary(
+        "crates/types/src/obs.rs",
+        include_str!("fixtures/r4_obs_good.rs"),
+        "schemas/events.schema.json",
+        &schema(),
+    );
+    assert_eq!(f, Vec::new(), "{f:#?}");
+}
+
+#[test]
+fn r4_flags_drift_in_both_directions() {
+    let f = check_vocabulary(
+        "crates/types/src/obs.rs",
+        include_str!("fixtures/r4_obs_bad.rs"),
+        "schemas/events.schema.json",
+        &schema(),
+    );
+    assert_eq!(count(&f, "R4"), 2, "{f:#?}");
+    // Emitted but not in the schema: consumers cannot validate it.
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("\"mystery_event\" is emitted but absent")));
+    // Promised by the schema but never emitted: dead vocabulary.
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("\"run_end\" but no ObsEvent::kind() arm")));
+}
+
+// ---------------------------------------------------------------- R5 --
+
+#[test]
+fn r5_flags_unjustified_unsafe_and_empty_invariant() {
+    let f = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/r5_bad.rs"),
+    );
+    assert_eq!(count(&f, "R5"), 2, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("SAFETY")));
+    assert!(f.iter().any(|x| x.message.contains("INVARIANT")));
+}
+
+#[test]
+fn r5_accepts_justified_unsafe_and_invariants() {
+    let f = run(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/r5_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+// ---------------------------------------------------------------- R6 --
+
+#[test]
+fn r6_flags_float_text_in_fingerprints() {
+    let f = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/r6_bad.rs"),
+    );
+    // grid_hash (named) and cell_identity (FINGERPRINT-marked).
+    assert_eq!(count(&f, "R6"), 2, "{f:#?}");
+    assert!(f.iter().any(|x| x.line < 13), "named fn finding {f:#?}");
+    assert!(f.iter().any(|x| x.line > 13), "marked fn finding {f:#?}");
+}
+
+#[test]
+fn r6_accepts_to_bits_and_non_fingerprint_formatting() {
+    let f = run(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/r6_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}

@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
 # CI gate for the workspace:
 #   1. clippy over every crate and target, warnings denied;
-#   2. the full test suite in the dev profile, which compiles with
+#   2. a release build with rustc warnings denied — clippy's set and
+#      rustc's set overlap but are not identical, and release codegen
+#      surfaces warnings (dead branches behind debug_assertions) that
+#      the dev profile hides;
+#   3. the full test suite in the dev profile, which compiles with
 #      debug-assertions (and overflow checks) enabled — the runtime
 #      invariant checks in fabric/core rely on them firing;
-#   3. a smoke run of the self-profiling harness plus schema validation
+#   4. the fifoms-lint source disciplines gated against the committed
+#      baseline, with the JSON report schema-validated as a by-product
+#      (lintcmd self-checks it against schemas/lint.schema.json);
+#   5. a smoke run of the self-profiling harness plus schema validation
 #      of the benchmark artifacts it writes (schemas/ must stay in sync
 #      with the emitters);
-#   4. the bench regression gate: a smoke core bench compared against the
+#   6. the bench regression gate: a smoke core bench compared against the
 #      committed BENCH_core.json baseline (wide tolerance — smoke runs
 #      are short and noisy; the gate exists to catch order-of-magnitude
 #      slumps, not jitter);
-#   5. an analyze smoke: a tiny packet-traced sweep piped through
+#   7. an analyze smoke: a tiny packet-traced sweep piped through
 #      `fifoms-repro analyze --json`, validated against
 #      schemas/analysis.schema.json;
-#   6. a chaos smoke campaign: seeded egress-fault scenarios through the
+#   8. a chaos smoke campaign: seeded egress-fault scenarios through the
 #      invariant checker — the command exits nonzero on any invariant
 #      violation, deadlock, or unreconciled fanout counter, and we also
 #      grep the report for its explicit all-clear line.
@@ -30,8 +37,16 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== release build (rustc warnings denied) =="
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
+
 echo "== tests (dev profile, debug-assertions on) =="
 cargo test --workspace --quiet
+
+echo "== lint gate (source disciplines vs committed baseline) =="
+cargo run --release --quiet -p fifoms-cli -- lint \
+  --baseline lint-baseline.json --json "$tmp/lint.json"
+test -s "$tmp/lint.json"
 
 echo "== profile smoke + artifact schema validation =="
 cargo run --release --quiet -p fifoms-cli -- profile --slots 10000
