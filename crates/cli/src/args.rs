@@ -66,6 +66,10 @@ pub struct Options {
     /// Regenerate the lint baseline instead of gating (`lint
     /// --write-baseline`).
     pub write_baseline: bool,
+    /// Per-VOQ address-cell cap for `overload` (`0` = unbounded).
+    pub voq_cap: usize,
+    /// Per-input aggregate copy cap for `overload` (`0` = unbounded).
+    pub input_cap: usize,
 }
 
 impl Default for Options {
@@ -100,6 +104,8 @@ impl Default for Options {
             scenarios: 12,
             scenario: None,
             write_baseline: false,
+            voq_cap: 16,
+            input_cap: 64,
         }
     }
 }
@@ -125,6 +131,7 @@ const COMMANDS: &[&str] = &[
     "analyze",
     "chaos",
     "lint",
+    "overload",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -145,7 +152,7 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries"
             | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" | "--packet-trace"
             | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance"
-            | "--scenarios" | "--scenario" => {
+            | "--scenarios" | "--scenario" | "--voq-cap" | "--input-cap" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -176,6 +183,8 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--tolerance" => opts.tolerance = parse_num(arg, value)?,
                     "--scenarios" => opts.scenarios = parse_num(arg, value)?,
                     "--scenario" => opts.scenario = Some(value.clone()),
+                    "--voq-cap" => opts.voq_cap = parse_num(arg, value)?,
+                    "--input-cap" => opts.input_cap = parse_num(arg, value)?,
                     _ => unreachable!(),
                 }
             }
@@ -219,6 +228,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     let command = command.ok_or("missing command")?;
     if command == "analyze" && opts.input.is_none() {
         return Err("analyze requires a trace file: analyze <trace.jsonl>".into());
+    }
+    if command == "overload" && (opts.voq_cap == 0 || opts.input_cap == 0) {
+        return Err("overload requires finite --voq-cap and --input-cap".into());
     }
     Ok((command, opts))
 }
@@ -421,6 +433,23 @@ mod tests {
 
         assert!(parse(&argv("chaos --scenarios 0")).is_err());
         assert!(parse(&argv("chaos --scenario")).is_err());
+    }
+
+    #[test]
+    fn overload_flags() {
+        let (cmd, o) = parse(&argv("overload --n 8 --points 4")).unwrap();
+        assert_eq!(cmd, "overload");
+        assert_eq!(o.voq_cap, 16);
+        assert_eq!(o.input_cap, 64);
+        let (_, o) = parse(&argv(
+            "overload --voq-cap 4 --input-cap 32 --json loss.json",
+        ))
+        .unwrap();
+        assert_eq!(o.voq_cap, 4);
+        assert_eq!(o.input_cap, 32);
+        assert_eq!(o.json_out.as_deref(), Some("loss.json"));
+        assert!(parse(&argv("overload --voq-cap 0")).is_err());
+        assert!(parse(&argv("overload --input-cap 0")).is_err());
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! The `chaos` subcommand: seeded egress-fault campaigns with automatic
 //! reproducer shrinking.
 //!
-//! A campaign runs [`campaign_scenarios`] through the armoured stack
+//! A campaign runs [`campaign_scenarios`] plus the finite-buffer
+//! [`buffer_pressure_scenarios`] through the armoured stack
 //! (`CheckedSwitch` outside `FaultyFabric` outside the FIFOMS switch),
 //! prints one table row per scenario with its recovery metrics, and —
 //! when a scenario fails — delta-debugs it with [`shrink_scenario`] down
 //! to a minimal `--scenario` spec printed as a ready-to-run reproducer.
-//! The process exits nonzero if any scenario fails, which is what the CI
-//! smoke stage keys on.
+//! Every cell runs under a wall-clock watchdog ([`run_guarded`]) so a
+//! livelocked buffer-pressure cell times out and fails the campaign
+//! instead of hanging CI; `--cell-timeout` overrides the limit. The
+//! process exits nonzero if any scenario fails or times out, which is
+//! what the CI smoke stage keys on.
 
-use fifoms_sim::{campaign_scenarios, run_scenario, shrink_scenario, ChaosOutcome, ChaosScenario};
+use fifoms_sim::{
+    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario, shrink_scenario,
+    ChaosOutcome, ChaosScenario,
+};
 use fifoms_types::SimError;
 
 use crate::args::Options;
@@ -18,7 +25,15 @@ use crate::args::Options;
 pub fn chaos(opts: &Options) -> Result<(), SimError> {
     let scenarios = match &opts.scenario {
         Some(spec) => vec![ChaosScenario::parse(spec)?],
-        None => campaign_scenarios(opts.seed, opts.scenarios, opts.smoke),
+        None => {
+            let mut list = campaign_scenarios(opts.seed, opts.scenarios, opts.smoke);
+            list.extend(buffer_pressure_scenarios(
+                opts.seed,
+                (opts.scenarios / 2).max(3),
+                opts.smoke,
+            ));
+            list
+        }
     };
     let label = if opts.scenario.is_some() {
         "scenario"
@@ -27,25 +42,40 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     } else {
         "campaign"
     };
+    // Wall-clock budget per cell: generous defaults (a healthy cell
+    // finishes in well under a second) so only a genuine wedge trips it.
+    let limit_millis = opts
+        .cell_timeout
+        .map_or(if opts.smoke { 60_000 } else { 600_000 }, |s| s * 1_000);
     println!(
-        "chaos {label}: {} scenario(s), seed {}",
+        "chaos {label}: {} scenario(s), seed {}, cell watchdog {}s",
         scenarios.len(),
-        opts.seed
+        opts.seed,
+        limit_millis / 1_000
     );
     println!();
     print_header();
 
     let mut outcomes: Vec<ChaosOutcome> = Vec::with_capacity(scenarios.len());
+    let mut timeouts: Vec<ChaosScenario> = Vec::new();
     for (k, sc) in scenarios.iter().enumerate() {
-        let out = run_scenario(sc);
-        print_row(k, &out);
-        outcomes.push(out);
+        let cell = *sc;
+        match run_guarded(limit_millis, move || run_scenario(&cell)) {
+            Ok(out) => {
+                print_row(k, &out);
+                outcomes.push(out);
+            }
+            Err(ms) => {
+                print_timeout_row(k, sc, ms);
+                timeouts.push(*sc);
+            }
+        }
     }
     println!();
     print_recovery_summary(&outcomes);
 
     let failures: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| o.failed()).collect();
-    if failures.is_empty() {
+    if failures.is_empty() && timeouts.is_empty() {
         println!(
             "all {} scenario(s) ok: zero invariant violations, zero unreconciled fanout counters",
             outcomes.len()
@@ -56,21 +86,26 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     for out in &failures {
         shrink_and_report(out);
     }
+    for sc in &timeouts {
+        shrink_and_report_timeout(sc, limit_millis);
+    }
     Err(SimError::Usage(format!(
-        "chaos {label} FAILED: {}/{} scenario(s) bad",
-        failures.len(),
-        outcomes.len()
+        "chaos {label} FAILED: {}/{} scenario(s) bad ({} timed out)",
+        failures.len() + timeouts.len(),
+        scenarios.len(),
+        timeouts.len()
     )))
 }
 
 fn print_header() {
     println!(
-        "{:>3}  {:<12}  {:>9} {:>9} {:>7}  {:>6} {:>6} {:>5}  {:>7} {:>6} {:>6}  {:>7}  spec",
+        "{:>3}  {:<12}  {:>9} {:>9} {:>7} {:>7}  {:>6} {:>6} {:>5}  {:>7} {:>6} {:>6}  {:>7}  spec",
         "#",
         "status",
         "admitted",
         "delivered",
         "drops",
+        "shed", // admission drops (finite buffers)
         "killed",
         "recov",
         "lost",
@@ -85,12 +120,13 @@ fn print_row(k: usize, out: &ChaosOutcome) {
     let r = &out.recovery;
     let spec = out.scenario.cli_spec();
     println!(
-        "{:>3}  {:<12}  {:>9} {:>9} {:>7}  {:>6} {:>6} {:>5}  {:>7.1} {:>6.2} {:>6.2}  {:>7}  {}",
+        "{:>3}  {:<12}  {:>9} {:>9} {:>7} {:>7}  {:>6} {:>6} {:>5}  {:>7.1} {:>6.2} {:>6.2}  {:>7}  {}",
         k,
         out.status(),
         out.admitted_copies,
         out.delivered_copies,
         out.reconciled_drops,
+        out.admission_drops,
         r.copies_killed,
         r.copies_recovered,
         r.copies_lost,
@@ -102,12 +138,24 @@ fn print_row(k: usize, out: &ChaosOutcome) {
     );
 }
 
+fn print_timeout_row(k: usize, sc: &ChaosScenario, limit_millis: u64) {
+    let spec = sc.cli_spec();
+    println!(
+        "{:>3}  {:<12}  watchdog fired after {}ms — cell abandoned  {}",
+        k,
+        "TIMEOUT",
+        limit_millis,
+        if spec.is_empty() { "(defaults)" } else { &spec },
+    );
+}
+
 /// Campaign-wide recovery aggregates (copy counts sum; latency and
 /// scoreboard figures average over the scenarios that measured them).
 fn print_recovery_summary(outcomes: &[ChaosOutcome]) {
     let killed: u64 = outcomes.iter().map(|o| o.recovery.copies_killed).sum();
     let recovered: u64 = outcomes.iter().map(|o| o.recovery.copies_recovered).sum();
     let lost: u64 = outcomes.iter().map(|o| o.recovery.copies_lost).sum();
+    let shed: u64 = outcomes.iter().map(|o| o.admission_drops).sum();
     let max_ttr = outcomes
         .iter()
         .map(|o| o.recovery.max_time_to_recover)
@@ -128,7 +176,8 @@ fn print_recovery_summary(outcomes: &[ChaosOutcome]) {
     };
     println!(
         "recovery: {killed} copies killed, {recovered} recovered \
-         (mean ttr {mean_ttr:.1} slots, max {max_ttr}), {lost} escalated to drops"
+         (mean ttr {mean_ttr:.1} slots, max {max_ttr}), {lost} escalated to drops, \
+         {shed} copies shed at admission"
     );
 }
 
@@ -142,6 +191,25 @@ fn shrink_and_report(out: &ChaosOutcome) {
     );
     println!("  shrinking ...");
     let (min, runs) = shrink_scenario(&out.scenario, |sc| run_scenario(sc).failed());
+    print_reproducer(&min, runs);
+}
+
+/// Shrink a timed-out scenario with a *guarded* oracle so probe runs
+/// that also wedge count as failures instead of hanging the shrink.
+fn shrink_and_report_timeout(sc: &ChaosScenario, limit_millis: u64) {
+    println!();
+    println!("scenario TIMED OUT: watchdog fired after {limit_millis}ms");
+    println!("  shrinking (guarded probes) ...");
+    let (min, runs) = shrink_scenario(sc, |cand| {
+        let cell = *cand;
+        run_guarded(limit_millis, move || run_scenario(&cell))
+            .map(|o| o.failed())
+            .unwrap_or(true)
+    });
+    print_reproducer(&min, runs);
+}
+
+fn print_reproducer(min: &ChaosScenario, runs: usize) {
     let spec = min.cli_spec();
     println!(
         "  minimal reproducer after {runs} probe run(s), {} non-default parameter(s):",

@@ -51,6 +51,15 @@
 //!   --scenario <SPEC>    run one scenario, e.g.
 //!                        crosspoint_faults=2,crosspoint_duration=never
 //!
+//! overload runs the finite-buffer loss-rate / stability sweep: every
+//! load point against the infinite-buffer baseline and the drop-tail,
+//! stamp-preserving pushout and fair-shed admission policies, each cell
+//! proving the extended conservation law under `CheckedSwitch`:
+//!   --voq-cap <C>        per-VOQ address-cell cap   [default: 16]
+//!   --input-cap <C>      per-input aggregate cap    [default: 64]
+//!   --json <PATH>        write the fifoms-overload-v1 artifact
+//!                        (schema-checked against schemas/overload.schema.json)
+//!
 //! lint runs the fifoms-lint source disciplines (R1 determinism, R2
 //! timestamp preservation, R3 panic freedom, R4 event vocabulary, R5
 //! SAFETY/INVARIANT audit, R6 fingerprint floats) over the workspace and
@@ -72,6 +81,7 @@ mod chaoscmd;
 mod figures;
 mod lintcmd;
 mod obscmd;
+mod overloadcmd;
 mod traces;
 
 use std::process::ExitCode;
@@ -85,7 +95,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos|lint> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos|lint|overload> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C]");
             return ExitCode::FAILURE;
         }
     };
@@ -117,6 +127,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "analyze" => analyze::analyze(opts),
         "chaos" => chaoscmd::chaos(opts),
         "lint" => lintcmd::lint(opts),
+        "overload" => overloadcmd::overload(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

@@ -1,0 +1,155 @@
+//! The `overload` subcommand: the finite-buffer loss-rate / stability
+//! sweep.
+//!
+//! Runs every load point in a grid crossing the admissible boundary
+//! against the infinite-buffer baseline and each finite-buffer
+//! admission policy (drop-tail, stamp-preserving pushout, fair-shed),
+//! with every cell inside `CheckedSwitch` so the extended conservation
+//! law (`admitted == delivered + backlog + reconciled + admission
+//! drops`, backlog within capacity) is proven as the sweep runs. Prints
+//! the loss-rate table; with `--json PATH` also writes the
+//! `fifoms-overload-v1` artifact, self-validated against
+//! `schemas/overload.schema.json` when the schema is present.
+
+use fifoms_obs::{schema, Json};
+use fifoms_sim::report::Table;
+use fifoms_sim::{loss_sweep, LossPoint, LossSweepConfig};
+use fifoms_types::SimError;
+
+use crate::args::Options;
+
+/// Entry point for `fifoms-repro overload`.
+pub fn overload(opts: &Options) -> Result<(), SimError> {
+    let mut cfg = LossSweepConfig::quick(opts.n, opts.slots, opts.seed, opts.points);
+    cfg.voq_cap = opts.voq_cap;
+    cfg.input_cap = opts.input_cap;
+    let max_load = cfg.max_load();
+    if let Some(&bad) = cfg.loads.iter().find(|&&l| l <= 0.0 || l > max_load) {
+        return Err(SimError::Usage(format!(
+            "overload: load {bad:.2} not representable at n={} \
+             (the sweep's fanout caps offered load at {max_load:.2}); use a larger --n",
+            cfg.n
+        )));
+    }
+    println!(
+        "overload sweep: n={}, {} slots/cell, {} load point(s) x 4 policies, \
+         voq_cap={}, input_cap={}, seed {}",
+        cfg.n,
+        cfg.slots,
+        cfg.loads.len(),
+        cfg.voq_cap,
+        cfg.input_cap,
+        opts.seed
+    );
+
+    let points = loss_sweep(&cfg);
+
+    let mut table = Table::new(vec![
+        "load",
+        "policy",
+        "admitted",
+        "delivered",
+        "dropped",
+        "loss_rate",
+        "stable",
+        "mean_delay",
+    ]);
+    for p in &points {
+        table.push_row(vec![
+            format!("{:.2}", p.load),
+            p.policy.clone(),
+            p.admitted.to_string(),
+            p.delivered.to_string(),
+            p.admission_dropped.to_string(),
+            format!("{:.4}", p.loss_rate),
+            if p.stable { "yes" } else { "no" }.to_string(),
+            format!("{:.2}", p.mean_delay),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "{} cell(s), all conservation checks passed (every cell ran under CheckedSwitch)",
+        points.len()
+    );
+
+    if let Some(json_path) = opts.json_out.as_deref() {
+        let doc = render_json(&cfg, &points);
+        let schema_path = std::path::Path::new("schemas/overload.schema.json");
+        if schema_path.is_file() {
+            let schema_text = std::fs::read_to_string(schema_path)
+                .map_err(|e| SimError::Usage(format!("{}: {e}", schema_path.display())))?;
+            let schema_doc = Json::parse(&schema_text)
+                .map_err(|e| SimError::Usage(format!("{}: {e}", schema_path.display())))?;
+            schema::validate(&doc, &schema_doc).map_err(|e| {
+                SimError::Usage(format!(
+                    "overload: emitted artifact violates its own schema: {e}"
+                ))
+            })?;
+        }
+        std::fs::write(json_path, format!("{doc}\n"))
+            .map_err(|e| SimError::Usage(format!("{json_path}: {e}")))?;
+        println!("overload: wrote {json_path}");
+    }
+    Ok(())
+}
+
+/// Render the sweep as the `fifoms-overload-v1` JSON artifact.
+fn render_json(cfg: &LossSweepConfig, points: &[LossPoint]) -> Json {
+    let mut doc = Json::object();
+    doc.set("schema", "fifoms-overload-v1");
+    doc.set("n", cfg.n as u64);
+    doc.set("slots", cfg.slots);
+    doc.set("voq_cap", cfg.voq_cap as u64);
+    doc.set("input_cap", cfg.input_cap as u64);
+    let rows: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            let mut row = Json::object();
+            row.set("load", p.load);
+            row.set("policy", p.policy.as_str());
+            row.set("admitted", p.admitted);
+            row.set("delivered", p.delivered);
+            row.set("admission_dropped", p.admission_dropped);
+            row.set("backlog", p.backlog);
+            row.set("loss_rate", p.loss_rate);
+            row.set("stable", p.stable);
+            row.set("mean_delay", p.mean_delay);
+            row
+        })
+        .collect();
+    doc.set("rows", Json::Arr(rows));
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_conforms_to_the_checked_in_schema() {
+        let cfg = LossSweepConfig {
+            n: 4,
+            slots: 200,
+            seed: 7,
+            loads: vec![0.5, 0.9],
+            voq_cap: 4,
+            input_cap: 16,
+        };
+        let points = loss_sweep(&cfg);
+        let doc = render_json(&cfg, &points);
+        let schema_text = include_str!("../../../schemas/overload.schema.json");
+        let schema_doc = Json::parse(schema_text).expect("schema parses");
+        schema::validate(&doc, &schema_doc).expect("artifact conforms");
+    }
+
+    #[test]
+    fn out_of_range_loads_are_a_usage_error_not_a_panic() {
+        // At n = 2 the max representable load is 0.5; the quick grid tops at 1.6.
+        let opts = Options {
+            n: 2,
+            ..Options::default()
+        };
+        let err = overload(&opts).unwrap_err();
+        assert!(format!("{err}").contains("not representable"));
+    }
+}

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 mod cell;
 pub mod hardware;
 mod port;
@@ -43,8 +44,9 @@ mod slab;
 mod switch;
 mod voq;
 
+pub use buffer::{AdmissionPolicy, BufferConfig, SOFT_HIGH_WATER};
 pub use cell::{AddressCell, DataCell, DataCellKey};
-pub use port::InputPort;
+pub use port::{BoundedAdmission, EvictedCopy, InputPort};
 pub use scheduler::{FifomsConfig, FifomsScheduler, ScheduleOutcome, TieBreak};
 pub use slab::DataCellSlab;
 pub use switch::MulticastVoqSwitch;

@@ -1,10 +1,14 @@
 //! The complete multicast VOQ switch running FIFOMS.
 
 use fifoms_fabric::{Backlog, Crossbar, FaultScoreboard, Switch};
-use fifoms_types::{Departure, Packet, RetryDisposition, Slot, SlotOutcome};
+use fifoms_types::{
+    AdmissionDrop, Departure, DropCause, ObsEvent, Packet, PortId, RetryDisposition, Slot,
+    SlotOutcome,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::buffer::{AdmissionPolicy, BufferConfig};
 use crate::cell::AddressCell;
 use crate::port::InputPort;
 use crate::scheduler::{FifomsConfig, FifomsScheduler};
@@ -29,6 +33,14 @@ pub struct MulticastVoqSwitch {
     crossbar: Crossbar,
     rng: SmallRng,
     scoreboard: FaultScoreboard,
+    buffers: BufferConfig,
+    // Per-copy ledger of admission-control drops, owed to
+    // `drain_admission_drops`. Callers running finite buffers should wrap
+    // the switch in `CheckedSwitch` (which drains every slot) or drain
+    // regularly themselves; otherwise the ledger grows with the loss count.
+    admission_drops: Vec<AdmissionDrop>,
+    events: Vec<ObsEvent>,
+    record_events: bool,
 }
 
 impl MulticastVoqSwitch {
@@ -46,7 +58,34 @@ impl MulticastVoqSwitch {
             crossbar: Crossbar::new(n),
             rng: SmallRng::seed_from_u64(seed),
             scoreboard: FaultScoreboard::new(n, DEFAULT_QUARANTINE_SLOTS),
+            buffers: BufferConfig::unbounded(),
+            admission_drops: Vec::new(),
+            events: Vec::new(),
+            record_events: false,
         }
+    }
+
+    /// Bound the queue structure with finite-buffer admission control
+    /// (builder style). The default is [`BufferConfig::unbounded`], under
+    /// which admission takes the exact unbounded code path.
+    pub fn with_buffers(mut self, buffers: BufferConfig) -> MulticastVoqSwitch {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Enable buffering of [`ObsEvent::AdmissionDropped`] events for trace
+    /// sinks (builder style). Off by default so unobserved overloaded runs
+    /// do not accumulate an event per dropped packet; the per-copy
+    /// [`AdmissionDrop`] ledger is always kept regardless, because
+    /// conservation checkers need it.
+    pub fn with_event_recording(mut self) -> MulticastVoqSwitch {
+        self.record_events = true;
+        self
+    }
+
+    /// The active finite-buffer configuration.
+    pub fn buffers(&self) -> &BufferConfig {
+        &self.buffers
     }
 
     /// Replace the fault scoreboard's quarantine window (builder style).
@@ -94,6 +133,14 @@ impl Switch for MulticastVoqSwitch {
         if let Some(f) = cfg.max_grant_fanout {
             name.push_str(&format!("(fanout<={f})"));
         }
+        if self.buffers.is_bounded() {
+            let voq = self.buffers.voq_cap.map_or(0, |c| c);
+            let agg = self.buffers.input_cap.map_or(0, |c| c);
+            name.push_str(&format!(
+                "(buf voq={voq} in={agg} {})",
+                self.buffers.policy.as_str()
+            ));
+        }
         name
     }
 
@@ -112,7 +159,76 @@ impl Switch for MulticastVoqSwitch {
             packet.dests.iter().all(|d| d.index() < self.ports.len()),
             "destination out of range"
         );
-        self.ports[packet.input.index()].admit(&packet);
+        let input = packet.input;
+        let slot = packet.arrival;
+        let Some(port) = self.ports.get_mut(input.index()) else {
+            return; // unreachable: the range assert above proved the bound
+        };
+        if self.buffers.is_bounded() {
+            let outcome = port.admit_bounded(&packet, &self.buffers);
+            if !outcome.shed.is_empty() {
+                let cause = match self.buffers.policy {
+                    AdmissionPolicy::FairShed => DropCause::FairShed,
+                    _ => DropCause::TailFull,
+                };
+                for &output in &outcome.shed {
+                    self.admission_drops.push(AdmissionDrop {
+                        packet: packet.id,
+                        input,
+                        output,
+                        arrival: slot,
+                        slot,
+                        cause,
+                    });
+                }
+                if self.record_events {
+                    self.events.push(ObsEvent::AdmissionDropped {
+                        slot,
+                        input,
+                        packet: packet.id,
+                        copies: outcome.shed.len() as u32,
+                        cause: cause.as_str().into(),
+                    });
+                }
+            }
+            for victim in &outcome.evicted {
+                self.admission_drops.push(AdmissionDrop {
+                    packet: victim.packet,
+                    input,
+                    output: victim.output,
+                    arrival: victim.arrival,
+                    slot,
+                    cause: DropCause::Pushout,
+                });
+                if self.record_events {
+                    self.events.push(ObsEvent::AdmissionDropped {
+                        slot,
+                        input,
+                        packet: victim.packet,
+                        copies: 1,
+                        cause: DropCause::Pushout.as_str().into(),
+                    });
+                }
+            }
+        } else {
+            port.admit(&packet);
+        }
+        // Soft high-water warnings fire on both paths: unbounded growth
+        // must be visible in traces even with admission control disabled.
+        let Some(port) = self.ports.get_mut(input.index()) else {
+            return;
+        };
+        for dest in &packet.dests {
+            if let Some(depth) = port.voqs_mut().queue_mut(dest).take_high_water() {
+                debug_assert!(depth >= crate::buffer::SOFT_HIGH_WATER);
+                self.events.push(ObsEvent::VoqHighWater {
+                    slot,
+                    input,
+                    output: dest,
+                    depth: depth as u64,
+                });
+            }
+        }
     }
 
     fn run_slot(&mut self, now: Slot) -> SlotOutcome {
@@ -216,6 +332,23 @@ impl Switch for MulticastVoqSwitch {
             packets: self.ports.iter().map(InputPort::held_packets).sum(),
             copies: self.ports.iter().map(InputPort::queued_copies).sum(),
         }
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<ObsEvent>) {
+        out.append(&mut self.events);
+    }
+
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        out.append(&mut self.admission_drops);
+    }
+
+    fn backpressure(&self, input: PortId) -> bool {
+        let Some(thr) = self.buffers.backpressure_threshold(self.ports.len()) else {
+            return false;
+        };
+        self.ports
+            .get(input.index())
+            .is_some_and(|port| port.queued_copies() >= thr)
     }
 }
 
@@ -472,6 +605,153 @@ mod tests {
         assert_eq!(out.departures[0].output, PortId(2));
         assert_eq!(sw.backlog().copies, 1);
         sw.check_invariants();
+    }
+
+    #[test]
+    fn unbounded_buffer_config_is_bit_identical_to_baseline() {
+        // The default BufferConfig must route admission through the exact
+        // unbounded path: schedules, stamps and RNG draws all unchanged.
+        let run = |sw: &mut MulticastVoqSwitch| {
+            let mut log = Vec::new();
+            for t in 0..50u64 {
+                sw.admit(pkt(t * 2 + 1, t, (t % 4) as u16, &[0, 1, 2]));
+                sw.admit(pkt(t * 2 + 2, t, ((t + 1) % 4) as u16, &[1, 3]));
+                let out = sw.run_slot(Slot(t));
+                let mut d: Vec<_> = out
+                    .departures
+                    .iter()
+                    .map(|d| (d.packet.raw(), d.output.index(), d.last_copy))
+                    .collect();
+                d.sort_unstable();
+                log.push(d);
+            }
+            log
+        };
+        let mut base = MulticastVoqSwitch::new(4, 9);
+        let mut buffered = MulticastVoqSwitch::new(4, 9)
+            .with_buffers(crate::BufferConfig::unbounded())
+            .with_event_recording();
+        assert_eq!(run(&mut base), run(&mut buffered));
+        let mut drops = Vec::new();
+        buffered.drain_admission_drops(&mut drops);
+        assert!(drops.is_empty());
+        assert_eq!(base.name(), "FIFOMS");
+        assert_eq!(buffered.name(), "FIFOMS");
+    }
+
+    #[test]
+    fn finite_buffers_conserve_copies_through_the_drop_ledger() {
+        // Saturate one input far beyond its aggregate cap and verify
+        // admitted == delivered + backlog + admission drops at all times.
+        let cfg = crate::BufferConfig::bounded(4, 8);
+        let mut sw = MulticastVoqSwitch::new(4, 1).with_buffers(cfg);
+        let mut admitted = 0u64;
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut drops = Vec::new();
+        let mut id = 0;
+        for t in 0..100u64 {
+            for _ in 0..3 {
+                id += 1;
+                sw.admit(pkt(id, t, 0, &[0, 1, 2, 3]));
+                admitted += 4;
+            }
+            delivered += sw.run_slot(Slot(t)).departures.len() as u64;
+            drops.clear();
+            sw.drain_admission_drops(&mut drops);
+            dropped += drops.len() as u64;
+            sw.check_invariants();
+            let backlog = sw.backlog().copies as u64;
+            assert!(backlog <= cfg.max_copies(4).unwrap());
+            assert_eq!(admitted, delivered + backlog + dropped);
+        }
+        assert!(dropped > 0, "overload must actually shed copies");
+        assert_eq!(
+            sw.name(),
+            "FIFOMS(buf voq=4 in=8 drop_tail)",
+            "bounded switches must advertise their limits"
+        );
+    }
+
+    #[test]
+    fn admission_events_record_sheds_and_pushouts() {
+        let cfg = crate::BufferConfig {
+            voq_cap: None,
+            input_cap: Some(2),
+            policy: crate::AdmissionPolicy::Pushout,
+        };
+        let mut sw = MulticastVoqSwitch::new(4, 1)
+            .with_buffers(cfg)
+            .with_event_recording();
+        sw.admit(pkt(1, 0, 0, &[1]));
+        sw.admit(pkt(2, 0, 0, &[1]));
+        // Queue 1 is the longest; an arrival for queue 2 evicts its tail.
+        sw.admit(pkt(3, 0, 0, &[2]));
+        let mut events = Vec::new();
+        sw.drain_events(&mut events);
+        let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["admission_dropped"]);
+        match &events[0] {
+            fifoms_types::ObsEvent::AdmissionDropped {
+                packet,
+                copies,
+                cause,
+                ..
+            } => {
+                assert_eq!(*packet, PacketId(2));
+                assert_eq!(*copies, 1);
+                assert_eq!(cause, "pushout");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let mut drops = Vec::new();
+        sw.drain_admission_drops(&mut drops);
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].cause, fifoms_types::DropCause::Pushout);
+        assert_eq!(drops[0].packet, PacketId(2));
+        assert_eq!(drops[0].arrival, Slot(0));
+    }
+
+    #[test]
+    fn backpressure_asserts_near_the_aggregate_cap() {
+        let cfg = crate::BufferConfig::bounded(0, 6);
+        let mut sw = MulticastVoqSwitch::new(4, 1).with_buffers(cfg);
+        assert!(!sw.backpressure(PortId(0)));
+        sw.admit(pkt(1, 0, 0, &[0, 1]));
+        // threshold = cap - n = 2: two queued copies assert the signal.
+        assert!(sw.backpressure(PortId(0)));
+        assert!(!sw.backpressure(PortId(1)), "signal is per input");
+        // Unbounded switches never push back.
+        let sw = MulticastVoqSwitch::new(4, 1);
+        assert!(!sw.backpressure(PortId(0)));
+    }
+
+    #[test]
+    fn soft_high_water_warning_fires_without_finite_buffers() {
+        let mut sw = MulticastVoqSwitch::new(4, 1);
+        for i in 0..crate::buffer::SOFT_HIGH_WATER as u64 {
+            sw.admit(pkt(i + 1, i, 0, &[2]));
+        }
+        let mut events = Vec::new();
+        sw.drain_events(&mut events);
+        assert_eq!(events.len(), 1, "one latched crossing per queue per run");
+        match &events[0] {
+            fifoms_types::ObsEvent::VoqHighWater {
+                input,
+                output,
+                depth,
+                ..
+            } => {
+                assert_eq!((*input, *output), (PortId(0), PortId(2)));
+                assert_eq!(*depth, crate::buffer::SOFT_HIGH_WATER as u64);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Further growth does not re-fire the latch.
+        sw.admit(pkt(9999, 2000, 0, &[2]));
+        events.clear();
+        sw.drain_events(&mut events);
+        assert!(events.is_empty());
     }
 
     #[test]

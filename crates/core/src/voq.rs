@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use fifoms_types::PortId;
 
+use crate::buffer::SOFT_HIGH_WATER;
 use crate::cell::AddressCell;
 
 /// One virtual output queue: the FIFO of address cells at some input port
@@ -17,6 +18,11 @@ pub struct Voq {
     // tail, so the HOL cell always carries the queue minimum — Theorem 1's
     // starvation bound quantifies over exactly that minimum.
     cells: VecDeque<AddressCell>,
+    // INVARIANT: high_water_latched is set iff the queue has ever reached
+    // SOFT_HIGH_WATER cells; pending_high_water holds the crossing depth
+    // until an observer collects it.
+    high_water_latched: bool,
+    pending_high_water: Option<usize>,
 }
 
 impl Voq {
@@ -34,6 +40,30 @@ impl Voq {
             "VOQ FIFO order violated: appending older cell"
         );
         self.cells.push_back(cell);
+        if !self.high_water_latched && self.cells.len() >= SOFT_HIGH_WATER {
+            debug_assert!(
+                self.pending_high_water.is_none(),
+                "high-water crossing recorded twice"
+            );
+            self.high_water_latched = true;
+            self.pending_high_water = Some(self.cells.len());
+        }
+    }
+
+    /// Remove and return the *tail* cell (admission-control pushout).
+    ///
+    /// The tail carries the queue's youngest (largest) timestamp, so
+    /// removing it cannot disturb the head-to-tail nondecreasing order —
+    /// pushout eviction is stamp-preserving by construction.
+    pub fn pop_back(&mut self) -> Option<AddressCell> {
+        self.cells.pop_back()
+    }
+
+    /// The one-shot soft high-water crossing depth, if the queue crossed
+    /// [`SOFT_HIGH_WATER`] since the last call. Latched: at most one
+    /// crossing is ever reported per queue per run.
+    pub fn take_high_water(&mut self) -> Option<usize> {
+        self.pending_high_water.take()
     }
 
     /// Re-insert an address cell at the *head* of the queue
@@ -130,6 +160,30 @@ impl VoqSet {
             .enumerate()
             .filter_map(|(o, q)| q.hol().map(|c| (PortId::new(o), c)))
     }
+
+    /// Append pending soft high-water crossings as `(output, depth)` pairs
+    /// (each queue reports at most one crossing per run).
+    pub fn take_high_water(&mut self, out: &mut Vec<(PortId, usize)>) {
+        for (o, q) in self.queues.iter_mut().enumerate() {
+            if let Some(depth) = q.take_high_water() {
+                out.push((PortId::new(o), depth));
+            }
+        }
+    }
+
+    /// The output whose queue holds the most cells (ties broken toward
+    /// the lowest index, for determinism), with that length. `None` when
+    /// every queue is empty — pushout has no victim then.
+    pub fn longest_queue(&self) -> Option<(PortId, usize)> {
+        let mut best: Option<(PortId, usize)> = None;
+        for (o, q) in self.queues.iter().enumerate() {
+            let len = q.len();
+            if len > 0 && best.is_none_or(|(_, b)| len > b) {
+                best = Some((PortId::new(o), len));
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +277,54 @@ mod tests {
             .map(|(o, c)| (o.index(), c.time_stamp.index()))
             .collect();
         assert_eq!(hols, vec![(1, 5), (3, 7)]);
+    }
+
+    #[test]
+    fn pop_back_takes_the_youngest_stamp() {
+        let mut q = Voq::new();
+        q.push_back(cell(1, 0));
+        q.push_back(cell(3, 1));
+        q.push_back(cell(7, 2));
+        let evicted = q.pop_back().unwrap();
+        assert_eq!(evicted.time_stamp, Slot(7));
+        // Order is untouched: head still carries the queue minimum, and a
+        // fresh (younger-or-equal) arrival still appends legally.
+        assert_eq!(q.hol().unwrap().time_stamp, Slot(1));
+        q.push_back(cell(9, 3));
+        assert_eq!(q.len(), 3);
+        assert!(Voq::new().pop_back().is_none());
+    }
+
+    #[test]
+    fn high_water_crossing_is_latched_once() {
+        let mut q = Voq::new();
+        for i in 0..SOFT_HIGH_WATER {
+            q.push_back(cell(i as u64, i as u32));
+        }
+        assert_eq!(q.take_high_water(), Some(SOFT_HIGH_WATER));
+        assert_eq!(q.take_high_water(), None);
+        // Draining below the mark and refilling does not re-arm the latch:
+        // one warning per queue per run.
+        q.pop_front();
+        q.push_back(cell(SOFT_HIGH_WATER as u64, 0));
+        assert_eq!(q.take_high_water(), None);
+    }
+
+    #[test]
+    fn voq_set_collects_crossings_and_longest_queue() {
+        let mut set = VoqSet::new(4);
+        assert_eq!(set.longest_queue(), None);
+        for i in 0..SOFT_HIGH_WATER {
+            set.queue_mut(PortId(2)).push_back(cell(i as u64, i as u32));
+        }
+        set.queue_mut(PortId(0)).push_back(cell(0, 0));
+        assert_eq!(set.longest_queue(), Some((PortId(2), SOFT_HIGH_WATER)));
+        let mut crossings = Vec::new();
+        set.take_high_water(&mut crossings);
+        assert_eq!(crossings, vec![(PortId(2), SOFT_HIGH_WATER)]);
+        crossings.clear();
+        set.take_high_water(&mut crossings);
+        assert!(crossings.is_empty());
     }
 
     #[test]

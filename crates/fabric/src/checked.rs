@@ -34,8 +34,8 @@
 use std::collections::HashMap;
 
 use fifoms_types::{
-    Departure, DroppedCopy, InvariantViolation, ObsEvent, Packet, PacketId, PortId, PortSet,
-    RetryDisposition, Slot, SlotOutcome,
+    AdmissionDrop, Departure, DroppedCopy, InvariantViolation, ObsEvent, Packet, PacketId, PortId,
+    PortSet, RetryDisposition, Slot, SlotOutcome,
 };
 
 use crate::switch::{Backlog, Switch};
@@ -67,6 +67,14 @@ pub struct CheckedSwitch<S> {
     reconciled_copies: u64,
     /// Accounted drops buffered for re-emission to outer drainers.
     drops: Vec<DroppedCopy>,
+    /// Copies refused or evicted by finite-buffer admission control,
+    /// accounted in the ledger as served-by-admission-drop.
+    admission_dropped_copies: u64,
+    /// Accounted admission drops buffered for re-emission.
+    admission_drops: Vec<AdmissionDrop>,
+    /// Declared whole-switch capacity in copies; a reported backlog above
+    /// it is an invariant violation (`None` = unbounded, never checked).
+    capacity: Option<u64>,
     slots_checked: u64,
     violation: Option<InvariantViolation>,
     /// Whether the sticky violation has already been surfaced through
@@ -91,10 +99,22 @@ impl<S: Switch> CheckedSwitch<S> {
             delivered_copies: 0,
             reconciled_copies: 0,
             drops: Vec::new(),
+            admission_dropped_copies: 0,
+            admission_drops: Vec::new(),
+            capacity: None,
             slots_checked: 0,
             violation: None,
             violation_reported: false,
         }
+    }
+
+    /// Declare the wrapped switch's finite-buffer capacity in copies
+    /// (builder style): whenever conservation is checked, a reported
+    /// backlog above `capacity` records
+    /// [`InvariantViolation::CapacityExceeded`].
+    pub fn with_capacity(mut self, capacity: u64) -> CheckedSwitch<S> {
+        self.capacity = Some(capacity);
+        self
     }
 
     /// The first invariant violation observed, if any.
@@ -110,6 +130,11 @@ impl<S: Switch> CheckedSwitch<S> {
     /// Copies delivered (visible departures accepted by the ledger).
     pub fn delivered_copies(&self) -> u64 {
         self.delivered_copies
+    }
+
+    /// Copies refused or evicted by finite-buffer admission control.
+    pub fn admission_dropped_copies(&self) -> u64 {
+        self.admission_dropped_copies
     }
 
     /// Copies admitted (post any ingress masking above this wrapper).
@@ -182,6 +207,52 @@ impl<S: Switch> CheckedSwitch<S> {
         self.drops.extend(drained);
     }
 
+    /// Drain and account the wrapped switch's admission-control drops.
+    /// An admission drop resolves its output exactly like a delivery
+    /// (same membership and overrun checks) but counts toward
+    /// `admission_dropped_copies`; a packet whose copies all resolve by
+    /// admission drop completes without ever occupying a buffer.
+    fn absorb_admission_drops(&mut self) {
+        let mut drained = Vec::new();
+        self.inner.drain_admission_drops(&mut drained);
+        for drop in &drained {
+            let d = *drop;
+            match self.in_flight.get_mut(&d.packet) {
+                None => self.record(InvariantViolation::GrantOutsideFanout {
+                    slot: d.slot,
+                    input: d.input,
+                    output: d.output,
+                    packet: d.packet,
+                }),
+                Some(entry) if !entry.requested.contains(d.output) => {
+                    self.record(InvariantViolation::GrantOutsideFanout {
+                        slot: d.slot,
+                        input: d.input,
+                        output: d.output,
+                        packet: d.packet,
+                    });
+                }
+                Some(entry) => {
+                    if !entry.served.insert(d.output) {
+                        let violation = InvariantViolation::FanoutOverrun {
+                            slot: d.slot,
+                            packet: d.packet,
+                            fanout: entry.requested.len(),
+                            delivered: entry.served.len() + 1,
+                        };
+                        self.record(violation);
+                        continue;
+                    }
+                    self.admission_dropped_copies += 1;
+                    if entry.served.len() == entry.requested.len() {
+                        self.in_flight.remove(&d.packet);
+                    }
+                }
+            }
+        }
+        self.admission_drops.extend(drained);
+    }
+
     fn check_outcome(&mut self, now: Slot, outcome: &SlotOutcome) {
         let mut granted: HashMap<PortId, PortId> = HashMap::new();
         for d in &outcome.departures {
@@ -248,17 +319,27 @@ impl<S: Switch> CheckedSwitch<S> {
         self.slots_checked += 1;
         if self.slots_checked.is_multiple_of(self.check_every) {
             let backlog = self.inner.backlog().copies as u64;
-            // Under egress faults the law gains the reconciled term:
-            // admitted == delivered + backlog + reconciled drops. With no
-            // egress faults `reconciled_copies` is 0 and this is the
-            // original check.
-            if self.admitted_copies != self.delivered_copies + backlog + self.reconciled_copies {
+            // The full law: admitted == delivered + backlog + reconciled
+            // drops + admission drops. With no egress faults and unbounded
+            // buffers both drop terms are 0 and this is the original check.
+            let resolved =
+                self.delivered_copies + self.reconciled_copies + self.admission_dropped_copies;
+            if self.admitted_copies != resolved + backlog {
                 self.record(InvariantViolation::ConservationMismatch {
                     slot: now,
                     admitted_copies: self.admitted_copies,
-                    delivered_copies: self.delivered_copies + self.reconciled_copies,
+                    delivered_copies: resolved,
                     backlog_copies: backlog,
                 });
+            }
+            if let Some(capacity) = self.capacity {
+                if backlog > capacity {
+                    self.record(InvariantViolation::CapacityExceeded {
+                        slot: now,
+                        backlog_copies: backlog,
+                        capacity,
+                    });
+                }
             }
         }
     }
@@ -286,6 +367,10 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
     }
 
     fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+        // Admission drops recorded during this slot's admit phase must be
+        // in the ledger before conservation runs, or the shed copies would
+        // be counted as missing.
+        self.absorb_admission_drops();
         let outcome = self.inner.run_slot(now);
         // Drops must be accounted before departures: when a packet's
         // flagged copy resolves by drop, the fault layer promotes its
@@ -356,6 +441,15 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
         self.absorb_inner_drops();
         out.append(&mut self.drops);
     }
+
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        self.absorb_admission_drops();
+        out.append(&mut self.admission_drops);
+    }
+
+    fn backpressure(&self, input: PortId) -> bool {
+        self.inner.backpressure(input)
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +473,14 @@ mod tests {
         hide_copies: usize,
         /// Grant the same output from two different inputs in one slot.
         duplicate_grant: bool,
+        /// Admission control: shed each packet's last copy at admit time.
+        shed_last_copy: bool,
+        /// Admission control: swallow whole packets at admit time.
+        vanish_packet: bool,
+        /// Forget to record the AdmissionDrop ledger entries for shed
+        /// copies (the accounting bug the conservation law must catch).
+        leak_accounting: bool,
+        admission_drops: Vec<AdmissionDrop>,
     }
 
     impl Switch for RiggedSwitch {
@@ -388,7 +490,31 @@ mod tests {
         fn ports(&self) -> usize {
             4
         }
-        fn admit(&mut self, packet: Packet) {
+        fn admit(&mut self, mut packet: Packet) {
+            let (id, input, arrival) = (packet.id, packet.input, packet.arrival);
+            let drop_record = |output: PortId| AdmissionDrop {
+                packet: id,
+                input,
+                output,
+                arrival,
+                slot: arrival,
+                cause: fifoms_types::DropCause::TailFull,
+            };
+            if self.shed_last_copy && packet.dests.len() > 1 {
+                let victim = packet.dests.iter().last().unwrap();
+                packet.dests.remove(victim);
+                if !self.leak_accounting {
+                    self.admission_drops.push(drop_record(victim));
+                }
+            }
+            if self.vanish_packet {
+                if !self.leak_accounting {
+                    for output in packet.dests.iter() {
+                        self.admission_drops.push(drop_record(output));
+                    }
+                }
+                return;
+            }
             self.queue.push_back(packet);
         }
         fn run_slot(&mut self, now: Slot) -> SlotOutcome {
@@ -449,6 +575,9 @@ mod tests {
                 packets: self.queue.len(),
                 copies: copies.saturating_sub(self.hide_copies),
             }
+        }
+        fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+            out.append(&mut self.admission_drops);
         }
     }
 
@@ -590,6 +719,79 @@ mod tests {
             sw.violation(),
             Some(InvariantViolation::GrantOutsideFanout { .. })
         ));
+    }
+
+    #[test]
+    fn recorded_admission_sheds_satisfy_the_extended_law() {
+        // Partial sheds (copy trimmed, ledger record kept) and deliveries
+        // mix in one run without tripping any check.
+        let rig = RiggedSwitch {
+            shed_last_copy: true,
+            ..Default::default()
+        };
+        let mut sw = CheckedSwitch::new(rig);
+        sw.admit(packet(1, &[0, 1, 2]));
+        sw.admit(packet(2, &[1, 3]));
+        for t in 0..4 {
+            sw.run_slot(Slot(t));
+        }
+        assert_eq!(sw.violation(), None);
+        assert_eq!(sw.admitted_copies(), 5);
+        assert_eq!(sw.delivered_copies(), 3);
+        assert_eq!(sw.admission_dropped_copies(), 2);
+        // Accounted records re-emit to outer drainers, like DroppedCopy.
+        let mut drops = Vec::new();
+        sw.drain_admission_drops(&mut drops);
+        assert_eq!(drops.len(), 2);
+    }
+
+    #[test]
+    fn leaked_admission_accounting_breaks_conservation() {
+        // Packets vanish at admission with no AdmissionDrop records: the
+        // extended law has a hole exactly as large as the leak.
+        let v = run_rigged(
+            RiggedSwitch {
+                vanish_packet: true,
+                leak_accounting: true,
+                ..Default::default()
+            },
+            &[packet(1, &[0, 2])],
+        );
+        assert!(
+            matches!(v, Some(InvariantViolation::ConservationMismatch { .. })),
+            "{v:?}"
+        );
+        // The same shed WITH records is clean.
+        let v = run_rigged(
+            RiggedSwitch {
+                vanish_packet: true,
+                ..Default::default()
+            },
+            &[packet(1, &[0, 2])],
+        );
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn backlog_above_declared_capacity_detected() {
+        let mut sw = CheckedSwitch::new(RiggedSwitch::default()).with_capacity(2);
+        sw.admit(packet(1, &[0]));
+        sw.admit(packet(2, &[1, 2, 3]));
+        // Slot 0 serves packet 1; packet 2's three copies stay queued,
+        // exceeding the declared two-copy capacity.
+        sw.run_slot(Slot(0));
+        assert!(
+            matches!(
+                sw.violation(),
+                Some(InvariantViolation::CapacityExceeded {
+                    backlog_copies: 3,
+                    capacity: 2,
+                    ..
+                })
+            ),
+            "{:?}",
+            sw.violation()
+        );
     }
 
     #[test]

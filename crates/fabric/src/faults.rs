@@ -40,8 +40,8 @@
 use std::collections::HashMap;
 
 use fifoms_types::{
-    Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition, Slot,
-    SlotOutcome,
+    AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition,
+    Slot, SlotOutcome,
 };
 
 use crate::switch::{Backlog, Switch};
@@ -472,6 +472,14 @@ impl<S: Switch> Switch for FaultyFabric<S> {
     fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
         out.append(&mut self.drops);
         self.inner.drain_reconciled_drops(out);
+    }
+
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        self.inner.drain_admission_drops(out);
+    }
+
+    fn backpressure(&self, input: PortId) -> bool {
+        self.inner.backpressure(input)
     }
 }
 

@@ -30,7 +30,8 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use fifoms_types::{
-    Departure, DroppedCopy, ObsEvent, Packet, PacketId, RetryDisposition, Slot, SlotOutcome,
+    AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition,
+    Slot, SlotOutcome,
 };
 
 use crate::switch::{Backlog, Switch};
@@ -317,6 +318,14 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
 
     fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
         self.inner.drain_reconciled_drops(out)
+    }
+
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        self.inner.drain_admission_drops(out)
+    }
+
+    fn backpressure(&self, input: PortId) -> bool {
+        self.inner.backpressure(input)
     }
 }
 

@@ -1,6 +1,9 @@
 //! The switch abstraction driven by the simulation engine.
 
-use fifoms_types::{Departure, DroppedCopy, ObsEvent, Packet, RetryDisposition, Slot, SlotOutcome};
+use fifoms_types::{
+    AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PortId, RetryDisposition, Slot,
+    SlotOutcome,
+};
 
 /// Cells still queued inside a switch.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -116,6 +119,30 @@ pub trait Switch {
     fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
         let _ = out;
     }
+
+    /// Move the [`AdmissionDrop`] records of copies refused or evicted by
+    /// finite-buffer admission control since the last call into `out`
+    /// (oldest first). With finite buffers the conservation law becomes
+    /// `admitted == delivered + backlog + reconciled drops + admission
+    /// drops`; checkers drain these records to account for the last term.
+    /// The default is a no-op (unbounded switches never drop at
+    /// admission); wrappers must forward it.
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        let _ = out;
+    }
+
+    /// Whether the switch asks the traffic source feeding `input` to
+    /// pause: a finite-buffer switch raises this when the input's
+    /// aggregate buffer is too full to guarantee room for a worst-case
+    /// (full-fanout) arrival. Sources that honour the signal hold the
+    /// offered cell and retry in a later slot instead of having it
+    /// tail-dropped. The default is `false` (unbounded buffers never push
+    /// back); wrappers must forward it so the signal crosses fault and
+    /// instrumentation layers.
+    fn backpressure(&self, input: PortId) -> bool {
+        let _ = input;
+        false
+    }
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -150,6 +177,12 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn drain_reconciled_drops(&mut self, out: &mut Vec<DroppedCopy>) {
         (**self).drain_reconciled_drops(out)
+    }
+    fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+        (**self).drain_admission_drops(out)
+    }
+    fn backpressure(&self, input: PortId) -> bool {
+        (**self).backpressure(input)
     }
 }
 

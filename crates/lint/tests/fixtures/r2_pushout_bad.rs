@@ -1,0 +1,19 @@
+//! R2 regression fixture (bad): a buffer-pushout policy that re-mints
+//! the arrival stamp of a copy it moves aside. A pushout that demotes a
+//! victim to the tail of another VOQ — or re-admits it later — MUST
+//! carry the victim's ORIGINAL arrival stamp; re-stamping it with the
+//! eviction slot resets its Theorem 1 priority and reopens the
+//! starvation window the FIFO stamp order exists to close. The rule must
+//! catch both the fresh mint and the non-preserving `Packet::new`.
+//! Never compiled — lexed and matched by `tests/rules.rs`.
+
+fn push_out_and_restamp(victim: &AddressCell, clock: &SlotClock) -> Packet {
+    // BUG: the evicted copy is re-minted at the eviction slot, so it
+    // re-enters arbitration as if it had just arrived.
+    let eviction_slot = clock.now_slot();
+    Packet::new(victim.packet, eviction_slot, victim.input, victim.dests.clone())
+}
+
+fn requeue_evicted_inline(victim: &AddressCell) -> Packet {
+    Packet::new(victim.packet, Slot::now(), victim.input, victim.dests.clone())
+}

@@ -75,6 +75,25 @@ fn r2_catches_stamp_minting_retransmission() {
     assert!(f.iter().any(|x| x.message.contains("ORIGINAL arrival")));
 }
 
+/// The overload-protection variant of the same bug class: a pushout
+/// admission policy that re-mints the evicted copy's arrival stamp at
+/// the eviction slot. Stamp-preserving pushout is what keeps finite
+/// buffers inside Theorem 1; the rule must flag the re-mint in the core
+/// domain where pushout lives.
+#[test]
+fn r2_catches_pushout_restamping_evicted_copies() {
+    let f = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r2_pushout_bad.rs"),
+    );
+    // now_slot + Slot::now mints, plus two non-preserving Packet::new.
+    assert_eq!(count(&f, "R2"), 4, "{f:#?}");
+    assert!(f
+        .iter()
+        .any(|x| x.message.contains("non-preserved arrival stamp `eviction_slot`")));
+    assert!(f.iter().any(|x| x.message.contains("ORIGINAL arrival")));
+}
+
 #[test]
 fn r2_accepts_preserved_arrival_stamps() {
     let f = run(

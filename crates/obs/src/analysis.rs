@@ -70,6 +70,19 @@ pub struct ScopeAnalysis {
     pub mean_recovery_latency: Option<f64>,
     /// `invariant_violated` records seen.
     pub invariant_violations: u64,
+    /// `admission_dropped` records seen. These are emitted outside the
+    /// flight recorder's packet-sampling gate, so even `sample` and
+    /// `ring` traces carry every drop and this tally is always exact.
+    pub admission_drop_events: u64,
+    /// Total copies refused or pushed out at admission (sum of the
+    /// `copies` fields of the `admission_dropped` records).
+    pub admission_copies_dropped: u64,
+    /// `voq_high_water` soft-warning records seen (latched, so at most
+    /// one per VOQ per run).
+    pub high_water_events: u64,
+    /// Highest degradation-ladder level reported by `overload_level`
+    /// records (`None` when the governor never spoke).
+    pub overload_level_max: Option<u32>,
     /// Packets with a recorded arrival.
     pub packets_arrived: u64,
     /// Packets whose final copy was recorded.
@@ -294,6 +307,17 @@ impl ScopeAnalysis {
             obj.set("recovery", rec);
         }
         obj.set("invariant_violations", self.invariant_violations);
+        if self.admission_drop_events > 0
+            || self.high_water_events > 0
+            || self.overload_level_max.is_some()
+        {
+            let mut ov = Json::object();
+            ov.set("admission_drop_events", self.admission_drop_events);
+            ov.set("admission_copies_dropped", self.admission_copies_dropped);
+            ov.set("high_water_events", self.high_water_events);
+            ov.set("overload_level_max", self.overload_level_max);
+            obj.set("overload", ov);
+        }
         obj.set("order_anomalies", self.order_anomalies);
 
         let (total, hol, contention, split) = self.mean_delays();
@@ -405,6 +429,10 @@ struct ScopeAcc {
     copies_dropped: u64,
     copies_recovered: u64,
     recovery_latency_sum: u64,
+    admission_drop_events: u64,
+    admission_copies_dropped: u64,
+    high_water_events: u64,
+    overload_level_max: Option<u32>,
     packets: BTreeMap<u64, PacketLife>,
 }
 
@@ -532,6 +560,16 @@ pub fn analyze_trace(text: &str) -> Result<TraceAnalysis, String> {
                 acc.copies_recovered += 1;
                 acc.recovery_latency_sum += unum_field(&doc, "latency", line)?;
             }
+            "admission_dropped" => {
+                acc.admission_drop_events += 1;
+                acc.admission_copies_dropped += unum_field(&doc, "copies", line)?;
+            }
+            "voq_high_water" => acc.high_water_events += 1,
+            "overload_level" => {
+                let level = unum_field(&doc, "level", line)? as u32;
+                acc.overload_level_max =
+                    Some(acc.overload_level_max.map_or(level, |m| m.max(level)));
+            }
             // Unknown kinds are skipped: newer emitters may add events
             // this analyser does not understand yet.
             _ => {}
@@ -572,6 +610,10 @@ fn finish_scope(label: String, acc: ScopeAcc) -> ScopeAnalysis {
     out.mean_recovery_latency = (acc.copies_recovered > 0)
         .then(|| acc.recovery_latency_sum as f64 / acc.copies_recovered as f64);
     out.invariant_violations = acc.invariant_violations;
+    out.admission_drop_events = acc.admission_drop_events;
+    out.admission_copies_dropped = acc.admission_copies_dropped;
+    out.high_water_events = acc.high_water_events;
+    out.overload_level_max = acc.overload_level_max;
     out.rounds = RoundsProfile {
         histogram: acc.rounds_hist,
         mean: if acc.rounds_slots > 0 {
@@ -1034,6 +1076,55 @@ mod tests {
         assert!(!s.complete);
         assert_eq!(s.copies_sent, 1);
         assert!(s.copies.is_empty(), "no arrival, no decomposition");
+    }
+
+    #[test]
+    fn sampled_traces_reconcile_admission_drops_exactly() {
+        // A 1/K sampled trace: packet lifecycles are thinned (p2's
+        // arrival was not kept), but admission_dropped records bypass
+        // the sampling gate, so the drop ledger must stay exact.
+        let lines = [
+            r#"{"event":"recorder_meta","scope":"S","mode":"sample","param":4}"#,
+            r#"{"event":"packet_arrived","scope":"S","slot":0,"id":4,"input":0,"fanout":2}"#,
+            r#"{"event":"admission_dropped","scope":"S","slot":1,"input":0,"packet":5,"copies":3,"cause":"tail_full"}"#,
+            r#"{"event":"copy_sent","scope":"S","slot":1,"id":4,"output":0,"split":false}"#,
+            r#"{"event":"admission_dropped","scope":"S","slot":2,"input":1,"packet":6,"copies":1,"cause":"pushout"}"#,
+            r#"{"event":"voq_high_water","scope":"S","slot":2,"input":1,"output":0,"depth":1024}"#,
+            r#"{"event":"overload_level","scope":"S","slot":3,"level":2,"backlog_copies":40}"#,
+            r#"{"event":"overload_level","scope":"S","slot":4,"level":1,"backlog_copies":20}"#,
+            r#"{"event":"run_end","scope":"S","slots_run":5}"#,
+        ];
+        let a = analyze_trace(&(lines.join("\n") + "\n")).unwrap();
+        let s = &a.scopes[0];
+        assert!(!s.complete, "sampled traces stay incomplete");
+        assert_eq!(s.admission_drop_events, 2);
+        assert_eq!(s.admission_copies_dropped, 4, "3 shed + 1 pushed out");
+        assert_eq!(s.high_water_events, 1);
+        assert_eq!(s.overload_level_max, Some(2), "max, not last");
+        let json = s.to_json().to_string();
+        assert!(json.contains(r#""overload""#), "overload block missing: {json}");
+    }
+
+    #[test]
+    fn ring_traces_reconcile_admission_drops_exactly() {
+        // A ring:C trace that evicted every packet lifecycle record:
+        // the drop ledger is still complete because admission_dropped
+        // is written outside the ring.
+        let lines = [
+            r#"{"event":"recorder_meta","scope":"S","mode":"ring","param":2}"#,
+            r#"{"event":"admission_dropped","scope":"S","slot":7,"input":2,"packet":9,"copies":2,"cause":"fair_shed"}"#,
+            r#"{"event":"admission_dropped","scope":"S","slot":8,"input":2,"packet":10,"copies":5,"cause":"tail_full"}"#,
+            r#"{"event":"run_end","scope":"S","slots_run":9}"#,
+        ];
+        let a = analyze_trace(&(lines.join("\n") + "\n")).unwrap();
+        let s = &a.scopes[0];
+        assert_eq!(s.admission_drop_events, 2);
+        assert_eq!(s.admission_copies_dropped, 7);
+        assert_eq!(s.overload_level_max, None);
+        // No drops in the baseline sample trace -> no overload block.
+        let clean = analyze_trace(&sample_trace()).unwrap();
+        let json = clean.scopes[0].to_json().to_string();
+        assert!(!json.contains(r#""overload""#), "spurious block: {json}");
     }
 
     #[test]

@@ -239,6 +239,36 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
             obj.set("kills", u64::from(*kills));
             obj.set("latency", *latency);
         }
+        ObsEvent::AdmissionDropped {
+            slot: _,
+            input,
+            packet,
+            copies,
+            cause,
+        } => {
+            obj.set("input", u64::from(input.0));
+            obj.set("packet", packet.0);
+            obj.set("copies", u64::from(*copies));
+            obj.set("cause", cause.as_str());
+        }
+        ObsEvent::VoqHighWater {
+            slot: _,
+            input,
+            output,
+            depth,
+        } => {
+            obj.set("input", u64::from(input.0));
+            obj.set("output", u64::from(output.0));
+            obj.set("depth", *depth);
+        }
+        ObsEvent::OverloadLevel {
+            slot: _,
+            level,
+            backlog_copies,
+        } => {
+            obj.set("level", u64::from(*level));
+            obj.set("backlog_copies", *backlog_copies);
+        }
         ObsEvent::RunEnd { slots_run } => {
             obj.set("slots_run", *slots_run);
         }
@@ -340,6 +370,49 @@ mod tests {
         assert_eq!(end.get("slots_run").and_then(Json::as_f64), Some(500.0));
         let reparsed = Json::parse(&sent.to_string()).unwrap();
         assert_eq!(reparsed, sent);
+    }
+
+    #[test]
+    fn overload_events_serialise_with_their_fields() {
+        use fifoms_types::PacketId;
+        let dropped = event_to_json(
+            "s",
+            &ObsEvent::AdmissionDropped {
+                slot: Slot(3),
+                input: PortId(1),
+                packet: PacketId(7),
+                copies: 2,
+                cause: "tail_full".into(),
+            },
+        );
+        assert_eq!(
+            dropped.get("event").and_then(Json::as_str),
+            Some("admission_dropped")
+        );
+        assert_eq!(dropped.get("copies").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(dropped.get("cause").and_then(Json::as_str), Some("tail_full"));
+        let high = event_to_json(
+            "s",
+            &ObsEvent::VoqHighWater {
+                slot: Slot(4),
+                input: PortId(0),
+                output: PortId(5),
+                depth: 1024,
+            },
+        );
+        assert_eq!(high.get("depth").and_then(Json::as_f64), Some(1024.0));
+        let level = event_to_json(
+            "s",
+            &ObsEvent::OverloadLevel {
+                slot: Slot(5),
+                level: 2,
+                backlog_copies: 99,
+            },
+        );
+        assert_eq!(level.get("level").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(level.get("backlog_copies").and_then(Json::as_f64), Some(99.0));
+        let reparsed = Json::parse(&dropped.to_string()).unwrap();
+        assert_eq!(reparsed, dropped);
     }
 
     #[test]

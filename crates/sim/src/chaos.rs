@@ -20,10 +20,10 @@
 //! time, down to a minimal reproducer that prints as a ready-to-run
 //! `fifoms-repro chaos --scenario ...` invocation.
 
-use fifoms_core::MulticastVoqSwitch;
+use fifoms_core::{AdmissionPolicy, BufferConfig, MulticastVoqSwitch};
 use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultMode, FaultStats, FaultyFabric, Switch};
 use fifoms_stats::{RecoveryRecorder, RecoverySummary};
-use fifoms_types::{DroppedCopy, ObsEvent, Packet, PacketId, PortId, SimError, Slot};
+use fifoms_types::{AdmissionDrop, DroppedCopy, ObsEvent, Packet, PacketId, PortId, SimError, Slot};
 
 use crate::spec::TrafficKind;
 
@@ -64,6 +64,12 @@ pub struct ChaosScenario {
     pub retry_budget: u32,
     /// Scoreboard quarantine window in slots.
     pub quarantine: u64,
+    /// Per-VOQ address-cell cap (`0` = unbounded, the default).
+    pub voq_cap: usize,
+    /// Per-input aggregate copy cap (`0` = unbounded, the default).
+    pub input_cap: usize,
+    /// Admission policy applied when a cap is finite (inert otherwise).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ChaosScenario {
@@ -80,6 +86,9 @@ impl Default for ChaosScenario {
             crosspoint_duration: 0,
             retry_budget: 3,
             quarantine: 200,
+            voq_cap: 0,
+            input_cap: 0,
+            admission: AdmissionPolicy::DropTail,
         }
     }
 }
@@ -92,6 +101,9 @@ const FIELDS: &[&str] = &[
     "crosspoint_faults",
     "crosspoint_at",
     "crosspoint_duration",
+    "voq_cap",
+    "input_cap",
+    "admission",
     "retry_budget",
     "quarantine",
     "load",
@@ -115,6 +127,9 @@ impl ChaosScenario {
             "crosspoint_duration" => self.crosspoint_duration.to_string(),
             "retry_budget" => self.retry_budget.to_string(),
             "quarantine" => self.quarantine.to_string(),
+            "voq_cap" => self.voq_cap.to_string(),
+            "input_cap" => self.input_cap.to_string(),
+            "admission" => self.admission.as_str().to_string(),
             other => unreachable!("unknown scenario field {other}"),
         }
     }
@@ -144,6 +159,16 @@ impl ChaosScenario {
             }
             "retry_budget" => self.retry_budget = num(name, value)?,
             "quarantine" => self.quarantine = num(name, value)?,
+            "voq_cap" => self.voq_cap = num(name, value)?,
+            "input_cap" => self.input_cap = num(name, value)?,
+            "admission" => {
+                self.admission = match value {
+                    "drop_tail" => AdmissionPolicy::DropTail,
+                    "pushout" => AdmissionPolicy::Pushout,
+                    "fair_shed" => AdmissionPolicy::FairShed,
+                    other => return Err(format!("unknown admission policy {other}")),
+                }
+            }
             other => return Err(format!("unknown scenario field {other}")),
         }
         Ok(())
@@ -171,9 +196,17 @@ impl ChaosScenario {
         if self.slots == 0 || self.slots > 10_000_000 {
             return Err(format!("slots={} outside 1..=10^7", self.slots));
         }
-        // p = load/(b·n) must stay a probability.
-        if !(self.load > 0.0 && self.load <= CHAOS_B * self.n as f64 && self.load <= 1.0) {
-            return Err(format!("load={} not in (0, 1]", self.load));
+        // p = load/(b·n) must stay a probability. Infinite buffers also
+        // require an admissible load (<= 1.0) or the drain phase never
+        // ends; finite buffers bound the backlog by construction, so
+        // buffer-pressure campaigns may offer inadmissible loads.
+        let load_cap = if self.buffer_config().is_bounded() {
+            (CHAOS_B * self.n as f64).min(2.0)
+        } else {
+            (CHAOS_B * self.n as f64).min(1.0)
+        };
+        if !(self.load > 0.0 && self.load <= load_cap) {
+            return Err(format!("load={} not in (0, {load_cap}]", self.load));
         }
         if self.flap_period > 0 && self.flap_duration >= self.flap_period {
             return Err("flap_duration must be < flap_period".into());
@@ -205,6 +238,13 @@ impl ChaosScenario {
             .map(|(k, v)| format!("{k}={v}"))
             .collect::<Vec<_>>()
             .join(",")
+    }
+
+    /// The buffer limits this scenario runs under (`unbounded` when both
+    /// caps are 0, which is the default and keeps legacy scenarios
+    /// bit-identical).
+    pub fn buffer_config(&self) -> BufferConfig {
+        BufferConfig::bounded(self.voq_cap, self.input_cap).with_policy(self.admission)
     }
 
     /// The egress-mode fault schedule this scenario injects.
@@ -242,6 +282,9 @@ pub struct ChaosOutcome {
     pub delivered_copies: u64,
     /// Structured drops reconciled against admissions.
     pub reconciled_drops: u64,
+    /// Copies refused or pushed out at admission (nonzero only when the
+    /// scenario runs with finite buffers).
+    pub admission_drops: u64,
     /// Recovery metrics distilled from the observability events.
     pub recovery: RecoverySummary,
     /// The fault layer's own accounting.
@@ -274,7 +317,9 @@ impl ChaosOutcome {
 /// `CheckedSwitch<FaultyFabric<MulticastVoqSwitch>>`, scoreboard audits
 /// enabled.
 pub fn run_scenario(sc: &ChaosScenario) -> ChaosOutcome {
-    let core = MulticastVoqSwitch::new(sc.n, sc.seed).with_quarantine_slots(sc.quarantine);
+    let core = MulticastVoqSwitch::new(sc.n, sc.seed)
+        .with_buffers(sc.buffer_config())
+        .with_quarantine_slots(sc.quarantine);
     let audit = |sw: &MulticastVoqSwitch, i: PortId, o: PortId, now: Slot| {
         sw.scoreboard().is_quarantined(i, o, now)
     };
@@ -297,6 +342,9 @@ fn drive<S: Switch>(
     debug_assert!(sc.validate().is_ok(), "unvalidated scenario: {sc:?}");
     let fabric = FaultyFabric::new(core, sc.fault_config()).with_event_recording();
     let mut checked = CheckedSwitch::new(fabric);
+    if let Some(capacity) = sc.buffer_config().max_copies(sc.n) {
+        checked = checked.with_capacity(capacity);
+    }
     let mut traffic = TrafficKind::bernoulli_at_load(sc.load, CHAOS_B, sc.n)
         .build(sc.n, sc.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
@@ -304,6 +352,7 @@ fn drive<S: Switch>(
     let mut arrivals: Vec<Option<_>> = Vec::with_capacity(sc.n);
     let mut events: Vec<ObsEvent> = Vec::new();
     let mut drops: Vec<DroppedCopy> = Vec::new();
+    let mut adrops: Vec<AdmissionDrop> = Vec::new();
     let mut next_packet = 0u64;
     let mut reconciled_drops = 0u64;
     let mut slots_run = 0u64;
@@ -378,6 +427,10 @@ fn drive<S: Switch>(
             recorder.record_loss();
             reconciled_drops += 1;
         }
+        // Admission drops are per-copy records; draining every slot
+        // keeps the core's ledger bounded over long campaigns.
+        checked.drain_admission_drops(&mut adrops);
+        adrops.clear();
 
         if let Some(audit) = audit {
             if t % AUDIT_EVERY == AUDIT_EVERY - 1 {
@@ -411,6 +464,7 @@ fn drive<S: Switch>(
     let admitted = checked.admitted_copies();
     let delivered = checked.delivered_copies();
     let reconciled = checked.reconciled_copies();
+    let admission_drops = checked.admission_dropped_copies();
     ChaosOutcome {
         scenario: *sc,
         violation: checked.violation().map(|v| v.to_string()),
@@ -418,10 +472,12 @@ fn drive<S: Switch>(
         unreconciled: admitted as i64
             - delivered as i64
             - reconciled as i64
+            - admission_drops as i64
             - backlog.copies as i64,
         admitted_copies: admitted,
         delivered_copies: delivered,
         reconciled_drops,
+        admission_drops,
         recovery: recorder.summary(),
         fault_stats: checked.inner().stats(),
         slots_run,
@@ -474,6 +530,76 @@ pub fn campaign_scenarios(seed: u64, count: usize, smoke: bool) -> Vec<ChaosScen
             sc
         })
         .collect()
+}
+
+/// The deterministic buffer-pressure campaign: `count` scenarios of
+/// bursty *inadmissible* load (1.1–1.6 offered) against tiny finite
+/// buffers, cycling admission policies and layering egress faults on
+/// top — the worst-case mix for admission accounting. Finite buffers
+/// bound every backlog, so these scenarios drain and terminate like any
+/// other; what they stress is the extended conservation law
+/// (`admitted == delivered + reconciled + admission drops + backlog`).
+pub fn buffer_pressure_scenarios(seed: u64, count: usize, smoke: bool) -> Vec<ChaosScenario> {
+    let mut state = seed ^ 0xBEEF_CAFE;
+    let policies = [
+        AdmissionPolicy::DropTail,
+        AdmissionPolicy::Pushout,
+        AdmissionPolicy::FairShed,
+    ];
+    (0..count)
+        .map(|k| {
+            let r = splitmix64(&mut state);
+            let mut sc = ChaosScenario {
+                seed: seed.wrapping_add(k as u64).wrapping_mul(2).wrapping_add(1),
+                slots: if smoke { 800 } else { 3_000 },
+                // Inadmissible by construction: 1.1 .. 1.6 in integer
+                // hundredths so specs render cleanly.
+                load: (110 + 10 * (r % 6)) as f64 / 100.0,
+                voq_cap: [2, 4, 8][(r >> 8) as usize % 3],
+                input_cap: [8, 16, 32][(r >> 12) as usize % 3],
+                admission: policies[k % policies.len()],
+                retry_budget: ((r >> 16) % 3) as u32,
+                quarantine: [40, 80][(r >> 20) as usize % 2],
+                ..ChaosScenario::default()
+            };
+            // Every other scenario also takes egress faults, so pushout
+            // and requeue interleave with admission sheds.
+            if k % 2 == 1 {
+                sc.crosspoint_faults = 1 + (r >> 24) as usize % 2;
+                sc.crosspoint_at = sc.slots / 4;
+                sc.crosspoint_duration = 60 + (r >> 28) % 200;
+            }
+            sc
+        })
+        .collect()
+}
+
+/// Run one chaos cell under a wall-clock watchdog.
+///
+/// Buffer-pressure scenarios combine livelock-prone ingredients (full
+/// buffers, retries, faults); a cell that wedges must fail the campaign
+/// in bounded time rather than hang CI. The cell runs on its own named
+/// thread; if it does not report within `limit_millis`, `Err(limit)` is
+/// returned and the stuck thread is abandoned (the process exits with
+/// the campaign verdict anyway). Mirrors the sweep runner's cell guard.
+pub fn run_guarded(
+    limit_millis: u64,
+    run: impl FnOnce() -> ChaosOutcome + Send + 'static,
+) -> Result<ChaosOutcome, u64> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("fifoms-chaos-cell".into())
+        .spawn(move || {
+            // The receiver may be gone already (timeout): ignore the error.
+            let _ = tx.send(run());
+        });
+    if spawned.is_err() {
+        return Err(0);
+    }
+    match rx.recv_timeout(std::time::Duration::from_millis(limit_millis)) {
+        Ok(out) => Ok(out),
+        Err(_) => Err(limit_millis),
+    }
 }
 
 /// Shrink a failing scenario to a minimal reproducer.
@@ -662,6 +788,156 @@ mod tests {
             self.dup = Some(*d); // the bug: replay the killed copy
             self.inner.copy_failed(d, now, requeue)
         }
+    }
+
+    #[test]
+    fn buffer_pressure_campaign_is_deterministic_and_inadmissible() {
+        let a = buffer_pressure_scenarios(3, 6, true);
+        assert_eq!(a, buffer_pressure_scenarios(3, 6, true));
+        assert_eq!(a.len(), 6);
+        for sc in &a {
+            sc.validate().expect("generated scenario invalid");
+            assert!(sc.load > 1.0, "pressure scenarios must be inadmissible");
+            assert!(sc.buffer_config().is_bounded());
+        }
+        assert!(a.iter().any(|s| s.admission == AdmissionPolicy::Pushout));
+        assert!(a.iter().any(|s| s.crosspoint_faults > 0));
+    }
+
+    #[test]
+    fn buffer_pressure_cells_prove_the_extended_law() {
+        for sc in buffer_pressure_scenarios(11, 3, true) {
+            let out = run_scenario(&sc);
+            assert!(!out.failed(), "scenario {} failed: {out:?}", sc.cli_spec());
+            assert!(
+                out.admission_drops > 0,
+                "inadmissible load on tiny buffers must shed: {}",
+                sc.cli_spec()
+            );
+            assert_eq!(
+                out.admitted_copies,
+                out.delivered_copies + out.reconciled_drops + out.admission_drops,
+                "drained run must balance exactly: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_scenarios_may_offer_inadmissible_load() {
+        assert!(ChaosScenario::parse("load=1.4").is_err(), "unbounded stays <= 1");
+        let sc = ChaosScenario::parse("load=1.4,voq_cap=4,admission=pushout").unwrap();
+        assert_eq!(sc.admission, AdmissionPolicy::Pushout);
+        let spec = sc.cli_spec();
+        assert_eq!(spec, "voq_cap=4,admission=pushout,load=1.4");
+        assert_eq!(ChaosScenario::parse(&spec).unwrap(), sc);
+        assert!(
+            ChaosScenario::parse("voq_cap=4,load=2.5").is_err(),
+            "even bounded loads stop at min(2, b*n)"
+        );
+        assert!(ChaosScenario::parse("admission=sometimes").is_err());
+    }
+
+    #[test]
+    fn watchdog_flags_a_hung_cell_and_passes_a_healthy_one() {
+        let hung = run_guarded(40, || {
+            std::thread::sleep(std::time::Duration::from_millis(3_000));
+            run_scenario(&ChaosScenario {
+                slots: 10,
+                ..ChaosScenario::default()
+            })
+        });
+        assert_eq!(hung.err(), Some(40), "a wedged cell must time out, not hang");
+        let healthy = run_guarded(60_000, || {
+            run_scenario(&ChaosScenario {
+                slots: 200,
+                ..ChaosScenario::default()
+            })
+        });
+        assert!(!healthy.expect("healthy cell finished").failed());
+    }
+
+    /// A stack with a deliberately seeded *accounting* bug: the first
+    /// admission-drop record the finite-buffered core produces is
+    /// swallowed instead of surfaced, so one shed copy vanishes from
+    /// the ledger and the extended conservation law cannot balance.
+    struct LeakyAdmission {
+        inner: MulticastVoqSwitch,
+        leaked: bool,
+    }
+
+    impl Switch for LeakyAdmission {
+        fn name(&self) -> String {
+            "leaky-admission".into()
+        }
+        fn ports(&self) -> usize {
+            self.inner.ports()
+        }
+        fn admit(&mut self, packet: Packet) {
+            self.inner.admit(packet);
+        }
+        fn run_slot(&mut self, now: Slot) -> SlotOutcome {
+            self.inner.run_slot(now)
+        }
+        fn queue_sizes(&self, out: &mut Vec<usize>) {
+            self.inner.queue_sizes(out);
+        }
+        fn backlog(&self) -> Backlog {
+            self.inner.backlog()
+        }
+        fn copy_failed(
+            &mut self,
+            d: &fifoms_types::Departure,
+            now: Slot,
+            requeue: bool,
+        ) -> fifoms_types::RetryDisposition {
+            self.inner.copy_failed(d, now, requeue)
+        }
+        fn drain_admission_drops(&mut self, out: &mut Vec<AdmissionDrop>) {
+            let before = out.len();
+            self.inner.drain_admission_drops(out);
+            if !self.leaked && out.len() > before {
+                out.remove(before); // the bug: one record vanishes
+                self.leaked = true;
+            }
+        }
+    }
+
+    #[test]
+    fn leaked_admission_accounting_shrinks_to_a_minimal_reproducer() {
+        let fails = |sc: &ChaosScenario| {
+            let core = MulticastVoqSwitch::new(sc.n, sc.seed).with_buffers(sc.buffer_config());
+            let out = run_scenario_on(
+                sc,
+                LeakyAdmission {
+                    inner: core,
+                    leaked: false,
+                },
+            );
+            out.failed()
+        };
+        // An over-specified buffer-pressure scenario carrying the bug.
+        let start = ChaosScenario::parse(
+            "seed=9,slots=900,load=1.4,voq_cap=2,input_cap=16,admission=pushout,\
+             crosspoint_faults=1,crosspoint_at=100,crosspoint_duration=200,\
+             retry_budget=2,quarantine=50,flap_period=400,flap_duration=30",
+        )
+        .unwrap();
+        assert!(fails(&start), "seeded accounting bug did not trigger");
+        let (min, runs) = shrink_scenario(&start, fails);
+        assert!(fails(&min), "shrunk scenario no longer reproduces");
+        let params = min.non_default_params();
+        assert!(
+            params.len() <= 3,
+            "reproducer has {} params ({}), ran {} probes",
+            params.len(),
+            min.cli_spec(),
+            runs
+        );
+        // The bug needs a finite buffer to shed at all, so a cap
+        // survives; the fault knobs are irrelevant and must shrink away.
+        assert!(min.voq_cap > 0 || min.input_cap > 0);
+        assert_eq!(min.crosspoint_faults, 0);
+        assert_eq!(min.flap_period, 0);
     }
 
     #[test]

@@ -7,7 +7,9 @@ use fifoms_stats::{
     SaturationDetector, SaturationVerdict,
 };
 use fifoms_traffic::TrafficModel;
-use fifoms_types::{ObsEvent, Packet, PacketId, PortId, SimError, Slot};
+use fifoms_types::{ObsEvent, Packet, PacketId, PortId, PortSet, SimError, Slot};
+
+use crate::overload::OverloadControls;
 
 /// Parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -155,6 +157,31 @@ pub fn try_simulate_observed(
     cfg: &RunConfig,
     obs: &mut Observer<'_>,
 ) -> Result<RunResult, SimError> {
+    simulate_inner(switch, traffic, cfg, obs, None)
+}
+
+/// [`try_simulate_observed`] with overload protection attached: the
+/// engine consults `controls` each slot for backpressure-driven arrival
+/// deferral and the graceful-degradation ladder (DESIGN.md §12). Inert
+/// controls ([`OverloadControls::new`]) leave the run bit-identical to
+/// [`try_simulate_observed`].
+pub fn try_simulate_controlled(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+    obs: &mut Observer<'_>,
+    controls: &mut OverloadControls,
+) -> Result<RunResult, SimError> {
+    simulate_inner(switch, traffic, cfg, obs, Some(controls))
+}
+
+fn simulate_inner(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+    obs: &mut Observer<'_>,
+    mut controls: Option<&mut OverloadControls>,
+) -> Result<RunResult, SimError> {
     if cfg.warmup >= cfg.slots {
         return Err(SimError::WarmupTooLong {
             warmup: cfg.warmup,
@@ -218,6 +245,56 @@ pub fn try_simulate_observed(
         span(obs, timed, "traffic", true);
         traffic.next_slot(now, &mut arrivals);
         span(obs, timed, "traffic", false);
+        // Overload protection, when attached: walk the degradation
+        // ladder against this slot's pre-admission backlog, pause
+        // backpressured inputs (deferring their arrivals), re-offer
+        // deferred arrivals oldest-first where the signal is clear, and
+        // at ladder level 3 trim fresh fanouts to their first
+        // destination. `controls == None` skips all of it.
+        let level = match controls.as_deref_mut() {
+            Some(ctl) => {
+                if let Some(g) = ctl.governor.as_mut() {
+                    if let Some(event) = g.observe(now, switch.backlog().copies as u64) {
+                        if let Some((sink, scope)) = obs.sink {
+                            sink.emit(scope, &event);
+                        }
+                    }
+                }
+                let level = ctl.level();
+                for (input, slot_arrival) in arrivals.iter_mut().enumerate() {
+                    let input_id = PortId::new(input);
+                    let fresh = slot_arrival.take();
+                    if ctl.pause_on_backpressure && switch.backpressure(input_id) {
+                        if let Some(dests) = fresh {
+                            ctl.deferrals.push(input_id, dests);
+                        }
+                        continue;
+                    }
+                    *slot_arrival = match ctl.deferrals.pop_ready(input_id) {
+                        Some(held) => {
+                            // One admission per input per slot: a fresh
+                            // arrival queues behind the resumed one.
+                            if let Some(dests) = fresh {
+                                ctl.deferrals.push(input_id, dests);
+                            }
+                            Some(held)
+                        }
+                        None => fresh,
+                    };
+                    if level >= 3 {
+                        if let Some(dests) = slot_arrival.as_mut() {
+                            if dests.len() > 1 {
+                                let first = dests.iter().next().expect("non-empty fanout");
+                                ctl.fanout_copies_trimmed += (dests.len() - 1) as u64;
+                                *dests = PortSet::singleton(first);
+                            }
+                        }
+                    }
+                }
+                level
+            }
+            None => 0,
+        };
         span(obs, timed, "admit", true);
         for (input, dests) in arrivals.iter_mut().enumerate() {
             if let Some(dests) = dests.take() {
@@ -239,6 +316,23 @@ pub fn try_simulate_observed(
         if let Some((sink, scope)) = obs.sink {
             switch.drain_events(&mut event_buf);
             for e in event_buf.drain(..) {
+                // Ladder level 1: shed packet-scoped tracing first.
+                // Admission drops, invariant reports and scheduler
+                // summaries always get through — forensics on the
+                // overloaded run depend on them.
+                if level >= 1
+                    && matches!(
+                        e,
+                        ObsEvent::PacketArrived { .. }
+                            | ObsEvent::CopySent { .. }
+                            | ObsEvent::PacketCompleted { .. }
+                    )
+                {
+                    if let Some(ctl) = controls.as_deref_mut() {
+                        ctl.events_shed += 1;
+                    }
+                    continue;
+                }
                 sink.emit(scope, &e);
             }
         }
@@ -252,8 +346,14 @@ pub fn try_simulate_observed(
             if !outcome.departures.is_empty() {
                 rounds.push_u64(outcome.rounds as u64);
             }
-            switch.queue_sizes(&mut queue_buf);
-            occupancy.sample(&queue_buf);
+            // Ladder level 2: thin the per-slot queue scan to every
+            // fourth slot. Delay and throughput tallies stay exact.
+            if level < 2 || t % 4 == 0 {
+                switch.queue_sizes(&mut queue_buf);
+                occupancy.sample(&queue_buf);
+            } else if let Some(ctl) = controls.as_deref_mut() {
+                ctl.samples_skipped += 1;
+            }
         }
         let capped = t % cfg.sample_every == 0 && detector.observe(switch.backlog().copies);
         span(obs, timed, "stats", false);
@@ -428,6 +528,89 @@ mod tests {
         let mut sw = MulticastVoqSwitch::new(4, 0);
         let mut tr = UniformUnicast::new(8, 0.1, 0).unwrap();
         simulate(&mut sw, &mut tr, &RunConfig::quick(100));
+    }
+
+    #[test]
+    fn inert_controls_are_bit_identical_to_plain_simulation() {
+        use crate::overload::OverloadControls;
+        let cfg = RunConfig::quick(10_000);
+        let mut sw = MulticastVoqSwitch::new(8, 3);
+        let mut tr = BernoulliMulticast::new(8, 0.3, 0.25, 9).unwrap();
+        let plain = try_simulate(&mut sw, &mut tr, &cfg).unwrap();
+        let mut sw = MulticastVoqSwitch::new(8, 3);
+        let mut tr = BernoulliMulticast::new(8, 0.3, 0.25, 9).unwrap();
+        let mut controls = OverloadControls::new(8);
+        let controlled = try_simulate_controlled(
+            &mut sw,
+            &mut tr,
+            &cfg,
+            &mut Observer::none(),
+            &mut controls,
+        )
+        .unwrap();
+        assert_eq!(plain.packets_admitted, controlled.packets_admitted);
+        assert_eq!(plain.copies_delivered, controlled.copies_delivered);
+        assert_eq!(plain.delay.mean_output_oriented, controlled.delay.mean_output_oriented);
+        assert_eq!(plain.occupancy.mean, controlled.occupancy.mean);
+        assert_eq!(controls.deferrals.total_deferred(), 0);
+        assert_eq!(controls.events_shed, 0);
+        assert_eq!(controls.fanout_copies_trimmed, 0);
+    }
+
+    #[test]
+    fn backpressure_pause_defers_instead_of_dropping() {
+        use crate::overload::OverloadControls;
+        use fifoms_core::BufferConfig;
+        // Tiny aggregate budget under heavy load: without pausing, the
+        // switch sheds at admission; with pausing, offered packets wait
+        // in the deferral queue instead.
+        let buffers = BufferConfig::bounded(16, 32);
+        let mut sw = MulticastVoqSwitch::new(8, 3).with_buffers(buffers);
+        let mut tr = BernoulliMulticast::new(8, 0.9, 0.25, 11).unwrap();
+        let mut controls = OverloadControls::new(8).with_backpressure();
+        let r = try_simulate_controlled(
+            &mut sw,
+            &mut tr,
+            &RunConfig::quick(4_000),
+            &mut Observer::none(),
+            &mut controls,
+        )
+        .unwrap();
+        assert!(r.packets_admitted > 0);
+        assert!(
+            controls.deferrals.total_deferred() > 0,
+            "inadmissible load against a tiny buffer must trigger pauses"
+        );
+        assert!(
+            controls.deferrals.total_resumed() > 0,
+            "cleared signal must re-offer deferred arrivals"
+        );
+    }
+
+    #[test]
+    fn degradation_ladder_engages_under_inadmissible_load() {
+        use crate::overload::{OverloadControls, OverloadGovernor};
+        use fifoms_core::BufferConfig;
+        let buffers = BufferConfig::bounded(64, 256);
+        let capacity = buffers.max_copies(8).unwrap();
+        let mut sw = MulticastVoqSwitch::new(8, 3).with_buffers(buffers);
+        // Offered load 2.0: the backlog climbs straight through every
+        // ladder threshold.
+        let mut tr = BernoulliMulticast::new(8, 1.0, 0.25, 13).unwrap();
+        let mut controls =
+            OverloadControls::new(8).with_governor(OverloadGovernor::new(capacity));
+        let r = try_simulate_controlled(
+            &mut sw,
+            &mut tr,
+            &RunConfig::quick(6_000),
+            &mut Observer::none(),
+            &mut controls,
+        )
+        .unwrap();
+        assert_eq!(controls.level(), 3, "ladder must reach fanout shedding");
+        assert!(controls.fanout_copies_trimmed > 0, "level 3 trims fanout");
+        assert!(controls.samples_skipped > 0, "level 2 thins metric sampling");
+        assert!(r.slots_run == 6_000, "finite buffers never hit the cap");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 mod chaos;
 mod checkpoint;
 mod engine;
+mod overload;
 pub mod plot;
 mod profile;
 pub mod report;
@@ -48,11 +49,17 @@ mod spec;
 mod sweep;
 
 pub use chaos::{
-    campaign_scenarios, run_scenario, run_scenario_on, shrink_scenario, ChaosOutcome,
-    ChaosScenario,
+    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario, run_scenario_on,
+    shrink_scenario, ChaosOutcome, ChaosScenario,
 };
 pub use checkpoint::CheckpointJournal;
-pub use engine::{simulate, try_simulate, try_simulate_observed, Observer, RunConfig, RunResult};
+pub use engine::{
+    simulate, try_simulate, try_simulate_controlled, try_simulate_observed, Observer, RunConfig,
+    RunResult,
+};
+pub use overload::{
+    loss_sweep, LossPoint, LossSweepConfig, OverloadControls, OverloadGovernor,
+};
 // Re-exported so sweep policies can be configured without a direct
 // dependency on the fabric crate.
 pub use fifoms_fabric::{

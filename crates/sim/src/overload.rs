@@ -1,0 +1,381 @@
+//! Overload protection: the graceful-degradation ladder and the
+//! finite-buffer loss-rate sweep (DESIGN.md §12).
+//!
+//! Under admissible load a FIFOMS switch needs none of this. Under
+//! *inadmissible* load (offered > 1.0 per output) an infinite-buffer
+//! model diverges, and a finite-buffer one must choose what to lose.
+//! This module supplies the engine-side half of that choice:
+//!
+//! * [`OverloadGovernor`] — watches the backlog against the configured
+//!   buffer capacity and walks a degradation ladder: level 1 sheds
+//!   packet-scoped trace events, level 2 thins metric sampling, level 3
+//!   trims arriving fanouts to their first destination. Each transition
+//!   emits one [`ObsEvent::OverloadLevel`] so traces show when and why
+//!   observability degraded.
+//! * [`OverloadControls`] — the bundle the engine consults each slot:
+//!   an optional governor, plus backpressure-driven arrival deferral
+//!   (a [`DeferralQueue`] that holds offered packets while
+//!   [`Switch::backpressure`] is asserted, re-offering them oldest-first
+//!   once it clears; deferred packets are stamped at actual admission,
+//!   so Theorem 1 ordering is never violated).
+//! * [`loss_sweep`] — the stability-region experiment: a load grid
+//!   crossing the admissible boundary, run against the infinite-buffer
+//!   baseline and each finite-buffer admission policy under a
+//!   [`CheckedSwitch`] proving the extended conservation law, yielding
+//!   one [`LossPoint`] per (load, policy) cell.
+//!
+//! [`Switch::backpressure`]: fifoms_fabric::Switch::backpressure
+
+use fifoms_core::{AdmissionPolicy, BufferConfig, MulticastVoqSwitch};
+use fifoms_fabric::{CheckedSwitch, Switch};
+use fifoms_traffic::{BernoulliMulticast, DeferralQueue};
+use fifoms_types::{ObsEvent, Slot};
+
+use crate::engine::{try_simulate, RunConfig};
+
+/// Ladder thresholds as percent of configured capacity.
+const LEVEL_1_PCT: u64 = 50;
+const LEVEL_2_PCT: u64 = 75;
+const LEVEL_3_PCT: u64 = 90;
+
+/// The degradation-ladder driver: backlog-vs-capacity hysteresis-free
+/// level tracking with an event on every transition.
+#[derive(Clone, Copy, Debug)]
+pub struct OverloadGovernor {
+    capacity: u64,
+    level: u32,
+}
+
+impl OverloadGovernor {
+    /// A governor for a switch whose total buffered copies are bounded
+    /// by `capacity` (see [`BufferConfig::max_copies`]). A zero capacity
+    /// disables the ladder (the governor stays at level 0 forever).
+    pub fn new(capacity: u64) -> OverloadGovernor {
+        OverloadGovernor { capacity, level: 0 }
+    }
+
+    /// The current ladder level (0 = fully healthy .. 3 = shedding
+    /// fanout).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Observe this slot's backlog; returns the transition event when
+    /// the level changed.
+    pub fn observe(&mut self, now: Slot, backlog_copies: u64) -> Option<ObsEvent> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let pct = backlog_copies.saturating_mul(100) / self.capacity;
+        let level = if pct >= LEVEL_3_PCT {
+            3
+        } else if pct >= LEVEL_2_PCT {
+            2
+        } else if pct >= LEVEL_1_PCT {
+            1
+        } else {
+            0
+        };
+        if level == self.level {
+            return None;
+        }
+        self.level = level;
+        Some(ObsEvent::OverloadLevel {
+            slot: now,
+            level,
+            backlog_copies,
+        })
+    }
+}
+
+/// Engine-side overload machinery for one run: consulted once per slot
+/// by `try_simulate_controlled`, inert fields cost nothing.
+#[derive(Debug)]
+pub struct OverloadControls {
+    /// When set, arrivals offered to an input whose
+    /// [`Switch::backpressure`] signal is asserted are deferred instead
+    /// of admitted, and re-offered (oldest first, one per slot) once
+    /// the signal clears.
+    ///
+    /// [`Switch::backpressure`]: fifoms_fabric::Switch::backpressure
+    pub pause_on_backpressure: bool,
+    /// The holding pen for deferred arrivals.
+    pub deferrals: DeferralQueue,
+    /// The degradation ladder, if enabled.
+    pub governor: Option<OverloadGovernor>,
+    /// Packet-scoped trace events shed at ladder level >= 1.
+    pub events_shed: u64,
+    /// Occupancy samples skipped at ladder level >= 2.
+    pub samples_skipped: u64,
+    /// Copies trimmed from arriving fanouts at ladder level 3.
+    pub fanout_copies_trimmed: u64,
+}
+
+impl OverloadControls {
+    /// Inert controls for an `ports`-input switch: no backpressure
+    /// pause, no governor. `try_simulate_controlled` with these behaves
+    /// exactly like `try_simulate`.
+    pub fn new(ports: usize) -> OverloadControls {
+        OverloadControls {
+            pause_on_backpressure: false,
+            deferrals: DeferralQueue::new(ports),
+            governor: None,
+            events_shed: 0,
+            samples_skipped: 0,
+            fanout_copies_trimmed: 0,
+        }
+    }
+
+    /// Enable backpressure-driven arrival deferral.
+    pub fn with_backpressure(mut self) -> OverloadControls {
+        self.pause_on_backpressure = true;
+        self
+    }
+
+    /// Attach the degradation ladder.
+    pub fn with_governor(mut self, governor: OverloadGovernor) -> OverloadControls {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The current ladder level (0 when no governor is attached).
+    pub fn level(&self) -> u32 {
+        self.governor.map_or(0, |g| g.level())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loss-rate / stability-region sweep
+// ---------------------------------------------------------------------
+
+/// One (load, policy) cell of the loss sweep.
+#[derive(Clone, Debug)]
+pub struct LossPoint {
+    /// Offered effective load (per output, in units of link capacity).
+    pub load: f64,
+    /// `"baseline"` (infinite buffers) or the admission policy tag.
+    pub policy: String,
+    /// Copies offered to admission over the run.
+    pub admitted: u64,
+    /// Copies delivered over the run.
+    pub delivered: u64,
+    /// Copies refused or pushed out at admission.
+    pub admission_dropped: u64,
+    /// Copies still queued when the run ended.
+    pub backlog: u64,
+    /// `admission_dropped / admitted` (0 when nothing was offered).
+    pub loss_rate: f64,
+    /// Whether the saturation detector called the point sustainable.
+    pub stable: bool,
+    /// Mean output-oriented copy delay over the measured window.
+    pub mean_delay: f64,
+}
+
+/// Parameters of one [`loss_sweep`].
+#[derive(Clone, Debug)]
+pub struct LossSweepConfig {
+    /// Switch size `N`.
+    pub n: usize,
+    /// Slots per cell.
+    pub slots: u64,
+    /// Base RNG seed (each cell derives its own).
+    pub seed: u64,
+    /// The offered-load grid; points above 1.0 are inadmissible and are
+    /// exactly where the policies separate.
+    pub loads: Vec<f64>,
+    /// Per-VOQ address-cell cap for the finite-buffer cells.
+    pub voq_cap: usize,
+    /// Per-input aggregate cap for the finite-buffer cells.
+    pub input_cap: usize,
+}
+
+impl LossSweepConfig {
+    /// A small default grid crossing the admissible boundary:
+    /// loads 0.6 .. 1.6 over `points` cells.
+    pub fn quick(n: usize, slots: u64, seed: u64, points: usize) -> LossSweepConfig {
+        let points = points.max(2);
+        let loads = (0..points)
+            .map(|i| 0.6 + (1.6 - 0.6) * i as f64 / (points - 1) as f64)
+            .collect();
+        LossSweepConfig {
+            n,
+            slots,
+            seed,
+            loads,
+            voq_cap: 16,
+            input_cap: 64,
+        }
+    }
+
+    /// The largest representable offered load for this `n`: `b·N` with
+    /// the sweep's fixed Bernoulli fanout `b = 1/4`. Loads above this
+    /// would need a per-slot arrival probability greater than 1.
+    pub fn max_load(&self) -> f64 {
+        SWEEP_B * self.n as f64
+    }
+}
+
+/// The Bernoulli fanout probability used by every sweep cell. With
+/// `b = 1/4` and the per-slot arrival probability `p = load / (b·N)`,
+/// loads up to `b·N` (2.0 at `N = 8`) stay representable with `p <= 1`.
+const SWEEP_B: f64 = 0.25;
+
+/// The finite-buffer policies each load point is run under, alongside
+/// the infinite-buffer baseline.
+const SWEEP_POLICIES: [AdmissionPolicy; 3] = [
+    AdmissionPolicy::DropTail,
+    AdmissionPolicy::Pushout,
+    AdmissionPolicy::FairShed,
+];
+
+/// Run the loss-rate / stability-region sweep: every load in the grid
+/// against the infinite-buffer baseline and each finite-buffer policy,
+/// all under [`CheckedSwitch`] so each cell proves the extended
+/// conservation law as it runs.
+///
+/// # Panics
+///
+/// Panics if a cell's checker reports an invariant violation (the
+/// sweep's entire point is that the law holds), if `cfg.loads` contains
+/// a load outside `(0, b·N]`, or if `voq_cap`/`input_cap` are 0.
+pub fn loss_sweep(cfg: &LossSweepConfig) -> Vec<LossPoint> {
+    assert!(cfg.voq_cap > 0 && cfg.input_cap > 0, "caps must be finite");
+    let mut out = Vec::new();
+    for (i, &load) in cfg.loads.iter().enumerate() {
+        let max_load = SWEEP_B * cfg.n as f64;
+        assert!(
+            load > 0.0 && load <= max_load,
+            "load {load} outside (0, {max_load}]"
+        );
+        let cell_seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        out.push(run_cell(cfg, load, cell_seed, None));
+        for policy in SWEEP_POLICIES {
+            out.push(run_cell(cfg, load, cell_seed, Some(policy)));
+        }
+    }
+    out
+}
+
+fn run_cell(
+    cfg: &LossSweepConfig,
+    load: f64,
+    seed: u64,
+    policy: Option<AdmissionPolicy>,
+) -> LossPoint {
+    let p = load / (SWEEP_B * cfg.n as f64);
+    let mut traffic =
+        BernoulliMulticast::new(cfg.n, p, SWEEP_B, seed).expect("sweep cell parameters valid");
+    let mut core = MulticastVoqSwitch::new(cfg.n, seed);
+    let mut checker = match policy {
+        Some(policy) => {
+            let buffers =
+                BufferConfig::bounded(cfg.voq_cap, cfg.input_cap).with_policy(policy);
+            let capacity = buffers
+                .max_copies(cfg.n)
+                .expect("bounded config has a capacity");
+            core = core.with_buffers(buffers);
+            CheckedSwitch::new(core).with_capacity(capacity)
+        }
+        None => CheckedSwitch::new(core),
+    };
+    let run = try_simulate(&mut checker, &mut traffic, &RunConfig::quick(cfg.slots))
+        .expect("sweep cell preconditions hold");
+    if let Some(v) = checker.violation() {
+        panic!("loss sweep cell (load {load}, {:?}) violated: {v}", policy);
+    }
+    let admitted = checker.admitted_copies();
+    let dropped = checker.admission_dropped_copies();
+    let backlog = checker.backlog().copies as u64;
+    LossPoint {
+        load,
+        policy: policy.map_or_else(|| "baseline".to_string(), |p| p.as_str().to_string()),
+        admitted,
+        delivered: checker.delivered_copies(),
+        admission_dropped: dropped,
+        backlog,
+        loss_rate: if admitted == 0 {
+            0.0
+        } else {
+            dropped as f64 / admitted as f64
+        },
+        stable: run.is_stable(),
+        mean_delay: run.delay.mean_output_oriented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn governor_walks_the_ladder_and_reports_transitions() {
+        let mut g = OverloadGovernor::new(100);
+        assert_eq!(g.level(), 0);
+        assert!(g.observe(Slot(0), 10).is_none(), "still healthy");
+        let up = g.observe(Slot(1), 60).expect("50% crossed");
+        assert!(matches!(up, ObsEvent::OverloadLevel { level: 1, .. }));
+        assert!(g.observe(Slot(2), 70).is_none(), "same level, no event");
+        let top = g.observe(Slot(3), 95).expect("90% crossed");
+        assert!(matches!(top, ObsEvent::OverloadLevel { level: 3, .. }));
+        let down = g.observe(Slot(4), 80).expect("fell back to 2");
+        assert!(matches!(down, ObsEvent::OverloadLevel { level: 2, .. }));
+        assert_eq!(g.level(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_governor() {
+        let mut g = OverloadGovernor::new(0);
+        assert!(g.observe(Slot(0), u64::MAX).is_none());
+        assert_eq!(g.level(), 0);
+    }
+
+    #[test]
+    fn inert_controls_report_level_zero() {
+        let c = OverloadControls::new(4);
+        assert!(!c.pause_on_backpressure);
+        assert_eq!(c.level(), 0);
+        let c = OverloadControls::new(4)
+            .with_backpressure()
+            .with_governor(OverloadGovernor::new(10));
+        assert!(c.pause_on_backpressure);
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn loss_sweep_separates_finite_policies_from_the_baseline() {
+        let cfg = LossSweepConfig {
+            n: 8,
+            slots: 3_000,
+            seed: 7,
+            loads: vec![0.6, 1.4],
+            voq_cap: 8,
+            input_cap: 32,
+        };
+        let points = loss_sweep(&cfg);
+        assert_eq!(points.len(), 2 * 4, "each load x (baseline + 3 policies)");
+        for pt in &points {
+            assert!(
+                pt.admitted >= pt.delivered + pt.admission_dropped,
+                "{pt:?}"
+            );
+            if pt.policy == "baseline" {
+                assert_eq!(pt.admission_dropped, 0, "baseline never drops: {pt:?}");
+            }
+        }
+        // Under inadmissible load, finite buffers must shed; under
+        // admissible load they should barely shed at all.
+        let hot_drop = points
+            .iter()
+            .find(|p| p.load > 1.0 && p.policy == "drop_tail")
+            .unwrap();
+        assert!(hot_drop.loss_rate > 0.05, "knee missing: {hot_drop:?}");
+        let cool_drop = points
+            .iter()
+            .find(|p| p.load < 1.0 && p.policy == "drop_tail")
+            .unwrap();
+        assert!(
+            cool_drop.loss_rate < hot_drop.loss_rate,
+            "loss must rise across the knee: {cool_drop:?} vs {hot_drop:?}"
+        );
+    }
+}

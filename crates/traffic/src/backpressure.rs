@@ -1,0 +1,129 @@
+//! Backpressure-aware arrival deferral.
+//!
+//! When a finite-buffered switch raises [`Switch::backpressure`] for an
+//! input, the engine can *defer* that input's offered packet instead of
+//! admitting it into a queue that is about to overflow. [`DeferralQueue`]
+//! is the holding pen: one FIFO of destination sets per input. Deferred
+//! arrivals are retried — oldest first — on later slots once the signal
+//! clears, and are stamped with their *actual* admission slot, exactly as
+//! if the source had paused and re-offered the packet (a deferred packet
+//! never carries a back-dated stamp, so Theorem 1 ordering is preserved
+//! by construction).
+//!
+//! The queue is pure bookkeeping: it never drops, reorders within an
+//! input, or inspects destination sets. Loss decisions stay with the
+//! switch's admission policy; this type only models a cooperating source
+//! that retries instead of blasting into a full buffer.
+//!
+//! [`Switch::backpressure`]: ../fifoms_fabric/trait.Switch.html#method.backpressure
+
+use fifoms_types::{PortId, PortSet};
+use std::collections::VecDeque;
+
+/// Per-input FIFOs of arrivals deferred by backpressure.
+#[derive(Clone, Debug)]
+pub struct DeferralQueue {
+    queues: Vec<VecDeque<PortSet>>,
+    deferred: u64,
+    resumed: u64,
+}
+
+impl DeferralQueue {
+    /// An empty deferral queue for an `ports`-input switch.
+    pub fn new(ports: usize) -> Self {
+        Self {
+            queues: vec![VecDeque::new(); ports],
+            deferred: 0,
+            resumed: 0,
+        }
+    }
+
+    /// Hold `dests` for `input` until the backpressure signal clears.
+    pub fn push(&mut self, input: PortId, dests: PortSet) {
+        self.queues[input.index()].push_back(dests);
+        self.deferred += 1;
+    }
+
+    /// Take the oldest deferred arrival for `input`, if any. Call only
+    /// when the input's backpressure signal is clear.
+    pub fn pop_ready(&mut self, input: PortId) -> Option<PortSet> {
+        let dests = self.queues[input.index()].pop_front()?;
+        self.resumed += 1;
+        Some(dests)
+    }
+
+    /// Arrivals currently held for `input`.
+    pub fn pending(&self, input: PortId) -> usize {
+        self.queues[input.index()].len()
+    }
+
+    /// Arrivals currently held across all inputs.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether nothing is deferred anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total arrivals ever deferred.
+    pub fn total_deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// Total deferred arrivals later re-offered.
+    pub fn total_resumed(&self) -> u64 {
+        self.resumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dests(bits: &[u16]) -> PortSet {
+        let mut s = PortSet::new();
+        for &b in bits {
+            s.insert(PortId(b));
+        }
+        s
+    }
+
+    #[test]
+    fn deferral_is_fifo_per_input() {
+        let mut q = DeferralQueue::new(4);
+        assert!(q.is_empty());
+        q.push(PortId(1), dests(&[0]));
+        q.push(PortId(1), dests(&[2, 3]));
+        q.push(PortId(3), dests(&[1]));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pending(PortId(1)), 2);
+        assert_eq!(q.pop_ready(PortId(1)), Some(dests(&[0])));
+        assert_eq!(q.pop_ready(PortId(1)), Some(dests(&[2, 3])));
+        assert_eq!(q.pop_ready(PortId(1)), None);
+        assert_eq!(q.pop_ready(PortId(3)), Some(dests(&[1])));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_deferrals_and_resumptions() {
+        let mut q = DeferralQueue::new(2);
+        q.push(PortId(0), dests(&[0]));
+        q.push(PortId(0), dests(&[1]));
+        assert_eq!(q.total_deferred(), 2);
+        assert_eq!(q.total_resumed(), 0);
+        q.pop_ready(PortId(0));
+        assert_eq!(q.total_resumed(), 1);
+        assert_eq!(q.len(), 1, "one still held");
+    }
+
+    #[test]
+    fn inputs_are_independent() {
+        let mut q = DeferralQueue::new(3);
+        q.push(PortId(2), dests(&[0, 1, 2]));
+        assert_eq!(q.pop_ready(PortId(0)), None);
+        assert_eq!(q.pending(PortId(2)), 1);
+        assert_eq!(q.pop_ready(PortId(2)), Some(dests(&[0, 1, 2])));
+    }
+}

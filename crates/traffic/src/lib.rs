@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backpressure;
 mod bernoulli;
 mod burst;
 mod mixed;
@@ -33,6 +34,7 @@ mod trace;
 mod unicast;
 mod uniform;
 
+pub use backpressure::DeferralQueue;
 pub use bernoulli::BernoulliMulticast;
 pub use burst::BurstTraffic;
 pub use mixed::MixedTraffic;

@@ -135,6 +135,17 @@ pub enum InvariantViolation {
         /// Queued copies the switch currently reports.
         backlog_copies: u64,
     },
+    /// The backlog exceeded the configured finite-buffer capacity: an
+    /// admission-control implementation let more copies into the queue
+    /// structure than its buffers are declared to hold.
+    CapacityExceeded {
+        /// Slot of the violation.
+        slot: Slot,
+        /// Queued copies the switch currently reports.
+        backlog_copies: u64,
+        /// The declared capacity in copies.
+        capacity: u64,
+    },
 }
 
 impl InvariantViolation {
@@ -145,7 +156,8 @@ impl InvariantViolation {
             | InvariantViolation::GrantOutsideFanout { slot, .. }
             | InvariantViolation::FanoutOverrun { slot, .. }
             | InvariantViolation::LastCopyMismatch { slot, .. }
-            | InvariantViolation::ConservationMismatch { slot, .. } => *slot,
+            | InvariantViolation::ConservationMismatch { slot, .. }
+            | InvariantViolation::CapacityExceeded { slot, .. } => *slot,
         }
     }
 }
@@ -208,6 +220,16 @@ impl fmt::Display for InvariantViolation {
                 f,
                 "slot {}: conservation broken: admitted {admitted_copies} != \
                  delivered {delivered_copies} + backlog {backlog_copies}",
+                slot.0
+            ),
+            InvariantViolation::CapacityExceeded {
+                slot,
+                backlog_copies,
+                capacity,
+            } => write!(
+                f,
+                "slot {}: capacity exceeded: backlog {backlog_copies} copies > \
+                 configured capacity {capacity}",
                 slot.0
             ),
         }
@@ -397,5 +419,13 @@ mod tests {
         };
         let e = SimError::from(v);
         assert!(e.to_string().contains("conservation broken"));
+        let v = InvariantViolation::CapacityExceeded {
+            slot: Slot(3),
+            backlog_copies: 70,
+            capacity: 64,
+        };
+        assert_eq!(v.slot(), Slot(3));
+        assert!(v.to_string().contains("capacity exceeded"));
+        assert!(v.to_string().contains("slot 3"));
     }
 }

@@ -34,6 +34,58 @@ pub struct DroppedCopy {
     pub slot: Slot,
 }
 
+/// Why an admission-control policy refused (or evicted) a copy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropCause {
+    /// The arriving copy's VOQ (or its input's aggregate buffer) was full
+    /// and the drop-tail policy refused the newest cell.
+    TailFull,
+    /// A pushout policy evicted the *tail* cell of the longest VOQ at the
+    /// input to make room for an arriving cell. Tail eviction removes the
+    /// youngest stamp of that queue, so the head-to-tail nondecreasing
+    /// stamp order (Theorem 1's premise) is untouched.
+    Pushout,
+    /// Per-flow fair shedding refused the arriving copies headed for the
+    /// longest VOQs first.
+    FairShed,
+}
+
+impl DropCause {
+    /// Stable lowercase tag used in traces and JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropCause::TailFull => "tail_full",
+            DropCause::Pushout => "pushout",
+            DropCause::FairShed => "fair_shed",
+        }
+    }
+}
+
+/// One copy of a packet refused or evicted by finite-buffer admission
+/// control, *before* it could ever depart.
+///
+/// Distinct from [`DroppedCopy`]: a reconciled drop lost a copy that was
+/// admitted and then killed in flight, while an admission drop never
+/// consumed buffer space (drop-tail / fair shedding) or was pushed out of
+/// it (pushout eviction). Checkers drain these records via
+/// `Switch::drain_admission_drops`, extending the conservation law to
+/// `admitted == delivered + backlog + reconciled drops + admission drops`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AdmissionDrop {
+    /// The packet the copy belonged to.
+    pub packet: PacketId,
+    /// The input port the packet arrived on.
+    pub input: PortId,
+    /// The destination output the copy will never reach.
+    pub output: PortId,
+    /// The packet's arrival slot (its FIFOMS timestamp).
+    pub arrival: Slot,
+    /// The slot admission control refused or evicted the copy.
+    pub slot: Slot,
+    /// Which policy decision removed the copy.
+    pub cause: DropCause,
+}
+
 /// What a switch did in response to `Switch::copy_failed`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RetryDisposition {
@@ -72,5 +124,26 @@ mod tests {
     fn dispositions_are_distinct() {
         assert_ne!(RetryDisposition::Requeued, RetryDisposition::Dropped);
         assert_ne!(RetryDisposition::Dropped, RetryDisposition::Unsupported);
+    }
+
+    #[test]
+    fn admission_drop_is_plain_data() {
+        let d = AdmissionDrop {
+            packet: PacketId(4),
+            input: PortId(1),
+            output: PortId(2),
+            arrival: Slot(10),
+            slot: Slot(10),
+            cause: DropCause::Pushout,
+        };
+        assert_eq!(d, d);
+        assert!(format!("{d:?}").contains("AdmissionDrop"));
+    }
+
+    #[test]
+    fn drop_cause_tags_are_stable() {
+        assert_eq!(DropCause::TailFull.as_str(), "tail_full");
+        assert_eq!(DropCause::Pushout.as_str(), "pushout");
+        assert_eq!(DropCause::FairShed.as_str(), "fair_shed");
     }
 }

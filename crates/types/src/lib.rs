@@ -30,7 +30,7 @@ mod packet;
 mod portset;
 
 pub use error::{check_ports, check_probability, InvariantViolation, SimError, TypeError};
-pub use fault::{DroppedCopy, RetryDisposition};
+pub use fault::{AdmissionDrop, DropCause, DroppedCopy, RetryDisposition};
 pub use ids::{PacketId, PortId, Slot};
 pub use obs::ObsEvent;
 pub use outcome::{Departure, SlotOutcome};

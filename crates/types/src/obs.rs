@@ -182,6 +182,50 @@ pub enum ObsEvent {
         /// The slot its last copy departed.
         slot: Slot,
     },
+    /// Finite-buffer admission control refused or evicted copies of a
+    /// packet (drop-tail, pushout eviction, or fair shedding). One event
+    /// summarises all copies of one packet removed by one policy decision;
+    /// per-copy ledger records travel separately through
+    /// `Switch::drain_admission_drops`. Emitted outside the flight
+    /// recorder's sampling gate, so sampled and ring traces still carry
+    /// every admission drop and `analyze` can reconcile loss exactly.
+    AdmissionDropped {
+        /// The slot the copies were refused or evicted.
+        slot: Slot,
+        /// The input port whose buffers were full.
+        input: PortId,
+        /// The packet that lost copies.
+        packet: PacketId,
+        /// Number of copies removed by this decision.
+        copies: u32,
+        /// Policy tag: `"tail_full"`, `"pushout"` or `"fair_shed"`.
+        cause: String,
+    },
+    /// A virtual output queue crossed the soft high-water mark for the
+    /// first time this run. Emitted even with finite-buffer limits
+    /// disabled, so unbounded growth is visible in traces before it
+    /// becomes an out-of-memory incident.
+    VoqHighWater {
+        /// The arrival slot that pushed the queue over the mark.
+        slot: Slot,
+        /// The input port owning the queue.
+        input: PortId,
+        /// The output the queue feeds.
+        output: PortId,
+        /// Queue depth (address cells) at the crossing.
+        depth: u64,
+    },
+    /// The overload governor moved to a new rung of the degradation
+    /// ladder (0 = healthy, 1 = shed packet tracing, 2 = sample metrics,
+    /// 3 = shed lowest-priority fanout).
+    OverloadLevel {
+        /// The slot the level changed.
+        slot: Slot,
+        /// The new degradation level.
+        level: u32,
+        /// Queued copies that drove the decision.
+        backlog_copies: u64,
+    },
     /// End-of-run marker: the number of slots actually executed. Emitted
     /// by the engine as the last event of an observed run; encodes idle
     /// slots explicitly (a slot below `slots_run` with no `SlotSched`
@@ -208,6 +252,9 @@ impl ObsEvent {
             ObsEvent::PacketArrived { .. } => "packet_arrived",
             ObsEvent::CopySent { .. } => "copy_sent",
             ObsEvent::PacketCompleted { .. } => "packet_completed",
+            ObsEvent::AdmissionDropped { .. } => "admission_dropped",
+            ObsEvent::VoqHighWater { .. } => "voq_high_water",
+            ObsEvent::OverloadLevel { .. } => "overload_level",
             ObsEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -225,7 +272,10 @@ impl ObsEvent {
             | ObsEvent::InvariantViolated { slot, .. }
             | ObsEvent::PacketArrived { slot, .. }
             | ObsEvent::CopySent { slot, .. }
-            | ObsEvent::PacketCompleted { slot, .. } => Some(*slot),
+            | ObsEvent::PacketCompleted { slot, .. }
+            | ObsEvent::AdmissionDropped { slot, .. }
+            | ObsEvent::VoqHighWater { slot, .. }
+            | ObsEvent::OverloadLevel { slot, .. } => Some(*slot),
         }
     }
 }
@@ -312,5 +362,33 @@ mod tests {
         let end = ObsEvent::RunEnd { slots_run: 1000 };
         assert_eq!(end.kind(), "run_end");
         assert_eq!(end.slot(), None);
+    }
+
+    #[test]
+    fn overload_events_are_slot_scoped() {
+        let dropped = ObsEvent::AdmissionDropped {
+            slot: Slot(4),
+            input: PortId(2),
+            packet: PacketId(11),
+            copies: 3,
+            cause: "tail_full".into(),
+        };
+        assert_eq!(dropped.kind(), "admission_dropped");
+        assert_eq!(dropped.slot(), Some(Slot(4)));
+        let high = ObsEvent::VoqHighWater {
+            slot: Slot(8),
+            input: PortId(0),
+            output: PortId(1),
+            depth: 1024,
+        };
+        assert_eq!(high.kind(), "voq_high_water");
+        assert_eq!(high.slot(), Some(Slot(8)));
+        let level = ObsEvent::OverloadLevel {
+            slot: Slot(12),
+            level: 2,
+            backlog_copies: 9000,
+        };
+        assert_eq!(level.kind(), "overload_level");
+        assert_eq!(level.slot(), Some(Slot(12)));
     }
 }

@@ -21,10 +21,16 @@
 #   7. an analyze smoke: a tiny packet-traced sweep piped through
 #      `fifoms-repro analyze --json`, validated against
 #      schemas/analysis.schema.json;
-#   8. a chaos smoke campaign: seeded egress-fault scenarios through the
-#      invariant checker — the command exits nonzero on any invariant
-#      violation, deadlock, or unreconciled fanout counter, and we also
-#      grep the report for its explicit all-clear line.
+#   8. a chaos smoke campaign: seeded egress-fault scenarios plus the
+#      finite-buffer buffer-pressure cells through the invariant checker
+#      — the command exits nonzero on any invariant violation, deadlock,
+#      watchdog timeout, or unreconciled fanout counter, and we also
+#      grep the report for its explicit all-clear line;
+#   9. an overload smoke: the finite-buffer loss-rate sweep with its
+#      fifoms-overload-v1 artifact self-validated against
+#      schemas/overload.schema.json (the command fails if the emitted
+#      JSON violates the schema), plus a sanity grep that the
+#      inadmissible end of the grid actually shed copies.
 #
 # Run from anywhere inside the repository.
 
@@ -70,5 +76,13 @@ cargo run --release --quiet -p fifoms-cli -- chaos --smoke --seed 2026 \
   | tee "$tmp/chaos.txt"
 grep -q "zero invariant violations, zero unreconciled fanout counters" \
   "$tmp/chaos.txt"
+
+echo "== overload smoke (finite-buffer loss sweep + artifact schema) =="
+cargo run --release --quiet -p fifoms-cli -- overload --n 8 --slots 3000 \
+  --points 3 --voq-cap 8 --input-cap 24 --json "$tmp/overload.json" \
+  | tee "$tmp/overload.txt"
+test -s "$tmp/overload.json"
+grep -q '"schema":"fifoms-overload-v1"' "$tmp/overload.json"
+grep -q "all conservation checks passed" "$tmp/overload.txt"
 
 echo "CI checks passed."
