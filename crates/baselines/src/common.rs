@@ -31,6 +31,14 @@ impl PacketLedger {
         }
     }
 
+    /// Pre-size the maps for `packets` simultaneously live packets, so
+    /// admissions up to that count never touch the heap. A capacity
+    /// hint only — the ledger still grows past it.
+    pub fn reserve(&mut self, packets: usize) {
+        self.remaining.reserve(packets.saturating_sub(self.remaining.len()));
+        self.input_of.reserve(packets.saturating_sub(self.input_of.len()));
+    }
+
     /// Record an admitted packet with `fanout` copies at `input`.
     ///
     /// # Panics

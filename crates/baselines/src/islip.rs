@@ -39,6 +39,13 @@ pub struct IslipSwitch {
     accept_ptr: Vec<usize>,
     ledger: PacketLedger,
     max_iterations: usize,
+    // Scratch reused across slots so the steady-state matching loop stays
+    // allocation-free (verified by the alloc-audit harness). Cleared at
+    // the top of every `run_slot`.
+    matched_out: Vec<Option<usize>>, // output -> matched input
+    input_matched: Vec<bool>,
+    grants: Vec<Vec<usize>>, // input -> granting outputs this iteration
+    spare_departures: Vec<Departure>,
 }
 
 impl IslipSwitch {
@@ -62,6 +69,10 @@ impl IslipSwitch {
             accept_ptr: vec![0; n],
             ledger: PacketLedger::new(n),
             max_iterations,
+            matched_out: vec![None; n],
+            input_matched: vec![false; n],
+            grants: (0..n).map(|_| Vec::new()).collect(),
+            spare_departures: Vec::new(),
         }
     }
 
@@ -113,24 +124,30 @@ impl Switch for IslipSwitch {
 
     fn run_slot(&mut self, _now: Slot) -> SlotOutcome {
         let n = self.n;
-        let mut matched_out: Vec<Option<usize>> = vec![None; n]; // output -> input
-        let mut input_matched = vec![false; n];
+        self.matched_out.clear();
+        self.matched_out.resize(n, None);
+        self.input_matched.clear();
+        self.input_matched.resize(n, false);
         let mut rounds = 0u32;
 
         for iter in 0..self.max_iterations {
             // --- grant phase: each unmatched output picks one requester ---
-            let mut grants: Vec<Vec<usize>> = vec![Vec::new(); n]; // input -> granting outputs
             let mut any_grant = false;
+            for g in &mut self.grants {
+                g.clear();
+            }
             #[allow(clippy::needless_range_loop)] // `out` indexes several arrays
             for out in 0..n {
-                if matched_out[out].is_some() {
+                if self.matched_out[out].is_some() {
                     continue;
                 }
+                let input_matched = &self.input_matched;
+                let voqs = &self.voqs;
                 let pick = Self::round_robin_pick(n, self.grant_ptr[out], |i| {
-                    !input_matched[i] && !self.voqs[i][out].is_empty()
+                    !input_matched[i] && !voqs[i][out].is_empty()
                 });
                 if let Some(i) = pick {
-                    grants[i].push(out);
+                    self.grants[i].push(out);
                     any_grant = true;
                 }
             }
@@ -139,16 +156,16 @@ impl Switch for IslipSwitch {
             }
             // --- accept phase: each input picks one grant ---
             let mut any_accept = false;
-            for (i, granting) in grants.iter().enumerate() {
-                if granting.is_empty() || input_matched[i] {
+            for (i, granting) in self.grants.iter().enumerate() {
+                if granting.is_empty() || self.input_matched[i] {
                     continue;
                 }
                 let accepted = Self::round_robin_pick(n, self.accept_ptr[i], |o| {
                     granting.contains(&o)
                 })
                 .expect("nonempty grant list");
-                matched_out[accepted] = Some(i);
-                input_matched[i] = true;
+                self.matched_out[accepted] = Some(i);
+                self.input_matched[i] = true;
                 any_accept = true;
                 if iter == 0 {
                     // Pointer update rule: one beyond the matched port,
@@ -164,8 +181,9 @@ impl Switch for IslipSwitch {
         }
 
         // --- transfer matched HOL cells ---
-        let mut departures = Vec::new();
-        for (out, m) in matched_out.iter().enumerate() {
+        let mut departures = std::mem::take(&mut self.spare_departures);
+        departures.clear();
+        for (out, m) in self.matched_out.iter().enumerate() {
             if let Some(i) = m {
                 let copy = self.voqs[*i][out]
                     .pop_front()
@@ -201,6 +219,26 @@ impl Switch for IslipSwitch {
                 .flat_map(|qs| qs.iter().map(VecDeque::len))
                 .sum(),
         }
+    }
+
+    fn recycle(&mut self, outcome: SlotOutcome) {
+        let mut v = outcome.departures;
+        v.clear();
+        self.spare_departures = v;
+    }
+
+    fn reserve_steady_state(&mut self, copies_per_voq: usize) {
+        let n = self.n;
+        for input in &mut self.voqs {
+            for q in input {
+                q.reserve(copies_per_voq.saturating_sub(q.len()));
+            }
+        }
+        // Worst case one live packet per queued copy at one input's
+        // worth of queues; multicast expansion only lowers the packet
+        // count per copy.
+        self.ledger.reserve(n.saturating_mul(copies_per_voq));
+        self.spare_departures.reserve(n);
     }
 }
 

@@ -1,10 +1,13 @@
 //! The headline end-to-end cost benchmark: whole-engine slots/sec of
-//! FIFOMS vs iSLIP at three operating points, emitted machine-readable.
+//! FIFOMS vs iSLIP at three operating points and two switch sizes,
+//! emitted machine-readable.
 //!
 //! Unlike the criterion benches (`figures`, `schedulers`, ...), which
 //! print per-iteration medians for humans, this target writes
 //! `BENCH_core.json` (schema `schemas/bench_core.schema.json`) so CI and
-//! future perf PRs can diff slots/sec numerically. Environment knobs:
+//! future perf PRs can diff slots/sec numerically. Each row carries its
+//! own `n` (the scaling axis: N = 16 and N = 64); the doc-level `n`
+//! stays at 16 for v1 consumers. Environment knobs:
 //!
 //! * `BENCH_SMOKE=1` — one short sample per cell (CI smoke mode);
 //! * `BENCH_CORE_OUT=<path>` — output path (default `BENCH_core.json`).
@@ -17,13 +20,13 @@ use criterion::black_box;
 use fifoms_obs::Json;
 use fifoms_sim::{try_simulate, RunConfig, RunResult, SwitchKind, TrafficKind};
 
-const N: usize = 16;
+const SIZES: [usize; 2] = [16, 64];
 const B: f64 = 0.2;
 const LOADS: [f64; 3] = [0.3, 0.6, 0.9];
 
-fn one_sample(sk: SwitchKind, load: f64, slots: u64) -> (RunResult, u64) {
-    let mut sw = sk.build(N, 1);
-    let mut tr = TrafficKind::bernoulli_at_load(load, B, N).build(N, 2);
+fn one_sample(sk: SwitchKind, n: usize, load: f64, slots: u64) -> (RunResult, u64) {
+    let mut sw = sk.build(n, 1);
+    let mut tr = TrafficKind::bernoulli_at_load(load, B, n).build(n, 2);
     let cfg = RunConfig::paper(slots);
     let started = Instant::now();
     let result = try_simulate(sw.as_mut(), tr.as_mut(), &cfg).expect("bench cell runs");
@@ -41,37 +44,43 @@ fn main() {
     let (slots, samples) = if smoke { (5_000, 1) } else { (100_000, 3) };
 
     let mut rows = Vec::new();
-    for sk in [SwitchKind::Fifoms, SwitchKind::Islip(None)] {
-        for load in LOADS {
-            // Median elapsed time over `samples` identical runs (the runs
-            // are deterministic, so only the timing varies).
-            let mut timed: Vec<(RunResult, u64)> =
-                (0..samples).map(|_| one_sample(sk, load, slots)).collect();
-            timed.sort_by_key(|(_, ns)| *ns);
-            let (result, elapsed_ns) = timed.swap_remove(samples / 2);
-            let slots_per_sec = result.slots_run as f64 / (elapsed_ns as f64 / 1e9);
-            println!(
-                "core/{:<6} load {load:.1}: {slots_per_sec:>10.0} slots/s \
-                 (mean rounds {:.3}, throughput {:.4})",
-                sk.label(),
-                result.mean_rounds,
-                result.throughput
-            );
-            let mut row = Json::object();
-            row.set("switch", sk.label());
-            row.set("load", load);
-            row.set("slots_run", result.slots_run);
-            row.set("elapsed_ns", elapsed_ns);
-            row.set("slots_per_sec", slots_per_sec);
-            row.set("mean_rounds", result.mean_rounds);
-            row.set("throughput", result.throughput);
-            rows.push(row);
+    for n in SIZES {
+        // Same slot budget per cell at both sizes: the N = 64 rows cost
+        // more wall time, which is exactly the scaling being measured.
+        let slots = if n > 16 && !smoke { slots / 4 } else { slots };
+        for sk in [SwitchKind::Fifoms, SwitchKind::Islip(None)] {
+            for load in LOADS {
+                // Median elapsed time over `samples` identical runs (the
+                // runs are deterministic, so only the timing varies).
+                let mut timed: Vec<(RunResult, u64)> =
+                    (0..samples).map(|_| one_sample(sk, n, load, slots)).collect();
+                timed.sort_by_key(|(_, ns)| *ns);
+                let (result, elapsed_ns) = timed.swap_remove(samples / 2);
+                let slots_per_sec = result.slots_run as f64 / (elapsed_ns as f64 / 1e9);
+                println!(
+                    "core/{:<6} n {n:>2} load {load:.1}: {slots_per_sec:>10.0} slots/s \
+                     (mean rounds {:.3}, throughput {:.4})",
+                    sk.label(),
+                    result.mean_rounds,
+                    result.throughput
+                );
+                let mut row = Json::object();
+                row.set("switch", sk.label());
+                row.set("n", n);
+                row.set("load", load);
+                row.set("slots_run", result.slots_run);
+                row.set("elapsed_ns", elapsed_ns);
+                row.set("slots_per_sec", slots_per_sec);
+                row.set("mean_rounds", result.mean_rounds);
+                row.set("throughput", result.throughput);
+                rows.push(row);
+            }
         }
     }
 
     let mut doc = Json::object();
     doc.set("schema", "fifoms-bench-core-v1");
-    doc.set("n", N);
+    doc.set("n", SIZES[0]);
     doc.set("slots", slots);
     doc.set("smoke", smoke);
     doc.set("rows", Json::Arr(rows));

@@ -163,6 +163,11 @@ fn print_scope(s: &ScopeAnalysis) {
         ]);
         t.push_row(vec!["total".into(), format!("{total:.3}"), "100.0%".into()]);
         print!("{}", t.render());
+        if let Some((p50, p99, p999)) = s.delay_percentiles() {
+            println!(
+                "  delay tail (slots, log2-bucket lower bounds): p50 {p50} | p99 {p99} | p999 {p999}"
+            );
+        }
     }
 
     if !s.rounds.histogram.is_empty() {

@@ -132,6 +132,8 @@ const COMMANDS: &[&str] = &[
     "chaos",
     "lint",
     "overload",
+    "perf-diff",
+    "alloc-audit",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -201,6 +203,18 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             {
                 opts.input = Some(path.to_string());
             }
+            // `perf-diff` takes its two profile artifacts positionally:
+            // `perf-diff <baseline.json> <current.json>`.
+            path if command.as_deref() == Some("perf-diff")
+                && opts.current.is_none()
+                && !path.starts_with('-') =>
+            {
+                if opts.baseline.is_none() {
+                    opts.baseline = Some(path.to_string());
+                } else {
+                    opts.current = Some(path.to_string());
+                }
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -231,6 +245,12 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     }
     if command == "overload" && (opts.voq_cap == 0 || opts.input_cap == 0) {
         return Err("overload requires finite --voq-cap and --input-cap".into());
+    }
+    if command == "perf-diff" && (opts.baseline.is_none() || opts.current.is_none()) {
+        return Err(
+            "perf-diff requires two profile artifacts: perf-diff <baseline.json> <current.json>"
+                .into(),
+        );
     }
     Ok((command, opts))
 }
@@ -411,6 +431,30 @@ mod tests {
         assert_eq!(o.tolerance, 0.5);
         assert!(parse(&argv("check-bench --tolerance 0")).is_err());
         assert!(parse(&argv("check-bench --tolerance -0.1")).is_err());
+    }
+
+    #[test]
+    fn perf_diff_takes_two_positionals() {
+        let (cmd, o) = parse(&argv("perf-diff base.json cur.json")).unwrap();
+        assert_eq!(cmd, "perf-diff");
+        assert_eq!(o.baseline.as_deref(), Some("base.json"));
+        assert_eq!(o.current.as_deref(), Some("cur.json"));
+
+        let (_, o) = parse(&argv("perf-diff base.json cur.json --tolerance 0.3")).unwrap();
+        assert_eq!(o.tolerance, 0.3);
+
+        // Missing artifacts, stray third positional.
+        assert!(parse(&argv("perf-diff")).is_err());
+        assert!(parse(&argv("perf-diff base.json")).is_err());
+        assert!(parse(&argv("perf-diff a.json b.json c.json")).is_err());
+    }
+
+    #[test]
+    fn alloc_audit_parses() {
+        let (cmd, o) = parse(&argv("alloc-audit --n 8 --slots 4000")).unwrap();
+        assert_eq!(cmd, "alloc-audit");
+        assert_eq!(o.n, 8);
+        assert_eq!(o.slots, 4000);
     }
 
     #[test]

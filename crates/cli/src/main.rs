@@ -35,6 +35,18 @@
 //!   --current <PATH>     artifact under test       [default: BENCH_core.json]
 //!   --tolerance <F>      allowed fractional drop   [default: 0.15]
 //!
+//! perf-diff <baseline.json> <current.json> attributes a slots/sec delta
+//! between two `fifoms-repro profile` artifacts to named spans
+//! (exclusive ns/call per span), failing past the tolerance and naming
+//! the span whose per-call cost grew the most:
+//!   --tolerance <F>      allowed fractional slots/sec drop [default: 0.15]
+//!
+//! alloc-audit proves the steady-state slot loop (FIFOMS and iSLIP at
+//! the reference operating point) performs zero heap allocations per
+//! slot after warmup. Requires the counting allocator:
+//!   cargo run --release -p fifoms-cli --features alloc-audit -- alloc-audit
+//!   --json <PATH>        write the fifoms-alloc-audit-v1 report
+//!
 //! analyze <trace.jsonl> reconstructs packet lifecycles from a
 //! --trace-out file: delay decomposition (HOL / contention / split
 //! residue), the Theorem 1 starvation audit, convergence histograms and
@@ -77,6 +89,7 @@
 
 mod analyze;
 mod args;
+mod auditcmd;
 mod chaoscmd;
 mod figures;
 mod lintcmd;
@@ -95,7 +108,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|analyze|chaos|lint|overload> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|perf-diff|alloc-audit|analyze|chaos|lint|overload> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C]");
             return ExitCode::FAILURE;
         }
     };
@@ -124,6 +137,8 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "sweep" => figures::sweep_cmd(opts),
         "profile" => obscmd::profile(opts),
         "check-bench" => obscmd::check_bench(opts),
+        "perf-diff" => obscmd::perf_diff(opts),
+        "alloc-audit" => auditcmd::alloc_audit_cmd(opts),
         "analyze" => analyze::analyze(opts),
         "chaos" => chaoscmd::chaos(opts),
         "lint" => lintcmd::lint(opts),

@@ -1,5 +1,8 @@
-//! Observability commands: the self-profiling harness (`profile`) and
-//! benchmark-artifact validation (`check-bench`).
+//! Observability commands: the self-profiling harness (`profile`),
+//! benchmark-artifact validation and regression gating (`check-bench`)
+//! and per-phase regression attribution (`perf-diff`).
+
+use std::collections::BTreeMap;
 
 use fifoms_obs::{schema, Json};
 use fifoms_sim::{profile_run, RunConfig, SwitchKind, TrafficKind};
@@ -106,9 +109,12 @@ pub fn check_bench(opts: &Options) -> Result<(), SimError> {
     Ok(())
 }
 
-/// One `(switch, load) -> slots/sec` row of a core-bench artifact.
-fn bench_rows(path: &str) -> Result<Vec<(String, f64, f64)>, SimError> {
+/// One `(cell key) -> slots/sec` row of a core-bench artifact. The key is
+/// `switch@load@nN`; rows without their own `n` (v1 artifacts) inherit
+/// the document-level `n`, so old and new artifacts stay comparable.
+fn bench_rows(path: &str) -> Result<Vec<(String, f64)>, SimError> {
     let doc = read_json(path)?;
+    let doc_n = doc.get("n").and_then(Json::as_f64).unwrap_or(0.0) as u64;
     let rows = doc
         .get("rows")
         .and_then(Json::as_arr)
@@ -124,7 +130,9 @@ fn bench_rows(path: &str) -> Result<Vec<(String, f64, f64)>, SimError> {
             .get("switch")
             .and_then(Json::as_str)
             .ok_or_else(|| SimError::Usage(format!("{path}: row {i} missing switch")))?;
-        out.push((switch.to_string(), get_num("load")?, get_num("slots_per_sec")?));
+        let n = row.get("n").and_then(Json::as_f64).map_or(doc_n, |v| v as u64);
+        let load = get_num("load")?;
+        out.push((format!("{switch}@{load:.4}@n{n}"), get_num("slots_per_sec")?));
     }
     Ok(out)
 }
@@ -133,14 +141,18 @@ fn bench_rows(path: &str) -> Result<Vec<(String, f64, f64)>, SimError> {
 /// more than `tolerance` (fractional) below the baseline. Cells present
 /// on only one side are reported but do not fail the gate — the bench
 /// matrix may legitimately grow.
+///
+/// Profile artifacts (documents with a `phases` array instead of `rows`)
+/// are routed to the per-phase budget gate of [`perf_diff`], so
+/// `check-bench --baseline old_profile.json --current new_profile.json`
+/// gates phase budgets the same way the dedicated command does.
 fn regression_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), SimError> {
+    if read_json(baseline)?.get("phases").is_some() {
+        return perf_diff_gate(baseline, current, tolerance);
+    }
     let base = bench_rows(baseline)?;
     let cur = bench_rows(current)?;
-    let key = |sw: &str, load: f64| format!("{sw}@{load:.4}");
-    let base_idx: std::collections::BTreeMap<String, f64> = base
-        .iter()
-        .map(|(sw, load, sps)| (key(sw, *load), *sps))
-        .collect();
+    let base_idx: BTreeMap<String, f64> = base.into_iter().collect();
 
     let mut table = fifoms_sim::report::Table::new(vec![
         "cell".to_string(),
@@ -150,12 +162,12 @@ fn regression_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), 
     ]);
     let mut worst: Option<(String, f64)> = None;
     let mut matched = 0usize;
-    for (sw, load, cur_sps) in &cur {
-        let cell = key(sw, *load);
-        let Some(&base_sps) = base_idx.get(&cell) else {
+    for (cell, cur_sps) in &cur {
+        let Some(&base_sps) = base_idx.get(cell) else {
             println!("check-bench: {cell} not in baseline, skipped");
             continue;
         };
+        let cell = cell.clone();
         matched += 1;
         // Positive drop = regression; negative = speedup.
         let drop = (base_sps - cur_sps) / base_sps.max(f64::MIN_POSITIVE);
@@ -187,6 +199,119 @@ fn regression_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), 
         "check-bench: {matched} cells within {:.1}% of {baseline} (worst: {worst_cell} {:+.1}%)",
         tolerance * 100.0,
         -worst_drop * 100.0
+    );
+    Ok(())
+}
+
+/// `fifoms-repro perf-diff <baseline.json> <current.json>`: attribute a
+/// slots/sec delta between two profile artifacts to named spans.
+pub fn perf_diff(opts: &Options) -> Result<(), SimError> {
+    let baseline = opts.baseline.as_deref().expect("parse guaranteed baseline");
+    let current = opts.current.as_deref().expect("parse guaranteed current");
+    perf_diff_gate(baseline, current, opts.tolerance)
+}
+
+/// `path -> (exclusive_ns, calls)` span table of one profile artifact.
+type SpanTable = BTreeMap<String, (u64, u64)>;
+
+/// Per-span exclusive time of one profile artifact, keyed by tree path
+/// (`schedule/grant`), plus the artifact's end-to-end slots/sec. v1 flat
+/// artifacts have no `path` field and key by phase name — the attribution
+/// then simply has no nested rows to name.
+fn profile_spans(path: &str) -> Result<(f64, SpanTable), SimError> {
+    let doc = read_json(path)?;
+    let slots_per_sec = doc
+        .get("slots_per_sec")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| SimError::Usage(format!("{path}: missing slots_per_sec")))?;
+    let phases = doc
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            SimError::Usage(format!("{path}: missing phases array (not a profile artifact?)"))
+        })?;
+    let mut spans = BTreeMap::new();
+    for (i, row) in phases.iter().enumerate() {
+        let name = row
+            .get("path")
+            .or_else(|| row.get("phase"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| SimError::Usage(format!("{path}: phase row {i} missing name")))?;
+        let get_u64 = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| SimError::Usage(format!("{path}: phase row {i} missing {key}")))
+        };
+        spans.insert(name.to_string(), (get_u64("exclusive_ns")?, get_u64("calls")?));
+    }
+    Ok((slots_per_sec, spans))
+}
+
+/// The per-phase regression gate behind `perf-diff` (and `check-bench
+/// --baseline` on profile artifacts). Prints every span's exclusive
+/// ns/call on both sides; fails when end-to-end slots/sec regressed past
+/// `tolerance`, naming the span whose per-call cost grew the most — the
+/// prime suspect the attribution exists to identify.
+fn perf_diff_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), SimError> {
+    let (base_sps, base_spans) = profile_spans(baseline)?;
+    let (cur_sps, cur_spans) = profile_spans(current)?;
+
+    let mut table = fifoms_sim::report::Table::new(vec![
+        "span".to_string(),
+        "base ns/call".to_string(),
+        "cur ns/call".to_string(),
+        "delta".to_string(),
+    ]);
+    let per_call = |(ns, calls): (u64, u64)| ns as f64 / (calls.max(1)) as f64;
+    // Largest per-call growth among spans present on both sides; ties to
+    // the worst absolute growth so tiny noisy spans don't win the blame.
+    let mut suspect: Option<(String, f64)> = None;
+    for (span, &cur_cost) in &cur_spans {
+        let Some(&base_cost) = base_spans.get(span) else {
+            println!("perf-diff: span {span} not in baseline, skipped");
+            continue;
+        };
+        let (base_npc, cur_npc) = (per_call(base_cost), per_call(cur_cost));
+        let grew_ns = cur_npc - base_npc;
+        table.push_row(vec![
+            span.clone(),
+            format!("{base_npc:.0}"),
+            format!("{cur_npc:.0}"),
+            format!("{grew_ns:+.0} ns"),
+        ]);
+        if suspect.as_ref().is_none_or(|(_, w)| grew_ns > *w) {
+            suspect = Some((span.clone(), grew_ns));
+        }
+    }
+    for span in base_spans.keys() {
+        if !cur_spans.contains_key(span) {
+            println!("perf-diff: span {span} vanished from current, skipped");
+        }
+    }
+    print!("{}", table.render());
+
+    let drop = (base_sps - cur_sps) / base_sps.max(f64::MIN_POSITIVE);
+    println!(
+        "perf-diff: {base_sps:.0} -> {cur_sps:.0} slots/s ({:+.1}%)",
+        -drop * 100.0
+    );
+    if drop > tolerance {
+        let blame = match &suspect {
+            Some((span, grew_ns)) if *grew_ns > 0.0 => {
+                format!("; prime suspect: {span} ({grew_ns:+.0} ns/call)")
+            }
+            _ => "; no span grew — suspect unprofiled time".to_string(),
+        };
+        return Err(SimError::Usage(format!(
+            "perf-diff: slots/sec regressed {:.1}% (tolerance {:.1}%){blame}",
+            drop * 100.0,
+            tolerance * 100.0
+        )));
+    }
+    println!(
+        "perf-diff: within tolerance {:.1}% of {baseline}",
+        tolerance * 100.0
     );
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! The iterative FIFOMS matching algorithm (paper §III, Table 2).
 
 use fifoms_fabric::{CrossbarSchedule, FaultScoreboard};
-use fifoms_types::{PortId, PortSet, Slot};
+use fifoms_types::{PortId, PortSet, Slot, SpanSample, SpanTimer};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -72,6 +72,18 @@ pub struct ScheduleOutcome {
     pub grants: Vec<PortSet>,
 }
 
+impl ScheduleOutcome {
+    /// An idle outcome for an `n×n` switch, suitable as the reusable
+    /// target of [`FifomsScheduler::schedule_into`].
+    pub fn empty(n: usize) -> ScheduleOutcome {
+        ScheduleOutcome {
+            schedule: CrossbarSchedule::empty(n),
+            rounds: 0,
+            grants: vec![PortSet::new(); n],
+        }
+    }
+}
+
 /// The FIFOMS matching engine.
 ///
 /// Stateless between slots except for the rotating tie-break pointer; the
@@ -101,12 +113,30 @@ pub struct ScheduleOutcome {
 pub struct FifomsScheduler {
     config: FifomsConfig,
     rotate: usize,
+    // Scratch buffers reused across slots so the steady-state matching
+    // loop performs no heap allocation (verified by the alloc-audit
+    // harness). They hold no state between calls — every `schedule_into`
+    // clears them first.
+    input_free: Vec<bool>,
+    output_free: Vec<bool>,
+    /// Per input, the smallest eligible HOL stamp found in this round's
+    /// scan (the request step's first pass).
+    smallest: Vec<Option<Slot>>,
+    /// Per output, the requesting `(stamp, input)`s of the current round.
+    requests: Vec<Vec<(Slot, usize)>>,
 }
 
 impl FifomsScheduler {
     /// Scheduler with the given options.
     pub fn new(config: FifomsConfig) -> FifomsScheduler {
-        FifomsScheduler { config, rotate: 0 }
+        FifomsScheduler {
+            config,
+            rotate: 0,
+            input_free: Vec::new(),
+            output_free: Vec::new(),
+            smallest: Vec::new(),
+            requests: Vec::new(),
+        }
     }
 
     /// Scheduler with the paper's defaults.
@@ -144,33 +174,75 @@ impl FifomsScheduler {
         avoid: Option<(&FaultScoreboard, Slot)>,
         rng: &mut SmallRng,
     ) -> ScheduleOutcome {
+        let mut out = ScheduleOutcome::empty(ports.len());
+        self.schedule_into(ports, avoid, rng, &mut out, None);
+        out
+    }
+
+    /// [`FifomsScheduler::schedule_avoiding`] writing the matching into a
+    /// caller-owned outcome instead of allocating a fresh one, so a switch
+    /// can reuse one `ScheduleOutcome` (and this scheduler its scratch
+    /// buffers) for an allocation-free steady-state slot loop.
+    ///
+    /// With `spans = Some(buf)`, appends one [`SpanSample`] per scheduling
+    /// sub-phase (`voq_scan`, `request`, `grant`) covering this call; with
+    /// `None` no clock is read. The RNG consumption is identical either
+    /// way, so instrumented and plain runs stay bit-identical.
+    pub fn schedule_into(
+        &mut self,
+        ports: &[InputPort],
+        avoid: Option<(&FaultScoreboard, Slot)>,
+        rng: &mut SmallRng,
+        out: &mut ScheduleOutcome,
+        spans: Option<&mut Vec<SpanSample>>,
+    ) {
         let n = ports.len();
         debug_assert!(
             ports.iter().all(|p| p.voqs().outputs() == n),
             "square switch required: every input port must have N = {n} VOQs"
         );
-        let mut input_free = vec![true; n];
-        let mut output_free = vec![true; n];
-        let mut grants = vec![PortSet::new(); n];
-        let mut rounds = 0u32;
-        // Reused request buffers: per output, the requesting (stamp, input)s.
-        let mut requests: Vec<Vec<(Slot, usize)>> = vec![Vec::new(); n];
+        let timing = spans.is_some();
+        let (mut voq_scan_ns, mut request_ns, mut grant_ns) = (0u64, 0u64, 0u64);
+
+        out.schedule.reset(n);
+        out.rounds = 0;
+        for g in &mut out.grants {
+            g.clear();
+        }
+        out.grants.resize_with(n, PortSet::new);
+        let grants = &mut out.grants;
+
+        let Self {
+            config,
+            rotate,
+            input_free,
+            output_free,
+            smallest,
+            requests,
+        } = self;
+        input_free.clear();
+        input_free.resize(n, true);
+        output_free.clear();
+        output_free.resize(n, true);
+        smallest.clear();
+        smallest.resize(n, None);
+        requests.resize_with(n, Vec::new);
         let path_live = |i: usize, o: PortId| {
             avoid.is_none_or(|(sb, now)| !sb.is_quarantined(PortId::new(i), o, now))
         };
 
         loop {
-            if let Some(cap) = self.config.max_rounds {
-                if rounds >= cap {
+            if let Some(cap) = config.max_rounds {
+                if out.rounds >= cap {
                     break;
                 }
             }
-            // ---- request step ----
-            let mut any_request = false;
-            for req in &mut requests {
-                req.clear();
-            }
-            for (i, port) in ports.iter().enumerate() {
+            // ---- request step, first pass: VOQ scan ----
+            // Each free input scans its HOL cells for the smallest stamp
+            // among cells whose outputs are still free.
+            let lap = timing.then(SpanTimer::start);
+            for ((i, port), slot) in ports.iter().enumerate().zip(smallest.iter_mut()) {
+                *slot = None;
                 if !input_free[i] {
                     // The input already sent grants this slot; its other
                     // same-stamp HOL cells lost their outputs' arbitration
@@ -178,33 +250,52 @@ impl FifomsScheduler {
                     // case 2).
                     continue;
                 }
-                let mut smallest: Option<Slot> = None;
                 for (o, cell) in port.voqs().hol_cells() {
                     if output_free[o.index()]
                         && path_live(i, o)
-                        && smallest.is_none_or(|ts| cell.time_stamp < ts)
+                        && slot.is_none_or(|ts| cell.time_stamp < ts)
                     {
-                        smallest = Some(cell.time_stamp);
+                        *slot = Some(cell.time_stamp);
                     }
                 }
-                let Some(smallest) = smallest else { continue };
+            }
+            if let Some(t) = lap {
+                voq_scan_ns += t.elapsed_ns();
+            }
+
+            // ---- request step, second pass: send requests ----
+            let lap = timing.then(SpanTimer::start);
+            let mut any_request = false;
+            for req in requests.iter_mut() {
+                req.clear();
+            }
+            for ((i, port), &slot) in ports.iter().enumerate().zip(smallest.iter()) {
+                let Some(stamp) = slot else { continue };
                 for (o, cell) in port.voqs().hol_cells() {
-                    if output_free[o.index()] && path_live(i, o) && cell.time_stamp == smallest {
-                        requests[o.index()].push((smallest, i));
-                        any_request = true;
-                        if self.config.single_request {
+                    if output_free[o.index()] && path_live(i, o) && cell.time_stamp == stamp {
+                        // `o < n` (square-switch invariant), so the lookup
+                        // always hits.
+                        if let Some(req) = requests.get_mut(o.index()) {
+                            req.push((stamp, i));
+                            any_request = true;
+                        }
+                        if config.single_request {
                             break; // ablation: one request per input
                         }
                     }
                 }
+            }
+            if let Some(t) = lap {
+                request_ns += t.elapsed_ns();
             }
             if !any_request {
                 break;
             }
 
             // ---- grant step ----
+            let lap = timing.then(SpanTimer::start);
             let mut matched = false;
-            let fanout_cap = self.config.max_grant_fanout.unwrap_or(usize::MAX);
+            let fanout_cap = config.max_grant_fanout.unwrap_or(usize::MAX);
             for (o, req) in requests.iter().enumerate() {
                 if !output_free[o] || req.is_empty() {
                     continue;
@@ -212,62 +303,108 @@ impl FifomsScheduler {
                 // Inputs that hit the restricted-fanout cap this slot are
                 // ineligible; the output falls back to the next-oldest
                 // eligible requester (or stays idle).
-                let eligible: Vec<(Slot, usize)> = req
-                    .iter()
-                    .copied()
-                    .filter(|&(_, i)| grants[i].len() < fanout_cap)
-                    .collect();
-                let Some(min_ts) = eligible.iter().map(|&(ts, _)| ts).min() else {
+                let mut min_ts: Option<Slot> = None;
+                for &(ts, i) in req.iter() {
+                    let eligible = grants.get(i).is_some_and(|g| g.len() < fanout_cap);
+                    if eligible && min_ts.is_none_or(|m| ts < m) {
+                        min_ts = Some(ts);
+                    }
+                }
+                let Some(min_ts) = min_ts else {
                     continue;
                 };
-                let winner = self.pick_winner(&eligible, min_ts, rng);
+                let winner = Self::pick_winner(config, *rotate, req, min_ts, grants, fanout_cap, rng);
                 output_free[o] = false;
                 input_free[winner] = false;
                 grants[winner].insert(PortId::new(o));
                 matched = true;
             }
+            if let Some(t) = lap {
+                grant_ns += t.elapsed_ns();
+            }
             if !matched {
                 break;
             }
-            rounds += 1;
+            out.rounds += 1;
         }
-        self.rotate = (self.rotate + 1) % n.max(1);
+        *rotate = (*rotate + 1) % n.max(1);
 
-        let mut builder = CrossbarSchedule::builder(n);
         for (i, outs) in grants.iter().enumerate() {
-            builder
-                .connect_multicast(PortId::new(i), outs)
+            out.schedule
+                .try_connect_multicast(PortId::new(i), outs)
                 // fifoms-lint: allow(R3) output_free bookkeeping grants each output at most once; an Err is a scheduler bug that must not be masked into a wrong schedule
                 .expect("grant bookkeeping produced an illegal schedule");
         }
-        ScheduleOutcome {
-            schedule: builder.build(),
-            rounds,
-            grants,
+        if let Some(spans) = spans {
+            spans.push(SpanSample {
+                name: "voq_scan",
+                ns: voq_scan_ns,
+            });
+            spans.push(SpanSample {
+                name: "request",
+                ns: request_ns,
+            });
+            spans.push(SpanSample {
+                name: "grant",
+                ns: grant_ns,
+            });
         }
     }
 
-    fn pick_winner(&self, req: &[(Slot, usize)], min_ts: Slot, rng: &mut SmallRng) -> usize {
-        let tied: Vec<usize> = req
-            .iter()
-            .filter(|&&(ts, _)| ts == min_ts)
-            .map(|&(_, i)| i)
-            .collect();
-        debug_assert!(!tied.is_empty());
-        // `min_ts` came from this same request list, so `tied` is nonempty;
-        // the `unwrap_or` fallbacks keep the arbiter total without a panic
-        // path in the per-slot loop.
-        let lowest = tied.iter().copied().min().unwrap_or(0);
-        match self.config.tie_break {
-            TieBreak::Random => tied
-                .get(rng.gen_range(0..tied.len().max(1)))
-                .copied()
-                .unwrap_or(lowest),
+    /// Arbitration among the requests of one output: of the requesters
+    /// tied at `min_ts` (and still under the fanout cap), pick one per the
+    /// configured tie-break. Streams over the request list instead of
+    /// collecting the tied set, but consumes the RNG identically to the
+    /// collecting formulation: one `gen_range(0..tied_count)` call per
+    /// granted output.
+    fn pick_winner(
+        config: &FifomsConfig,
+        rotate: usize,
+        req: &[(Slot, usize)],
+        min_ts: Slot,
+        grants: &[PortSet],
+        fanout_cap: usize,
+        rng: &mut SmallRng,
+    ) -> usize {
+        // Mirrors the eligibility test of the caller's min-stamp scan —
+        // the two must agree or the RNG range drifts off the tied set.
+        let tied = |ts: Slot, i: usize| {
+            ts == min_ts && grants.get(i).is_some_and(|g| g.len() < fanout_cap)
+        };
+        let mut count = 0usize;
+        let mut lowest = usize::MAX;
+        for &(ts, i) in req {
+            if tied(ts, i) {
+                count += 1;
+                lowest = lowest.min(i);
+            }
+        }
+        debug_assert!(count > 0);
+        // `min_ts` came from this same request list, so some entry is tied;
+        // the fallbacks keep the arbiter total without a panic path in the
+        // per-slot loop.
+        let lowest = if lowest == usize::MAX { 0 } else { lowest };
+        match config.tie_break {
+            TieBreak::Random => {
+                let k = rng.gen_range(0..count.max(1));
+                let mut seen = 0usize;
+                for &(ts, i) in req {
+                    if tied(ts, i) {
+                        if seen == k {
+                            return i;
+                        }
+                        seen += 1;
+                    }
+                }
+                lowest
+            }
             TieBreak::LowestInput => lowest,
-            TieBreak::Rotating => tied
+            TieBreak::Rotating => req
                 .iter()
                 .copied()
-                .find(|&i| i >= self.rotate)
+                .filter(|&(ts, i)| tied(ts, i))
+                .map(|(_, i)| i)
+                .find(|&i| i >= rotate)
                 .unwrap_or(lowest),
         }
     }

@@ -55,6 +55,21 @@ impl DataCellSlab {
         self.entries.len()
     }
 
+    /// Grow the buffer to at least `total` entries up front, chaining the
+    /// new cells into the free list, so subsequent [`alloc`](Self::alloc)
+    /// calls reuse them without touching the heap. A no-op when capacity
+    /// already suffices; never affects live cells or key validity.
+    pub fn reserve(&mut self, total: usize) {
+        self.entries.reserve(total.saturating_sub(self.entries.len()));
+        self.generations.reserve(total.saturating_sub(self.generations.len()));
+        while self.entries.len() < total {
+            let idx = self.entries.len() as u32;
+            self.entries.push(SlabEntry::Free(self.free_head));
+            self.generations.push(0);
+            self.free_head = Some(idx);
+        }
+    }
+
     /// Create a data cell for a packet with the given fanout.
     ///
     /// # Panics

@@ -3,7 +3,7 @@
 use fifoms_fabric::{Backlog, Crossbar, FaultScoreboard, Switch};
 use fifoms_types::{
     AdmissionDrop, Departure, DropCause, ObsEvent, Packet, PortId, RetryDisposition, Slot,
-    SlotOutcome,
+    SlotOutcome, SpanSample, SpanTimer,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -11,7 +11,7 @@ use rand::SeedableRng;
 use crate::buffer::{AdmissionPolicy, BufferConfig};
 use crate::cell::AddressCell;
 use crate::port::InputPort;
-use crate::scheduler::{FifomsConfig, FifomsScheduler};
+use crate::scheduler::{FifomsConfig, FifomsScheduler, ScheduleOutcome};
 
 /// Default scoreboard quarantine window (slots): how long a path that
 /// failed at the crosspoint is skipped by the scheduler before being
@@ -41,6 +41,15 @@ pub struct MulticastVoqSwitch {
     admission_drops: Vec<AdmissionDrop>,
     events: Vec<ObsEvent>,
     record_events: bool,
+    // Reused buffers keeping the steady-state slot loop allocation-free:
+    // the scheduling outcome (schedule + grants) and the departures vector
+    // handed back through `Switch::recycle`.
+    sched_out: ScheduleOutcome,
+    spare_departures: Vec<Departure>,
+    // Sub-phase timing (`Switch::set_span_recording`): off by default, so
+    // unprofiled slots read no clock.
+    span_recording: bool,
+    spans: Vec<SpanSample>,
 }
 
 impl MulticastVoqSwitch {
@@ -62,6 +71,10 @@ impl MulticastVoqSwitch {
             admission_drops: Vec::new(),
             events: Vec::new(),
             record_events: false,
+            sched_out: ScheduleOutcome::empty(n),
+            spare_departures: Vec::new(),
+            span_recording: false,
+            spans: Vec::new(),
         }
     }
 
@@ -240,15 +253,18 @@ impl Switch for MulticastVoqSwitch {
         } else {
             Some((&self.scoreboard, now))
         };
-        let outcome = self
-            .scheduler
-            .schedule_avoiding(&self.ports, avoid, &mut self.rng);
+        let spans = self.span_recording.then_some(&mut self.spans);
+        self.scheduler
+            .schedule_into(&self.ports, avoid, &mut self.rng, &mut self.sched_out, spans);
+        let outcome = &self.sched_out;
 
         // --- data transmission: set crosspoints, send data cells ---
+        let lap = self.span_recording.then(SpanTimer::start);
         self.crossbar.apply(&outcome.schedule);
 
         // --- post-transmission processing ---
-        let mut departures = Vec::with_capacity(outcome.schedule.connections());
+        let mut departures = std::mem::take(&mut self.spare_departures);
+        departures.clear();
         for (i, grants) in outcome.grants.iter().enumerate() {
             if grants.is_empty() {
                 continue;
@@ -280,6 +296,12 @@ impl Switch for MulticastVoqSwitch {
                     last_copy,
                 });
             }
+        }
+        if let Some(t) = lap {
+            self.spans.push(SpanSample {
+                name: "commit",
+                ns: t.elapsed_ns(),
+            });
         }
         SlotOutcome {
             connections: departures.len(),
@@ -349,6 +371,32 @@ impl Switch for MulticastVoqSwitch {
         self.ports
             .get(input.index())
             .is_some_and(|port| port.queued_copies() >= thr)
+    }
+
+    fn set_span_recording(&mut self, on: bool) {
+        self.span_recording = on;
+    }
+
+    fn drain_spans(&mut self, out: &mut Vec<SpanSample>) {
+        out.append(&mut self.spans);
+    }
+
+    fn recycle(&mut self, outcome: SlotOutcome) {
+        let mut v = outcome.departures;
+        v.clear();
+        self.spare_departures = v;
+    }
+
+    fn reserve_steady_state(&mut self, copies_per_voq: usize) {
+        let n = self.ports.len();
+        for port in &mut self.ports {
+            port.voqs_mut().reserve(copies_per_voq);
+            // Worst case one data cell per queued copy (all-unicast
+            // traffic): N queues of `copies_per_voq` copies each.
+            port.slab_mut().reserve(n.saturating_mul(copies_per_voq));
+        }
+        // At most one departure per output per slot.
+        self.spare_departures.reserve(n);
     }
 }
 
@@ -752,6 +800,63 @@ mod tests {
         events.clear();
         sw.drain_events(&mut events);
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn span_recording_reports_scheduling_sub_phases() {
+        let mut sw = MulticastVoqSwitch::new(4, 0);
+        sw.admit(pkt(1, 0, 0, &[0, 1, 2]));
+        // Off by default: no samples.
+        sw.run_slot(Slot(0));
+        let mut spans = Vec::new();
+        sw.drain_spans(&mut spans);
+        assert!(spans.is_empty());
+        // On: one sample per sub-phase, drained oldest-first.
+        sw.admit(pkt(2, 1, 1, &[2, 3]));
+        sw.set_span_recording(true);
+        let out = sw.run_slot(Slot(1));
+        sw.drain_spans(&mut spans);
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["voq_scan", "request", "grant", "commit"]);
+        // The buffer is handed over: a second drain yields nothing.
+        let before = spans.len();
+        sw.drain_spans(&mut spans);
+        assert_eq!(spans.len(), before);
+        sw.recycle(out);
+        sw.set_span_recording(false);
+        let out = sw.run_slot(Slot(2));
+        spans.clear();
+        sw.drain_spans(&mut spans);
+        assert!(spans.is_empty(), "disabling stops sample production");
+        sw.recycle(out);
+    }
+
+    #[test]
+    fn span_recording_is_bit_identical_to_baseline() {
+        // Timing reads clocks but must not consume RNG draws or reorder
+        // arbitration: the departure log matches an untimed twin exactly.
+        let run = |record: bool| {
+            let mut sw = MulticastVoqSwitch::new(4, 9);
+            sw.set_span_recording(record);
+            let mut log = Vec::new();
+            for t in 0..50u64 {
+                sw.admit(pkt(t * 2 + 1, t, (t % 4) as u16, &[0, 1, 2]));
+                sw.admit(pkt(t * 2 + 2, t, ((t + 1) % 4) as u16, &[1, 3]));
+                let out = sw.run_slot(Slot(t));
+                let mut d: Vec<_> = out
+                    .departures
+                    .iter()
+                    .map(|d| (d.packet.raw(), d.output.index(), d.last_copy))
+                    .collect();
+                d.sort_unstable();
+                log.push(d);
+                let mut spans = Vec::new();
+                sw.drain_spans(&mut spans);
+                assert_eq!(spans.is_empty(), !record);
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -103,6 +103,12 @@ impl Voq {
         self.cells.is_empty()
     }
 
+    /// Ensure room for at least `cells` queued address cells, so pushes
+    /// up to that depth never touch the heap.
+    pub fn reserve(&mut self, cells: usize) {
+        self.cells.reserve(cells.saturating_sub(self.cells.len()));
+    }
+
     /// Iterate cells from head to tail (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &AddressCell> {
         self.cells.iter()
@@ -146,6 +152,13 @@ impl VoqSet {
     /// input).
     pub fn total_cells(&self) -> usize {
         self.queues.iter().map(Voq::len).sum()
+    }
+
+    /// Pre-size every queue for `cells_per_voq` queued address cells.
+    pub fn reserve(&mut self, cells_per_voq: usize) {
+        for q in &mut self.queues {
+            q.reserve(cells_per_voq);
+        }
     }
 
     /// Whether every queue is empty.

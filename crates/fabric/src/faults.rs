@@ -41,7 +41,7 @@ use std::collections::HashMap;
 
 use fifoms_types::{
     AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition,
-    Slot, SlotOutcome,
+    Slot, SlotOutcome, SpanSample,
 };
 
 use crate::switch::{Backlog, Switch};
@@ -480,6 +480,21 @@ impl<S: Switch> Switch for FaultyFabric<S> {
 
     fn backpressure(&self, input: PortId) -> bool {
         self.inner.backpressure(input)
+    }
+
+    fn set_span_recording(&mut self, on: bool) {
+        self.inner.set_span_recording(on)
+    }
+
+    fn drain_spans(&mut self, out: &mut Vec<SpanSample>) {
+        self.inner.drain_spans(out)
+    }
+
+    fn recycle(&mut self, outcome: SlotOutcome) {
+        self.inner.recycle(outcome)
+    }
+    fn reserve_steady_state(&mut self, copies_per_voq: usize) {
+        self.inner.reserve_steady_state(copies_per_voq)
     }
 }
 

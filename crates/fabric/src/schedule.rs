@@ -102,6 +102,54 @@ impl CrossbarSchedule {
         self.n
     }
 
+    /// Clear every connection and resize for an `n×n` fabric, reusing the
+    /// existing driver allocation. Lets a scheduler keep one schedule
+    /// alive across slots instead of allocating a fresh one per slot.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.driver.clear();
+        self.driver.resize(n, None);
+    }
+
+    /// Connect `input` to `output` in place, enforcing fabric legality
+    /// (the same rules as [`ScheduleBuilder::connect`]).
+    pub fn try_connect(&mut self, input: PortId, output: PortId) -> Result<(), ScheduleError> {
+        let n = self.n;
+        if input.index() >= n {
+            return Err(ScheduleError::PortOutOfRange { port: input, n });
+        }
+        // `driver.len() == n` is a struct invariant, so the lookup fails
+        // exactly when `output` is out of range.
+        let slot = self
+            .driver
+            .get_mut(output.index())
+            .ok_or(ScheduleError::PortOutOfRange { port: output, n })?;
+        match *slot {
+            Some(existing) if existing != input => Err(ScheduleError::OutputConflict {
+                output,
+                existing,
+                rejected: input,
+            }),
+            _ => {
+                *slot = Some(input);
+                Ok(())
+            }
+        }
+    }
+
+    /// Connect `input` to every output in `outputs` in place (a
+    /// multicast grant).
+    pub fn try_connect_multicast(
+        &mut self,
+        input: PortId,
+        outputs: &PortSet,
+    ) -> Result<(), ScheduleError> {
+        for o in outputs {
+            self.try_connect(input, o)?;
+        }
+        Ok(())
+    }
+
     /// The input driving `output`, if any.
     pub fn driver_of(&self, output: PortId) -> Option<PortId> {
         self.driver.get(output.index()).copied().flatten()
@@ -183,23 +231,7 @@ pub struct ScheduleBuilder {
 impl ScheduleBuilder {
     /// Connect `input` to `output`.
     pub fn connect(&mut self, input: PortId, output: PortId) -> Result<(), ScheduleError> {
-        let n = self.schedule.n;
-        for port in [input, output] {
-            if port.index() >= n {
-                return Err(ScheduleError::PortOutOfRange { port, n });
-            }
-        }
-        match self.schedule.driver[output.index()] {
-            Some(existing) if existing != input => Err(ScheduleError::OutputConflict {
-                output,
-                existing,
-                rejected: input,
-            }),
-            _ => {
-                self.schedule.driver[output.index()] = Some(input);
-                Ok(())
-            }
-        }
+        self.schedule.try_connect(input, output)
     }
 
     /// Connect `input` to every output in `outputs` (a multicast grant).
@@ -208,10 +240,7 @@ impl ScheduleBuilder {
         input: PortId,
         outputs: &PortSet,
     ) -> Result<(), ScheduleError> {
-        for o in outputs {
-            self.connect(input, o)?;
-        }
-        Ok(())
+        self.schedule.try_connect_multicast(input, outputs)
     }
 
     /// Whether `output` is already driven.
@@ -290,6 +319,25 @@ mod tests {
         b.connect(PortId(0), PortId(1)).unwrap();
         b.connect(PortId(0), PortId(1)).unwrap();
         assert_eq!(b.build().connections(), 1);
+    }
+
+    #[test]
+    fn reset_clears_in_place() {
+        let mut s = CrossbarSchedule::empty(4);
+        s.try_connect(PortId(0), PortId(2)).unwrap();
+        s.try_connect(PortId(1), PortId(3)).unwrap();
+        assert_eq!(s.connections(), 2);
+        s.reset(4);
+        assert!(s.is_idle());
+        assert_eq!(s.ports(), 4);
+        // legality still enforced after reset, including resizing
+        s.reset(2);
+        assert!(matches!(
+            s.try_connect(PortId(0), PortId(3)),
+            Err(ScheduleError::PortOutOfRange { .. })
+        ));
+        s.try_connect(PortId(1), PortId(0)).unwrap();
+        assert_eq!(s.connections(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use fifoms_types::{
     AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PortId, RetryDisposition, Slot,
-    SlotOutcome,
+    SlotOutcome, SpanSample,
 };
 
 /// Cells still queued inside a switch.
@@ -143,6 +143,50 @@ pub trait Switch {
         let _ = input;
         false
     }
+
+    /// Ask the switch to time its internal scheduling sub-phases during
+    /// subsequent [`Switch::run_slot`] calls (`on == true`) or stop
+    /// (`on == false`). The profiling engine enables this only on sampled
+    /// slots, so un-profiled runs never pay for a clock read. The default
+    /// ignores the request: a switch with no sub-phase instrumentation
+    /// simply reports nothing. Wrappers must forward it.
+    fn set_span_recording(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Move the [`SpanSample`]s recorded since the last call into `out`
+    /// (appended; `out` is not cleared). Each sample names one scheduling
+    /// sub-phase (e.g. `voq_scan`, `grant`) timed inside `run_slot` while
+    /// span recording was on; the profiler attaches them as children of
+    /// its `schedule` span. The default is a no-op; wrappers must forward
+    /// it. Must not allocate in steady state — implementations reuse
+    /// their sample buffer.
+    fn drain_spans(&mut self, out: &mut Vec<SpanSample>) {
+        let _ = out;
+    }
+
+    /// Return a consumed [`SlotOutcome`] to the switch so its heap
+    /// buffers (the departures vector) can be reused by the next
+    /// `run_slot`, keeping the steady-state slot loop allocation-free.
+    /// The engine calls this after it has finished reading the outcome.
+    /// The default drops the outcome (correct, just not allocation-free);
+    /// wrappers must forward it. Implementations must not interpret the
+    /// contents — `recycle` is a memory hand-back, not a signal.
+    fn recycle(&mut self, outcome: SlotOutcome) {
+        let _ = outcome;
+    }
+
+    /// Pre-size every internal queue, pool and map for a steady state of
+    /// up to `copies_per_voq` queued copies per VOQ, so a subsequent run
+    /// performs no heap allocation until that occupancy is exceeded.
+    /// Growth past the reservation still works (and still allocates) —
+    /// this is a capacity hint for the allocation audit and latency-
+    /// sensitive deployments, never an admission limit, so it must not
+    /// change scheduling behavior. The default is a no-op; wrappers must
+    /// forward it.
+    fn reserve_steady_state(&mut self, copies_per_voq: usize) {
+        let _ = copies_per_voq;
+    }
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -183,6 +227,18 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn backpressure(&self, input: PortId) -> bool {
         (**self).backpressure(input)
+    }
+    fn set_span_recording(&mut self, on: bool) {
+        (**self).set_span_recording(on)
+    }
+    fn drain_spans(&mut self, out: &mut Vec<SpanSample>) {
+        (**self).drain_spans(out)
+    }
+    fn recycle(&mut self, outcome: SlotOutcome) {
+        (**self).recycle(outcome)
+    }
+    fn reserve_steady_state(&mut self, copies_per_voq: usize) {
+        (**self).reserve_steady_state(copies_per_voq)
     }
 }
 

@@ -271,6 +271,22 @@ impl ScopeAnalysis {
         (t as f64 / n, h as f64 / n, c as f64 / n, s as f64 / n)
     }
 
+    /// Tail quantiles of the per-copy total delay, `(p50, p99, p999)` in
+    /// slots, via a log₂-bucketed histogram (each value is its bucket's
+    /// lower bound, so quantiles are conservative lower bounds within
+    /// 2×). `None` when no copy was decomposed. Means hide tails; the
+    /// paper's delay story is about the tail under load.
+    pub fn delay_percentiles(&self) -> Option<(u64, u64, u64)> {
+        if self.copies.is_empty() {
+            return None;
+        }
+        let mut hist = fifoms_stats::Log2Histogram::new();
+        for c in &self.copies {
+            hist.record(c.total);
+        }
+        Some((hist.quantile(0.5), hist.quantile(0.99), hist.quantile(0.999)))
+    }
+
     /// Render this scope as the JSON object of the `analyze --json`
     /// report (schema `schemas/analysis.schema.json`). Per-copy detail is
     /// summarised, not dumped — reports stay small even for long traces.
@@ -327,6 +343,11 @@ impl ScopeAnalysis {
         delay.set("mean_hol", hol);
         delay.set("mean_contention", contention);
         delay.set("mean_split", split);
+        if let Some((p50, p99, p999)) = self.delay_percentiles() {
+            delay.set("p50", p50);
+            delay.set("p99", p99);
+            delay.set("p999", p999);
+        }
         obj.set("delay", delay);
 
         let mut rounds = Json::object();
@@ -1007,6 +1028,26 @@ mod tests {
             "{residue:?}"
         );
         assert_eq!(s.order_anomalies, 0);
+    }
+
+    #[test]
+    fn delay_percentiles_come_from_the_histogram() {
+        let a = analyze_trace(&sample_trace()).unwrap();
+        let s = &a.scopes[0];
+        // Copy delays in the sample trace: 0, 0, 0, 1 slots. The log2
+        // histogram reports bucket lower bounds, so p50 = 0 and the
+        // tail quantiles land in the delay-1 bucket.
+        let (p50, p99, p999) = s.delay_percentiles().unwrap();
+        assert_eq!(p50, 0);
+        assert_eq!(p99, 1);
+        assert_eq!(p999, 1);
+        let json = s.to_json().to_string();
+        assert!(json.contains(r#""p999""#), "tail fields missing: {json}");
+
+        // No decomposed copies -> no percentile fields (additive schema).
+        let empty = ScopeAnalysis::default();
+        assert!(empty.delay_percentiles().is_none());
+        assert!(!empty.to_json().to_string().contains(r#""p999""#));
     }
 
     #[test]

@@ -269,6 +269,30 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
             obj.set("level", u64::from(*level));
             obj.set("backlog_copies", *backlog_copies);
         }
+        ObsEvent::PhaseTimed {
+            phase,
+            calls,
+            inclusive_ns,
+            exclusive_ns,
+        } => {
+            obj.set("phase", phase.as_str());
+            obj.set("calls", *calls);
+            obj.set("inclusive_ns", *inclusive_ns);
+            obj.set("exclusive_ns", *exclusive_ns);
+        }
+        ObsEvent::SlotTimeSummary {
+            samples,
+            p50_ns,
+            p99_ns,
+            p999_ns,
+            max_ns,
+        } => {
+            obj.set("samples", *samples);
+            obj.set("p50_ns", *p50_ns);
+            obj.set("p99_ns", *p99_ns);
+            obj.set("p999_ns", *p999_ns);
+            obj.set("max_ns", *max_ns);
+        }
         ObsEvent::RunEnd { slots_run } => {
             obj.set("slots_run", *slots_run);
         }
@@ -413,6 +437,41 @@ mod tests {
         assert_eq!(level.get("backlog_copies").and_then(Json::as_f64), Some(99.0));
         let reparsed = Json::parse(&dropped.to_string()).unwrap();
         assert_eq!(reparsed, dropped);
+    }
+
+    #[test]
+    fn profiler_events_serialise_with_their_fields() {
+        let phase = event_to_json(
+            "s",
+            &ObsEvent::PhaseTimed {
+                phase: "grant".into(),
+                calls: 625,
+                inclusive_ns: 10_000,
+                exclusive_ns: 9_000,
+            },
+        );
+        assert_eq!(phase.get("event").and_then(Json::as_str), Some("phase_timed"));
+        assert_eq!(phase.get("slot"), None, "phase_timed is run-scoped");
+        assert_eq!(phase.get("phase").and_then(Json::as_str), Some("grant"));
+        assert_eq!(phase.get("calls").and_then(Json::as_f64), Some(625.0));
+        assert_eq!(phase.get("inclusive_ns").and_then(Json::as_f64), Some(10_000.0));
+        assert_eq!(phase.get("exclusive_ns").and_then(Json::as_f64), Some(9_000.0));
+        let st = event_to_json(
+            "s",
+            &ObsEvent::SlotTimeSummary {
+                samples: 625,
+                p50_ns: 2048,
+                p99_ns: 8192,
+                p999_ns: 16384,
+                max_ns: 20000,
+            },
+        );
+        assert_eq!(st.get("event").and_then(Json::as_str), Some("slot_time"));
+        assert_eq!(st.get("samples").and_then(Json::as_f64), Some(625.0));
+        assert_eq!(st.get("p999_ns").and_then(Json::as_f64), Some(16384.0));
+        assert_eq!(st.get("max_ns").and_then(Json::as_f64), Some(20000.0));
+        let reparsed = Json::parse(&st.to_string()).unwrap();
+        assert_eq!(reparsed, st);
     }
 
     #[test]

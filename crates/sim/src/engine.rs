@@ -7,7 +7,9 @@ use fifoms_stats::{
     SaturationDetector, SaturationVerdict,
 };
 use fifoms_traffic::TrafficModel;
-use fifoms_types::{ObsEvent, Packet, PacketId, PortId, PortSet, SimError, Slot};
+use fifoms_types::{
+    ObsEvent, Packet, PacketId, PortId, PortSet, SimError, Slot, SpanSample, SpanTimer,
+};
 
 use crate::overload::OverloadControls;
 
@@ -205,6 +207,7 @@ fn simulate_inner(
     let mut copies_delivered = 0u64;
     let mut slots_run = 0u64;
     let mut event_buf: Vec<ObsEvent> = Vec::new();
+    let mut span_buf: Vec<SpanSample> = Vec::new();
 
     if let Some((sink, scope)) = obs.sink {
         sink.emit(
@@ -242,6 +245,8 @@ fn simulate_inner(
             Some((_, every)) => t % every.max(&1) == 0,
             None => false,
         };
+        // Wall-clock for the whole slot, feeding the tail histogram.
+        let slot_timer = timed.then(SpanTimer::start);
         span(obs, timed, "traffic", true);
         traffic.next_slot(now, &mut arrivals);
         span(obs, timed, "traffic", false);
@@ -308,9 +313,26 @@ fn simulate_inner(
             }
         }
         span(obs, timed, "admit", false);
+        if timed {
+            switch.set_span_recording(true);
+        }
         span(obs, timed, "schedule", true);
         let outcome = switch.run_slot(now);
         span(obs, timed, "schedule", false);
+        if timed {
+            // Attach the switch's self-measured sub-phases (VOQ scan,
+            // request build, grant arbitration, commit) as children of the
+            // just-closed `schedule` span. Switches without sub-phase
+            // instrumentation report nothing and the span stays flat.
+            switch.set_span_recording(false);
+            span_buf.clear();
+            switch.drain_spans(&mut span_buf);
+            if let Some((p, _)) = obs.profiler.as_mut() {
+                for s in &span_buf {
+                    p.record_child("schedule", s.name, s.ns);
+                }
+            }
+        }
         slots_run = t + 1;
 
         if let Some((sink, scope)) = obs.sink {
@@ -357,6 +379,13 @@ fn simulate_inner(
         }
         let capped = t % cfg.sample_every == 0 && detector.observe(switch.backlog().copies);
         span(obs, timed, "stats", false);
+        if let (Some(timer), Some((p, _))) = (slot_timer, obs.profiler.as_mut()) {
+            p.record_slot_ns(timer.elapsed_ns());
+        }
+        // Hand the outcome's heap buffers back for the next slot. Runs on
+        // every path (observed or not): recycling is memory reuse only,
+        // so it cannot perturb results.
+        switch.recycle(outcome);
         if capped {
             break; // backlog cap exceeded: the point is hopeless
         }
@@ -372,6 +401,36 @@ fn simulate_inner(
         switch.drain_events(&mut event_buf);
         for e in event_buf.drain(..) {
             sink.emit(scope, &e);
+        }
+        // With a profiler also attached, surface its totals in the trace:
+        // one PhaseTimed per phase name (aggregated over the span tree)
+        // and the per-slot wall-time tail summary. Run-scoped, so they sit
+        // with the other teardown records just before RunEnd.
+        if let Some((p, _)) = obs.profiler.as_mut() {
+            for (phase, stats) in p.phases() {
+                sink.emit(
+                    scope,
+                    &ObsEvent::PhaseTimed {
+                        phase: phase.to_string(),
+                        calls: stats.calls,
+                        inclusive_ns: stats.inclusive_ns,
+                        exclusive_ns: stats.exclusive_ns,
+                    },
+                );
+            }
+            let slot_times = p.slot_times();
+            if !slot_times.is_empty() {
+                sink.emit(
+                    scope,
+                    &ObsEvent::SlotTimeSummary {
+                        samples: slot_times.count(),
+                        p50_ns: slot_times.quantile(0.5),
+                        p99_ns: slot_times.quantile(0.99),
+                        p999_ns: slot_times.quantile(0.999),
+                        max_ns: slot_times.max(),
+                    },
+                );
+            }
         }
         // Terminate the scope's stream: slots in [0, slots_run) with no
         // slot_sched record are idle, not missing — `analyze` relies on

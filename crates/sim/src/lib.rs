@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod chaos;
 mod checkpoint;
 mod engine;
@@ -48,6 +49,7 @@ pub mod report;
 mod spec;
 mod sweep;
 
+pub use audit::{alloc_audit, AllocAuditReport};
 pub use chaos::{
     buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario, run_scenario_on,
     shrink_scenario, ChaosOutcome, ChaosScenario,

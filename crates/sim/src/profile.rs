@@ -48,9 +48,14 @@ impl ProfileReport {
 
     /// Render as the `BENCH_profile.json` document (validated by
     /// `schemas/bench_profile.schema.json`).
+    ///
+    /// Emits the `fifoms-bench-profile-v2` shape: `phases` carries the
+    /// hierarchical snapshot (each entry has a `path` and `depth`), and a
+    /// `slot_time` object summarizes the sampled per-slot wall-time
+    /// distribution. The validator still accepts v1 documents.
     pub fn to_json(&self) -> Json {
         let mut obj = Json::object();
-        obj.set("schema", "fifoms-bench-profile-v1");
+        obj.set("schema", "fifoms-bench-profile-v2");
         obj.set("switch", self.result.switch_name.as_str());
         obj.set("traffic", self.result.traffic_name.as_str());
         obj.set("slots_run", self.result.slots_run);
@@ -59,6 +64,16 @@ impl ProfileReport {
         obj.set("slots_per_sec", self.slots_per_sec());
         obj.set("throughput", self.result.throughput);
         obj.set("phases", self.profiler.snapshot());
+        let st = self.profiler.slot_times();
+        if !st.is_empty() {
+            let mut slot_time = Json::object();
+            slot_time.set("count", st.count());
+            slot_time.set("p50_ns", st.quantile(0.5));
+            slot_time.set("p99_ns", st.quantile(0.99));
+            slot_time.set("p999_ns", st.quantile(0.999));
+            slot_time.set("max_ns", st.max());
+            obj.set("slot_time", slot_time);
+        }
         obj
     }
 }
@@ -123,6 +138,36 @@ mod tests {
         let mut tr = TrafficKind::bernoulli_at_load(0.5, 0.25, 8).build(8, 2);
         let profiled = profile_run(sw.as_mut(), tr.as_mut(), &cfg, 7).unwrap();
         assert_eq!(format!("{plain:?}"), format!("{:?}", profiled.result));
+    }
+
+    #[test]
+    fn schedule_phase_nests_switch_sub_spans() {
+        let mut sw = SwitchKind::Fifoms.build(8, 1);
+        let mut tr = TrafficKind::bernoulli_at_load(0.5, 0.25, 8).build(8, 2);
+        let report = profile_run(sw.as_mut(), tr.as_mut(), &RunConfig::quick(2_000), 10).unwrap();
+        let sched = report.profiler.stats("schedule").expect("schedule phase");
+        assert!(
+            sched.exclusive_ns < sched.inclusive_ns,
+            "schedule should have time attributed to child spans"
+        );
+        let mut child_incl = 0u64;
+        let mut children = 0usize;
+        for name in ["voq_scan", "request", "grant", "commit"] {
+            let s = report
+                .profiler
+                .stats(name)
+                .unwrap_or_else(|| panic!("sub-span {name} missing"));
+            assert!(s.calls > 0, "sub-span {name} never recorded");
+            child_incl += s.inclusive_ns;
+            children += 1;
+        }
+        assert!(children >= 3, "need at least 3 nested spans under schedule");
+        assert_eq!(
+            sched.exclusive_ns + child_incl,
+            sched.inclusive_ns,
+            "child inclusive times must account exactly for the parent split"
+        );
+        assert!(!report.profiler.slot_times().is_empty());
     }
 
     #[test]

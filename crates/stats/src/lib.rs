@@ -28,6 +28,7 @@ mod batch;
 mod delay;
 mod fairness;
 mod histogram;
+mod log2hist;
 mod occupancy;
 mod recovery;
 mod running;
@@ -38,6 +39,7 @@ pub use batch::BatchMeans;
 pub use delay::{DelayStats, DelaySummary};
 pub use fairness::FairnessTracker;
 pub use histogram::Histogram;
+pub use log2hist::Log2Histogram;
 pub use occupancy::{OccupancySummary, OccupancyTracker};
 pub use recovery::{RecoveryRecorder, RecoverySummary};
 pub use running::RunningStat;

@@ -28,6 +28,7 @@ mod obs;
 mod outcome;
 mod packet;
 mod portset;
+mod timing;
 
 pub use error::{check_ports, check_probability, InvariantViolation, SimError, TypeError};
 pub use fault::{AdmissionDrop, DropCause, DroppedCopy, RetryDisposition};
@@ -36,6 +37,7 @@ pub use obs::ObsEvent;
 pub use outcome::{Departure, SlotOutcome};
 pub use packet::Packet;
 pub use portset::{PortSet, PortSetIter};
+pub use timing::{SpanSample, SpanTimer};
 
 /// The largest switch size the workspace supports.
 ///

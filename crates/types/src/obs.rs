@@ -226,6 +226,36 @@ pub enum ObsEvent {
         /// Queued copies that drove the decision.
         backlog_copies: u64,
     },
+    /// Aggregated wall time of one named profiler phase (or nested
+    /// span), emitted once at end-of-run by profiled runs that also
+    /// carry a trace sink. Spans are identified by name; nested spans
+    /// (e.g. `"grant"` under `"schedule"`) appear as their own records.
+    PhaseTimed {
+        /// The phase or span name (`"schedule"`, `"grant"`, ...).
+        phase: String,
+        /// Times the span was entered over the sampled slots.
+        calls: u64,
+        /// Wall time inside the span including children, in ns.
+        inclusive_ns: u64,
+        /// Wall time inside the span excluding children, in ns.
+        exclusive_ns: u64,
+    },
+    /// Per-slot wall-time distribution summary over the sampled slots of
+    /// a profiled run, emitted once at end-of-run. Quantiles come from a
+    /// log₂-bucketed histogram, so they are conservative lower bounds
+    /// (at most 2× below the true value); `max_ns` is exact.
+    SlotTimeSummary {
+        /// Slots whose wall time was sampled.
+        samples: u64,
+        /// Median slot wall time, in ns.
+        p50_ns: u64,
+        /// 99th-percentile slot wall time, in ns.
+        p99_ns: u64,
+        /// 99.9th-percentile slot wall time, in ns.
+        p999_ns: u64,
+        /// Worst sampled slot wall time, in ns.
+        max_ns: u64,
+    },
     /// End-of-run marker: the number of slots actually executed. Emitted
     /// by the engine as the last event of an observed run; encodes idle
     /// slots explicitly (a slot below `slots_run` with no `SlotSched`
@@ -255,6 +285,8 @@ impl ObsEvent {
             ObsEvent::AdmissionDropped { .. } => "admission_dropped",
             ObsEvent::VoqHighWater { .. } => "voq_high_water",
             ObsEvent::OverloadLevel { .. } => "overload_level",
+            ObsEvent::PhaseTimed { .. } => "phase_timed",
+            ObsEvent::SlotTimeSummary { .. } => "slot_time",
             ObsEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -264,6 +296,8 @@ impl ObsEvent {
         match self {
             ObsEvent::RunMeta { .. }
             | ObsEvent::RecorderMeta { .. }
+            | ObsEvent::PhaseTimed { .. }
+            | ObsEvent::SlotTimeSummary { .. }
             | ObsEvent::RunEnd { .. } => None,
             ObsEvent::SlotSched { slot, .. }
             | ObsEvent::FaultMasked { slot, .. }
@@ -362,6 +396,27 @@ mod tests {
         let end = ObsEvent::RunEnd { slots_run: 1000 };
         assert_eq!(end.kind(), "run_end");
         assert_eq!(end.slot(), None);
+    }
+
+    #[test]
+    fn profiler_events_are_run_scoped() {
+        let phase = ObsEvent::PhaseTimed {
+            phase: "grant".into(),
+            calls: 625,
+            inclusive_ns: 10_000,
+            exclusive_ns: 9_000,
+        };
+        assert_eq!(phase.kind(), "phase_timed");
+        assert_eq!(phase.slot(), None);
+        let slot_time = ObsEvent::SlotTimeSummary {
+            samples: 625,
+            p50_ns: 2048,
+            p99_ns: 8192,
+            p999_ns: 16384,
+            max_ns: 20000,
+        };
+        assert_eq!(slot_time.kind(), "slot_time");
+        assert_eq!(slot_time.slot(), None);
     }
 
     #[test]

@@ -143,6 +143,15 @@ impl PortSet {
         newly
     }
 
+    /// Remove every port, keeping any heap capacity for reuse (so a set
+    /// that is cleared and refilled every slot stays allocation-free).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Inline(ws) => *ws = [0; INLINE_WORDS],
+            Repr::Heap(v) => v.iter_mut().for_each(|w| *w = 0),
+        }
+    }
+
     /// Remove a port; returns `true` if it was present.
     pub fn remove(&mut self, port: PortId) -> bool {
         let (w, b) = (port.index() / 64, port.index() % 64);
@@ -413,6 +422,21 @@ mod tests {
         assert!(a.contains(PortId(0)));
         assert!(a.contains(PortId(15)));
         assert!(!a.contains(PortId(16)));
+    }
+
+    #[test]
+    fn clear_empties_inline_and_heap_sets() {
+        let mut inline = PortSet::all(16);
+        inline.clear();
+        assert!(inline.is_empty());
+        assert_eq!(inline, PortSet::new());
+        let mut spilled = PortSet::singleton(PortId(200));
+        spilled.insert(PortId(3));
+        spilled.clear();
+        assert!(spilled.is_empty());
+        assert_eq!(spilled, PortSet::new());
+        spilled.insert(PortId(200)); // refill reuses the spilled words
+        assert_eq!(spilled.len(), 1);
     }
 
     #[test]

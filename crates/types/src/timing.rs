@@ -1,0 +1,76 @@
+//! Measurement-only timing vocabulary for the span profiler.
+//!
+//! These types exist so the scheduler and fabric crates can *measure*
+//! wall time without reading the clock through `std::time` directly —
+//! the R1 determinism lint forbids raw clock access in those crates
+//! because simulation results must be a function of the seed alone.
+//! A [`SpanTimer`] may only ever feed profiler output: nothing read from
+//! it is allowed to influence scheduling decisions, and the span hooks
+//! are dead (`recording == false`) unless a profiled run turned them on.
+
+use std::time::Instant;
+
+/// One timed sub-phase of a slot, reported by a switch when span
+/// recording is enabled (e.g. `("grant", 1834)`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanSample {
+    /// Stable span name, e.g. `"voq_scan"`, `"request"`, `"grant"`,
+    /// `"commit"`.
+    pub name: &'static str,
+    /// Wall time spent in the span, in nanoseconds.
+    pub ns: u64,
+}
+
+/// A monotonic stopwatch for profiler spans.
+///
+/// # Examples
+///
+/// ```
+/// use fifoms_types::SpanTimer;
+///
+/// let t = SpanTimer::start();
+/// let ns = t.elapsed_ns();
+/// assert!(ns < 1_000_000_000, "reading a timer is fast");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    /// Start the stopwatch.
+    #[inline]
+    pub fn start() -> SpanTimer {
+        SpanTimer(Instant::now())
+    }
+
+    /// Nanoseconds elapsed since [`SpanTimer::start`], saturating at
+    /// `u64::MAX` (584 years).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        let ns = self.0.elapsed().as_nanos();
+        u64::try_from(ns).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotonic() {
+        let t = SpanTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn span_samples_are_plain_data() {
+        let s = SpanSample {
+            name: "grant",
+            ns: 120,
+        };
+        let t = s;
+        assert_eq!(s, t);
+        assert_eq!(format!("{s:?}"), "SpanSample { name: \"grant\", ns: 120 }");
+    }
+}

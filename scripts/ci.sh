@@ -30,7 +30,14 @@
 #      fifoms-overload-v1 artifact self-validated against
 #      schemas/overload.schema.json (the command fails if the emitted
 #      JSON violates the schema), plus a sanity grep that the
-#      inadmissible end of the grid actually shed copies.
+#      inadmissible end of the grid actually shed copies;
+#  10. the allocation audit: the CLI rebuilt with the counting global
+#      allocator (`--features alloc-audit`) must report a steady-state
+#      slot loop with zero heap allocations for FIFOMS and iSLIP alike
+#      (the command exits nonzero on any allocating phase);
+#  11. a perf-diff self-check: the freshly profiled v2 artifact diffed
+#      against itself must gate clean (zero slots/sec delta), proving
+#      the attribution path parses its own output.
 #
 # Run from anywhere inside the repository.
 
@@ -57,6 +64,17 @@ test -s "$tmp/lint.json"
 echo "== profile smoke + artifact schema validation =="
 cargo run --release --quiet -p fifoms-cli -- profile --slots 10000
 cargo run --release --quiet -p fifoms-cli -- check-bench
+grep -q '"schema": *"fifoms-bench-profile-v2"' BENCH_profile.json
+grep -q '"path": *"schedule/' BENCH_profile.json
+
+echo "== perf-diff self-check (artifact diffed against itself) =="
+cargo run --release --quiet -p fifoms-cli -- perf-diff \
+  BENCH_profile.json BENCH_profile.json
+
+echo "== alloc audit (counting allocator, FIFOMS + iSLIP must be clean) =="
+cargo run --release --quiet -p fifoms-cli --features alloc-audit -- \
+  alloc-audit --n 8 --slots 4000 --json "$tmp/alloc-audit.json"
+grep -q '"clean": *true' "$tmp/alloc-audit.json"
 
 echo "== bench regression gate (smoke vs committed baseline) =="
 BENCH_SMOKE=1 BENCH_CORE_OUT="$tmp/BENCH_core.json" \

@@ -74,9 +74,10 @@ pub mod prelude {
         RecordingSink,
     };
     pub use fifoms_sim::{
-        profile_run, simulate, try_simulate, try_simulate_observed, CellFailureReason,
-        CellOutcome, CellPolicy, CheckpointJournal, FailedCell, Observer, ProfileReport,
-        RunConfig, RunResult, Sweep, SweepObserver, SwitchKind, TrafficKind,
+        alloc_audit, profile_run, simulate, try_simulate, try_simulate_observed,
+        AllocAuditReport, CellFailureReason, CellOutcome, CellPolicy, CheckpointJournal,
+        FailedCell, Observer, ProfileReport, RunConfig, RunResult, Sweep, SweepObserver,
+        SwitchKind, TrafficKind,
     };
     pub use fifoms_stats::SaturationVerdict;
     pub use fifoms_types::{InvariantViolation, ObsEvent, SimError};

@@ -1,0 +1,72 @@
+//! Steady-state allocation audit with a real counting global allocator.
+//!
+//! Integration tests compile as their own crates, so installing a
+//! `#[global_allocator]` here taxes only this test binary — the library
+//! crates stay `forbid(unsafe_code)` and the workspace's other tests run
+//! on the plain system allocator. The audit harness itself is
+//! [`fifoms_sim::alloc_audit`]; this file supplies the counter it needs
+//! and asserts the PR's headline claim: after warmup, the engine's slot
+//! loop (`traffic → admit → run_slot → stats`) performs **zero** heap
+//! allocations for both FIFOMS and iSLIP.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fifoms::prelude::*;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every operation defers verbatim to `System`, which upholds the
+// GlobalAlloc contract; the relaxed counter increment does not touch the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards to `System::alloc` under the caller's obligations.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: `ptr`/`layout` come from a matching `alloc` on `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards to `System::realloc` under the caller's
+    // obligations.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// FIFOMS and iSLIP run sequentially in one test: a second thread would
+/// share the process-wide counter, so parallel test execution could
+/// cross-attribute allocations.
+#[test]
+fn steady_state_slot_loop_is_allocation_free() {
+    const N: usize = 8;
+    for (label, kind) in [("FIFOMS", SwitchKind::Fifoms), ("iSLIP", SwitchKind::Islip(None))] {
+        let mut sw = kind.build(N, 1);
+        let mut tr = TrafficKind::bernoulli_at_load(0.6, 0.25, N).build(N, 2);
+        let report =
+            alloc_audit(sw.as_mut(), tr.as_mut(), 3_000, 3_000, &alloc_events).unwrap();
+        assert!(
+            report.packets_admitted > 0 && report.copies_delivered > 0,
+            "{label}: audit must exercise real load"
+        );
+        assert!(
+            report.is_clean(),
+            "{label}: steady-state slot loop allocated: {:?}",
+            report.phase_allocs
+        );
+    }
+}

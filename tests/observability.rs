@@ -173,6 +173,115 @@ fn traced_rounds_respect_explicit_cap() {
     assert!(matched_slots > 500, "high-load run should match most slots");
 }
 
+/// Attaching a span profiler (stride 1: every slot timed) must not
+/// perturb results either — the profiled run is bit-identical to the
+/// plain run, while the profiler still captures the engine phases, the
+/// switch's nested scheduling sub-spans, and the slot-time histogram.
+#[test]
+fn profiler_attachment_is_bit_identical() {
+    let cfg = RunConfig::quick(2_000);
+    let mut sw = InstrumentedSwitch::new(SwitchKind::Fifoms.build(N, 7));
+    let mut tr = TrafficKind::bernoulli_at_load(0.7, 0.2, N).build(N, 9);
+    let plain = try_simulate(&mut sw, tr.as_mut(), &cfg).expect("plain run");
+
+    let mut sw = InstrumentedSwitch::new(SwitchKind::Fifoms.build(N, 7));
+    let mut tr = TrafficKind::bernoulli_at_load(0.7, 0.2, N).build(N, 9);
+    let mut prof = PhaseProfiler::new();
+    let mut obs = Observer {
+        sink: None,
+        profiler: Some((&mut prof, 1)),
+    };
+    let profiled =
+        try_simulate_observed(&mut sw, tr.as_mut(), &cfg, &mut obs).expect("profiled run");
+
+    assert_eq!(format!("{plain:?}"), format!("{profiled:?}"));
+
+    let sched = prof.stats("schedule").expect("schedule phase timed");
+    assert!(sched.calls > 0);
+    for sub in ["voq_scan", "request", "grant", "commit"] {
+        let calls = prof.stats(sub).map_or(0, |s| s.calls);
+        assert!(calls > 0, "profiled run missing nested sub-span `{sub}`");
+    }
+    assert!(prof.slot_times().count() > 0, "slot-time histogram empty");
+}
+
+/// Names for randomly generated span trees. Repeats are deliberate: the
+/// same name may recur at several depths, exercising the profiler's
+/// `(parent, name)` node identity.
+const SPAN_NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// Interpret `codes` as a pre-order walk: values < 4 open a (possibly
+/// nested) span, values >= 4 close the current one. Depth is capped so
+/// every generated tree stays small and balanced.
+fn drive_span_tree(p: &mut PhaseProfiler, codes: &[u8], pos: &mut usize, depth: usize) {
+    while *pos < codes.len() {
+        let c = codes[*pos];
+        *pos += 1;
+        if depth > 0 && c >= 4 {
+            return;
+        }
+        let name = SPAN_NAMES[usize::from(c) % SPAN_NAMES.len()];
+        p.enter(name);
+        if depth < 3 {
+            drive_span_tree(p, codes, pos, depth + 1);
+        }
+        p.exit(name);
+    }
+}
+
+proptest::proptest! {
+    /// For any span tree, every parent's inclusive time decomposes
+    /// exactly: inclusive == exclusive + Σ direct children's inclusive.
+    /// Verified through the snapshot's `path`/`depth` fields, so the
+    /// public artifact format carries enough structure to audit the
+    /// books, not just the in-memory tree.
+    #[test]
+    fn prop_span_tree_time_decomposes_exactly(
+        codes in proptest::collection::vec(0u8..6, 1..48),
+    ) {
+        let mut p = PhaseProfiler::new();
+        let mut pos = 0;
+        drive_span_tree(&mut p, &codes, &mut pos, 0);
+        proptest::prop_assert_eq!(p.depth(), 0, "walk left spans open");
+
+        let snap = p.snapshot();
+        let spans: Vec<(String, u64, u64)> = snap
+            .as_arr()
+            .expect("snapshot is an array")
+            .iter()
+            .map(|o| {
+                (
+                    o.get("path").and_then(Json::as_str).expect("path").to_string(),
+                    o.get("inclusive_ns").and_then(Json::as_f64).expect("inclusive") as u64,
+                    o.get("exclusive_ns").and_then(Json::as_f64).expect("exclusive") as u64,
+                )
+            })
+            .collect();
+
+        for (path, inclusive, exclusive) in &spans {
+            // Direct children are exactly one path segment deeper.
+            let prefix = format!("{path}/");
+            let child_sum: u64 = spans
+                .iter()
+                .filter(|(p2, _, _)| {
+                    p2.strip_prefix(&prefix).is_some_and(|rest| !rest.contains('/'))
+                })
+                .map(|&(_, inc, _)| inc)
+                .sum();
+            proptest::prop_assert!(
+                exclusive + child_sum <= *inclusive,
+                "children overflow parent at {path}: excl {exclusive} + children {child_sum} > incl {inclusive}"
+            );
+            proptest::prop_assert_eq!(
+                exclusive + child_sum,
+                *inclusive,
+                "unattributed time at {}",
+                path
+            );
+        }
+    }
+}
+
 /// Fault injection shows up in the trace: masked arrivals are recorded
 /// with their firing slot and input port, and the run still completes.
 #[test]
