@@ -70,6 +70,26 @@ pub struct Options {
     pub voq_cap: usize,
     /// Per-input aggregate copy cap for `overload` (`0` = unbounded).
     pub input_cap: usize,
+    /// Stream windowed telemetry as `fifoms-timeseries-v1` JSONL here.
+    pub timeseries_out: Option<String>,
+    /// Publish the live telemetry snapshot JSON document here.
+    pub snapshot_out: Option<String>,
+    /// Publish Prometheus-style text exposition here.
+    pub prom_out: Option<String>,
+    /// Telemetry window stride in slots.
+    pub window: u64,
+    /// Render one frame and exit (`top --once`).
+    pub once: bool,
+    /// Refresh period for the live `top` view, in milliseconds.
+    pub interval_ms: u64,
+    /// Validate/show the windowed time-series alongside the snapshot
+    /// (`top --timeseries <file.jsonl>`).
+    pub timeseries: Option<String>,
+    /// Append a bench-ledger row to this JSONL path (`check-bench
+    /// --ledger`).
+    pub ledger: Option<String>,
+    /// Free-form note stored with the ledger row (e.g. a commit id).
+    pub ledger_note: Option<String>,
 }
 
 impl Default for Options {
@@ -106,6 +126,15 @@ impl Default for Options {
             write_baseline: false,
             voq_cap: 16,
             input_cap: 64,
+            timeseries_out: None,
+            snapshot_out: None,
+            prom_out: None,
+            window: 1_000,
+            once: false,
+            interval_ms: 500,
+            timeseries: None,
+            ledger: None,
+            ledger_note: None,
         }
     }
 }
@@ -134,6 +163,7 @@ const COMMANDS: &[&str] = &[
     "overload",
     "perf-diff",
     "alloc-audit",
+    "top",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -150,11 +180,14 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             "--plot" => opts.plot = true,
             "--inject-faults" => opts.inject_faults = true,
             "--progress" => opts.progress = true,
+            "--once" => opts.once = true,
             "--n" | "--slots" | "--seed" | "--points" | "--threads" | "--csv-dir"
             | "--journal" | "--resume" | "--check-every" | "--cell-timeout" | "--retries"
             | "--trace-out" | "--metrics-out" | "--out" | "--sample-every" | "--packet-trace"
             | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance"
-            | "--scenarios" | "--scenario" | "--voq-cap" | "--input-cap" => {
+            | "--scenarios" | "--scenario" | "--voq-cap" | "--input-cap"
+            | "--timeseries-out" | "--snapshot-out" | "--prom-out" | "--window"
+            | "--interval-ms" | "--timeseries" | "--ledger" | "--ledger-note" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -187,6 +220,14 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--scenario" => opts.scenario = Some(value.clone()),
                     "--voq-cap" => opts.voq_cap = parse_num(arg, value)?,
                     "--input-cap" => opts.input_cap = parse_num(arg, value)?,
+                    "--timeseries-out" => opts.timeseries_out = Some(value.clone()),
+                    "--snapshot-out" => opts.snapshot_out = Some(value.clone()),
+                    "--prom-out" => opts.prom_out = Some(value.clone()),
+                    "--window" => opts.window = parse_num(arg, value)?,
+                    "--interval-ms" => opts.interval_ms = parse_num(arg, value)?,
+                    "--timeseries" => opts.timeseries = Some(value.clone()),
+                    "--ledger" => opts.ledger = Some(value.clone()),
+                    "--ledger-note" => opts.ledger_note = Some(value.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -195,9 +236,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     return Err(format!("duplicate command {cmd}"));
                 }
             }
-            // The `analyze` command takes its trace file as a positional
-            // argument, like `analyze trace.jsonl`.
-            path if command.as_deref() == Some("analyze")
+            // `analyze` and `top` take their input file as a positional
+            // argument, like `analyze trace.jsonl` / `top snapshot.json`.
+            path if matches!(command.as_deref(), Some("analyze") | Some("top"))
                 && opts.input.is_none()
                 && !path.starts_with('-') =>
             {
@@ -239,9 +280,18 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     if opts.scenarios == 0 {
         return Err("--scenarios must be positive".into());
     }
+    if opts.window == 0 {
+        return Err("--window must be positive".into());
+    }
+    if opts.interval_ms == 0 {
+        return Err("--interval-ms must be positive".into());
+    }
     let command = command.ok_or("missing command")?;
     if command == "analyze" && opts.input.is_none() {
         return Err("analyze requires a trace file: analyze <trace.jsonl>".into());
+    }
+    if command == "top" && opts.input.is_none() {
+        return Err("top requires a snapshot file: top <snapshot.json>".into());
     }
     if command == "overload" && (opts.voq_cap == 0 || opts.input_cap == 0) {
         return Err("overload requires finite --voq-cap and --input-cap".into());
@@ -494,6 +544,56 @@ mod tests {
         assert_eq!(o.json_out.as_deref(), Some("loss.json"));
         assert!(parse(&argv("overload --voq-cap 0")).is_err());
         assert!(parse(&argv("overload --input-cap 0")).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let (cmd, o) = parse(&argv(
+            "sweep --timeseries-out ts.jsonl --snapshot-out snap.json \
+             --prom-out metrics.prom --window 200",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "sweep");
+        assert_eq!(o.timeseries_out.as_deref(), Some("ts.jsonl"));
+        assert_eq!(o.snapshot_out.as_deref(), Some("snap.json"));
+        assert_eq!(o.prom_out.as_deref(), Some("metrics.prom"));
+        assert_eq!(o.window, 200);
+        assert!(parse(&argv("sweep --window 0")).is_err());
+
+        let (_, o) = parse(&argv("chaos --smoke --snapshot-out s.json")).unwrap();
+        assert_eq!(o.snapshot_out.as_deref(), Some("s.json"));
+        assert_eq!(o.window, 1_000, "window defaults to 1000 slots");
+    }
+
+    #[test]
+    fn top_takes_a_positional_snapshot() {
+        let (cmd, o) = parse(&argv("top snap.json")).unwrap();
+        assert_eq!(cmd, "top");
+        assert_eq!(o.input.as_deref(), Some("snap.json"));
+        assert!(!o.once);
+        assert_eq!(o.interval_ms, 500);
+
+        let (_, o) = parse(&argv("top snap.json --once --timeseries ts.jsonl")).unwrap();
+        assert!(o.once);
+        assert_eq!(o.timeseries.as_deref(), Some("ts.jsonl"));
+
+        let (_, o) = parse(&argv("top snap.json --interval-ms 100")).unwrap();
+        assert_eq!(o.interval_ms, 100);
+
+        assert!(parse(&argv("top")).is_err(), "top needs a snapshot path");
+        assert!(parse(&argv("top a.json --interval-ms 0")).is_err());
+    }
+
+    #[test]
+    fn check_bench_ledger_flags() {
+        let (cmd, o) = parse(&argv(
+            "check-bench --ledger results/bench_ledger.jsonl --ledger-note abc123",
+        ))
+        .unwrap();
+        assert_eq!(cmd, "check-bench");
+        assert_eq!(o.ledger.as_deref(), Some("results/bench_ledger.jsonl"));
+        assert_eq!(o.ledger_note.as_deref(), Some("abc123"));
+        assert!(parse(&argv("check-bench --ledger")).is_err());
     }
 
     #[test]

@@ -14,12 +14,13 @@
 //! what the CI smoke stage keys on.
 
 use fifoms_sim::{
-    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario, shrink_scenario,
-    ChaosOutcome, ChaosScenario,
+    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario,
+    run_scenario_observed, shrink_scenario, ChaosOutcome, ChaosScenario,
 };
 use fifoms_types::SimError;
 
 use crate::args::Options;
+use crate::topcmd;
 
 /// Entry point for `fifoms-repro chaos`.
 pub fn chaos(opts: &Options) -> Result<(), SimError> {
@@ -56,11 +57,21 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     println!();
     print_header();
 
+    // Live telemetry, when requested: every scenario streams windowed
+    // counters under its own `chaos#k` scope (the spec is Arc-based, so
+    // the per-cell clones share one sink and one snapshot bus). Shrink
+    // probes below stay unobserved — reproducers must not depend on the
+    // observer being attached.
+    let telemetry = topcmd::telemetry_spec(opts)?;
     let mut outcomes: Vec<ChaosOutcome> = Vec::with_capacity(scenarios.len());
     let mut timeouts: Vec<ChaosScenario> = Vec::new();
     for (k, sc) in scenarios.iter().enumerate() {
         let cell = *sc;
-        match run_guarded(limit_millis, move || run_scenario(&cell)) {
+        let cell_telemetry = telemetry.clone();
+        let scope = format!("chaos#{k}");
+        match run_guarded(limit_millis, move || {
+            run_scenario_observed(&cell, cell_telemetry.as_ref(), &scope)
+        }) {
             Ok(out) => {
                 print_row(k, &out);
                 outcomes.push(out);
@@ -73,6 +84,7 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     }
     println!();
     print_recovery_summary(&outcomes);
+    topcmd::report_telemetry_outputs(opts);
 
     let failures: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| o.failed()).collect();
     if failures.is_empty() && timeouts.is_empty() {

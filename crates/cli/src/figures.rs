@@ -535,6 +535,7 @@ pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
             .progress
             .then(|| Arc::new(ProgressMeter::new(cells, std::time::Duration::from_secs(2)))),
         packet_trace: opts.packet_trace,
+        telemetry: crate::topcmd::telemetry_spec(opts)?,
     };
     let outcomes = match &opts.journal {
         Some(path) => {
@@ -547,6 +548,7 @@ pub fn sweep_cmd(opts: &Options) -> Result<(), SimError> {
     if let Some(path) = &opts.trace_out {
         println!("wrote {path}");
     }
+    crate::topcmd::report_telemetry_outputs(opts);
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, sweep_metrics(&sweep, &outcomes).to_string() + "\n")
             .map_err(|e| SimError::Usage(format!("cannot write {path}: {e}")))?;

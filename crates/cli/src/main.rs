@@ -72,6 +72,26 @@
 //!   --json <PATH>        write the fifoms-overload-v1 artifact
 //!                        (schema-checked against schemas/overload.schema.json)
 //!
+//! sweep, chaos and overload accept the live-telemetry flags, which
+//! attach windowed observation without perturbing results (runs stay
+//! bit-identical, asserted by the telemetry test suite):
+//!   --timeseries-out <PATH> stream fifoms-timeseries-v1 window JSONL
+//!   --snapshot-out <PATH>   publish the live snapshot JSON (atomic rewrite)
+//!   --prom-out <PATH>       publish Prometheus-style text exposition
+//!   --window <S>            window stride in slots    [default: 1000]
+//!
+//! top <snapshot.json> renders an in-terminal live view of a running
+//! campaign from its --snapshot-out file — windowed slots/sec,
+//! delivered/admitted, tail percentiles, overload level and the
+//! per-input fault scoreboard — refreshing until every scope completes:
+//!   --once               render one frame and exit (CI / scripting)
+//!   --interval-ms <MS>   refresh period            [default: 500]
+//!   --timeseries <PATH>  also validate a --timeseries-out stream
+//!
+//! check-bench additionally maintains a running slots/sec ledger:
+//!   --ledger <PATH>      append a fifoms-bench-ledger-v1 row to PATH
+//!   --ledger-note <S>    free-form note stored with the row
+//!
 //! lint runs the fifoms-lint source disciplines (R1 determinism, R2
 //! timestamp preservation, R3 panic freedom, R4 event vocabulary, R5
 //! SAFETY/INVARIANT audit, R6 fingerprint floats) over the workspace and
@@ -95,6 +115,7 @@ mod figures;
 mod lintcmd;
 mod obscmd;
 mod overloadcmd;
+mod topcmd;
 mod traces;
 
 use std::process::ExitCode;
@@ -108,7 +129,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|perf-diff|alloc-audit|analyze|chaos|lint|overload> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|perf-diff|alloc-audit|analyze|chaos|lint|overload|top> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C] [--timeseries-out PATH] [--snapshot-out PATH] [--prom-out PATH] [--window S] [--once] [--interval-ms MS] [--timeseries PATH] [--ledger PATH] [--ledger-note S]");
             return ExitCode::FAILURE;
         }
     };
@@ -143,6 +164,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "chaos" => chaoscmd::chaos(opts),
         "lint" => lintcmd::lint(opts),
         "overload" => overloadcmd::overload(opts),
+        "top" => topcmd::top(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),
         "all" => {

@@ -79,7 +79,11 @@ pub fn profile(opts: &Options) -> Result<(), SimError> {
 pub fn check_bench(opts: &Options) -> Result<(), SimError> {
     if let Some(baseline) = opts.baseline.as_deref() {
         let current = opts.current.as_deref().unwrap_or("BENCH_core.json");
-        return regression_gate(baseline, current, opts.tolerance);
+        regression_gate(baseline, current, opts.tolerance)?;
+        if let Some(ledger) = opts.ledger.as_deref() {
+            append_ledger(ledger, current, opts.ledger_note.as_deref())?;
+        }
+        return Ok(());
     }
     let core_path = opts.current.as_deref().unwrap_or("BENCH_core.json");
     let pairs = [
@@ -106,6 +110,50 @@ pub fn check_bench(opts: &Options) -> Result<(), SimError> {
                 .into(),
         ));
     }
+    if let Some(ledger) = opts.ledger.as_deref() {
+        append_ledger(ledger, core_path, opts.ledger_note.as_deref())?;
+    }
+    Ok(())
+}
+
+/// Append one `fifoms-bench-ledger-v1` record to the JSONL ledger: the
+/// current core-bench artifact's `(cell -> slots/sec)` table plus a
+/// free-form note (`scripts/bench.sh` stores the commit id there), so
+/// throughput history accumulates across runs without a database.
+fn append_ledger(ledger: &str, source: &str, note: Option<&str>) -> Result<(), SimError> {
+    let cells = bench_rows(source)?;
+    let mut doc = Json::object();
+    doc.set("schema", "fifoms-bench-ledger-v1");
+    doc.set("source", source);
+    if let Some(note) = note {
+        doc.set("note", note);
+    }
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|(key, sps)| {
+            let mut row = Json::object();
+            row.set("key", key.as_str());
+            row.set("slots_per_sec", *sps);
+            row
+        })
+        .collect();
+    doc.set("rows", Json::Arr(rows));
+    if let Some(parent) = std::path::Path::new(ledger).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| io_err(ledger, e))?;
+        }
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(ledger)
+        .map_err(|e| io_err(ledger, e))?;
+    writeln!(f, "{doc}").map_err(|e| io_err(ledger, e))?;
+    println!(
+        "check-bench: appended {} cell(s) from {source} to {ledger}",
+        cells.len()
+    );
     Ok(())
 }
 
@@ -319,4 +367,61 @@ fn perf_diff_gate(baseline: &str, current: &str, tolerance: f64) -> Result<(), S
 fn read_json(path: &str) -> Result<Json, SimError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     Json::parse(&text).map_err(|e| io_err(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_appends_one_validated_row_per_invocation() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let source = dir.join(format!("fifoms-ledger-src-{pid}.json"));
+        let ledger = dir.join(format!("fifoms-ledger-{pid}.jsonl"));
+        std::fs::remove_file(&ledger).ok();
+        std::fs::write(
+            &source,
+            "{\"n\":8,\"rows\":[\
+             {\"switch\":\"fifoms\",\"load\":0.6,\"slots_per_sec\":123456.0},\
+             {\"switch\":\"islip\",\"load\":0.6,\"slots_per_sec\":98765.0}]}\n",
+        )
+        .unwrap();
+
+        for note in ["first", "second"] {
+            append_ledger(
+                ledger.to_str().unwrap(),
+                source.to_str().unwrap(),
+                Some(note),
+            )
+            .expect("ledger append succeeds");
+        }
+
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSONL record per invocation");
+        for (i, line) in lines.iter().enumerate() {
+            let doc = Json::parse(line).expect("ledger line parses");
+            assert_eq!(
+                doc.get("schema").and_then(Json::as_str),
+                Some("fifoms-bench-ledger-v1")
+            );
+            assert_eq!(
+                doc.get("note").and_then(Json::as_str),
+                Some(["first", "second"][i])
+            );
+            let rows = doc.get("rows").and_then(Json::as_arr).expect("rows array");
+            assert_eq!(rows.len(), 2);
+            assert_eq!(
+                rows[0].get("key").and_then(Json::as_str),
+                Some("fifoms@0.6000@n8")
+            );
+            assert_eq!(
+                rows[0].get("slots_per_sec").and_then(Json::as_f64),
+                Some(123456.0)
+            );
+        }
+        std::fs::remove_file(&source).ok();
+        std::fs::remove_file(&ledger).ok();
+    }
 }

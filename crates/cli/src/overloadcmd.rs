@@ -13,10 +13,11 @@
 
 use fifoms_obs::{schema, Json};
 use fifoms_sim::report::Table;
-use fifoms_sim::{loss_sweep, LossPoint, LossSweepConfig};
+use fifoms_sim::{loss_sweep_observed, LossPoint, LossSweepConfig};
 use fifoms_types::SimError;
 
 use crate::args::Options;
+use crate::topcmd;
 
 /// Entry point for `fifoms-repro overload`.
 pub fn overload(opts: &Options) -> Result<(), SimError> {
@@ -42,7 +43,13 @@ pub fn overload(opts: &Options) -> Result<(), SimError> {
         opts.seed
     );
 
-    let points = loss_sweep(&cfg);
+    // Each cell streams live windows under its `<policy>@<load>` scope
+    // when the telemetry flags are present; results are bit-identical
+    // either way.
+    let telemetry = topcmd::telemetry_spec(opts)?;
+    let points = loss_sweep_observed(&cfg, telemetry.as_ref());
+    drop(telemetry); // flush the series sink before the table prints
+    topcmd::report_telemetry_outputs(opts);
 
     let mut table = Table::new(vec![
         "load",
@@ -124,6 +131,7 @@ fn render_json(cfg: &LossSweepConfig, points: &[LossPoint]) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fifoms_sim::loss_sweep;
 
     #[test]
     fn artifact_conforms_to_the_checked_in_schema() {

@@ -387,6 +387,10 @@ impl Switch for MulticastVoqSwitch {
         self.spare_departures = v;
     }
 
+    fn quarantined_paths(&self, now: Slot, out: &mut Vec<(PortId, PortId)>) {
+        self.scoreboard.quarantined_paths_into(now, out);
+    }
+
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         let n = self.ports.len();
         for port in &mut self.ports {

@@ -493,6 +493,9 @@ impl<S: Switch> Switch for FaultyFabric<S> {
     fn recycle(&mut self, outcome: SlotOutcome) {
         self.inner.recycle(outcome)
     }
+    fn quarantined_paths(&self, now: Slot, out: &mut Vec<(PortId, PortId)>) {
+        self.inner.quarantined_paths(now, out)
+    }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         self.inner.reserve_steady_state(copies_per_voq)
     }

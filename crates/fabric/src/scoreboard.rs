@@ -95,6 +95,15 @@ impl FaultScoreboard {
     /// All paths quarantined at `now`, for scoreboard-accuracy probes.
     pub fn quarantined_paths(&self, now: Slot) -> Vec<(PortId, PortId)> {
         let mut out = Vec::new();
+        self.quarantined_paths_into(now, &mut out);
+        out
+    }
+
+    /// Append all paths quarantined at `now` to `out` in ascending
+    /// `(input, output)` order, without clearing it. The allocation-free
+    /// form behind [`Switch::quarantined_paths`](crate::Switch): live
+    /// telemetry polls it at window close with a pre-sized buffer.
+    pub fn quarantined_paths_into(&self, now: Slot, out: &mut Vec<(PortId, PortId)>) {
         for i in 0..self.ports {
             for o in 0..self.ports {
                 let (i, o) = (PortId::new(i), PortId::new(o));
@@ -103,7 +112,6 @@ impl FaultScoreboard {
                 }
             }
         }
-        out
     }
 }
 

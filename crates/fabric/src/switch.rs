@@ -176,6 +176,18 @@ pub trait Switch {
         let _ = outcome;
     }
 
+    /// Append the `(input, output)` paths currently quarantined by the
+    /// switch's fault scoreboard to `out` (`out` is not cleared), in
+    /// ascending `(input, output)` order. Live telemetry polls this at
+    /// window close to render a per-input fault scoreboard; the caller
+    /// pre-sizes `out`, so steady-state calls do not allocate. The
+    /// default is a no-op (no scoreboard — nothing is ever quarantined);
+    /// wrappers must forward it so the query reaches the switch that
+    /// owns the scoreboard.
+    fn quarantined_paths(&self, now: Slot, out: &mut Vec<(PortId, PortId)>) {
+        let _ = (now, out);
+    }
+
     /// Pre-size every internal queue, pool and map for a steady state of
     /// up to `copies_per_voq` queued copies per VOQ, so a subsequent run
     /// performs no heap allocation until that occupancy is exceeded.
@@ -236,6 +248,9 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn recycle(&mut self, outcome: SlotOutcome) {
         (**self).recycle(outcome)
+    }
+    fn quarantined_paths(&self, now: Slot, out: &mut Vec<(PortId, PortId)>) {
+        (**self).quarantined_paths(now, out)
     }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         (**self).reserve_steady_state(copies_per_voq)

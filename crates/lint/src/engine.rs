@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 use fifoms_obs::Json;
 
 use crate::matcher::Matcher;
-use crate::rules::{check_file, check_vocabulary, Finding, RULES};
+use crate::rules::{check_derived_vocabulary, check_file, check_vocabulary, Finding, RULES};
 
 /// The outcome of linting a workspace.
 pub struct Report {
@@ -88,6 +88,21 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
             "schemas/events.schema.json",
             &schema,
         ));
+        // Derived event streams must name only kinds the source
+        // vocabulary produces (subset check: a derived schema carrying a
+        // kind nobody emits is dead vocabulary).
+        let ts_path = root.join("schemas/timeseries.schema.json");
+        if ts_path.is_file() {
+            let ts_text = fs::read_to_string(&ts_path)
+                .map_err(|e| format!("{}: {e}", ts_path.display()))?;
+            let ts_schema =
+                Json::parse(&ts_text).map_err(|e| format!("{}: {e}", ts_path.display()))?;
+            findings.extend(check_derived_vocabulary(
+                &obs_src,
+                "schemas/timeseries.schema.json",
+                &ts_schema,
+            ));
+        }
     }
 
     findings.sort_by(|a, b| {

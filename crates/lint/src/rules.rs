@@ -54,7 +54,7 @@ pub const RULES: &[(&str, &str, &str)] = &[
     ("R1", "determinism", "no hash-order iteration, wall clocks or unseeded RNGs in result-bearing crates"),
     ("R2", "timestamp-discipline", "arrival stamps are minted at admission only; retries must preserve them"),
     ("R3", "panic-freedom", "no unwrap/expect/panic!/indexing in hot-path scheduler and fabric code"),
-    ("R4", "event-vocabulary", "ObsEvent kinds and schemas/events.schema.json agree in both directions"),
+    ("R4", "event-vocabulary", "ObsEvent kinds and schemas/events.schema.json agree in both directions; derived schemas (timeseries) name only emitted kinds"),
     ("R5", "justification-audit", "every unsafe block has SAFETY:, every INVARIANT: tag a justification"),
     ("R6", "fingerprint-floats", "grid-hash fingerprint code formats floats only via to_bits()"),
 ];
@@ -385,51 +385,8 @@ pub fn check_vocabulary(
     schema: &fifoms_obs::Json,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
-    let m = Matcher::new(obs_src);
-    // Event kinds = string literals inside `fn kind(...) -> ... { ... }`.
-    let mut kinds: Vec<(String, usize)> = Vec::new();
-    for si in 0..m.len() {
-        if m.text(si) != "fn" || si + 1 >= m.len() || m.text(si + 1) != "kind" {
-            continue;
-        }
-        // First top-level `{` after the signature opens the body.
-        let mut depth = 0i64;
-        let mut open = None;
-        for k in si..m.len() {
-            match m.text(k) {
-                "(" => depth += 1,
-                ")" => depth -= 1,
-                "{" if depth == 0 => {
-                    open = Some(k);
-                    break;
-                }
-                _ => {}
-            }
-        }
-        let Some(open) = open else { continue };
-        let Some(close) = m.matching_close(open) else {
-            continue;
-        };
-        for k in open..close {
-            if m.tok(k).kind == TokKind::Str {
-                let text = m.text(k).trim_matches('"').to_string();
-                let (line, _) = m.line_col(k);
-                kinds.push((text, line));
-            }
-        }
-    }
-    let schema_kinds: Vec<String> = schema
-        .get("properties")
-        .and_then(|p| p.get("event"))
-        .and_then(|e| e.get("enum"))
-        .and_then(fifoms_obs::Json::as_arr)
-        .map(|vals| {
-            vals.iter()
-                .filter_map(fifoms_obs::Json::as_str)
-                .map(str::to_string)
-                .collect()
-        })
-        .unwrap_or_default();
+    let kinds = event_kinds(obs_src);
+    let schema_kinds = schema_event_enum(schema);
     if schema_kinds.is_empty() {
         out.push(Finding {
             rule: "R4",
@@ -470,6 +427,101 @@ pub fn check_vocabulary(
         }
     }
     out
+}
+
+/// Cross-check a derived event schema (e.g.
+/// `schemas/timeseries.schema.json`) against the `ObsEvent::kind()`
+/// vocabulary: every kind the derived schema names must exist in the
+/// source vocabulary. One-directional — a derived stream carries a
+/// *subset* of the event kinds, so kinds absent from it are fine.
+pub fn check_derived_vocabulary(
+    obs_src: &str,
+    schema_rel: &str,
+    schema: &fifoms_obs::Json,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let kinds = event_kinds(obs_src);
+    let schema_kinds = schema_event_enum(schema);
+    if schema_kinds.is_empty() {
+        out.push(Finding {
+            rule: "R4",
+            path: schema_rel.to_string(),
+            line: 1,
+            col: 1,
+            key: "missing-event-enum".into(),
+            message: format!("{schema_rel} declares no properties.event.enum vocabulary"),
+        });
+        return out;
+    }
+    for kind in &schema_kinds {
+        if !kinds.iter().any(|(k, _)| k == kind) {
+            out.push(Finding {
+                rule: "R4",
+                path: schema_rel.to_string(),
+                line: 1,
+                col: 1,
+                key: format!("schema-only {kind}"),
+                message: format!(
+                    "{schema_rel} lists \"{kind}\" but no ObsEvent::kind() arm produces it; dead vocabulary"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Event kinds = string literals inside `fn kind(...) -> ... { ... }`
+/// of the observability vocabulary source, with their source lines.
+fn event_kinds(obs_src: &str) -> Vec<(String, usize)> {
+    let m = Matcher::new(obs_src);
+    let mut kinds: Vec<(String, usize)> = Vec::new();
+    for si in 0..m.len() {
+        if m.text(si) != "fn" || si + 1 >= m.len() || m.text(si + 1) != "kind" {
+            continue;
+        }
+        // First top-level `{` after the signature opens the body.
+        let mut depth = 0i64;
+        let mut open = None;
+        for k in si..m.len() {
+            match m.text(k) {
+                "(" => depth += 1,
+                ")" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = m.matching_close(open) else {
+            continue;
+        };
+        for k in open..close {
+            if m.tok(k).kind == TokKind::Str {
+                let text = m.text(k).trim_matches('"').to_string();
+                let (line, _) = m.line_col(k);
+                kinds.push((text, line));
+            }
+        }
+    }
+    kinds
+}
+
+/// The `properties.event.enum` vocabulary of a parsed event schema.
+fn schema_event_enum(schema: &fifoms_obs::Json) -> Vec<String> {
+    schema
+        .get("properties")
+        .and_then(|p| p.get("event"))
+        .and_then(|e| e.get("enum"))
+        .and_then(fifoms_obs::Json::as_arr)
+        .map(|vals| {
+            vals.iter()
+                .filter_map(fifoms_obs::Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 // ---------------------------------------------------------------- R5 --

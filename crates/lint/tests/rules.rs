@@ -8,7 +8,7 @@
 //! asserted flagged inside a rule's domain and ignored outside it.
 
 use fifoms_lint::matcher::Matcher;
-use fifoms_lint::rules::{check_file, check_vocabulary, Finding};
+use fifoms_lint::rules::{check_derived_vocabulary, check_file, check_vocabulary, Finding};
 use fifoms_obs::Json;
 
 fn run(rel: &str, src: &str) -> Vec<Finding> {
@@ -185,6 +185,46 @@ fn r4_flags_drift_in_both_directions() {
     assert!(f
         .iter()
         .any(|x| x.message.contains("\"run_end\" but no ObsEvent::kind() arm")));
+}
+
+#[test]
+fn r4_derived_schema_must_be_a_subset_of_the_vocabulary() {
+    // A derived stream naming a subset of the emitted kinds is fine.
+    let subset = Json::parse(
+        r#"{"type": "object", "required": ["event"],
+            "properties": {"event": {"enum": ["run_end"]}}}"#,
+    )
+    .unwrap();
+    let f = check_derived_vocabulary(
+        include_str!("fixtures/r4_obs_good.rs"),
+        "schemas/timeseries.schema.json",
+        &subset,
+    );
+    assert_eq!(f, Vec::new(), "{f:#?}");
+
+    // A derived stream naming a kind nobody emits is dead vocabulary...
+    let phantom = Json::parse(
+        r#"{"type": "object", "required": ["event"],
+            "properties": {"event": {"enum": ["run_end", "phantom_event"]}}}"#,
+    )
+    .unwrap();
+    let f = check_derived_vocabulary(
+        include_str!("fixtures/r4_obs_good.rs"),
+        "schemas/timeseries.schema.json",
+        &phantom,
+    );
+    assert_eq!(count(&f, "R4"), 1, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("\"phantom_event\"")));
+
+    // ...and a derived schema with no enum at all cannot gate anything.
+    let empty = Json::parse(r#"{"type": "object"}"#).unwrap();
+    let f = check_derived_vocabulary(
+        include_str!("fixtures/r4_obs_good.rs"),
+        "schemas/timeseries.schema.json",
+        &empty,
+    );
+    assert_eq!(count(&f, "R4"), 1, "{f:#?}");
+    assert!(f.iter().any(|x| x.key == "missing-event-enum"));
 }
 
 // ---------------------------------------------------------------- R5 --

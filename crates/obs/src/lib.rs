@@ -19,6 +19,11 @@
 //! * [`Json`] — a dependency-free JSON value/writer/parser (the build
 //!   environment has no serde), and [`schema::validate`] — a JSON-Schema
 //!   subset validator CI uses to pin the BENCH_* output shapes;
+//! * [`Telemetry`] / [`SnapshotBus`] — the live side (DESIGN.md §14):
+//!   windowed time-series accumulated from drained events inside the slot
+//!   loop, published as `fifoms-timeseries-v1` JSONL, atomic
+//!   `fifoms-telemetry-snapshot-v1` snapshots for `fifoms-repro top`,
+//!   and a Prometheus-style text exposition ([`render_prometheus`]);
 //! * [`analysis`] — the trace-forensics engine behind `fifoms-repro
 //!   analyze`: streams a JSONL trace back through the parser and
 //!   reconstructs per-copy delay decompositions, the Theorem 1
@@ -39,9 +44,11 @@ mod profile;
 mod progress;
 pub mod schema;
 mod sink;
+mod telemetry;
 
 pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use profile::{PhaseProfiler, PhaseStats};
 pub use progress::ProgressMeter;
 pub use sink::{event_to_json, EventSink, JsonlSink, NullSink, RecordingSink};
+pub use telemetry::{render_prometheus, SnapshotBus, Telemetry, WindowStats, DEFAULT_RING};

@@ -102,6 +102,22 @@ impl<W: Write + Send> JsonlSink<W> {
     }
 }
 
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    /// Flush the underlying writer when the sink is dropped, so a run
+    /// killed mid-campaign (watchdog abort, ctrl-C unwinding, a panicking
+    /// cell) leaves a parseable partial trace instead of losing whatever
+    /// sat in the `BufWriter`. A poisoned mutex (a cell panicked while
+    /// emitting) is recovered rather than propagated: the sink holds only
+    /// counters and a writer, both valid at any interruption point.
+    fn drop(&mut self) {
+        let inner = self
+            .inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _ = inner.writer.flush();
+    }
+}
+
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&self, scope: &str, event: &ObsEvent) {
         let line = event_to_json(scope, event).to_string();
@@ -293,6 +309,55 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
             obj.set("p999_ns", *p999_ns);
             obj.set("max_ns", *max_ns);
         }
+        ObsEvent::WindowMeta {
+            stride,
+            ring,
+            ports,
+        } => {
+            // The meta record opens a telemetry stream, so it carries the
+            // artifact version tag the CI smoke greps for.
+            obj.set("schema", "fifoms-timeseries-v1");
+            obj.set("stride", *stride);
+            obj.set("ring", u64::from(*ring));
+            obj.set("ports", u64::from(*ports));
+        }
+        ObsEvent::WindowSummary {
+            window,
+            start_slot,
+            slots,
+            admitted_packets,
+            delivered_copies,
+            completed_packets,
+            drop_tail_full,
+            drop_pushout,
+            drop_fair_shed,
+            copy_kills,
+            copy_recoveries,
+            voq_high_water,
+            backlog_copies,
+            quarantined_paths,
+            overload_level,
+            sched_ns,
+            wall_ns,
+        } => {
+            obj.set("window", *window);
+            obj.set("start_slot", *start_slot);
+            obj.set("slots", *slots);
+            obj.set("admitted_packets", *admitted_packets);
+            obj.set("delivered_copies", *delivered_copies);
+            obj.set("completed_packets", *completed_packets);
+            obj.set("drop_tail_full", *drop_tail_full);
+            obj.set("drop_pushout", *drop_pushout);
+            obj.set("drop_fair_shed", *drop_fair_shed);
+            obj.set("copy_kills", *copy_kills);
+            obj.set("copy_recoveries", *copy_recoveries);
+            obj.set("voq_high_water", *voq_high_water);
+            obj.set("backlog_copies", *backlog_copies);
+            obj.set("quarantined_paths", u64::from(*quarantined_paths));
+            obj.set("overload_level", u64::from(*overload_level));
+            obj.set("sched_ns", *sched_ns);
+            obj.set("wall_ns", *wall_ns);
+        }
         ObsEvent::RunEnd { slots_run } => {
             obj.set("slots_run", *slots_run);
         }
@@ -341,9 +406,33 @@ mod tests {
         assert_eq!(events[1].1.kind(), "fault_masked");
     }
 
+    /// A writer whose backing buffer stays readable after the sink that
+    /// owns it is dropped — `JsonlSink` implements `Drop`, so tests can
+    /// no longer move the writer back out of it.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn jsonl_lines_parse_back() {
-        let sink = JsonlSink::new(Vec::new());
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone());
         sink.emit("FIFOMS@0.9", &sample_sched());
         sink.emit(
             "FIFOMS@0.9",
@@ -356,8 +445,7 @@ mod tests {
         );
         sink.flush();
         assert_eq!(sink.write_errors(), 0);
-        let inner = sink.inner.into_inner().unwrap();
-        let text = String::from_utf8(inner.writer).unwrap();
+        let text = buf.contents();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         let sched = Json::parse(lines[0]).unwrap();
@@ -370,6 +458,84 @@ mod tests {
             Some(0.2)
         );
         assert_eq!(meta.get("slot"), None);
+    }
+
+    #[test]
+    fn dropping_an_unflushed_sink_flushes_buffered_lines() {
+        let buf = SharedBuf::default();
+        {
+            // BufWriter with a capacity far above one line: nothing
+            // reaches the backing buffer until a flush happens.
+            let writer = std::io::BufWriter::with_capacity(1 << 20, buf.clone());
+            let sink = JsonlSink::new(writer);
+            sink.emit("kill@0.9", &sample_sched());
+            sink.emit("kill@0.9", &ObsEvent::RunEnd { slots_run: 1 });
+            assert_eq!(
+                buf.contents().len(),
+                0,
+                "lines must still be buffered before the drop"
+            );
+            // No explicit flush: the sink goes out of scope as it would
+            // when a watchdog abandons a cell mid-campaign.
+        }
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "drop must flush the buffered tail");
+        for line in lines {
+            Json::parse(line).expect("every recovered line parses");
+        }
+    }
+
+    #[test]
+    fn telemetry_window_events_serialise_with_their_fields() {
+        let meta = event_to_json(
+            "s",
+            &ObsEvent::WindowMeta {
+                stride: 1000,
+                ring: 64,
+                ports: 16,
+            },
+        );
+        assert_eq!(meta.get("event").and_then(Json::as_str), Some("window_meta"));
+        assert_eq!(
+            meta.get("schema").and_then(Json::as_str),
+            Some("fifoms-timeseries-v1")
+        );
+        assert_eq!(meta.get("stride").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(meta.get("slot"), None, "window_meta is run-scoped");
+        let summary = event_to_json(
+            "s",
+            &ObsEvent::WindowSummary {
+                window: 2,
+                start_slot: 2000,
+                slots: 1000,
+                admitted_packets: 400,
+                delivered_copies: 1600,
+                completed_packets: 390,
+                drop_tail_full: 7,
+                drop_pushout: 1,
+                drop_fair_shed: 0,
+                copy_kills: 3,
+                copy_recoveries: 2,
+                voq_high_water: 64,
+                backlog_copies: 123,
+                quarantined_paths: 2,
+                overload_level: 1,
+                sched_ns: 500_000,
+                wall_ns: 900_000,
+            },
+        );
+        assert_eq!(
+            summary.get("event").and_then(Json::as_str),
+            Some("window_summary")
+        );
+        assert_eq!(summary.get("window").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(summary.get("delivered_copies").and_then(Json::as_f64), Some(1600.0));
+        assert_eq!(summary.get("drop_tail_full").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(summary.get("quarantined_paths").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(summary.get("wall_ns").and_then(Json::as_f64), Some(900_000.0));
+        let reparsed = Json::parse(&summary.to_string()).unwrap();
+        assert_eq!(reparsed, summary);
     }
 
     #[test]

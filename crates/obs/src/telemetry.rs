@@ -1,0 +1,886 @@
+//! Live telemetry: windowed per-run time-series and snapshot publishing.
+//!
+//! Everything post-hoc in this crate (JSONL traces, `analyze`, the span
+//! profiler) answers *what happened*; this module answers *what is
+//! happening*. The engine feeds a [`Telemetry`] instance from the slot
+//! loop — existing [`ObsEvent`]s plus one integer-only `record_slot` call
+//! per slot — and the accumulator closes a window every `stride` slots,
+//! emitting an [`ObsEvent::WindowSummary`] and (optionally) publishing a
+//! whole-campaign snapshot through a [`SnapshotBus`].
+//!
+//! Design constraints, in priority order (see `DESIGN.md` §14):
+//!
+//! 1. **Bit-identity.** Telemetry is read-only over events and counters
+//!    the run already produces; attaching it never changes a result.
+//! 2. **No steady-state allocation.** Window summaries are all-integer
+//!    [`ObsEvent`]s, the closed-window ring is pre-sized and recycles its
+//!    slots, and per-input tallies live in fixed vectors sized at
+//!    construction. Only snapshot *publication* (an explicitly opted-in
+//!    file write) builds transient JSON.
+//! 3. **No new dependencies.** Snapshots reuse the hand-rolled [`Json`];
+//!    the Prometheus exposition is plain text.
+
+use crate::json::Json;
+use fifoms_stats::Log2Histogram;
+use fifoms_types::{ObsEvent, PortId};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Closed windows retained in the live ring by default. 64 windows at
+/// the default stride of 1000 slots is a minute-scale trend view at
+/// typical smoke speeds without unbounded growth on long campaigns.
+pub const DEFAULT_RING: usize = 64;
+
+/// The counters of one telemetry window. Mirrors
+/// [`ObsEvent::WindowSummary`] field for field; kept as a plain struct so
+/// the ring can store closed windows without heap indirection.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Zero-based window index within the run.
+    pub window: u64,
+    /// First slot aggregated into this window.
+    pub start_slot: u64,
+    /// Slots aggregated so far (equals the stride once closed, except
+    /// for a partial final window).
+    pub slots: u64,
+    /// Packets admitted this window.
+    pub admitted_packets: u64,
+    /// Copies delivered across the fabric this window.
+    pub delivered_copies: u64,
+    /// Packets whose final copy departed this window.
+    pub completed_packets: u64,
+    /// Copies refused by drop-tail admission.
+    pub drop_tail_full: u64,
+    /// Copies evicted by pushout.
+    pub drop_pushout: u64,
+    /// Copies shed by fair shedding.
+    pub drop_fair_shed: u64,
+    /// Copies killed at crosspoint traversal.
+    pub copy_kills: u64,
+    /// Killed copies that finally crossed the fabric.
+    pub copy_recoveries: u64,
+    /// Deepest VOQ high-water crossing observed this window.
+    pub voq_high_water: u64,
+    /// Backlog copies when the window closed.
+    pub backlog_copies: u64,
+    /// Quarantined `(input, output)` paths when the window closed.
+    pub quarantined_paths: u32,
+    /// Highest overload-governor rung observed this window.
+    pub overload_level: u32,
+    /// Wall ns inside the scheduler's `run_slot` this window.
+    pub sched_ns: u64,
+    /// Wall ns of the whole slot loop this window.
+    pub wall_ns: u64,
+}
+
+impl WindowStats {
+    /// Render as the matching [`ObsEvent::WindowSummary`]. All-integer:
+    /// constructing the event performs no heap allocation.
+    pub fn to_event(&self) -> ObsEvent {
+        ObsEvent::WindowSummary {
+            window: self.window,
+            start_slot: self.start_slot,
+            slots: self.slots,
+            admitted_packets: self.admitted_packets,
+            delivered_copies: self.delivered_copies,
+            completed_packets: self.completed_packets,
+            drop_tail_full: self.drop_tail_full,
+            drop_pushout: self.drop_pushout,
+            drop_fair_shed: self.drop_fair_shed,
+            copy_kills: self.copy_kills,
+            copy_recoveries: self.copy_recoveries,
+            voq_high_water: self.voq_high_water,
+            backlog_copies: self.backlog_copies,
+            quarantined_paths: self.quarantined_paths,
+            overload_level: self.overload_level,
+            sched_ns: self.sched_ns,
+            wall_ns: self.wall_ns,
+        }
+    }
+
+    /// Render as a JSON object (snapshot `windows[]` entry).
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        obj.set("window", self.window);
+        obj.set("start_slot", self.start_slot);
+        obj.set("slots", self.slots);
+        obj.set("admitted_packets", self.admitted_packets);
+        obj.set("delivered_copies", self.delivered_copies);
+        obj.set("completed_packets", self.completed_packets);
+        obj.set("drop_tail_full", self.drop_tail_full);
+        obj.set("drop_pushout", self.drop_pushout);
+        obj.set("drop_fair_shed", self.drop_fair_shed);
+        obj.set("copy_kills", self.copy_kills);
+        obj.set("copy_recoveries", self.copy_recoveries);
+        obj.set("voq_high_water", self.voq_high_water);
+        obj.set("backlog_copies", self.backlog_copies);
+        obj.set("quarantined_paths", u64::from(self.quarantined_paths));
+        obj.set("overload_level", u64::from(self.overload_level));
+        obj.set("sched_ns", self.sched_ns);
+        obj.set("wall_ns", self.wall_ns);
+        obj
+    }
+}
+
+/// Per-input fault-scoreboard tallies, rendered in snapshots so `top`
+/// can show which inputs are absorbing kills, drops and quarantines.
+#[derive(Clone, Copy, Default, Debug)]
+struct InputStats {
+    kills: u64,
+    recoveries: u64,
+    admission_drops: u64,
+    quarantined: u32,
+}
+
+/// The windowed time-series accumulator for one run.
+///
+/// Feed it every drained [`ObsEvent`] via [`Telemetry::observe_event`]
+/// and one [`Telemetry::record_slot`] per slot; poll
+/// [`Telemetry::window_full`] and call [`Telemetry::close_window`] when
+/// it fires. After the run, [`Telemetry::finish`] closes a partial final
+/// window. None of the per-slot calls allocate once constructed.
+#[derive(Debug)]
+pub struct Telemetry {
+    ports: usize,
+    stride: u64,
+    ring_cap: usize,
+    /// The currently accumulating window.
+    cur: WindowStats,
+    /// Closed windows, oldest first, capped at `ring_cap`.
+    ring: VecDeque<WindowStats>,
+    /// Run-wide totals. `window`/`start_slot` are unused; `slots` is the
+    /// run's slot count, `voq_high_water` the run-wide deepest crossing,
+    /// `backlog_copies`/`quarantined_paths`/`overload_level` the latest
+    /// observed values.
+    totals: WindowStats,
+    inputs: Vec<InputStats>,
+    /// Per-slot wall-time distribution (telemetry-clocked slots).
+    slot_ns: Log2Histogram,
+}
+
+impl Telemetry {
+    /// A new accumulator for an `N`-port run closing a window every
+    /// `stride` slots (`stride` is clamped to at least 1), with the
+    /// default ring depth.
+    pub fn new(ports: usize, stride: u64) -> Telemetry {
+        Telemetry {
+            ports,
+            stride: stride.max(1),
+            ring_cap: DEFAULT_RING,
+            cur: WindowStats::default(),
+            ring: VecDeque::with_capacity(DEFAULT_RING),
+            totals: WindowStats::default(),
+            inputs: vec![InputStats::default(); ports],
+            slot_ns: Log2Histogram::new(),
+        }
+    }
+
+    /// Override the closed-window ring depth (minimum 1).
+    pub fn with_ring(mut self, cap: usize) -> Telemetry {
+        self.ring_cap = cap.max(1);
+        self.ring = VecDeque::with_capacity(self.ring_cap);
+        self
+    }
+
+    /// Slots per window.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The stream-opening [`ObsEvent::WindowMeta`] for this accumulator.
+    pub fn meta_event(&self) -> ObsEvent {
+        ObsEvent::WindowMeta {
+            stride: self.stride,
+            ring: self.ring_cap as u32,
+            ports: self.ports as u32,
+        }
+    }
+
+    /// Absorb one drained event into the current window. Events outside
+    /// the telemetry vocabulary are ignored; the caller does not filter.
+    pub fn observe_event(&mut self, event: &ObsEvent) {
+        match event {
+            ObsEvent::AdmissionDropped {
+                input,
+                copies,
+                cause,
+                ..
+            } => {
+                let copies = u64::from(*copies);
+                match cause.as_str() {
+                    "tail_full" => self.cur.drop_tail_full += copies,
+                    "pushout" => self.cur.drop_pushout += copies,
+                    "fair_shed" => self.cur.drop_fair_shed += copies,
+                    // Future causes still count per input below, so the
+                    // scoreboard view stays conservative-complete.
+                    _ => {}
+                }
+                if let Some(i) = self.inputs.get_mut(input.0 as usize) {
+                    i.admission_drops += copies;
+                }
+            }
+            ObsEvent::CopyKilled { input, .. } => {
+                self.cur.copy_kills += 1;
+                if let Some(i) = self.inputs.get_mut(input.0 as usize) {
+                    i.kills += 1;
+                }
+            }
+            ObsEvent::CopyRecovered { input, .. } => {
+                self.cur.copy_recoveries += 1;
+                if let Some(i) = self.inputs.get_mut(input.0 as usize) {
+                    i.recoveries += 1;
+                }
+            }
+            ObsEvent::VoqHighWater { depth, .. } => {
+                self.cur.voq_high_water = self.cur.voq_high_water.max(*depth);
+            }
+            ObsEvent::OverloadLevel { level, .. } => {
+                self.cur.overload_level = self.cur.overload_level.max(*level);
+            }
+            _ => {}
+        }
+    }
+
+    /// Record one executed slot: packets admitted, copies delivered,
+    /// packets completed, plus the slot's schedule-phase and wall ns
+    /// (pass 0 when the caller does not time the slot).
+    pub fn record_slot(
+        &mut self,
+        admitted_packets: u64,
+        delivered_copies: u64,
+        completed_packets: u64,
+        sched_ns: u64,
+        wall_ns: u64,
+    ) {
+        self.cur.slots += 1;
+        self.cur.admitted_packets += admitted_packets;
+        self.cur.delivered_copies += delivered_copies;
+        self.cur.completed_packets += completed_packets;
+        self.cur.sched_ns += sched_ns;
+        self.cur.wall_ns += wall_ns;
+        self.slot_ns.record(wall_ns);
+    }
+
+    /// Whether the current window has accumulated a full stride.
+    pub fn window_full(&self) -> bool {
+        self.cur.slots >= self.stride
+    }
+
+    /// Refresh the quarantine view from the fault scoreboard's current
+    /// `(input, output)` path list. Called at window close, not per slot.
+    pub fn set_path_state(&mut self, quarantined: &[(PortId, PortId)]) {
+        for i in &mut self.inputs {
+            i.quarantined = 0;
+        }
+        for (input, _) in quarantined {
+            if let Some(i) = self.inputs.get_mut(input.0 as usize) {
+                i.quarantined += 1;
+            }
+        }
+        self.cur.quarantined_paths = quarantined.len() as u32;
+    }
+
+    /// Close the current window: fold it into the totals, push it onto
+    /// the ring (evicting the oldest at capacity — no allocation), and
+    /// return its [`ObsEvent::WindowSummary`].
+    pub fn close_window(&mut self, backlog_copies: u64) -> ObsEvent {
+        self.cur.backlog_copies = backlog_copies;
+        let closed = self.cur;
+
+        self.totals.slots += closed.slots;
+        self.totals.admitted_packets += closed.admitted_packets;
+        self.totals.delivered_copies += closed.delivered_copies;
+        self.totals.completed_packets += closed.completed_packets;
+        self.totals.drop_tail_full += closed.drop_tail_full;
+        self.totals.drop_pushout += closed.drop_pushout;
+        self.totals.drop_fair_shed += closed.drop_fair_shed;
+        self.totals.copy_kills += closed.copy_kills;
+        self.totals.copy_recoveries += closed.copy_recoveries;
+        self.totals.sched_ns += closed.sched_ns;
+        self.totals.wall_ns += closed.wall_ns;
+        self.totals.voq_high_water = self.totals.voq_high_water.max(closed.voq_high_water);
+        self.totals.backlog_copies = closed.backlog_copies;
+        self.totals.quarantined_paths = closed.quarantined_paths;
+        self.totals.overload_level = closed.overload_level;
+
+        if self.ring.len() == self.ring_cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(closed);
+
+        self.cur = WindowStats {
+            window: closed.window + 1,
+            start_slot: closed.start_slot + closed.slots,
+            ..WindowStats::default()
+        };
+        closed.to_event()
+    }
+
+    /// Close a partial final window at end-of-run, if anything is
+    /// pending. Returns the summary to emit, or `None` when the run
+    /// ended exactly on a window boundary with nothing since. A window
+    /// with zero slots but nonzero counters (events drained during
+    /// teardown, after the last `record_slot`) is still closed, so no
+    /// event is lost from the windowed totals.
+    pub fn finish(&mut self, backlog_copies: u64) -> Option<ObsEvent> {
+        let untouched = WindowStats {
+            window: self.cur.window,
+            start_slot: self.cur.start_slot,
+            ..WindowStats::default()
+        };
+        if self.cur == untouched {
+            return None;
+        }
+        Some(self.close_window(backlog_copies))
+    }
+
+    /// Closed windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowStats> {
+        self.ring.iter()
+    }
+
+    /// Run-wide totals across all closed windows.
+    pub fn totals(&self) -> &WindowStats {
+        &self.totals
+    }
+
+    /// The per-slot wall-time distribution.
+    pub fn slot_ns(&self) -> &Log2Histogram {
+        &self.slot_ns
+    }
+
+    /// Render the accumulator as one scope document of a
+    /// `fifoms-telemetry-snapshot-v1` snapshot. Allocates; called only
+    /// on snapshot publication, never on the plain per-slot path.
+    pub fn snapshot(&self, complete: bool) -> Json {
+        let mut obj = Json::object();
+        obj.set("complete", complete);
+        obj.set("ports", self.ports as u64);
+        obj.set("stride", self.stride);
+        obj.set("slots", self.totals.slots);
+
+        let mut totals = Json::object();
+        totals.set("admitted_packets", self.totals.admitted_packets);
+        totals.set("delivered_copies", self.totals.delivered_copies);
+        totals.set("completed_packets", self.totals.completed_packets);
+        totals.set("drop_tail_full", self.totals.drop_tail_full);
+        totals.set("drop_pushout", self.totals.drop_pushout);
+        totals.set("drop_fair_shed", self.totals.drop_fair_shed);
+        totals.set("copy_kills", self.totals.copy_kills);
+        totals.set("copy_recoveries", self.totals.copy_recoveries);
+        totals.set("sched_ns", self.totals.sched_ns);
+        totals.set("wall_ns", self.totals.wall_ns);
+        obj.set("totals", totals);
+
+        obj.set("backlog_copies", self.totals.backlog_copies);
+        obj.set("voq_high_water", self.totals.voq_high_water);
+        obj.set("overload_level", u64::from(self.totals.overload_level));
+        obj.set(
+            "quarantined_paths",
+            u64::from(self.totals.quarantined_paths),
+        );
+
+        let mut tail = Json::object();
+        tail.set("samples", self.slot_ns.count());
+        tail.set("p50_ns", self.slot_ns.quantile(0.50));
+        tail.set("p99_ns", self.slot_ns.quantile(0.99));
+        tail.set("p999_ns", self.slot_ns.quantile(0.999));
+        tail.set("max_ns", self.slot_ns.max());
+        obj.set("slot_ns", tail);
+
+        obj.set(
+            "windows",
+            Json::Arr(self.ring.iter().map(|w| w.to_json()).collect()),
+        );
+        obj.set(
+            "inputs",
+            Json::Arr(
+                self.inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, i)| {
+                        let mut row = Json::object();
+                        row.set("input", idx as u64);
+                        row.set("kills", i.kills);
+                        row.set("recoveries", i.recoveries);
+                        row.set("admission_drops", i.admission_drops);
+                        row.set("quarantined", u64::from(i.quarantined));
+                        row
+                    })
+                    .collect(),
+            ),
+        );
+        obj
+    }
+}
+
+/// Shared publisher for live snapshots: collects the latest per-scope
+/// telemetry documents and rewrites a `fifoms-telemetry-snapshot-v1`
+/// JSON file (and, optionally, a Prometheus-style text exposition)
+/// atomically on every publication.
+///
+/// The bus is `Sync` — sweep workers running different cells publish
+/// concurrently behind one `Arc`. The sequence number is a monotonic
+/// publication counter (no wall-clock timestamps: snapshots from the
+/// same campaign replay byte-identically).
+pub struct SnapshotBus {
+    snapshot_path: Option<PathBuf>,
+    prom_path: Option<PathBuf>,
+    state: Mutex<BusState>,
+}
+
+struct BusState {
+    seq: u64,
+    scopes: BTreeMap<String, Json>,
+    write_errors: u64,
+}
+
+impl SnapshotBus {
+    /// A bus writing the JSON snapshot to `snapshot_path` and/or the
+    /// Prometheus exposition to `prom_path` on every publication.
+    pub fn new(snapshot_path: Option<PathBuf>, prom_path: Option<PathBuf>) -> SnapshotBus {
+        SnapshotBus {
+            snapshot_path,
+            prom_path,
+            state: Mutex::new(BusState {
+                seq: 0,
+                scopes: BTreeMap::new(),
+                write_errors: 0,
+            }),
+        }
+    }
+
+    /// Publish the current state of one scope's telemetry. Rewrites the
+    /// configured output files; write failures are counted, never
+    /// propagated (telemetry must not abort a campaign).
+    pub fn publish(&self, scope: &str, telemetry: &Telemetry, complete: bool) {
+        let mut st = self.state.lock().expect("snapshot bus poisoned");
+        st.seq += 1;
+        let mut doc = telemetry.snapshot(complete);
+        doc.set("seq", st.seq);
+        st.scopes.insert(scope.to_string(), doc);
+
+        let rendered = Self::render(&st);
+        if let Some(path) = &self.snapshot_path {
+            if write_atomically(path, rendered.to_string().as_bytes()).is_err() {
+                st.write_errors += 1;
+            }
+        }
+        if let Some(path) = &self.prom_path {
+            let text = render_prometheus(&rendered);
+            if write_atomically(path, text.as_bytes()).is_err() {
+                st.write_errors += 1;
+            }
+        }
+    }
+
+    /// File writes that failed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.state.lock().expect("snapshot bus poisoned").write_errors
+    }
+
+    /// The current snapshot document (what the files contain).
+    pub fn document(&self) -> Json {
+        Self::render(&self.state.lock().expect("snapshot bus poisoned"))
+    }
+
+    fn render(st: &BusState) -> Json {
+        let mut doc = Json::object();
+        doc.set("schema", "fifoms-telemetry-snapshot-v1");
+        doc.set("seq", st.seq);
+        let mut scopes = Json::object();
+        for (scope, body) in &st.scopes {
+            scopes.set(scope, body.clone());
+        }
+        doc.set("scopes", scopes);
+        doc
+    }
+}
+
+/// Write `bytes` to `path` via a sibling temp file and an atomic rename,
+/// so a concurrently polling `top` never reads a torn snapshot.
+fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Format a JSON number the way Prometheus expects: integers without a
+/// trailing `.0`, everything else as plain decimal.
+fn prom_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a `fifoms-telemetry-snapshot-v1` document as a Prometheus-style
+/// text exposition (version 0.0.4 format): `# HELP`/`# TYPE` headers per
+/// metric family, one sample per scope, labels on the `scope` dimension.
+pub fn render_prometheus(doc: &Json) -> String {
+    let scopes: Vec<(&str, &Json)> = match doc.get("scopes") {
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(name, body)| (name.as_str(), body))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut out = String::new();
+
+    let num = |body: &Json, path: &[&str]| -> f64 {
+        let mut cur = body;
+        for key in path {
+            match cur.get(key) {
+                Some(next) => cur = next,
+                None => return 0.0,
+            }
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+
+    struct Family<'a> {
+        name: &'a str,
+        kind: &'a str,
+        help: &'a str,
+        path: &'a [&'a str],
+    }
+    let families = [
+        Family {
+            name: "fifoms_slots_total",
+            kind: "counter",
+            help: "Slots executed.",
+            path: &["slots"],
+        },
+        Family {
+            name: "fifoms_admitted_packets_total",
+            kind: "counter",
+            help: "Packets admitted.",
+            path: &["totals", "admitted_packets"],
+        },
+        Family {
+            name: "fifoms_delivered_copies_total",
+            kind: "counter",
+            help: "Copies delivered across the fabric.",
+            path: &["totals", "delivered_copies"],
+        },
+        Family {
+            name: "fifoms_completed_packets_total",
+            kind: "counter",
+            help: "Packets whose final copy departed.",
+            path: &["totals", "completed_packets"],
+        },
+        Family {
+            name: "fifoms_copy_kills_total",
+            kind: "counter",
+            help: "Copies killed at crosspoint traversal.",
+            path: &["totals", "copy_kills"],
+        },
+        Family {
+            name: "fifoms_copy_recoveries_total",
+            kind: "counter",
+            help: "Killed copies eventually delivered.",
+            path: &["totals", "copy_recoveries"],
+        },
+        Family {
+            name: "fifoms_backlog_copies",
+            kind: "gauge",
+            help: "Undelivered copies queued at the latest window close.",
+            path: &["backlog_copies"],
+        },
+        Family {
+            name: "fifoms_voq_high_water",
+            kind: "gauge",
+            help: "Deepest VOQ high-water crossing observed.",
+            path: &["voq_high_water"],
+        },
+        Family {
+            name: "fifoms_overload_level",
+            kind: "gauge",
+            help: "Latest overload-governor degradation level.",
+            path: &["overload_level"],
+        },
+        Family {
+            name: "fifoms_quarantined_paths",
+            kind: "gauge",
+            help: "Paths quarantined by the fault scoreboard.",
+            path: &["quarantined_paths"],
+        },
+        Family {
+            name: "fifoms_run_complete",
+            kind: "gauge",
+            help: "1 once the scope's run has finished.",
+            path: &["complete"],
+        },
+    ];
+    for f in &families {
+        out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+        out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind));
+        for (scope, body) in &scopes {
+            let value = if f.path == ["complete"] {
+                match body.get("complete") {
+                    Some(Json::Bool(true)) => 1.0,
+                    _ => 0.0,
+                }
+            } else {
+                num(body, f.path)
+            };
+            out.push_str(&format!(
+                "{}{{scope=\"{}\"}} {}\n",
+                f.name,
+                escape_label(scope),
+                prom_num(value)
+            ));
+        }
+    }
+
+    // Admission drops: one family, labelled by cause.
+    out.push_str("# HELP fifoms_admission_drops_total Copies refused or evicted by admission control.\n");
+    out.push_str("# TYPE fifoms_admission_drops_total counter\n");
+    for (scope, body) in &scopes {
+        for (cause, key) in [
+            ("tail_full", "drop_tail_full"),
+            ("pushout", "drop_pushout"),
+            ("fair_shed", "drop_fair_shed"),
+        ] {
+            out.push_str(&format!(
+                "fifoms_admission_drops_total{{scope=\"{}\",cause=\"{}\"}} {}\n",
+                escape_label(scope),
+                cause,
+                prom_num(num(body, &["totals", key]))
+            ));
+        }
+    }
+
+    // Slot wall-time tails as a quantile-labelled summary.
+    out.push_str("# HELP fifoms_slot_ns Per-slot wall time, log2-bucketed quantiles (ns).\n");
+    out.push_str("# TYPE fifoms_slot_ns summary\n");
+    for (scope, body) in &scopes {
+        for (q, key) in [("0.5", "p50_ns"), ("0.99", "p99_ns"), ("0.999", "p999_ns")] {
+            out.push_str(&format!(
+                "fifoms_slot_ns{{scope=\"{}\",quantile=\"{}\"}} {}\n",
+                escape_label(scope),
+                q,
+                prom_num(num(body, &["slot_ns", key]))
+            ));
+        }
+        out.push_str(&format!(
+            "fifoms_slot_ns_count{{scope=\"{}\"}} {}\n",
+            escape_label(scope),
+            prom_num(num(body, &["slot_ns", "samples"]))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fifoms_types::{PacketId, Slot};
+
+    fn drop_event(cause: &str, copies: u32) -> ObsEvent {
+        ObsEvent::AdmissionDropped {
+            slot: Slot(1),
+            input: PortId(2),
+            packet: PacketId(1),
+            copies,
+            cause: cause.into(),
+        }
+    }
+
+    #[test]
+    fn windows_close_on_stride_and_sum_into_totals() {
+        let mut t = Telemetry::new(4, 3);
+        assert_eq!(t.stride(), 3);
+        for slot in 0..7u64 {
+            t.observe_event(&drop_event("tail_full", 2));
+            t.record_slot(1, 2, 1, 10, 20);
+            if t.window_full() {
+                let ev = t.close_window(5);
+                assert_eq!(ev.kind(), "window_summary");
+            }
+            let _ = slot;
+        }
+        // 7 slots at stride 3: two closed windows, one partial pending.
+        assert_eq!(t.windows().count(), 2);
+        let final_ev = t.finish(9).expect("partial window pending");
+        if let ObsEvent::WindowSummary { slots, window, start_slot, .. } = final_ev {
+            assert_eq!(slots, 1);
+            assert_eq!(window, 2);
+            assert_eq!(start_slot, 6);
+        } else {
+            panic!("finish must return a window_summary");
+        }
+        assert!(t.finish(9).is_none(), "no second partial window");
+        let totals = t.totals();
+        assert_eq!(totals.slots, 7);
+        assert_eq!(totals.admitted_packets, 7);
+        assert_eq!(totals.delivered_copies, 14);
+        assert_eq!(totals.drop_tail_full, 14);
+        assert_eq!(totals.backlog_copies, 9);
+        assert_eq!(t.slot_ns().count(), 7);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest_windows() {
+        let mut t = Telemetry::new(2, 1).with_ring(3);
+        for i in 0..10u64 {
+            t.record_slot(i, 0, 0, 0, 0);
+            let _ = t.close_window(0);
+        }
+        let windows: Vec<u64> = t.windows().map(|w| w.window).collect();
+        assert_eq!(windows, vec![7, 8, 9]);
+        assert_eq!(t.totals().slots, 10);
+    }
+
+    #[test]
+    fn events_split_by_cause_input_and_kind() {
+        let mut t = Telemetry::new(4, 10);
+        t.observe_event(&drop_event("tail_full", 1));
+        t.observe_event(&drop_event("pushout", 2));
+        t.observe_event(&drop_event("fair_shed", 3));
+        t.observe_event(&ObsEvent::CopyKilled {
+            slot: Slot(0),
+            input: PortId(1),
+            output: PortId(0),
+            packet: PacketId(5),
+            requeued: true,
+            retry: 1,
+        });
+        t.observe_event(&ObsEvent::CopyRecovered {
+            slot: Slot(2),
+            input: PortId(1),
+            output: PortId(0),
+            packet: PacketId(5),
+            kills: 1,
+            latency: 2,
+        });
+        t.observe_event(&ObsEvent::VoqHighWater {
+            slot: Slot(3),
+            input: PortId(0),
+            output: PortId(1),
+            depth: 77,
+        });
+        t.observe_event(&ObsEvent::OverloadLevel {
+            slot: Slot(4),
+            level: 2,
+            backlog_copies: 0,
+        });
+        // Events outside the vocabulary are ignored.
+        t.observe_event(&ObsEvent::RunEnd { slots_run: 1 });
+        t.set_path_state(&[(PortId(1), PortId(0)), (PortId(1), PortId(2))]);
+        t.record_slot(0, 0, 0, 0, 0);
+        let ev = t.finish(0).expect("one pending window");
+        if let ObsEvent::WindowSummary {
+            drop_tail_full,
+            drop_pushout,
+            drop_fair_shed,
+            copy_kills,
+            copy_recoveries,
+            voq_high_water,
+            overload_level,
+            quarantined_paths,
+            ..
+        } = ev
+        {
+            assert_eq!(drop_tail_full, 1);
+            assert_eq!(drop_pushout, 2);
+            assert_eq!(drop_fair_shed, 3);
+            assert_eq!(copy_kills, 1);
+            assert_eq!(copy_recoveries, 1);
+            assert_eq!(voq_high_water, 77);
+            assert_eq!(overload_level, 2);
+            assert_eq!(quarantined_paths, 2);
+        } else {
+            panic!("expected window_summary");
+        }
+        let snap = t.snapshot(true);
+        let inputs = snap.get("inputs").and_then(Json::as_arr).unwrap();
+        assert_eq!(inputs.len(), 4);
+        assert_eq!(
+            inputs[1].get("kills").and_then(Json::as_f64),
+            Some(1.0),
+            "input 1 absorbed the kill"
+        );
+        assert_eq!(
+            inputs[1].get("quarantined").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            inputs[2].get("admission_drops").and_then(Json::as_f64),
+            Some(6.0),
+            "all drop events targeted input 2"
+        );
+    }
+
+    #[test]
+    fn snapshot_bus_writes_schema_valid_documents_atomically() {
+        let dir = std::env::temp_dir().join(format!(
+            "fifoms-telemetry-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("snap.json");
+        let prom_path = dir.join("metrics.prom");
+        let bus = SnapshotBus::new(Some(snap_path.clone()), Some(prom_path.clone()));
+
+        let mut t = Telemetry::new(2, 2);
+        t.record_slot(3, 6, 3, 100, 200);
+        t.record_slot(2, 4, 2, 100, 200);
+        let _ = t.close_window(1);
+        bus.publish("FIFOMS@0.9", &t, false);
+        bus.publish("FIFOMS@0.9", &t, true);
+        assert_eq!(bus.write_errors(), 0);
+
+        let text = std::fs::read_to_string(&snap_path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("fifoms-telemetry-snapshot-v1")
+        );
+        assert_eq!(doc.get("seq").and_then(Json::as_f64), Some(2.0));
+        let scope = doc.get("scopes").and_then(|s| s.get("FIFOMS@0.9")).unwrap();
+        assert_eq!(scope.get("complete"), Some(&Json::Bool(true)));
+        assert_eq!(scope.get("slots").and_then(Json::as_f64), Some(2.0));
+
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE fifoms_slots_total counter"));
+        assert!(prom.contains("fifoms_slots_total{scope=\"FIFOMS@0.9\"} 2"));
+        assert!(prom.contains("fifoms_run_complete{scope=\"FIFOMS@0.9\"} 1"));
+        assert!(prom.contains("fifoms_admission_drops_total{scope=\"FIFOMS@0.9\",cause=\"tail_full\"} 0"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prometheus_labels_are_escaped() {
+        let mut t = Telemetry::new(1, 1);
+        t.record_slot(0, 0, 0, 0, 0);
+        let _ = t.close_window(0);
+        let bus = SnapshotBus::new(None, None);
+        bus.publish("odd\"scope\\name", &t, false);
+        let text = render_prometheus(&bus.document());
+        assert!(text.contains("scope=\"odd\\\"scope\\\\name\""));
+    }
+}

@@ -23,8 +23,11 @@
 use fifoms_core::{AdmissionPolicy, BufferConfig, MulticastVoqSwitch};
 use fifoms_fabric::{CheckedSwitch, FaultConfig, FaultMode, FaultStats, FaultyFabric, Switch};
 use fifoms_stats::{RecoveryRecorder, RecoverySummary};
-use fifoms_types::{AdmissionDrop, DroppedCopy, ObsEvent, Packet, PacketId, PortId, SimError, Slot};
+use fifoms_types::{
+    AdmissionDrop, DroppedCopy, ObsEvent, Packet, PacketId, PortId, SimError, Slot, SpanTimer,
+};
 
+use crate::engine::TelemetrySpec;
 use crate::spec::TrafficKind;
 
 /// Slots between scoreboard-vs-ground-truth audits during a run.
@@ -317,20 +320,32 @@ impl ChaosOutcome {
 /// `CheckedSwitch<FaultyFabric<MulticastVoqSwitch>>`, scoreboard audits
 /// enabled.
 pub fn run_scenario(sc: &ChaosScenario) -> ChaosOutcome {
+    run_scenario_observed(sc, None, "chaos")
+}
+
+/// [`run_scenario`] with live telemetry attached under `scope`: windowed
+/// counters stream to the spec's series sink and snapshot bus while the
+/// scenario runs. Telemetry is read-only, so the returned outcome is
+/// bit-identical to [`run_scenario`]'s.
+pub fn run_scenario_observed(
+    sc: &ChaosScenario,
+    telemetry: Option<&TelemetrySpec>,
+    scope: &str,
+) -> ChaosOutcome {
     let core = MulticastVoqSwitch::new(sc.n, sc.seed)
         .with_buffers(sc.buffer_config())
         .with_quarantine_slots(sc.quarantine);
     let audit = |sw: &MulticastVoqSwitch, i: PortId, o: PortId, now: Slot| {
         sw.scoreboard().is_quarantined(i, o, now)
     };
-    drive(sc, core, Some(&audit))
+    drive(sc, core, Some(&audit), telemetry.map(|t| (t, scope)))
 }
 
 /// Run one scenario with a caller-supplied core switch (test fixtures
 /// seed deliberate bugs this way); scoreboard audits are skipped because
 /// a generic [`Switch`] exposes none.
 pub fn run_scenario_on<S: Switch>(sc: &ChaosScenario, core: S) -> ChaosOutcome {
-    drive::<S>(sc, core, None)
+    drive::<S>(sc, core, None, None)
 }
 
 #[allow(clippy::type_complexity)]
@@ -338,6 +353,7 @@ fn drive<S: Switch>(
     sc: &ChaosScenario,
     core: S,
     audit: Option<&dyn Fn(&S, PortId, PortId, Slot) -> bool>,
+    telemetry: Option<(&TelemetrySpec, &str)>,
 ) -> ChaosOutcome {
     debug_assert!(sc.validate().is_ok(), "unvalidated scenario: {sc:?}");
     let fabric = FaultyFabric::new(core, sc.fault_config()).with_event_recording();
@@ -347,6 +363,21 @@ fn drive<S: Switch>(
     }
     let mut traffic = TrafficKind::bernoulli_at_load(sc.load, CHAOS_B, sc.n)
         .build(sc.n, sc.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    // Telemetry rides along exactly like the engine's: one window
+    // accumulator, a pre-sized path buffer so window closes never
+    // allocate, and the meta record announcing the stream's shape.
+    let mut tele = telemetry.map(|(spec, _)| spec.new_telemetry(sc.n));
+    let tele_active = tele.is_some();
+    let mut quarantine_buf: Vec<(PortId, PortId)> = Vec::new();
+    if tele_active {
+        quarantine_buf.reserve(sc.n * sc.n);
+    }
+    if let (Some((spec, scope)), Some(t)) = (telemetry, tele.as_ref()) {
+        if let Some(series) = spec.series.as_deref() {
+            series.emit(scope, &t.meta_event());
+        }
+    }
 
     let mut recorder = RecoveryRecorder::new();
     let mut arrivals: Vec<Option<_>> = Vec::with_capacity(sc.n);
@@ -383,6 +414,10 @@ fn drive<S: Switch>(
     let mut t = 0u64;
     loop {
         let now = Slot(t);
+        // Clocks are read only when telemetry is attached, so the plain
+        // chaos path stays untouched.
+        let tele_timer = tele_active.then(SpanTimer::start);
+        let admitted_before = next_packet;
         if t < sc.slots {
             traffic.next_slot(now, &mut arrivals);
             for (input, dests) in arrivals.iter_mut().enumerate() {
@@ -409,11 +444,16 @@ fn drive<S: Switch>(
                 break; // a full stall window without progress: deadlock
             }
         }
-        checked.run_slot(now);
+        let sched_timer = tele_active.then(SpanTimer::start);
+        let outcome = checked.run_slot(now);
+        let sched_ns = sched_timer.map_or(0, |tm| tm.elapsed_ns());
         slots_run = t + 1;
 
         checked.drain_events(&mut events);
         for e in events.drain(..) {
+            if let Some(tele) = tele.as_mut() {
+                tele.observe_event(&e);
+            }
             match e {
                 ObsEvent::CopyKilled { requeued, .. } => recorder.record_kill(requeued),
                 ObsEvent::CopyRecovered { kills, latency, .. } => {
@@ -454,10 +494,58 @@ fn drive<S: Switch>(
             }
         }
 
+        // Fold this slot into the live window; a full stride closes it
+        // and publishes the scope's snapshot, mirroring the engine.
+        if let Some(tele) = tele.as_mut() {
+            let delivered_now = outcome.departures.len() as u64;
+            let completed_now = outcome.departures.iter().filter(|d| d.last_copy).count() as u64;
+            let wall_ns = tele_timer.map_or(0, |tm| tm.elapsed_ns());
+            tele.record_slot(
+                next_packet - admitted_before,
+                delivered_now,
+                completed_now,
+                sched_ns,
+                wall_ns,
+            );
+            if tele.window_full() {
+                quarantine_buf.clear();
+                checked.quarantined_paths(now, &mut quarantine_buf);
+                tele.set_path_state(&quarantine_buf);
+                let summary = tele.close_window(checked.backlog().copies as u64);
+                if let Some((spec, scope)) = telemetry {
+                    if let Some(series) = spec.series.as_deref() {
+                        series.emit(scope, &summary);
+                    }
+                    if let Some(bus) = spec.bus.as_deref() {
+                        bus.publish(scope, tele, false);
+                    }
+                }
+            }
+        }
+
         if checked.violation().is_some() {
             break; // first violation ends the run; the scenario failed
         }
         t += 1;
+    }
+
+    // Telemetry teardown: close the partial final window, flush the
+    // series stream, and publish the completion-marked snapshot.
+    if let (Some((spec, scope)), Some(tele)) = (telemetry, tele.as_mut()) {
+        quarantine_buf.clear();
+        checked.quarantined_paths(Slot(slots_run.saturating_sub(1)), &mut quarantine_buf);
+        tele.set_path_state(&quarantine_buf);
+        if let Some(summary) = tele.finish(checked.backlog().copies as u64) {
+            if let Some(series) = spec.series.as_deref() {
+                series.emit(scope, &summary);
+            }
+        }
+        if let Some(series) = spec.series.as_deref() {
+            series.flush();
+        }
+        if let Some(bus) = spec.bus.as_deref() {
+            bus.publish(scope, tele, true);
+        }
     }
 
     let backlog = checked.backlog();

@@ -1,7 +1,8 @@
 //! The per-run simulation loop.
 
 use fifoms_fabric::Switch;
-use fifoms_obs::{EventSink, PhaseProfiler};
+use fifoms_obs::{EventSink, PhaseProfiler, SnapshotBus, Telemetry};
+use std::sync::Arc;
 use fifoms_stats::{
     DelayStats, DelaySummary, OccupancySummary, OccupancyTracker, RunningStat,
     SaturationDetector, SaturationVerdict,
@@ -139,6 +140,14 @@ pub struct Observer<'a> {
     /// timed. Sampling keeps clock reads off most slots so the profiled
     /// run stays representative.
     pub profiler: Option<(&'a mut PhaseProfiler, u64)>,
+    /// Live telemetry channel (DESIGN.md §14). When set, the engine
+    /// drains the switch stack's events every slot (feeding the windowed
+    /// accumulator even with no `sink` attached), times each slot and its
+    /// schedule phase, and closes a window every stride slots — emitting
+    /// the summary to the channel's series sink and publishing a
+    /// snapshot through its bus. Telemetry is read-only over the run's
+    /// own counters, so results stay bit-identical when it is attached.
+    pub telemetry: Option<TelemetryChannel<'a>>,
 }
 
 impl Observer<'_> {
@@ -147,6 +156,69 @@ impl Observer<'_> {
         Observer {
             sink: None,
             profiler: None,
+            telemetry: None,
+        }
+    }
+}
+
+/// One run's wiring of the live telemetry layer: the windowed
+/// accumulator plus where its outputs go. Both destinations are
+/// optional — a caller may want only the JSONL time-series, only the
+/// snapshot bus, or (in tests) just the filled [`Telemetry`].
+pub struct TelemetryChannel<'a> {
+    /// The windowed accumulator the engine feeds.
+    pub telemetry: &'a mut Telemetry,
+    /// Destination for `window_meta` / `window_summary` events plus the
+    /// scope label they are tagged with (the `fifoms-timeseries-v1`
+    /// stream). Kept separate from [`Observer::sink`]: the time-series
+    /// is a different artifact from the event trace.
+    pub series: Option<(&'a dyn EventSink, &'a str)>,
+    /// Snapshot bus (plus this run's scope) publishing the whole-campaign
+    /// live view on every window close.
+    pub bus: Option<(&'a SnapshotBus, &'a str)>,
+}
+
+/// Shareable telemetry configuration for campaign runners (sweep, chaos,
+/// overload): the owning side of [`TelemetryChannel`]. Cloned freely
+/// across worker threads; each cell builds its own [`Telemetry`] and
+/// borrows a per-run channel with [`TelemetrySpec::channel`].
+#[derive(Clone, Default)]
+pub struct TelemetrySpec {
+    /// Shared sink for the `fifoms-timeseries-v1` JSONL stream.
+    pub series: Option<Arc<dyn EventSink>>,
+    /// Shared snapshot publisher.
+    pub bus: Option<Arc<SnapshotBus>>,
+    /// Slots per telemetry window.
+    pub window: u64,
+}
+
+impl TelemetrySpec {
+    /// A spec with the given window stride and no destinations (useful
+    /// as a base for builder-style wiring).
+    pub fn new(window: u64) -> TelemetrySpec {
+        TelemetrySpec {
+            series: None,
+            bus: None,
+            window,
+        }
+    }
+
+    /// A fresh per-run accumulator sized for an `N`-port switch.
+    pub fn new_telemetry(&self, ports: usize) -> Telemetry {
+        Telemetry::new(ports, self.window)
+    }
+
+    /// Borrow a per-run channel feeding `telemetry`, tagging output with
+    /// `scope`.
+    pub fn channel<'a>(
+        &'a self,
+        telemetry: &'a mut Telemetry,
+        scope: &'a str,
+    ) -> TelemetryChannel<'a> {
+        TelemetryChannel {
+            telemetry,
+            series: self.series.as_deref().map(|s| (s, scope)),
+            bus: self.bus.as_deref().map(|b| (b, scope)),
         }
     }
 }
@@ -208,6 +280,12 @@ fn simulate_inner(
     let mut slots_run = 0u64;
     let mut event_buf: Vec<ObsEvent> = Vec::new();
     let mut span_buf: Vec<SpanSample> = Vec::new();
+    // Pre-sized quarantine poll buffer: window closes must not allocate
+    // (the N×N worst case is every path quarantined).
+    let mut quarantine_buf: Vec<(PortId, PortId)> = Vec::new();
+    if obs.telemetry.is_some() {
+        quarantine_buf.reserve(n * n);
+    }
 
     if let Some((sink, scope)) = obs.sink {
         sink.emit(
@@ -223,6 +301,11 @@ fn simulate_inner(
                     .collect(),
             },
         );
+    }
+    if let Some(tc) = obs.telemetry.as_mut() {
+        if let Some((sink, scope)) = tc.series {
+            sink.emit(scope, &tc.telemetry.meta_event());
+        }
     }
 
     // Open/close a profiler span only on sampled slots.
@@ -247,6 +330,12 @@ fn simulate_inner(
         };
         // Wall-clock for the whole slot, feeding the tail histogram.
         let slot_timer = timed.then(SpanTimer::start);
+        // Telemetry times every slot (one clock read; its wall time
+        // feeds windowed slots/sec and the live tail histogram). Both
+        // timers exist only when their consumer is attached, so the
+        // plain path never reads a clock.
+        let tele_active = obs.telemetry.is_some();
+        let tele_timer = tele_active.then(SpanTimer::start);
         span(obs, timed, "traffic", true);
         traffic.next_slot(now, &mut arrivals);
         span(obs, timed, "traffic", false);
@@ -300,6 +389,7 @@ fn simulate_inner(
             }
             None => 0,
         };
+        let admitted_before = next_packet;
         span(obs, timed, "admit", true);
         for (input, dests) in arrivals.iter_mut().enumerate() {
             if let Some(dests) = dests.take() {
@@ -317,7 +407,9 @@ fn simulate_inner(
             switch.set_span_recording(true);
         }
         span(obs, timed, "schedule", true);
+        let sched_timer = tele_active.then(SpanTimer::start);
         let outcome = switch.run_slot(now);
+        let sched_ns = sched_timer.map_or(0, |tm| tm.elapsed_ns());
         span(obs, timed, "schedule", false);
         if timed {
             // Attach the switch's self-measured sub-phases (VOQ scan,
@@ -335,9 +427,18 @@ fn simulate_inner(
         }
         slots_run = t + 1;
 
-        if let Some((sink, scope)) = obs.sink {
+        if obs.sink.is_some() || tele_active {
             switch.drain_events(&mut event_buf);
             for e in event_buf.drain(..) {
+                // Telemetry sees every event before the ladder sheds any:
+                // the windowed counters must sum to the run's aggregates
+                // regardless of degradation level.
+                if let Some(tc) = obs.telemetry.as_mut() {
+                    tc.telemetry.observe_event(&e);
+                }
+                let Some((sink, scope)) = obs.sink else {
+                    continue;
+                };
                 // Ladder level 1: shed packet-scoped tracing first.
                 // Admission drops, invariant reports and scheduler
                 // summaries always get through — forensics on the
@@ -382,6 +483,34 @@ fn simulate_inner(
         if let (Some(timer), Some((p, _))) = (slot_timer, obs.profiler.as_mut()) {
             p.record_slot_ns(timer.elapsed_ns());
         }
+        // Live telemetry: fold this slot into the current window and
+        // close the window on a full stride. All counter updates are
+        // integer field writes; the only heap work is the opted-in
+        // snapshot publication on a window close.
+        if let Some(tc) = obs.telemetry.as_mut() {
+            let delivered_now = outcome.departures.len() as u64;
+            let completed_now = outcome.departures.iter().filter(|d| d.last_copy).count() as u64;
+            let wall_ns = tele_timer.map_or(0, |tm| tm.elapsed_ns());
+            tc.telemetry.record_slot(
+                next_packet - admitted_before,
+                delivered_now,
+                completed_now,
+                sched_ns,
+                wall_ns,
+            );
+            if tc.telemetry.window_full() {
+                quarantine_buf.clear();
+                switch.quarantined_paths(now, &mut quarantine_buf);
+                tc.telemetry.set_path_state(&quarantine_buf);
+                let summary = tc.telemetry.close_window(switch.backlog().copies as u64);
+                if let Some((sink, scope)) = tc.series {
+                    sink.emit(scope, &summary);
+                }
+                if let Some((bus, scope)) = tc.bus {
+                    bus.publish(scope, tc.telemetry, false);
+                }
+            }
+        }
         // Hand the outcome's heap buffers back for the next slot. Runs on
         // every path (observed or not): recycling is memory reuse only,
         // so it cannot perturb results.
@@ -391,17 +520,24 @@ fn simulate_inner(
         }
     }
 
-    if let Some((sink, scope)) = obs.sink {
+    if obs.sink.is_some() || obs.telemetry.is_some() {
         // Let buffering wrappers (the ring-buffer flight recorder) move
         // retained events into the drain path, then a final drain catches
         // everything buffered during the last slot's teardown (e.g. a
         // violation recorded on the aborting slot). This block only runs
-        // with a sink attached, so unobserved runs stay bit-identical.
+        // with observation attached, so unobserved runs stay bit-identical.
         switch.end_of_run();
         switch.drain_events(&mut event_buf);
         for e in event_buf.drain(..) {
-            sink.emit(scope, &e);
+            if let Some(tc) = obs.telemetry.as_mut() {
+                tc.telemetry.observe_event(&e);
+            }
+            if let Some((sink, scope)) = obs.sink {
+                sink.emit(scope, &e);
+            }
         }
+    }
+    if let Some((sink, scope)) = obs.sink {
         // With a profiler also attached, surface its totals in the trace:
         // one PhaseTimed per phase name (aggregated over the span tree)
         // and the per-slot wall-time tail summary. Run-scoped, so they sit
@@ -437,6 +573,25 @@ fn simulate_inner(
         // this to compute utilisation without guessing.
         sink.emit(scope, &ObsEvent::RunEnd { slots_run });
         sink.flush();
+    }
+    if let Some(tc) = obs.telemetry.as_mut() {
+        // Close the partial final window (if any), flush the series
+        // stream, and publish the completion-marked snapshot so `top`
+        // can tell a finished scope from a stalled one.
+        quarantine_buf.clear();
+        switch.quarantined_paths(Slot(slots_run.saturating_sub(1)), &mut quarantine_buf);
+        tc.telemetry.set_path_state(&quarantine_buf);
+        if let Some(summary) = tc.telemetry.finish(switch.backlog().copies as u64) {
+            if let Some((sink, scope)) = tc.series {
+                sink.emit(scope, &summary);
+            }
+        }
+        if let Some((sink, _)) = tc.series {
+            sink.flush();
+        }
+        if let Some((bus, scope)) = tc.bus {
+            bus.publish(scope, tc.telemetry, true);
+        }
     }
 
     let measured_slots = slots_run.saturating_sub(cfg.warmup).max(1);

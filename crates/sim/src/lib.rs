@@ -51,16 +51,17 @@ mod sweep;
 
 pub use audit::{alloc_audit, AllocAuditReport};
 pub use chaos::{
-    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario, run_scenario_on,
-    shrink_scenario, ChaosOutcome, ChaosScenario,
+    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario,
+    run_scenario_observed, run_scenario_on, shrink_scenario, ChaosOutcome, ChaosScenario,
 };
 pub use checkpoint::CheckpointJournal;
 pub use engine::{
     simulate, try_simulate, try_simulate_controlled, try_simulate_observed, Observer, RunConfig,
-    RunResult,
+    RunResult, TelemetryChannel, TelemetrySpec,
 };
 pub use overload::{
-    loss_sweep, LossPoint, LossSweepConfig, OverloadControls, OverloadGovernor,
+    loss_sweep, loss_sweep_observed, LossPoint, LossSweepConfig, OverloadControls,
+    OverloadGovernor,
 };
 // Re-exported so sweep policies can be configured without a direct
 // dependency on the fabric crate.

@@ -31,7 +31,7 @@ use fifoms_fabric::{CheckedSwitch, Switch};
 use fifoms_traffic::{BernoulliMulticast, DeferralQueue};
 use fifoms_types::{ObsEvent, Slot};
 
-use crate::engine::{try_simulate, RunConfig};
+use crate::engine::{try_simulate_observed, Observer, RunConfig, TelemetrySpec};
 
 /// Ladder thresholds as percent of configured capacity.
 const LEVEL_1_PCT: u64 = 50;
@@ -239,6 +239,17 @@ const SWEEP_POLICIES: [AdmissionPolicy; 3] = [
 /// sweep's entire point is that the law holds), if `cfg.loads` contains
 /// a load outside `(0, b·N]`, or if `voq_cap`/`input_cap` are 0.
 pub fn loss_sweep(cfg: &LossSweepConfig) -> Vec<LossPoint> {
+    loss_sweep_observed(cfg, None)
+}
+
+/// [`loss_sweep`] with live telemetry attached: each cell streams
+/// windowed counters under the scope `"<policy>@<load>"`. Telemetry is
+/// read-only, so the returned points are bit-identical to
+/// [`loss_sweep`]'s.
+pub fn loss_sweep_observed(
+    cfg: &LossSweepConfig,
+    telemetry: Option<&TelemetrySpec>,
+) -> Vec<LossPoint> {
     assert!(cfg.voq_cap > 0 && cfg.input_cap > 0, "caps must be finite");
     let mut out = Vec::new();
     for (i, &load) in cfg.loads.iter().enumerate() {
@@ -248,9 +259,9 @@ pub fn loss_sweep(cfg: &LossSweepConfig) -> Vec<LossPoint> {
             "load {load} outside (0, {max_load}]"
         );
         let cell_seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        out.push(run_cell(cfg, load, cell_seed, None));
+        out.push(run_cell(cfg, load, cell_seed, None, telemetry));
         for policy in SWEEP_POLICIES {
-            out.push(run_cell(cfg, load, cell_seed, Some(policy)));
+            out.push(run_cell(cfg, load, cell_seed, Some(policy), telemetry));
         }
     }
     out
@@ -261,6 +272,7 @@ fn run_cell(
     load: f64,
     seed: u64,
     policy: Option<AdmissionPolicy>,
+    telemetry: Option<&TelemetrySpec>,
 ) -> LossPoint {
     let p = load / (SWEEP_B * cfg.n as f64);
     let mut traffic =
@@ -278,7 +290,18 @@ fn run_cell(
         }
         None => CheckedSwitch::new(core),
     };
-    let run = try_simulate(&mut checker, &mut traffic, &RunConfig::quick(cfg.slots))
+    let policy_name = policy.map_or_else(|| "baseline".to_string(), |p| p.as_str().to_string());
+    let scope = format!("{policy_name}@{load}");
+    let mut cell_telemetry = telemetry.map(|t| t.new_telemetry(cfg.n));
+    let mut obs = Observer {
+        sink: None,
+        profiler: None,
+        telemetry: match (telemetry, cell_telemetry.as_mut()) {
+            (Some(spec), Some(t)) => Some(spec.channel(t, &scope)),
+            _ => None,
+        },
+    };
+    let run = try_simulate_observed(&mut checker, &mut traffic, &RunConfig::quick(cfg.slots), &mut obs)
         .expect("sweep cell preconditions hold");
     if let Some(v) = checker.violation() {
         panic!("loss sweep cell (load {load}, {:?}) violated: {v}", policy);

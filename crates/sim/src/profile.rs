@@ -96,6 +96,7 @@ pub fn profile_run(
         &mut Observer {
             sink: None,
             profiler: Some((&mut profiler, sample_every)),
+            telemetry: None,
         },
     )?;
     let total_ns = started.elapsed().as_nanos() as u64;

@@ -23,7 +23,7 @@ use fifoms_obs::{EventSink, ProgressMeter};
 use fifoms_types::SimError;
 
 use crate::checkpoint::CheckpointJournal;
-use crate::engine::{simulate, try_simulate_observed, Observer, RunConfig, RunResult};
+use crate::engine::{simulate, try_simulate_observed, Observer, RunConfig, RunResult, TelemetrySpec};
 use crate::spec::{SwitchKind, TrafficKind};
 
 /// One completed grid cell.
@@ -161,6 +161,9 @@ struct CellSpec {
     /// Packet-level sampling gate for the flight recorder (only
     /// meaningful when `trace` is set).
     packet_trace: PacketTraceMode,
+    /// Live telemetry wiring: each cell builds its own windowed
+    /// accumulator from the spec and streams under `scope`.
+    telemetry: Option<TelemetrySpec>,
     /// Scope string stamped on every event of this cell (`label@load`).
     scope: String,
 }
@@ -175,13 +178,23 @@ struct CellSpec {
 fn exec_cell(spec: &CellSpec) -> Result<SweepRow, SimError> {
     let mut traffic = spec.tk.try_build(spec.n, spec.traffic_seed)?;
     let built = spec.sk.build(spec.n, spec.switch_seed);
-    let tracing = spec.trace.is_some();
+    // Telemetry needs the same event-producing stack as tracing: the
+    // instrumented wrapper innermost and fault-event recording on.
+    let tracing = spec.trace.is_some() || spec.telemetry.is_some();
+    let mut telemetry = spec
+        .telemetry
+        .as_ref()
+        .map(|spec_t| spec_t.new_telemetry(spec.n));
     let mut obs = Observer {
         sink: spec
             .trace
             .as_deref()
             .map(|sink| (sink as &dyn EventSink, spec.scope.as_str())),
         profiler: None,
+        telemetry: match (&spec.telemetry, telemetry.as_mut()) {
+            (Some(spec_t), Some(t)) => Some(spec_t.channel(t, &spec.scope)),
+            _ => None,
+        },
     };
     let inner: Box<dyn Switch> = if tracing {
         Box::new(InstrumentedSwitch::with_packet_trace(
@@ -295,6 +308,10 @@ pub struct SweepObserver {
     /// (ignored when `trace` is `None`). Defaults to
     /// [`PacketTraceMode::Off`]: slot aggregates only.
     pub packet_trace: PacketTraceMode,
+    /// Live telemetry wiring (window stride plus time-series sink and/or
+    /// snapshot bus), applied to every cell. `None` disables the
+    /// windowed layer entirely.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl SweepObserver {
@@ -467,8 +484,14 @@ impl Sweep {
                     if slots[idx].get().is_some() {
                         continue; // already satisfied by the journal
                     }
-                    let outcome =
-                        self.run_cell_observed(si, pi, policy, obs.trace.clone(), obs.packet_trace);
+                    let outcome = self.run_cell_observed(
+                        si,
+                        pi,
+                        policy,
+                        obs.trace.clone(),
+                        obs.packet_trace,
+                        obs.telemetry.clone(),
+                    );
                     if let Some(j) = journal {
                         if let Err(e) = j.record(idx, self, &outcome) {
                             let _ = journal_err.set(e);
@@ -489,6 +512,9 @@ impl Sweep {
         if let Some(sink) = &obs.trace {
             sink.flush();
         }
+        if let Some(series) = obs.telemetry.as_ref().and_then(|t| t.series.as_ref()) {
+            series.flush();
+        }
         if let Some(e) = journal_err.into_inner() {
             return Err(e);
         }
@@ -501,7 +527,7 @@ impl Sweep {
     /// Run the cell at grid position `(si, pi)` under the policy's
     /// isolation: panics contained, optional watchdog, bounded retries.
     pub fn run_cell_isolated(&self, si: usize, pi: usize, policy: &CellPolicy) -> CellOutcome {
-        self.run_cell_observed(si, pi, policy, None, PacketTraceMode::Off)
+        self.run_cell_observed(si, pi, policy, None, PacketTraceMode::Off, None)
     }
 
     fn run_cell_observed(
@@ -511,8 +537,9 @@ impl Sweep {
         policy: &CellPolicy,
         trace: Option<Arc<dyn EventSink>>,
         packet_trace: PacketTraceMode,
+        telemetry: Option<TelemetrySpec>,
     ) -> CellOutcome {
-        let spec = self.cell_spec(si, pi, policy, trace, packet_trace);
+        let spec = self.cell_spec(si, pi, policy, trace, packet_trace, telemetry);
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -542,6 +569,7 @@ impl Sweep {
         policy: &CellPolicy,
         trace: Option<Arc<dyn EventSink>>,
         packet_trace: PacketTraceMode,
+        telemetry: Option<TelemetrySpec>,
     ) -> CellSpec {
         let (load, tk) = self.points[pi];
         // Workload seed depends only on the point → identical arrivals for
@@ -561,6 +589,7 @@ impl Sweep {
             faults: policy.faults,
             trace,
             packet_trace,
+            telemetry,
             scope,
         }
     }

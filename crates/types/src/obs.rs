@@ -256,6 +256,65 @@ pub enum ObsEvent {
         /// Worst sampled slot wall time, in ns.
         max_ns: u64,
     },
+    /// Telemetry window configuration, emitted once per scope before the
+    /// first [`ObsEvent::WindowSummary`] of a live-telemetry run. Makes a
+    /// `fifoms-timeseries-v1` stream self-describing: consumers learn the
+    /// window stride (slots per window) and the snapshot ring depth
+    /// without out-of-band configuration.
+    WindowMeta {
+        /// Slots aggregated into each window.
+        stride: u64,
+        /// Closed windows retained in the live snapshot ring.
+        ring: u32,
+        /// Switch size `N`, for per-input scoreboard rendering.
+        ports: u32,
+    },
+    /// One closed telemetry window: counters aggregated over `slots`
+    /// consecutive slots starting at `start_slot`. All fields are
+    /// integers so constructing and emitting a summary never allocates —
+    /// the engine can close windows from inside the slot loop without
+    /// perturbing the alloc-audit gate.
+    WindowSummary {
+        /// Zero-based window index within the run.
+        window: u64,
+        /// First slot aggregated into this window.
+        start_slot: u64,
+        /// Slots aggregated (equal to the stride except for a partial
+        /// final window).
+        slots: u64,
+        /// Packets admitted by the traffic/admission path this window.
+        admitted_packets: u64,
+        /// Copies delivered across the fabric this window.
+        delivered_copies: u64,
+        /// Packets whose final copy departed this window.
+        completed_packets: u64,
+        /// Copies refused by drop-tail admission (`cause == "tail_full"`).
+        drop_tail_full: u64,
+        /// Copies evicted by pushout (`cause == "pushout"`).
+        drop_pushout: u64,
+        /// Copies shed by fair shedding (`cause == "fair_shed"`).
+        drop_fair_shed: u64,
+        /// Copies killed at crosspoint traversal by egress faults.
+        copy_kills: u64,
+        /// Previously killed copies that finally crossed the fabric.
+        copy_recoveries: u64,
+        /// Deepest VOQ high-water crossing observed this window (0 when
+        /// no queue crossed the soft mark).
+        voq_high_water: u64,
+        /// Undelivered copies still queued when the window closed.
+        backlog_copies: u64,
+        /// `(input, output)` paths quarantined by the fault scoreboard
+        /// when the window closed.
+        quarantined_paths: u32,
+        /// Highest overload-governor rung observed this window.
+        overload_level: u32,
+        /// Wall time spent inside the scheduler's `run_slot` this window,
+        /// in ns (0 when the engine does not time the schedule phase).
+        sched_ns: u64,
+        /// Wall time of the whole window's slot loop, in ns. Windowed
+        /// slots/sec is `slots * 1e9 / wall_ns`.
+        wall_ns: u64,
+    },
     /// End-of-run marker: the number of slots actually executed. Emitted
     /// by the engine as the last event of an observed run; encodes idle
     /// slots explicitly (a slot below `slots_run` with no `SlotSched`
@@ -287,6 +346,8 @@ impl ObsEvent {
             ObsEvent::OverloadLevel { .. } => "overload_level",
             ObsEvent::PhaseTimed { .. } => "phase_timed",
             ObsEvent::SlotTimeSummary { .. } => "slot_time",
+            ObsEvent::WindowMeta { .. } => "window_meta",
+            ObsEvent::WindowSummary { .. } => "window_summary",
             ObsEvent::RunEnd { .. } => "run_end",
         }
     }
@@ -298,6 +359,8 @@ impl ObsEvent {
             | ObsEvent::RecorderMeta { .. }
             | ObsEvent::PhaseTimed { .. }
             | ObsEvent::SlotTimeSummary { .. }
+            | ObsEvent::WindowMeta { .. }
+            | ObsEvent::WindowSummary { .. }
             | ObsEvent::RunEnd { .. } => None,
             ObsEvent::SlotSched { slot, .. }
             | ObsEvent::FaultMasked { slot, .. }
@@ -417,6 +480,38 @@ mod tests {
         };
         assert_eq!(slot_time.kind(), "slot_time");
         assert_eq!(slot_time.slot(), None);
+    }
+
+    #[test]
+    fn telemetry_window_events_are_run_scoped() {
+        let meta = ObsEvent::WindowMeta {
+            stride: 1000,
+            ring: 64,
+            ports: 16,
+        };
+        assert_eq!(meta.kind(), "window_meta");
+        assert_eq!(meta.slot(), None);
+        let summary = ObsEvent::WindowSummary {
+            window: 3,
+            start_slot: 3000,
+            slots: 1000,
+            admitted_packets: 450,
+            delivered_copies: 1800,
+            completed_packets: 440,
+            drop_tail_full: 12,
+            drop_pushout: 0,
+            drop_fair_shed: 3,
+            copy_kills: 2,
+            copy_recoveries: 2,
+            voq_high_water: 48,
+            backlog_copies: 90,
+            quarantined_paths: 1,
+            overload_level: 2,
+            sched_ns: 1_000_000,
+            wall_ns: 2_000_000,
+        };
+        assert_eq!(summary.kind(), "window_summary");
+        assert_eq!(summary.slot(), None);
     }
 
     #[test]

@@ -35,8 +35,13 @@ cargo run --release --quiet -p fifoms-cli -- profile --slots "$PROFILE_SLOTS"
 
 echo "== validate artifacts against schemas/ =="
 # BENCH_CORE_OUT (if exported) moves the core artifact; validate the
-# same file the bench just wrote.
+# same file the bench just wrote, and append its slots/sec rows to the
+# running ledger so regressions are visible across invocations.
+mkdir -p results
 cargo run --release --quiet -p fifoms-cli -- check-bench \
-  --current "${BENCH_CORE_OUT:-BENCH_core.json}"
+  --current "${BENCH_CORE_OUT:-BENCH_core.json}" \
+  --ledger results/bench_ledger.jsonl \
+  --ledger-note "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo "bench artifacts written: ${BENCH_CORE_OUT:-BENCH_core.json} BENCH_profile.json"
+echo "bench ledger appended:   results/bench_ledger.jsonl"

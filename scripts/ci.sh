@@ -37,7 +37,12 @@
 #      (the command exits nonzero on any allocating phase);
 #  11. a perf-diff self-check: the freshly profiled v2 artifact diffed
 #      against itself must gate clean (zero slots/sec delta), proving
-#      the attribution path parses its own output.
+#      the attribution path parses its own output;
+#  12. a live-telemetry smoke: a sweep with the windowed time-series,
+#      snapshot and Prometheus outputs attached, the JSONL stream
+#      schema-validated record-by-record and the snapshot rendered by
+#      `fifoms-repro top --once` (the consumer path: the snapshot is
+#      validated against schemas/snapshot.schema.json before rendering).
 #
 # Run from anywhere inside the repository.
 
@@ -102,5 +107,15 @@ cargo run --release --quiet -p fifoms-cli -- overload --n 8 --slots 3000 \
 test -s "$tmp/overload.json"
 grep -q '"schema":"fifoms-overload-v1"' "$tmp/overload.json"
 grep -q "all conservation checks passed" "$tmp/overload.txt"
+
+echo "== telemetry smoke (time-series + snapshot + top --once) =="
+cargo run --release --quiet -p fifoms-cli -- sweep --quick --n 8 --points 2 \
+  --timeseries-out "$tmp/ts.jsonl" --snapshot-out "$tmp/snap.json" \
+  --prom-out "$tmp/metrics.prom" --window 200
+grep -q '"schema":"fifoms-timeseries-v1"' "$tmp/ts.jsonl"
+grep -q 'fifoms_slots_total' "$tmp/metrics.prom"
+cargo run --release --quiet -p fifoms-cli -- top "$tmp/snap.json" --once \
+  --timeseries "$tmp/ts.jsonl" | tee "$tmp/top.txt"
+grep -q "window" "$tmp/top.txt"
 
 echo "CI checks passed."

@@ -71,13 +71,13 @@ pub mod prelude {
     pub use fifoms_obs::{
         analysis::{analyze_trace, ScopeAnalysis, TraceAnalysis},
         EventSink, Json, JsonlSink, MetricsRegistry, NullSink, PhaseProfiler, ProgressMeter,
-        RecordingSink,
+        RecordingSink, SnapshotBus, Telemetry,
     };
     pub use fifoms_sim::{
         alloc_audit, profile_run, simulate, try_simulate, try_simulate_observed,
         AllocAuditReport, CellFailureReason, CellOutcome, CellPolicy, CheckpointJournal,
         FailedCell, Observer, ProfileReport, RunConfig, RunResult, Sweep, SweepObserver,
-        SwitchKind, TrafficKind,
+        SwitchKind, TelemetrySpec, TrafficKind,
     };
     pub use fifoms_stats::SaturationVerdict;
     pub use fifoms_types::{InvariantViolation, ObsEvent, SimError};

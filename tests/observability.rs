@@ -75,6 +75,7 @@ fn jsonl_trace_round_trips() {
         let mut obs = Observer {
             sink: Some((&sink, "FIFOMS@0.6")),
             profiler: None,
+            telemetry: None,
         };
         try_simulate_observed(&mut sw, tr.as_mut(), &RunConfig::quick(2_000), &mut obs)
             .expect("traced run");
@@ -190,6 +191,7 @@ fn profiler_attachment_is_bit_identical() {
     let mut obs = Observer {
         sink: None,
         profiler: Some((&mut prof, 1)),
+        telemetry: None,
     };
     let profiled =
         try_simulate_observed(&mut sw, tr.as_mut(), &cfg, &mut obs).expect("profiled run");

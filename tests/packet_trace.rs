@@ -119,6 +119,7 @@ fn disabled_recorder_is_bit_identical() {
                 let mut obs = Observer {
                     sink: Some((&sink, "cell")),
                     profiler: None,
+                    telemetry: None,
                 };
                 let result = try_simulate_observed(&mut sw, tr.as_mut(), &cfg, &mut obs)
                     .expect("observed run");
