@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use fifoms_types::PacketId;
+use fifoms_types::{PacketId, StateError, StateReader, StateWriter};
 
 /// Tracks, per admitted packet, how many copies remain undelivered.
 ///
@@ -93,6 +93,64 @@ impl PacketLedger {
     /// Whether nothing is outstanding.
     pub fn is_empty(&self) -> bool {
         self.remaining.is_empty()
+    }
+
+    /// Serialise the ledger (checkpointing). HashMap iteration order is
+    /// nondeterministic, so entries are written sorted by packet id —
+    /// snapshots of equal states must be byte-equal.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        let mut entries: Vec<(&PacketId, &u32)> = self.remaining.iter().collect();
+        entries.sort_unstable_by_key(|(id, _)| **id);
+        w.put_usize(entries.len());
+        for (id, rem) in entries {
+            w.put_packet_id(*id);
+            w.put_u32(*rem);
+        }
+        w.put_usize(self.held_per_input.len());
+        for held in &self.held_per_input {
+            w.put_usize(*held);
+        }
+        let mut inputs: Vec<(&PacketId, &usize)> = self.input_of.iter().collect();
+        inputs.sort_unstable_by_key(|(id, _)| **id);
+        w.put_usize(inputs.len());
+        for (id, input) in inputs {
+            w.put_packet_id(*id);
+            w.put_usize(*input);
+        }
+    }
+
+    /// Restore state captured by [`PacketLedger::write_state`] into a
+    /// ledger configured for the same number of inputs.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let remaining = r.get_usize()?;
+        self.remaining.clear();
+        self.remaining.reserve(remaining);
+        for _ in 0..remaining {
+            let id = r.get_packet_id()?;
+            let rem = r.get_u32()?;
+            self.remaining.insert(id, rem);
+        }
+        let inputs_len = r.get_usize()?;
+        if inputs_len != self.held_per_input.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "ledger has {} inputs, snapshot has {inputs_len}",
+                    self.held_per_input.len()
+                ),
+            });
+        }
+        for held in &mut self.held_per_input {
+            *held = r.get_usize()?;
+        }
+        let input_of = r.get_usize()?;
+        self.input_of.clear();
+        self.input_of.reserve(input_of);
+        for _ in 0..input_of {
+            let id = r.get_packet_id()?;
+            let input = r.get_usize()?;
+            self.input_of.insert(id, input);
+        }
+        Ok(())
     }
 }
 

@@ -11,7 +11,10 @@
 use std::collections::VecDeque;
 
 use fifoms_fabric::{Backlog, Switch};
-use fifoms_types::{Departure, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome};
+use fifoms_types::{
+    Checkpoint, Departure, Packet, PacketId, PortId, PortSet, Slot, SlotOutcome, StateError,
+    StateReader, StateWriter,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -155,6 +158,64 @@ impl Switch for McFifoSwitch {
                 .sum(),
         }
     }
+
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        Ok(Checkpoint::snapshot_state(self))
+    }
+
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        Checkpoint::restore_state(self, blob)
+    }
+}
+
+impl Checkpoint for McFifoSwitch {
+    fn state_kind(&self) -> &'static str {
+        "mc-fifo"
+    }
+
+    fn write_state(&self, w: &mut StateWriter) {
+        // `n` and `splitting` are configuration (rebuilt by the caller);
+        // the mutable state is the FIFO contents and the tie-break rng.
+        w.put_usize(self.fifos.len());
+        for fifo in &self.fifos {
+            w.put_usize(fifo.len());
+            for cell in fifo {
+                w.put_packet_id(cell.packet);
+                w.put_slot(cell.arrival);
+                w.put_port_set(&cell.residue);
+            }
+        }
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let inputs = r.get_usize()?;
+        if inputs != self.fifos.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "switch has {} inputs, snapshot has {inputs}",
+                    self.fifos.len()
+                ),
+            });
+        }
+        for fifo in &mut self.fifos {
+            let len = r.get_usize()?;
+            fifo.clear();
+            fifo.reserve(len);
+            for _ in 0..len {
+                fifo.push_back(FifoCell {
+                    packet: r.get_packet_id()?,
+                    arrival: r.get_slot()?,
+                    residue: r.get_port_set()?,
+                });
+            }
+        }
+        let rng = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        self.rng = SmallRng::from_state(rng);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +308,64 @@ mod tests {
                 .packet,
             PacketId(2)
         );
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        // The twin is seeded differently on purpose: restore must overwrite
+        // the tie-break rng so both switches make identical random choices
+        // after the snapshot point.
+        let mut original = McFifoSwitch::new(4, 7);
+        let mut id = 0u64;
+        for t in 0..30u64 {
+            for i in 0..4u16 {
+                if (t + i as u64).is_multiple_of(2) {
+                    id += 1;
+                    sw_admit(&mut original, id, t, i);
+                }
+            }
+            original.run_slot(Slot(t));
+        }
+        let blob = Checkpoint::snapshot_state(&original);
+        let mut twin = McFifoSwitch::new(4, 999);
+        twin.load_state(&blob).expect("restore");
+        assert_eq!(Checkpoint::snapshot_state(&twin), blob);
+        for t in 30..60u64 {
+            for i in 0..4u16 {
+                if (t + i as u64).is_multiple_of(2) {
+                    id += 1;
+                    sw_admit(&mut original, id, t, i);
+                    sw_admit(&mut twin, id, t, i);
+                }
+            }
+            let a = original.run_slot(Slot(t));
+            let b = twin.run_slot(Slot(t));
+            assert_eq!(a.departures, b.departures, "diverged at slot {t}");
+        }
+        assert_eq!(
+            Checkpoint::snapshot_state(&original),
+            Checkpoint::snapshot_state(&twin)
+        );
+    }
+
+    fn sw_admit(sw: &mut McFifoSwitch, id: u64, t: u64, i: u16) {
+        sw.admit(pkt(
+            id,
+            t,
+            i,
+            &[(i as usize + 1) % 4, (i as usize + 3) % 4],
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_port_mismatch() {
+        let small = McFifoSwitch::new(2, 0);
+        let blob = Checkpoint::snapshot_state(&small);
+        let mut big = McFifoSwitch::new(4, 0);
+        assert!(matches!(
+            big.load_state(&blob),
+            Err(StateError::Malformed { .. })
+        ));
     }
 
     #[test]

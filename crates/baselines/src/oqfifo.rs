@@ -3,7 +3,10 @@
 use std::collections::VecDeque;
 
 use fifoms_fabric::{Backlog, Switch};
-use fifoms_types::{Departure, Packet, PacketId, PortId, Slot, SlotOutcome};
+use fifoms_types::{
+    Checkpoint, Departure, Packet, PacketId, PortId, Slot, SlotOutcome, StateError, StateReader,
+    StateWriter,
+};
 
 use crate::common::PacketLedger;
 
@@ -100,6 +103,58 @@ impl Switch for OqFifoSwitch {
             copies: self.queues.iter().map(VecDeque::len).sum(),
         }
     }
+
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        Ok(Checkpoint::snapshot_state(self))
+    }
+
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        Checkpoint::restore_state(self, blob)
+    }
+}
+
+impl Checkpoint for OqFifoSwitch {
+    fn state_kind(&self) -> &'static str {
+        "oq-fifo"
+    }
+
+    fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.queues.len());
+        for queue in &self.queues {
+            w.put_usize(queue.len());
+            for copy in queue {
+                w.put_packet_id(copy.packet);
+                w.put_slot(copy.arrival);
+                w.put_port(copy.input);
+            }
+        }
+        self.ledger.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let outputs = r.get_usize()?;
+        if outputs != self.queues.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "switch has {} outputs, snapshot has {outputs}",
+                    self.queues.len()
+                ),
+            });
+        }
+        for queue in &mut self.queues {
+            let len = r.get_usize()?;
+            queue.clear();
+            queue.reserve(len);
+            for _ in 0..len {
+                queue.push_back(QueuedCopy {
+                    packet: r.get_packet_id()?,
+                    arrival: r.get_slot()?,
+                    input: r.get_port()?,
+                });
+            }
+        }
+        self.ledger.read_state(r)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +224,48 @@ mod tests {
         assert_eq!(out.departures.len(), 1);
         assert!(out.departures[0].last_copy);
         assert_eq!(out.departures[0].delay(Slot(1)), 1);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let mut original = OqFifoSwitch::new(4);
+        let mut id = 0u64;
+        let mut admit_wave = |sw: &mut OqFifoSwitch, t: u64| {
+            for i in 0..4u16 {
+                if !(t + i as u64).is_multiple_of(3) {
+                    id += 1;
+                    sw.admit(pkt(id, t, i, &[(i as usize + 1) % 4, (i as usize + 2) % 4]));
+                }
+            }
+        };
+        for t in 0..30u64 {
+            admit_wave(&mut original, t);
+            original.run_slot(Slot(t));
+        }
+        let blob = Checkpoint::snapshot_state(&original);
+        let mut twin = OqFifoSwitch::new(4);
+        twin.load_state(&blob).expect("restore");
+        assert_eq!(Checkpoint::snapshot_state(&twin), blob);
+        for t in 30..60u64 {
+            let a = original.run_slot(Slot(t));
+            let b = twin.run_slot(Slot(t));
+            assert_eq!(a.departures, b.departures, "diverged at slot {t}");
+        }
+        assert_eq!(
+            Checkpoint::snapshot_state(&original),
+            Checkpoint::snapshot_state(&twin)
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_port_mismatch() {
+        let small = OqFifoSwitch::new(2);
+        let blob = Checkpoint::snapshot_state(&small);
+        let mut big = OqFifoSwitch::new(4);
+        assert!(matches!(
+            big.load_state(&blob),
+            Err(fifoms_types::StateError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -90,6 +90,17 @@ pub struct Options {
     pub ledger: Option<String>,
     /// Free-form note stored with the ledger row (e.g. a commit id).
     pub ledger_note: Option<String>,
+    /// Checkpoint/WAL state directory for the supervised `serve` run.
+    pub state_dir: Option<String>,
+    /// Checkpoint interval in slots for `serve`.
+    pub checkpoint_every: u64,
+    /// Crash-injection hook: kill the first `serve` worker attempt at
+    /// this slot (testing/demo).
+    pub die_at: Option<u64>,
+    /// Supervisor restart budget for `serve`.
+    pub max_restarts: u32,
+    /// Per-slot arrival probability of the `serve` workload.
+    pub load: f64,
 }
 
 impl Default for Options {
@@ -135,6 +146,11 @@ impl Default for Options {
             timeseries: None,
             ledger: None,
             ledger_note: None,
+            state_dir: None,
+            checkpoint_every: 10_000,
+            die_at: None,
+            max_restarts: 3,
+            load: 0.6,
         }
     }
 }
@@ -164,6 +180,7 @@ const COMMANDS: &[&str] = &[
     "perf-diff",
     "alloc-audit",
     "top",
+    "serve",
 ];
 
 /// Parse `argv` into `(command, options)`.
@@ -187,7 +204,9 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             | "--compare" | "--json" | "--baseline" | "--current" | "--tolerance"
             | "--scenarios" | "--scenario" | "--voq-cap" | "--input-cap"
             | "--timeseries-out" | "--snapshot-out" | "--prom-out" | "--window"
-            | "--interval-ms" | "--timeseries" | "--ledger" | "--ledger-note" => {
+            | "--interval-ms" | "--timeseries" | "--ledger" | "--ledger-note"
+            | "--state-dir" | "--checkpoint-every" | "--die-at-slot" | "--max-restarts"
+            | "--load" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -228,6 +247,11 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--timeseries" => opts.timeseries = Some(value.clone()),
                     "--ledger" => opts.ledger = Some(value.clone()),
                     "--ledger-note" => opts.ledger_note = Some(value.clone()),
+                    "--state-dir" => opts.state_dir = Some(value.clone()),
+                    "--checkpoint-every" => opts.checkpoint_every = parse_num(arg, value)?,
+                    "--die-at-slot" => opts.die_at = Some(parse_num(arg, value)?),
+                    "--max-restarts" => opts.max_restarts = parse_num(arg, value)?,
+                    "--load" => opts.load = parse_num(arg, value)?,
                     _ => unreachable!(),
                 }
             }
@@ -295,6 +319,17 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
     }
     if command == "overload" && (opts.voq_cap == 0 || opts.input_cap == 0) {
         return Err("overload requires finite --voq-cap and --input-cap".into());
+    }
+    if command == "serve" {
+        if opts.state_dir.is_none() {
+            return Err("serve requires a state directory: serve --state-dir <DIR>".into());
+        }
+        if opts.checkpoint_every == 0 {
+            return Err("--checkpoint-every must be positive".into());
+        }
+        if !opts.load.is_finite() || opts.load <= 0.0 || opts.load > 1.0 {
+            return Err("--load must be a probability in (0, 1]".into());
+        }
     }
     if command == "perf-diff" && (opts.baseline.is_none() || opts.current.is_none()) {
         return Err(

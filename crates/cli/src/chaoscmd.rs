@@ -14,8 +14,9 @@
 //! what the CI smoke stage keys on.
 
 use fifoms_sim::{
-    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario,
-    run_scenario_observed, shrink_scenario, ChaosOutcome, ChaosScenario,
+    buffer_pressure_scenarios, campaign_scenarios, run_corruption_campaign, run_guarded,
+    run_scenario, run_scenario_observed, shrink_scenario_guarded, ChaosOutcome, ChaosScenario,
+    CheckpointFault, CorruptionOutcome,
 };
 use fifoms_types::SimError;
 
@@ -86,8 +87,36 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     print_recovery_summary(&outcomes);
     topcmd::report_telemetry_outputs(opts);
 
+    // Checkpoint-corruption campaign (skipped in single-`--scenario`
+    // reproducer mode): crash a checkpointed run between checkpoints,
+    // damage the newest checkpoint file one fault mode at a time, and
+    // prove recovery falls back to the previous valid checkpoint and
+    // still reproduces the uninterrupted run bit-for-bit.
+    let mut corruption_failures = 0usize;
+    if opts.scenario.is_none() {
+        println!();
+        println!(
+            "checkpoint-corruption campaign: {} fault mode(s), seed {}",
+            CheckpointFault::ALL.len(),
+            opts.seed
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "fifoms-chaos-corruption-{}",
+            std::process::id()
+        ));
+        let cells = run_corruption_campaign(opts.seed, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        for cell in &cells {
+            print_corruption_row(cell);
+            if !cell.ok() {
+                corruption_failures += 1;
+            }
+        }
+    }
+
     let failures: Vec<&ChaosOutcome> = outcomes.iter().filter(|o| o.failed()).collect();
-    if failures.is_empty() && timeouts.is_empty() {
+    if failures.is_empty() && timeouts.is_empty() && corruption_failures == 0 {
+        println!();
         println!(
             "all {} scenario(s) ok: zero invariant violations, zero unreconciled fanout counters",
             outcomes.len()
@@ -96,13 +125,14 @@ pub fn chaos(opts: &Options) -> Result<(), SimError> {
     }
 
     for out in &failures {
-        shrink_and_report(out);
+        shrink_and_report(out, limit_millis);
     }
     for sc in &timeouts {
         shrink_and_report_timeout(sc, limit_millis);
     }
     Err(SimError::Usage(format!(
-        "chaos {label} FAILED: {}/{} scenario(s) bad ({} timed out)",
+        "chaos {label} FAILED: {}/{} scenario(s) bad ({} timed out), \
+         {corruption_failures} corruption cell(s) bad",
         failures.len() + timeouts.len(),
         scenarios.len(),
         timeouts.len()
@@ -161,6 +191,26 @@ fn print_timeout_row(k: usize, sc: &ChaosScenario, limit_millis: u64) {
     );
 }
 
+fn print_corruption_row(cell: &CorruptionOutcome) {
+    let verdict = if cell.ok() { "ok" } else { "FAILED" };
+    let resumed = cell
+        .resumed_seq
+        .map_or_else(|| "-".to_string(), |s| s.to_string());
+    let detail = cell
+        .detail
+        .as_deref()
+        .map(|d| format!(" — {d}"))
+        .unwrap_or_default();
+    println!(
+        "  {:<12} {:<8} resumed from checkpoint seq {} (expected {}){}",
+        cell.fault.name(),
+        verdict,
+        resumed,
+        cell.expected_seq,
+        detail,
+    );
+}
+
 /// Campaign-wide recovery aggregates (copy counts sum; latency and
 /// scoreboard figures average over the scenarios that measured them).
 fn print_recovery_summary(outcomes: &[ChaosOutcome]) {
@@ -194,30 +244,30 @@ fn print_recovery_summary(outcomes: &[ChaosOutcome]) {
 }
 
 /// Shrink one failing scenario and print the minimal reproducer.
-fn shrink_and_report(out: &ChaosOutcome) {
+///
+/// The oracle runs under the same `--cell-timeout` watchdog as the
+/// campaign cells, re-armed on every shrink step: a shrink candidate of
+/// a *failing* scenario can still wedge (stripping the fault that broke
+/// a livelock), and an unguarded probe would hang the whole report.
+fn shrink_and_report(out: &ChaosOutcome, limit_millis: u64) {
     println!();
     println!(
         "scenario FAILED [{}]: {}",
         out.status(),
         out.violation.as_deref().unwrap_or("(no invariant message)")
     );
-    println!("  shrinking ...");
-    let (min, runs) = shrink_scenario(&out.scenario, |sc| run_scenario(sc).failed());
+    println!("  shrinking (guarded probes) ...");
+    let (min, runs) = shrink_scenario_guarded(&out.scenario, limit_millis, run_scenario);
     print_reproducer(&min, runs);
 }
 
-/// Shrink a timed-out scenario with a *guarded* oracle so probe runs
-/// that also wedge count as failures instead of hanging the shrink.
+/// Shrink a timed-out scenario — same guarded oracle; a probe that
+/// times out again counts as a reproduction of the hang.
 fn shrink_and_report_timeout(sc: &ChaosScenario, limit_millis: u64) {
     println!();
     println!("scenario TIMED OUT: watchdog fired after {limit_millis}ms");
     println!("  shrinking (guarded probes) ...");
-    let (min, runs) = shrink_scenario(sc, |cand| {
-        let cell = *cand;
-        run_guarded(limit_millis, move || run_scenario(&cell))
-            .map(|o| o.failed())
-            .unwrap_or(true)
-    });
+    let (min, runs) = shrink_scenario_guarded(sc, limit_millis, run_scenario);
     print_reproducer(&min, runs);
 }
 

@@ -88,6 +88,19 @@
 //!   --interval-ms <MS>   refresh period            [default: 500]
 //!   --timeseries <PATH>  also validate a --timeseries-out stream
 //!
+//! serve runs a supervised, checkpointed long-running session: periodic
+//! crash-safe checkpoints plus a write-ahead arrival log in the state
+//! directory, a watchdog-guarded worker, and restart-from-checkpoint
+//! with exponential backoff until the budget is exhausted. Killing the
+//! process and re-running the command resumes bit-identically:
+//!   --state-dir <DIR>       checkpoint/WAL directory (required)
+//!   --checkpoint-every <K>  checkpoint interval in slots [default: 10000]
+//!   --max-restarts <R>      supervisor restart budget    [default: 3]
+//!   --load <P>              per-slot arrival probability [default: 0.6]
+//!   --die-at-slot <T>       deliberately crash the first attempt at T
+//!   --cell-timeout <SEC>    per-attempt worker watchdog
+//!   --out <PATH>            supervisor recovery-event JSONL log
+//!
 //! check-bench additionally maintains a running slots/sec ledger:
 //!   --ledger <PATH>      append a fifoms-bench-ledger-v1 row to PATH
 //!   --ledger-note <S>    free-form note stored with the row
@@ -115,6 +128,7 @@ mod figures;
 mod lintcmd;
 mod obscmd;
 mod overloadcmd;
+mod servecmd;
 mod topcmd;
 mod traces;
 
@@ -164,6 +178,7 @@ fn run(command: &str, opts: &Options) -> Result<(), SimError> {
         "chaos" => chaoscmd::chaos(opts),
         "lint" => lintcmd::lint(opts),
         "overload" => overloadcmd::overload(opts),
+        "serve" => servecmd::serve_cmd(opts),
         "top" => topcmd::top(opts),
         "record" => traces::record(opts),
         "replay" => traces::replay(opts),

@@ -1,0 +1,114 @@
+//! The `serve` subcommand: a supervised, checkpointed long-running run.
+//!
+//! Runs FIFOMS under Bernoulli multicast traffic with periodic
+//! crash-safe checkpoints in `--state-dir`, supervised by the restart
+//! loop in [`fifoms_sim::serve`]: a crashed, panicking or wedged worker
+//! is restarted from the newest valid checkpoint (corrupt checkpoint
+//! files are skipped, falling back to the previous one) with
+//! exponential backoff, until the restart budget is exhausted and the
+//! supervisor escalates with a structured error. Killing the process
+//! and re-running the same command line resumes from the state
+//! directory and produces the same final statistics as an uninterrupted
+//! run — bit-identical, per the recovery invariant.
+//!
+//! `--die-at-slot <T>` arms the deliberate-crash hook on the first
+//! worker attempt, which makes a single command demonstrate the whole
+//! kill-and-recover cycle (the CI smoke stage uses exactly this).
+//! `--out <PATH>` streams the supervisor's `recovery_started` /
+//! `recovery_completed` events as JSONL.
+
+use std::sync::Arc;
+
+use fifoms_obs::{EventSink, JsonlSink};
+use fifoms_sim::{serve, CheckpointConfig, RunConfig, ServeConfig, SwitchKind, TrafficKind};
+use fifoms_types::SimError;
+
+use crate::args::Options;
+
+/// Fixed per-output destination probability of the serve workload (the
+/// paper's §V-A Bernoulli default).
+const SERVE_B: f64 = 0.25;
+
+/// Entry point for `fifoms-repro serve`.
+pub fn serve_cmd(opts: &Options) -> Result<(), SimError> {
+    let state_dir = opts
+        .state_dir
+        .clone()
+        .ok_or_else(|| SimError::Usage("serve requires --state-dir <DIR>".to_string()))?;
+    let mut cfg = ServeConfig::new(
+        RunConfig::paper(opts.slots),
+        CheckpointConfig {
+            dir: state_dir.clone().into(),
+            every: opts.checkpoint_every,
+        },
+    );
+    cfg.max_restarts = opts.max_restarts;
+    cfg.die_at = opts.die_at;
+    if let Some(secs) = opts.cell_timeout {
+        cfg.worker_timeout_millis = secs.saturating_mul(1_000);
+    }
+
+    let sink: Option<Arc<dyn EventSink>> = match &opts.out {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).map_err(|e| SimError::Journal {
+                        path: path.clone(),
+                        message: format!("create supervisor log dir: {e}"),
+                    })?;
+                }
+            }
+            let file = std::fs::File::create(path).map_err(|e| SimError::Journal {
+                path: path.clone(),
+                message: format!("create supervisor log: {e}"),
+            })?;
+            Some(Arc::new(JsonlSink::new(file)))
+        }
+        None => None,
+    };
+
+    println!(
+        "serve: FIFOMS n={}, bernoulli p={:.2} b={SERVE_B:.2}, {} slots, seed {}",
+        opts.n, opts.load, opts.slots, opts.seed
+    );
+    println!(
+        "  state dir {state_dir}, checkpoint every {} slots, restart budget {}, \
+         worker watchdog {}s{}",
+        cfg.checkpoint.every,
+        cfg.max_restarts,
+        cfg.worker_timeout_millis / 1_000,
+        cfg.die_at
+            .map(|t| format!(", deliberate crash at slot {t}"))
+            .unwrap_or_default(),
+    );
+
+    let (n, seed, p) = (opts.n, opts.seed, opts.load);
+    let build_switch = move || SwitchKind::Fifoms.build(n, seed);
+    let build_traffic = move || TrafficKind::Bernoulli { p, b: SERVE_B }.try_build(n, seed ^ 0x5a5a);
+    let report = serve(&cfg, build_switch, build_traffic, sink)?;
+
+    match report.resumed_from {
+        Some(info) => println!(
+            "session complete after {} attempt(s), {} restart(s): resumed from \
+             checkpoint seq {} at slot {} ({} WAL slot(s) replayed, {} corrupt \
+             checkpoint file(s) skipped)",
+            report.attempts, report.restarts, info.seq, info.slot, report.replayed, info.rejected
+        ),
+        None => println!(
+            "session complete after {} attempt(s), {} restart(s): ran uninterrupted",
+            report.attempts, report.restarts
+        ),
+    }
+    let r = &report.result;
+    println!(
+        "  admitted {} packets, delivered {} copies over {} slots; throughput {:.4}, \
+         mean output-oriented delay {:.2}, mean occupancy {:.2}",
+        r.packets_admitted,
+        r.copies_delivered,
+        r.slots_run,
+        r.throughput,
+        r.delay.mean_output_oriented,
+        r.occupancy.mean,
+    );
+    Ok(())
+}

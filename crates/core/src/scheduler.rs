@@ -149,6 +149,17 @@ impl FifomsScheduler {
         self.config
     }
 
+    /// The round-robin rotation cursor — the scheduler's only cross-slot
+    /// mutable state (the scratch buffers are cleared every call).
+    pub fn rotate(&self) -> usize {
+        self.rotate
+    }
+
+    /// Restore the rotation cursor from a checkpoint.
+    pub fn restore_rotate(&mut self, rotate: usize) {
+        self.rotate = rotate;
+    }
+
     /// Compute the matching for one slot over the current queue state.
     ///
     /// Implements Table 2's do-while loop: request step (each free input

@@ -1,6 +1,6 @@
 //! Per-input-port buffer of data cells with free-list reuse.
 
-use fifoms_types::{PacketId, Slot};
+use fifoms_types::{PacketId, Slot, StateError, StateReader, StateWriter};
 
 use crate::cell::{DataCell, DataCellKey};
 
@@ -176,6 +176,109 @@ impl DataCellSlab {
             SlabEntry::Live(cell) => cell.fanout_counter += 1,
             SlabEntry::Free(_) => panic!("data cell {key:?} already destroyed"),
         }
+    }
+
+    /// Serialise the slab exactly: every entry (live cell or free-list
+    /// link), the generation array, the free head and the live count.
+    ///
+    /// The free-list *chain order* determines which entry the next
+    /// `alloc` reuses, so it is state, not an implementation detail — a
+    /// restore that rebuilt the chain differently would hand out keys in
+    /// a different order and diverge from the uninterrupted run.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                SlabEntry::Free(next) => {
+                    w.put_u8(0);
+                    match next {
+                        Some(n) => {
+                            w.put_u8(1);
+                            w.put_u32(*n);
+                        }
+                        None => w.put_u8(0),
+                    }
+                }
+                SlabEntry::Live(cell) => {
+                    w.put_u8(1);
+                    w.put_packet_id(cell.packet);
+                    w.put_slot(cell.arrival);
+                    w.put_u32(cell.fanout_counter);
+                }
+            }
+        }
+        for generation in &self.generations {
+            w.put_u32(*generation);
+        }
+        match self.free_head {
+            Some(n) => {
+                w.put_u8(1);
+                w.put_u32(n);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_usize(self.live);
+    }
+
+    /// Restore state captured by [`DataCellSlab::write_state`].
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let count = r.get_usize()?;
+        let mut entries = Vec::with_capacity(count);
+        let mut live = 0usize;
+        for _ in 0..count {
+            match r.get_u8()? {
+                0 => {
+                    let next = match r.get_u8()? {
+                        0 => None,
+                        1 => Some(r.get_u32()?),
+                        b => {
+                            return Err(StateError::Malformed {
+                                what: format!("free-link tag {b}"),
+                            })
+                        }
+                    };
+                    entries.push(SlabEntry::Free(next));
+                }
+                1 => {
+                    let cell = DataCell {
+                        packet: r.get_packet_id()?,
+                        arrival: r.get_slot()?,
+                        fanout_counter: r.get_u32()?,
+                    };
+                    live += 1;
+                    entries.push(SlabEntry::Live(cell));
+                }
+                b => {
+                    return Err(StateError::Malformed {
+                        what: format!("slab entry tag {b}"),
+                    })
+                }
+            }
+        }
+        let mut generations = Vec::with_capacity(count);
+        for _ in 0..count {
+            generations.push(r.get_u32()?);
+        }
+        let free_head = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            b => {
+                return Err(StateError::Malformed {
+                    what: format!("free-head tag {b}"),
+                })
+            }
+        };
+        let stored_live = r.get_usize()?;
+        if stored_live != live {
+            return Err(StateError::Malformed {
+                what: format!("slab live count {stored_live} != {live} live entries"),
+            });
+        }
+        self.entries = entries;
+        self.generations = generations;
+        self.free_head = free_head;
+        self.live = live;
+        Ok(())
     }
 
     /// Iterate over live cells (diagnostics and invariant checks).

@@ -2,10 +2,10 @@
 
 use std::collections::VecDeque;
 
-use fifoms_types::PortId;
+use fifoms_types::{PortId, StateError, StateReader, StateWriter};
 
 use crate::buffer::SOFT_HIGH_WATER;
-use crate::cell::AddressCell;
+use crate::cell::{AddressCell, DataCellKey};
 
 /// One virtual output queue: the FIFO of address cells at some input port
 /// destined for one particular output port.
@@ -113,6 +113,43 @@ impl Voq {
     pub fn iter(&self) -> impl Iterator<Item = &AddressCell> {
         self.cells.iter()
     }
+
+    /// Serialise the queue: cells head-to-tail with original timestamps
+    /// and slab keys, plus the one-shot high-water latch.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.cells.len());
+        for cell in &self.cells {
+            w.put_slot(cell.time_stamp);
+            w.put_u32(cell.data.index);
+            w.put_u32(cell.data.generation);
+        }
+        w.put_bool(self.high_water_latched);
+        w.put_opt_u64(self.pending_high_water.map(|d| d as u64));
+    }
+
+    /// Restore state captured by [`Voq::write_state`].
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let count = r.get_usize()?;
+        let mut cells = VecDeque::with_capacity(count);
+        for _ in 0..count {
+            cells.push_back(AddressCell {
+                time_stamp: r.get_slot()?,
+                data: DataCellKey {
+                    index: r.get_u32()?,
+                    generation: r.get_u32()?,
+                },
+            });
+        }
+        self.high_water_latched = r.get_bool()?;
+        self.pending_high_water = match r.get_opt_u64()? {
+            Some(d) => Some(usize::try_from(d).map_err(|_| StateError::Malformed {
+                what: format!("high-water depth {d}"),
+            })?),
+            None => None,
+        };
+        self.cells = cells;
+        Ok(())
+    }
 }
 
 /// The `N` virtual output queues of one input port (paper §II: "there are
@@ -182,6 +219,32 @@ impl VoqSet {
                 out.push((PortId::new(o), depth));
             }
         }
+    }
+
+    /// Serialise every queue in output order.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.queues.len());
+        for q in &self.queues {
+            q.write_state(w);
+        }
+    }
+
+    /// Restore state captured by [`VoqSet::write_state`]. The queue count
+    /// must match this set's configured `N`.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let count = r.get_usize()?;
+        if count != self.queues.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "VOQ set has {} queues, snapshot has {count}",
+                    self.queues.len()
+                ),
+            });
+        }
+        for q in &mut self.queues {
+            q.read_state(r)?;
+        }
+        Ok(())
     }
 
     /// The output whose queue holds the most cells (ties broken toward

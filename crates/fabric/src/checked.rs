@@ -34,11 +34,13 @@
 use std::collections::HashMap;
 
 use fifoms_types::{
-    AdmissionDrop, Departure, DroppedCopy, InvariantViolation, ObsEvent, Packet, PacketId, PortId,
-    PortSet, RetryDisposition, Slot, SlotOutcome, SpanSample,
+    get_admission_drop, get_dropped_copy, get_violation, put_admission_drop, put_dropped_copy,
+    put_violation, AdmissionDrop, Checkpoint, Departure, DroppedCopy, InvariantViolation, ObsEvent,
+    Packet, PacketId, PortId, PortSet, RetryDisposition, Slot, SlotOutcome, SpanSample, StateError,
+    StateReader, StateWriter,
 };
 
-use crate::switch::{Backlog, Switch};
+use crate::switch::{frame_stack, unframe_stack, Backlog, Switch};
 
 /// Residual state of one in-flight packet.
 #[derive(Clone, Debug)]
@@ -467,6 +469,102 @@ impl<S: Switch> Switch for CheckedSwitch<S> {
     }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         self.inner.reserve_steady_state(copies_per_voq)
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        let inner = self.inner.save_state()?;
+        Ok(frame_stack(
+            "checked-switch-stack",
+            &Checkpoint::snapshot_state(self),
+            &inner,
+        ))
+    }
+
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let (own, inner) = unframe_stack(blob, "checked-switch-stack")?;
+        Checkpoint::restore_state(self, own)?;
+        self.inner.load_state(inner)
+    }
+}
+
+impl<S: Switch> Checkpoint for CheckedSwitch<S> {
+    fn state_kind(&self) -> &'static str {
+        "checked-switch"
+    }
+
+    // Own state only (the wrapped switch's blob travels alongside via
+    // `frame_stack`): the residual-fanout ledger, the copy counters, the
+    // undrained drop buffers, and the sticky violation. `check_every` and
+    // `capacity` are configuration.
+    fn write_state(&self, w: &mut StateWriter) {
+        // HashMap iteration order is nondeterministic; snapshots of equal
+        // states must be byte-equal, so write entries sorted by packet id.
+        // fifoms-lint: allow(R1) collected then sorted by key before any emission
+        let mut entries: Vec<(&PacketId, &Tracked)> = self.in_flight.iter().collect();
+        entries.sort_unstable_by_key(|(id, _)| **id);
+        w.put_usize(entries.len());
+        for (id, tracked) in entries {
+            w.put_packet_id(*id);
+            w.put_port_set(&tracked.requested);
+            w.put_port_set(&tracked.served);
+        }
+        w.put_u64(self.admitted_copies);
+        w.put_u64(self.delivered_copies);
+        w.put_u64(self.reconciled_copies);
+        w.put_usize(self.drops.len());
+        for d in &self.drops {
+            put_dropped_copy(w, d);
+        }
+        w.put_u64(self.admission_dropped_copies);
+        w.put_usize(self.admission_drops.len());
+        for d in &self.admission_drops {
+            put_admission_drop(w, d);
+        }
+        w.put_u64(self.slots_checked);
+        match &self.violation {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                put_violation(w, v);
+            }
+        }
+        w.put_bool(self.violation_reported);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let tracked = r.get_usize()?;
+        self.in_flight.clear();
+        self.in_flight.reserve(tracked);
+        for _ in 0..tracked {
+            let id = r.get_packet_id()?;
+            let requested = r.get_port_set()?;
+            let served = r.get_port_set()?;
+            self.in_flight.insert(id, Tracked { requested, served });
+        }
+        self.admitted_copies = r.get_u64()?;
+        self.delivered_copies = r.get_u64()?;
+        self.reconciled_copies = r.get_u64()?;
+        let drops = r.get_usize()?;
+        self.drops.clear();
+        self.drops.reserve(drops);
+        for _ in 0..drops {
+            self.drops.push(get_dropped_copy(r)?);
+        }
+        self.admission_dropped_copies = r.get_u64()?;
+        let admission_drops = r.get_usize()?;
+        self.admission_drops.clear();
+        self.admission_drops.reserve(admission_drops);
+        for _ in 0..admission_drops {
+            self.admission_drops.push(get_admission_drop(r)?);
+        }
+        self.slots_checked = r.get_u64()?;
+        self.violation = if r.get_bool()? {
+            Some(get_violation(r)?)
+        } else {
+            None
+        };
+        self.violation_reported = r.get_bool()?;
+        Ok(())
     }
 }
 

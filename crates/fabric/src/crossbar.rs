@@ -112,6 +112,12 @@ impl Crossbar {
     pub fn reset_stats(&mut self) {
         self.stats = FabricStats::default();
     }
+
+    /// Replace the accumulated statistics (checkpoint restore — the
+    /// crossbar holds no other mutable state).
+    pub fn restore_stats(&mut self, stats: FabricStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

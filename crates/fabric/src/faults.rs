@@ -40,11 +40,12 @@
 use std::collections::HashMap;
 
 use fifoms_types::{
-    AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition,
-    Slot, SlotOutcome, SpanSample,
+    get_dropped_copy, get_obs_event, put_dropped_copy, put_obs_event, AdmissionDrop, Checkpoint,
+    Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition, Slot,
+    SlotOutcome, SpanSample, StateError, StateReader, StateWriter,
 };
 
-use crate::switch::{Backlog, Switch};
+use crate::switch::{frame_stack, unframe_stack, Backlog, Switch};
 
 /// SplitMix64: cheap stateless hash used to derive per-entity phases from
 /// the seed without dragging in an RNG dependency.
@@ -498,6 +499,99 @@ impl<S: Switch> Switch for FaultyFabric<S> {
     }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         self.inner.reserve_steady_state(copies_per_voq)
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        let inner = self.inner.save_state()?;
+        Ok(frame_stack(
+            "faulty-fabric-stack",
+            &Checkpoint::snapshot_state(self),
+            &inner,
+        ))
+    }
+
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let (own, inner) = unframe_stack(blob, "faulty-fabric-stack")?;
+        Checkpoint::restore_state(self, own)?;
+        self.inner.load_state(inner)
+    }
+}
+
+impl<S: Switch> Checkpoint for FaultyFabric<S> {
+    fn state_kind(&self) -> &'static str {
+        "faulty-fabric"
+    }
+
+    // Own state only: the fault tally, pending events, the per-copy retry
+    // scoreboard, and the undrained reconciled-drop ledger. The fault
+    // timeline itself (`config`, `crosspoints`) is a pure function of the
+    // configuration and is rebuilt by the caller.
+    fn write_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.stats.packets_offered);
+        w.put_u64(self.stats.packets_dropped);
+        w.put_u64(self.stats.packets_trimmed);
+        w.put_u64(self.stats.copies_dropped);
+        w.put_u64(self.stats.copies_killed);
+        w.put_u64(self.stats.copies_requeued);
+        w.put_u64(self.stats.copies_lost);
+        w.put_u64(self.stats.copies_recovered);
+        w.put_usize(self.events.len());
+        for e in &self.events {
+            put_obs_event(w, e);
+        }
+        // HashMap iteration order is nondeterministic: sort by key so
+        // equal states snapshot to equal bytes.
+        // fifoms-lint: allow(R1) collected then sorted by key before any emission
+        let mut retry_entries: Vec<_> = self.retries.iter().collect();
+        retry_entries.sort_unstable_by_key(|(k, _)| **k);
+        w.put_usize(retry_entries.len());
+        for ((packet, output), state) in retry_entries {
+            w.put_packet_id(*packet);
+            w.put_port(*output);
+            w.put_u32(state.kills);
+            w.put_slot(state.first_kill);
+        }
+        w.put_usize(self.drops.len());
+        for d in &self.drops {
+            put_dropped_copy(w, d);
+        }
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.stats = FaultStats {
+            packets_offered: r.get_u64()?,
+            packets_dropped: r.get_u64()?,
+            packets_trimmed: r.get_u64()?,
+            copies_dropped: r.get_u64()?,
+            copies_killed: r.get_u64()?,
+            copies_requeued: r.get_u64()?,
+            copies_lost: r.get_u64()?,
+            copies_recovered: r.get_u64()?,
+        };
+        let events = r.get_usize()?;
+        self.events.clear();
+        self.events.reserve(events);
+        for _ in 0..events {
+            self.events.push(get_obs_event(r)?);
+        }
+        let retries = r.get_usize()?;
+        self.retries.clear();
+        self.retries.reserve(retries);
+        for _ in 0..retries {
+            let packet = r.get_packet_id()?;
+            let output = r.get_port()?;
+            let kills = r.get_u32()?;
+            let first_kill = r.get_slot()?;
+            self.retries
+                .insert((packet, output), RetryState { kills, first_kill });
+        }
+        let drops = r.get_usize()?;
+        self.drops.clear();
+        self.drops.reserve(drops);
+        for _ in 0..drops {
+            self.drops.push(get_dropped_copy(r)?);
+        }
+        Ok(())
     }
 }
 
@@ -1012,6 +1106,23 @@ mod tests {
                 ..FaultConfig::none()
             };
             check_ingress_conservation(cfg);
+        }
+    }
+
+    #[test]
+    fn save_state_propagates_unsupported_from_the_inner_switch() {
+        // FifoSwitch has no checkpoint support: the wrapper stack must
+        // surface a structured error naming the component, never panic or
+        // silently write a partial snapshot.
+        let sw = CheckedSwitch::new(FaultyFabric::new(
+            FifoSwitch::default(),
+            FaultConfig::moderate(1),
+        ));
+        match sw.save_state() {
+            Err(fifoms_types::StateError::Unsupported { component }) => {
+                assert_eq!(component, "fifo");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
         }
     }
 

@@ -30,11 +30,12 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use fifoms_types::{
-    AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PacketId, PortId, RetryDisposition,
-    Slot, SlotOutcome, SpanSample,
+    get_obs_event, put_obs_event, AdmissionDrop, Checkpoint, Departure, DroppedCopy, ObsEvent,
+    Packet, PacketId, PortId, RetryDisposition, Slot, SlotOutcome, SpanSample, StateError,
+    StateReader, StateWriter,
 };
 
-use crate::switch::{Backlog, Switch};
+use crate::switch::{frame_stack, unframe_stack, Backlog, Switch};
 
 /// The flight recorder's sampling gate.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -344,6 +345,80 @@ impl<S: Switch> Switch for InstrumentedSwitch<S> {
     }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         self.inner.reserve_steady_state(copies_per_voq)
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        let inner = self.inner.save_state()?;
+        Ok(frame_stack(
+            "instrumented-switch-stack",
+            &Checkpoint::snapshot_state(self),
+            &inner,
+        ))
+    }
+
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let (own, inner) = unframe_stack(blob, "instrumented-switch-stack")?;
+        Checkpoint::restore_state(self, own)?;
+        self.inner.load_state(inner)
+    }
+}
+
+impl<S: Switch> Checkpoint for InstrumentedSwitch<S> {
+    fn state_kind(&self) -> &'static str {
+        "instrumented-switch"
+    }
+
+    // Own state only: pending events, the starvation ledger, the set of
+    // packets currently followed through the sampling gate, and the
+    // flight-recorder ring. `mode` is configuration and `scratch` holds
+    // nothing between slots. BTreeSet iteration is already ordered, so
+    // snapshots of equal states are byte-equal without extra sorting.
+    fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.events.len());
+        for e in &self.events {
+            put_obs_event(w, e);
+        }
+        w.put_usize(self.ledger.len());
+        for (arrival, id) in &self.ledger {
+            w.put_slot(*arrival);
+            w.put_packet_id(*id);
+        }
+        w.put_usize(self.sampled.len());
+        for id in &self.sampled {
+            w.put_packet_id(*id);
+        }
+        w.put_usize(self.ring.len());
+        for e in &self.ring {
+            put_obs_event(w, e);
+        }
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let events = r.get_usize()?;
+        self.events.clear();
+        self.events.reserve(events);
+        for _ in 0..events {
+            self.events.push(get_obs_event(r)?);
+        }
+        let ledger = r.get_usize()?;
+        self.ledger.clear();
+        for _ in 0..ledger {
+            let arrival = r.get_slot()?;
+            let id = r.get_packet_id()?;
+            self.ledger.insert((arrival, id));
+        }
+        let sampled = r.get_usize()?;
+        self.sampled.clear();
+        for _ in 0..sampled {
+            self.sampled.insert(r.get_packet_id()?);
+        }
+        let ring = r.get_usize()?;
+        self.ring.clear();
+        self.ring.reserve(ring);
+        for _ in 0..ring {
+            self.ring.push_back(get_obs_event(r)?);
+        }
+        Ok(())
     }
 }
 

@@ -37,4 +37,4 @@ pub use instrument::{InstrumentedSwitch, PacketTraceMode};
 pub use scoreboard::FaultScoreboard;
 pub use schedule::{CrossbarSchedule, ScheduleBuilder, ScheduleError};
 pub use speedup::SpeedupFabric;
-pub use switch::{Backlog, Switch};
+pub use switch::{frame_stack, unframe_stack, Backlog, Switch};

@@ -1,6 +1,6 @@
 //! Per-input learning of dead egress paths from observed failures.
 
-use fifoms_types::{PortId, Slot};
+use fifoms_types::{PortId, Slot, StateError, StateReader, StateWriter};
 
 /// A per-input fault scoreboard: which `(input, output)` paths have
 /// recently killed a transmission.
@@ -90,6 +90,50 @@ impl FaultScoreboard {
             Some(last) => now.0.saturating_sub(last.0) < self.quarantine,
             None => false,
         }
+    }
+
+    /// Serialise every mark — including *expired* ones. An expired mark
+    /// still counts toward [`FaultScoreboard::is_empty`], which gates
+    /// whether the scheduler consults the scoreboard at all, so dropping
+    /// expired marks on restore would change the schedule path taken.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.last_failure.len());
+        for mark in &self.last_failure {
+            w.put_opt_u64(mark.map(|s| s.0));
+        }
+        w.put_usize(self.marks);
+    }
+
+    /// Restore state captured by [`FaultScoreboard::write_state`] into a
+    /// scoreboard configured with the same `n` and quarantine window.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let count = r.get_usize()?;
+        if count != self.last_failure.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "scoreboard has {} paths, snapshot has {count}",
+                    self.last_failure.len()
+                ),
+            });
+        }
+        let mut marks = 0usize;
+        let mut last_failure = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mark = r.get_opt_u64()?.map(Slot);
+            if mark.is_some() {
+                marks += 1;
+            }
+            last_failure.push(mark);
+        }
+        let stored_marks = r.get_usize()?;
+        if stored_marks != marks {
+            return Err(StateError::Malformed {
+                what: format!("scoreboard mark count {stored_marks} != {marks} marks"),
+            });
+        }
+        self.last_failure = last_failure;
+        self.marks = marks;
+        Ok(())
     }
 
     /// All paths quarantined at `now`, for scoreboard-accuracy probes.

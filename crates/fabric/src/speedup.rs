@@ -85,6 +85,39 @@ impl SpeedupFabric {
         self.inner.stats()
     }
 
+    /// Serialise the fabric's mutable state (checkpoints are taken at
+    /// slot boundaries, so the mid-slot `phase` cursor is captured too for
+    /// safety even though it is 0 between `finish_slot` calls).
+    pub fn write_state(&self, w: &mut fifoms_types::StateWriter) {
+        w.put_usize(self.phase);
+        w.put_u64(self.phase_slots);
+        let fs = self.inner.stats();
+        w.put_u64(fs.slots);
+        w.put_u64(fs.crosspoints_set);
+        w.put_u64(fs.multicast_slots);
+        w.put_u64(fs.multicast_connections);
+        w.put_u64(fs.idle_slots);
+    }
+
+    /// Restore state captured by [`SpeedupFabric::write_state`] into a
+    /// fabric configured with the same `n` and speedup.
+    pub fn read_state(
+        &mut self,
+        r: &mut fifoms_types::StateReader<'_>,
+    ) -> Result<(), fifoms_types::StateError> {
+        self.phase = r.get_usize()?;
+        self.phase_slots = r.get_u64()?;
+        let fs = FabricStats {
+            slots: r.get_u64()?,
+            crosspoints_set: r.get_u64()?,
+            multicast_slots: r.get_u64()?,
+            multicast_connections: r.get_u64()?,
+            idle_slots: r.get_u64()?,
+        };
+        self.inner.restore_stats(fs);
+        Ok(())
+    }
+
     /// Mean transfers per *external* slot.
     pub fn transfers_per_slot(&self) -> f64 {
         if self.phase_slots == 0 {

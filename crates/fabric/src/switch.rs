@@ -2,7 +2,7 @@
 
 use fifoms_types::{
     AdmissionDrop, Departure, DroppedCopy, ObsEvent, Packet, PortId, RetryDisposition, Slot,
-    SlotOutcome, SpanSample,
+    SlotOutcome, SpanSample, StateError,
 };
 
 /// Cells still queued inside a switch.
@@ -199,6 +199,59 @@ pub trait Switch {
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         let _ = copies_per_voq;
     }
+
+    /// Serialise the switch's complete mutable state into a framed,
+    /// CRC-guarded blob (see [`fifoms_types::Checkpoint`]). The default
+    /// reports [`StateError::Unsupported`]: a discipline that opted out of
+    /// crash recovery fails a checkpointed run *loudly* at the first
+    /// checkpoint instead of silently writing an empty snapshot. Wrappers
+    /// must forward it — composing their own state around the inner
+    /// switch's blob — so the request reaches every state owner in the
+    /// stack.
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        Err(StateError::Unsupported {
+            component: self.name(),
+        })
+    }
+
+    /// Restore state captured by [`Switch::save_state`] into an
+    /// identically configured switch. The default mirrors
+    /// [`Switch::save_state`]'s refusal; wrappers must forward it.
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let _ = blob;
+        Err(StateError::Unsupported {
+            component: self.name(),
+        })
+    }
+}
+
+/// Frame a wrapper's `[own state][inner switch state]` pair into one
+/// CRC-guarded blob. Wrappers implementing [`Switch::save_state`] compose
+/// their own [`Checkpoint`](fifoms_types::Checkpoint) snapshot with the
+/// inner switch's blob through this helper so every layer of a
+/// `Checked(Faulty(MulticastVoq))` stack restores from a single file.
+pub fn frame_stack(kind: &str, own: &[u8], inner: &[u8]) -> Vec<u8> {
+    let mut w = fifoms_types::StateWriter::new();
+    w.put_bytes(own);
+    w.put_bytes(inner);
+    fifoms_types::frame_state(kind, 1, &w.into_bytes())
+}
+
+/// Split a blob produced by [`frame_stack`] back into
+/// `(own state, inner switch state)`.
+pub fn unframe_stack<'a>(blob: &'a [u8], kind: &str) -> Result<(&'a [u8], &'a [u8]), StateError> {
+    let (version, payload) = fifoms_types::unframe_state(blob, kind)?;
+    if version != 1 {
+        return Err(StateError::VersionUnsupported {
+            kind: kind.to_string(),
+            got: version,
+        });
+    }
+    let mut r = fifoms_types::StateReader::new(payload);
+    let own = r.get_bytes()?;
+    let inner = r.get_bytes()?;
+    r.expect_exhausted()?;
+    Ok((own, inner))
 }
 
 impl<T: Switch + ?Sized> Switch for Box<T> {
@@ -254,6 +307,12 @@ impl<T: Switch + ?Sized> Switch for Box<T> {
     }
     fn reserve_steady_state(&mut self, copies_per_voq: usize) {
         (**self).reserve_steady_state(copies_per_voq)
+    }
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        (**self).load_state(blob)
     }
 }
 

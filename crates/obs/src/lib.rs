@@ -50,5 +50,10 @@ pub use json::Json;
 pub use metrics::MetricsRegistry;
 pub use profile::{PhaseProfiler, PhaseStats};
 pub use progress::ProgressMeter;
-pub use sink::{event_to_json, EventSink, JsonlSink, NullSink, RecordingSink};
-pub use telemetry::{render_prometheus, SnapshotBus, Telemetry, WindowStats, DEFAULT_RING};
+pub use sink::{
+    event_to_json, CountingWriter, EventSink, JsonlSink, NullSink, RecordingSink, TraceOffset,
+};
+pub use telemetry::{
+    render_prometheus, sweep_stale_tmp, write_atomically, SnapshotBus, Telemetry, WindowStats,
+    DEFAULT_RING,
+};

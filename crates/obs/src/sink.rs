@@ -14,7 +14,8 @@
 use crate::json::Json;
 use fifoms_types::ObsEvent;
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A consumer of observability events.
 pub trait EventSink: Send + Sync {
@@ -68,6 +69,59 @@ impl EventSink for RecordingSink {
             .lock()
             .expect("recording sink poisoned")
             .push((scope.to_string(), event.clone()));
+    }
+}
+
+/// A writer adapter that counts every byte successfully written through
+/// it, readable from outside via a shared [`TraceOffset`] handle.
+///
+/// The crash-recovery checkpoint (DESIGN.md §15) wraps the trace writer in
+/// one of these *before* handing it to [`JsonlSink`], so the engine can
+/// capture the exact trace byte offset at each checkpoint without a way to
+/// reach inside the sink's mutex: on recovery, the trace file is truncated
+/// back to the recorded offset and resumed append-only, keeping the
+/// recovered trace bit-identical to an uninterrupted run's.
+pub struct CountingWriter<W> {
+    inner: W,
+    written: TraceOffset,
+}
+
+/// Shared byte counter of a [`CountingWriter`] (clone freely).
+#[derive(Clone, Default, Debug)]
+pub struct TraceOffset(Arc<AtomicU64>);
+
+impl TraceOffset {
+    /// Bytes written through the owning [`CountingWriter`] so far. The
+    /// caller flushes the sink first; the counter advances when bytes
+    /// reach the wrapped writer.
+    pub fn bytes(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wrap `inner`, returning the writer and its offset handle.
+    pub fn new(inner: W) -> (CountingWriter<W>, TraceOffset) {
+        let written = TraceOffset::default();
+        (
+            CountingWriter {
+                inner,
+                written: written.clone(),
+            },
+            written,
+        )
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written.0.fetch_add(n as u64, Ordering::AcqRel);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -361,6 +415,20 @@ pub fn event_to_json(scope: &str, event: &ObsEvent) -> Json {
         ObsEvent::RunEnd { slots_run } => {
             obj.set("slots_run", *slots_run);
         }
+        ObsEvent::CheckpointWritten {
+            slot: _,
+            seq,
+            bytes,
+        } => {
+            obj.set("seq", *seq);
+            obj.set("bytes", *bytes);
+        }
+        ObsEvent::RecoveryStarted { slot: _, seq } => {
+            obj.set("seq", *seq);
+        }
+        ObsEvent::RecoveryCompleted { slot: _, replayed } => {
+            obj.set("replayed", *replayed);
+        }
     }
     obj
 }
@@ -458,6 +526,50 @@ mod tests {
             Some(0.2)
         );
         assert_eq!(meta.get("slot"), None);
+    }
+
+    #[test]
+    fn counting_writer_tracks_the_trace_byte_offset() {
+        let buf = SharedBuf::default();
+        let (writer, offset) = CountingWriter::new(buf.clone());
+        let sink = JsonlSink::new(writer);
+        assert_eq!(offset.bytes(), 0);
+        sink.emit("run", &sample_sched());
+        sink.flush();
+        let after_one = offset.bytes();
+        assert_eq!(after_one, buf.contents().len() as u64);
+        sink.emit("run", &ObsEvent::RunEnd { slots_run: 7 });
+        sink.flush();
+        assert!(offset.bytes() > after_one);
+        assert_eq!(offset.bytes(), buf.contents().len() as u64);
+    }
+
+    #[test]
+    fn checkpoint_events_serialise_their_fields() {
+        use fifoms_types::Slot;
+        let j = event_to_json(
+            "run",
+            &ObsEvent::CheckpointWritten {
+                slot: Slot(2000),
+                seq: 2,
+                bytes: 4096,
+            },
+        );
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("checkpoint_written"));
+        assert_eq!(j.get("slot").and_then(Json::as_f64), Some(2000.0));
+        assert_eq!(j.get("seq").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("bytes").and_then(Json::as_f64), Some(4096.0));
+        let j = event_to_json("sup", &ObsEvent::RecoveryStarted { slot: Slot(2000), seq: 2 });
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("recovery_started"));
+        let j = event_to_json(
+            "sup",
+            &ObsEvent::RecoveryCompleted {
+                slot: Slot(2400),
+                replayed: 400,
+            },
+        );
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("recovery_completed"));
+        assert_eq!(j.get("replayed").and_then(Json::as_f64), Some(400.0));
     }
 
     #[test]

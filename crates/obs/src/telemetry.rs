@@ -22,7 +22,7 @@
 
 use crate::json::Json;
 use fifoms_stats::Log2Histogram;
-use fifoms_types::{ObsEvent, PortId};
+use fifoms_types::{Checkpoint, ObsEvent, PortId, StateError, StateReader, StateWriter};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -416,6 +416,116 @@ impl Telemetry {
     }
 }
 
+fn put_window(w: &mut StateWriter, ws: &WindowStats) {
+    w.put_u64(ws.window);
+    w.put_u64(ws.start_slot);
+    w.put_u64(ws.slots);
+    w.put_u64(ws.admitted_packets);
+    w.put_u64(ws.delivered_copies);
+    w.put_u64(ws.completed_packets);
+    w.put_u64(ws.drop_tail_full);
+    w.put_u64(ws.drop_pushout);
+    w.put_u64(ws.drop_fair_shed);
+    w.put_u64(ws.copy_kills);
+    w.put_u64(ws.copy_recoveries);
+    w.put_u64(ws.voq_high_water);
+    w.put_u64(ws.backlog_copies);
+    w.put_u32(ws.quarantined_paths);
+    w.put_u32(ws.overload_level);
+    w.put_u64(ws.sched_ns);
+    w.put_u64(ws.wall_ns);
+}
+
+fn get_window(r: &mut StateReader<'_>) -> Result<WindowStats, StateError> {
+    Ok(WindowStats {
+        window: r.get_u64()?,
+        start_slot: r.get_u64()?,
+        slots: r.get_u64()?,
+        admitted_packets: r.get_u64()?,
+        delivered_copies: r.get_u64()?,
+        completed_packets: r.get_u64()?,
+        drop_tail_full: r.get_u64()?,
+        drop_pushout: r.get_u64()?,
+        drop_fair_shed: r.get_u64()?,
+        copy_kills: r.get_u64()?,
+        copy_recoveries: r.get_u64()?,
+        voq_high_water: r.get_u64()?,
+        backlog_copies: r.get_u64()?,
+        quarantined_paths: r.get_u32()?,
+        overload_level: r.get_u32()?,
+        sched_ns: r.get_u64()?,
+        wall_ns: r.get_u64()?,
+    })
+}
+
+impl Checkpoint for Telemetry {
+    fn state_kind(&self) -> &'static str {
+        "telemetry"
+    }
+
+    fn write_state(&self, w: &mut StateWriter) {
+        // `ports`, `stride` and `ring_cap` are configuration (rebuilt by
+        // the caller); everything accumulated is state.
+        put_window(w, &self.cur);
+        w.put_usize(self.ring.len());
+        for ws in &self.ring {
+            put_window(w, ws);
+        }
+        put_window(w, &self.totals);
+        w.put_usize(self.inputs.len());
+        for i in &self.inputs {
+            w.put_u64(i.kills);
+            w.put_u64(i.recoveries);
+            w.put_u64(i.admission_drops);
+            w.put_u32(i.quarantined);
+        }
+        let (buckets, count, sum, max) = self.slot_ns.raw();
+        for b in buckets {
+            w.put_u64(*b);
+        }
+        w.put_u64(count);
+        w.put_u64(sum);
+        w.put_u64(max);
+    }
+
+    fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.cur = get_window(r)?;
+        let ring_len = r.get_usize()?;
+        if ring_len > self.ring_cap {
+            return Err(StateError::Malformed {
+                what: format!("ring holds {ring_len} windows, cap is {}", self.ring_cap),
+            });
+        }
+        self.ring.clear();
+        for _ in 0..ring_len {
+            self.ring.push_back(get_window(r)?);
+        }
+        self.totals = get_window(r)?;
+        let inputs = r.get_usize()?;
+        if inputs != self.inputs.len() {
+            return Err(StateError::Malformed {
+                what: format!(
+                    "telemetry has {} inputs, snapshot has {inputs}",
+                    self.inputs.len()
+                ),
+            });
+        }
+        for i in &mut self.inputs {
+            i.kills = r.get_u64()?;
+            i.recoveries = r.get_u64()?;
+            i.admission_drops = r.get_u64()?;
+            i.quarantined = r.get_u32()?;
+        }
+        let mut buckets = [0u64; 65];
+        for b in &mut buckets {
+            *b = r.get_u64()?;
+        }
+        let (count, sum, max) = (r.get_u64()?, r.get_u64()?, r.get_u64()?);
+        self.slot_ns = Log2Histogram::from_raw(buckets, count, sum, max);
+        Ok(())
+    }
+}
+
 /// Shared publisher for live snapshots: collects the latest per-scope
 /// telemetry documents and rewrites a `fifoms-telemetry-snapshot-v1`
 /// JSON file (and, optionally, a Prometheus-style text exposition)
@@ -499,9 +609,12 @@ impl SnapshotBus {
     }
 }
 
-/// Write `bytes` to `path` via a sibling temp file and an atomic rename,
-/// so a concurrently polling `top` never reads a torn snapshot.
-fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+/// Write `bytes` to `path` via a sibling `<path>.tmp` file and an atomic
+/// rename, so a concurrent reader never observes a torn file. Shared by
+/// the snapshot bus and the crash-recovery checkpoint writer; both leave
+/// at most one orphaned `.tmp` sibling when killed mid-write, which
+/// [`sweep_stale_tmp`] removes on the next startup.
+pub fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
@@ -510,6 +623,26 @@ fn write_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.write_all(bytes)?;
     }
     std::fs::rename(&tmp, path)
+}
+
+/// Remove orphaned `*.tmp` files (torn [`write_atomically`] writes from a
+/// killed process) directly inside `dir`. Returns the number removed.
+/// Best-effort: unreadable directories and failed removals are skipped —
+/// a stale temp file is cosmetic, never load-bearing, because readers only
+/// ever open the rename target.
+pub fn sweep_stale_tmp(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path.extension().is_some_and(|e| e == "tmp");
+        if is_tmp && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// Escape a Prometheus label value: backslash, double quote, newline.
@@ -740,6 +873,68 @@ mod tests {
         assert_eq!(totals.drop_tail_full, 14);
         assert_eq!(totals.backlog_copies, 9);
         assert_eq!(t.slot_ns().count(), 7);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let mut original = Telemetry::new(4, 3).with_ring(5);
+        for slot in 0..17u64 {
+            original.observe_event(&drop_event("tail_full", 2));
+            if slot % 4 == 0 {
+                original.observe_event(&drop_event("pushout", 1));
+            }
+            original.record_slot(1, 2, 1, 10 + slot, 20 + slot);
+            if original.window_full() {
+                let _ = original.close_window(slot);
+            }
+        }
+        let blob = Checkpoint::snapshot_state(&original);
+        let mut twin = Telemetry::new(4, 3).with_ring(5);
+        twin.restore_state(&blob).expect("restore");
+        assert_eq!(Checkpoint::snapshot_state(&twin), blob);
+        // Both continue identically, including the partial window.
+        for slot in 17..30u64 {
+            for t in [&mut original, &mut twin] {
+                t.observe_event(&drop_event("fair_shed", 3));
+                t.record_slot(2, 1, 0, 5, 7);
+                if t.window_full() {
+                    let _ = t.close_window(slot);
+                }
+            }
+        }
+        assert_eq!(
+            Checkpoint::snapshot_state(&original),
+            Checkpoint::snapshot_state(&twin)
+        );
+        assert_eq!(original.totals(), twin.totals());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_port_mismatch() {
+        let small = Telemetry::new(2, 3);
+        let blob = Checkpoint::snapshot_state(&small);
+        let mut big = Telemetry::new(4, 3);
+        assert!(matches!(
+            big.restore_state(&blob),
+            Err(StateError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_tmp_sweep_removes_only_orphaned_temp_files() {
+        let dir = std::env::temp_dir().join("fifoms-tmp-sweep-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("snapshot.json"), b"{}").unwrap();
+        std::fs::write(dir.join("snapshot.json.tmp"), b"torn").unwrap();
+        std::fs::write(dir.join("ckpt.bin.tmp"), b"torn").unwrap();
+        std::fs::create_dir_all(dir.join("nested.tmp")).unwrap();
+        assert_eq!(sweep_stale_tmp(&dir), 2);
+        assert!(dir.join("snapshot.json").exists(), "real file kept");
+        assert!(dir.join("nested.tmp").exists(), "directories kept");
+        assert!(!dir.join("snapshot.json.tmp").exists());
+        assert_eq!(sweep_stale_tmp(&dir), 0, "sweep is idempotent");
+        assert_eq!(sweep_stale_tmp(&dir.join("missing")), 0);
     }
 
     #[test]

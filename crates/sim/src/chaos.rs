@@ -670,10 +670,10 @@ pub fn buffer_pressure_scenarios(seed: u64, count: usize, smoke: bool) -> Vec<Ch
 /// thread; if it does not report within `limit_millis`, `Err(limit)` is
 /// returned and the stuck thread is abandoned (the process exits with
 /// the campaign verdict anyway). Mirrors the sweep runner's cell guard.
-pub fn run_guarded(
+pub fn run_guarded<T: Send + 'static>(
     limit_millis: u64,
-    run: impl FnOnce() -> ChaosOutcome + Send + 'static,
-) -> Result<ChaosOutcome, u64> {
+    run: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, u64> {
     let (tx, rx) = std::sync::mpsc::channel();
     let spawned = std::thread::Builder::new()
         .name("fifoms-chaos-cell".into())
@@ -728,6 +728,260 @@ pub fn shrink_scenario(
             return (current, runs);
         }
     }
+}
+
+/// [`shrink_scenario`] with a watchdog re-armed around *every* probe.
+///
+/// Shrink candidates of a wedged scenario are themselves livelock-prone
+/// — often more so, since the shrink strips the faults that eventually
+/// broke the livelock. Each probe therefore runs under its own
+/// [`run_guarded`] window of `limit_millis`; a probe that fails to
+/// report in time counts as "still fails" (the reproducer of a hang is
+/// a hang) and its thread is abandoned. The unguarded
+/// [`shrink_scenario`] with a raw `run_scenario` oracle must only be
+/// used where the probes are known to terminate.
+pub fn shrink_scenario_guarded<F>(
+    start: &ChaosScenario,
+    limit_millis: u64,
+    probe: F,
+) -> (ChaosScenario, usize)
+where
+    F: Fn(&ChaosScenario) -> ChaosOutcome + Clone + Send + 'static,
+{
+    shrink_scenario(start, move |candidate| {
+        let cell = *candidate;
+        let probe = probe.clone();
+        run_guarded(limit_millis, move || probe(&cell))
+            .map(|out| out.failed())
+            .unwrap_or(true)
+    })
+}
+
+/// Checkpoint-file fault modes the corruption campaign injects between a
+/// simulated crash and its recovery (DESIGN.md §15).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointFault {
+    /// The newest checkpoint file is cut mid-payload (a torn write that
+    /// somehow bypassed the atomic temp+rename, e.g. filesystem loss).
+    TornWrite,
+    /// One byte of the newest checkpoint is flipped (media corruption).
+    BitFlip,
+    /// The newest checkpoint is truncated to a few header bytes.
+    Truncation,
+    /// A stale `.tmp` from a crashed atomic write litters the directory
+    /// (the checkpoints themselves stay valid; startup must sweep it).
+    StaleTmp,
+}
+
+impl CheckpointFault {
+    /// Every mode, in campaign order.
+    pub const ALL: [CheckpointFault; 4] = [
+        CheckpointFault::TornWrite,
+        CheckpointFault::BitFlip,
+        CheckpointFault::Truncation,
+        CheckpointFault::StaleTmp,
+    ];
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CheckpointFault::TornWrite => "torn-write",
+            CheckpointFault::BitFlip => "bit-flip",
+            CheckpointFault::Truncation => "truncation",
+            CheckpointFault::StaleTmp => "stale-tmp",
+        }
+    }
+}
+
+/// Verdict of one corruption-campaign cell.
+#[derive(Clone, Debug)]
+pub struct CorruptionOutcome {
+    /// The fault injected.
+    pub fault: CheckpointFault,
+    /// Checkpoint sequence the recovery actually restored from.
+    pub resumed_seq: Option<u64>,
+    /// Sequence it *should* restore from (the previous valid checkpoint
+    /// for corrupting faults; the newest for the stale-tmp fault).
+    pub expected_seq: u64,
+    /// Whether the resumed run completed without error.
+    pub recovered: bool,
+    /// Whether the resumed run's results are bit-identical to the
+    /// uninterrupted reference run.
+    pub bit_identical: bool,
+    /// Failure detail, when any check failed.
+    pub detail: Option<String>,
+}
+
+impl CorruptionOutcome {
+    /// Whether the cell proved the fallback it was meant to prove.
+    pub fn ok(&self) -> bool {
+        self.recovered && self.bit_identical && self.resumed_seq == Some(self.expected_seq)
+    }
+}
+
+/// Workload + kill geometry of every corruption cell: 1 200 slots with a
+/// checkpoint every 300, killed at slot 1 000 — so checkpoints seq 1–3
+/// exist at the crash and seq 3 (the newest) is the corruption target,
+/// leaving seq 2 in the *other* rotation file as the fallback.
+const CORRUPTION_SLOTS: u64 = 1_200;
+const CORRUPTION_EVERY: u64 = 300;
+const CORRUPTION_KILL: u64 = 1_000;
+
+fn corruption_run(
+    seed: u64,
+    dir: &std::path::Path,
+    kill: Option<u64>,
+    resume: bool,
+) -> Result<crate::engine::RunResult, SimError> {
+    let cfg = crate::engine::RunConfig {
+        slots: CORRUPTION_SLOTS,
+        warmup: CORRUPTION_SLOTS / 4,
+        backlog_cap: 100_000,
+        sample_every: 50,
+    };
+    let ck = crate::recover::CheckpointConfig {
+        dir: dir.to_path_buf(),
+        every: CORRUPTION_EVERY,
+    };
+    let mut rec = if resume {
+        crate::recover::RecoveryRuntime::open(&ck)?
+    } else {
+        crate::recover::RecoveryRuntime::fresh(&ck)?
+    };
+    if let Some(slot) = kill {
+        rec.kill_at(slot);
+    }
+    let mut switch = MulticastVoqSwitch::new(8, seed);
+    let mut traffic = TrafficKind::Bernoulli { p: 0.3, b: CHAOS_B }.try_build(8, seed ^ 0x5a5a)?;
+    crate::engine::try_simulate_recoverable(
+        &mut switch,
+        traffic.as_mut(),
+        &cfg,
+        &mut crate::engine::Observer::none(),
+        &mut rec,
+    )
+}
+
+fn inject_checkpoint_fault(dir: &std::path::Path, fault: CheckpointFault) -> std::io::Result<()> {
+    // Seq 3 (newest, odd) lives in checkpoint-b.bin.
+    let newest = dir.join("checkpoint-b.bin");
+    match fault {
+        CheckpointFault::TornWrite => {
+            let bytes = std::fs::read(&newest)?;
+            std::fs::write(&newest, &bytes[..bytes.len() / 2])
+        }
+        CheckpointFault::BitFlip => {
+            let mut bytes = std::fs::read(&newest)?;
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0x20;
+            }
+            std::fs::write(&newest, &bytes)
+        }
+        CheckpointFault::Truncation => {
+            let bytes = std::fs::read(&newest)?;
+            std::fs::write(&newest, &bytes[..bytes.len().min(10)])
+        }
+        CheckpointFault::StaleTmp => {
+            std::fs::write(dir.join("checkpoint-b.bin.tmp"), b"half-written garbage")
+        }
+    }
+}
+
+/// Run the checkpoint-corruption campaign: for each [`CheckpointFault`],
+/// crash a checkpointed run between checkpoints, inject the fault, and
+/// verify recovery falls back to the expected checkpoint and reproduces
+/// the uninterrupted run bit-for-bit.
+pub fn run_corruption_campaign(seed: u64, base_dir: &std::path::Path) -> Vec<CorruptionOutcome> {
+    let mut outcomes = Vec::with_capacity(CheckpointFault::ALL.len());
+    // One uninterrupted reference run shared by every cell.
+    let ref_dir = base_dir.join("reference");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let reference = corruption_run(seed, &ref_dir, None, false);
+    for fault in CheckpointFault::ALL {
+        outcomes.push(run_corruption_cell(seed, base_dir, fault, reference.as_ref()));
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    outcomes
+}
+
+fn run_corruption_cell(
+    seed: u64,
+    base_dir: &std::path::Path,
+    fault: CheckpointFault,
+    reference: Result<&crate::engine::RunResult, &SimError>,
+) -> CorruptionOutcome {
+    let expected_seq = match fault {
+        // Corrupting faults lose the newest checkpoint (seq 3); the
+        // fallback is the previous valid one in the other rotation file.
+        CheckpointFault::TornWrite | CheckpointFault::BitFlip | CheckpointFault::Truncation => 2,
+        // A stale tmp file must not cost any checkpoint.
+        CheckpointFault::StaleTmp => 3,
+    };
+    let mut out = CorruptionOutcome {
+        fault,
+        resumed_seq: None,
+        expected_seq,
+        recovered: false,
+        bit_identical: false,
+        detail: None,
+    };
+    let reference = match reference {
+        Ok(r) => r,
+        Err(e) => {
+            out.detail = Some(format!("reference run failed: {e}"));
+            return out;
+        }
+    };
+    let dir = base_dir.join(fault.name());
+    let _ = std::fs::remove_dir_all(&dir);
+    match corruption_run(seed, &dir, Some(CORRUPTION_KILL), false) {
+        Err(SimError::Killed { .. }) => {}
+        Err(e) => {
+            out.detail = Some(format!("crash phase failed unexpectedly: {e}"));
+            return out;
+        }
+        Ok(_) => {
+            out.detail = Some("crash phase completed instead of dying".to_string());
+            return out;
+        }
+    }
+    if let Err(e) = inject_checkpoint_fault(&dir, fault) {
+        out.detail = Some(format!("fault injection failed: {e}"));
+        return out;
+    }
+    // Peek at what the resume will find, then run it for real.
+    let ck = crate::recover::CheckpointConfig {
+        dir: dir.clone(),
+        every: CORRUPTION_EVERY,
+    };
+    match crate::recover::RecoveryRuntime::open(&ck) {
+        Ok(rec) => out.resumed_seq = rec.resume_info().map(|i| i.seq),
+        Err(e) => {
+            out.detail = Some(format!("recovery open failed: {e}"));
+            return out;
+        }
+    }
+    match corruption_run(seed, &dir, None, true) {
+        Ok(result) => {
+            out.recovered = true;
+            out.bit_identical = result.packets_admitted == reference.packets_admitted
+                && result.copies_delivered == reference.copies_delivered
+                && result.slots_run == reference.slots_run
+                && result.throughput.to_bits() == reference.throughput.to_bits()
+                && result.delay.mean_output_oriented.to_bits()
+                    == reference.delay.mean_output_oriented.to_bits()
+                && result.occupancy.mean.to_bits() == reference.occupancy.mean.to_bits();
+            if !out.bit_identical {
+                out.detail = Some("recovered results diverge from reference".to_string());
+            }
+        }
+        Err(e) => {
+            out.detail = Some(format!("recovery run failed: {e}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
 }
 
 #[cfg(test)]
@@ -942,6 +1196,60 @@ mod tests {
             })
         });
         assert!(!healthy.expect("healthy cell finished").failed());
+    }
+
+    #[test]
+    fn guarded_shrink_rearms_the_watchdog_on_every_probe() {
+        // Regression: the shrink oracle used to call run_scenario
+        // unguarded, so a shrink candidate that wedged hung the whole
+        // delta-debug loop even though the original cell had a watchdog.
+        // Here *every* probe wedges far longer than the limit; the shrink
+        // must still terminate in bounded time, counting each timed-out
+        // probe as "still fails" and reducing all the way to the default.
+        let start = ChaosScenario {
+            crosspoint_faults: 1,
+            crosspoint_at: 500,
+            crosspoint_duration: 100,
+            retry_budget: 2,
+            ..ChaosScenario::default()
+        };
+        let began = std::time::Instant::now();
+        let (min, runs) = shrink_scenario_guarded(&start, 40, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(5_000));
+            run_scenario(&ChaosScenario {
+                slots: 10,
+                ..ChaosScenario::default()
+            })
+        });
+        assert!(runs > 0);
+        assert_eq!(min, ChaosScenario::default());
+        assert!(
+            began.elapsed() < std::time::Duration::from_millis(4_000),
+            "shrink blocked on a wedged probe: {:?}",
+            began.elapsed()
+        );
+    }
+
+    #[test]
+    fn corruption_campaign_proves_checkpoint_fallback() {
+        let dir = std::env::temp_dir().join(format!(
+            "fifoms-corruption-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcomes = run_corruption_campaign(11, &dir);
+        assert_eq!(outcomes.len(), CheckpointFault::ALL.len());
+        for out in &outcomes {
+            assert!(
+                out.ok(),
+                "{} cell failed: resumed from {:?} (expected {}), {}",
+                out.fault.name(),
+                out.resumed_seq,
+                out.expected_seq,
+                out.detail.as_deref().unwrap_or("no detail")
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// A stack with a deliberately seeded *accounting* bug: the first

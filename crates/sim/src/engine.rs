@@ -13,6 +13,7 @@ use fifoms_types::{
 };
 
 use crate::overload::OverloadControls;
+use crate::recover::{RecoveryRuntime, RunSnapshot};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -231,7 +232,7 @@ pub fn try_simulate_observed(
     cfg: &RunConfig,
     obs: &mut Observer<'_>,
 ) -> Result<RunResult, SimError> {
-    simulate_inner(switch, traffic, cfg, obs, None)
+    simulate_inner(switch, traffic, cfg, obs, None, None)
 }
 
 /// [`try_simulate_observed`] with overload protection attached: the
@@ -246,7 +247,25 @@ pub fn try_simulate_controlled(
     obs: &mut Observer<'_>,
     controls: &mut OverloadControls,
 ) -> Result<RunResult, SimError> {
-    simulate_inner(switch, traffic, cfg, obs, Some(controls))
+    simulate_inner(switch, traffic, cfg, obs, Some(controls), None)
+}
+
+/// [`try_simulate_observed`] with crash-safe checkpointing attached
+/// (DESIGN.md §15): the engine writes a checkpoint at the top of every
+/// `recovery.every()`-th slot, logs each slot's arrivals to the WAL, and
+/// — when `recovery` was opened over an existing checkpoint — restores
+/// the full run state and resumes at the checkpointed slot, verifying
+/// regenerated arrivals against the WAL across the replay gap. A resumed
+/// run is bit-identical (trace, metrics, [`RunResult`]) to the
+/// uninterrupted one.
+pub fn try_simulate_recoverable(
+    switch: &mut dyn Switch,
+    traffic: &mut dyn TrafficModel,
+    cfg: &RunConfig,
+    obs: &mut Observer<'_>,
+    recovery: &mut RecoveryRuntime,
+) -> Result<RunResult, SimError> {
+    simulate_inner(switch, traffic, cfg, obs, None, Some(recovery))
 }
 
 fn simulate_inner(
@@ -255,6 +274,7 @@ fn simulate_inner(
     cfg: &RunConfig,
     obs: &mut Observer<'_>,
     mut controls: Option<&mut OverloadControls>,
+    mut recovery: Option<&mut RecoveryRuntime>,
 ) -> Result<RunResult, SimError> {
     if cfg.warmup >= cfg.slots {
         return Err(SimError::WarmupTooLong {
@@ -287,24 +307,53 @@ fn simulate_inner(
         quarantine_buf.reserve(n * n);
     }
 
-    if let Some((sink, scope)) = obs.sink {
-        sink.emit(
-            scope,
-            &ObsEvent::RunMeta {
-                switch: switch.name(),
-                traffic: traffic.name(),
-                ports: n as u32,
-                params: traffic
-                    .params()
-                    .into_iter()
-                    .map(|(k, v)| (k.to_string(), v))
-                    .collect(),
-            },
-        );
+    // A pending resume overwrites every engine local the checkpoint
+    // captured, then the loop restarts at the checkpointed slot. Resumed
+    // runs skip the run_meta/window_meta preamble — the truncated trace
+    // already carries it.
+    let mut start_slot = 0u64;
+    if let Some(rec) = recovery.as_deref_mut() {
+        let tele = obs.telemetry.as_mut().map(|tc| &mut *tc.telemetry);
+        if let Some(applied) = rec.apply_resume(switch, traffic, tele)? {
+            if applied.occupancy.raw().0.len() != n {
+                return Err(SimError::Recovery {
+                    message: format!(
+                        "checkpoint tracks {} ports, run has {n}",
+                        applied.occupancy.raw().0.len()
+                    ),
+                });
+            }
+            start_slot = applied.slot;
+            next_packet = applied.next_packet;
+            copies_delivered = applied.copies_delivered;
+            slots_run = applied.slots_run;
+            delay = applied.delay;
+            occupancy = applied.occupancy;
+            rounds = applied.rounds;
+            detector.restore_raw(applied.detector_samples, applied.detector_cap_hit);
+        }
     }
-    if let Some(tc) = obs.telemetry.as_mut() {
-        if let Some((sink, scope)) = tc.series {
-            sink.emit(scope, &tc.telemetry.meta_event());
+
+    if start_slot == 0 {
+        if let Some((sink, scope)) = obs.sink {
+            sink.emit(
+                scope,
+                &ObsEvent::RunMeta {
+                    switch: switch.name(),
+                    traffic: traffic.name(),
+                    ports: n as u32,
+                    params: traffic
+                        .params()
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                },
+            );
+        }
+        if let Some(tc) = obs.telemetry.as_mut() {
+            if let Some((sink, scope)) = tc.series {
+                sink.emit(scope, &tc.telemetry.meta_event());
+            }
         }
     }
 
@@ -322,8 +371,55 @@ fn simulate_inner(
         }
     }
 
-    for t in 0..cfg.slots {
+    for t in start_slot..cfg.slots {
         let now = Slot(t);
+        if let Some(rec) = recovery.as_deref_mut() {
+            // Checkpoint at the top of the slot, *before* the traffic
+            // draw, so a restart at `t` regenerates the slot in full.
+            // The trace offset is captured before the checkpoint_written
+            // event is emitted: on resume the due checkpoint re-fires,
+            // idempotently rewriting the same file and re-emitting the
+            // identical event, so the trace stays byte-for-byte equal to
+            // the uninterrupted run's.
+            if rec.checkpoint_due(t) {
+                if let Some((sink, _)) = obs.sink {
+                    sink.flush();
+                }
+                let snap = RunSnapshot {
+                    slot: t,
+                    next_packet,
+                    copies_delivered,
+                    slots_run,
+                    trace_offset: rec.trace_offset_now(),
+                    delay: &delay,
+                    occupancy: &occupancy,
+                    rounds: &rounds,
+                    detector: &detector,
+                };
+                let telemetry = obs.telemetry.as_ref().map(|tc| &*tc.telemetry);
+                let (seq, bytes) = rec.write_checkpoint(&snap, switch, traffic, telemetry)?;
+                let event = ObsEvent::CheckpointWritten {
+                    slot: now,
+                    seq,
+                    bytes,
+                };
+                if let Some(tc) = obs.telemetry.as_mut() {
+                    tc.telemetry.observe_event(&event);
+                }
+                if let Some((sink, scope)) = obs.sink {
+                    sink.emit(scope, &event);
+                }
+            }
+            // The deliberate crash hook fires after any due checkpoint —
+            // exactly what a real crash between two checkpoints looks
+            // like to the recovery path.
+            if rec.kill_due(t) {
+                if let Some((sink, _)) = obs.sink {
+                    sink.flush();
+                }
+                return Err(SimError::Killed { slot: t });
+            }
+        }
         let timed = match &obs.profiler {
             Some((_, every)) => t % every.max(&1) == 0,
             None => false,
@@ -339,6 +435,12 @@ fn simulate_inner(
         span(obs, timed, "traffic", true);
         traffic.next_slot(now, &mut arrivals);
         span(obs, timed, "traffic", false);
+        if let Some(rec) = recovery.as_deref_mut() {
+            // Write-ahead log the raw arrivals; across a resume's replay
+            // gap this also verifies the restored traffic model is
+            // regenerating the logged pre-crash arrivals.
+            rec.record_arrivals(t, &arrivals)?;
+        }
         // Overload protection, when attached: walk the degradation
         // ladder against this slot's pre-admission backlog, pause
         // backpressured inputs (deferring their arrivals), re-offer

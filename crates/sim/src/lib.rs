@@ -45,19 +45,22 @@ mod engine;
 mod overload;
 pub mod plot;
 mod profile;
+mod recover;
 pub mod report;
+mod serve;
 mod spec;
 mod sweep;
 
 pub use audit::{alloc_audit, AllocAuditReport};
 pub use chaos::{
-    buffer_pressure_scenarios, campaign_scenarios, run_guarded, run_scenario,
-    run_scenario_observed, run_scenario_on, shrink_scenario, ChaosOutcome, ChaosScenario,
+    buffer_pressure_scenarios, campaign_scenarios, run_corruption_campaign, run_guarded,
+    run_scenario, run_scenario_observed, run_scenario_on, shrink_scenario,
+    shrink_scenario_guarded, ChaosOutcome, ChaosScenario, CheckpointFault, CorruptionOutcome,
 };
 pub use checkpoint::CheckpointJournal;
 pub use engine::{
-    simulate, try_simulate, try_simulate_controlled, try_simulate_observed, Observer, RunConfig,
-    RunResult, TelemetryChannel, TelemetrySpec,
+    simulate, try_simulate, try_simulate_controlled, try_simulate_observed,
+    try_simulate_recoverable, Observer, RunConfig, RunResult, TelemetryChannel, TelemetrySpec,
 };
 pub use overload::{
     loss_sweep, loss_sweep_observed, LossPoint, LossSweepConfig, OverloadControls,
@@ -69,6 +72,11 @@ pub use fifoms_fabric::{
     CheckedSwitch, FaultConfig, FaultStats, FaultyFabric, InstrumentedSwitch, PacketTraceMode,
 };
 pub use profile::{profile_run, ProfileReport};
+pub use recover::{
+    read_wal, truncate_file, CheckpointConfig, CheckpointStore, RecoveryRuntime, ResumeInfo,
+    RunSnapshot, WalWriter,
+};
+pub use serve::{serve, ServeConfig, ServeReport, SERVE_SCOPE};
 pub use spec::{SwitchKind, TrafficKind};
 pub use sweep::{
     CellFailureReason, CellOutcome, CellPolicy, FailedCell, Sweep, SweepObserver, SweepRow,

@@ -1,0 +1,1025 @@
+//! Crash-safe run checkpointing and bit-identical recovery (DESIGN.md §15).
+//!
+//! Three pieces cooperate so a run killed at *any* slot and restarted from
+//! disk produces the same trace bytes, the same metrics and the same final
+//! [`RunResult`](crate::RunResult) as the uninterrupted run:
+//!
+//! * [`CheckpointStore`] — two rotating checkpoint files
+//!   (`checkpoint-a.bin` / `checkpoint-b.bin`, selected by `seq % 2`),
+//!   each written atomically (temp + rename) and wrapped in the
+//!   CRC-guarded `FMCK` envelope. A torn, flipped or truncated file fails
+//!   envelope validation and [`CheckpointStore::load_candidates`] falls
+//!   back to the *other* file — corruption costs one checkpoint interval,
+//!   never the run.
+//! * The arrival WAL (`arrivals.wal`) — one CRC-guarded record per slot
+//!   holding that slot's raw arrival vector. Recovery replays the gap
+//!   between the last checkpoint and the crash in lockstep with the
+//!   restored traffic model, *verifying* that the regenerated arrivals
+//!   match the logged ones (a divergence means the checkpoint and the
+//!   model disagree, and surfaces as [`SimError::Recovery`] rather than a
+//!   silently different run). The WAL is truncated at every checkpoint.
+//! * [`RecoveryRuntime`] — the engine-facing driver: decides when a
+//!   checkpoint is due, captures/encodes/applies the full run state
+//!   (engine counters, statistics accumulators, switch stack, traffic
+//!   model, optional telemetry), tracks the absolute trace byte offset so
+//!   a resumed trace continues exactly where the checkpoint left it, and
+//!   hosts the deliberate `kill_at` crash hook the kill-and-recover tests
+//!   drive.
+//!
+//! Bit-identity hinges on one ordering rule: the checkpoint is taken at
+//! the *top* of slot `t`, before the slot's traffic draw, and the trace
+//! offset is captured *before* the `checkpoint_written` event is emitted.
+//! A resumed run restarts at slot `t`, re-fires the due checkpoint
+//! (idempotently rewriting the same file and re-emitting the identical
+//! event) and proceeds — so the recovered trace is byte-for-byte the
+//! uninterrupted one.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use fifoms_fabric::Switch;
+use fifoms_obs::{sweep_stale_tmp, write_atomically, Telemetry, TraceOffset};
+use fifoms_stats::{
+    DelayStats, Histogram, OccupancyTracker, RunningStat, SaturationDetector,
+};
+use fifoms_traffic::TrafficModel;
+use fifoms_types::{
+    crc32, frame_state, unframe_state, Checkpoint, PortSet, SimError, StateError, StateReader,
+    StateWriter,
+};
+
+/// Envelope kind of a checkpoint *file* (the on-disk wrapper carrying the
+/// sequence number plus the run-state blob).
+const FILE_KIND: &str = "fifoms-checkpoint-file";
+/// Envelope kind of the run-state blob itself.
+const RUN_KIND: &str = "fifoms-run";
+/// Payload layout version of both envelopes.
+const STATE_V1: u16 = 1;
+
+/// Where and how often to checkpoint a run.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory holding the checkpoint files and the arrival WAL.
+    pub dir: PathBuf,
+    /// Checkpoint interval in slots (a checkpoint is due at every slot
+    /// `t` with `t % every == 0 && t != 0`).
+    pub every: u64,
+}
+
+fn io_recovery(path: &Path, what: &str, e: std::io::Error) -> SimError {
+    SimError::Recovery {
+        message: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+/// The rotating two-file checkpoint store.
+///
+/// Writes land alternately in `checkpoint-a.bin` and `checkpoint-b.bin`
+/// (by sequence parity), so the previous checkpoint is never overwritten
+/// by the one currently being written: a crash mid-write costs at most
+/// one interval of progress.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the store directory, sweeping any
+    /// orphaned `*.tmp` files a crashed writer left behind.
+    pub fn open(dir: &Path) -> Result<CheckpointStore, SimError> {
+        fs::create_dir_all(dir).map_err(|e| io_recovery(dir, "create checkpoint dir", e))?;
+        sweep_stale_tmp(dir);
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn file_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(if seq.is_multiple_of(2) {
+            "checkpoint-a.bin"
+        } else {
+            "checkpoint-b.bin"
+        })
+    }
+
+    /// Atomically persist checkpoint `seq`, returning the bytes written.
+    pub fn save(&self, seq: u64, state: &[u8]) -> Result<u64, SimError> {
+        let mut w = StateWriter::new();
+        w.put_u64(seq);
+        w.put_bytes(state);
+        let blob = frame_state(FILE_KIND, STATE_V1, &w.into_bytes());
+        let path = self.file_path(seq);
+        write_atomically(&path, &blob).map_err(|e| io_recovery(&path, "write checkpoint", e))?;
+        Ok(blob.len() as u64)
+    }
+
+    /// All decodable checkpoints on disk, newest first.
+    ///
+    /// Unreadable, torn, bit-flipped or truncated files are silently
+    /// skipped — that *is* the corruption fallback: the caller restores
+    /// from the newest candidate that fully decodes.
+    pub fn load_candidates(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut found = Vec::new();
+        for name in ["checkpoint-a.bin", "checkpoint-b.bin"] {
+            let path = self.dir.join(name);
+            let Ok(blob) = fs::read(&path) else {
+                continue;
+            };
+            let Ok((version, payload)) = unframe_state(&blob, FILE_KIND) else {
+                continue;
+            };
+            if version != STATE_V1 {
+                continue;
+            }
+            let mut r = StateReader::new(payload);
+            let Ok(seq) = r.get_u64() else { continue };
+            let Ok(state) = r.get_bytes() else { continue };
+            if !r.is_exhausted() {
+                continue;
+            }
+            found.push((seq, state.to_vec()));
+        }
+        found.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        found
+    }
+}
+
+/// Append-side handle on the arrival WAL.
+///
+/// Record layout: `u32 len | payload | u32 crc32(payload)`, all
+/// little-endian, flushed per record so the log survives the process.
+pub struct WalWriter {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Open the WAL at `path`, truncating any previous contents (callers
+    /// read the old log *before* opening the writer).
+    pub fn open(path: &Path) -> Result<WalWriter, SimError> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_recovery(path, "open WAL", e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Append one slot's arrival vector.
+    pub fn append(&mut self, slot: u64, arrivals: &[Option<PortSet>]) -> Result<(), SimError> {
+        let mut w = StateWriter::new();
+        w.put_u64(slot);
+        w.put_usize(arrivals.len());
+        for a in arrivals {
+            match a {
+                Some(dests) => {
+                    w.put_bool(true);
+                    w.put_port_set(dests);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        let payload = w.into_bytes();
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&payload);
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.file
+            .write_all(&record)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_recovery(&self.path, "append WAL", e))
+    }
+
+    /// Discard every record (called when a checkpoint supersedes them).
+    pub fn reset(&mut self) -> Result<(), SimError> {
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)).map(|_| ()))
+            .map_err(|e| io_recovery(&self.path, "reset WAL", e))
+    }
+}
+
+/// Read the valid prefix of a WAL: decoding stops at the first torn,
+/// truncated or CRC-mismatching record (the tail a crash tore off).
+pub fn read_wal(path: &Path) -> Vec<(u64, Vec<Option<PortSet>>)> {
+    let mut bytes = Vec::new();
+    match fs::File::open(path) {
+        Ok(mut f) => {
+            if f.read_to_end(&mut bytes).is_err() {
+                return Vec::new();
+            }
+        }
+        Err(_) => return Vec::new(),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(len_bytes) = bytes.get(pos..pos + 4) {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(len_bytes);
+        let len = u32::from_le_bytes(b) as usize;
+        let Some(payload) = bytes.get(pos + 4..pos + 4 + len) else {
+            break;
+        };
+        let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else {
+            break;
+        };
+        let mut c = [0u8; 4];
+        c.copy_from_slice(crc_bytes);
+        if crc32(payload) != u32::from_le_bytes(c) {
+            break;
+        }
+        let Some(record) = decode_wal_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    records
+}
+
+fn decode_wal_payload(payload: &[u8]) -> Option<(u64, Vec<Option<PortSet>>)> {
+    let mut r = StateReader::new(payload);
+    let slot = r.get_u64().ok()?;
+    let count = r.get_usize().ok()?;
+    // Arrival vectors are one entry per port; anything larger than the
+    // widest supported switch is a corrupt length, not a real record.
+    if count > u16::MAX as usize {
+        return None;
+    }
+    let mut arrivals = Vec::with_capacity(count);
+    for _ in 0..count {
+        if r.get_bool().ok()? {
+            arrivals.push(Some(r.get_port_set().ok()?));
+        } else {
+            arrivals.push(None);
+        }
+    }
+    if !r.is_exhausted() {
+        return None;
+    }
+    Some((slot, arrivals))
+}
+
+fn put_running(w: &mut StateWriter, s: &RunningStat) {
+    let (count, mean, m2, min, max) = s.raw();
+    w.put_u64(count);
+    w.put_f64(mean);
+    w.put_f64(m2);
+    w.put_f64(min);
+    w.put_f64(max);
+}
+
+fn get_running(r: &mut StateReader<'_>) -> Result<RunningStat, StateError> {
+    Ok(RunningStat::from_raw(
+        r.get_u64()?,
+        r.get_f64()?,
+        r.get_f64()?,
+        r.get_f64()?,
+        r.get_f64()?,
+    ))
+}
+
+fn put_histogram(w: &mut StateWriter, h: &Histogram) {
+    let (buckets, overflow_count, overflow_sum, total, sum, max) = h.raw();
+    w.put_usize(buckets.len());
+    for &b in buckets {
+        w.put_u64(b);
+    }
+    w.put_u64(overflow_count);
+    w.put_u128(overflow_sum);
+    w.put_u64(total);
+    w.put_u128(sum);
+    w.put_u64(max);
+}
+
+fn get_histogram(r: &mut StateReader<'_>) -> Result<Histogram, StateError> {
+    let len = r.get_usize()?;
+    if len > 1 << 24 {
+        return Err(StateError::Malformed {
+            what: format!("histogram bucket count {len}"),
+        });
+    }
+    let mut buckets = Vec::with_capacity(len);
+    for _ in 0..len {
+        buckets.push(r.get_u64()?);
+    }
+    Ok(Histogram::from_raw(
+        buckets,
+        r.get_u64()?,
+        r.get_u128()?,
+        r.get_u64()?,
+        r.get_u128()?,
+        r.get_u64()?,
+    ))
+}
+
+fn put_delay(w: &mut StateWriter, d: &DelayStats) {
+    let (input, output, input_hist, output_hist) = d.raw();
+    put_running(w, input);
+    put_running(w, output);
+    put_histogram(w, input_hist);
+    put_histogram(w, output_hist);
+}
+
+fn get_delay(r: &mut StateReader<'_>) -> Result<DelayStats, StateError> {
+    let input = get_running(r)?;
+    let output = get_running(r)?;
+    let input_hist = get_histogram(r)?;
+    let output_hist = get_histogram(r)?;
+    Ok(DelayStats::from_raw(input, output, input_hist, output_hist))
+}
+
+fn put_occupancy(w: &mut StateWriter, o: &OccupancyTracker) {
+    let (per_port, overall, max) = o.raw();
+    w.put_usize(per_port.len());
+    for s in per_port {
+        put_running(w, s);
+    }
+    put_running(w, overall);
+    w.put_usize(max);
+}
+
+fn get_occupancy(r: &mut StateReader<'_>) -> Result<OccupancyTracker, StateError> {
+    let ports = r.get_usize()?;
+    if ports > u16::MAX as usize {
+        return Err(StateError::Malformed {
+            what: format!("occupancy port count {ports}"),
+        });
+    }
+    let mut per_port = Vec::with_capacity(ports);
+    for _ in 0..ports {
+        per_port.push(get_running(r)?);
+    }
+    let overall = get_running(r)?;
+    let max = r.get_usize()?;
+    Ok(OccupancyTracker::from_raw(per_port, overall, max))
+}
+
+fn put_detector(w: &mut StateWriter, d: &SaturationDetector) {
+    let (samples, cap_hit) = d.raw();
+    w.put_usize(samples.len());
+    for &s in samples {
+        w.put_usize(s);
+    }
+    w.put_bool(cap_hit);
+}
+
+fn get_detector_fields(r: &mut StateReader<'_>) -> Result<(Vec<usize>, bool), StateError> {
+    let len = r.get_usize()?;
+    if len > 1 << 32 {
+        return Err(StateError::Malformed {
+            what: format!("saturation sample count {len}"),
+        });
+    }
+    let mut samples = Vec::with_capacity(len);
+    for _ in 0..len {
+        samples.push(r.get_usize()?);
+    }
+    let cap_hit = r.get_bool()?;
+    Ok((samples, cap_hit))
+}
+
+/// Borrowed view of everything the engine must persist at a checkpoint,
+/// besides the switch / traffic / telemetry components themselves.
+pub struct RunSnapshot<'a> {
+    /// The slot the checkpoint is taken at (the loop restarts here).
+    pub slot: u64,
+    /// Next-packet-id counter.
+    pub next_packet: u64,
+    /// Post-warmup copies delivered so far.
+    pub copies_delivered: u64,
+    /// Slots executed so far.
+    pub slots_run: u64,
+    /// Absolute trace byte offset at the checkpoint (0 when untraced).
+    pub trace_offset: u64,
+    /// Delay accumulators.
+    pub delay: &'a DelayStats,
+    /// Queue-occupancy accumulators.
+    pub occupancy: &'a OccupancyTracker,
+    /// Convergence-rounds accumulator.
+    pub rounds: &'a RunningStat,
+    /// Saturation detector (backlog samples + cap latch).
+    pub detector: &'a SaturationDetector,
+}
+
+/// Engine state decoded from a run checkpoint, handed back to
+/// `simulate_inner` to overwrite its locals on resume.
+pub struct AppliedResume {
+    /// Slot to restart the loop at.
+    pub slot: u64,
+    /// Next-packet-id counter.
+    pub next_packet: u64,
+    /// Post-warmup copies delivered.
+    pub copies_delivered: u64,
+    /// Slots executed.
+    pub slots_run: u64,
+    /// Delay accumulators.
+    pub delay: DelayStats,
+    /// Queue-occupancy accumulators.
+    pub occupancy: OccupancyTracker,
+    /// Convergence-rounds accumulator.
+    pub rounds: RunningStat,
+    /// Restored backlog samples (applied into a detector built from the
+    /// run configuration via [`SaturationDetector::restore_raw`]).
+    pub detector_samples: Vec<usize>,
+    /// Whether the backlog cap had already been hit.
+    pub detector_cap_hit: bool,
+}
+
+struct DecodedRunState {
+    slot: u64,
+    next_packet: u64,
+    copies_delivered: u64,
+    slots_run: u64,
+    trace_offset: u64,
+    delay: DelayStats,
+    occupancy: OccupancyTracker,
+    rounds: RunningStat,
+    detector_samples: Vec<usize>,
+    detector_cap_hit: bool,
+    switch_blob: Vec<u8>,
+    traffic_blob: Vec<u8>,
+    telemetry_blob: Option<Vec<u8>>,
+}
+
+fn encode_run_state(
+    snap: &RunSnapshot<'_>,
+    switch: &dyn Switch,
+    traffic: &dyn TrafficModel,
+    telemetry: Option<&Telemetry>,
+) -> Result<Vec<u8>, SimError> {
+    let mut w = StateWriter::new();
+    w.put_u64(snap.slot);
+    w.put_u64(snap.next_packet);
+    w.put_u64(snap.copies_delivered);
+    w.put_u64(snap.slots_run);
+    w.put_u64(snap.trace_offset);
+    put_delay(&mut w, snap.delay);
+    put_occupancy(&mut w, snap.occupancy);
+    put_running(&mut w, snap.rounds);
+    put_detector(&mut w, snap.detector);
+    w.put_bytes(&switch.save_state()?);
+    w.put_bytes(&traffic.save_state()?);
+    match telemetry {
+        Some(t) => {
+            w.put_bool(true);
+            w.put_bytes(&t.snapshot_state());
+        }
+        None => w.put_bool(false),
+    }
+    Ok(frame_state(RUN_KIND, STATE_V1, &w.into_bytes()))
+}
+
+fn decode_run_state(blob: &[u8]) -> Result<DecodedRunState, StateError> {
+    let (version, payload) = unframe_state(blob, RUN_KIND)?;
+    if version != STATE_V1 {
+        return Err(StateError::VersionUnsupported {
+            kind: RUN_KIND.to_string(),
+            got: version,
+        });
+    }
+    let mut r = StateReader::new(payload);
+    let slot = r.get_u64()?;
+    let next_packet = r.get_u64()?;
+    let copies_delivered = r.get_u64()?;
+    let slots_run = r.get_u64()?;
+    let trace_offset = r.get_u64()?;
+    let delay = get_delay(&mut r)?;
+    let occupancy = get_occupancy(&mut r)?;
+    let rounds = get_running(&mut r)?;
+    let (detector_samples, detector_cap_hit) = get_detector_fields(&mut r)?;
+    let switch_blob = r.get_bytes()?.to_vec();
+    let traffic_blob = r.get_bytes()?.to_vec();
+    let telemetry_blob = if r.get_bool()? {
+        Some(r.get_bytes()?.to_vec())
+    } else {
+        None
+    };
+    r.expect_exhausted()?;
+    Ok(DecodedRunState {
+        slot,
+        next_packet,
+        copies_delivered,
+        slots_run,
+        trace_offset,
+        delay,
+        occupancy,
+        rounds,
+        detector_samples,
+        detector_cap_hit,
+        switch_blob,
+        traffic_blob,
+        telemetry_blob,
+    })
+}
+
+/// What a resume found on disk — surfaced so the supervisor can emit
+/// `recovery_started` / `recovery_completed` with real numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct ResumeInfo {
+    /// Sequence number of the checkpoint restored.
+    pub seq: u64,
+    /// Slot the run restarts at.
+    pub slot: u64,
+    /// Valid WAL records found for the gap replay.
+    pub wal_records: usize,
+    /// Checkpoint files present on disk that failed validation and were
+    /// skipped (the corruption-fallback count).
+    pub rejected: usize,
+}
+
+/// The engine-facing driver of checkpointing and recovery.
+pub struct RecoveryRuntime {
+    store: CheckpointStore,
+    wal: WalWriter,
+    every: u64,
+    kill_at: Option<u64>,
+    trace_counter: Option<TraceOffset>,
+    trace_base: u64,
+    resume: Option<DecodedRunState>,
+    resume_info: Option<ResumeInfo>,
+    replay: VecDeque<(u64, Vec<Option<PortSet>>)>,
+    replayed: u64,
+}
+
+impl RecoveryRuntime {
+    /// Start a *fresh* recoverable run: any previous checkpoints and WAL
+    /// in the directory are ignored (the WAL is truncated; checkpoint
+    /// files are overwritten as the run progresses).
+    pub fn fresh(cfg: &CheckpointConfig) -> Result<RecoveryRuntime, SimError> {
+        RecoveryRuntime::build(cfg, false)
+    }
+
+    /// Open the directory and resume from the newest valid checkpoint if
+    /// one exists, else start fresh. Corrupt checkpoint files are skipped
+    /// (falling back to the other rotation slot); their count is reported
+    /// in [`ResumeInfo::rejected`].
+    pub fn open(cfg: &CheckpointConfig) -> Result<RecoveryRuntime, SimError> {
+        RecoveryRuntime::build(cfg, true)
+    }
+
+    fn build(cfg: &CheckpointConfig, resume: bool) -> Result<RecoveryRuntime, SimError> {
+        if cfg.every == 0 {
+            return Err(SimError::Usage(
+                "checkpoint interval must be at least 1 slot".to_string(),
+            ));
+        }
+        let store = CheckpointStore::open(&cfg.dir)?;
+        let wal_path = cfg.dir.join("arrivals.wal");
+        let mut decoded = None;
+        let mut info = None;
+        let mut replay = VecDeque::new();
+        if resume {
+            let candidates = store.load_candidates();
+            let present = count_checkpoint_files(&cfg.dir);
+            for (seq, state) in &candidates {
+                match decode_run_state(state) {
+                    Ok(state) => {
+                        let records: VecDeque<_> = read_wal(&wal_path)
+                            .into_iter()
+                            .filter(|(slot, _)| *slot >= state.slot)
+                            .collect();
+                        info = Some(ResumeInfo {
+                            seq: *seq,
+                            slot: state.slot,
+                            wal_records: records.len(),
+                            rejected: present.saturating_sub(candidates.len()),
+                        });
+                        replay = records;
+                        decoded = Some(state);
+                        break;
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        // Opening the writer truncates the WAL: replayed slots are
+        // re-appended as the resumed loop re-executes them, so the WAL
+        // converges to the uninterrupted run's contents.
+        let wal = WalWriter::open(&wal_path)?;
+        Ok(RecoveryRuntime {
+            store,
+            wal,
+            every: cfg.every,
+            kill_at: None,
+            trace_counter: None,
+            trace_base: 0,
+            resume: decoded,
+            resume_info: info,
+            replay,
+            replayed: 0,
+        })
+    }
+
+    /// Arrange for the run to abort with [`SimError::Killed`] at the top
+    /// of `slot` (after any due checkpoint) — the crash-injection hook.
+    pub fn kill_at(&mut self, slot: u64) {
+        self.kill_at = Some(slot);
+    }
+
+    /// Whether the deliberate kill fires at `slot`.
+    pub fn kill_due(&self, slot: u64) -> bool {
+        self.kill_at == Some(slot)
+    }
+
+    /// Whether a checkpoint is due at the top of `slot`.
+    pub fn checkpoint_due(&self, slot: u64) -> bool {
+        slot != 0 && slot.is_multiple_of(self.every)
+    }
+
+    /// The configured checkpoint interval.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Whether this runtime will resume rather than start at slot 0.
+    pub fn is_resuming(&self) -> bool {
+        self.resume.is_some()
+    }
+
+    /// What the resume found, if this runtime is resuming.
+    pub fn resume_info(&self) -> Option<ResumeInfo> {
+        self.resume_info
+    }
+
+    /// WAL records verified against regenerated arrivals so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Byte length the trace file must be truncated to before reopening
+    /// it for a resumed run (the offset recorded in the checkpoint).
+    pub fn trace_resume_offset(&self) -> Option<u64> {
+        self.resume.as_ref().map(|rs| rs.trace_offset)
+    }
+
+    /// Wire the byte counter of the trace's [`CountingWriter`]
+    /// (fifoms-obs) so checkpoints record absolute trace offsets.
+    pub fn attach_trace(&mut self, counter: TraceOffset) {
+        self.trace_counter = Some(counter);
+    }
+
+    fn absolute_trace_offset(&self) -> u64 {
+        self.trace_base + self.trace_counter.as_ref().map_or(0, TraceOffset::bytes)
+    }
+
+    /// Restore the switch stack, traffic model and (optionally) telemetry
+    /// from the pending resume state, returning the engine-local fields.
+    ///
+    /// Returns `Ok(None)` when there is nothing to resume.
+    pub fn apply_resume(
+        &mut self,
+        switch: &mut dyn Switch,
+        traffic: &mut dyn TrafficModel,
+        telemetry: Option<&mut Telemetry>,
+    ) -> Result<Option<AppliedResume>, SimError> {
+        let Some(rs) = self.resume.take() else {
+            return Ok(None);
+        };
+        switch.load_state(&rs.switch_blob)?;
+        traffic.load_state(&rs.traffic_blob)?;
+        match (telemetry, rs.telemetry_blob) {
+            (Some(t), Some(blob)) => t.restore_state(&blob)?,
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(SimError::Recovery {
+                    message: "telemetry attached but checkpoint has no telemetry state"
+                        .to_string(),
+                })
+            }
+            (None, Some(_)) => {
+                return Err(SimError::Recovery {
+                    message: "checkpoint carries telemetry state but none is attached"
+                        .to_string(),
+                })
+            }
+        }
+        self.trace_base = rs.trace_offset;
+        Ok(Some(AppliedResume {
+            slot: rs.slot,
+            next_packet: rs.next_packet,
+            copies_delivered: rs.copies_delivered,
+            slots_run: rs.slots_run,
+            delay: rs.delay,
+            occupancy: rs.occupancy,
+            rounds: rs.rounds,
+            detector_samples: rs.detector_samples,
+            detector_cap_hit: rs.detector_cap_hit,
+        }))
+    }
+
+    /// Capture, encode and atomically persist a checkpoint at
+    /// `snap.slot`, then truncate the WAL it supersedes. Returns
+    /// `(seq, bytes_written, trace_offset)` for the `checkpoint_written`
+    /// event.
+    pub fn write_checkpoint(
+        &mut self,
+        snap: &RunSnapshot<'_>,
+        switch: &dyn Switch,
+        traffic: &dyn TrafficModel,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<(u64, u64), SimError> {
+        let state = encode_run_state(snap, switch, traffic, telemetry)?;
+        let seq = snap.slot / self.every;
+        let bytes = self.store.save(seq, &state)?;
+        self.wal.reset()?;
+        Ok((seq, bytes))
+    }
+
+    /// The absolute trace offset to record in a [`RunSnapshot`].
+    pub fn trace_offset_now(&self) -> u64 {
+        self.absolute_trace_offset()
+    }
+
+    /// Log one slot's arrivals to the WAL; while inside the replay window
+    /// of a resumed run, first verify the regenerated arrivals match the
+    /// logged ones (divergence means the restored traffic model is not
+    /// reproducing the pre-crash run).
+    pub fn record_arrivals(
+        &mut self,
+        slot: u64,
+        arrivals: &[Option<PortSet>],
+    ) -> Result<(), SimError> {
+        if let Some((logged_slot, logged)) = self.replay.front() {
+            if *logged_slot == slot {
+                if logged.as_slice() != arrivals {
+                    return Err(SimError::Recovery {
+                        message: format!(
+                            "WAL divergence at slot {slot}: replayed arrivals differ from log"
+                        ),
+                    });
+                }
+                self.replay.pop_front();
+                self.replayed += 1;
+            }
+        }
+        self.wal.append(slot, arrivals)
+    }
+}
+
+fn count_checkpoint_files(dir: &Path) -> usize {
+    ["checkpoint-a.bin", "checkpoint-b.bin"]
+        .iter()
+        .filter(|name| dir.join(name).is_file())
+        .count()
+}
+
+/// Truncate `path` to `len` bytes — used to rewind a trace file to the
+/// offset a checkpoint recorded before a resumed run reopens it in
+/// append mode.
+pub fn truncate_file(path: &Path, len: u64) -> Result<(), SimError> {
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_recovery(path, "open for truncate", e))?;
+    f.set_len(len)
+        .map_err(|e| io_recovery(path, "truncate", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{try_simulate_recoverable, Observer, RunConfig, RunResult};
+    use fifoms_core::MulticastVoqSwitch;
+    use fifoms_obs::{CountingWriter, JsonlSink};
+    use fifoms_traffic::BernoulliMulticast;
+    use fifoms_types::PortId;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fifoms-recover-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    fn some_arrivals(n: usize, salt: u64) -> Vec<Option<PortSet>> {
+        (0..n)
+            .map(|i| {
+                if (i as u64 + salt).is_multiple_of(3) {
+                    let mut s = PortSet::new();
+                    s.insert(PortId::new((i + 1) % n));
+                    s.insert(PortId::new((i + salt as usize) % n));
+                    Some(s)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wal_round_trips_and_discards_torn_tail() {
+        let dir = test_dir("wal");
+        let path = dir.join("arrivals.wal");
+        let mut w = WalWriter::open(&path).expect("open");
+        for slot in 0..20u64 {
+            w.append(slot, &some_arrivals(8, slot)).expect("append");
+        }
+        drop(w);
+        let full = read_wal(&path);
+        assert_eq!(full.len(), 20);
+        for (slot, arrivals) in &full {
+            assert_eq!(arrivals, &some_arrivals(8, *slot));
+        }
+        // Tear bytes off the tail: the valid prefix survives, the torn
+        // record is dropped, and nothing panics at any cut point.
+        let bytes = fs::read(&path).expect("read");
+        for cut in (0..bytes.len()).rev().step_by(7) {
+            fs::write(&path, &bytes[..cut]).expect("tear");
+            let prefix = read_wal(&path);
+            assert!(prefix.len() <= 20);
+            assert_eq!(&full[..prefix.len()], prefix.as_slice(), "cut {cut}");
+        }
+        // Flip a bit mid-file: records after the flip are discarded.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        fs::write(&path, &bad).expect("flip");
+        let prefix = read_wal(&path);
+        assert!(prefix.len() < 20);
+        assert_eq!(&full[..prefix.len()], prefix.as_slice());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_skips_corrupt_files_and_falls_back() {
+        let dir = test_dir("store");
+        let store = CheckpointStore::open(&dir).expect("open");
+        store.save(4, b"state-four").expect("save 4");
+        store.save(5, b"state-five").expect("save 5");
+        let best = store.load_candidates();
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].0, 5);
+        assert_eq!(best[0].1, b"state-five");
+        // Corrupt the newest (seq 5 → checkpoint-b.bin): fallback returns
+        // the older valid file instead.
+        let b = dir.join("checkpoint-b.bin");
+        let mut bytes = fs::read(&b).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&b, &bytes).expect("corrupt");
+        let best = store.load_candidates();
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].0, 4);
+        assert_eq!(best[0].1, b"state-four");
+        // Truncate the survivor too: no candidates, never a panic.
+        let a = dir.join("checkpoint-a.bin");
+        let bytes = fs::read(&a).expect("read");
+        fs::write(&a, &bytes[..bytes.len() / 3]).expect("truncate");
+        assert!(store.load_candidates().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_on_empty_dir_starts_fresh() {
+        let dir = test_dir("empty");
+        let rec = RecoveryRuntime::open(&CheckpointConfig {
+            dir: dir.clone(),
+            every: 100,
+        })
+        .expect("open");
+        assert!(!rec.is_resuming());
+        assert!(rec.resume_info().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_interval_is_a_usage_error() {
+        let dir = test_dir("zero");
+        let err = match RecoveryRuntime::fresh(&CheckpointConfig {
+            dir: dir.clone(),
+            every: 0,
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("zero interval accepted"),
+        };
+        assert!(matches!(err, SimError::Usage(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn run_to_completion(
+        dir: &Path,
+        trace: &Path,
+        cfg: &RunConfig,
+        every: u64,
+        kill: Option<u64>,
+        resume: bool,
+    ) -> Result<RunResult, SimError> {
+        let mut switch = MulticastVoqSwitch::new(8, 3);
+        let mut traffic = BernoulliMulticast::new(8, 0.3, 0.25, 9).expect("traffic");
+        let ck = CheckpointConfig {
+            dir: dir.to_path_buf(),
+            every,
+        };
+        let mut rec = if resume {
+            RecoveryRuntime::open(&ck)?
+        } else {
+            RecoveryRuntime::fresh(&ck)?
+        };
+        if let Some(slot) = kill {
+            rec.kill_at(slot);
+        }
+        let file = if resume {
+            if let Some(offset) = rec.trace_resume_offset() {
+                truncate_file(trace, offset)?;
+            }
+            fs::OpenOptions::new()
+                .append(true)
+                .open(trace)
+                .expect("reopen trace")
+        } else {
+            fs::File::create(trace).expect("create trace")
+        };
+        let (writer, offset) = CountingWriter::new(file);
+        rec.attach_trace(offset);
+        let sink = JsonlSink::new(writer);
+        let mut obs = Observer {
+            sink: Some((&sink, "recover-test")),
+            profiler: None,
+            telemetry: None,
+        };
+        try_simulate_recoverable(&mut switch, &mut traffic, cfg, &mut obs, &mut rec)
+    }
+
+    #[test]
+    fn killed_run_recovers_bit_identically() {
+        let cfg = RunConfig {
+            slots: 2_000,
+            warmup: 500,
+            backlog_cap: 100_000,
+            sample_every: 50,
+        };
+        // Reference: the same recoverable run, never killed.
+        let ref_dir = test_dir("ref");
+        let ref_trace = ref_dir.join("trace.jsonl");
+        let reference =
+            run_to_completion(&ref_dir, &ref_trace, &cfg, 400, None, false).expect("reference");
+
+        // Kill at a slot between checkpoints, then resume: the replay gap
+        // (1200..1300) is verified against the WAL.
+        let dir = test_dir("kill");
+        let trace = dir.join("trace.jsonl");
+        let err = run_to_completion(&dir, &trace, &cfg, 400, Some(1_300), false)
+            .expect_err("kill must abort");
+        assert_eq!(err, SimError::Killed { slot: 1_300 });
+        let recovered = run_to_completion(&dir, &trace, &cfg, 400, None, true).expect("recover");
+
+        assert_eq!(recovered.slots_run, reference.slots_run);
+        assert_eq!(recovered.packets_admitted, reference.packets_admitted);
+        assert_eq!(recovered.copies_delivered, reference.copies_delivered);
+        assert_eq!(
+            recovered.throughput.to_bits(),
+            reference.throughput.to_bits()
+        );
+        assert_eq!(
+            recovered.delay.mean_output_oriented.to_bits(),
+            reference.delay.mean_output_oriented.to_bits()
+        );
+        assert_eq!(
+            recovered.occupancy.mean.to_bits(),
+            reference.occupancy.mean.to_bits()
+        );
+        assert_eq!(
+            recovered.mean_rounds.to_bits(),
+            reference.mean_rounds.to_bits()
+        );
+        let ref_bytes = fs::read(&ref_trace).expect("read reference trace");
+        let rec_bytes = fs::read(&trace).expect("read recovered trace");
+        assert!(!ref_bytes.is_empty());
+        assert_eq!(ref_bytes, rec_bytes, "traces must be byte-identical");
+        // The WALs converge too.
+        assert_eq!(
+            fs::read(ref_dir.join("arrivals.wal")).expect("ref wal"),
+            fs::read(dir.join("arrivals.wal")).expect("rec wal")
+        );
+        let _ = fs::remove_dir_all(&ref_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_gap() {
+        let cfg = RunConfig::quick(1_000);
+        let dir = test_dir("gap");
+        let trace = dir.join("trace.jsonl");
+        let err = run_to_completion(&dir, &trace, &cfg, 200, Some(650), false)
+            .expect_err("kill must abort");
+        assert_eq!(err, SimError::Killed { slot: 650 });
+
+        let ck = CheckpointConfig {
+            dir: dir.clone(),
+            every: 200,
+        };
+        let rec = RecoveryRuntime::open(&ck).expect("open");
+        let info = rec.resume_info().expect("resuming");
+        assert_eq!(info.slot, 600);
+        assert_eq!(info.seq, 3);
+        assert_eq!(info.wal_records, 50, "slots 600..650 were logged");
+        assert_eq!(info.rejected, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -67,6 +67,33 @@ impl DelayStats {
         }
     }
 
+    /// The recorder's component estimators
+    /// `(input_oriented, output_oriented, input_hist, output_hist)` for
+    /// checkpoint serialisation.
+    pub fn raw(&self) -> (&RunningStat, &RunningStat, &Histogram, &Histogram) {
+        (
+            &self.input_oriented,
+            &self.output_oriented,
+            &self.input_hist,
+            &self.output_hist,
+        )
+    }
+
+    /// Rebuild a recorder from components captured by [`DelayStats::raw`].
+    pub fn from_raw(
+        input_oriented: RunningStat,
+        output_oriented: RunningStat,
+        input_hist: Histogram,
+        output_hist: Histogram,
+    ) -> DelayStats {
+        DelayStats {
+            input_oriented,
+            output_oriented,
+            input_hist,
+            output_hist,
+        }
+    }
+
     /// Average input-oriented delay (slots).
     pub fn mean_input_oriented(&self) -> f64 {
         self.input_oriented.mean()

@@ -65,6 +65,39 @@ impl Histogram {
         }
     }
 
+    /// The histogram's raw fields
+    /// `(buckets, overflow_count, overflow_sum, total, sum, max)` for
+    /// checkpoint serialisation.
+    pub fn raw(&self) -> (&[u64], u64, u128, u64, u128, u64) {
+        (
+            &self.buckets,
+            self.overflow_count,
+            self.overflow_sum,
+            self.total,
+            self.sum,
+            self.max,
+        )
+    }
+
+    /// Rebuild a histogram from fields captured by [`Histogram::raw`].
+    pub fn from_raw(
+        buckets: Vec<u64>,
+        overflow_count: u64,
+        overflow_sum: u128,
+        total: u64,
+        sum: u128,
+        max: u64,
+    ) -> Histogram {
+        Histogram {
+            buckets,
+            overflow_count,
+            overflow_sum,
+            total,
+            sum,
+            max,
+        }
+    }
+
     /// Total number of observations.
     #[inline]
     pub fn count(&self) -> u64 {

@@ -81,6 +81,22 @@ impl Log2Histogram {
         self.max = self.max.max(value);
     }
 
+    /// The histogram's raw fields `(buckets, count, sum, max)` for
+    /// checkpoint serialisation.
+    pub fn raw(&self) -> (&[u64; 65], u64, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.max)
+    }
+
+    /// Rebuild a histogram from fields captured by [`Log2Histogram::raw`].
+    pub fn from_raw(buckets: [u64; 65], count: u64, sum: u64, max: u64) -> Log2Histogram {
+        Log2Histogram {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count

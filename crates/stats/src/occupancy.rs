@@ -53,6 +53,25 @@ impl OccupancyTracker {
         }
     }
 
+    /// The tracker's raw fields `(per_port, overall, max)` for checkpoint
+    /// serialisation.
+    pub fn raw(&self) -> (&[RunningStat], &RunningStat, usize) {
+        (&self.per_port, &self.overall, self.max)
+    }
+
+    /// Rebuild a tracker from fields captured by [`OccupancyTracker::raw`].
+    pub fn from_raw(
+        per_port: Vec<RunningStat>,
+        overall: RunningStat,
+        max: usize,
+    ) -> OccupancyTracker {
+        OccupancyTracker {
+            per_port,
+            overall,
+            max,
+        }
+    }
+
     /// Average queue size over all samples (ports × slots).
     pub fn mean(&self) -> f64 {
         self.overall.mean()

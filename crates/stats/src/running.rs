@@ -59,6 +59,26 @@ impl RunningStat {
         self.push(x as f64);
     }
 
+    /// The accumulator's raw fields `(count, mean, m2, min, max)` for
+    /// checkpoint serialisation. Floats must travel as bit patterns to
+    /// round-trip exactly; [`RunningStat::from_raw`] rebuilds the
+    /// identical accumulator.
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from fields captured by
+    /// [`RunningStat::raw`].
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> RunningStat {
+        RunningStat {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     #[inline]
     pub fn count(&self) -> u64 {

@@ -81,6 +81,20 @@ impl SaturationDetector {
         self.cap_hit
     }
 
+    /// The detector's mutable state `(samples, cap_hit)` for checkpoint
+    /// serialisation (the cap and trend thresholds are configuration and
+    /// are rebuilt by the caller).
+    pub fn raw(&self) -> (&[usize], bool) {
+        (&self.samples, self.cap_hit)
+    }
+
+    /// Restore mutable state captured by [`SaturationDetector::raw`] into
+    /// a freshly configured detector.
+    pub fn restore_raw(&mut self, samples: Vec<usize>, cap_hit: bool) {
+        self.samples = samples;
+        self.cap_hit = cap_hit;
+    }
+
     /// Whether the cap has been hit so far.
     pub fn cap_hit(&self) -> bool {
         self.cap_hit

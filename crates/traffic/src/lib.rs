@@ -42,7 +42,7 @@ pub use trace::{Trace, TraceRecorder, TraceSource};
 pub use unicast::{DiagonalUnicast, HotspotUnicast, UniformUnicast};
 pub use uniform::UniformFanout;
 
-use fifoms_types::{PortSet, Slot};
+use fifoms_types::{PortSet, Slot, StateError};
 
 /// A synchronous-slot traffic source for an `N×N` switch.
 ///
@@ -78,6 +78,28 @@ pub trait TrafficModel {
 
     /// Short human-readable name for reports.
     fn name(&self) -> String;
+
+    /// Serialise the model's mutable state (RNG cursors, burst phases) as
+    /// an opaque checkpoint blob.
+    ///
+    /// The default refuses with [`StateError::Unsupported`] naming the
+    /// model, so a checkpointed run over a non-checkpointable source fails
+    /// loudly at the first checkpoint rather than silently replaying
+    /// different arrivals after recovery.
+    fn save_state(&self) -> Result<Vec<u8>, StateError> {
+        Err(StateError::Unsupported {
+            component: self.name(),
+        })
+    }
+
+    /// Restore state captured by [`TrafficModel::save_state`] into a model
+    /// built with the same parameters.
+    fn load_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let _ = blob;
+        Err(StateError::Unsupported {
+            component: self.name(),
+        })
+    }
 }
 
 /// Statistics helpers shared by tests and the experiment harness.

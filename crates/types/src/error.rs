@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use crate::{PacketId, PortId, Slot};
+use crate::{PacketId, PortId, Slot, StateError};
 
 /// Errors raised when validating model configuration.
 ///
@@ -276,6 +276,20 @@ pub enum SimError {
         /// Human-readable description of the disagreement.
         message: String,
     },
+    /// A run checkpoint could not be encoded, decoded or applied.
+    State(StateError),
+    /// The run was deliberately killed at this slot (fault-injection hook
+    /// for kill-and-recover testing; never produced by a normal run).
+    Killed {
+        /// Slot at which the kill fired.
+        slot: u64,
+    },
+    /// Crash recovery failed: no usable checkpoint, WAL divergence, or a
+    /// restart budget exhausted by the supervisor.
+    Recovery {
+        /// Human-readable description of the failure.
+        message: String,
+    },
     /// Invalid command-line usage.
     Usage(String),
 }
@@ -302,6 +316,9 @@ impl fmt::Display for SimError {
             SimError::JournalMismatch { message } => {
                 write!(f, "checkpoint journal mismatch: {message}")
             }
+            SimError::State(e) => write!(f, "checkpoint state: {e}"),
+            SimError::Killed { slot } => write!(f, "run killed at slot {slot}"),
+            SimError::Recovery { message } => write!(f, "recovery failed: {message}"),
             SimError::Usage(msg) => write!(f, "{msg}"),
         }
     }
@@ -312,6 +329,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Invariant(v) => Some(v),
+            SimError::State(e) => Some(e),
             _ => None,
         }
     }
@@ -326,6 +344,12 @@ impl From<TypeError> for SimError {
 impl From<InvariantViolation> for SimError {
     fn from(v: InvariantViolation) -> SimError {
         SimError::Invariant(v)
+    }
+}
+
+impl From<StateError> for SimError {
+    fn from(e: StateError) -> SimError {
+        SimError::State(e)
     }
 }
 

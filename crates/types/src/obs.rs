@@ -324,6 +324,39 @@ pub enum ObsEvent {
         /// backlog cap aborted the run).
         slots_run: u64,
     },
+    /// The engine persisted a crash-recovery checkpoint (see `DESIGN.md`
+    /// §15). Emitted *after* the trace byte offset stored inside the
+    /// checkpoint was captured, so a recovery that truncates the trace to
+    /// that offset and resumes re-emits this exact event — recovered and
+    /// uninterrupted traces stay bit-identical.
+    CheckpointWritten {
+        /// The slot about to execute when the state was captured.
+        slot: Slot,
+        /// Monotonic checkpoint sequence number (`slot / interval`, so it
+        /// is deterministic across recoveries).
+        seq: u64,
+        /// Size of the framed checkpoint blob in bytes.
+        bytes: u64,
+    },
+    /// A supervisor began restoring a run from a checkpoint. Emitted to
+    /// the *supervisor's* event log, never to the deterministic run trace
+    /// (an uninterrupted run has no recoveries, so trace-level emission
+    /// would break bit-identity).
+    RecoveryStarted {
+        /// The slot execution will resume from (the checkpoint's slot).
+        slot: Slot,
+        /// Sequence number of the checkpoint being restored.
+        seq: u64,
+    },
+    /// A restore finished: state was loaded and the write-ahead arrival
+    /// log replayed up to the crash frontier. Supervisor-log only, like
+    /// [`ObsEvent::RecoveryStarted`].
+    RecoveryCompleted {
+        /// The first slot executed live after replay.
+        slot: Slot,
+        /// Write-ahead-log slots replayed deterministically.
+        replayed: u64,
+    },
 }
 
 impl ObsEvent {
@@ -349,6 +382,9 @@ impl ObsEvent {
             ObsEvent::WindowMeta { .. } => "window_meta",
             ObsEvent::WindowSummary { .. } => "window_summary",
             ObsEvent::RunEnd { .. } => "run_end",
+            ObsEvent::CheckpointWritten { .. } => "checkpoint_written",
+            ObsEvent::RecoveryStarted { .. } => "recovery_started",
+            ObsEvent::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -372,7 +408,10 @@ impl ObsEvent {
             | ObsEvent::PacketCompleted { slot, .. }
             | ObsEvent::AdmissionDropped { slot, .. }
             | ObsEvent::VoqHighWater { slot, .. }
-            | ObsEvent::OverloadLevel { slot, .. } => Some(*slot),
+            | ObsEvent::OverloadLevel { slot, .. }
+            | ObsEvent::CheckpointWritten { slot, .. }
+            | ObsEvent::RecoveryStarted { slot, .. }
+            | ObsEvent::RecoveryCompleted { slot, .. } => Some(*slot),
         }
     }
 }

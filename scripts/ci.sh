@@ -42,7 +42,16 @@
 #      snapshot and Prometheus outputs attached, the JSONL stream
 #      schema-validated record-by-record and the snapshot rendered by
 #      `fifoms-repro top --once` (the consumer path: the snapshot is
-#      validated against schemas/snapshot.schema.json before rendering).
+#      validated against schemas/snapshot.schema.json before rendering);
+#  13. a kill-and-recover smoke: `serve --die-at-slot` crashes the first
+#      worker attempt mid-run, the supervisor restarts it from the
+#      newest checkpoint, and the recovered statistics line must equal
+#      an uninterrupted reference run's byte-for-byte (the bit-identical
+#      recovery invariant, end to end through the CLI); the supervisor's
+#      recovery_started/recovery_completed JSONL log is also checked.
+#      (The chaos smoke in stage 8 already runs the checkpoint-corruption
+#      campaign — torn write, bit flip, truncation, stale tmp — as part
+#      of the same invocation.)
 #
 # Run from anywhere inside the repository.
 
@@ -117,5 +126,22 @@ grep -q 'fifoms_slots_total' "$tmp/metrics.prom"
 cargo run --release --quiet -p fifoms-cli -- top "$tmp/snap.json" --once \
   --timeseries "$tmp/ts.jsonl" | tee "$tmp/top.txt"
 grep -q "window" "$tmp/top.txt"
+
+echo "== kill-and-recover smoke (serve crash + bit-identical resume) =="
+cargo run --release --quiet -p fifoms-cli -- serve \
+  --state-dir "$tmp/serve-ref" --n 8 --slots 12000 --checkpoint-every 3000 \
+  --seed 2026 | tee "$tmp/serve-ref.txt"
+cargo run --release --quiet -p fifoms-cli -- serve \
+  --state-dir "$tmp/serve-kill" --n 8 --slots 12000 --checkpoint-every 3000 \
+  --seed 2026 --die-at-slot 10000 --out "$tmp/supervisor.jsonl" \
+  | tee "$tmp/serve-kill.txt"
+grep -q "resumed from checkpoint seq 3" "$tmp/serve-kill.txt"
+grep -q '"event":"recovery_started"' "$tmp/supervisor.jsonl"
+grep -q '"event":"recovery_completed"' "$tmp/supervisor.jsonl"
+# The statistics line of the recovered session must match the
+# uninterrupted reference exactly — bit-identical recovery.
+diff <(grep "admitted" "$tmp/serve-ref.txt") \
+     <(grep "admitted" "$tmp/serve-kill.txt")
+grep -q "checkpoint-corruption campaign" "$tmp/chaos.txt"
 
 echo "CI checks passed."

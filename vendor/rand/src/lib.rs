@@ -276,6 +276,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words, for checkpoint/restore.
+        ///
+        /// Restoring the exact words with [`SmallRng::from_state`] resumes
+        /// the stream at precisely the next output; no draws are replayed.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from state words captured by
+        /// [`SmallRng::state`].
+        ///
+        /// The all-zero state is the xoshiro fixed point and is mapped to
+        /// `seed_from_u64(0)`, mirroring `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> SmallRng {
+            if s == [0u64; 4] {
+                return SmallRng::seed_from_u64(0);
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
