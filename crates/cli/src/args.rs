@@ -66,6 +66,12 @@ pub struct Options {
     /// Regenerate the lint baseline instead of gating (`lint
     /// --write-baseline`).
     pub write_baseline: bool,
+    /// Print the documentation for one lint rule and exit (`lint
+    /// --explain R7`).
+    pub explain: Option<String>,
+    /// Append a `fifoms-lint-stats-v1` rule-hit row to the results
+    /// ledger (`lint --stats`).
+    pub stats: bool,
     /// Per-VOQ address-cell cap for `overload` (`0` = unbounded).
     pub voq_cap: usize,
     /// Per-input aggregate copy cap for `overload` (`0` = unbounded).
@@ -135,6 +141,8 @@ impl Default for Options {
             scenarios: 12,
             scenario: None,
             write_baseline: false,
+            explain: None,
+            stats: false,
             voq_cap: 16,
             input_cap: 64,
             timeseries_out: None,
@@ -194,6 +202,7 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             "--quick" => quick = true,
             "--smoke" => opts.smoke = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--stats" => opts.stats = true,
             "--plot" => opts.plot = true,
             "--inject-faults" => opts.inject_faults = true,
             "--progress" => opts.progress = true,
@@ -206,7 +215,7 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
             | "--timeseries-out" | "--snapshot-out" | "--prom-out" | "--window"
             | "--interval-ms" | "--timeseries" | "--ledger" | "--ledger-note"
             | "--state-dir" | "--checkpoint-every" | "--die-at-slot" | "--max-restarts"
-            | "--load" => {
+            | "--load" | "--explain" => {
                 let value = it
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -252,6 +261,7 @@ pub fn parse(argv: &[String]) -> Result<(String, Options), String> {
                     "--die-at-slot" => opts.die_at = Some(parse_num(arg, value)?),
                     "--max-restarts" => opts.max_restarts = parse_num(arg, value)?,
                     "--load" => opts.load = parse_num(arg, value)?,
+                    "--explain" => opts.explain = Some(value.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -629,6 +639,20 @@ mod tests {
         assert_eq!(o.ledger.as_deref(), Some("results/bench_ledger.jsonl"));
         assert_eq!(o.ledger_note.as_deref(), Some("abc123"));
         assert!(parse(&argv("check-bench --ledger")).is_err());
+    }
+
+    #[test]
+    fn lint_flags() {
+        let (cmd, o) = parse(&argv("lint --explain R7")).unwrap();
+        assert_eq!(cmd, "lint");
+        assert_eq!(o.explain.as_deref(), Some("R7"));
+        assert!(!o.stats);
+
+        let (_, o) = parse(&argv("lint --stats --ledger results/l.jsonl")).unwrap();
+        assert!(o.stats);
+        assert_eq!(o.ledger.as_deref(), Some("results/l.jsonl"));
+
+        assert!(parse(&argv("lint --explain")).is_err());
     }
 
     #[test]

@@ -21,6 +21,9 @@ use crate::args::Options;
 
 /// Entry point for `fifoms-repro lint`.
 pub fn lint(opts: &Options) -> Result<(), SimError> {
+    if let Some(rule) = opts.explain.as_deref() {
+        return explain(rule);
+    }
     let root = discover_root()?;
     let report = engine::lint_root(&root).map_err(SimError::Usage)?;
     let baseline = match opts.baseline.as_deref() {
@@ -79,6 +82,34 @@ pub fn lint(opts: &Options) -> Result<(), SimError> {
         println!("lint: wrote {json_path}");
     }
 
+    if opts.stats {
+        let ledger = opts
+            .ledger
+            .as_deref()
+            .unwrap_or("results/bench_ledger.jsonl");
+        let mut doc = Json::object();
+        doc.set("schema", "fifoms-lint-stats-v1");
+        doc.set("files_scanned", report.files_scanned);
+        doc.set("findings", report.findings.len());
+        doc.set("new", g.new.len());
+        doc.set("baselined", g.baselined);
+        let rows: Vec<Json> = fifoms_lint::RULES
+            .iter()
+            .map(|(id, _, _)| {
+                let mut row = Json::object();
+                row.set("rule", *id);
+                row.set(
+                    "findings",
+                    report.findings.iter().filter(|f| f.rule == *id).count(),
+                );
+                row
+            })
+            .collect();
+        doc.set("rules", Json::Arr(rows));
+        crate::obscmd::append_jsonl(ledger, &doc)?;
+        println!("lint: appended fifoms-lint-stats-v1 row to {ledger}");
+    }
+
     if opts.write_baseline {
         let path = opts.baseline.as_deref().unwrap_or("lint-baseline.json");
         let counts = engine::key_counts(&report.findings);
@@ -89,9 +120,47 @@ pub fn lint(opts: &Options) -> Result<(), SimError> {
             counts.len(),
             report.findings.len()
         );
+        // Re-anchor the checkpoint-state fingerprint manifest alongside
+        // the baseline: R8 drift detection compares future runs to the
+        // fingerprints captured here.
+        let manifest = root.join(engine::STATE_MANIFEST_REL);
+        std::fs::write(&manifest, &report.state_manifest)
+            .map_err(|e| SimError::Usage(format!("{}: {e}", manifest.display())))?;
+        println!("lint: wrote {} (state fingerprints)", manifest.display());
         return Ok(());
     }
     finish(&report, &g)
+}
+
+/// `lint --explain <RULE>`: print one rule's documentation card — what
+/// it enforces, why the discipline exists, a violating example and the
+/// sanctioned escape hatch.
+fn explain(rule: &str) -> Result<(), SimError> {
+    let id = rule.to_ascii_uppercase();
+    let Some((id, rationale, example, escape)) = fifoms_lint::RULE_DOCS
+        .iter()
+        .find(|(r, _, _, _)| *r == id)
+    else {
+        return Err(SimError::Usage(format!(
+            "lint: unknown rule {rule:?} (expected one of {})",
+            fifoms_lint::RULE_DOCS
+                .iter()
+                .map(|(r, _, _, _)| *r)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    };
+    let name = fifoms_lint::RULES
+        .iter()
+        .find(|(r, _, _)| r == id)
+        .map(|(_, n, _)| *n)
+        .unwrap_or("");
+    println!("{id} — {name}");
+    println!();
+    println!("why      {rationale}");
+    println!("example  {example}");
+    println!("escape   {escape}");
+    Ok(())
 }
 
 fn finish(_report: &Report, g: &Gate) -> Result<(), SimError> {

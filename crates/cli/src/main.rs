@@ -107,11 +107,16 @@
 //!
 //! lint runs the fifoms-lint source disciplines (R1 determinism, R2
 //! timestamp preservation, R3 panic freedom, R4 event vocabulary, R5
-//! SAFETY/INVARIANT audit, R6 fingerprint floats) over the workspace and
-//! exits nonzero on any finding beyond the baseline:
+//! SAFETY/INVARIANT audit, R6 fingerprint floats, R7 wrapper forwarding,
+//! R8 checkpoint coverage, R9 schema drift, R10 guarded indexing) over
+//! the workspace and exits nonzero on any finding beyond the baseline:
 //!   --baseline <PATH>    grandfathered-findings allowlist to gate against
 //!   --json <PATH>        write the fifoms-lint-v1 report (schema-checked)
-//!   --write-baseline     regenerate the baseline from current findings
+//!   --write-baseline     regenerate the baseline (and the R8 state
+//!                        fingerprint manifest) from current findings
+//!   --explain <RULE>     print one rule's documentation card and exit
+//!   --stats              append a fifoms-lint-stats-v1 rule-hit row to
+//!                        results/bench_ledger.jsonl (--ledger overrides)
 //! ```
 //!
 //! Each figure command prints the paper's four statistics (input-oriented
@@ -143,7 +148,7 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|perf-diff|alloc-audit|analyze|chaos|lint|overload|top> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--voq-cap C] [--input-cap C] [--timeseries-out PATH] [--snapshot-out PATH] [--prom-out PATH] [--window S] [--once] [--interval-ms MS] [--timeseries PATH] [--ledger PATH] [--ledger-note S]");
+            eprintln!("usage: fifoms-repro <fig4|fig5|fig6|fig7|fig8|all|ablation|throughput|scaling|fairness|oq-speedup|mixed|record|replay|sweep|profile|check-bench|perf-diff|alloc-audit|analyze|chaos|lint|overload|top|serve> [--n N] [--slots S] [--seed K] [--points P] [--threads T] [--csv-dir DIR] [--plot] [--quick] [--journal PATH] [--resume PATH] [--check-every K] [--cell-timeout SEC] [--inject-faults] [--retries R] [--trace-out PATH] [--metrics-out PATH] [--progress] [--packet-trace all|1/K|ring:C] [--out PATH] [--sample-every K] [--baseline PATH] [--current PATH] [--tolerance F] [--compare PATH] [--json PATH] [--scenarios C] [--smoke] [--scenario SPEC] [--write-baseline] [--explain RULE] [--stats] [--voq-cap C] [--input-cap C] [--timeseries-out PATH] [--snapshot-out PATH] [--prom-out PATH] [--window S] [--once] [--interval-ms MS] [--timeseries PATH] [--ledger PATH] [--ledger-note S] [--state-dir DIR] [--checkpoint-every K] [--die-at-slot T] [--max-restarts R] [--load P]");
             return ExitCode::FAILURE;
         }
     };

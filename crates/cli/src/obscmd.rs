@@ -138,22 +138,31 @@ fn append_ledger(ledger: &str, source: &str, note: Option<&str>) -> Result<(), S
         })
         .collect();
     doc.set("rows", Json::Arr(rows));
-    if let Some(parent) = std::path::Path::new(ledger).parent() {
+    append_jsonl(ledger, &doc)?;
+    println!(
+        "check-bench: appended {} cell(s) from {source} to {ledger}",
+        cells.len()
+    );
+    Ok(())
+}
+
+/// Append one JSON document as a line to a JSONL ledger, creating parent
+/// directories as needed. Shared by the bench ledger (`check-bench
+/// --ledger`) and the lint rule-hit ledger (`lint --stats`) so every
+/// history file in `results/` is written the same way.
+pub(crate) fn append_jsonl(path: &str, doc: &Json) -> Result<(), SimError> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(|e| io_err(ledger, e))?;
+            std::fs::create_dir_all(parent).map_err(|e| io_err(path, e))?;
         }
     }
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(ledger)
-        .map_err(|e| io_err(ledger, e))?;
-    writeln!(f, "{doc}").map_err(|e| io_err(ledger, e))?;
-    println!(
-        "check-bench: appended {} cell(s) from {source} to {ledger}",
-        cells.len()
-    );
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    writeln!(f, "{doc}").map_err(|e| io_err(path, e))?;
     Ok(())
 }
 

@@ -148,3 +148,72 @@ fn real_workspace_is_clean_with_committed_baseline() {
     );
     assert!(stdout.contains("lint: clean"), "{stdout}");
 }
+
+/// Deleting a forwarding method from `InstrumentedSwitch` must trip R7
+/// end-to-end through the binary. The synthetic workspace holds copies
+/// of the REAL `Switch` trait and wrapper sources, so this test breaks
+/// the moment the actual forwarding discipline and the lint disagree —
+/// not just when a hand-written toy does.
+#[test]
+fn r7_catches_a_deleted_forwarding_method_in_the_real_wrapper() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let trait_src =
+        std::fs::read_to_string(repo.join("crates/fabric/src/switch.rs")).expect("read trait");
+    let wrapper_src = std::fs::read_to_string(repo.join("crates/fabric/src/instrument.rs"))
+        .expect("read wrapper");
+
+    let ws = std::env::temp_dir().join(format!("fifoms-lint-r7-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ws);
+    std::fs::create_dir_all(ws.join("crates/fabric/src")).expect("mkdir fabric");
+    std::fs::write(ws.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    std::fs::write(ws.join("crates/fabric/src/switch.rs"), &trait_src).expect("write trait");
+    let wrapper = ws.join("crates/fabric/src/instrument.rs");
+    std::fs::write(&wrapper, &wrapper_src).expect("write wrapper");
+
+    // Two passes: the first registers the checkpoint-state fingerprint
+    // manifest, the second locks in a clean baseline against it.
+    assert!(repro_in(&ws, &["lint", "--write-baseline"]).status.success());
+    assert!(repro_in(&ws, &["lint", "--write-baseline"]).status.success());
+    let clean = repro_in(&ws, &["lint", "--baseline", "lint-baseline.json"]);
+    assert!(
+        clean.status.success(),
+        "real trait + wrapper copies must start clean:\n{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Surgically delete the `drain_spans` override (signature through
+    // matching close brace), exactly what a careless refactor would do.
+    let at = wrapper_src
+        .find("fn drain_spans")
+        .expect("wrapper forwards drain_spans");
+    let open = at + wrapper_src[at..].find('{').expect("method body opens");
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in wrapper_src[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i + c.len_utf8());
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close.expect("method body closes");
+    let broken = format!("{}{}", &wrapper_src[..at], &wrapper_src[close..]);
+    std::fs::write(&wrapper, broken).expect("rewrite wrapper");
+
+    let gated = repro_in(&ws, &["lint", "--baseline", "lint-baseline.json"]);
+    let stdout = String::from_utf8_lossy(&gated.stdout);
+    assert!(
+        !gated.status.success(),
+        "R7 must fail the gate on the deleted forward:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[R7]") && stdout.contains("drain_spans"),
+        "missing-forward diagnostic expected:\n{stdout}"
+    );
+}

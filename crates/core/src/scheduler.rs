@@ -254,6 +254,7 @@ impl FifomsScheduler {
             let lap = timing.then(SpanTimer::start);
             for ((i, port), slot) in ports.iter().enumerate().zip(smallest.iter_mut()) {
                 *slot = None;
+                debug_assert!(i < input_free.len(), "input_free resized to n at entry");
                 if !input_free[i] {
                     // The input already sent grants this slot; its other
                     // same-stamp HOL cells lost their outputs' arbitration
@@ -262,6 +263,7 @@ impl FifomsScheduler {
                     continue;
                 }
                 for (o, cell) in port.voqs().hol_cells() {
+                    debug_assert!(o.index() < output_free.len(), "square switch: o < n");
                     if output_free[o.index()]
                         && path_live(i, o)
                         && slot.is_none_or(|ts| cell.time_stamp < ts)
@@ -283,6 +285,7 @@ impl FifomsScheduler {
             for ((i, port), &slot) in ports.iter().enumerate().zip(smallest.iter()) {
                 let Some(stamp) = slot else { continue };
                 for (o, cell) in port.voqs().hol_cells() {
+                    debug_assert!(o.index() < output_free.len(), "square switch: o < n");
                     if output_free[o.index()] && path_live(i, o) && cell.time_stamp == stamp {
                         // `o < n` (square-switch invariant), so the lookup
                         // always hits.
@@ -308,6 +311,7 @@ impl FifomsScheduler {
             let mut matched = false;
             let fanout_cap = config.max_grant_fanout.unwrap_or(usize::MAX);
             for (o, req) in requests.iter().enumerate() {
+                debug_assert!(o < output_free.len(), "requests and output_free both sized n");
                 if !output_free[o] || req.is_empty() {
                     continue;
                 }
@@ -325,6 +329,10 @@ impl FifomsScheduler {
                     continue;
                 };
                 let winner = Self::pick_winner(config, *rotate, req, min_ts, grants, fanout_cap, rng);
+                debug_assert!(
+                    winner < input_free.len() && winner < grants.len(),
+                    "pick_winner returns a requester input, and requesters are < n"
+                );
                 output_free[o] = false;
                 input_free[winner] = false;
                 grants[winner].insert(PortId::new(o));

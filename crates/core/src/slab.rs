@@ -85,15 +85,21 @@ impl DataCellSlab {
         self.live += 1;
         match self.free_head {
             Some(idx) => {
-                let next = match self.entries[idx as usize] {
+                let i = idx as usize;
+                debug_assert!(
+                    i < self.entries.len() && i < self.generations.len(),
+                    "free head always points inside the slab"
+                );
+                let next = match self.entries[i] {
                     SlabEntry::Free(next) => next,
+                    // fifoms-lint: allow(R3) INVARIANT: the free list links only Free entries; a Live hit is slab corruption the run must not survive
                     SlabEntry::Live(_) => unreachable!("free list points at live cell"),
                 };
                 self.free_head = next;
-                self.entries[idx as usize] = SlabEntry::Live(cell);
+                self.entries[i] = SlabEntry::Live(cell);
                 DataCellKey {
                     index: idx,
-                    generation: self.generations[idx as usize],
+                    generation: self.generations[i],
                 }
             }
             None => {
@@ -111,7 +117,7 @@ impl DataCellSlab {
     fn check_key(&self, key: DataCellKey) -> usize {
         let idx = key.index as usize;
         assert!(
-            idx < self.entries.len() && self.generations[idx] == key.generation,
+            idx < self.entries.len() && self.generations.get(idx) == Some(&key.generation),
             "stale data cell key {key:?}"
         );
         idx
@@ -126,6 +132,7 @@ impl DataCellSlab {
         let idx = self.check_key(key);
         match &self.entries[idx] {
             SlabEntry::Live(cell) => cell,
+            // fifoms-lint: allow(R3) INVARIANT: documented # Panics contract — a freed key is caller corruption, not a recoverable error
             SlabEntry::Free(_) => panic!("data cell {key:?} already destroyed"),
         }
     }
@@ -146,6 +153,7 @@ impl DataCellSlab {
                 cell.fanout_counter -= 1;
                 cell.fanout_counter == 0
             }
+            // fifoms-lint: allow(R3) INVARIANT: documented # Panics contract — serving a freed cell would corrupt fanout accounting
             SlabEntry::Free(_) => panic!("data cell {key:?} already destroyed"),
         };
         if done {
@@ -174,6 +182,7 @@ impl DataCellSlab {
         let idx = self.check_key(key);
         match &mut self.entries[idx] {
             SlabEntry::Live(cell) => cell.fanout_counter += 1,
+            // fifoms-lint: allow(R3) INVARIANT: restore is only valid on a live cell; the caller re-allocates when the serve destroyed it
             SlabEntry::Free(_) => panic!("data cell {key:?} already destroyed"),
         }
     }
@@ -285,12 +294,13 @@ impl DataCellSlab {
     pub fn iter_live(&self) -> impl Iterator<Item = (DataCellKey, &DataCell)> + '_ {
         self.entries
             .iter()
+            .zip(self.generations.iter())
             .enumerate()
-            .filter_map(move |(i, e)| match e {
+            .filter_map(move |(i, (e, generation))| match e {
                 SlabEntry::Live(cell) => Some((
                     DataCellKey {
                         index: i as u32,
-                        generation: self.generations[i],
+                        generation: *generation,
                     },
                     cell,
                 )),

@@ -118,6 +118,7 @@ impl MulticastVoqSwitch {
 
     /// Read-only access to an input port's buffering state.
     pub fn port(&self, input: usize) -> &InputPort {
+        debug_assert!(input < self.ports.len(), "input port id within the switch size");
         &self.ports[input]
     }
 
@@ -270,6 +271,7 @@ impl Switch for MulticastVoqSwitch {
             if grants.is_empty() {
                 continue;
             }
+            debug_assert!(i < self.ports.len(), "grants vector and ports are both sized n");
             let port = &mut self.ports[i];
             // All granted address cells of this input must reference one
             // data cell (they share the smallest time stamp).
@@ -279,6 +281,7 @@ impl Switch for MulticastVoqSwitch {
                     .voqs_mut()
                     .queue_mut(output)
                     .pop_front()
+                    // fifoms-lint: allow(R3) INVARIANT: requests are built from HOL cells, so the scheduler only grants non-empty VOQs
                     .expect("granted VOQ had no HOL cell");
                 match shared_key {
                     None => shared_key = Some(cell.data),
@@ -319,6 +322,10 @@ impl Switch for MulticastVoqSwitch {
             // the fault layer records the structured drop.
             return RetryDisposition::Dropped;
         }
+        debug_assert!(
+            d.input.index() < self.ports.len(),
+            "departures carry in-range input ports"
+        );
         let port = &mut self.ports[d.input.index()];
         // Undo this copy's serve. If sibling copies are still queued the
         // packet's data cell is live — bump its counter back. If this was

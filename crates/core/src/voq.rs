@@ -175,13 +175,13 @@ impl VoqSet {
 
     /// The queue toward `output`.
     pub fn queue(&self, output: PortId) -> &Voq {
-        // fifoms-lint: allow(R3) PortId indices are produced by enumerate over the same fixed N this set was built with
+        // fifoms-lint: allow(R10) PortId indices are produced by enumerate over the same fixed N this set was built with
         &self.queues[output.index()]
     }
 
     /// Mutable queue toward `output`.
     pub fn queue_mut(&mut self, output: PortId) -> &mut Voq {
-        // fifoms-lint: allow(R3) PortId indices are produced by enumerate over the same fixed N this set was built with
+        // fifoms-lint: allow(R10) PortId indices are produced by enumerate over the same fixed N this set was built with
         &mut self.queues[output.index()]
     }
 

@@ -525,7 +525,8 @@ impl<S: Switch> Checkpoint for FaultyFabric<S> {
     // Own state only: the fault tally, pending events, the per-copy retry
     // scoreboard, and the undrained reconciled-drop ledger. The fault
     // timeline itself (`config`, `crosspoints`) is a pure function of the
-    // configuration and is rebuilt by the caller.
+    // configuration and is rebuilt by the caller, as is the
+    // `record_events` observability toggle.
     fn write_state(&self, w: &mut StateWriter) {
         w.put_u64(self.stats.packets_offered);
         w.put_u64(self.stats.packets_dropped);

@@ -195,7 +195,10 @@ impl<S: Switch> InstrumentedSwitch<S> {
         let mut completed = 0u32;
         for d in &outcome.departures {
             match per_input.binary_search_by_key(&d.input.0, |&(i, _)| i) {
-                Ok(idx) => per_input[idx].1 += 1,
+                Ok(idx) => {
+                    debug_assert!(idx < per_input.len(), "binary_search Ok is in bounds");
+                    per_input[idx].1 += 1
+                }
                 Err(idx) => per_input.insert(idx, (d.input.0, 1)),
             }
             if d.last_copy {

@@ -50,6 +50,10 @@ impl FaultScoreboard {
     }
 
     fn idx(&self, input: PortId, output: PortId) -> usize {
+        debug_assert!(
+            input.index() < self.ports && output.index() < self.ports,
+            "port outside the N*N scoreboard grid"
+        );
         input.index() * self.ports + output.index()
     }
 

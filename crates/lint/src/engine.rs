@@ -18,7 +18,13 @@ use std::path::{Path, PathBuf};
 use fifoms_obs::Json;
 
 use crate::matcher::Matcher;
-use crate::rules::{check_derived_vocabulary, check_file, check_vocabulary, Finding, RULES};
+use crate::model::Program;
+use crate::rules::{check_file, check_vocabulary, Finding, RULES};
+use crate::structural;
+
+/// Workspace-relative path of the checkpoint fingerprint manifest the
+/// R8 drift check reads and `--write-baseline` regenerates.
+pub const STATE_MANIFEST_REL: &str = "lint-state-fingerprints.json";
 
 /// The outcome of linting a workspace.
 pub struct Report {
@@ -26,6 +32,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The regenerated checkpoint fingerprint manifest
+    /// (`fifoms-lint-state-v1`), ratchet-merged against the committed
+    /// one — what `--write-baseline` writes to [`STATE_MANIFEST_REL`].
+    pub state_manifest: String,
 }
 
 /// A `(rule, path, key) -> count` aggregation of findings.
@@ -64,45 +74,94 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     }
     files.sort();
 
-    let mut findings = Vec::new();
+    // Read everything once: the per-file rules and the cross-file
+    // program model both run over the same contents.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let rel = rel_of(root, path);
-        let m = Matcher::new(&text);
-        findings.extend(check_file(&rel, &m));
+        sources.push((rel_of(root, path), text));
     }
 
+    let mut findings = Vec::new();
+    for (rel, text) in &sources {
+        let m = Matcher::new(text);
+        findings.extend(check_file(rel, &m));
+    }
+
+    // The structural rules run over the whole-workspace program model.
+    let program = Program::build(sources.clone());
+    findings.extend(structural::r7_wrapper_forwarding(&program));
+    findings.extend(structural::r8_checkpoint_coverage(&program));
+    let manifest_path = root.join(STATE_MANIFEST_REL);
+    let old_manifest = if manifest_path.is_file() {
+        let text = fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        Some(
+            Json::parse(&text).map_err(|e| format!("{}: {e}", manifest_path.display()))?,
+        )
+    } else {
+        None
+    };
+    findings.extend(structural::r8_state_drift(
+        &program,
+        STATE_MANIFEST_REL,
+        old_manifest.as_ref(),
+    ));
+    let state_manifest =
+        structural::render_state_manifest(&structural::state_entries(&program), old_manifest.as_ref());
+
     // R4: event vocabulary, when both sides exist.
-    let obs_path = root.join("crates/types/src/obs.rs");
+    let obs_rel = "crates/types/src/obs.rs";
     let schema_path = root.join("schemas/events.schema.json");
-    if obs_path.is_file() && schema_path.is_file() {
-        let obs_src =
-            fs::read_to_string(&obs_path).map_err(|e| format!("{}: {e}", obs_path.display()))?;
+    let obs_src = sources
+        .iter()
+        .find(|(rel, _)| rel == obs_rel)
+        .map(|(_, src)| src.clone());
+    if let (Some(obs_src), true) = (&obs_src, schema_path.is_file()) {
         let schema_text = fs::read_to_string(&schema_path)
             .map_err(|e| format!("{}: {e}", schema_path.display()))?;
         let schema = Json::parse(&schema_text)
             .map_err(|e| format!("{}: {e}", schema_path.display()))?;
         findings.extend(check_vocabulary(
-            "crates/types/src/obs.rs",
-            &obs_src,
+            obs_rel,
+            obs_src,
             "schemas/events.schema.json",
             &schema,
         ));
-        // Derived event streams must name only kinds the source
-        // vocabulary produces (subset check: a derived schema carrying a
-        // kind nobody emits is dead vocabulary).
-        let ts_path = root.join("schemas/timeseries.schema.json");
-        if ts_path.is_file() {
-            let ts_text = fs::read_to_string(&ts_path)
-                .map_err(|e| format!("{}: {e}", ts_path.display()))?;
-            let ts_schema =
-                Json::parse(&ts_text).map_err(|e| format!("{}: {e}", ts_path.display()))?;
-            findings.extend(check_derived_vocabulary(
-                &obs_src,
-                "schemas/timeseries.schema.json",
-                &ts_schema,
-            ));
+    }
+
+    // R9: derived schemas vs their emitters, when all parts exist.
+    let tele_rel = "crates/obs/src/telemetry.rs";
+    let tele_src = sources.iter().find(|(rel, _)| rel == tele_rel);
+    let read_schema = |rel: &str| -> Result<Option<Json>, String> {
+        let path = root.join(rel);
+        if !path.is_file() {
+            return Ok(None);
         }
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Json::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let ts_schema = read_schema("schemas/timeseries.schema.json")?;
+    let snap_schema = read_schema("schemas/snapshot.schema.json")?;
+    if let (Some(obs_src), Some((_, tele_src)), Some(ts)) = (&obs_src, tele_src, &ts_schema) {
+        let obs_sources: Vec<(String, String)> = sources
+            .iter()
+            .filter(|(rel, _)| rel.starts_with("crates/obs/"))
+            .cloned()
+            .collect();
+        let mut derived: Vec<(&str, &Json)> = vec![("schemas/timeseries.schema.json", ts)];
+        if let Some(snap) = &snap_schema {
+            derived.push(("schemas/snapshot.schema.json", snap));
+        }
+        findings.extend(structural::r9_schema_drift(
+            obs_src,
+            (tele_rel, tele_src),
+            ("schemas/timeseries.schema.json", ts),
+            &derived,
+            &obs_sources,
+        ));
     }
 
     findings.sort_by(|a, b| {
@@ -111,6 +170,7 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     Ok(Report {
         findings,
         files_scanned: files.len(),
+        state_manifest,
     })
 }
 
@@ -316,6 +376,7 @@ mod tests {
                 finding("R1", "b.rs", "m . keys ( )", 3),
             ],
             files_scanned: 2,
+            state_manifest: String::new(),
         };
         let baseline = key_counts(&[finding("R3", "a.rs", "q [ i ]", 1)]);
         let g = gate(&report, &baseline);
@@ -329,6 +390,7 @@ mod tests {
         let report = Report {
             findings: vec![],
             files_scanned: 1,
+            state_manifest: String::new(),
         };
         let baseline = key_counts(&[finding("R3", "a.rs", "x", 1)]);
         let g = gate(&report, &baseline);

@@ -1,0 +1,108 @@
+//! The cross-file program model: every workspace file's AST, with
+//! lookup by name across crate boundaries.
+//!
+//! The structural rules (R7/R8) reason about relationships no single
+//! file shows: an `impl Switch for CheckedSwitch<S>` in
+//! `crates/fabric` forwarding a trait defined in the same crate but a
+//! different file, a `Checkpoint` impl in `crates/obs` covering a
+//! struct declared 300 lines earlier. The model is name-keyed rather
+//! than path-resolved — the workspace has no name collisions among the
+//! items the rules care about, and a full resolver would be most of a
+//! compiler.
+
+use crate::ast::{FileAst, StructDef, TraitDef};
+use crate::matcher::Matcher;
+use crate::parser;
+
+/// One parsed file: its workspace-relative path, retained source text
+/// (spans index into its token stream) and AST.
+pub struct ProgramFile {
+    /// Workspace-relative path (`crates/fabric/src/switch.rs`).
+    pub rel: String,
+    /// The file's full source text.
+    pub src: String,
+    /// The parsed item-level AST.
+    pub ast: FileAst,
+}
+
+impl ProgramFile {
+    /// Re-lex the file for token-level scans inside item spans.
+    pub fn matcher(&self) -> Matcher<'_> {
+        Matcher::new(&self.src)
+    }
+}
+
+/// The whole-workspace program model.
+#[derive(Default)]
+pub struct Program {
+    /// Every parsed file, in walk order (sorted by path).
+    pub files: Vec<ProgramFile>,
+}
+
+impl Program {
+    /// Parse `(rel, src)` pairs into a program model.
+    pub fn build(files: Vec<(String, String)>) -> Program {
+        let parsed = files
+            .into_iter()
+            .map(|(rel, src)| {
+                let ast = parser::parse(&Matcher::new(&src));
+                ProgramFile { rel, src, ast }
+            })
+            .collect();
+        Program { files: parsed }
+    }
+
+    /// Add one pre-read file to the model.
+    pub fn push(&mut self, rel: String, src: String) {
+        let ast = parser::parse(&Matcher::new(&src));
+        self.files.push(ProgramFile { rel, src, ast });
+    }
+
+    /// The first trait definition named `name`, with its file.
+    pub fn trait_def(&self, name: &str) -> Option<(&ProgramFile, &TraitDef)> {
+        self.files.iter().find_map(|f| {
+            f.ast
+                .traits
+                .iter()
+                .find(|t| t.name == name)
+                .map(|t| (f, t))
+        })
+    }
+
+    /// The first struct definition named `name`, with its file.
+    pub fn struct_def(&self, name: &str) -> Option<(&ProgramFile, &StructDef)> {
+        self.files.iter().find_map(|f| {
+            f.ast
+                .structs
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| (f, s))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_file_lookup_by_name() {
+        let p = Program::build(vec![
+            (
+                "crates/a/src/lib.rs".into(),
+                "pub trait Switch { fn go(&self) {} }".into(),
+            ),
+            (
+                "crates/b/src/wrap.rs".into(),
+                "pub struct W<S> { inner: S }\nimpl<S: Switch> Switch for W<S> { fn go(&self) { self.inner.go() } }".into(),
+            ),
+        ]);
+        let (tf, t) = p.trait_def("Switch").expect("trait found");
+        assert_eq!(tf.rel, "crates/a/src/lib.rs");
+        assert_eq!(t.methods.len(), 1);
+        let (sf, s) = p.struct_def("W").expect("struct found");
+        assert_eq!(sf.rel, "crates/b/src/wrap.rs");
+        assert_eq!(s.fields[0].name, "inner");
+        assert!(p.trait_def("Nope").is_none());
+    }
+}

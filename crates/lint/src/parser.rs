@@ -1,0 +1,691 @@
+//! A dependency-free recursive-descent parser over the lexer's token
+//! stream, producing the item-level AST in [`crate::ast`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Total.** The parser must terminate and never panic on *any*
+//!    byte sequence — the property tests feed it hundreds of randomly
+//!    mutated files. Every token access is bounds-checked and every
+//!    loop provably advances the cursor.
+//! 2. **Skippable.** It understands exactly the item shapes the
+//!    structural rules need (`struct`, `trait`, `impl`, `mod`) and
+//!    skips everything else by consuming to the next `;` or balanced
+//!    `{}` — an unknown construct degrades coverage, never correctness.
+//! 3. **Span-preserving.** Items and method bodies carry
+//!    significant-token spans into the originating [`Matcher`], so
+//!    rules can re-scan any body at token level.
+//!
+//! Angle brackets are the one ambiguity a token parser must care about:
+//! `<`/`>` nest in generics but `->` also ends in `>`. The generic
+//! scanner therefore refuses to treat a `>` preceded by `-` as a
+//! closer, which covers every form the workspace uses (`Fn(A) -> B`
+//! bounds included).
+
+use crate::ast::{Field, FileAst, GenericParam, ImplDef, ImplMethod, Span, StructDef, TraitDef, TraitMethod};
+use crate::matcher::Matcher;
+
+/// Parse one lexed file into its item-level AST. Total: returns an
+/// (possibly partial) AST for arbitrary input, never panics.
+pub fn parse(m: &Matcher) -> FileAst {
+    let mut p = Parser {
+        m,
+        out: FileAst::default(),
+    };
+    p.items(0, m.len());
+    p.out
+}
+
+struct Parser<'a, 'b> {
+    m: &'b Matcher<'a>,
+    out: FileAst,
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    /// The text of significant token `si`, or `""` past the end.
+    fn t(&self, si: usize) -> &'a str {
+        if si < self.m.len() {
+            self.m.text(si)
+        } else {
+            ""
+        }
+    }
+
+    /// 1-based line of significant token `si` (1 past the end).
+    fn line(&self, si: usize) -> usize {
+        if si < self.m.len() {
+            self.m.line_col(si).0
+        } else {
+            1
+        }
+    }
+
+    /// Parse the item sequence in `lo..hi` (a file top level or a
+    /// `mod` body).
+    fn items(&mut self, lo: usize, hi: usize) {
+        let hi = hi.min(self.m.len());
+        let mut pos = lo;
+        while pos < hi {
+            let next = self.item(pos, hi);
+            debug_assert!(next > pos, "parser must advance");
+            pos = if next > pos { next } else { pos + 1 };
+        }
+    }
+
+    /// Parse (or skip) one item starting at `pos`; returns the position
+    /// one past it. Always returns `> pos`.
+    fn item(&mut self, pos: usize, hi: usize) -> usize {
+        let mut at = pos;
+        // Attributes: outer `#[...]` and inner `#![...]`.
+        while self.t(at) == "#" {
+            let open = if self.t(at + 1) == "!" { at + 2 } else { at + 1 };
+            if self.t(open) != "[" {
+                return at + 1;
+            }
+            match self.m.matching_close(open) {
+                Some(close) => at = close + 1,
+                None => return self.m.len(),
+            }
+        }
+        // Visibility: `pub`, `pub(crate)`, `pub(in path)`.
+        if self.t(at) == "pub" {
+            at += 1;
+            if self.t(at) == "(" {
+                match self.m.matching_close(at) {
+                    Some(close) => at = close + 1,
+                    None => return self.m.len(),
+                }
+            }
+        }
+        if self.t(at) == "unsafe" {
+            at += 1;
+        }
+        match self.t(at) {
+            "struct" => self.struct_item(at),
+            "trait" => self.trait_item(at),
+            "impl" => self.impl_item(at),
+            "mod" => self.mod_item(at, hi),
+            _ => self.skip_item(at).max(pos + 1),
+        }
+    }
+
+    /// Skip an unrecognized item: consume to the first top-level `;` or
+    /// past the matching `}` of the first top-level `{`.
+    fn skip_item(&self, pos: usize) -> usize {
+        let mut depth = 0i64;
+        let mut at = pos;
+        while at < self.m.len() {
+            match self.t(at) {
+                "{" if depth == 0 => {
+                    return match self.m.matching_close(at) {
+                        Some(close) => close + 1,
+                        None => self.m.len(),
+                    };
+                }
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        // A stray closer: the enclosing scope's, not ours.
+                        return at + 1;
+                    }
+                }
+                ";" if depth == 0 => return at + 1,
+                _ => {}
+            }
+            at += 1;
+        }
+        self.m.len()
+    }
+
+    /// `mod name { items }` recurses; `mod name;` skips.
+    fn mod_item(&mut self, pos: usize, hi: usize) -> usize {
+        let mut at = pos + 1; // past `mod`
+        if !self.t(at).is_empty() {
+            at += 1; // the module name
+        }
+        match self.t(at) {
+            "{" => match self.m.matching_close(at) {
+                Some(close) => {
+                    self.items(at + 1, close.min(hi));
+                    close + 1
+                }
+                None => self.m.len(),
+            },
+            ";" => at + 1,
+            _ => self.skip_item(pos),
+        }
+    }
+
+    /// Scan a `<...>` generic group starting at `pos` (which must hold
+    /// `<`); returns `(params, one_past_close)`. Each param keeps its
+    /// inline bound text.
+    fn generics(&self, pos: usize) -> (Vec<GenericParam>, usize) {
+        if self.t(pos) != "<" {
+            return (Vec::new(), pos);
+        }
+        let mut depth = 0i64;
+        let mut at = pos;
+        let mut close = self.m.len();
+        while at < self.m.len() {
+            match self.t(at) {
+                "<" => depth += 1,
+                ">" if at > 0 && self.t(at - 1) == "-" => {} // `->`, not a closer
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = at;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            at += 1;
+        }
+        // Split params at depth-1 commas (ignoring nested delimiters).
+        let mut params = Vec::new();
+        let mut seg_lo = pos + 1;
+        let mut d = 1i64; // depth inside the < >
+        let mut b = 0i64; // () [] {} nesting
+        for k in pos + 1..close {
+            match self.t(k) {
+                "<" => d += 1,
+                ">" if self.t(k - 1) != "-" => d -= 1,
+                "(" | "[" | "{" => b += 1,
+                ")" | "]" | "}" => b -= 1,
+                "," if d == 1 && b == 0 => {
+                    self.push_param(&mut params, seg_lo, k);
+                    seg_lo = k + 1;
+                }
+                _ => {}
+            }
+        }
+        self.push_param(&mut params, seg_lo, close);
+        (params, (close + 1).min(self.m.len().max(pos + 1)))
+    }
+
+    /// Parse one generic-parameter segment `lo..hi` into `params`.
+    fn push_param(&self, params: &mut Vec<GenericParam>, lo: usize, hi: usize) {
+        let mut at = lo;
+        if self.t(at) == "const" {
+            at += 1;
+        }
+        if at >= hi {
+            return;
+        }
+        let name = self.t(at).to_string();
+        if name.is_empty() {
+            return;
+        }
+        let bounds = if self.t(at + 1) == ":" {
+            self.m.snippet((at + 2).min(hi), hi, 64)
+        } else {
+            String::new()
+        };
+        params.push(GenericParam { name, bounds });
+    }
+
+    /// `struct Name<...> { fields }` / tuple / unit struct.
+    fn struct_item(&mut self, pos: usize) -> usize {
+        let kw = pos;
+        let name = self.t(pos + 1).to_string();
+        let (generics, mut at) = self.generics(pos + 2);
+        let generics: Vec<String> = generics.into_iter().map(|p| p.name).collect();
+        if at == pos + 2 {
+            at = pos + 2; // no generic group
+        }
+        // Optional where clause before the body.
+        while at < self.m.len() && !matches!(self.t(at), "{" | "(" | ";") {
+            at += 1;
+        }
+        let (fields, end) = match self.t(at) {
+            "{" => match self.m.matching_close(at) {
+                Some(close) => (self.fields(at, close), close + 1),
+                None => (Vec::new(), self.m.len()),
+            },
+            // Tuple struct: skip `(...)` then the trailing `;`.
+            "(" => (Vec::new(), self.skip_item(at)),
+            ";" => (Vec::new(), at + 1),
+            _ => (Vec::new(), self.m.len()),
+        };
+        self.out.structs.push(StructDef {
+            name,
+            generics,
+            fields,
+            line: self.line(kw),
+            span: Span { lo: kw, hi: end },
+        });
+        end
+    }
+
+    /// Named fields between `{` at `open` and its `close`.
+    fn fields(&self, open: usize, close: usize) -> Vec<Field> {
+        let mut fields = Vec::new();
+        for (lo, hi) in self.m.split_args(open, close) {
+            let mut at = lo;
+            while self.t(at) == "#" && self.t(at + 1) == "[" {
+                match self.m.matching_close(at + 1) {
+                    Some(c) if c < hi => at = c + 1,
+                    _ => break,
+                }
+            }
+            if self.t(at) == "pub" {
+                at += 1;
+                if self.t(at) == "(" {
+                    match self.m.matching_close(at) {
+                        Some(c) if c < hi => at = c + 1,
+                        _ => continue,
+                    }
+                }
+            }
+            if at + 1 < hi && self.t(at + 1) == ":" {
+                fields.push(Field {
+                    name: self.t(at).to_string(),
+                    ty: self.m.snippet(at + 2, hi, 64),
+                    line: self.line(at),
+                });
+            }
+        }
+        fields
+    }
+
+    /// `trait Name<...>: Super { fn required(...); fn defaulted() {..} }`.
+    fn trait_item(&mut self, pos: usize) -> usize {
+        let kw = pos;
+        let name = self.t(pos + 1).to_string();
+        // Everything up to the body brace: generics, supertraits, where.
+        let mut at = pos + 2;
+        let mut depth = 0i64;
+        while at < self.m.len() && !(depth == 0 && self.t(at) == "{") {
+            match self.t(at) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
+                    // `trait Alias = ...;` or malformed input: bail out.
+                    return at + 1;
+                }
+                _ => {}
+            }
+            at += 1;
+        }
+        let Some(close) = self.m.matching_close(at) else {
+            return self.m.len();
+        };
+        let mut methods = Vec::new();
+        let mut k = at + 1;
+        while k < close {
+            if self.t(k) == "#" && self.t(k + 1) == "[" {
+                match self.m.matching_close(k + 1) {
+                    Some(c) if c < close => {
+                        k = c + 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            if self.t(k) == "fn" {
+                let mname = self.t(k + 1).to_string();
+                let line = self.line(k);
+                let (has_default_body, next) = self.fn_tail(k + 2, close);
+                methods.push(TraitMethod {
+                    name: mname,
+                    has_default_body,
+                    line,
+                });
+                k = next;
+                continue;
+            }
+            // Associated consts/types and anything else: next `;`/body.
+            k = self.skip_item(k).max(k + 1);
+        }
+        self.out.traits.push(TraitDef {
+            name,
+            methods,
+            line: self.line(kw),
+            span: Span { lo: kw, hi: close + 1 },
+        });
+        close + 1
+    }
+
+    /// After a method's `fn name`, consume the signature; returns
+    /// `(has_body, one_past_end)` where the end is past the body's `}`
+    /// or the terminating `;`.
+    fn fn_tail(&self, pos: usize, limit: usize) -> (bool, usize) {
+        let mut depth = 0i64;
+        let mut at = pos;
+        while at < limit {
+            match self.t(at) {
+                "{" if depth == 0 => {
+                    return match self.m.matching_close(at) {
+                        Some(close) => (true, close + 1),
+                        None => (true, limit),
+                    };
+                }
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return (false, at + 1),
+                _ => {}
+            }
+            at += 1;
+        }
+        (false, limit)
+    }
+
+    /// `impl<G> Trait for Type where ... { methods }` or `impl Type {..}`.
+    fn impl_item(&mut self, pos: usize) -> usize {
+        let kw = pos;
+        let (mut generics, mut at) = self.generics(pos + 1);
+        if at == pos + 1 {
+            at = pos + 1;
+        }
+        // First type: the trait (if `for` follows) or the self type.
+        let (first_lo, first_hi, stop) = self.type_until(at, &["for", "where", "{"]);
+        let (trait_name, self_lo, self_hi, mut at) = if stop == "for" {
+            let (lo, hi, _) = self.type_until(first_hi + 1, &["where", "{"]);
+            (self.path_tail(first_lo, first_hi), lo, hi, hi)
+        } else {
+            (None, first_lo, first_hi, first_hi)
+        };
+        // Where clause: fold bounds into the matching generic params.
+        if self.t(at) == "where" {
+            let mut k = at + 1;
+            let mut depth = 0i64;
+            let clause_lo = k;
+            while k < self.m.len() && !(depth == 0 && self.t(k) == "{") {
+                match self.t(k) {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ">" if self.t(k - 1) != "-" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            self.fold_where(&mut generics, clause_lo, k);
+            at = k;
+        }
+        if self.t(at) != "{" {
+            return self.skip_item(kw).max(kw + 1);
+        }
+        let Some(close) = self.m.matching_close(at) else {
+            return self.m.len();
+        };
+        let mut methods = Vec::new();
+        let mut k = at + 1;
+        while k < close {
+            if self.t(k) == "#" && self.t(k + 1) == "[" {
+                match self.m.matching_close(k + 1) {
+                    Some(c) if c < close => {
+                        k = c + 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            // Step over fn qualifiers: `pub [(crate)] const unsafe fn ...`.
+            let mut q = k;
+            loop {
+                match self.t(q) {
+                    "pub" if self.t(q + 1) == "(" => match self.m.matching_close(q + 1) {
+                        Some(c) if c < close => q = c + 1,
+                        _ => break,
+                    },
+                    "pub" | "unsafe" | "const" | "default" | "async" => q += 1,
+                    _ => break,
+                }
+            }
+            if self.t(q) == "fn" && q > k {
+                k = q;
+            }
+            if self.t(k) == "fn" {
+                let mname = self.t(k + 1).to_string();
+                let line = self.line(k);
+                // The body is the first top-level brace group.
+                let mut depth = 0i64;
+                let mut b = k + 2;
+                let mut body = None;
+                while b < close {
+                    match self.t(b) {
+                        "{" if depth == 0 => {
+                            body = self.m.matching_close(b).map(|c| Span { lo: b, hi: c + 1 });
+                            break;
+                        }
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    b += 1;
+                }
+                match body {
+                    Some(span) => {
+                        methods.push(ImplMethod {
+                            name: mname,
+                            body: span,
+                            line,
+                        });
+                        k = span.hi;
+                    }
+                    None => k = (b + 1).max(k + 1),
+                }
+                continue;
+            }
+            k = self.skip_item(k).max(k + 1);
+        }
+        let self_ty = self.m.snippet(self_lo, self_hi, 64);
+        let self_ty_name = (self_lo..self_hi)
+            .find(|&k| {
+                !matches!(self.t(k), "&" | "mut" | "dyn" | "'" ) && self.t(k).chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            })
+            .map(|k| self.t(k).to_string())
+            .unwrap_or_default();
+        self.out.impls.push(ImplDef {
+            trait_name,
+            self_ty,
+            self_ty_name,
+            generics,
+            methods,
+            line: self.line(kw),
+            span: Span { lo: kw, hi: close + 1 },
+            test_only: kw < self.m.len() && self.m.in_test_code(self.m.tok(kw).start),
+        });
+        close + 1
+    }
+
+    /// Consume a type starting at `pos` until one of `stops` appears at
+    /// nesting depth 0; returns `(lo, hi, stop_text)` with `hi` at the
+    /// stop token (or end of file, stop = `""`).
+    fn type_until(&self, pos: usize, stops: &[&str]) -> (usize, usize, &'a str) {
+        let mut depth = 0i64;
+        let mut at = pos;
+        while at < self.m.len() {
+            let t = self.t(at);
+            if depth == 0 && stops.contains(&t) {
+                return (pos, at, t);
+            }
+            match t {
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ">" if at > 0 && self.t(at - 1) != "-" => depth -= 1,
+                "{" | "}" | ";" => return (pos, at, ""),
+                _ => {}
+            }
+            at += 1;
+        }
+        (pos, self.m.len(), "")
+    }
+
+    /// The final path-segment identifier of a (possibly generic) trait
+    /// path in `lo..hi`: `obs::Checkpoint` → `Checkpoint`,
+    /// `Switch` → `Switch`.
+    fn path_tail(&self, lo: usize, hi: usize) -> Option<String> {
+        let mut depth = 0i64;
+        let mut tail = None;
+        for k in lo..hi {
+            match self.t(k) {
+                "<" => depth += 1,
+                ">" if k > 0 && self.t(k - 1) != "-" => depth -= 1,
+                t if depth == 0
+                    && t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    tail = Some(t.to_string());
+                }
+                _ => {}
+            }
+        }
+        tail
+    }
+
+    /// Merge `where` clause bounds (`Name: Bound + ...`) into matching
+    /// generic parameters within `lo..hi`.
+    fn fold_where(&self, generics: &mut [GenericParam], lo: usize, hi: usize) {
+        let mut seg_lo = lo;
+        let mut depth = 0i64;
+        for k in lo..=hi.min(self.m.len()) {
+            let ends = k == hi || (depth == 0 && self.t(k) == ",");
+            if !ends {
+                match self.t(k) {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ">" if self.t(k - 1) != "-" => depth -= 1,
+                    _ => {}
+                }
+                continue;
+            }
+            let name = self.t(seg_lo);
+            if self.t(seg_lo + 1) == ":" {
+                if let Some(p) = generics.iter_mut().find(|p| p.name == name) {
+                    let extra = self.m.snippet(seg_lo + 2, k, 64);
+                    if !extra.is_empty() {
+                        if !p.bounds.is_empty() {
+                            p.bounds.push_str(" + ");
+                        }
+                        p.bounds.push_str(&extra);
+                    }
+                }
+            }
+            seg_lo = k + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ast(src: &str) -> FileAst {
+        parse(&Matcher::new(src))
+    }
+
+    #[test]
+    fn parses_struct_fields_and_generics() {
+        let a = ast("pub struct W<S: Switch> { inner: S, pub count: u64, caps: Vec<usize> }");
+        assert_eq!(a.structs.len(), 1);
+        let s = &a.structs[0];
+        assert_eq!(s.name, "W");
+        assert_eq!(s.generics, ["S"]);
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["inner", "count", "caps"]);
+        assert_eq!(s.fields[2].ty, "Vec < usize >");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let a = ast("struct T(u32, u64);\nstruct U;\nstruct N { x: u8 }");
+        assert_eq!(a.structs.len(), 3);
+        assert!(a.structs[0].fields.is_empty());
+        assert!(a.structs[1].fields.is_empty());
+        assert_eq!(a.structs[2].fields.len(), 1);
+    }
+
+    #[test]
+    fn trait_methods_distinguish_default_bodies() {
+        let a = ast(
+            "pub trait Switch {\n fn name(&self) -> String;\n fn drain(&mut self, out: &mut Vec<u8>) {}\n fn ports(&self) -> usize;\n}",
+        );
+        assert_eq!(a.traits.len(), 1);
+        let t = &a.traits[0];
+        assert_eq!(t.name, "Switch");
+        let defaulted: Vec<&str> = t
+            .methods
+            .iter()
+            .filter(|m| m.has_default_body)
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(defaulted, ["drain"]);
+        assert_eq!(t.methods.len(), 3);
+    }
+
+    #[test]
+    fn impl_records_trait_self_ty_and_bounds() {
+        let a = ast(
+            "impl<S: Switch> Switch for Wrapper<S> {\n fn name(&self) -> String { self.inner.name() }\n}\nimpl<T: Switch + ?Sized> Switch for Box<T> {\n fn name(&self) -> String { (**self).name() }\n}\nimpl Plain { fn go(&self) {} }",
+        );
+        assert_eq!(a.impls.len(), 3);
+        let w = &a.impls[0];
+        assert_eq!(w.trait_name.as_deref(), Some("Switch"));
+        assert_eq!(w.self_ty_name, "Wrapper");
+        assert!(w.param_bounded_by("Switch").is_some());
+        let b = &a.impls[1];
+        assert_eq!(b.self_ty_name, "Box");
+        assert!(b.param_bounded_by("Switch").is_some());
+        let p = &a.impls[2];
+        assert!(p.trait_name.is_none());
+        assert_eq!(p.methods.len(), 1);
+    }
+
+    #[test]
+    fn where_clause_bounds_are_folded() {
+        let a = ast("impl<S> Checkpoint for W<S> where S: Switch + Checkpoint { fn state_kind(&self) -> &'static str { \"w\" } }");
+        let i = &a.impls[0];
+        assert!(i.param_bounded_by("Switch").is_some());
+        assert!(i.param_bounded_by("Checkpoint").is_some());
+    }
+
+    #[test]
+    fn method_bodies_are_token_spans() {
+        let src = "impl W { fn f(&self) -> u32 { self.x + 1 } }";
+        let m = Matcher::new(src);
+        let a = parse(&m);
+        let body = &a.impls[0].methods[0].body;
+        assert_eq!(m.snippet(body.lo, body.hi, 16), "{ self . x + 1 }");
+    }
+
+    #[test]
+    fn modules_are_recursed_and_cfg_test_marked() {
+        let src = "mod inner { pub struct S { x: u8 } }\n#[cfg(test)]\nmod tests { impl Switch for Toy { fn name(&self) -> String { String::new() } } }\nimpl Switch for Real { fn name(&self) -> String { String::new() } }";
+        let a = ast(src);
+        assert_eq!(a.structs.len(), 1);
+        assert_eq!(a.impls.len(), 2);
+        assert!(a.impls[0].test_only, "ToySwitch impl is test-only");
+        assert!(!a.impls[1].test_only);
+    }
+
+    #[test]
+    fn fn_pointer_arrows_do_not_close_generics() {
+        let a = ast("struct S<F: Fn(u32) -> u64> { f: F, x: u8 }");
+        let s = &a.structs[0];
+        assert_eq!(s.generics, ["F"]);
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].name, "x");
+    }
+
+    #[test]
+    fn hostile_input_does_not_panic() {
+        for src in [
+            "",
+            "struct",
+            "struct {",
+            "impl",
+            "impl X {",
+            "trait T { fn",
+            "mod m {",
+            "}}}",
+            "# [",
+            "pub (",
+            "struct S < { x : u8 }",
+            "impl < S for > X {",
+            "fn f ( { ) }",
+        ] {
+            let _ = ast(src);
+        }
+    }
+}

@@ -1,7 +1,7 @@
-//! The six FIFOMS source disciplines, as token-level rules.
+//! The token-level FIFOMS source disciplines.
 //!
 //! Each rule guards an invariant the simulator's correctness story
-//! depends on (DESIGN.md §11):
+//! depends on (DESIGN.md §11 and §16):
 //!
 //! * **R1 determinism** — result-bearing crates (`core`, `fabric`, `sim`,
 //!   `traffic`) must not iterate hash-ordered collections, read wall
@@ -14,10 +14,9 @@
 //!   stamp, and `now_slot`-style stamp minting is forbidden entirely, so
 //!   no retry or requeue path can silently refresh a timestamp.
 //! * **R3 panic freedom** — hot-path scheduler/fabric code must not
-//!   `unwrap`/`expect`/`panic!` or index slices outside `#[cfg(test)]`
-//!   and `debug_assert!`: the sweep runner's fault isolation treats a
-//!   panic as a cell failure, so every avoidable panic is an avoidable
-//!   lost cell.
+//!   `unwrap`/`expect`/`panic!` outside `#[cfg(test)]`: the sweep
+//!   runner's fault isolation treats a panic as a cell failure, so
+//!   every avoidable panic is an avoidable lost cell.
 //! * **R4 event vocabulary** — the `ObsEvent::kind()` tags and the
 //!   checked-in `schemas/events.schema.json` enum must agree exactly in
 //!   both directions, so traces and their consumers cannot drift.
@@ -28,6 +27,15 @@
 //!   journal's grid-hash identity must not format floating-point values
 //!   except through `to_bits()`: `0.30000000000000004` and platform
 //!   formatting differences would silently fork resume identities.
+//! * **R10 guarded indexing** — `x[i]` in hot-path code must be
+//!   *discharged*: dominated by a `len` bound check (`assert!`/
+//!   `debug_assert!`/`if`) in the same function, or fed by a checked
+//!   accessor whose body proves the bound. Undischarged sites are
+//!   findings. (R10 took over indexing from R3 once the intra-function
+//!   dataflow pass could tell a proven bound from a hopeful one.)
+//!
+//! The cross-file structural rules R7–R9 live in
+//! [`structural`](crate::structural).
 
 use crate::lexer::{is_float_literal, TokKind};
 use crate::matcher::Matcher;
@@ -35,7 +43,7 @@ use crate::matcher::Matcher;
 /// One lint finding.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Finding {
-    /// Rule id, `"R1"`..`"R6"`.
+    /// Rule id, `"R1"`..`"R10"`.
     pub rule: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -53,10 +61,79 @@ pub struct Finding {
 pub const RULES: &[(&str, &str, &str)] = &[
     ("R1", "determinism", "no hash-order iteration, wall clocks or unseeded RNGs in result-bearing crates"),
     ("R2", "timestamp-discipline", "arrival stamps are minted at admission only; retries must preserve them"),
-    ("R3", "panic-freedom", "no unwrap/expect/panic!/indexing in hot-path scheduler and fabric code"),
-    ("R4", "event-vocabulary", "ObsEvent kinds and schemas/events.schema.json agree in both directions; derived schemas (timeseries) name only emitted kinds"),
+    ("R3", "panic-freedom", "no unwrap/expect/panic! in hot-path scheduler and fabric code"),
+    ("R4", "event-vocabulary", "ObsEvent kinds and schemas/events.schema.json agree in both directions"),
     ("R5", "justification-audit", "every unsafe block has SAFETY:, every INVARIANT: tag a justification"),
     ("R6", "fingerprint-floats", "grid-hash fingerprint code formats floats only via to_bits()"),
+    ("R7", "wrapper-forwarding", "wrapper impls override and delegate every default-bodied trait method"),
+    ("R8", "checkpoint-coverage", "Checkpoint impls cover every struct field both ways; field changes need a state_version bump"),
+    ("R9", "schema-drift", "derived schemas match their emitters bidirectionally and every schema id is emitted somewhere"),
+    ("R10", "guarded-index", "hot-path slice indexing is dominated by a len check or fed by a checked accessor"),
+];
+
+/// Extended per-rule documentation for `lint --explain`:
+/// `(id, rationale, example violation, escape hatch)`.
+pub const RULE_DOCS: &[(&str, &str, &str, &str)] = &[
+    (
+        "R1",
+        "Bit-identical replay (DESIGN.md §8) and chaos shrinking (§10) require results to be a pure function of the seed. Hash-map iteration order, wall clocks and unseeded RNGs all smuggle in ambient state. Keyed HashMap *lookup* is deterministic and stays allowed.",
+        "for (port, q) in &self.queues { ... }   // queues: HashMap<Port, Voq>",
+        "iterate a sorted projection (BTreeMap / collect-and-sort), or annotate the one sanctioned site with `// fifoms-lint: allow(R1) <reason>`",
+    ),
+    (
+        "R2",
+        "Theorem 1's starvation-freedom weighs packets by their ORIGINAL arrival stamp. A retry or requeue path that mints a fresh stamp silently resets a packet's age and breaks the FIFO fairness argument.",
+        "self.q.push_front(Packet::new(d.packet, now, d.input, dests));",
+        "carry the old stamp (`d.arrival`) through the requeue; `// fifoms-lint: allow(R2) <reason>` for genuine admission sites",
+    ),
+    (
+        "R3",
+        "The sweep runner treats a panic as a fault-isolated cell failure, so every avoidable unwrap/expect/panic! in scheduler or fabric code is an avoidable lost sweep cell.",
+        "let grant = self.pending.pop_front().unwrap();",
+        "return a structured error, or `.expect(\"...\")` + `// fifoms-lint: allow(R3) INVARIANT: <why it cannot fail>`",
+    ),
+    (
+        "R4",
+        "Trace consumers validate against schemas/events.schema.json. A kind emitted but not listed fails validation downstream; a kind listed but never emitted is dead vocabulary that hides real drift.",
+        "ObsEvent::NewThing { .. } => \"new_thing\"   // absent from the schema enum",
+        "add the kind to the schema enum (emit side) or delete it from the enum (schema side); there is no allow for vocabulary drift",
+    ),
+    (
+        "R5",
+        "`unsafe` and `INVARIANT:` are claims about non-local facts. An unjustified claim is indistinguishable from a stale one.",
+        "unsafe { *ptr }   // no SAFETY: comment above",
+        "write the justification: `// SAFETY: <why>` within three lines above, or a non-empty `INVARIANT:` tail",
+    ),
+    (
+        "R6",
+        "Checkpoint identity hashes cover formatted parameter values. Decimal float formatting differs across platforms and rounds (0.30000000000000004), silently forking resume identities; to_bits() is exact.",
+        "h.write_str(&format!(\"load={load}\"));   // inside grid_hash",
+        "format `load.to_bits()` instead; mark additional identity functions with a `// FINGERPRINT` comment",
+    ),
+    (
+        "R7",
+        "Default-bodied trait methods are silent no-ops on wrappers that forget to forward them: the wrapped switch's spans/drops/state go undrained and no runtime test fails until that hook matters. Four wrappers were hand-threaded in PRs 6-9; R7 makes the discipline mechanical.",
+        "impl<S: Switch> Switch for CheckedSwitch<S> { /* no drain_spans */ }",
+        "forward the method (`self.inner.drain_spans(out)`), or `// fifoms-lint: allow(R7) <reason>` on the impl line for a deliberate interception",
+    ),
+    (
+        "R8",
+        "A Checkpoint impl that skips a field diverges silently on recovery (PR 9's bit-identity promise). A field-list change without a state_version bump misreads old checkpoints. Fields typed by a generic parameter travel in their own frame; comment-documented exclusions are honored.",
+        "fn read_state(..) { self.rng = r.u64()?; /* scoreboard never restored */ }",
+        "serialize the field, name it in a comment inside the impl (documented exclusion), or bump state_version and re-run --write-baseline for field changes",
+    ),
+    (
+        "R9",
+        "Derived streams (timeseries, snapshot) have their own schemas. A constructed event kind the schema rejects breaks consumers; an admitted-but-never-constructed kind is dead vocabulary; a schema id no emitter produces validates nothing.",
+        "ObsEvent::RunEnd { .. }   // constructed in telemetry.rs, absent from timeseries enum",
+        "update the schema enum or stop emitting the kind; schema ids must match the emitting literal exactly",
+    ),
+    (
+        "R10",
+        "`x[i]` panics on a bad index, and R3's blanket ban produced a 20-entry grandfathered baseline. R10 discharges sites a local dataflow pass can prove safe: a dominating assert!/debug_assert!/if that bounds the index against the base's len in the same function, or an index produced by a checked accessor (a fn whose body asserts the bound).",
+        "let cell = self.entries[idx];   // no bound check in this fn",
+        "add `debug_assert!(idx < self.entries.len());` above the site, use get()/get_mut(), route through a checked accessor, or `// fifoms-lint: allow(R10) <reason>`",
+    ),
 ];
 
 /// The crate a workspace-relative path belongs to (`crates/core/src/x.rs`
@@ -83,6 +160,7 @@ pub fn check_file(rel: &str, m: &Matcher) -> Vec<Finding> {
     }
     if matches!(krate, "core" | "fabric") {
         r3_panic_freedom(rel, m, &mut out);
+        r10_guarded_index(rel, m, &mut out);
     }
     r5_justifications(rel, m, &mut out);
     r6_fingerprint_floats(rel, m, &mut out);
@@ -348,25 +426,271 @@ fn r3_panic_freedom(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
                 format!("`{}!` in hot-path code; prefer a structured error or a debug_assert!", m.text(si)),
             );
         }
-        // Slice/array indexing: a `[` in index position (directly after a
-        // value-producing token). Indexing inside `debug_assert!` is the
-        // sanctioned form of the check.
-        if m.text(si) == "["
-            && si > 0
-            && !m.in_debug_assert(m.tok(si).start)
-            && (matches!(m.text(si - 1), ")" | "]")
+    }
+}
+
+// --------------------------------------------------------------- R10 --
+
+/// A bound-check span a guard can discharge index sites from: the
+/// argument group of `assert!`/`debug_assert!` or the condition of an
+/// `if`/`while`, as a significant-token range.
+struct Guard {
+    lo: usize,
+    hi: usize,
+}
+
+/// Function bodies of the file, as `(body_open, body_close)` spans —
+/// the dominance scope of the R10 dataflow pass.
+fn fn_bodies(m: &Matcher) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for si in 0..m.len() {
+        if m.text(si) != "fn" || si + 1 >= m.len() || m.tok(si + 1).kind != TokKind::Ident {
+            continue;
+        }
+        let Some(popen) = (si..m.len()).find(|&k| m.text(k) == "(") else {
+            continue;
+        };
+        let Some(pclose) = m.matching_close(popen) else {
+            continue;
+        };
+        let mut open = None;
+        for k in pclose..m.len() {
+            match m.text(k) {
+                "{" => {
+                    open = Some(k);
+                    break;
+                }
+                ";" => break, // required trait method / extern decl
+                _ => {}
+            }
+        }
+        let Some(bopen) = open else { continue };
+        if let Some(bclose) = m.matching_close(bopen) {
+            out.push((bopen, bclose));
+        }
+    }
+    out
+}
+
+/// The bound-check spans inside `lo..hi`.
+fn guards_in(m: &Matcher, lo: usize, hi: usize) -> Vec<Guard> {
+    let mut out = Vec::new();
+    let mut k = lo;
+    while k < hi {
+        if matches!(m.text(k), "assert" | "debug_assert")
+            && k + 2 < hi
+            && m.text(k + 1) == "!"
+            && m.text(k + 2) == "("
+        {
+            if let Some(close) = m.matching_close(k + 2) {
+                out.push(Guard {
+                    lo: k + 3,
+                    hi: close,
+                });
+                k += 3;
+                continue;
+            }
+        }
+        if matches!(m.text(k), "if" | "while") {
+            // Condition runs to the block-opening `{` at depth 0.
+            let mut depth = 0i64;
+            for j in k + 1..hi {
+                match m.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        out.push(Guard { lo: k + 1, hi: j });
+                        break;
+                    }
+                    ";" if depth == 0 => break, // `if` never materialized
+                    _ => {}
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Whether the token texts `needle` occur contiguously inside
+/// `lo..hi`, returning the match position.
+fn find_seq(m: &Matcher, lo: usize, hi: usize, needle: &[&str]) -> Option<usize> {
+    if needle.is_empty() || hi < needle.len() {
+        return None;
+    }
+    (lo..=hi.saturating_sub(needle.len()))
+        .find(|&p| needle.iter().enumerate().all(|(i, t)| m.text(p + i) == *t))
+}
+
+/// Whether a guard span proves `base[idx]` in bounds: it compares the
+/// index tokens with `<` (or `>` the other way round) and mentions
+/// `base.len`.
+fn guard_discharges(m: &Matcher, g: &Guard, base: &[&str], idx: &[&str]) -> bool {
+    let Some(at) = find_seq(m, g.lo, g.hi, idx) else {
+        return false;
+    };
+    let mut after = at + idx.len();
+    while after < g.hi && m.text(after) == ")" {
+        after += 1;
+    }
+    let mut before = at;
+    while before > g.lo && m.text(before - 1) == "(" {
+        before -= 1;
+    }
+    let compared = (after < g.hi && matches!(m.text(after), "<"))
+        || (before > g.lo && matches!(m.text(before - 1), ">"));
+    if !compared {
+        return false;
+    }
+    // The bound side must reference the indexed base's len.
+    (g.lo..g.hi.saturating_sub(base.len() + 1)).any(|p| {
+        base.iter().enumerate().all(|(i, t)| m.text(p + i) == *t)
+            && m.text(p + base.len()) == "."
+            && m.text(p + base.len() + 1) == "len"
+    })
+}
+
+/// Names of functions in this file whose bodies assert a `<` bound —
+/// the "checked accessor" set (`fn idx(..) { debug_assert!(i < n); .. }`).
+fn checked_accessors<'m>(m: &'m Matcher) -> Vec<&'m str> {
+    let mut out = Vec::new();
+    for si in 0..m.len() {
+        if m.text(si) != "fn" || si + 1 >= m.len() || m.tok(si + 1).kind != TokKind::Ident {
+            continue;
+        }
+        let name = m.text(si + 1);
+        let Some(popen) = (si..m.len()).find(|&k| m.text(k) == "(") else {
+            continue;
+        };
+        let Some(pclose) = m.matching_close(popen) else {
+            continue;
+        };
+        let Some(bopen) = (pclose..m.len()).find(|&k| m.text(k) == "{") else {
+            continue;
+        };
+        let Some(bclose) = m.matching_close(bopen) else {
+            continue;
+        };
+        let asserts_bound = (bopen..bclose).any(|k| {
+            matches!(m.text(k), "assert" | "debug_assert")
+                && k + 2 < bclose
+                && m.text(k + 1) == "!"
+                && m.text(k + 2) == "("
+                && m
+                    .matching_close(k + 2)
+                    .is_some_and(|c| (k + 3..c).any(|j| m.text(j) == "<"))
+        });
+        if asserts_bound {
+            out.push(name);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether the index expression `idx` (tokens `si+1..close`) is the
+/// value of a checked accessor: directly `[self.]F(..)`, or a single
+/// local bound earlier in the body via `let v = [self.]F(..)`.
+fn accessor_discharges(
+    m: &Matcher,
+    body_lo: usize,
+    si: usize,
+    close: usize,
+    checked: &[&str],
+) -> bool {
+    let call_of = |at: usize| -> Option<&str> {
+        if at >= m.len() {
+            return None;
+        }
+        let f = if m.text(at) == "self" && at + 1 < m.len() && m.text(at + 1) == "." {
+            at + 2
+        } else {
+            at
+        };
+        if f + 1 >= m.len() {
+            return None;
+        }
+        (m.tok(f).kind == TokKind::Ident && m.text(f + 1) == "(").then(|| m.text(f))
+    };
+    if call_of(si + 1).is_some_and(|f| checked.binary_search(&f).is_ok()) {
+        return true;
+    }
+    // Single-ident index: trace one `let v = [self.]F(..)` binding back.
+    if close != si + 2 || m.tok(si + 1).kind != TokKind::Ident {
+        return false;
+    }
+    let v = m.text(si + 1);
+    for k in body_lo..si {
+        if m.text(k) != "let" {
+            continue;
+        }
+        let mut at = k + 1;
+        if at < si && m.text(at) == "mut" {
+            at += 1;
+        }
+        if at + 1 >= si || m.text(at) != v || m.text(at + 1) != "=" {
+            continue;
+        }
+        if call_of(at + 2).is_some_and(|f| checked.binary_search(&f).is_ok()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// R10: flag `x[i]` sites no local proof discharges. Indexing inside
+/// `debug_assert!` is itself the sanctioned check and exempt.
+fn r10_guarded_index(rel: &str, m: &Matcher, out: &mut Vec<Finding>) {
+    let bodies = fn_bodies(m);
+    let checked = checked_accessors(m);
+    for si in 0..m.len() {
+        if m.text(si) != "["
+            || si == 0
+            || m.in_debug_assert(m.tok(si).start)
+            || !(matches!(m.text(si - 1), ")" | "]")
                 || (m.tok(si - 1).kind == TokKind::Ident
                     && !EXPR_KEYWORDS.contains(&m.text(si - 1))))
         {
-            let close = m.matching_close(si).unwrap_or(si);
+            continue;
+        }
+        let close = m.matching_close(si).unwrap_or(si);
+        // The indexed base: the `ident`/`self`/`.` chain ending at `[`.
+        let mut base_lo = si;
+        while base_lo > 0
+            && (m.text(base_lo - 1) == "."
+                || m.text(base_lo - 1) == "self"
+                || (m.tok(base_lo - 1).kind == TokKind::Ident
+                    && !EXPR_KEYWORDS.contains(&m.text(base_lo - 1))))
+        {
+            base_lo -= 1;
+        }
+        let base: Vec<&str> = (base_lo..si).map(|k| m.text(k)).collect();
+        let idx: Vec<&str> = (si + 1..close).map(|k| m.text(k)).collect();
+        // The innermost enclosing fn body scopes the dominance search.
+        let body = bodies
+            .iter()
+            .filter(|(lo, hi)| *lo < si && si < *hi)
+            .max_by_key(|(lo, _)| *lo)
+            .copied();
+        let discharged = body.is_some_and(|(blo, bhi)| {
+            let dominated = !base.is_empty()
+                && !idx.is_empty()
+                && guards_in(m, blo, bhi)
+                    .iter()
+                    .filter(|g| g.lo <= si)
+                    .any(|g| guard_discharges(m, g, &base, &idx));
+            dominated || accessor_discharges(m, blo, si, close, &checked)
+        });
+        if !discharged {
             push(
                 out,
                 m,
                 rel,
-                "R3",
+                "R10",
                 si,
                 m.snippet(si.saturating_sub(3), close + 1, 10),
-                "slice indexing can panic on the hot path; prefer get()/get_mut() or prove the bound with a debug_assert!".into(),
+                "slice indexing can panic on the hot path and no dominating bound check was found; prove the bound with assert!/debug_assert!/if against .len(), use get()/get_mut(), or route through a checked accessor".into(),
             );
         }
     }
@@ -429,47 +753,6 @@ pub fn check_vocabulary(
     out
 }
 
-/// Cross-check a derived event schema (e.g.
-/// `schemas/timeseries.schema.json`) against the `ObsEvent::kind()`
-/// vocabulary: every kind the derived schema names must exist in the
-/// source vocabulary. One-directional — a derived stream carries a
-/// *subset* of the event kinds, so kinds absent from it are fine.
-pub fn check_derived_vocabulary(
-    obs_src: &str,
-    schema_rel: &str,
-    schema: &fifoms_obs::Json,
-) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let kinds = event_kinds(obs_src);
-    let schema_kinds = schema_event_enum(schema);
-    if schema_kinds.is_empty() {
-        out.push(Finding {
-            rule: "R4",
-            path: schema_rel.to_string(),
-            line: 1,
-            col: 1,
-            key: "missing-event-enum".into(),
-            message: format!("{schema_rel} declares no properties.event.enum vocabulary"),
-        });
-        return out;
-    }
-    for kind in &schema_kinds {
-        if !kinds.iter().any(|(k, _)| k == kind) {
-            out.push(Finding {
-                rule: "R4",
-                path: schema_rel.to_string(),
-                line: 1,
-                col: 1,
-                key: format!("schema-only {kind}"),
-                message: format!(
-                    "{schema_rel} lists \"{kind}\" but no ObsEvent::kind() arm produces it; dead vocabulary"
-                ),
-            });
-        }
-    }
-    out
-}
-
 /// Event kinds = string literals inside `fn kind(...) -> ... { ... }`
 /// of the observability vocabulary source, with their source lines.
 fn event_kinds(obs_src: &str) -> Vec<(String, usize)> {
@@ -509,7 +792,8 @@ fn event_kinds(obs_src: &str) -> Vec<(String, usize)> {
 }
 
 /// The `properties.event.enum` vocabulary of a parsed event schema.
-fn schema_event_enum(schema: &fifoms_obs::Json) -> Vec<String> {
+/// Shared with the R9 drift checks in [`crate::structural`].
+pub(crate) fn schema_event_enum(schema: &fifoms_obs::Json) -> Vec<String> {
     schema
         .get("properties")
         .and_then(|p| p.get("event"))
@@ -788,18 +1072,59 @@ mod tests {
     }
 
     #[test]
-    fn r3_flags_panics_and_indexing_outside_guards() {
+    fn r3_flags_panics_and_r10_flags_unproven_indexing() {
         let src = "fn hot(&self, q: &[u32], i: usize) -> u32 {\n debug_assert!(q[i] > 0);\n let x = q[i];\n let y = self.opt.unwrap();\n x + y\n}\n#[cfg(test)]\nmod tests { fn t(q: &[u32]) { q[0]; None::<u32>.unwrap(); } }\n";
         let f = findings("crates/core/src/scheduler.rs", src);
         let r3: Vec<_> = f.iter().filter(|f| f.rule == "R3").collect();
-        assert_eq!(r3.len(), 2, "{r3:?}");
-        assert!(r3.iter().any(|f| f.key.contains("unwrap")));
-        assert!(r3.iter().any(|f| f.key.contains("[ i ]")));
+        assert_eq!(r3.len(), 1, "{r3:?}");
+        assert!(r3[0].key.contains("unwrap"));
+        // `q[i] > 0` proves non-emptiness, not the bound — R10 fires.
+        let r10: Vec<_> = f.iter().filter(|f| f.rule == "R10").collect();
+        assert_eq!(r10.len(), 1, "{r10:?}");
+        assert!(r10[0].key.contains("[ i ]"));
     }
 
     #[test]
-    fn r3_allow_directive_with_reason_suppresses() {
-        let src = "fn hot(q: &[u32]) -> u32 {\n // fifoms-lint: allow(R3) index bounded by the N*N grid allocation\n q[0]\n}\n";
+    fn r10_dominating_len_guards_discharge() {
+        // assert!/debug_assert! bound in the same function.
+        let src = "fn hot(q: &[u32], i: usize) -> u32 { debug_assert!(i < q.len()); q[i] }";
+        assert!(findings("crates/core/src/scheduler.rs", src).is_empty());
+        // `if` bound, site inside the guarded block.
+        let src = "fn hot(q: &[u32], i: usize) -> u32 { if i < q.len() { q[i] } else { 0 } }";
+        assert!(findings("crates/core/src/scheduler.rs", src).is_empty());
+        // Reversed comparison (`len > i`) counts too.
+        let src = "fn hot(q: &[u32], i: usize) -> u32 { assert!(q.len() > i); q[i] }";
+        assert!(findings("crates/core/src/scheduler.rs", src).is_empty());
+        // A guard over a DIFFERENT base does not discharge.
+        let src = "fn hot(q: &[u32], r: &[u32], i: usize) -> u32 { debug_assert!(i < r.len()); q[i] }";
+        let f = findings("crates/core/src/scheduler.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "R10").count(), 1, "{f:?}");
+        // A guard in a DIFFERENT function does not dominate.
+        let src = "fn a(q: &[u32], i: usize) { debug_assert!(i < q.len()); }\nfn b(q: &[u32], i: usize) -> u32 { q[i] }";
+        let f = findings("crates/core/src/scheduler.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "R10").count(), 1, "{f:?}");
+        // Field bases work: `self.entries[idx]` under `idx < self.entries.len()`.
+        let src = "impl S { fn get(&self, idx: usize) -> u8 { assert!(idx < self.entries.len(), \"stale\"); self.entries[idx] } }";
+        assert!(findings("crates/core/src/slab.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r10_checked_accessors_discharge() {
+        // Direct accessor call in index position.
+        let src = "impl S {\n fn idx(&self, a: usize, b: usize) -> usize { debug_assert!(a < self.ports && b < self.ports); a * self.ports + b }\n fn look(&self, a: usize, b: usize) -> u64 { self.last[self.idx(a, b)] }\n}";
+        assert!(findings("crates/fabric/src/scoreboard.rs", src).is_empty());
+        // Accessor value bound to a local first.
+        let src = "impl S {\n fn idx(&self, a: usize) -> usize { debug_assert!(a < self.n); a }\n fn look(&self, a: usize) -> u64 { let k = self.idx(a); self.last[k] }\n}";
+        assert!(findings("crates/fabric/src/scoreboard.rs", src).is_empty());
+        // An unchecked helper does not discharge.
+        let src = "impl S {\n fn idx(&self, a: usize) -> usize { a * 2 }\n fn look(&self, a: usize) -> u64 { self.last[self.idx(a)] }\n}";
+        let f = findings("crates/fabric/src/scoreboard.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "R10").count(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn r10_allow_directive_with_reason_suppresses() {
+        let src = "fn hot(q: &[u32]) -> u32 {\n // fifoms-lint: allow(R10) index bounded by the N*N grid allocation\n q[0]\n}\n";
         assert!(findings("crates/core/src/voq.rs", src).is_empty());
     }
 

@@ -1,0 +1,37 @@
+//! R10 fixture (bad): index sites no local proof discharges — a bare
+//! index, a guard over the wrong base, a guard in another function, and
+//! an unchecked helper. Never compiled.
+
+fn bare(grants: &[usize], winner: usize) -> usize {
+    grants[winner]
+}
+
+fn wrong_base(grants: &[usize], free: &[bool], winner: usize) -> usize {
+    debug_assert!(winner < free.len());
+    grants[winner]
+}
+
+fn elsewhere(grants: &[usize], winner: usize) {
+    debug_assert!(winner < grants.len());
+    let _ = grants;
+    let _ = winner;
+}
+
+fn not_dominated(grants: &[usize], winner: usize) -> usize {
+    grants[winner]
+}
+
+struct Grid {
+    ports: usize,
+    cells: Vec<u64>,
+}
+
+impl Grid {
+    fn idx(&self, input: usize, output: usize) -> usize {
+        input * self.ports + output
+    }
+
+    fn unchecked_helper(&self, input: usize, output: usize) -> u64 {
+        self.cells[self.idx(input, output)]
+    }
+}

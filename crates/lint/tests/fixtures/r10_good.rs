@@ -1,0 +1,57 @@
+//! R10 fixture (good): every discharge form — assert!/debug_assert!
+//! dominance, `if` bounds, reversed comparisons, checked accessors
+//! (direct and let-bound), get()-based access, and the allow hatch.
+//! Never compiled.
+
+fn asserted(grants: &[usize], winner: usize) -> usize {
+    debug_assert!(winner < grants.len() && grants[winner] > 0);
+    grants[winner]
+}
+
+fn hard_asserted(grants: &[usize], winner: usize) -> usize {
+    assert!(winner < grants.len(), "scheduler grant out of range");
+    grants[winner]
+}
+
+fn if_bounded(grants: &[usize], winner: usize) -> usize {
+    if winner < grants.len() {
+        grants[winner]
+    } else {
+        0
+    }
+}
+
+fn reversed(grants: &[usize], winner: usize) -> usize {
+    debug_assert!(grants.len() > winner);
+    grants[winner]
+}
+
+fn via_get(grants: &[usize], winner: usize) -> Option<usize> {
+    grants.get(winner).copied()
+}
+
+struct Grid {
+    ports: usize,
+    cells: Vec<u64>,
+}
+
+impl Grid {
+    fn idx(&self, input: usize, output: usize) -> usize {
+        debug_assert!(input < self.ports && output < self.ports);
+        input * self.ports + output
+    }
+
+    fn direct(&self, input: usize, output: usize) -> u64 {
+        self.cells[self.idx(input, output)]
+    }
+
+    fn let_bound(&self, input: usize, output: usize) -> u64 {
+        let k = self.idx(input, output);
+        self.cells[k]
+    }
+}
+
+fn justified(xs: &[u64]) -> u64 {
+    // fifoms-lint: allow(R10) nonempty by caller contract, checked at admission
+    xs[0]
+}

@@ -11,7 +11,7 @@ fn hot_path(xs: &[u64], i: usize) -> Option<u64> {
 }
 
 fn justified(xs: &[u64]) -> u64 {
-    // fifoms-lint: allow(R3) nonempty by caller contract, checked at admission
+    // fifoms-lint: allow(R10) nonempty by caller contract, checked at admission
     xs[0]
 }
 

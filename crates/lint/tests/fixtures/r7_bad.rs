@@ -1,0 +1,24 @@
+//! R7 fixture (bad): a wrapper that forgets one default-bodied forward
+//! and overrides another without delegating. Never compiled — parsed
+//! into the program model by `tests/rules.rs` together with
+//! `r7_trait.rs`.
+
+pub struct LoggingSwitch<S> {
+    inner: S,
+    log: Vec<String>,
+}
+
+impl<S: Switch> Switch for LoggingSwitch<S> {
+    fn name(&self) -> String {
+        format!("logging({})", self.inner.name())
+    }
+
+    // drain_spans is never overridden: the trait's no-op default
+    // swallows the inner switch's spans.
+
+    // recycle is overridden but never delegated: the inner switch leaks
+    // its retired cells.
+    fn recycle(&mut self, cell: u64) {
+        self.log.push(format!("recycle {cell}"));
+    }
+}

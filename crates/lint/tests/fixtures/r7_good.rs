@@ -1,0 +1,49 @@
+//! R7 fixture (good): a complete wrapper (every default-bodied method
+//! overridden and delegated), a blanket `Box` forward, and a plain
+//! non-wrapper impl R7 must leave alone. Never compiled.
+
+pub struct LoggingSwitch<S> {
+    inner: S,
+    log: Vec<String>,
+}
+
+impl<S: Switch> Switch for LoggingSwitch<S> {
+    fn name(&self) -> String {
+        format!("logging({})", self.inner.name())
+    }
+
+    fn drain_spans(&mut self, out: &mut Vec<u64>) {
+        self.inner.drain_spans(out);
+    }
+
+    fn recycle(&mut self, cell: u64) {
+        self.log.push(format!("recycle {cell}"));
+        self.inner.recycle(cell);
+    }
+}
+
+impl<T: Switch + ?Sized> Switch for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn drain_spans(&mut self, out: &mut Vec<u64>) {
+        (**self).drain_spans(out);
+    }
+
+    fn recycle(&mut self, cell: u64) {
+        (**self).recycle(cell);
+    }
+}
+
+/// A terminal switch implements the trait without wrapping anything:
+/// default bodies are exactly what it wants.
+pub struct NullSwitch {
+    ports: usize,
+}
+
+impl Switch for NullSwitch {
+    fn name(&self) -> String {
+        format!("null({})", self.ports)
+    }
+}

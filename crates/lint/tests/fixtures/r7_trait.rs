@@ -1,0 +1,14 @@
+//! R7 fixture: the trait the wrapper fixtures implement — one required
+//! method and two default-bodied hooks. Never compiled.
+
+pub trait Switch {
+    fn name(&self) -> String;
+
+    fn drain_spans(&mut self, out: &mut Vec<u64>) {
+        let _ = out;
+    }
+
+    fn recycle(&mut self, cell: u64) {
+        let _ = cell;
+    }
+}

@@ -1,0 +1,27 @@
+//! R8 fixture (bad): a Checkpoint impl that saves a field it never
+//! restores and skips another entirely, with no documented exclusion.
+//! Never compiled.
+
+pub struct Counters {
+    served: u64,
+    dropped: u64,
+    high_water: u64,
+}
+
+impl Checkpoint for Counters {
+    fn state_kind(&self) -> &'static str {
+        "counters"
+    }
+
+    fn write_state(&self, w: &mut StateWriter) {
+        w.u64(self.served);
+        w.u64(self.dropped);
+        // (the third counter is forgotten here)
+    }
+
+    fn read_state(&mut self, r: &mut StateReader) -> Result<(), StateError> {
+        self.served = r.u64()?;
+        // (the second counter is never restored)
+        Ok(())
+    }
+}

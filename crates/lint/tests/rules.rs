@@ -1,14 +1,18 @@
-//! Fixture tests for the six fifoms-lint rules: one good and one bad
+//! Fixture tests for the fifoms-lint rules: one good and one bad
 //! exemplar per rule under `tests/fixtures/`. The fixtures are data, not
 //! code — the engine's walker skips `fixtures/` directories, and cargo
 //! never compiles them — so they can contain arbitrary violations.
 //!
 //! Fixtures are checked through `check_file` with a *synthetic* relative
 //! path: the path picks the crate domain, so the same source can be
-//! asserted flagged inside a rule's domain and ignored outside it.
+//! asserted flagged inside a rule's domain and ignored outside it. The
+//! structural rules (R7/R8) run the same fixtures through the program
+//! model instead.
 
 use fifoms_lint::matcher::Matcher;
-use fifoms_lint::rules::{check_derived_vocabulary, check_file, check_vocabulary, Finding};
+use fifoms_lint::rules::{check_file, check_vocabulary, Finding};
+use fifoms_lint::structural::{r7_wrapper_forwarding, r8_checkpoint_coverage, r9_schema_drift};
+use fifoms_lint::Program;
 use fifoms_obs::Json;
 
 fn run(rel: &str, src: &str) -> Vec<Finding> {
@@ -117,15 +121,18 @@ fn r2_exempts_admission_modules_by_domain() {
 // ---------------------------------------------------------------- R3 --
 
 #[test]
-fn r3_flags_unwrap_expect_panics_and_indexing() {
+fn r3_flags_unwrap_expect_and_panics() {
     let f = run(
         "crates/core/src/fixture.rs",
         include_str!("fixtures/r3_bad.rs"),
     );
-    // unwrap, expect, panic!, unreachable!, xs[i].
-    assert_eq!(count(&f, "R3"), 5, "{f:#?}");
+    // unwrap, expect, panic!, unreachable! — indexing moved to R10.
+    assert_eq!(count(&f, "R3"), 4, "{f:#?}");
     assert!(f.iter().any(|x| x.message.contains("`.unwrap`")));
     assert!(f.iter().any(|x| x.message.contains("`panic!`")));
+    // `xs[i]` is guarded only by `if i > xs.len()`, which still admits
+    // i == xs.len(): R10 keeps flagging it.
+    assert_eq!(count(&f, "R10"), 1, "{f:#?}");
     assert!(f.iter().any(|x| x.message.contains("slice indexing")));
 }
 
@@ -145,6 +152,7 @@ fn r3_does_not_apply_outside_hot_path_crates() {
         include_str!("fixtures/r3_bad.rs"),
     );
     assert_eq!(count(&f, "R3"), 0, "{f:#?}");
+    assert_eq!(count(&f, "R10"), 0, "{f:#?}");
 }
 
 // ---------------------------------------------------------------- R4 --
@@ -187,44 +195,208 @@ fn r4_flags_drift_in_both_directions() {
         .any(|x| x.message.contains("\"run_end\" but no ObsEvent::kind() arm")));
 }
 
+// ---------------------------------------------------------------- R9 --
+
 #[test]
-fn r4_derived_schema_must_be_a_subset_of_the_vocabulary() {
-    // A derived stream naming a subset of the emitted kinds is fine.
-    let subset = Json::parse(
+fn r9_derived_schema_tracks_constructed_events_bidirectionally() {
+    // r4_obs_good's vocabulary: run_meta and run_end. A telemetry layer
+    // constructing only RunEnd, with a schema admitting exactly run_end,
+    // is in lock-step.
+    let obs = include_str!("fixtures/r4_obs_good.rs");
+    let tele = "fn close(&self) -> ObsEvent { ObsEvent::RunEnd { slots_run: 1 } }";
+    let exact = Json::parse(
         r#"{"type": "object", "required": ["event"],
             "properties": {"event": {"enum": ["run_end"]}}}"#,
     )
     .unwrap();
-    let f = check_derived_vocabulary(
-        include_str!("fixtures/r4_obs_good.rs"),
-        "schemas/timeseries.schema.json",
-        &subset,
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele),
+        ("schemas/timeseries.schema.json", &exact),
+        &[],
+        &[],
     );
     assert_eq!(f, Vec::new(), "{f:#?}");
 
-    // A derived stream naming a kind nobody emits is dead vocabulary...
-    let phantom = Json::parse(
+    // Admitting a kind the telemetry layer never constructs is drift
+    // (this was legal under PR 8's one-way subset check).
+    let dead = Json::parse(
         r#"{"type": "object", "required": ["event"],
-            "properties": {"event": {"enum": ["run_end", "phantom_event"]}}}"#,
+            "properties": {"event": {"enum": ["run_end", "run_meta"]}}}"#,
     )
     .unwrap();
-    let f = check_derived_vocabulary(
-        include_str!("fixtures/r4_obs_good.rs"),
-        "schemas/timeseries.schema.json",
-        &phantom,
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele),
+        ("schemas/timeseries.schema.json", &dead),
+        &[],
+        &[],
     );
-    assert_eq!(count(&f, "R4"), 1, "{f:#?}");
-    assert!(f.iter().any(|x| x.message.contains("\"phantom_event\"")));
+    assert_eq!(count(&f, "R9"), 1, "{f:#?}");
+    assert!(f.iter().any(|x| x.key == "schema-only run_meta"));
 
-    // ...and a derived schema with no enum at all cannot gate anything.
-    let empty = Json::parse(r#"{"type": "object"}"#).unwrap();
-    let f = check_derived_vocabulary(
-        include_str!("fixtures/r4_obs_good.rs"),
-        "schemas/timeseries.schema.json",
-        &empty,
+    // Constructing a kind the schema rejects is the other direction.
+    let tele_extra = "fn close(&self) -> ObsEvent { ObsEvent::RunEnd { slots_run: 1 } }\nfn meta(&self) -> ObsEvent { ObsEvent::RunMeta { seed: 7 } }";
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele_extra),
+        ("schemas/timeseries.schema.json", &exact),
+        &[],
+        &[],
     );
-    assert_eq!(count(&f, "R4"), 1, "{f:#?}");
-    assert!(f.iter().any(|x| x.key == "missing-event-enum"));
+    assert_eq!(count(&f, "R9"), 1, "{f:#?}");
+    assert!(f.iter().any(|x| x.key == "emit-only run_meta"));
+
+    // Pattern-matching a variant (match arms, if-let) is not emission.
+    let tele_match = "fn close(&self) -> ObsEvent { ObsEvent::RunEnd { slots_run: 1 } }\nfn fold(&mut self, ev: &ObsEvent) { if let ObsEvent::RunMeta { seed } = ev { self.seed = *seed; } }";
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele_match),
+        ("schemas/timeseries.schema.json", &exact),
+        &[],
+        &[],
+    );
+    assert_eq!(f, Vec::new(), "{f:#?}");
+}
+
+#[test]
+fn r9_schema_ids_must_be_emitted_somewhere() {
+    let obs = include_str!("fixtures/r4_obs_good.rs");
+    let ts = Json::parse(
+        r#"{"properties": {"event": {"enum": ["run_end"]},
+            "schema": {"enum": ["fifoms-timeseries-v1"]}}}"#,
+    )
+    .unwrap();
+    let tele = "fn close(&self) -> ObsEvent { ObsEvent::RunEnd { slots_run: 1 } }";
+    let emitters = vec![(
+        "crates/obs/src/sink.rs".to_string(),
+        "fn header() { row.set(\"schema\", \"fifoms-timeseries-v1\"); }".to_string(),
+    )];
+    let derived = [("schemas/timeseries.schema.json", &ts)];
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele),
+        ("schemas/timeseries.schema.json", &ts),
+        &derived,
+        &emitters,
+    );
+    assert_eq!(f, Vec::new(), "{f:#?}");
+
+    // Same schema with no emitter producing the id literal: dead schema.
+    let f = r9_schema_drift(
+        obs,
+        ("crates/obs/src/telemetry.rs", tele),
+        ("schemas/timeseries.schema.json", &ts),
+        &derived,
+        &[],
+    );
+    assert_eq!(count(&f, "R9"), 1, "{f:#?}");
+    assert!(f
+        .iter()
+        .any(|x| x.key == "dead-schema-id fifoms-timeseries-v1"));
+}
+
+// ---------------------------------------------------------------- R7 --
+
+fn program(files: &[(&str, &str)]) -> Program {
+    Program::build(
+        files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), src.to_string()))
+            .collect(),
+    )
+}
+
+#[test]
+fn r7_flags_missed_forwards_and_non_delegating_overrides() {
+    let p = program(&[
+        (
+            "crates/fabric/src/switch.rs",
+            include_str!("fixtures/r7_trait.rs"),
+        ),
+        (
+            "crates/fabric/src/logging.rs",
+            include_str!("fixtures/r7_bad.rs"),
+        ),
+    ]);
+    let f = r7_wrapper_forwarding(&p);
+    assert_eq!(count(&f, "R7"), 2, "{f:#?}");
+    assert!(f.iter().any(|x| x.key == "missing-forward drain_spans"));
+    assert!(f.iter().any(|x| x.key == "no-delegate recycle"));
+    assert!(f.iter().any(|x| x.message.contains("LoggingSwitch")));
+}
+
+#[test]
+fn r7_accepts_complete_wrappers_boxes_and_plain_impls() {
+    let p = program(&[
+        (
+            "crates/fabric/src/switch.rs",
+            include_str!("fixtures/r7_trait.rs"),
+        ),
+        (
+            "crates/fabric/src/logging.rs",
+            include_str!("fixtures/r7_good.rs"),
+        ),
+    ]);
+    let f = r7_wrapper_forwarding(&p);
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+// ---------------------------------------------------------------- R8 --
+
+#[test]
+fn r8_flags_unsaved_and_unrestored_fields() {
+    let p = program(&[(
+        "crates/core/src/counters.rs",
+        include_str!("fixtures/r8_bad.rs"),
+    )]);
+    let f = r8_checkpoint_coverage(&p);
+    // high_water missing both ways, dropped missing on restore only.
+    assert_eq!(count(&f, "R8"), 3, "{f:#?}");
+    assert!(f.iter().any(|x| x.key == "unsaved high_water"));
+    assert!(f.iter().any(|x| x.key == "unrestored high_water"));
+    assert!(f.iter().any(|x| x.key == "unrestored dropped"));
+}
+
+#[test]
+fn r8_accepts_full_coverage_generics_and_documented_exclusions() {
+    let p = program(&[(
+        "crates/core/src/counters.rs",
+        include_str!("fixtures/r8_good.rs"),
+    )]);
+    let f = r8_checkpoint_coverage(&p);
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+// --------------------------------------------------------------- R10 --
+
+#[test]
+fn r10_flags_undischarged_index_sites() {
+    let f = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r10_bad.rs"),
+    );
+    // bare, wrong_base, not_dominated, unchecked_helper.
+    assert_eq!(count(&f, "R10"), 4, "{f:#?}");
+    assert!(f.iter().any(|x| x.message.contains("dominating bound check")));
+}
+
+#[test]
+fn r10_accepts_every_discharge_form() {
+    let f = run(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/r10_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "good fixture must be fully clean");
+}
+
+#[test]
+fn r10_does_not_apply_outside_hot_path_crates() {
+    let f = run(
+        "crates/cli/src/fixture.rs",
+        include_str!("fixtures/r10_bad.rs"),
+    );
+    assert_eq!(count(&f, "R10"), 0, "{f:#?}");
 }
 
 // ---------------------------------------------------------------- R5 --

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI gate for the workspace:
-#   1. clippy over every crate and target, warnings denied;
+#   1. clippy over every crate and target, warnings denied — in the dev
+#      profile and again in release, because cfg(debug_assertions)
+#      gates enough code that the two profiles lint different surfaces;
 #   2. a release build with rustc warnings denied — clippy's set and
 #      rustc's set overlap but are not identical, and release codegen
 #      surfaces warnings (dead branches behind debug_assertions) that
@@ -64,6 +66,9 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (release profile, deny warnings) =="
+cargo clippy --workspace --release -- -D warnings
+
 echo "== release build (rustc warnings denied) =="
 RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace
 
@@ -72,8 +77,10 @@ cargo test --workspace --quiet
 
 echo "== lint gate (source disciplines vs committed baseline) =="
 cargo run --release --quiet -p fifoms-cli -- lint \
-  --baseline lint-baseline.json --json "$tmp/lint.json"
+  --baseline lint-baseline.json --json "$tmp/lint.json" \
+  --stats --ledger "$tmp/lint_ledger.jsonl"
 test -s "$tmp/lint.json"
+grep -q '"schema":"fifoms-lint-stats-v1"' "$tmp/lint_ledger.jsonl"
 
 echo "== profile smoke + artifact schema validation =="
 cargo run --release --quiet -p fifoms-cli -- profile --slots 10000
